@@ -1,0 +1,63 @@
+//! Criterion benchmarks for the collective implementations: wall-clock
+//! cost of simulating each allreduce variant (harness performance), and
+//! real threaded-backend collectives at small scale.
+
+use c_coll::{AllreduceVariant, CColl, CodecSpec, ReduceOp};
+use ccoll_comm::{Comm, SimConfig, SimWorld, ThreadWorld};
+use ccoll_data::Dataset;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_sim_variants(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_allreduce_8x1MB");
+    let values = 250_000; // 1 MB per rank
+    for variant in AllreduceVariant::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(variant.label()),
+            &variant,
+            |b, &variant| {
+                b.iter(|| {
+                    let spec = if variant == AllreduceVariant::Original {
+                        CodecSpec::None
+                    } else {
+                        CodecSpec::Szx { error_bound: 1e-3 }
+                    };
+                    let world = SimWorld::new(SimConfig::new(8));
+                    world.run(move |comm| {
+                        let ccoll = CColl::new(spec);
+                        let data = Dataset::Rtm.generate(values, comm.rank() as u64);
+                        ccoll.allreduce_variant(comm, &data, ReduceOp::Sum, variant);
+                    })
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_threaded_allreduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("threaded_allreduce_4ranks");
+    let values = 250_000;
+    for (label, spec) in [
+        ("plain", CodecSpec::None),
+        ("c_allreduce_szx", CodecSpec::Szx { error_bound: 1e-3 }),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let world = ThreadWorld::new(4);
+                world.run(move |comm| {
+                    let ccoll = CColl::new(spec);
+                    let data = Dataset::Rtm.generate(values, comm.rank() as u64);
+                    ccoll.allreduce(comm, &data, ReduceOp::Sum);
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sim_variants, bench_threaded_allreduce
+}
+criterion_main!(benches);

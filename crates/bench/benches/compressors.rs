@@ -1,0 +1,57 @@
+//! Criterion benchmarks for the compression kernels (backing Table I
+//! with statistically rigorous measurements).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ccoll_compress::{Compressor, PipeSzx, SzxCodec, ZfpCodec};
+use ccoll_data::Dataset;
+
+fn bench_compress(c: &mut Criterion) {
+    let n = 1_000_000; // 4 MB
+    let mut g = c.benchmark_group("compress");
+    g.throughput(Throughput::Bytes((n * 4) as u64));
+    for ds in Dataset::ALL {
+        let data = ds.generate(n, 3);
+        g.bench_with_input(BenchmarkId::new("szx_1e-3", ds.label()), &data, |b, d| {
+            let codec = SzxCodec::new(1e-3);
+            b.iter(|| codec.compress(d).expect("compress"));
+        });
+        g.bench_with_input(BenchmarkId::new("pipe_szx_1e-3", ds.label()), &data, |b, d| {
+            let codec = PipeSzx::new(1e-3);
+            b.iter(|| codec.compress(d).expect("compress"));
+        });
+        g.bench_with_input(BenchmarkId::new("zfp_abs_1e-3", ds.label()), &data, |b, d| {
+            let codec = ZfpCodec::fixed_accuracy(1e-3);
+            b.iter(|| codec.compress(d).expect("compress"));
+        });
+        g.bench_with_input(BenchmarkId::new("zfp_fxr_4", ds.label()), &data, |b, d| {
+            let codec = ZfpCodec::fixed_rate(4);
+            b.iter(|| codec.compress(d).expect("compress"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let n = 1_000_000;
+    let mut g = c.benchmark_group("decompress");
+    g.throughput(Throughput::Bytes((n * 4) as u64));
+    let data = Dataset::Rtm.generate(n, 3);
+    let szx = SzxCodec::new(1e-3);
+    let szx_stream = szx.compress(&data).expect("compress");
+    g.bench_function("szx_1e-3/RTM", |b| {
+        b.iter(|| szx.decompress(&szx_stream).expect("decompress"));
+    });
+    let zfp = ZfpCodec::fixed_accuracy(1e-3);
+    let zfp_stream = zfp.compress(&data).expect("compress");
+    g.bench_function("zfp_abs_1e-3/RTM", |b| {
+        b.iter(|| zfp.decompress(&zfp_stream).expect("decompress"));
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_compress, bench_decompress
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! **Figure 10**: end-to-end runtime of the step-wise optimizations —
+//! AD vs DI vs ND vs Overlap across message sizes.
+//!
+//! ```bash
+//! cargo run --release -p ccoll-bench --bin fig10_stepwise
+//! ```
+
+use c_coll::{AllreduceVariant, CodecSpec, ReduceOp};
+use ccoll_bench::calibrate::cost_model_from_env;
+use ccoll_bench::run_allreduce;
+use ccoll_bench::table::Table;
+use ccoll_bench::workload::{paper_sizes_mb, Scale};
+use ccoll_data::Dataset;
+
+fn main() {
+    let nodes = 16;
+    let scale = Scale::from_env(64);
+    let cost = cost_model_from_env();
+    println!("# Fig 10 — step-wise optimizations, end-to-end, {nodes} nodes; {}", scale.note());
+    println!("# paper shape: DI > AD (slower); ND between; Overlap beats AD (2.2-2.5x vs DI)\n");
+    let t = Table::new(&["size MB", "AD ms", "DI ms", "ND ms", "Overlap ms", "Overlap vs AD"]);
+    for mb in paper_sizes_mb() {
+        let values = scale.values_for_mb(mb);
+        let mut times = Vec::new();
+        for (spec, variant) in [
+            (CodecSpec::None, AllreduceVariant::Original),
+            (CodecSpec::Szx { error_bound: 1e-3 }, AllreduceVariant::DirectIntegration),
+            (CodecSpec::Szx { error_bound: 1e-3 }, AllreduceVariant::NovelDesign),
+            (CodecSpec::Szx { error_bound: 1e-3 }, AllreduceVariant::Overlapped),
+        ] {
+            let r = run_allreduce(nodes, values, Dataset::Rtm, spec, variant, ReduceOp::Sum, cost.clone(), scale.net_model(), false);
+            times.push(r.makespan);
+        }
+        t.row(&[
+            mb.to_string(),
+            format!("{:.2}", times[0].as_secs_f64() * 1e3),
+            format!("{:.2}", times[1].as_secs_f64() * 1e3),
+            format!("{:.2}", times[2].as_secs_f64() * 1e3),
+            format!("{:.2}", times[3].as_secs_f64() * 1e3),
+            format!("{:.2}x", times[0].as_secs_f64() / times[3].as_secs_f64()),
+        ]);
+    }
+}

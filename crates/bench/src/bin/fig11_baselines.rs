@@ -1,0 +1,51 @@
+//! **Figure 11**: C-Allreduce vs four baselines (original Allreduce and
+//! CPR-P2P with ZFP(FXR), ZFP(ABS), SZx) across message sizes on a
+//! 128-node virtual cluster.
+//!
+//! ```bash
+//! cargo run --release -p ccoll-bench --bin fig11_baselines
+//! ```
+
+use c_coll::{AllreduceVariant, CodecSpec, ReduceOp};
+use ccoll_bench::calibrate::cost_model_from_env;
+use ccoll_bench::run_allreduce;
+use ccoll_bench::table::Table;
+use ccoll_bench::workload::{paper_sizes_mb, Scale};
+use ccoll_data::Dataset;
+
+fn main() {
+    let nodes: usize = std::env::var("CCOLL_NODES").ok().and_then(|v| v.parse().ok()).unwrap_or(128);
+    let scale = Scale::from_env(256);
+    let cost = cost_model_from_env();
+    println!("# Fig 11 — C-Allreduce vs baselines on {nodes} nodes; {}", scale.note());
+    println!("# paper shape: all CPR-P2P baselines lose to Allreduce; C-Allreduce wins up to 1.8x\n");
+    let t = Table::new(&["size MB", "Allreduce", "ZFP(FXR)", "ZFP(ABS)", "SZx", "C-Allreduce", "speedup"]);
+    let configs = [
+        (CodecSpec::None, AllreduceVariant::Original),
+        (CodecSpec::ZfpFxr { rate: 4 }, AllreduceVariant::DirectIntegration),
+        (CodecSpec::ZfpAbs { error_bound: 1e-3 }, AllreduceVariant::DirectIntegration),
+        (CodecSpec::Szx { error_bound: 1e-3 }, AllreduceVariant::DirectIntegration),
+        (CodecSpec::Szx { error_bound: 1e-3 }, AllreduceVariant::Overlapped),
+    ];
+    for mb in paper_sizes_mb() {
+        let values = scale.values_for_mb(mb);
+        let times: Vec<f64> = configs
+            .iter()
+            .map(|&(spec, variant)| {
+                run_allreduce(nodes, values, Dataset::Rtm, spec, variant, ReduceOp::Sum, cost.clone(), scale.net_model(), false)
+                    .makespan
+                    .as_secs_f64()
+                    * 1e3
+            })
+            .collect();
+        t.row(&[
+            mb.to_string(),
+            format!("{:.2}", times[0]),
+            format!("{:.2}", times[1]),
+            format!("{:.2}", times[2]),
+            format!("{:.2}", times[3]),
+            format!("{:.2}", times[4]),
+            format!("{:.2}x", times[0] / times[4]),
+        ]);
+    }
+}

@@ -1,0 +1,49 @@
+//! **Figure 12**: scalability — C-Allreduce vs baselines at a fixed
+//! (paper-labelled 678 MB) message across 2–128 nodes.
+//!
+//! ```bash
+//! cargo run --release -p ccoll-bench --bin fig12_scaling
+//! ```
+
+use c_coll::{AllreduceVariant, CodecSpec, ReduceOp};
+use ccoll_bench::calibrate::cost_model_from_env;
+use ccoll_bench::run_allreduce;
+use ccoll_bench::table::Table;
+use ccoll_bench::workload::{node_sweep, Scale};
+use ccoll_data::Dataset;
+
+fn main() {
+    let scale = Scale::from_env(256);
+    let cost = cost_model_from_env();
+    let values = scale.values_for_mb(678);
+    println!("# Fig 12 — scaling at 678 MB (paper label); {}", scale.note());
+    println!("# paper shape: C-Allreduce wins at every node count (up to 1.8x)\n");
+    let t = Table::new(&["nodes", "Allreduce", "ZFP(FXR)", "ZFP(ABS)", "SZx", "C-Allreduce", "speedup"]);
+    let configs = [
+        (CodecSpec::None, AllreduceVariant::Original),
+        (CodecSpec::ZfpFxr { rate: 4 }, AllreduceVariant::DirectIntegration),
+        (CodecSpec::ZfpAbs { error_bound: 1e-3 }, AllreduceVariant::DirectIntegration),
+        (CodecSpec::Szx { error_bound: 1e-3 }, AllreduceVariant::DirectIntegration),
+        (CodecSpec::Szx { error_bound: 1e-3 }, AllreduceVariant::Overlapped),
+    ];
+    for nodes in node_sweep() {
+        let times: Vec<f64> = configs
+            .iter()
+            .map(|&(spec, variant)| {
+                run_allreduce(nodes, values, Dataset::Rtm, spec, variant, ReduceOp::Sum, cost.clone(), scale.net_model(), false)
+                    .makespan
+                    .as_secs_f64()
+                    * 1e3
+            })
+            .collect();
+        t.row(&[
+            nodes.to_string(),
+            format!("{:.2}", times[0]),
+            format!("{:.2}", times[1]),
+            format!("{:.2}", times[2]),
+            format!("{:.2}", times[3]),
+            format!("{:.2}", times[4]),
+            format!("{:.2}x", times[0] / times[4]),
+        ]);
+    }
+}

@@ -1,0 +1,51 @@
+//! **Figure 13**: generality across application datasets — C-Allreduce
+//! vs the original Allreduce and the SZx CPR-P2P baseline on the
+//! Hurricane fields (PRECIPf, QGRAUPf, CLOUDf) and CESM Q at eb 1e-4.
+//!
+//! ```bash
+//! cargo run --release -p ccoll-bench --bin fig13_datasets
+//! ```
+
+use c_coll::{AllreduceVariant, CColl, CodecSpec, ReduceOp};
+use ccoll_bench::calibrate::cost_model_from_env;
+use ccoll_bench::table::Table;
+use ccoll_bench::workload::Scale;
+use ccoll_comm::{Comm, SimConfig, SimWorld};
+use ccoll_data::FieldSpec;
+
+fn main() {
+    let nodes: usize = std::env::var("CCOLL_NODES").ok().and_then(|v| v.parse().ok()).unwrap_or(64);
+    let scale = Scale::from_env(256);
+    let values = scale.values_for_mb(256);
+    let cost = cost_model_from_env();
+    let eb = 1e-4f32;
+    println!("# Fig 13 — per-dataset generality on {nodes} nodes, eb={eb:.0e}; {}", scale.note());
+    println!("# paper shape: C-Allreduce 1.6-2.1x over Allreduce; SZx CPR-P2P below 1.0x\n");
+    let t = Table::new(&["field", "Allreduce ms", "SZx(CPR-P2P) ms", "C-Allreduce ms", "C speedup", "SZx speedup"]);
+    for spec in FieldSpec::TABLE6 {
+        let mut times = Vec::new();
+        for (codec, variant) in [
+            (CodecSpec::None, AllreduceVariant::Original),
+            (CodecSpec::Szx { error_bound: eb }, AllreduceVariant::DirectIntegration),
+            (CodecSpec::Szx { error_bound: eb }, AllreduceVariant::Overlapped),
+        ] {
+            let mut cfg = SimConfig::new(nodes);
+            cfg.cost = cost.clone();
+            cfg.net = scale.net_model();
+            let out = SimWorld::new(cfg).run(move |comm| {
+                let ccoll = CColl::new(codec);
+                let data = spec.generate(values, comm.rank() as u64);
+                ccoll.allreduce_variant(comm, &data, ReduceOp::Sum, variant);
+            });
+            times.push(out.makespan.as_secs_f64() * 1e3);
+        }
+        t.row(&[
+            spec.name.to_string(),
+            format!("{:.2}", times[0]),
+            format!("{:.2}", times[1]),
+            format!("{:.2}", times[2]),
+            format!("{:.2}x", times[0] / times[2]),
+            format!("{:.2}x", times[0] / times[1]),
+        ]);
+    }
+}

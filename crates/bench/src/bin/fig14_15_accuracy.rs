@@ -1,0 +1,45 @@
+//! **Figures 14 & 15**: accuracy of C-Allreduce on the Hurricane and
+//! CESM-ATM datasets — PSNR/NRMSE of the reduced field vs the exact
+//! reduction, plus PGM visualizations (the paper's rendered images).
+//!
+//! ```bash
+//! cargo run --release -p ccoll-bench --bin fig14_15_accuracy
+//! ```
+
+use c_coll::{CColl, CodecSpec, ReduceOp};
+use ccoll_bench::table::Table;
+use ccoll_comm::{Comm, SimConfig, SimWorld};
+use ccoll_data::fields::GRID_WIDTH;
+use ccoll_data::{metrics, pgm, Dataset};
+
+fn main() {
+    let nodes = 16;
+    let height = 400;
+    let n = GRID_WIDTH * height;
+    let eb = 1e-3f32;
+    let out_dir = std::env::temp_dir().join("ccoll_fig14_15");
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+    println!("# Fig 14/15 — C-Allreduce accuracy, {nodes} nodes, eb={eb:.0e}");
+    println!("# paper: PSNR ~60 dB, NRMSE ~1e-3 at this bound\n");
+    let t = Table::new(&["dataset", "PSNR dB", "NRMSE", "max|err|"]);
+    for ds in [Dataset::Hurricane, Dataset::Cesm] {
+        let inputs: Vec<Vec<f32>> = (0..nodes).map(|r| ds.generate(n, r as u64)).collect();
+        let exact = ReduceOp::Sum.oracle(&inputs);
+        let out = SimWorld::new(SimConfig::new(nodes)).run(move |comm| {
+            let ccoll = CColl::new(CodecSpec::Szx { error_bound: eb });
+            ccoll.allreduce(comm, &ds.generate(n, comm.rank() as u64), ReduceOp::Sum)
+        });
+        let got = &out.results[0];
+        t.row(&[
+            ds.label().to_string(),
+            format!("{:.2}", metrics::psnr(&exact, got)),
+            format!("{:.1e}", metrics::nrmse(&exact, got)),
+            format!("{:.2e}", metrics::max_abs_error(&exact, got)),
+        ]);
+        pgm::dump_field(&out_dir.join(format!("{}_exact.pgm", ds.label())), &exact, GRID_WIDTH, height)
+            .expect("write pgm");
+        pgm::dump_field(&out_dir.join(format!("{}_callreduce.pgm", ds.label())), got, GRID_WIDTH, height)
+            .expect("write pgm");
+    }
+    println!("\nPGM images written to {}", out_dir.display());
+}

@@ -1,0 +1,72 @@
+//! **Figure 17**: image-stacking performance — C-Allreduce at error
+//! bounds 1e-2/1e-3/1e-4 vs the original Allreduce and the SZx /
+//! ZFP(ABS) / ZFP(FXR) CPR-P2P baselines on 16 nodes.
+//!
+//! ```bash
+//! cargo run --release -p ccoll-bench --bin fig17_stacking_perf
+//! ```
+
+use c_coll::{AllreduceVariant, CColl, CodecSpec, ReduceOp};
+use ccoll_bench::calibrate::cost_model_from_env;
+use ccoll_bench::table::Table;
+use ccoll_bench::workload::Scale;
+use ccoll_comm::{Comm, SimConfig, SimWorld};
+use ccoll_data::{fields::GRID_WIDTH, rtm};
+use std::time::Duration;
+
+fn run_stacking(nodes: usize, n: usize, cost: ccoll_comm::CostModel, net: ccoll_comm::NetModel, spec: CodecSpec, variant: AllreduceVariant) -> Duration {
+    let mut cfg = SimConfig::new(nodes);
+    cfg.cost = cost;
+    cfg.net = net;
+    SimWorld::new(cfg)
+        .run(move |comm| {
+            let shot = rtm::snapshots(comm.size(), n, 99)[comm.rank()].clone();
+            let ccoll = CColl::new(spec);
+            ccoll.allreduce_variant(comm, &shot, ReduceOp::Sum, variant);
+        })
+        .makespan
+}
+
+fn main() {
+    let nodes = 16;
+    let scale = Scale::from_env(32);
+    let height = (scale.values_for_mb(128) / GRID_WIDTH).max(64);
+    let n = GRID_WIDTH * height;
+    let cost = cost_model_from_env();
+    println!("# Fig 17 — image stacking performance, {nodes} nodes, {GRID_WIDTH}x{height} shots");
+    println!("# paper shape: C-Allreduce 1.2-1.5x over Allreduce; all CPR-P2P below 1x\n");
+
+    let base = run_stacking(nodes, n, cost.clone(), scale.net_model(), CodecSpec::None, AllreduceVariant::Original);
+    let t = Table::new(&["config", "time ms", "vs Allreduce"]);
+    t.row(&["Allreduce".into(), format!("{:.2}", base.as_secs_f64() * 1e3), "1.00x".into()]);
+    for eb in [1e-2f32, 1e-3, 1e-4] {
+        let d = run_stacking(nodes, n, cost.clone(), scale.net_model(), CodecSpec::Szx { error_bound: eb }, AllreduceVariant::Overlapped);
+        t.row(&[
+            format!("C-Allreduce({eb:.0e})"),
+            format!("{:.2}", d.as_secs_f64() * 1e3),
+            format!("{:.2}x", base.as_secs_f64() / d.as_secs_f64()),
+        ]);
+    }
+    for eb in [1e-2f32, 1e-3, 1e-4] {
+        let d = run_stacking(nodes, n, cost.clone(), scale.net_model(), CodecSpec::Szx { error_bound: eb }, AllreduceVariant::DirectIntegration);
+        t.row(&[
+            format!("SZx-P2P({eb:.0e})"),
+            format!("{:.2}", d.as_secs_f64() * 1e3),
+            format!("{:.2}x", base.as_secs_f64() / d.as_secs_f64()),
+        ]);
+        let d = run_stacking(nodes, n, cost.clone(), scale.net_model(), CodecSpec::ZfpAbs { error_bound: eb }, AllreduceVariant::DirectIntegration);
+        t.row(&[
+            format!("ZFP(ABS={eb:.0e})-P2P"),
+            format!("{:.2}", d.as_secs_f64() * 1e3),
+            format!("{:.2}x", base.as_secs_f64() / d.as_secs_f64()),
+        ]);
+    }
+    for rate in [4u32, 8, 16] {
+        let d = run_stacking(nodes, n, cost.clone(), scale.net_model(), CodecSpec::ZfpFxr { rate }, AllreduceVariant::DirectIntegration);
+        t.row(&[
+            format!("ZFP(FXR={rate})-P2P"),
+            format!("{:.2}", d.as_secs_f64() * 1e3),
+            format!("{:.2}x", base.as_secs_f64() / d.as_secs_f64()),
+        ]);
+    }
+}

@@ -1,0 +1,59 @@
+//! **Figure 18**: reconstructed stacked-image quality — PSNR/NRMSE and
+//! PGM dumps of the stacked image produced by C-Allreduce at three error
+//! bounds and by the ZFP baselines.
+//!
+//! ```bash
+//! cargo run --release -p ccoll-bench --bin fig18_stacking_quality
+//! ```
+
+use c_coll::{AllreduceVariant, CColl, CodecSpec, ReduceOp};
+use ccoll_bench::table::Table;
+use ccoll_comm::{Comm, SimConfig, SimWorld};
+use ccoll_data::{fields::GRID_WIDTH, metrics, pgm, rtm};
+
+fn stack(nodes: usize, n: usize, spec: CodecSpec, variant: AllreduceVariant) -> Vec<f32> {
+    SimWorld::new(SimConfig::new(nodes))
+        .run(move |comm| {
+            let shot = rtm::snapshots(comm.size(), n, 99)[comm.rank()].clone();
+            let ccoll = CColl::new(spec);
+            ccoll.allreduce_variant(comm, &shot, ReduceOp::Sum, variant)
+        })
+        .results
+        .remove(0)
+}
+
+fn main() {
+    let nodes = 16;
+    let height = 300;
+    let n = GRID_WIDTH * height;
+    let out_dir = std::env::temp_dir().join("ccoll_fig18");
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+    println!("# Fig 18 — stacked image quality, {nodes} nodes");
+    println!("# paper: eb 1e-2 -> PSNR 42.86/NRMSE 7e-3; 1e-3 -> 57.97/1e-3; 1e-4 -> 79.57/1e-4");
+    println!("# ZFP(FXR=4) produces an unusable image (unbounded error)\n");
+
+    let shots = rtm::snapshots(nodes, n, 99);
+    let exact = ReduceOp::Sum.oracle(&shots);
+    pgm::dump_field(&out_dir.join("original.pgm"), &exact, GRID_WIDTH, height).expect("pgm");
+
+    let t = Table::new(&["config", "PSNR dB", "NRMSE", "max|err|"]);
+    let configs: Vec<(String, CodecSpec, AllreduceVariant)> = vec![
+        ("C-Allreduce(1e-2)".into(), CodecSpec::Szx { error_bound: 1e-2 }, AllreduceVariant::Overlapped),
+        ("C-Allreduce(1e-3)".into(), CodecSpec::Szx { error_bound: 1e-3 }, AllreduceVariant::Overlapped),
+        ("C-Allreduce(1e-4)".into(), CodecSpec::Szx { error_bound: 1e-4 }, AllreduceVariant::Overlapped),
+        ("ZFP(ABS=1e-4)-P2P".into(), CodecSpec::ZfpAbs { error_bound: 1e-4 }, AllreduceVariant::DirectIntegration),
+        ("ZFP(FXR=4)-P2P".into(), CodecSpec::ZfpFxr { rate: 4 }, AllreduceVariant::DirectIntegration),
+    ];
+    for (label, spec, variant) in configs {
+        let got = stack(nodes, n, spec, variant);
+        t.row(&[
+            label.clone(),
+            format!("{:.2}", metrics::psnr(&exact, &got)),
+            format!("{:.1e}", metrics::nrmse(&exact, &got)),
+            format!("{:.2e}", metrics::max_abs_error(&exact, &got)),
+        ]);
+        let file = label.replace(['(', ')', '='], "_");
+        pgm::dump_field(&out_dir.join(format!("{file}.pgm")), &got, GRID_WIDTH, height).expect("pgm");
+    }
+    println!("\nPGM images written to {}", out_dir.display());
+}

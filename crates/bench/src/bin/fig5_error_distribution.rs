@@ -1,0 +1,74 @@
+//! **Figures 5 & 6**: the normality of compression errors — histogram,
+//! MLE normal fit, and ±kσ coverage probabilities for SZx and ZFP(ABS)
+//! on the three datasets (Fig. 5), plus the second-stage error `e2`
+//! after a compress→decompress→compress chain (Fig. 6).
+//!
+//! ```bash
+//! cargo run --release -p ccoll-bench --bin fig5_error_distribution
+//! ```
+
+use ccoll_bench::table::Table;
+use ccoll_compress::{Compressor, SzxCodec, ZfpCodec};
+use ccoll_data::stats::{pointwise_errors, Histogram, NormalFit};
+use ccoll_data::Dataset;
+
+fn analyze(label: &str, dataset: &str, errors: &[f64], t: &Table) {
+    let fit = NormalFit::fit(errors).expect("non-empty error sample");
+    t.row(&[
+        label.to_string(),
+        dataset.to_string(),
+        format!("{:.2e}", fit.mu),
+        format!("{:.2e}", fit.sigma),
+        format!("{:.1}%", fit.coverage(errors, 1.0) * 100.0),
+        format!("{:.1}%", fit.coverage(errors, 2.0) * 100.0),
+        format!("{:.1}%", fit.coverage(errors, 3.0) * 100.0),
+    ]);
+}
+
+fn main() {
+    let n: usize = std::env::var("CCOLL_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000);
+    let eb = 1e-3f32;
+    println!("# Fig 5 — error-distribution normality (MLE fit + coverage)");
+    println!("# a normal sample has 68.3% / 95.4% / 99.7% coverage at 1σ/2σ/3σ\n");
+    let t = Table::new(&["codec", "dataset", "mu", "sigma", "1σ cover", "2σ cover", "3σ cover"]);
+    for ds in Dataset::ALL {
+        let data = ds.generate(n, 5);
+        for (label, codec) in [
+            ("SZx", Box::new(SzxCodec::new(eb)) as Box<dyn Compressor>),
+            ("ZFP(ABS)", Box::new(ZfpCodec::fixed_accuracy(eb))),
+        ] {
+            let restored = codec.decompress(&codec.compress(&data).expect("c")).expect("d");
+            let errors = pointwise_errors(&data, &restored);
+            analyze(label, ds.label(), &errors, &t);
+        }
+    }
+
+    println!("\n# Fig 6 — second-stage error e2 (compress the reconstruction again)\n");
+    let t2 = Table::new(&["codec", "dataset", "mu", "sigma", "1σ cover", "2σ cover", "3σ cover"]);
+    for ds in [Dataset::Cesm, Dataset::Hurricane] {
+        let data = ds.generate(n, 5);
+        for (label, codec) in [
+            ("SZx", Box::new(SzxCodec::new(eb)) as Box<dyn Compressor>),
+            ("ZFP(ABS)", Box::new(ZfpCodec::fixed_accuracy(eb))),
+        ] {
+            let stage1 = codec.decompress(&codec.compress(&data).expect("c")).expect("d");
+            let stage2 = codec.decompress(&codec.compress(&stage1).expect("c")).expect("d");
+            let e2 = pointwise_errors(&stage1, &stage2);
+            analyze(label, ds.label(), &e2, &t2);
+        }
+    }
+
+    // Histogram dump for one representative panel (SZx on CESM).
+    println!("\n# histogram (SZx on CESM-ATM, density per bin center):");
+    let data = Dataset::Cesm.generate(n, 5);
+    let codec = SzxCodec::new(eb);
+    let restored = codec.decompress(&codec.compress(&data).expect("c")).expect("d");
+    let errors = pointwise_errors(&data, &restored);
+    let h = Histogram::build(&errors, -(eb as f64), eb as f64, 21);
+    for (c, d) in h.centers().iter().zip(h.densities()) {
+        println!("{c:+.2e}, {d:.3e}");
+    }
+}

@@ -1,0 +1,37 @@
+//! **Figure 9**: the collective computation framework's effect — the
+//! non-overlapped Wait time of ND vs the pipelined Overlap variant.
+//!
+//! ```bash
+//! cargo run --release -p ccoll-bench --bin fig9_wait
+//! ```
+
+use c_coll::{AllreduceVariant, CodecSpec, ReduceOp};
+use ccoll_bench::calibrate::cost_model_from_env;
+use ccoll_bench::run_allreduce;
+use ccoll_bench::table::Table;
+use ccoll_bench::workload::{paper_sizes_mb, Scale};
+use ccoll_comm::Category;
+use ccoll_data::Dataset;
+
+fn main() {
+    let nodes = 16;
+    let scale = Scale::from_env(64);
+    let cost = cost_model_from_env();
+    println!("# Fig 9 — Wait time: ND vs Overlap on {nodes} nodes; {}", scale.note());
+    println!("# paper shape: Overlap cuts Wait by 73–80%\n");
+    let t = Table::new(&["size MB", "Wait(ND) ms", "Wait(Overlap) ms", "reduction"]);
+    let spec = CodecSpec::Szx { error_bound: 1e-3 };
+    for mb in paper_sizes_mb() {
+        let values = scale.values_for_mb(mb);
+        let nd = run_allreduce(nodes, values, Dataset::Rtm, spec, AllreduceVariant::NovelDesign, ReduceOp::Sum, cost.clone(), scale.net_model(), false);
+        let ov = run_allreduce(nodes, values, Dataset::Rtm, spec, AllreduceVariant::Overlapped, ReduceOp::Sum, cost.clone(), scale.net_model(), false);
+        let w_nd = nd.breakdown.get(Category::Wait).as_secs_f64() * 1e3;
+        let w_ov = ov.breakdown.get(Category::Wait).as_secs_f64() * 1e3;
+        t.row(&[
+            mb.to_string(),
+            format!("{w_nd:.2}"),
+            format!("{w_ov:.2}"),
+            format!("{:.0}%", (1.0 - w_ov / w_nd.max(1e-12)) * 100.0),
+        ]);
+    }
+}

@@ -1,0 +1,37 @@
+//! Quick compressibility probe for the synthetic datasets: SZx ratios at
+//! the paper's three error bounds plus the Table VI fields. Used when
+//! (re)tuning the generators against the paper's Table II/VI regimes.
+//!
+//! ```bash
+//! cargo run --release -p ccoll-bench --bin ratio_check
+//! ```
+
+use ccoll_compress::{Compressor, SzxCodec};
+use ccoll_data::{Dataset, FieldSpec};
+
+fn ratio(d: &[f32], eb: f32) -> f64 {
+    (d.len() * 4) as f64 / SzxCodec::new(eb).compress(d).expect("compress").len() as f64
+}
+
+fn main() {
+    let n: usize = std::env::var("CCOLL_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000_000);
+    println!("SZx compression ratios on {n}-value synthetic fields");
+    for ds in Dataset::ALL {
+        let f = ds.generate(n, 1);
+        println!(
+            "{:10} 1e-2:{:6.1} 1e-3:{:6.1} 1e-4:{:6.1}",
+            ds.label(),
+            ratio(&f, 1e-2),
+            ratio(&f, 1e-3),
+            ratio(&f, 1e-4)
+        );
+    }
+    println!("Table VI fields (paper: PRECIPf 33.8, QGRAUPf 58.3, CLOUDf 39.9, Q 79.1):");
+    for spec in FieldSpec::TABLE6 {
+        let f = spec.generate(n, 11);
+        println!("{:10} 1e-4:{:6.1}", spec.name, ratio(&f, 1e-4));
+    }
+}

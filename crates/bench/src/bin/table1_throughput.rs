@@ -1,0 +1,29 @@
+//! **Table I**: overall compression/decompression throughput (MB/s) of
+//! SZx, ZFP(ABS) and ZFP(FXR) on the three datasets.
+//!
+//! ```bash
+//! cargo run --release -p ccoll-bench --bin table1_throughput
+//! ```
+
+use ccoll_bench::characterize::characterize;
+use ccoll_bench::table::Table;
+
+fn main() {
+    let n: usize = std::env::var("CCOLL_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000_000);
+    println!("# Table I — compression/decompression throughput (MB/s), {} MB fields", n * 4 / 1_000_000);
+    println!("# paper shape: SZx fastest, then ZFP(ABS), then ZFP(FXR)\n");
+    let rows = characterize(n, &[1, 2, 3]);
+    let t = Table::new(&["codec", "param", "dataset", "Com MB/s", "Decom MB/s"]);
+    for r in rows {
+        t.row(&[
+            r.codec.to_string(),
+            r.param.clone(),
+            r.dataset.to_string(),
+            format!("{:.0}", r.com_mbs),
+            format!("{:.0}", r.dec_mbs),
+        ]);
+    }
+}

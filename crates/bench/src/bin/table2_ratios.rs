@@ -1,0 +1,28 @@
+//! **Table II**: compression ratios (original / compressed), min/avg/max
+//! across fields, per codec configuration and dataset.
+//!
+//! ```bash
+//! cargo run --release -p ccoll-bench --bin table2_ratios
+//! ```
+
+use ccoll_bench::characterize::characterize;
+use ccoll_bench::table::Table;
+
+fn main() {
+    let n: usize = std::env::var("CCOLL_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000_000);
+    println!("# Table II — compression ratios (min/avg/max across fields)");
+    println!("# paper shape: RTM >> Hurricane >> CESM-ATM; FXR ratio is exactly 32/rate\n");
+    let rows = characterize(n, &[1, 2, 3, 4]);
+    let t = Table::new(&["codec", "param", "dataset", "ratio min/avg/max"]);
+    for r in rows {
+        t.row(&[
+            r.codec.to_string(),
+            r.param.clone(),
+            r.dataset.to_string(),
+            r.ratio.fmt(1),
+        ]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Cost-model calibration: measure this repository's real Rust kernels
+//! (compression, decompression, reduction, memcpy) and build the
+//! [`CostModel`] the virtual-time simulator charges.
+//!
+//! This is what ties the simulated performance figures to the actual
+//! implementation: the simulator's ComDecom/Reduction/Memcpy charges are
+//! the measured throughputs of the code in this repository, not made-up
+//! constants. (The defaults in `ccoll_comm::CostModel` approximate the
+//! paper's Table I and are used when calibration is skipped for speed —
+//! set `CCOLL_CALIBRATE=1` to calibrate.)
+
+use std::time::Instant;
+
+use ccoll_comm::{CostModel, Kernel};
+use ccoll_compress::{Compressor, SzxCodec, ZfpCodec};
+use ccoll_data::Dataset;
+
+/// Measure a closure's throughput in bytes/second over `bytes` of work.
+fn throughput(bytes: usize, mut f: impl FnMut()) -> f64 {
+    // One warm-up, then measure the best of three (to shed scheduler
+    // noise, mirroring the paper's warm-up/execution protocol).
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    bytes as f64 / best.max(1e-9)
+}
+
+/// Calibrate all kernel throughputs on `n` values of RTM-like data at
+/// the given error bound. Takes a few seconds.
+pub fn calibrate_cost_model(n: usize, eb: f32) -> CostModel {
+    let data = Dataset::Rtm.generate(n, 17);
+    let bytes = n * 4;
+    let mut model = CostModel::default();
+
+    let szx = SzxCodec::new(eb);
+    let szx_stream = szx.compress(&data).expect("szx compress");
+    model.set(Kernel::SzxCompress, throughput(bytes, || {
+        std::hint::black_box(szx.compress(&data).expect("szx compress"));
+    }));
+    model.set(Kernel::SzxDecompress, throughput(bytes, || {
+        std::hint::black_box(szx.decompress(&szx_stream).expect("szx decompress"));
+    }));
+
+    let zabs = ZfpCodec::fixed_accuracy(eb);
+    let zabs_stream = zabs.compress(&data).expect("zfp abs compress");
+    model.set(Kernel::ZfpAbsCompress, throughput(bytes, || {
+        std::hint::black_box(zabs.compress(&data).expect("zfp abs compress"));
+    }));
+    model.set(Kernel::ZfpAbsDecompress, throughput(bytes, || {
+        std::hint::black_box(zabs.decompress(&zabs_stream).expect("zfp abs decompress"));
+    }));
+
+    let zfxr = ZfpCodec::fixed_rate(4);
+    let zfxr_stream = zfxr.compress(&data).expect("zfp fxr compress");
+    model.set(Kernel::ZfpFxrCompress, throughput(bytes, || {
+        std::hint::black_box(zfxr.compress(&data).expect("zfp fxr compress"));
+    }));
+    model.set(Kernel::ZfpFxrDecompress, throughput(bytes, || {
+        std::hint::black_box(zfxr.decompress(&zfxr_stream).expect("zfp fxr decompress"));
+    }));
+
+    let mut acc = vec![0.0f32; n];
+    model.set(Kernel::Reduce, throughput(bytes, || {
+        for (a, &b) in acc.iter_mut().zip(&data) {
+            *a += b;
+        }
+        std::hint::black_box(&acc);
+    }));
+
+    let mut dst = vec![0.0f32; n];
+    model.set(Kernel::Memcpy, throughput(bytes, || {
+        dst.copy_from_slice(&data);
+        std::hint::black_box(&dst);
+    }));
+
+    model
+}
+
+/// Use the measured model when `CCOLL_CALIBRATE=1`, otherwise the
+/// Table-I-shaped defaults (fast startup, same qualitative ordering).
+pub fn cost_model_from_env() -> CostModel {
+    if std::env::var("CCOLL_CALIBRATE").map(|v| v == "1").unwrap_or(false) {
+        eprintln!("# calibrating cost model from real kernels ...");
+        calibrate_cost_model(2_000_000, 1e-3)
+    } else {
+        CostModel::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_produces_sane_ordering() {
+        // Small input to keep the test fast; dev-profile throughputs are
+        // slow but the *ordering* (memcpy fastest, codecs slower) holds.
+        let m = calibrate_cost_model(200_000, 1e-3);
+        for k in Kernel::ALL {
+            assert!(m.throughput(k) > 0.0, "{k:?}");
+        }
+        assert!(
+            m.throughput(Kernel::Memcpy) > m.throughput(Kernel::ZfpFxrCompress),
+            "memcpy must beat the slowest codec"
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Shared compressor characterization used by the Table I–III and
+//! Table VI harnesses: run every codec configuration over every dataset
+//! (several seeds standing in for the datasets' multiple files) and
+//! collect throughput, ratio and PSNR statistics.
+
+use std::time::Instant;
+
+use ccoll_compress::{Compressor, SzxCodec, ZfpCodec};
+use ccoll_data::{metrics, Dataset};
+
+/// min/avg/max of a sample (the paper's Table II/III row format).
+#[derive(Debug, Clone, Copy)]
+pub struct MinAvgMax {
+    /// Minimum.
+    pub min: f64,
+    /// Mean.
+    pub avg: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl MinAvgMax {
+    fn of(xs: &[f64]) -> Self {
+        let n = xs.len().max(1) as f64;
+        MinAvgMax {
+            min: xs.iter().cloned().fold(f64::INFINITY, f64::min),
+            avg: xs.iter().sum::<f64>() / n,
+            max: xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// `"min / avg / max"` with the given precision.
+    pub fn fmt(&self, prec: usize) -> String {
+        format!("{:.prec$} / {:.prec$} / {:.prec$}", self.min, self.avg, self.max)
+    }
+}
+
+/// One codec-configuration × dataset characterization row.
+#[derive(Debug, Clone)]
+pub struct CodecRun {
+    /// Codec family label ("SZx", "ZFP(ABS)", "ZFP(FXR)").
+    pub codec: &'static str,
+    /// Parameter label ("1E-2" or rate "4").
+    pub param: String,
+    /// Dataset label.
+    pub dataset: &'static str,
+    /// Compression throughput, MB/s (averaged over files).
+    pub com_mbs: f64,
+    /// Decompression throughput, MB/s.
+    pub dec_mbs: f64,
+    /// Ratio statistics across files.
+    pub ratio: MinAvgMax,
+    /// PSNR statistics across files.
+    pub psnr: MinAvgMax,
+}
+
+/// The paper's configuration grid: SZx and ZFP(ABS) at 1e-2/1e-3/1e-4,
+/// ZFP(FXR) at rates 4/8/16.
+pub fn config_grid() -> Vec<(&'static str, String, Box<dyn Compressor>)> {
+    let mut out: Vec<(&'static str, String, Box<dyn Compressor>)> = Vec::new();
+    for (label, eb) in [("1E-2", 1e-2f32), ("1E-3", 1e-3), ("1E-4", 1e-4)] {
+        out.push(("SZx", label.to_string(), Box::new(SzxCodec::new(eb))));
+    }
+    for (label, eb) in [("1E-2", 1e-2f32), ("1E-3", 1e-3), ("1E-4", 1e-4)] {
+        out.push(("ZFP(ABS)", label.to_string(), Box::new(ZfpCodec::fixed_accuracy(eb))));
+    }
+    for rate in [4u32, 8, 16] {
+        out.push(("ZFP(FXR)", rate.to_string(), Box::new(ZfpCodec::fixed_rate(rate))));
+    }
+    out
+}
+
+/// Characterize every configuration over every dataset. `n` values per
+/// field, one field per seed.
+pub fn characterize(n: usize, seeds: &[u64]) -> Vec<CodecRun> {
+    let mut rows = Vec::new();
+    for dataset in Dataset::ALL {
+        let fields: Vec<Vec<f32>> = seeds.iter().map(|&s| dataset.generate(n, s)).collect();
+        for (codec_label, param, codec) in config_grid() {
+            let mut ratios = Vec::new();
+            let mut psnrs = Vec::new();
+            let mut com_t = 0.0;
+            let mut dec_t = 0.0;
+            for field in &fields {
+                let t0 = Instant::now();
+                let stream = codec.compress(field).expect("compress");
+                com_t += t0.elapsed().as_secs_f64();
+                let t0 = Instant::now();
+                let restored = codec.decompress(&stream).expect("decompress");
+                dec_t += t0.elapsed().as_secs_f64();
+                ratios.push(field.len() as f64 * 4.0 / stream.len() as f64);
+                psnrs.push(metrics::psnr(field, &restored));
+            }
+            let total_mb = (n * 4 * fields.len()) as f64 / 1e6;
+            rows.push(CodecRun {
+                codec: codec_label,
+                param,
+                dataset: dataset.label(),
+                com_mbs: total_mb / com_t.max(1e-9),
+                dec_mbs: total_mb / dec_t.max(1e-9),
+                ratio: MinAvgMax::of(&ratios),
+                psnr: MinAvgMax::of(&psnrs),
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_avg_max() {
+        let m = MinAvgMax::of(&[1.0, 2.0, 6.0]);
+        assert_eq!(m.min, 1.0);
+        assert_eq!(m.avg, 3.0);
+        assert_eq!(m.max, 6.0);
+        assert_eq!(m.fmt(1), "1.0 / 3.0 / 6.0");
+    }
+
+    #[test]
+    fn grid_has_paper_configs() {
+        let g = config_grid();
+        assert_eq!(g.len(), 9);
+        assert_eq!(g.iter().filter(|(c, _, _)| *c == "SZx").count(), 3);
+        assert_eq!(g.iter().filter(|(c, _, _)| *c == "ZFP(FXR)").count(), 3);
+    }
+
+    #[test]
+    fn characterize_small_run() {
+        let rows = characterize(20_000, &[1, 2]);
+        assert_eq!(rows.len(), 27); // 3 datasets × 9 configs
+        for r in &rows {
+            assert!(r.ratio.avg >= 1.0, "{r:?}");
+            assert!(r.com_mbs > 0.0);
+        }
+        // SZx compresses RTM better than CESM (the paper's Table II order).
+        let rtm = rows
+            .iter()
+            .find(|r| r.dataset == "RTM" && r.codec == "SZx" && r.param == "1E-3")
+            .expect("row present");
+        let cesm = rows
+            .iter()
+            .find(|r| r.dataset == "CESM-ATM" && r.codec == "SZx" && r.param == "1E-3")
+            .expect("row present");
+        assert!(
+            rtm.ratio.avg > cesm.ratio.avg,
+            "RTM should out-compress CESM: {} vs {}",
+            rtm.ratio.avg,
+            cesm.ratio.avg
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! Benchmark-harness support library: workload sizing, cost-model
+//! calibration from the real Rust kernels, experiment runners and table
+//! printing. Every `src/bin/*` harness (one per paper table/figure) is a
+//! thin composition of these pieces.
+
+pub mod calibrate;
+pub mod characterize;
+pub mod runner;
+pub mod table;
+pub mod workload;
+
+pub use calibrate::calibrate_cost_model;
+pub use runner::{run_allreduce, ExperimentResult};
+pub use workload::Scale;

@@ -1,0 +1,119 @@
+//! Experiment runners: configure a virtual cluster, run a collective
+//! variant, return makespan + breakdown.
+
+use std::time::Duration;
+
+use c_coll::{AllreduceVariant, CColl, CodecSpec, ReduceOp};
+use ccoll_comm::{Comm, CostModel, NetModel, SimConfig, SimWorld, TimeBreakdown};
+use ccoll_data::Dataset;
+
+/// One experiment's outcome.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Virtual makespan (what the paper's time axes show).
+    pub makespan: Duration,
+    /// Slowest-path per-category breakdown across ranks.
+    pub breakdown: TimeBreakdown,
+    /// Rank 0's result buffer (for accuracy checks), if captured.
+    pub result: Option<Vec<f32>>,
+}
+
+/// Run one allreduce experiment on a virtual cluster.
+///
+/// `capture_result` controls whether rank 0's output buffer is returned
+/// (accuracy harnesses need it; pure performance sweeps skip the copy).
+#[allow(clippy::too_many_arguments)]
+pub fn run_allreduce(
+    nodes: usize,
+    values_per_rank: usize,
+    dataset: Dataset,
+    spec: CodecSpec,
+    variant: AllreduceVariant,
+    op: ReduceOp,
+    cost: CostModel,
+    net: NetModel,
+    capture_result: bool,
+) -> ExperimentResult {
+    let mut cfg = SimConfig::new(nodes);
+    cfg.cost = cost;
+    cfg.net = net;
+    let world = SimWorld::new(cfg);
+    let out = world.run(move |comm| {
+        let ccoll = CColl::new(spec);
+        let data = dataset.generate(values_per_rank, comm.rank() as u64);
+        let result = ccoll.allreduce_variant(comm, &data, op, variant);
+        if capture_result && comm.rank() == 0 {
+            result
+        } else {
+            Vec::new()
+        }
+    });
+    ExperimentResult {
+        makespan: out.makespan,
+        breakdown: out.max_breakdown(),
+        result: if capture_result {
+            out.results.into_iter().next()
+        } else {
+            None
+        },
+    }
+}
+
+/// Run an arbitrary per-rank closure on a virtual cluster with the given
+/// cost model; returns makespan + breakdown.
+pub fn run_custom<T, F>(
+    nodes: usize,
+    cost: CostModel,
+    net: NetModel,
+    f: F,
+) -> (Duration, TimeBreakdown, Vec<T>)
+where
+    T: Send + 'static,
+    F: Fn(&mut ccoll_comm::sim::SimComm) -> T + Send + Sync + 'static,
+{
+    let mut cfg = SimConfig::new(nodes);
+    cfg.cost = cost;
+    cfg.net = net;
+    let world = SimWorld::new(cfg);
+    let out = world.run(f);
+    (out.makespan, out.max_breakdown(), out.results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_produces_consistent_output() {
+        let r = run_allreduce(
+            4,
+            10_000,
+            Dataset::Rtm,
+            CodecSpec::Szx { error_bound: 1e-3 },
+            AllreduceVariant::Overlapped,
+            ReduceOp::Sum,
+            CostModel::default(),
+            NetModel::default(),
+            true,
+        );
+        assert!(r.makespan > Duration::ZERO);
+        assert_eq!(r.result.as_ref().map(|v| v.len()), Some(10_000));
+        assert!(r.breakdown.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn capture_flag_respected() {
+        let r = run_allreduce(
+            2,
+            1000,
+            Dataset::Cesm,
+            CodecSpec::None,
+            AllreduceVariant::Original,
+            ReduceOp::Sum,
+            CostModel::default(),
+            NetModel::default(),
+            false,
+        );
+        assert!(r.result.is_none());
+    }
+}

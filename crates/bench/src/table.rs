@@ -1,0 +1,86 @@
+//! Minimal fixed-width / CSV table printing for harness output.
+
+/// A simple table printer: fixed-width columns to stdout, with an
+/// optional CSV echo (set `CCOLL_CSV=1`) for plotting pipelines.
+pub struct Table {
+    headers: Vec<String>,
+    widths: Vec<usize>,
+    csv: bool,
+}
+
+impl Table {
+    /// Create a table and print its header row.
+    pub fn new(headers: &[&str]) -> Self {
+        let widths: Vec<usize> = headers.iter().map(|h| h.len().max(10)).collect();
+        let csv = std::env::var("CCOLL_CSV").map(|v| v == "1").unwrap_or(false);
+        let t = Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            widths,
+            csv,
+        };
+        t.print_header();
+        t
+    }
+
+    fn print_header(&self) {
+        if self.csv {
+            println!("{}", self.headers.join(","));
+            return;
+        }
+        let row: Vec<String> = self
+            .headers
+            .iter()
+            .zip(&self.widths)
+            .map(|(h, w)| format!("{h:>w$}"))
+            .collect();
+        println!("{}", row.join("  "));
+        println!("{}", "-".repeat(row.join("  ").len()));
+    }
+
+    /// Print one row (stringified cells).
+    pub fn row(&self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "cell count mismatch");
+        if self.csv {
+            println!("{}", cells.join(","));
+            return;
+        }
+        let row: Vec<String> = cells
+            .iter()
+            .zip(&self.widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        println!("{}", row.join("  "));
+    }
+}
+
+/// Format a `Duration` in milliseconds with 3 decimals.
+pub fn ms(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+/// Format a ratio like `1.83x`.
+pub fn speedup(base: std::time::Duration, new: std::time::Duration) -> String {
+    format!("{:.2}x", base.as_secs_f64() / new.as_secs_f64().max(1e-12))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ms(Duration::from_micros(1500)), "1.500");
+        assert_eq!(
+            speedup(Duration::from_millis(20), Duration::from_millis(10)),
+            "2.00x"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count mismatch")]
+    fn row_width_checked() {
+        let t = Table::new(&["a", "b"]);
+        t.row(&["only one".to_string()]);
+    }
+}

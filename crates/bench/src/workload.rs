@@ -1,0 +1,102 @@
+//! Workload sizing: maps the paper's message sizes (28–678 MB) onto
+//! laptop-feasible buffers via a scale divisor, keeping the labels the
+//! paper uses so output rows are directly comparable.
+
+/// The paper's data-size sweep: 28 MB to 678 MB in 50 MB steps (§IV-B).
+/// Override with `CCOLL_SIZES=28,228,678` to run a subset (useful for
+/// quick regeneration of the heavyweight 128-node figures).
+pub fn paper_sizes_mb() -> Vec<usize> {
+    if let Ok(env) = std::env::var("CCOLL_SIZES") {
+        let sizes: Vec<usize> = env
+            .split(',')
+            .filter_map(|t| t.trim().parse().ok())
+            .collect();
+        if !sizes.is_empty() {
+            return sizes;
+        }
+    }
+    (0..14).map(|i| 28 + 50 * i).collect()
+}
+
+/// The coarser four-point sweep of Fig. 7: 78–678 MB with a 200 MB step.
+pub fn fig7_sizes_mb() -> Vec<usize> {
+    vec![78, 278, 478, 678]
+}
+
+/// The node-count sweep of Fig. 12: powers of two from 2 to 128.
+pub fn node_sweep() -> Vec<usize> {
+    vec![2, 4, 8, 16, 32, 64, 128]
+}
+
+/// A scale divisor applied to the paper's message sizes so experiments
+/// fit in RAM and minutes. Scaling a message size by `k` only preserves
+/// the α/β balance of the original experiment if the per-message latency
+/// α is scaled by `k` as well — otherwise fixed latencies dominate the
+/// shrunken transfers and distort every ratio. [`Scale::net_model`]
+/// applies exactly that correction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale(pub usize);
+
+impl Scale {
+    /// Read `CCOLL_SCALE` from the environment, defaulting to `default`.
+    pub fn from_env(default: usize) -> Self {
+        let s = std::env::var("CCOLL_SCALE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default);
+        Scale(s.max(1))
+    }
+
+    /// Number of f32 values representing a paper-labelled `mb` megabyte
+    /// message under this scale.
+    pub fn values_for_mb(&self, mb: usize) -> usize {
+        (mb * 1_000_000 / 4 / self.0).max(1)
+    }
+
+    /// The network model with latency scaled down by the same factor as
+    /// the message sizes, preserving the paper-scale α/β balance.
+    pub fn net_model(&self) -> ccoll_comm::NetModel {
+        let mut net = ccoll_comm::NetModel::default();
+        net.latency = std::time::Duration::from_nanos(
+            (net.latency.as_nanos() as u64 / self.0 as u64).max(1),
+        );
+        net
+    }
+
+    /// Human-readable note for harness output headers.
+    pub fn note(&self) -> String {
+        if self.0 == 1 {
+            "full paper sizes".to_string()
+        } else {
+            format!("paper sizes scaled down by {}x (set CCOLL_SCALE=1 for full size)", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sweep_endpoints() {
+        let s = paper_sizes_mb();
+        assert_eq!(s.first(), Some(&28));
+        assert_eq!(s.last(), Some(&678));
+        assert_eq!(s.len(), 14);
+        assert!(s.windows(2).all(|w| w[1] - w[0] == 50));
+    }
+
+    #[test]
+    fn scale_arithmetic() {
+        let s = Scale(64);
+        assert_eq!(s.values_for_mb(256), 1_000_000);
+        assert_eq!(Scale(1).values_for_mb(4), 1_000_000);
+        assert!(Scale(usize::MAX).values_for_mb(28) >= 1);
+    }
+
+    #[test]
+    fn fig7_and_nodes() {
+        assert_eq!(fig7_sizes_mb(), vec![78, 278, 478, 678]);
+        assert_eq!(node_sweep().last(), Some(&128));
+    }
+}

@@ -1,0 +1,112 @@
+//! Virtual time: a nanosecond-resolution instant shared by both backends.
+//!
+//! The threaded backend reports real elapsed nanoseconds since world
+//! creation; the simulator reports its virtual clock. Collectives and
+//! profilers only ever do arithmetic on [`SimTime`] differences, so they
+//! are agnostic to which clock is underneath.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// A point in (virtual or real) time, in nanoseconds from the world epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The world epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Build from nanoseconds.
+    pub fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Build from a float second count (clamped at zero).
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimTime((s.max(0.0) * 1e9).round() as u64)
+    }
+
+    /// Nanoseconds since epoch.
+    pub fn as_nanos(&self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since epoch as `f64`.
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+
+    /// Saturating difference as a [`Duration`].
+    pub fn since(&self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.as_nanos() as u64))
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    fn sub(self, rhs: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.as_secs_f64();
+        if s >= 1.0 {
+            write!(f, "{s:.3}s")
+        } else if s >= 1e-3 {
+            write!(f, "{:.3}ms", s * 1e3)
+        } else {
+            write!(f, "{:.3}µs", s * 1e6)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_nanos(1_000);
+        let u = t + Duration::from_nanos(500);
+        assert_eq!(u.as_nanos(), 1_500);
+        assert_eq!(u - t, Duration::from_nanos(500));
+        assert_eq!(t - u, Duration::ZERO, "saturating");
+    }
+
+    #[test]
+    fn conversions() {
+        let t = SimTime::from_secs_f64(1.5);
+        assert_eq!(t.as_nanos(), 1_500_000_000);
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-12);
+        assert_eq!(SimTime::from_secs_f64(-3.0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_nanos(1) < SimTime::from_nanos(2));
+        assert_eq!(SimTime::ZERO, SimTime::default());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::from_secs_f64(2.5).to_string(), "2.500s");
+        assert_eq!(SimTime::from_nanos(1_500_000).to_string(), "1.500ms");
+        assert_eq!(SimTime::from_nanos(1_500).to_string(), "1.500µs");
+    }
+}

@@ -1,0 +1,111 @@
+//! Failure-injection tests for the simulator: deadlocks, mismatched
+//! tags, panicking ranks — the kernel must detect or contain each.
+
+use bytes::Bytes;
+use ccoll_comm::{Category, Comm, SimConfig, SimWorld};
+use std::time::Duration;
+
+#[test]
+#[should_panic(expected = "simulated deadlock")]
+fn mutual_recv_deadlock_detected() {
+    SimWorld::with_ranks(2).run(|c| {
+        let peer = 1 - c.rank();
+        let _ = c.recv(peer, 1);
+    });
+}
+
+#[test]
+#[should_panic(expected = "simulated deadlock")]
+fn tag_mismatch_deadlocks_cleanly() {
+    // Sender uses tag 1, receiver waits on tag 2: a classic collective
+    // bug. The kernel must report it rather than hang.
+    SimWorld::with_ranks(2).run(|c| {
+        if c.rank() == 0 {
+            c.isend(1, 1, Bytes::from_static(b"lost"));
+            let _ = c.recv(1, 5); // never satisfied
+        } else {
+            let _ = c.recv(0, 2); // wrong tag
+        }
+    });
+}
+
+#[test]
+#[should_panic(expected = "simulated deadlock")]
+fn partial_barrier_deadlocks() {
+    // One rank skips the barrier.
+    SimWorld::with_ranks(3).run(|c| {
+        if c.rank() != 2 {
+            c.barrier();
+        } else {
+            let _ = c.recv(0, 99);
+        }
+    });
+}
+
+#[test]
+#[should_panic(expected = "boom")]
+fn rank_panic_propagates_without_hanging() {
+    SimWorld::with_ranks(4).run(|c| {
+        c.charge_duration(Duration::from_micros(c.rank() as u64), Category::Others);
+        if c.rank() == 2 {
+            panic!("boom");
+        }
+        // Other ranks do finite work and exit; the panic must surface.
+    });
+}
+
+#[test]
+fn unmatched_isend_is_not_an_error() {
+    // A message nobody receives: the world still completes (eager send).
+    let out = SimWorld::with_ranks(2).run(|c| {
+        if c.rank() == 0 {
+            c.isend(1, 42, Bytes::from_static(b"orphan"));
+        }
+        c.rank()
+    });
+    assert_eq!(out.results, vec![0, 1]);
+}
+
+#[test]
+fn zero_byte_messages_flow() {
+    let out = SimWorld::with_ranks(2).run(|c| {
+        if c.rank() == 0 {
+            c.send(1, 1, Bytes::new());
+            0
+        } else {
+            c.recv(0, 1).len()
+        }
+    });
+    assert_eq!(out.results[1], 0);
+}
+
+#[test]
+fn single_rank_world_trivially_works() {
+    let out = SimWorld::with_ranks(1).run(|c| {
+        c.barrier();
+        c.charge_duration(Duration::from_millis(1), Category::Others);
+        c.barrier();
+        c.now().as_nanos()
+    });
+    assert_eq!(out.results[0], 1_000_000);
+}
+
+#[test]
+fn stress_many_ranks_many_barriers() {
+    // 128 ranks × 20 barriers: exercises the handoff protocol at the
+    // paper's full node count.
+    let n = 128;
+    let out = SimWorld::with_ranks(n).run(move |c| {
+        for i in 0..20 {
+            c.charge_duration(
+                Duration::from_nanos(((c.rank() * 7 + i * 13) % 100) as u64),
+                Category::Others,
+            );
+            c.barrier();
+        }
+        c.now()
+    });
+    // All ranks observe the same final (synchronized) virtual time.
+    let t0 = out.results[0];
+    assert!(out.results.iter().all(|&t| t == t0));
+}

@@ -1,0 +1,161 @@
+//! Property tests for the communication substrate: matching semantics,
+//! virtual-time invariants and cross-backend agreement.
+
+use bytes::Bytes;
+use ccoll_comm::{Category, Comm, NetModel, SimConfig, SimWorld, ThreadWorld};
+use proptest::prelude::*;
+use std::time::Duration;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sim_ring_delivers_everything(
+        n in 2usize..10,
+        msgs in 1usize..20,
+        len in 0usize..2000,
+    ) {
+        let world = SimWorld::new(SimConfig::new(n));
+        let out = world.run(move |c| {
+            let right = (c.rank() + 1) % n;
+            let left = (c.rank() + n - 1) % n;
+            let reqs: Vec<_> = (0..msgs).map(|_| c.irecv(left, 7)).collect();
+            for i in 0..msgs {
+                let mut payload = vec![c.rank() as u8; len];
+                if len > 0 {
+                    payload[0] = i as u8;
+                }
+                c.isend(right, 7, Bytes::from(payload));
+            }
+            let mut got = Vec::new();
+            for r in reqs {
+                got.push(c.wait_recv(r));
+            }
+            got
+        });
+        for r in 0..n {
+            let left = (r + n - 1) % n;
+            for (i, msg) in out.results[r].iter().enumerate() {
+                prop_assert_eq!(msg.len(), len);
+                if len > 0 {
+                    prop_assert_eq!(msg[0], i as u8, "FIFO order broken");
+                    if len > 1 {
+                        prop_assert_eq!(msg[1], left as u8);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn virtual_time_transfer_formula(
+        bytes in 1usize..5_000_000,
+        bw_mbps in 100u64..10_000,
+        lat_us in 0u64..50,
+    ) {
+        let mut cfg = SimConfig::new(2);
+        cfg.net = NetModel {
+            latency: Duration::from_micros(lat_us),
+            bandwidth: bw_mbps as f64 * 1e6,
+        };
+        let world = SimWorld::new(cfg);
+        let out = world.run(move |c| {
+            if c.rank() == 0 {
+                c.send(1, 1, Bytes::from(vec![0u8; bytes]));
+                0u64
+            } else {
+                let t0 = c.now();
+                let _ = c.recv(0, 1);
+                (c.now() - t0).as_nanos() as u64
+            }
+        });
+        let expect = Duration::from_micros(lat_us)
+            + Duration::from_secs_f64(bytes as f64 / (bw_mbps as f64 * 1e6));
+        let got = Duration::from_nanos(out.results[1]);
+        let diff = got.abs_diff(expect);
+        prop_assert!(
+            diff <= Duration::from_nanos(2),
+            "transfer time {:?} vs α+nβ {:?}", got, expect
+        );
+    }
+
+    #[test]
+    fn makespan_deterministic_across_runs(
+        n in 2usize..8,
+        work_us in prop::collection::vec(0u64..500, 2..8),
+    ) {
+        let run = || {
+            let w = work_us.clone();
+            SimWorld::new(SimConfig::new(n))
+                .run(move |c| {
+                    for (i, &us) in w.iter().enumerate() {
+                        c.charge_duration(
+                            Duration::from_micros(us * ((c.rank() + i) % 3 + 1) as u64),
+                            Category::Others,
+                        );
+                        c.barrier();
+                    }
+                })
+                .makespan
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn threaded_backend_tag_isolation(
+        n_tags in 1usize..8,
+        per_tag in 1usize..6,
+    ) {
+        let world = ThreadWorld::new(2);
+        let out = world.run(move |c| {
+            if c.rank() == 0 {
+                // Interleave sends across tags.
+                for i in 0..per_tag {
+                    for t in 0..n_tags {
+                        c.isend(1, t as u32, Bytes::from(vec![t as u8, i as u8]));
+                    }
+                }
+                Vec::new()
+            } else {
+                // Receive tag-by-tag; each tag must be internally FIFO.
+                let mut got = Vec::new();
+                for t in 0..n_tags {
+                    for i in 0..per_tag {
+                        let m = c.recv(0, t as u32);
+                        got.push((m[0], m[1], t as u8, i as u8));
+                    }
+                }
+                got
+            }
+        });
+        for &(tag_got, seq_got, tag_want, seq_want) in &out.results[1] {
+            prop_assert_eq!(tag_got, tag_want);
+            prop_assert_eq!(seq_got, seq_want);
+        }
+    }
+
+    #[test]
+    fn traffic_counters_exact(
+        n in 2usize..6,
+        sizes in prop::collection::vec(0usize..10_000, 1..10),
+    ) {
+        let world = SimWorld::new(SimConfig::new(n));
+        let szs = sizes.clone();
+        let out = world.run(move |c| {
+            let right = (c.rank() + 1) % n;
+            let left = (c.rank() + n - 1) % n;
+            let reqs: Vec<_> = (0..szs.len()).map(|_| c.irecv(left, 3)).collect();
+            for &s in &szs {
+                c.isend(right, 3, Bytes::from(vec![0u8; s]));
+            }
+            for r in reqs {
+                let _ = c.wait_recv(r);
+            }
+        });
+        let expect_bytes: u64 = sizes.iter().map(|&s| s as u64).sum();
+        for t in &out.traffics {
+            prop_assert_eq!(t.messages_sent, sizes.len() as u64);
+            prop_assert_eq!(t.bytes_sent, expect_bytes);
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! LSB-first bit-level writer/reader used by the codec back-ends.
+//!
+//! Both [`szx`](crate::szx) (packing block-floating-point quantization
+//! codes) and [`zfp`](crate::zfp) (embedded bit-plane coding) need dense,
+//! byte-unaligned bit I/O. The streams here are LSB-first within each byte,
+//! matching the convention of the ZFP reference implementation, so a value
+//! written with `write_bits(v, n)` stores bit 0 of `v` first.
+
+/// An append-only bit writer backed by a `Vec<u8>`.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Bits already used in the final byte of `buf` (0..=7). When zero the
+    /// next write starts a fresh byte.
+    used: u32,
+}
+
+impl BitWriter {
+    /// Create an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an empty writer with capacity for `bytes` bytes.
+    pub fn with_capacity(bytes: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(bytes),
+            used: 0,
+        }
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.used == 0 {
+            self.buf.len() * 8
+        } else {
+            (self.buf.len() - 1) * 8 + self.used as usize
+        }
+    }
+
+    /// Append a single bit (the low bit of `bit`).
+    #[inline]
+    pub fn write_bit(&mut self, bit: u32) {
+        let bit = (bit & 1) as u8;
+        if self.used == 0 {
+            self.buf.push(bit);
+            self.used = 1;
+        } else {
+            let last = self.buf.last_mut().expect("used != 0 implies non-empty");
+            *last |= bit << self.used;
+            self.used = (self.used + 1) & 7;
+        }
+    }
+
+    /// Append the low `n` bits of `value`, LSB first. `n` must be ≤ 64.
+    #[inline]
+    pub fn write_bits(&mut self, value: u64, n: u32) {
+        debug_assert!(n <= 64, "cannot write more than 64 bits at once");
+        let mut v = value;
+        let mut remaining = n;
+        // Fill the partial byte first.
+        while remaining > 0 && self.used != 0 {
+            self.write_bit(v as u32);
+            v >>= 1;
+            remaining -= 1;
+        }
+        // Now byte-aligned: emit whole bytes.
+        while remaining >= 8 {
+            self.buf.push(v as u8);
+            v >>= 8;
+            remaining -= 8;
+        }
+        for _ in 0..remaining {
+            self.write_bit(v as u32);
+            v >>= 1;
+        }
+    }
+
+    /// Pad with zero bits to the next byte boundary.
+    pub fn align(&mut self) {
+        self.used = 0;
+    }
+
+    /// Append raw bytes. The stream is aligned to a byte boundary first.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.align();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Consume the writer and return the backing buffer (zero-padded to a
+    /// whole number of bytes).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current length in bytes (including the partially filled final byte).
+    pub fn byte_len(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// A bit reader over a borrowed byte slice, symmetric with [`BitWriter`].
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    /// Absolute bit cursor.
+    pos: usize,
+}
+
+/// Error returned when a [`BitReader`] runs past the end of its buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitstreamExhausted;
+
+impl std::fmt::Display for BitstreamExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bitstream exhausted: attempted to read past the end")
+    }
+}
+
+impl std::error::Error for BitstreamExhausted {}
+
+impl<'a> BitReader<'a> {
+    /// Create a reader over `buf` starting at bit 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bits remaining in the stream.
+    pub fn remaining_bits(&self) -> usize {
+        self.buf.len() * 8 - self.pos
+    }
+
+    /// Read a single bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<u32, BitstreamExhausted> {
+        let byte = self.pos / 8;
+        if byte >= self.buf.len() {
+            return Err(BitstreamExhausted);
+        }
+        let bit = (self.buf[byte] >> (self.pos & 7)) & 1;
+        self.pos += 1;
+        Ok(bit as u32)
+    }
+
+    /// Read `n` bits (LSB first) into the low bits of the result. `n ≤ 64`.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> Result<u64, BitstreamExhausted> {
+        debug_assert!(n <= 64);
+        if self.remaining_bits() < n as usize {
+            return Err(BitstreamExhausted);
+        }
+        let mut out: u64 = 0;
+        let mut got = 0u32;
+        // Unaligned prefix.
+        while got < n && self.pos % 8 != 0 {
+            out |= (self.read_bit()? as u64) << got;
+            got += 1;
+        }
+        // Whole bytes.
+        while n - got >= 8 {
+            let byte = self.buf[self.pos / 8] as u64;
+            out |= byte << got;
+            self.pos += 8;
+            got += 8;
+        }
+        while got < n {
+            out |= (self.read_bit()? as u64) << got;
+            got += 1;
+        }
+        Ok(out)
+    }
+
+    /// Skip forward to the next byte boundary.
+    pub fn align(&mut self) {
+        self.pos = (self.pos + 7) & !7;
+    }
+
+    /// Read `n` raw bytes after aligning to a byte boundary.
+    pub fn read_bytes(&mut self, n: usize) -> Result<&'a [u8], BitstreamExhausted> {
+        self.align();
+        let start = self.pos / 8;
+        let end = start.checked_add(n).ok_or(BitstreamExhausted)?;
+        if end > self.buf.len() {
+            return Err(BitstreamExhausted);
+        }
+        self.pos = end * 8;
+        Ok(&self.buf[start..end])
+    }
+
+    /// Current absolute bit position.
+    pub fn bit_pos(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_round_trip() {
+        let mut w = BitWriter::new();
+        let pattern = [1u32, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1];
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        assert_eq!(w.bit_len(), pattern.len());
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn multi_bit_round_trip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1011, 4);
+        w.write_bits(0xDEAD_BEEF, 32);
+        w.write_bits(0x1_FFFF_FFFF, 33);
+        w.write_bits(u64::MAX, 64);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(4).unwrap(), 0b1011);
+        assert_eq!(r.read_bits(32).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.read_bits(33).unwrap(), 0x1_FFFF_FFFF);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn zero_width_reads_and_writes() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xFF, 0);
+        assert_eq!(w.bit_len(), 0);
+        w.write_bits(0b1, 1);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(0).unwrap(), 0);
+        assert_eq!(r.read_bit().unwrap(), 1);
+    }
+
+    #[test]
+    fn alignment_and_raw_bytes() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bytes(&[0xAB, 0xCD]);
+        w.write_bit(1);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bytes(2).unwrap(), &[0xAB, 0xCD]);
+        assert_eq!(r.read_bit().unwrap(), 1);
+    }
+
+    #[test]
+    fn exhaustion_is_detected() {
+        let mut w = BitWriter::new();
+        w.write_bits(0x3, 2);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        // One byte was emitted, so 8 bits are readable, not 9.
+        assert!(r.read_bits(8).is_ok());
+        assert_eq!(r.read_bit(), Err(BitstreamExhausted));
+    }
+
+    #[test]
+    fn interleaved_widths() {
+        let mut w = BitWriter::new();
+        let widths = [1u32, 7, 13, 3, 31, 24, 5, 64, 17];
+        let values: Vec<u64> = widths
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+                (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)) & mask
+            })
+            .collect();
+        for (&n, &v) in widths.iter().zip(&values) {
+            w.write_bits(v, n);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for (&n, &v) in widths.iter().zip(&values) {
+            assert_eq!(r.read_bits(n).unwrap(), v, "width {n}");
+        }
+    }
+}

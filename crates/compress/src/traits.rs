@@ -1,0 +1,221 @@
+//! Common compressor abstractions: the [`Compressor`] trait, codec
+//! identifiers, error types and round-trip quality statistics.
+
+use std::fmt;
+
+/// Identifies a codec configuration. Used by the collective layer to pick a
+/// cost-model entry and by benchmark harnesses to label output rows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CodecKind {
+    /// SZx-style error-bounded codec with the given absolute error bound.
+    Szx { error_bound: f32 },
+    /// Pipelined SZx with the given absolute error bound and chunk size in
+    /// values (the paper uses 5120).
+    PipeSzx { error_bound: f32, chunk: usize },
+    /// ZFP-style codec in fixed-accuracy mode.
+    ZfpAbs { error_bound: f32 },
+    /// ZFP-style codec in fixed-rate mode, `rate` bits per value.
+    ZfpFxr { rate: u32 },
+    /// No compression: payloads are raw little-endian f32 bytes.
+    None,
+}
+
+impl CodecKind {
+    /// Human-readable label matching the paper's terminology.
+    pub fn label(&self) -> String {
+        match self {
+            CodecKind::Szx { error_bound } => format!("SZx(ABS={error_bound:.0e})"),
+            CodecKind::PipeSzx { error_bound, .. } => format!("PIPE-SZx(ABS={error_bound:.0e})"),
+            CodecKind::ZfpAbs { error_bound } => format!("ZFP(ABS={error_bound:.0e})"),
+            CodecKind::ZfpFxr { rate } => format!("ZFP(FXR={rate})"),
+            CodecKind::None => "raw".to_string(),
+        }
+    }
+
+    /// True for modes that guarantee a pointwise absolute error bound.
+    pub fn is_error_bounded(&self) -> bool {
+        !matches!(self, CodecKind::ZfpFxr { .. } | CodecKind::None)
+    }
+
+    /// The absolute error bound, if this mode has one.
+    pub fn error_bound(&self) -> Option<f32> {
+        match self {
+            CodecKind::Szx { error_bound }
+            | CodecKind::PipeSzx { error_bound, .. }
+            | CodecKind::ZfpAbs { error_bound } => Some(*error_bound),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for CodecKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Errors surfaced by compression and decompression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompressError {
+    /// The compressed stream ended before decoding finished (corruption or
+    /// truncation in transit).
+    Truncated,
+    /// The stream's magic number or version did not match the codec.
+    BadMagic,
+    /// A header field was internally inconsistent (e.g. a chunk-size index
+    /// whose sum disagrees with the payload length).
+    CorruptHeader,
+    /// The requested configuration is unusable (e.g. a non-positive or
+    /// non-finite error bound).
+    BadConfig,
+}
+
+impl fmt::Display for CompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompressError::Truncated => write!(f, "compressed stream is truncated"),
+            CompressError::BadMagic => write!(f, "compressed stream has a bad magic number"),
+            CompressError::CorruptHeader => write!(f, "compressed stream header is corrupt"),
+            CompressError::BadConfig => write!(f, "invalid codec configuration"),
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+/// Object-safe compressor interface over `f32` slices.
+///
+/// Implementations must be deterministic: compressing the same input twice
+/// yields identical bytes. The collective data-movement framework relies on
+/// this to exchange compressed sizes once and reuse them for the whole
+/// schedule.
+pub trait Compressor: Send + Sync {
+    /// Compress `data` into a fresh buffer.
+    fn compress(&self, data: &[f32]) -> Result<Vec<u8>, CompressError>;
+
+    /// Decompress a buffer produced by [`Compressor::compress`].
+    fn decompress(&self, stream: &[u8]) -> Result<Vec<f32>, CompressError>;
+
+    /// The codec configuration identifier.
+    fn kind(&self) -> CodecKind;
+}
+
+/// Quality and size statistics for one compression round trip. Produces the
+/// numbers reported in the paper's Tables I–III and VI.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundTripStats {
+    /// Original size in bytes.
+    pub original_bytes: usize,
+    /// Compressed size in bytes.
+    pub compressed_bytes: usize,
+    /// original / compressed.
+    pub ratio: f64,
+    /// Maximum pointwise absolute error.
+    pub max_abs_error: f64,
+    /// Peak signal-to-noise ratio in dB (range-based, as used for
+    /// scientific data: `20·log10(range) − 10·log10(mse)`).
+    pub psnr: f64,
+    /// Root-mean-square error normalized by the value range.
+    pub nrmse: f64,
+}
+
+impl RoundTripStats {
+    /// Compute statistics from an original/reconstructed pair.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    pub fn measure(original: &[f32], reconstructed: &[f32], compressed_bytes: usize) -> Self {
+        assert_eq!(
+            original.len(),
+            reconstructed.len(),
+            "round-trip length mismatch"
+        );
+        let n = original.len().max(1) as f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut max_err = 0.0f64;
+        let mut sq_sum = 0.0f64;
+        for (&a, &b) in original.iter().zip(reconstructed) {
+            let a = a as f64;
+            let b = b as f64;
+            min = min.min(a);
+            max = max.max(a);
+            let e = (a - b).abs();
+            max_err = max_err.max(e);
+            sq_sum += e * e;
+        }
+        let range = if original.is_empty() || max <= min {
+            0.0
+        } else {
+            max - min
+        };
+        let mse = sq_sum / n;
+        let rmse = mse.sqrt();
+        let (psnr, nrmse) = if range > 0.0 && mse > 0.0 {
+            (
+                20.0 * range.log10() - 10.0 * mse.log10(),
+                rmse / range,
+            )
+        } else if mse == 0.0 {
+            (f64::INFINITY, 0.0)
+        } else {
+            (0.0, f64::INFINITY)
+        };
+        let original_bytes = original.len() * 4;
+        RoundTripStats {
+            original_bytes,
+            compressed_bytes,
+            ratio: if compressed_bytes > 0 {
+                original_bytes as f64 / compressed_bytes as f64
+            } else {
+                f64::INFINITY
+            },
+            max_abs_error: max_err,
+            psnr,
+            nrmse,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(CodecKind::Szx { error_bound: 1e-3 }.label(), "SZx(ABS=1e-3)");
+        assert_eq!(CodecKind::ZfpFxr { rate: 4 }.label(), "ZFP(FXR=4)");
+        assert!(CodecKind::Szx { error_bound: 1e-3 }.is_error_bounded());
+        assert!(!CodecKind::ZfpFxr { rate: 4 }.is_error_bounded());
+        assert_eq!(CodecKind::None.error_bound(), None);
+    }
+
+    #[test]
+    fn stats_perfect_reconstruction() {
+        let d = vec![1.0f32, 2.0, 3.0];
+        let s = RoundTripStats::measure(&d, &d, 6);
+        assert_eq!(s.max_abs_error, 0.0);
+        assert!(s.psnr.is_infinite());
+        assert_eq!(s.nrmse, 0.0);
+        assert_eq!(s.ratio, 2.0);
+    }
+
+    #[test]
+    fn stats_known_error() {
+        let a = vec![0.0f32, 1.0];
+        let b = vec![0.1f32, 1.0];
+        let s = RoundTripStats::measure(&a, &b, 8);
+        assert!((s.max_abs_error - 0.1).abs() < 1e-6);
+        // mse = 0.01/2 = 0.005, range = 1 → psnr = -10*log10(0.005) ≈ 23.01
+        assert!((s.psnr - 23.0103).abs() < 1e-3);
+        assert!((s.nrmse - (0.005f64).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stats_constant_signal_zero_range() {
+        let a = vec![5.0f32; 4];
+        let b = vec![5.0f32; 4];
+        let s = RoundTripStats::measure(&a, &b, 4);
+        assert!(s.psnr.is_infinite());
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests for the codec invariants.
+//!
+//! The central contracts:
+//! * error-bounded modes reconstruct every finite value within the bound;
+//! * non-finite values survive SZx exactly;
+//! * fixed-rate mode spends exactly `rate` bits per value;
+//! * compression is deterministic;
+//! * the bitstream layer is an exact round trip for arbitrary
+//!   (width, value) sequences.
+
+use ccoll_compress::bitstream::{BitReader, BitWriter};
+use ccoll_compress::lossless::LosslessCodec;
+use ccoll_compress::{Compressor, PipeSzx, SzxCodec, ZfpCodec};
+use proptest::prelude::*;
+
+/// Arbitrary finite f32 values spanning many magnitudes.
+fn finite_f32() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        -1e6f32..1e6f32,
+        -1.0f32..1.0f32,
+        -1e-6f32..1e-6f32,
+        Just(0.0f32),
+        Just(-0.0f32),
+        -1e30f32..1e30f32,
+    ]
+}
+
+/// Any f32 bit pattern, including NaN/inf/subnormals.
+fn any_f32() -> impl Strategy<Value = f32> {
+    any::<u32>().prop_map(f32::from_bits)
+}
+
+fn error_bound() -> impl Strategy<Value = f32> {
+    prop_oneof![Just(1e-1f32), Just(1e-2), Just(1e-3), Just(1e-4), Just(1e-6)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn szx_error_bounded(data in prop::collection::vec(finite_f32(), 0..2000), eb in error_bound()) {
+        let codec = SzxCodec::new(eb);
+        let stream = codec.compress(&data).expect("compress");
+        let restored = codec.decompress(&stream).expect("decompress");
+        prop_assert_eq!(restored.len(), data.len());
+        for (a, b) in data.iter().zip(&restored) {
+            prop_assert!((*a as f64 - *b as f64).abs() <= eb as f64,
+                "|{} - {}| > {}", a, b, eb);
+        }
+    }
+
+    #[test]
+    fn szx_handles_any_bit_pattern(data in prop::collection::vec(any_f32(), 0..500)) {
+        let codec = SzxCodec::new(1e-3);
+        let stream = codec.compress(&data).expect("compress");
+        let restored = codec.decompress(&stream).expect("decompress");
+        prop_assert_eq!(restored.len(), data.len());
+        for (a, b) in data.iter().zip(&restored) {
+            if a.is_finite() {
+                prop_assert!((*a as f64 - *b as f64).abs() <= 1e-3);
+            } else {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "non-finite must be exact");
+            }
+        }
+    }
+
+    #[test]
+    fn szx_deterministic(data in prop::collection::vec(finite_f32(), 0..1000)) {
+        let codec = SzxCodec::new(1e-3);
+        prop_assert_eq!(codec.compress(&data).expect("a"), codec.compress(&data).expect("b"));
+    }
+
+    #[test]
+    fn pipe_szx_error_bounded(
+        data in prop::collection::vec(finite_f32(), 0..3000),
+        eb in error_bound(),
+        chunk in prop_oneof![Just(64usize), Just(777), Just(5120)],
+    ) {
+        let codec = PipeSzx::with_chunk(eb, chunk);
+        let stream = codec.compress(&data).expect("compress");
+        let restored = codec.decompress(&stream).expect("decompress");
+        prop_assert_eq!(restored.len(), data.len());
+        for (a, b) in data.iter().zip(&restored) {
+            prop_assert!((*a as f64 - *b as f64).abs() <= eb as f64);
+        }
+    }
+
+    #[test]
+    fn zfp_abs_error_bounded(data in prop::collection::vec(finite_f32(), 0..1200), eb in error_bound()) {
+        let codec = ZfpCodec::fixed_accuracy(eb);
+        let stream = codec.compress(&data).expect("compress");
+        let restored = codec.decompress(&stream).expect("decompress");
+        prop_assert_eq!(restored.len(), data.len());
+        for (a, b) in data.iter().zip(&restored) {
+            prop_assert!((*a as f64 - *b as f64).abs() <= eb as f64,
+                "|{} - {}| > {}", a, b, eb);
+        }
+    }
+
+    #[test]
+    fn zfp_fxr_exact_rate(
+        data in prop::collection::vec(finite_f32(), 0..1024),
+        rate in 1u32..=32,
+    ) {
+        let codec = ZfpCodec::fixed_rate(rate);
+        let stream = codec.compress(&data).expect("compress");
+        let header = 4 + 8 + 1 + 4;
+        let blocks = data.len().div_ceil(4);
+        let body_bits = blocks * 4 * rate as usize;
+        prop_assert_eq!(stream.len(), header + body_bits.div_ceil(8));
+        let restored = codec.decompress(&stream).expect("decompress");
+        prop_assert_eq!(restored.len(), data.len());
+    }
+
+    #[test]
+    fn lossless_bit_exact(data in prop::collection::vec(any_f32(), 0..1500)) {
+        let codec = LosslessCodec::new();
+        let stream = codec.compress(&data).expect("compress");
+        let restored = codec.decompress(&stream).expect("decompress");
+        prop_assert_eq!(restored.len(), data.len());
+        for (a, b) in data.iter().zip(&restored) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn bitstream_round_trip(ops in prop::collection::vec((1u32..=64, any::<u64>()), 0..200)) {
+        let mut w = BitWriter::new();
+        for &(n, v) in &ops {
+            let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+            w.write_bits(v & mask, n);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &(n, v) in &ops {
+            let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+            prop_assert_eq!(r.read_bits(n).expect("read"), v & mask);
+        }
+    }
+
+    #[test]
+    fn truncated_szx_never_panics(
+        data in prop::collection::vec(finite_f32(), 1..500),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let codec = SzxCodec::new(1e-3);
+        let stream = codec.compress(&data).expect("compress");
+        let cut = ((stream.len() as f64) * cut_fraction) as usize;
+        // Must return an error or a (possibly shorter) result — no panic.
+        let _ = codec.decompress(&stream[..cut]);
+    }
+
+    #[test]
+    fn corrupted_zfp_never_panics(
+        data in prop::collection::vec(finite_f32(), 1..300),
+        flip_byte in any::<usize>(),
+        flip_bits in any::<u8>(),
+    ) {
+        let codec = ZfpCodec::fixed_accuracy(1e-3);
+        let mut stream = codec.compress(&data).expect("compress");
+        if !stream.is_empty() {
+            let at = flip_byte % stream.len();
+            stream[at] ^= flip_bits;
+        }
+        let _ = codec.decompress(&stream); // must not panic
+    }
+}

@@ -1,0 +1,125 @@
+//! Codec selection: a constructible description of which compressor a
+//! collective should use, and the cost-model kernels it maps to.
+
+use std::sync::Arc;
+
+use ccoll_comm::Kernel;
+use ccoll_compress::{
+    traits::CodecKind, Compressor, PipeSzx, SzxCodec, ZfpCodec,
+};
+
+/// Which codec (and configuration) a compression-integrated collective
+/// uses. Mirrors the paper's evaluated configurations:
+/// SZx and ZFP(ABS) at error bounds 1e-2/1e-3/1e-4, ZFP(FXR) at rates
+/// 4/8/16, plus `None` for uncompressed baselines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CodecSpec {
+    /// No compression (raw f32 bytes).
+    None,
+    /// SZx-style codec with an absolute error bound.
+    Szx {
+        /// Absolute error bound.
+        error_bound: f32,
+    },
+    /// ZFP-style fixed-accuracy mode.
+    ZfpAbs {
+        /// Absolute error bound.
+        error_bound: f32,
+    },
+    /// ZFP-style fixed-rate mode.
+    ZfpFxr {
+        /// Bits per value.
+        rate: u32,
+    },
+}
+
+impl CodecSpec {
+    /// Build the codec. Returns `None` for [`CodecSpec::None`].
+    pub fn build(&self) -> Option<Arc<dyn Compressor>> {
+        match *self {
+            CodecSpec::None => None,
+            CodecSpec::Szx { error_bound } => Some(Arc::new(SzxCodec::new(error_bound))),
+            CodecSpec::ZfpAbs { error_bound } => {
+                Some(Arc::new(ZfpCodec::fixed_accuracy(error_bound)))
+            }
+            CodecSpec::ZfpFxr { rate } => Some(Arc::new(ZfpCodec::fixed_rate(rate))),
+        }
+    }
+
+    /// Build the pipelined SZx codec used by the collective computation
+    /// framework. Only meaningful for the SZx spec; other codecs fall
+    /// back to their monolithic form (the paper pipelines SZx only).
+    pub fn build_pipelined(&self, chunk: usize) -> Option<PipeSzx> {
+        match *self {
+            CodecSpec::Szx { error_bound } => Some(PipeSzx::with_chunk(error_bound, chunk)),
+            _ => None,
+        }
+    }
+
+    /// The cost-model kernels `(compress, decompress)` for this codec.
+    pub fn kernels(&self) -> (Kernel, Kernel) {
+        match self {
+            CodecSpec::None | CodecSpec::Szx { .. } => {
+                (Kernel::SzxCompress, Kernel::SzxDecompress)
+            }
+            CodecSpec::ZfpAbs { .. } => (Kernel::ZfpAbsCompress, Kernel::ZfpAbsDecompress),
+            CodecSpec::ZfpFxr { .. } => (Kernel::ZfpFxrCompress, Kernel::ZfpFxrDecompress),
+        }
+    }
+
+    /// The absolute error bound, if this spec has one.
+    pub fn error_bound(&self) -> Option<f32> {
+        match *self {
+            CodecSpec::Szx { error_bound } | CodecSpec::ZfpAbs { error_bound } => {
+                Some(error_bound)
+            }
+            _ => None,
+        }
+    }
+
+    /// Paper-style label.
+    pub fn label(&self) -> String {
+        match *self {
+            CodecSpec::None => "Allreduce".to_string(), // the uncompressed baseline
+            CodecSpec::Szx { error_bound } => CodecKind::Szx { error_bound }.label(),
+            CodecSpec::ZfpAbs { error_bound } => CodecKind::ZfpAbs { error_bound }.label(),
+            CodecSpec::ZfpFxr { rate } => CodecKind::ZfpFxr { rate }.label(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_matches_spec() {
+        assert!(CodecSpec::None.build().is_none());
+        let c = CodecSpec::Szx { error_bound: 1e-3 }.build().unwrap();
+        assert!(matches!(c.kind(), CodecKind::Szx { .. }));
+        let z = CodecSpec::ZfpFxr { rate: 4 }.build().unwrap();
+        assert!(matches!(z.kind(), CodecKind::ZfpFxr { rate: 4 }));
+    }
+
+    #[test]
+    fn pipelined_only_for_szx() {
+        assert!(CodecSpec::Szx { error_bound: 1e-3 }
+            .build_pipelined(5120)
+            .is_some());
+        assert!(CodecSpec::ZfpAbs { error_bound: 1e-3 }
+            .build_pipelined(5120)
+            .is_none());
+    }
+
+    #[test]
+    fn kernels_and_bounds() {
+        let (c, d) = CodecSpec::ZfpAbs { error_bound: 1e-2 }.kernels();
+        assert_eq!(c, Kernel::ZfpAbsCompress);
+        assert_eq!(d, Kernel::ZfpAbsDecompress);
+        assert_eq!(
+            CodecSpec::Szx { error_bound: 1e-4 }.error_bound(),
+            Some(1e-4)
+        );
+        assert_eq!(CodecSpec::ZfpFxr { rate: 8 }.error_bound(), None);
+    }
+}

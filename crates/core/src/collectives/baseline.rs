@@ -1,0 +1,618 @@
+//! Uncompressed MPI-style collectives: the paper's "original
+//! MPI_Allreduce / MPI_Scatter / MPI_Bcast" baselines (Table V's "AD").
+//!
+//! Algorithms follow the standard MPICH choices the paper builds on:
+//!
+//! * ring allgather and ring reduce-scatter (and their composition, the
+//!   bandwidth-optimal ring allreduce, which moves `2(N−1)/N · D` bytes
+//!   per process — the figure quoted in §III-E);
+//! * binomial-tree broadcast and scatter (§IV-D: "C-Bcast and C-Scatter
+//!   … utilize the ubiquitous binomial tree algorithm adopted by MPICH");
+//! * recursive-doubling allreduce and pairwise all-to-all for
+//!   completeness of the collective families discussed in §II-A.
+
+use bytes::Bytes;
+use ccoll_comm::{Category, Comm, Tag};
+
+use crate::collectives::{memcpy_in, tags};
+use crate::partition::{chunk_lengths, chunk_offsets};
+use crate::reduce::ReduceOp;
+use crate::wire::{bytes_to_values, values_to_bytes};
+
+/// Ring allgather of equal-length per-rank buffers. Returns the
+/// concatenation in rank order (`n · mine.len()` values on every rank).
+pub fn ring_allgather<C: Comm>(comm: &mut C, mine: &[f32]) -> Vec<f32> {
+    let counts = vec![mine.len(); comm.size()];
+    ring_allgatherv(comm, mine, &counts)
+}
+
+/// Ring allgather with per-rank value counts (`counts[r]` values from
+/// rank `r`). Returns the concatenation in rank order.
+///
+/// # Panics
+/// Panics if `mine.len() != counts[rank]`.
+pub fn ring_allgatherv<C: Comm>(comm: &mut C, mine: &[f32], counts: &[usize]) -> Vec<f32> {
+    let n = comm.size();
+    let me = comm.rank();
+    assert_eq!(counts.len(), n, "counts must have one entry per rank");
+    assert_eq!(mine.len(), counts[me], "my buffer disagrees with counts");
+    let offsets = chunk_offsets(counts);
+    let total: usize = counts.iter().sum();
+    let mut out = vec![0.0f32; total];
+    memcpy_in(comm, &mut out[offsets[me]..offsets[me] + counts[me]], mine);
+    if n == 1 {
+        return out;
+    }
+    let right = (me + 1) % n;
+    let left = (me + n - 1) % n;
+    for k in 0..n - 1 {
+        let send_idx = (me + n - k) % n;
+        let recv_idx = (me + n - 1 - k) % n;
+        let tag = tags::ALLGATHER + k as Tag;
+        let payload =
+            values_to_bytes(&out[offsets[send_idx]..offsets[send_idx] + counts[send_idx]]);
+        let got = comm.sendrecv(right, left, tag, payload, Category::Allgather);
+        let vals = bytes_to_values(&got);
+        assert_eq!(vals.len(), counts[recv_idx], "allgather block size mismatch");
+        memcpy_in(
+            comm,
+            &mut out[offsets[recv_idx]..offsets[recv_idx] + counts[recv_idx]],
+            &vals,
+        );
+    }
+    out
+}
+
+/// Ring reduce-scatter: every rank contributes `input` (all ranks equal
+/// length); rank `r` returns the fully reduced chunk `r` of the balanced
+/// partition (including `Avg` finalization).
+pub fn ring_reduce_scatter<C: Comm>(comm: &mut C, input: &[f32], op: ReduceOp) -> Vec<f32> {
+    let n = comm.size();
+    let me = comm.rank();
+    let lengths = chunk_lengths(input.len(), n);
+    let offsets = chunk_offsets(&lengths);
+    let chunk = |acc: &[f32], i: usize| -> Vec<f32> { acc[offsets[i]..offsets[i] + lengths[i]].to_vec() };
+    let mut acc = vec![0.0f32; input.len()];
+    memcpy_in(comm, &mut acc, input);
+    if n > 1 {
+        let right = (me + 1) % n;
+        let left = (me + n - 1) % n;
+        for k in 0..n - 1 {
+            let send_idx = (me + 2 * n - k - 1) % n;
+            let recv_idx = (me + 2 * n - k - 2) % n;
+            let tag = tags::REDUCE_SCATTER + k as Tag;
+            let payload = values_to_bytes(&chunk(&acc, send_idx));
+            let got = comm.sendrecv(right, left, tag, payload, Category::Wait);
+            let vals = bytes_to_values(&got);
+            assert_eq!(vals.len(), lengths[recv_idx], "reduce-scatter block mismatch");
+            let dst = &mut acc[offsets[recv_idx]..offsets[recv_idx] + lengths[recv_idx]];
+            comm.run_kernel(
+                ccoll_comm::Kernel::Reduce,
+                vals.len() * 4,
+                Category::Reduction,
+                || op.apply(dst, &vals),
+            );
+        }
+    }
+    let mut mine = chunk(&acc, me);
+    op.finalize(&mut mine, n);
+    mine
+}
+
+/// Ring allreduce (= ring reduce-scatter + ring allgather), the
+/// bandwidth-optimal large-message algorithm the paper optimizes.
+pub fn ring_allreduce<C: Comm>(comm: &mut C, input: &[f32], op: ReduceOp) -> Vec<f32> {
+    let n = comm.size();
+    let mine = ring_reduce_scatter(comm, input, op);
+    let counts = chunk_lengths(input.len(), n);
+    ring_allgatherv(comm, &mine, &counts)
+}
+
+/// Binomial-tree broadcast. `data` is read on `root` and ignored
+/// elsewhere; every rank returns the broadcast buffer.
+pub fn binomial_bcast<C: Comm>(comm: &mut C, root: usize, data: &[f32]) -> Vec<f32> {
+    let n = comm.size();
+    let me = comm.rank();
+    assert!(root < n, "root {root} out of range");
+    let relative = (me + n - root) % n;
+    let mut buf: Option<Vec<f32>> = if me == root { Some(data.to_vec()) } else { None };
+    // Receive phase: find the bit where my parent contacted me.
+    let mut mask: usize = 1;
+    while mask < n {
+        if relative & mask != 0 {
+            let src = (relative - mask + root) % n;
+            let got = comm.recv(src, tags::BCAST);
+            buf = Some(bytes_to_values(&got));
+            break;
+        }
+        mask <<= 1;
+    }
+    // Send phase: forward to children at decreasing masks.
+    let have = buf.expect("either root or a parent provided the data");
+    let payload = values_to_bytes(&have);
+    mask >>= 1;
+    while mask > 0 {
+        if relative + mask < n {
+            let dst = (relative + mask + root) % n;
+            let req = comm.isend(dst, tags::BCAST, payload.clone());
+            comm.wait_send_in(req, Category::Wait);
+        }
+        mask >>= 1;
+    }
+    have
+}
+
+/// Binomial-tree scatter of the balanced partition of `total_len` values.
+/// `data` is read on `root` (must have `total_len` values) and ignored
+/// elsewhere. Rank `r` returns chunk `r`.
+///
+/// The tree is the standard MPICH binomial scatter tree: in *relative*
+/// rank space (root at 0), a node's parent is obtained by clearing its
+/// lowest set bit, and a node holding the segment span `[rel, rel+span)`
+/// peels off the upper half `[rel+m, rel+span)` for each child `rel+m`
+/// with `m` descending by powers of two.
+pub fn binomial_scatter<C: Comm>(
+    comm: &mut C,
+    root: usize,
+    data: &[f32],
+    total_len: usize,
+) -> Vec<f32> {
+    let n = comm.size();
+    let me = comm.rank();
+    assert!(root < n, "root {root} out of range");
+    let lengths = chunk_lengths(total_len, n);
+    let relative = (me + n - root) % n;
+    // Segment i in *relative* order is the chunk of absolute rank
+    // (root + i) % n.
+    let rel_len = |i: usize| lengths[(root + i) % n];
+    let rel_range_values = |lo: usize, hi: usize| -> usize { (lo..hi).map(rel_len).sum() };
+
+    // Acquire my segment span `[relative, relative + span)`.
+    let mut held: Vec<f32>;
+    let mut span: usize;
+    let mut m: usize;
+    if me == root {
+        assert_eq!(data.len(), total_len, "root buffer must hold all chunks");
+        let offsets = chunk_offsets(&lengths);
+        let mut rel = Vec::with_capacity(total_len);
+        for i in 0..n {
+            let a = (root + i) % n;
+            rel.extend_from_slice(&data[offsets[a]..offsets[a] + lengths[a]]);
+        }
+        held = rel;
+        span = n;
+        m = n.next_power_of_two();
+    } else {
+        let lowbit = relative & relative.wrapping_neg();
+        let src = (relative - lowbit + root) % n;
+        let got = comm.recv(src, tags::SCATTER);
+        held = bytes_to_values(&got);
+        span = lowbit.min(n - relative);
+        m = lowbit;
+        assert_eq!(
+            held.len(),
+            rel_range_values(relative, relative + span),
+            "scatter subtree block size mismatch"
+        );
+    }
+    // Forward phase: peel off the upper half of my span repeatedly.
+    m /= 2;
+    while m >= 1 {
+        // `span ≤ n - relative` always, so `m < span` implies the child
+        // position `relative + m` is inside the communicator.
+        if m < span {
+            let child_rel = relative + m;
+            let keep_vals = rel_range_values(relative, child_rel);
+            let payload = values_to_bytes(&held[keep_vals..]);
+            let dst = (child_rel + root) % n;
+            let req = comm.isend(dst, tags::SCATTER, payload);
+            comm.wait_send_in(req, Category::Wait);
+            held.truncate(keep_vals);
+            span = m;
+        }
+        m /= 2;
+    }
+    held
+}
+
+/// Binomial-tree gather: rank `r` contributes `mine` (chunk `r` of the
+/// balanced partition of `total_len`); the root returns the concatenated
+/// buffer, other ranks return `None`.
+pub fn binomial_gather<C: Comm>(
+    comm: &mut C,
+    root: usize,
+    mine: &[f32],
+    total_len: usize,
+) -> Option<Vec<f32>> {
+    let n = comm.size();
+    let me = comm.rank();
+    assert!(root < n, "root {root} out of range");
+    let lengths = chunk_lengths(total_len, n);
+    assert_eq!(mine.len(), lengths[me], "my chunk disagrees with partition");
+    let relative = (me + n - root) % n;
+    let rel_len = |i: usize| lengths[(root + i) % n];
+
+    // Accumulate my subtree (in relative order), growing by doubling.
+    let mut held: Vec<f32> = mine.to_vec();
+    let mut span = 1usize;
+    let mut mask = 1usize;
+    while mask < n {
+        if relative & mask != 0 {
+            // Send my subtree up to the parent and stop.
+            let parent = (relative - mask + root) % n;
+            let req = comm.isend(parent, tags::GATHER, values_to_bytes(&held));
+            comm.wait_send_in(req, Category::Wait);
+            return None;
+        }
+        let child_rel = relative + mask;
+        if child_rel < n {
+            let child_span = mask.min(n - child_rel);
+            let expect: usize = (child_rel..child_rel + child_span).map(rel_len).sum();
+            let got = comm.recv((child_rel + root) % n, tags::GATHER);
+            let vals = bytes_to_values(&got);
+            assert_eq!(vals.len(), expect, "gather subtree block size mismatch");
+            held.extend_from_slice(&vals);
+            span += child_span;
+        }
+        mask <<= 1;
+    }
+    debug_assert_eq!(span, n);
+    // Root: reorder from relative to absolute rank order.
+    let mut out = vec![0.0f32; total_len];
+    let offsets = chunk_offsets(&lengths);
+    let mut at = 0;
+    for i in 0..n {
+        let a = (root + i) % n;
+        out[offsets[a]..offsets[a] + lengths[a]].copy_from_slice(&held[at..at + lengths[a]]);
+        at += lengths[a];
+    }
+    Some(out)
+}
+
+/// Recursive-doubling allreduce (efficient for short messages; included
+/// as the classic alternative to the ring for completeness).
+///
+/// Handles non-power-of-two sizes with the standard fold/unfold: the
+/// first `2·rem` ranks pair up so a power-of-two subset runs the
+/// butterfly, then results are copied back out.
+pub fn recursive_doubling_allreduce<C: Comm>(
+    comm: &mut C,
+    input: &[f32],
+    op: ReduceOp,
+) -> Vec<f32> {
+    let n = comm.size();
+    let me = comm.rank();
+    let pow2 = if n.is_power_of_two() {
+        n
+    } else {
+        n.next_power_of_two() / 2
+    };
+    let rem = n - pow2;
+    let mut acc = input.to_vec();
+    let tag = tags::RECURSIVE_DOUBLING;
+
+    // Fold: ranks 0..2*rem pair (even → odd), odd ranks survive.
+    let my_pos: Option<usize> = if me < 2 * rem {
+        if me % 2 == 0 {
+            let req = comm.isend(me + 1, tag, values_to_bytes(&acc));
+            comm.wait_send_in(req, Category::Wait);
+            None
+        } else {
+            let got = comm.recv(me - 1, tag);
+            let vals = bytes_to_values(&got);
+            comm.run_kernel(
+                ccoll_comm::Kernel::Reduce,
+                vals.len() * 4,
+                Category::Reduction,
+                || op.apply(&mut acc, &vals),
+            );
+            Some(me / 2)
+        }
+    } else {
+        Some(me - rem)
+    };
+
+    if let Some(pos) = my_pos {
+        // Butterfly among the pow2 surviving positions.
+        let pos_to_rank = |p: usize| if p < rem { 2 * p + 1 } else { p + rem };
+        let mut mask = 1usize;
+        let mut round: Tag = 1;
+        while mask < pow2 {
+            let peer = pos_to_rank(pos ^ mask);
+            let got = comm.sendrecv(peer, peer, tag + round, values_to_bytes(&acc), Category::Wait);
+            let vals = bytes_to_values(&got);
+            comm.run_kernel(
+                ccoll_comm::Kernel::Reduce,
+                vals.len() * 4,
+                Category::Reduction,
+                || op.apply(&mut acc, &vals),
+            );
+            mask <<= 1;
+            round += 1;
+        }
+    }
+
+    // Unfold: odd folded ranks send results back to their even partner.
+    if me < 2 * rem {
+        if me % 2 == 1 {
+            let req = comm.isend(me - 1, tag + 999, values_to_bytes(&acc));
+            comm.wait_send_in(req, Category::Wait);
+        } else {
+            acc = bytes_to_values(&comm.recv(me + 1, tag + 999));
+        }
+    }
+    op.finalize(&mut acc, n);
+    acc
+}
+
+/// Pairwise-exchange all-to-all: `send` holds `n` equal blocks (block `i`
+/// goes to rank `i`); returns `n` blocks where block `i` came from rank
+/// `i`.
+///
+/// # Panics
+/// Panics if `send.len()` is not divisible by the rank count.
+pub fn pairwise_alltoall<C: Comm>(comm: &mut C, send: &[f32]) -> Vec<f32> {
+    let n = comm.size();
+    let me = comm.rank();
+    assert!(
+        send.len() % n == 0,
+        "all-to-all buffer ({}) must divide evenly across {n} ranks",
+        send.len()
+    );
+    let block = send.len() / n;
+    let mut out = vec![0.0f32; send.len()];
+    memcpy_in(
+        comm,
+        &mut out[me * block..(me + 1) * block],
+        &send[me * block..(me + 1) * block],
+    );
+    for i in 1..n {
+        let to = (me + i) % n;
+        let from = (me + n - i) % n;
+        let tag = tags::ALLTOALL + i as Tag;
+        let payload = values_to_bytes(&send[to * block..(to + 1) * block]);
+        let got = comm.sendrecv(to, from, tag, payload, Category::Wait);
+        let vals = bytes_to_values(&got);
+        memcpy_in(comm, &mut out[from * block..(from + 1) * block], &vals);
+    }
+    out
+}
+
+/// Broadcast raw bytes over the binomial tree (used by compressed
+/// collectives that relay opaque compressed payloads).
+pub(crate) fn binomial_bcast_bytes<C: Comm>(
+    comm: &mut C,
+    root: usize,
+    payload: Option<Bytes>,
+    tag: Tag,
+) -> Bytes {
+    let n = comm.size();
+    let me = comm.rank();
+    let relative = (me + n - root) % n;
+    let mut have: Option<Bytes> = if me == root {
+        Some(payload.expect("root must provide the payload"))
+    } else {
+        None
+    };
+    let mut mask: usize = 1;
+    while mask < n {
+        if relative & mask != 0 {
+            let src = (relative - mask + root) % n;
+            have = Some(comm.recv(src, tag));
+            break;
+        }
+        mask <<= 1;
+    }
+    let data = have.expect("either root or a parent provided the payload");
+    mask >>= 1;
+    while mask > 0 {
+        if relative + mask < n {
+            let dst = (relative + mask + root) % n;
+            let req = comm.isend(dst, tag, data.clone());
+            comm.wait_send_in(req, Category::Wait);
+        }
+        mask >>= 1;
+    }
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccoll_comm::{SimConfig, SimWorld, ThreadWorld};
+
+    fn rank_data(rank: usize, len: usize) -> Vec<f32> {
+        (0..len)
+            .map(|i| ((i * 31 + rank * 977) % 1000) as f32 * 0.25 - 100.0)
+            .collect()
+    }
+
+    #[test]
+    fn allgather_all_sizes() {
+        for n in [1usize, 2, 3, 5, 8] {
+            let world = SimWorld::new(SimConfig::new(n));
+            let out = world.run(move |c| ring_allgather(c, &rank_data(c.rank(), 40)));
+            let mut expect = Vec::new();
+            for r in 0..n {
+                expect.extend(rank_data(r, 40));
+            }
+            for r in 0..n {
+                assert_eq!(out.results[r], expect, "rank {r} of {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn allgatherv_unequal() {
+        let n = 4;
+        let counts = [7usize, 0, 13, 2];
+        let world = SimWorld::new(SimConfig::new(n));
+        let out = world.run(move |c| {
+            let mine = rank_data(c.rank(), counts[c.rank()]);
+            ring_allgatherv(c, &mine, &counts)
+        });
+        let mut expect = Vec::new();
+        for r in 0..n {
+            expect.extend(rank_data(r, counts[r]));
+        }
+        for r in 0..n {
+            assert_eq!(out.results[r], expect, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_matches_oracle() {
+        for n in [2usize, 3, 6] {
+            for op in [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min, ReduceOp::Avg] {
+                let len = 50;
+                let world = SimWorld::new(SimConfig::new(n));
+                let out = world.run(move |c| ring_reduce_scatter(c, &rank_data(c.rank(), len), op));
+                let inputs: Vec<Vec<f32>> = (0..n).map(|r| rank_data(r, len)).collect();
+                let full = op.oracle(&inputs);
+                let lengths = chunk_lengths(len, n);
+                let offsets = chunk_offsets(&lengths);
+                for r in 0..n {
+                    let expect = &full[offsets[r]..offsets[r] + lengths[r]];
+                    for (a, b) in out.results[r].iter().zip(expect) {
+                        assert!((a - b).abs() < 1e-3, "n={n} {op:?} rank {r}: {a} vs {b}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_matches_oracle() {
+        for n in [1usize, 2, 4, 7] {
+            let len = 33;
+            let world = SimWorld::new(SimConfig::new(n));
+            let out = world.run(move |c| ring_allreduce(c, &rank_data(c.rank(), len), ReduceOp::Sum));
+            let inputs: Vec<Vec<f32>> = (0..n).map(|r| rank_data(r, len)).collect();
+            let expect = ReduceOp::Sum.oracle(&inputs);
+            for r in 0..n {
+                for (a, b) in out.results[r].iter().zip(&expect) {
+                    assert!((a - b).abs() < 1e-3, "n={n} rank {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_all_roots() {
+        let n = 6;
+        for root in 0..n {
+            let world = SimWorld::new(SimConfig::new(n));
+            let out = world.run(move |c| {
+                let data = if c.rank() == root {
+                    rank_data(root, 77)
+                } else {
+                    Vec::new()
+                };
+                binomial_bcast(c, root, &data)
+            });
+            let expect = rank_data(root, 77);
+            for r in 0..n {
+                assert_eq!(out.results[r], expect, "root {root} rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_all_roots_and_sizes() {
+        for n in [2usize, 3, 4, 7, 8] {
+            for root in [0, n - 1] {
+                let total = 10 * n + 3; // uneven partition
+                let world = SimWorld::new(SimConfig::new(n));
+                let out = world.run(move |c| {
+                    let data = if c.rank() == root {
+                        rank_data(99, total)
+                    } else {
+                        Vec::new()
+                    };
+                    binomial_scatter(c, root, &data, total)
+                });
+                let full = rank_data(99, total);
+                let lengths = chunk_lengths(total, n);
+                let offsets = chunk_offsets(&lengths);
+                for r in 0..n {
+                    let expect = &full[offsets[r]..offsets[r] + lengths[r]];
+                    assert_eq!(out.results[r], expect, "n={n} root={root} rank {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_inverts_scatter() {
+        let n = 5;
+        let total = 41;
+        let world = SimWorld::new(SimConfig::new(n));
+        let out = world.run(move |c| {
+            let lengths = chunk_lengths(total, n);
+            let offsets = chunk_offsets(&lengths);
+            let full = rank_data(7, total);
+            let mine = full[offsets[c.rank()]..offsets[c.rank()] + lengths[c.rank()]].to_vec();
+            binomial_gather(c, 2, &mine, total)
+        });
+        for (r, res) in out.results.iter().enumerate() {
+            if r == 2 {
+                assert_eq!(res.as_ref().unwrap(), &rank_data(7, total));
+            } else {
+                assert!(res.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn recursive_doubling_all_sizes() {
+        for n in [1usize, 2, 3, 4, 5, 6, 8] {
+            let len = 20;
+            let world = SimWorld::new(SimConfig::new(n));
+            let out =
+                world.run(move |c| recursive_doubling_allreduce(c, &rank_data(c.rank(), len), ReduceOp::Sum));
+            let inputs: Vec<Vec<f32>> = (0..n).map(|r| rank_data(r, len)).collect();
+            let expect = ReduceOp::Sum.oracle(&inputs);
+            for r in 0..n {
+                for (a, b) in out.results[r].iter().zip(&expect) {
+                    assert!((a - b).abs() < 1e-3, "n={n} rank {r}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_permutes_blocks() {
+        let n = 4;
+        let block = 3;
+        let world = SimWorld::new(SimConfig::new(n));
+        let out = world.run(move |c| {
+            let me = c.rank();
+            // Block i carries the value 100*me + i.
+            let send: Vec<f32> = (0..n * block)
+                .map(|j| (100 * me + j / block) as f32)
+                .collect();
+            pairwise_alltoall(c, &send)
+        });
+        for r in 0..n {
+            for src in 0..n {
+                for b in 0..block {
+                    assert_eq!(out.results[r][src * block + b], (100 * src + r) as f32);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn works_on_threaded_backend_too() {
+        let n = 4;
+        let world = ThreadWorld::new(n);
+        let out = world.run(move |c| ring_allreduce(c, &rank_data(c.rank(), 100), ReduceOp::Sum));
+        let inputs: Vec<Vec<f32>> = (0..n).map(|r| rank_data(r, 100)).collect();
+        let expect = ReduceOp::Sum.oracle(&inputs);
+        for r in 0..n {
+            for (a, b) in out.results[r].iter().zip(&expect) {
+                assert!((a - b).abs() < 1e-3);
+            }
+        }
+    }
+}

@@ -1,0 +1,475 @@
+//! CPR-P2P baselines: compression-enabled point-to-point collectives.
+//!
+//! This is the prior-work approach the paper criticizes (§I, §II-C) and
+//! benchmarks against ("Direct Integration"/DI in Table V, and the
+//! SZx/ZFP(ABS)/ZFP(FXR) baselines of §IV-C): *every* send compresses and
+//! *every* receive decompresses, so
+//!
+//! * a ring allgather performs `N−1` compressions per rank instead of 1,
+//! * a binomial bcast performs `log₂N` compress+decompress pairs along
+//!   each root-to-leaf path instead of one pair total,
+//! * repeated re-compression accumulates error (each hop adds a fresh
+//!   bounded perturbation — the error-propagation issue §III-A1 fixes),
+//! * per-hop compressed sizes differ across ranks, unbalancing the ring.
+//!
+//! The implementations deliberately share structure with
+//! [`baseline`](crate::collectives::baseline) so the only difference a
+//! benchmark sees is the compression placement.
+
+use std::sync::Arc;
+
+use ccoll_comm::{Category, Comm, Kernel, Tag};
+use ccoll_compress::Compressor;
+
+use crate::collectives::{compress_in, decompress_in, memcpy_in, tags};
+use crate::partition::{chunk_lengths, chunk_offsets};
+use crate::reduce::ReduceOp;
+
+/// Codec handle plus its cost-model kernels, shared by all CPR-P2P
+/// collectives.
+#[derive(Clone)]
+pub struct CprCodec {
+    /// The compressor.
+    pub codec: Arc<dyn Compressor>,
+    /// Cost-model kernel for compression.
+    pub ck: Kernel,
+    /// Cost-model kernel for decompression.
+    pub dk: Kernel,
+}
+
+impl CprCodec {
+    /// Bundle a codec with its cost kernels.
+    pub fn new(codec: Arc<dyn Compressor>, ck: Kernel, dk: Kernel) -> Self {
+        CprCodec { codec, ck, dk }
+    }
+
+    fn compress<C: Comm>(&self, comm: &mut C, vals: &[f32]) -> bytes::Bytes {
+        compress_in(comm, self.codec.as_ref(), self.ck, vals, false)
+    }
+
+    fn decompress<C: Comm>(&self, comm: &mut C, stream: &[u8], expect: usize) -> Vec<f32> {
+        decompress_in(comm, self.codec.as_ref(), self.dk, stream, expect, false)
+    }
+}
+
+/// CPR-P2P ring allgather: compress before each hop, decompress after
+/// each hop, re-compress what gets forwarded. Returns the concatenation
+/// in rank order. Note the *forwarded* data is the hop's decompressed
+/// output, so errors accumulate along the ring — this is the error
+/// amplification the data-movement framework eliminates.
+pub fn cpr_ring_allgatherv<C: Comm>(
+    comm: &mut C,
+    cpr: &CprCodec,
+    mine: &[f32],
+    counts: &[usize],
+) -> Vec<f32> {
+    let n = comm.size();
+    let me = comm.rank();
+    assert_eq!(counts.len(), n, "counts must have one entry per rank");
+    assert_eq!(mine.len(), counts[me], "my buffer disagrees with counts");
+    let offsets = chunk_offsets(counts);
+    let total: usize = counts.iter().sum();
+    let mut out = vec![0.0f32; total];
+    memcpy_in(comm, &mut out[offsets[me]..offsets[me] + counts[me]], mine);
+    if n == 1 {
+        return out;
+    }
+    let right = (me + 1) % n;
+    let left = (me + n - 1) % n;
+    for k in 0..n - 1 {
+        let send_idx = (me + n - k) % n;
+        let recv_idx = (me + n - 1 - k) % n;
+        let tag = tags::ALLGATHER + 0x800 + k as Tag;
+        // Compress this hop's block (every round — the DI waste).
+        let payload =
+            cpr.compress(comm, &out[offsets[send_idx]..offsets[send_idx] + counts[send_idx]]);
+        let got = comm.sendrecv(right, left, tag, payload, Category::Allgather);
+        let vals = cpr.decompress(comm, &got, counts[recv_idx]);
+        memcpy_in(
+            comm,
+            &mut out[offsets[recv_idx]..offsets[recv_idx] + counts[recv_idx]],
+            &vals,
+        );
+    }
+    out
+}
+
+/// Equal-count convenience wrapper over [`cpr_ring_allgatherv`].
+pub fn cpr_ring_allgather<C: Comm>(comm: &mut C, cpr: &CprCodec, mine: &[f32]) -> Vec<f32> {
+    let counts = vec![mine.len(); comm.size()];
+    cpr_ring_allgatherv(comm, cpr, mine, &counts)
+}
+
+/// CPR-P2P ring reduce-scatter: per round compress → send/recv →
+/// decompress → reduce (the Fig. 4 "CPR-P2P" timeline). Rank `r` returns
+/// the fully reduced chunk `r`.
+pub fn cpr_ring_reduce_scatter<C: Comm>(
+    comm: &mut C,
+    cpr: &CprCodec,
+    input: &[f32],
+    op: ReduceOp,
+) -> Vec<f32> {
+    let n = comm.size();
+    let me = comm.rank();
+    let lengths = chunk_lengths(input.len(), n);
+    let offsets = chunk_offsets(&lengths);
+    let mut acc = vec![0.0f32; input.len()];
+    memcpy_in(comm, &mut acc, input);
+    if n > 1 {
+        let right = (me + 1) % n;
+        let left = (me + n - 1) % n;
+        for k in 0..n - 1 {
+            let send_idx = (me + 2 * n - k - 1) % n;
+            let recv_idx = (me + 2 * n - k - 2) % n;
+            let tag = tags::REDUCE_SCATTER + 0x800 + k as Tag;
+            let send_chunk = acc[offsets[send_idx]..offsets[send_idx] + lengths[send_idx]].to_vec();
+            // CPR-P2P schedule: compress, exchange, then decompress.
+            let rreq = comm.irecv(left, tag);
+            let payload = cpr.compress(comm, &send_chunk);
+            let sreq = comm.isend(right, tag, payload);
+            let got = comm.wait_recv_in(rreq, Category::Wait);
+            let vals = cpr.decompress(comm, &got, lengths[recv_idx]);
+            comm.wait_send_in(sreq, Category::Wait);
+            let dst = &mut acc[offsets[recv_idx]..offsets[recv_idx] + lengths[recv_idx]];
+            comm.run_kernel(Kernel::Reduce, vals.len() * 4, Category::Reduction, || {
+                op.apply(dst, &vals)
+            });
+        }
+    }
+    let mut mine = acc[offsets[me]..offsets[me] + lengths[me]].to_vec();
+    op.finalize(&mut mine, n);
+    mine
+}
+
+/// CPR-P2P ring allreduce — the "Direct Integration" (DI) variant of the
+/// paper's Table V: CPR-P2P reduce-scatter followed by CPR-P2P allgather.
+pub fn cpr_ring_allreduce<C: Comm>(
+    comm: &mut C,
+    cpr: &CprCodec,
+    input: &[f32],
+    op: ReduceOp,
+) -> Vec<f32> {
+    let n = comm.size();
+    let mine = cpr_ring_reduce_scatter(comm, cpr, input, op);
+    let counts = chunk_lengths(input.len(), n);
+    cpr_ring_allgatherv(comm, cpr, &mine, &counts)
+}
+
+/// CPR-P2P binomial broadcast: each hop decompresses on receive and
+/// re-compresses to forward — `log₂N · (T_comp + T_decomp)` on the
+/// critical path (the Fig. 3 left-hand timeline).
+pub fn cpr_binomial_bcast<C: Comm>(
+    comm: &mut C,
+    cpr: &CprCodec,
+    root: usize,
+    data: &[f32],
+) -> Vec<f32> {
+    let n = comm.size();
+    let me = comm.rank();
+    assert!(root < n, "root {root} out of range");
+    let relative = (me + n - root) % n;
+    let mut have: Option<Vec<f32>> = if me == root { Some(data.to_vec()) } else { None };
+    let mut mask: usize = 1;
+    while mask < n {
+        if relative & mask != 0 {
+            let src = (relative - mask + root) % n;
+            // Length travels in a tiny header message (4 bytes), as a
+            // real CPR-P2P implementation must do for eager decompression.
+            let hdr = comm.recv(src, tags::BCAST + 0x801);
+            let expect_len =
+                u32::from_le_bytes(hdr[0..4].try_into().expect("4-byte header")) as usize;
+            let got = comm.recv(src, tags::BCAST + 0x800);
+            have = Some(cpr.decompress(comm, &got, expect_len));
+            break;
+        }
+        mask <<= 1;
+    }
+    let vals = have.expect("either root or a parent provided the data");
+    mask >>= 1;
+    while mask > 0 {
+        if relative + mask < n {
+            let dst = (relative + mask + root) % n;
+            // Re-compress for each child (the per-hop waste).
+            let payload = cpr.compress(comm, &vals);
+            let hdr = bytes::Bytes::from((vals.len() as u32).to_le_bytes().to_vec());
+            comm.send(dst, tags::BCAST + 0x801, hdr);
+            let req = comm.isend(dst, tags::BCAST + 0x800, payload);
+            comm.wait_send_in(req, Category::Wait);
+        }
+        mask >>= 1;
+    }
+    vals
+}
+
+/// CPR-P2P binomial scatter: each forwarding hop decompresses the
+/// received subtree block and re-compresses each child's portion.
+pub fn cpr_binomial_scatter<C: Comm>(
+    comm: &mut C,
+    cpr: &CprCodec,
+    root: usize,
+    data: &[f32],
+    total_len: usize,
+) -> Vec<f32> {
+    let n = comm.size();
+    let me = comm.rank();
+    assert!(root < n, "root {root} out of range");
+    let lengths = chunk_lengths(total_len, n);
+    let relative = (me + n - root) % n;
+    let rel_len = |i: usize| lengths[(root + i) % n];
+    let rel_range_values = |lo: usize, hi: usize| -> usize { (lo..hi).map(rel_len).sum() };
+
+    let mut held: Vec<f32>;
+    let mut span: usize;
+    let mut m: usize;
+    if me == root {
+        assert_eq!(data.len(), total_len, "root buffer must hold all chunks");
+        let offsets = chunk_offsets(&lengths);
+        let mut rel = Vec::with_capacity(total_len);
+        for i in 0..n {
+            let a = (root + i) % n;
+            rel.extend_from_slice(&data[offsets[a]..offsets[a] + lengths[a]]);
+        }
+        held = rel;
+        span = n;
+        m = n.next_power_of_two();
+    } else {
+        let lowbit = relative & relative.wrapping_neg();
+        let src = (relative - lowbit + root) % n;
+        span = lowbit.min(n - relative);
+        m = lowbit;
+        let expect = rel_range_values(relative, relative + span);
+        let got = comm.recv(src, tags::SCATTER + 0x800);
+        // Decompress the whole subtree block (per-hop cost).
+        held = cpr.decompress(comm, &got, expect);
+    }
+    m /= 2;
+    while m >= 1 {
+        if m < span {
+            let child_rel = relative + m;
+            let keep_vals = rel_range_values(relative, child_rel);
+            // Re-compress the child's portion before forwarding.
+            let payload = cpr.compress(comm, &held[keep_vals..]);
+            let dst = (child_rel + root) % n;
+            let req = comm.isend(dst, tags::SCATTER + 0x800, payload);
+            comm.wait_send_in(req, Category::Wait);
+            held.truncate(keep_vals);
+            span = m;
+        }
+        m /= 2;
+    }
+    held
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::baseline;
+    use ccoll_comm::{SimConfig, SimWorld};
+    use ccoll_compress::SzxCodec;
+
+    fn szx(eb: f32) -> CprCodec {
+        CprCodec::new(
+            Arc::new(SzxCodec::new(eb)),
+            Kernel::SzxCompress,
+            Kernel::SzxDecompress,
+        )
+    }
+
+    fn rank_data(rank: usize, len: usize) -> Vec<f32> {
+        (0..len)
+            .map(|i| ((i as f32) * 3e-3).sin() * 5.0 + rank as f32 * 0.125)
+            .collect()
+    }
+
+    #[test]
+    fn allgather_within_accumulated_bound() {
+        let n = 6;
+        let eb = 1e-3f32;
+        let world = SimWorld::new(SimConfig::new(n));
+        let cpr = szx(eb);
+        let out = world.run(move |c| cpr_ring_allgather(c, &cpr, &rank_data(c.rank(), 300)));
+        // A block forwarded over up to n-1 hops is recompressed each hop:
+        // worst-case error (n-1)·eb (the amplification §III-A1 removes).
+        let worst = (n - 1) as f32 * eb + 1e-6;
+        for r in 0..n {
+            for src in 0..n {
+                let expect = rank_data(src, 300);
+                let got = &out.results[r][src * 300..(src + 1) * 300];
+                for (a, b) in expect.iter().zip(got) {
+                    assert!((a - b).abs() <= worst, "rank {r} block {src}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn error_actually_accumulates_beyond_single_bound() {
+        // With a coarse bound on smooth data, multi-hop recompression must
+        // (at least sometimes) exceed the single-compression error — the
+        // motivation for the compress-once framework. We check the error
+        // of the farthest-travelled block exceeds the nearest's.
+        let n = 8;
+        let eb = 1e-2f32;
+        let world = SimWorld::new(SimConfig::new(n));
+        let cpr = szx(eb);
+        let out = world.run(move |c| cpr_ring_allgather(c, &cpr, &rank_data(c.rank(), 4000)));
+        // On rank 0: block from rank 1 travelled n-1 hops; block from
+        // rank n-1 travelled 1 hop.
+        let err = |src: usize| {
+            let expect = rank_data(src, 4000);
+            out.results[0][src * 4000..(src + 1) * 4000]
+                .iter()
+                .zip(&expect)
+                .map(|(a, b)| (a - b).abs() as f64)
+                .fold(0.0, f64::max)
+        };
+        let far = err(1);
+        let near = err(n - 1);
+        assert!(
+            far >= near,
+            "farther block should accumulate at least as much error: {far} vs {near}"
+        );
+    }
+
+    #[test]
+    fn reduce_scatter_bounded() {
+        let n = 5;
+        let len = 250;
+        let eb = 1e-3f32;
+        let world = SimWorld::new(SimConfig::new(n));
+        let cpr = szx(eb);
+        let out =
+            world.run(move |c| cpr_ring_reduce_scatter(c, &cpr, &rank_data(c.rank(), len), ReduceOp::Sum));
+        let inputs: Vec<Vec<f32>> = (0..n).map(|r| rank_data(r, len)).collect();
+        let full = ReduceOp::Sum.oracle(&inputs);
+        let lengths = chunk_lengths(len, n);
+        let offsets = chunk_offsets(&lengths);
+        // Each partial sum passes through ≤ n-1 compression stages.
+        let tol = (n as f32) * eb * 2.0;
+        for r in 0..n {
+            let expect = &full[offsets[r]..offsets[r] + lengths[r]];
+            for (a, b) in out.results[r].iter().zip(expect) {
+                assert!((a - b).abs() <= tol, "rank {r}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_close_to_exact() {
+        let n = 4;
+        let len = 600;
+        let world = SimWorld::new(SimConfig::new(n));
+        let cpr = szx(1e-4);
+        let out = world.run(move |c| cpr_ring_allreduce(c, &cpr, &rank_data(c.rank(), len), ReduceOp::Sum));
+        let inputs: Vec<Vec<f32>> = (0..n).map(|r| rank_data(r, len)).collect();
+        let expect = ReduceOp::Sum.oracle(&inputs);
+        for r in 0..n {
+            for (a, b) in out.results[r].iter().zip(&expect) {
+                assert!((a - b).abs() < 5e-3, "rank {r}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_all_roots_bounded() {
+        let n = 7;
+        let eb = 1e-3f32;
+        for root in [0usize, 3, 6] {
+            let world = SimWorld::new(SimConfig::new(n));
+            let cpr = szx(eb);
+            let out = world.run(move |c| {
+                let data = if c.rank() == root {
+                    rank_data(root, 500)
+                } else {
+                    Vec::new()
+                };
+                cpr_binomial_bcast(c, &cpr, root, &data)
+            });
+            let expect = rank_data(root, 500);
+            // log2(7)+1 hops worst case.
+            let tol = 4.0 * eb;
+            for r in 0..n {
+                for (a, b) in out.results[r].iter().zip(&expect) {
+                    assert!((a - b).abs() <= tol, "root {root} rank {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_bounded() {
+        let n = 8;
+        let total = 800;
+        let eb = 1e-3f32;
+        let world = SimWorld::new(SimConfig::new(n));
+        let cpr = szx(eb);
+        let out = world.run(move |c| {
+            let data = if c.rank() == 0 { rank_data(42, total) } else { Vec::new() };
+            cpr_binomial_scatter(c, &cpr, 0, &data, total)
+        });
+        let full = rank_data(42, total);
+        let lengths = chunk_lengths(total, n);
+        let offsets = chunk_offsets(&lengths);
+        let tol = 4.0 * eb; // ≤ log2(8) hops
+        for r in 0..n {
+            let expect = &full[offsets[r]..offsets[r] + lengths[r]];
+            for (a, b) in out.results[r].iter().zip(expect) {
+                assert!((a - b).abs() <= tol, "rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn di_is_slower_than_uncompressed_on_fast_network() {
+        // The paper's headline observation (Fig. 11): with a fast network,
+        // CPR-P2P's compression overhead makes it *slower* than the
+        // uncompressed allreduce. Reproduce on a 16-rank virtual cluster.
+        let n = 16;
+        let len = 200_000;
+        let world = SimWorld::new(SimConfig::new(n));
+        let t_plain = world
+            .run(move |c| baseline::ring_allreduce(c, &rank_data(c.rank(), len), ReduceOp::Sum))
+            .makespan;
+        let world = SimWorld::new(SimConfig::new(n));
+        let cpr = szx(1e-3);
+        let t_di = world
+            .run(move |c| cpr_ring_allreduce(c, &cpr, &rank_data(c.rank(), len), ReduceOp::Sum))
+            .makespan;
+        assert!(
+            t_di > t_plain,
+            "DI should lose to plain allreduce on a 100 Gb/s network: {t_di:?} vs {t_plain:?}"
+        );
+    }
+}
+
+/// CPR-P2P pairwise all-to-all: every outgoing block is compressed and
+/// every incoming block decompressed. (All-to-all blocks travel a single
+/// hop, so unlike ring/tree collectives there is no re-compression waste
+/// — the remaining CPR-P2P deficiencies here are the per-call buffer
+/// overhead and the unbalanced, size-unaware schedule.)
+pub fn cpr_pairwise_alltoall<C: Comm>(comm: &mut C, cpr: &CprCodec, send: &[f32]) -> Vec<f32> {
+    let n = comm.size();
+    let me = comm.rank();
+    assert!(
+        send.len() % n == 0,
+        "all-to-all buffer ({}) must divide evenly across {n} ranks",
+        send.len()
+    );
+    let block = send.len() / n;
+    let mut out = vec![0.0f32; send.len()];
+    memcpy_in(
+        comm,
+        &mut out[me * block..(me + 1) * block],
+        &send[me * block..(me + 1) * block],
+    );
+    for i in 1..n {
+        let to = (me + i) % n;
+        let from = (me + n - i) % n;
+        let tag = tags::ALLTOALL + 0x800 + i as Tag;
+        let payload = cpr.compress(comm, &send[to * block..(to + 1) * block]);
+        let got = comm.sendrecv(to, from, tag, payload, Category::Wait);
+        let vals = cpr.decompress(comm, &got, block);
+        memcpy_in(comm, &mut out[from * block..(from + 1) * block], &vals);
+    }
+    out
+}

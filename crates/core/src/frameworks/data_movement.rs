@@ -1,0 +1,497 @@
+//! The collective data-movement framework (paper §III-A1).
+//!
+//! Key ideas, mapped to the paper's description of C-Allgather:
+//!
+//! 1. *"At the beginning, every process compresses its local data and
+//!    stores the compressed data size"* — one compression per rank, ever.
+//! 2. *"Every process synchronizes with each other to collect the
+//!    compressed data sizes in a local integer array. As the compressed
+//!    data size only has four bytes, this step is very fast"* — a 4-byte
+//!    ring size-exchange.
+//! 3. The ring then relays **opaque compressed bytes**; because sizes are
+//!    known up front, every rank's schedule is fixed and balanced (no
+//!    data-dependent stalls from re-compression).
+//! 4. *"After all communications end, every process starts to decompress
+//!    all the received compressed data … they do not need to decompress
+//!    the data that are compressed by themselves"*.
+//!
+//! C-Bcast compresses once at the root, relays compressed bytes down the
+//! binomial tree and decompresses once at every non-root; C-Scatter
+//! compresses each destination segment once at the root and forwards
+//! framed segment sets down the tree, so each leaf decompresses exactly
+//! its own segment.
+
+use bytes::Bytes;
+use ccoll_comm::{Category, Comm, Tag};
+
+use crate::collectives::baseline::binomial_bcast_bytes;
+use crate::collectives::cpr_p2p::CprCodec;
+use crate::collectives::{compress_in, memcpy_in, tags};
+use crate::frameworks::decompress_auto_in;
+use crate::partition::{chunk_lengths, chunk_offsets};
+use crate::wire::{frame_blobs, unframe_blobs};
+
+/// Exchange one `u32` per rank around the ring (the compressed-size
+/// synchronization step). Returns the value from every rank.
+pub(crate) fn exchange_sizes<C: Comm>(comm: &mut C, mine: u32) -> Vec<u32> {
+    let n = comm.size();
+    let me = comm.rank();
+    let mut sizes = vec![0u32; n];
+    sizes[me] = mine;
+    if n == 1 {
+        return sizes;
+    }
+    let right = (me + 1) % n;
+    let left = (me + n - 1) % n;
+    for k in 0..n - 1 {
+        let send_idx = (me + n - k) % n;
+        let recv_idx = (me + n - 1 - k) % n;
+        let tag = tags::SIZE_EXCHANGE + k as Tag;
+        let payload = Bytes::from(sizes[send_idx].to_le_bytes().to_vec());
+        let got = comm.sendrecv(right, left, tag, payload, Category::Others);
+        sizes[recv_idx] = u32::from_le_bytes(got[0..4].try_into().expect("4-byte size"));
+    }
+    sizes
+}
+
+/// C-Allgather with per-rank value counts: compress once, relay
+/// compressed blocks around the ring, decompress everything at the end.
+/// Returns the concatenation in rank order.
+pub fn c_ring_allgatherv<C: Comm>(
+    comm: &mut C,
+    cpr: &CprCodec,
+    mine: &[f32],
+    counts: &[usize],
+) -> Vec<f32> {
+    let n = comm.size();
+    let me = comm.rank();
+    assert_eq!(counts.len(), n, "counts must have one entry per rank");
+    assert_eq!(mine.len(), counts[me], "my buffer disagrees with counts");
+    let offsets = chunk_offsets(counts);
+    let total: usize = counts.iter().sum();
+
+    // Step 1: compress local data exactly once.
+    let my_blob = compress_in(comm, cpr.codec.as_ref(), cpr.ck, mine, true);
+
+    // Step 2: size synchronization (4 bytes per rank).
+    let _sizes = exchange_sizes(comm, my_blob.len() as u32);
+
+    // Step 3: ring relay of opaque compressed blocks. The blocks are
+    // never re-encoded, so each hop forwards exactly the bytes received.
+    let mut blobs: Vec<Option<Bytes>> = vec![None; n];
+    blobs[me] = Some(my_blob);
+    if n > 1 {
+        let right = (me + 1) % n;
+        let left = (me + n - 1) % n;
+        for k in 0..n - 1 {
+            let send_idx = (me + n - k) % n;
+            let recv_idx = (me + n - 1 - k) % n;
+            let tag = tags::ALLGATHER + 0xC00 + k as Tag;
+            let payload = blobs[send_idx].clone().expect("relay block present");
+            let got = comm.sendrecv(right, left, tag, payload, Category::Allgather);
+            blobs[recv_idx] = Some(got);
+        }
+    }
+
+    // Step 4: one decompression sweep; own data is copied, not decoded.
+    let mut out = vec![0.0f32; total];
+    memcpy_in(comm, &mut out[offsets[me]..offsets[me] + counts[me]], mine);
+    for r in 0..n {
+        if r == me {
+            continue;
+        }
+        let blob = blobs[r].take().expect("gathered block present");
+        let vals = decompress_auto_in(comm, cpr.codec.as_ref(), cpr.dk, &blob);
+        assert_eq!(vals.len(), counts[r], "C-Allgather block length mismatch");
+        memcpy_in(comm, &mut out[offsets[r]..offsets[r] + counts[r]], &vals);
+    }
+    out
+}
+
+/// Equal-count convenience wrapper over [`c_ring_allgatherv`].
+pub fn c_ring_allgather<C: Comm>(comm: &mut C, cpr: &CprCodec, mine: &[f32]) -> Vec<f32> {
+    let counts = vec![mine.len(); comm.size()];
+    c_ring_allgatherv(comm, cpr, mine, &counts)
+}
+
+/// C-Bcast: compress once at the root, relay compressed bytes through the
+/// binomial tree, decompress once at each non-root (paper Fig. 3, right).
+pub fn c_binomial_bcast<C: Comm>(
+    comm: &mut C,
+    cpr: &CprCodec,
+    root: usize,
+    data: &[f32],
+) -> Vec<f32> {
+    let n = comm.size();
+    let me = comm.rank();
+    assert!(root < n, "root {root} out of range");
+    let payload = if me == root {
+        Some(compress_in(comm, cpr.codec.as_ref(), cpr.ck, data, true))
+    } else {
+        None
+    };
+    let blob = binomial_bcast_bytes(comm, root, payload, tags::BCAST + 0xC00);
+    if me == root {
+        data.to_vec()
+    } else {
+        decompress_auto_in(comm, cpr.codec.as_ref(), cpr.dk, &blob)
+    }
+}
+
+/// C-Scatter: the root compresses each destination's segment exactly
+/// once; interior tree nodes forward *framed sets of compressed segments*
+/// without touching them; each rank decompresses only its own segment.
+pub fn c_binomial_scatter<C: Comm>(
+    comm: &mut C,
+    cpr: &CprCodec,
+    root: usize,
+    data: &[f32],
+    total_len: usize,
+) -> Vec<f32> {
+    let n = comm.size();
+    let me = comm.rank();
+    assert!(root < n, "root {root} out of range");
+    let lengths = chunk_lengths(total_len, n);
+    let relative = (me + n - root) % n;
+
+    // Acquire my span of compressed segments, in relative order.
+    let mut held: Vec<Bytes>;
+    let mut span: usize;
+    let mut m: usize;
+    if me == root {
+        assert_eq!(data.len(), total_len, "root buffer must hold all chunks");
+        let offsets = chunk_offsets(&lengths);
+        held = Vec::with_capacity(n);
+        for i in 0..n {
+            let a = (root + i) % n;
+            let seg = &data[offsets[a]..offsets[a] + lengths[a]];
+            held.push(compress_in(comm, cpr.codec.as_ref(), cpr.ck, seg, true));
+        }
+        span = n;
+        m = n.next_power_of_two();
+    } else {
+        let lowbit = relative & relative.wrapping_neg();
+        let src = (relative - lowbit + root) % n;
+        span = lowbit.min(n - relative);
+        m = lowbit;
+        let container = comm.recv(src, tags::SCATTER + 0xC00);
+        held = unframe_blobs(&container).expect("well-formed scatter container");
+        assert_eq!(held.len(), span, "scatter container segment count mismatch");
+    }
+
+    // Forward framed sub-spans; compressed segments are relayed verbatim.
+    m /= 2;
+    while m >= 1 {
+        if m < span {
+            let child_rel = relative + m;
+            let container = frame_blobs(&held[m..]);
+            let dst = (child_rel + root) % n;
+            let req = comm.isend(dst, tags::SCATTER + 0xC00, container);
+            comm.wait_send_in(req, Category::Wait);
+            held.truncate(m);
+            span = m;
+        }
+        m /= 2;
+    }
+
+    // Decompress exactly my own segment (held[0]).
+    let mine = decompress_auto_in(comm, cpr.codec.as_ref(), cpr.dk, &held[0]);
+    if me == root {
+        // The root never lost precision: return its original chunk.
+        let offsets = chunk_offsets(&lengths);
+        return data[offsets[me]..offsets[me] + lengths[me]].to_vec();
+    }
+    assert_eq!(mine.len(), lengths[me], "C-Scatter segment length mismatch");
+    mine
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccoll_comm::{Kernel, SimConfig, SimWorld};
+    use ccoll_compress::{Compressor, SzxCodec};
+    use std::sync::Arc;
+
+    fn szx(eb: f32) -> CprCodec {
+        CprCodec::new(
+            Arc::new(SzxCodec::new(eb)),
+            Kernel::SzxCompress,
+            Kernel::SzxDecompress,
+        )
+    }
+
+    fn rank_data(rank: usize, len: usize) -> Vec<f32> {
+        (0..len)
+            .map(|i| ((i + 13 * rank) as f32 * 2e-3).sin() * 4.0)
+            .collect()
+    }
+
+    #[test]
+    fn size_exchange_collects_all() {
+        let n = 7;
+        let world = SimWorld::new(SimConfig::new(n));
+        let out = world.run(move |c| exchange_sizes(c, (100 + c.rank()) as u32));
+        for r in 0..n {
+            let expect: Vec<u32> = (0..n).map(|i| (100 + i) as u32).collect();
+            assert_eq!(out.results[r], expect, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn c_allgather_single_compression_error() {
+        // THE error property of the framework: every block's error is one
+        // single compression error ≤ eb, regardless of hop count.
+        let n = 8;
+        let eb = 1e-3f32;
+        let len = 2000;
+        let world = SimWorld::new(SimConfig::new(n));
+        let cpr = szx(eb);
+        let out = world.run(move |c| c_ring_allgather(c, &cpr, &rank_data(c.rank(), len)));
+        for r in 0..n {
+            for src in 0..n {
+                let expect = rank_data(src, len);
+                let got = &out.results[r][src * len..(src + 1) * len];
+                let worst = expect
+                    .iter()
+                    .zip(got)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f32, f32::max);
+                assert!(
+                    worst <= eb + 1e-7,
+                    "rank {r} block {src}: error {worst} exceeds single bound {eb}"
+                );
+                if src == r {
+                    assert_eq!(worst, 0.0, "own block must be exact");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn c_allgatherv_unequal_counts() {
+        let n = 5;
+        let counts = [100usize, 0, 333, 17, 250];
+        let world = SimWorld::new(SimConfig::new(n));
+        let cpr = szx(1e-4);
+        let out = world.run(move |c| {
+            let mine = rank_data(c.rank(), counts[c.rank()]);
+            c_ring_allgatherv(c, &cpr, &mine, &counts)
+        });
+        let offsets = chunk_offsets(&counts.to_vec());
+        for r in 0..n {
+            for src in 0..n {
+                let expect = rank_data(src, counts[src]);
+                let got = &out.results[r][offsets[src]..offsets[src] + counts[src]];
+                for (a, b) in expect.iter().zip(got) {
+                    assert!((a - b).abs() <= 1e-4 + 1e-7, "rank {r} src {src}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn c_bcast_single_bound_all_roots() {
+        let n = 9;
+        let eb = 1e-3f32;
+        for root in [0usize, 4, 8] {
+            let world = SimWorld::new(SimConfig::new(n));
+            let cpr = szx(eb);
+            let out = world.run(move |c| {
+                let data = if c.rank() == root {
+                    rank_data(root, 1500)
+                } else {
+                    Vec::new()
+                };
+                c_binomial_bcast(c, &cpr, root, &data)
+            });
+            let expect = rank_data(root, 1500);
+            for r in 0..n {
+                let worst = expect
+                    .iter()
+                    .zip(&out.results[r])
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f32, f32::max);
+                assert!(
+                    worst <= eb + 1e-7,
+                    "root {root} rank {r}: {worst} exceeds {eb} — multi-hop error leaked in"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn c_scatter_single_bound() {
+        let n = 6;
+        let total = 999;
+        let eb = 1e-3f32;
+        let world = SimWorld::new(SimConfig::new(n));
+        let cpr = szx(eb);
+        let out = world.run(move |c| {
+            let data = if c.rank() == 1 { rank_data(5, total) } else { Vec::new() };
+            c_binomial_scatter(c, &cpr, 1, &data, total)
+        });
+        let full = rank_data(5, total);
+        let lengths = chunk_lengths(total, n);
+        let offsets = chunk_offsets(&lengths);
+        for r in 0..n {
+            let expect = &full[offsets[r]..offsets[r] + lengths[r]];
+            for (a, b) in expect.iter().zip(&out.results[r]) {
+                assert!((a - b).abs() <= eb + 1e-7, "rank {r}");
+            }
+        }
+        // Root keeps its chunk losslessly.
+        assert_eq!(out.results[1], &full[offsets[1]..offsets[1] + lengths[1]]);
+    }
+
+    #[test]
+    fn nd_compresses_once_vs_di_many() {
+        // Count compression invocations through a counting codec wrapper.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static COUNT: AtomicUsize = AtomicUsize::new(0);
+
+        struct Counting(SzxCodec);
+        impl Compressor for Counting {
+            fn compress(&self, d: &[f32]) -> Result<Vec<u8>, ccoll_compress::CompressError> {
+                COUNT.fetch_add(1, Ordering::SeqCst);
+                self.0.compress(d)
+            }
+            fn decompress(&self, s: &[u8]) -> Result<Vec<f32>, ccoll_compress::CompressError> {
+                self.0.decompress(s)
+            }
+            fn kind(&self) -> ccoll_compress::CodecKind {
+                self.0.kind()
+            }
+        }
+
+        let n = 8;
+        COUNT.store(0, Ordering::SeqCst);
+        let cpr = CprCodec::new(
+            Arc::new(Counting(SzxCodec::new(1e-3))),
+            Kernel::SzxCompress,
+            Kernel::SzxDecompress,
+        );
+        let world = SimWorld::new(SimConfig::new(n));
+        world.run(move |c| c_ring_allgather(c, &cpr, &rank_data(c.rank(), 500)));
+        let c_coll_count = COUNT.swap(0, Ordering::SeqCst);
+        assert_eq!(c_coll_count, n, "C-Allgather: exactly one compression per rank");
+
+        let cpr = CprCodec::new(
+            Arc::new(Counting(SzxCodec::new(1e-3))),
+            Kernel::SzxCompress,
+            Kernel::SzxDecompress,
+        );
+        let world = SimWorld::new(SimConfig::new(n));
+        world.run(move |c| {
+            crate::collectives::cpr_p2p::cpr_ring_allgather(c, &cpr, &rank_data(c.rank(), 500))
+        });
+        let di_count = COUNT.load(Ordering::SeqCst);
+        assert_eq!(
+            di_count,
+            n * (n - 1),
+            "CPR-P2P allgather: one compression per rank per round"
+        );
+    }
+}
+
+/// C-Alltoall: compress every outgoing block once (into pooled buffers),
+/// exchange compressed sizes, then run the pairwise exchange on compressed
+/// payloads with a fixed, size-aware schedule; decompress on receipt.
+pub fn c_pairwise_alltoall<C: Comm>(comm: &mut C, cpr: &CprCodec, send: &[f32]) -> Vec<f32> {
+    let n = comm.size();
+    let me = comm.rank();
+    assert!(
+        send.len() % n == 0,
+        "all-to-all buffer ({}) must divide evenly across {n} ranks",
+        send.len()
+    );
+    let block = send.len() / n;
+    // Compress all outgoing blocks up front (once each).
+    let blobs: Vec<Bytes> = (0..n)
+        .map(|to| {
+            if to == me {
+                Bytes::new()
+            } else {
+                compress_in(
+                    comm,
+                    cpr.codec.as_ref(),
+                    cpr.ck,
+                    &send[to * block..(to + 1) * block],
+                    true,
+                )
+            }
+        })
+        .collect();
+    // Size synchronization (total compressed bytes per rank) keeps the
+    // schedule fixed, as in C-Allgather.
+    let total: usize = blobs.iter().map(|b| b.len()).sum();
+    let _sizes = exchange_sizes(comm, total as u32);
+    let mut out = vec![0.0f32; send.len()];
+    memcpy_in(
+        comm,
+        &mut out[me * block..(me + 1) * block],
+        &send[me * block..(me + 1) * block],
+    );
+    for i in 1..n {
+        let to = (me + i) % n;
+        let from = (me + n - i) % n;
+        let tag = tags::ALLTOALL + 0xC00 + i as Tag;
+        let got = comm.sendrecv(to, from, tag, blobs[to].clone(), Category::Allgather);
+        let vals = decompress_auto_in(comm, cpr.codec.as_ref(), cpr.dk, &got);
+        assert_eq!(vals.len(), block, "C-Alltoall block length mismatch");
+        memcpy_in(comm, &mut out[from * block..(from + 1) * block], &vals);
+    }
+    out
+}
+
+/// C-Gather: each rank compresses its chunk once; interior binomial-tree
+/// nodes relay framed compressed segments upward untouched; the root
+/// performs every decompression. The mirror image of [`c_binomial_scatter`].
+pub fn c_binomial_gather<C: Comm>(
+    comm: &mut C,
+    cpr: &CprCodec,
+    root: usize,
+    mine: &[f32],
+    total_len: usize,
+) -> Option<Vec<f32>> {
+    let n = comm.size();
+    let me = comm.rank();
+    assert!(root < n, "root {root} out of range");
+    let lengths = chunk_lengths(total_len, n);
+    assert_eq!(mine.len(), lengths[me], "my chunk disagrees with partition");
+    let relative = (me + n - root) % n;
+
+    // My own compressed segment (root's stays uncompressed-exact later).
+    let mut held: Vec<Bytes> =
+        vec![compress_in(comm, cpr.codec.as_ref(), cpr.ck, mine, true)];
+    let mut mask = 1usize;
+    while mask < n {
+        if relative & mask != 0 {
+            let parent = (relative - mask + root) % n;
+            let container = frame_blobs(&held);
+            let req = comm.isend(parent, tags::GATHER + 0xC00, container);
+            comm.wait_send_in(req, Category::Wait);
+            return None;
+        }
+        let child_rel = relative + mask;
+        if child_rel < n {
+            let container = comm.recv((child_rel + root) % n, tags::GATHER + 0xC00);
+            let blobs = unframe_blobs(&container).expect("well-formed gather container");
+            held.extend(blobs);
+        }
+        mask <<= 1;
+    }
+    // Root: decompress every segment (held is in relative order).
+    let mut out = vec![0.0f32; total_len];
+    let offsets = chunk_offsets(&lengths);
+    for (i, blob) in held.iter().enumerate() {
+        let a = (root + i) % n;
+        let vals = if a == me {
+            mine.to_vec() // the root's own chunk stays lossless
+        } else {
+            decompress_auto_in(comm, cpr.codec.as_ref(), cpr.dk, blob)
+        };
+        assert_eq!(vals.len(), lengths[a], "C-Gather segment length mismatch");
+        out[offsets[a]..offsets[a] + lengths[a]].copy_from_slice(&vals);
+    }
+    Some(out)
+}

@@ -1,0 +1,43 @@
+//! The two C-Coll frameworks (the paper's core contribution, §III-A).
+//!
+//! * [`data_movement`] — for collectives that only *move* data (allgather,
+//!   bcast, scatter, gather): the transferred bytes are never modified, so
+//!   compression can happen **once** at the data's origin and
+//!   decompression **once** at each final consumer, with every
+//!   intermediate hop relaying opaque compressed bytes. This cuts the
+//!   compression cost from `(N−1)·T` to `T` (ring) or `log₂N·T` to `T`
+//!   (tree) and — just as importantly — caps the reconstruction error at
+//!   a *single* compression error bound, independent of hop count.
+//!
+//! * [`computation`] — for collectives that *combine* data
+//!   (reduce-scatter, allreduce): every round produces new values, so
+//!   per-round compression is unavoidable; instead, the framework hides
+//!   communication inside the compression/decompression kernels by
+//!   running PIPE-SZx-style chunked kernels and draining the network
+//!   between chunks (paper §III-E2).
+
+pub mod computation;
+pub mod data_movement;
+
+use ccoll_comm::{Category, Comm, Kernel};
+use ccoll_compress::Compressor;
+
+/// Decompress with cost charged by the *actual* decompressed size (used
+/// where the receiver learns the length from the stream itself).
+pub(crate) fn decompress_auto_in<C: Comm>(
+    comm: &mut C,
+    codec: &dyn Compressor,
+    dk: Kernel,
+    stream: &[u8],
+) -> Vec<f32> {
+    let t0 = comm.now();
+    let out = codec
+        .decompress(stream)
+        .expect("decompression of a stream we compressed cannot fail");
+    let real = comm.now() - t0;
+    if real > std::time::Duration::ZERO {
+        comm.profiler().add(Category::ComDecom, real);
+    }
+    comm.charge(dk, out.len() * 4, Category::ComDecom);
+    out
+}

@@ -1,0 +1,51 @@
+//! # c-coll
+//!
+//! **C-Coll**: an error-controlled, lossy-compression-integrated collective
+//! communication framework — a from-scratch Rust reproduction of
+//! *An Optimized Error-controlled MPI Collective Framework Integrated with
+//! Lossy Compression* (Huang et al., IPDPS 2024).
+//!
+//! ## What the paper contributes, and where it lives here
+//!
+//! | Paper contribution | Module |
+//! |---|---|
+//! | Collective **data-movement** framework: compress once, relay compressed bytes through every round, decompress once (§III-A1) | [`frameworks::data_movement`] |
+//! | Collective **computation** framework: pipeline chunk-wise compression with communication so transfers hide inside the kernel (§III-A2, §III-E2) | [`frameworks::computation`] |
+//! | C-Allreduce / C-Scatter / C-Bcast built on the two frameworks (§III-E, §IV-D) | [`api`] |
+//! | CPR-P2P baselines (compress every send, decompress every receive) | [`collectives::cpr_p2p`] |
+//! | Uncompressed MPI-style collectives (ring, binomial tree, recursive doubling) | [`collectives::baseline`] |
+//! | Error-propagation theory: Theorems 1–2 and corollaries (§III-B) | [`theory`] |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use c_coll::api::{CColl, ReduceOp};
+//! use c_coll::codec::CodecSpec;
+//! use ccoll_comm::{SimWorld, SimConfig, Comm};
+//!
+//! // An 8-node virtual cluster; each node holds a 40k-value buffer.
+//! let ccoll = CColl::new(CodecSpec::Szx { error_bound: 1e-3 });
+//! let world = SimWorld::new(SimConfig::new(8));
+//! let out = world.run(move |comm| {
+//!     let rank = comm.rank();
+//!     let data: Vec<f32> = (0..40_000)
+//!         .map(|i| ((i + rank * 7) as f32 * 1e-3).sin())
+//!         .collect();
+//!     ccoll.allreduce(comm, &data, ReduceOp::Sum)
+//! });
+//! // Every rank holds the (error-bounded) global sum.
+//! assert_eq!(out.results.len(), 8);
+//! assert_eq!(out.results[0].len(), 40_000);
+//! ```
+
+pub mod api;
+pub mod codec;
+pub mod collectives;
+pub mod frameworks;
+pub mod partition;
+pub mod reduce;
+pub mod theory;
+pub mod wire;
+
+pub use api::{AllreduceVariant, CColl, ReduceOp};
+pub use codec::CodecSpec;

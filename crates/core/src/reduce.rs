@@ -1,0 +1,126 @@
+//! Reduction operators for collective computation.
+//!
+//! The paper's error analysis covers Sum, Average, Max and Min (§III-B,
+//! Theorems 1–2); these are the operators provided here. `Average` is
+//! implemented as Sum followed by a final division by the communicator
+//! size, which is both the standard MPI idiom and what Corollary 2's
+//! `σ²/n` variance-reduction result assumes.
+
+/// A reduction operator over `f32` buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    /// Element-wise sum.
+    Sum,
+    /// Element-wise average (sum, then divide by the rank count at the
+    /// end of the collective).
+    Avg,
+    /// Element-wise maximum.
+    Max,
+    /// Element-wise minimum.
+    Min,
+}
+
+impl ReduceOp {
+    /// All operators the theory covers.
+    pub const ALL: [ReduceOp; 4] = [ReduceOp::Sum, ReduceOp::Avg, ReduceOp::Max, ReduceOp::Min];
+
+    /// Fold `src` into `acc` element-wise.
+    ///
+    /// # Panics
+    /// Panics if the buffers have different lengths.
+    pub fn apply(&self, acc: &mut [f32], src: &[f32]) {
+        assert_eq!(acc.len(), src.len(), "reduction length mismatch");
+        match self {
+            ReduceOp::Sum | ReduceOp::Avg => {
+                for (a, &s) in acc.iter_mut().zip(src) {
+                    *a += s;
+                }
+            }
+            ReduceOp::Max => {
+                for (a, &s) in acc.iter_mut().zip(src) {
+                    *a = a.max(s);
+                }
+            }
+            ReduceOp::Min => {
+                for (a, &s) in acc.iter_mut().zip(src) {
+                    *a = a.min(s);
+                }
+            }
+        }
+    }
+
+    /// Post-processing after the reduction tree completes: `Avg` divides
+    /// by the number of contributors; other operators are identity.
+    pub fn finalize(&self, acc: &mut [f32], contributors: usize) {
+        if *self == ReduceOp::Avg && contributors > 0 {
+            let inv = 1.0 / contributors as f32;
+            for a in acc.iter_mut() {
+                *a *= inv;
+            }
+        }
+    }
+
+    /// Sequential oracle: reduce a set of buffers exactly (used by tests
+    /// to validate collectives).
+    ///
+    /// # Panics
+    /// Panics if `inputs` is empty or lengths differ.
+    pub fn oracle(&self, inputs: &[Vec<f32>]) -> Vec<f32> {
+        assert!(!inputs.is_empty(), "oracle needs at least one input");
+        let mut acc = inputs[0].clone();
+        for src in &inputs[1..] {
+            self.apply(&mut acc, src);
+        }
+        self.finalize(&mut acc, inputs.len());
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_and_avg() {
+        let mut a = vec![1.0f32, 2.0];
+        ReduceOp::Sum.apply(&mut a, &[3.0, 4.0]);
+        assert_eq!(a, vec![4.0, 6.0]);
+        let mut b = vec![4.0f32, 6.0];
+        ReduceOp::Avg.finalize(&mut b, 2);
+        assert_eq!(b, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn max_min() {
+        let mut a = vec![1.0f32, 5.0, -2.0];
+        ReduceOp::Max.apply(&mut a, &[2.0, 4.0, -3.0]);
+        assert_eq!(a, vec![2.0, 5.0, -2.0]);
+        let mut b = vec![1.0f32, 5.0, -2.0];
+        ReduceOp::Min.apply(&mut b, &[2.0, 4.0, -3.0]);
+        assert_eq!(b, vec![1.0, 4.0, -3.0]);
+    }
+
+    #[test]
+    fn oracle_matches_manual() {
+        let inputs = vec![vec![1.0f32, 2.0], vec![3.0, 5.0], vec![-1.0, 10.0]];
+        assert_eq!(ReduceOp::Sum.oracle(&inputs), vec![3.0, 17.0]);
+        assert_eq!(ReduceOp::Max.oracle(&inputs), vec![3.0, 10.0]);
+        assert_eq!(ReduceOp::Min.oracle(&inputs), vec![-1.0, 2.0]);
+        let avg = ReduceOp::Avg.oracle(&inputs);
+        assert!((avg[0] - 1.0).abs() < 1e-6);
+        assert!((avg[1] - 17.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn finalize_identity_for_non_avg() {
+        let mut a = vec![4.0f32];
+        ReduceOp::Sum.finalize(&mut a, 4);
+        assert_eq!(a, vec![4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths() {
+        ReduceOp::Sum.apply(&mut [1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,124 @@
+//! Wire helpers: framing multiple blobs into one message and converting
+//! between `f32` buffers and byte payloads.
+//!
+//! C-Scatter forwards, through each binomial-tree hop, the *set* of
+//! per-destination compressed segments belonging to the receiver's
+//! subtree. This module provides the multi-blob container used for that:
+//!
+//! ```text
+//! count   u32
+//! sizes   u32 × count
+//! blobs   blob 0 ‖ blob 1 ‖ …
+//! ```
+
+use bytes::Bytes;
+
+/// Frame `blobs` into a single container payload.
+pub fn frame_blobs(blobs: &[Bytes]) -> Bytes {
+    let total: usize = blobs.iter().map(|b| b.len()).sum();
+    let mut out = Vec::with_capacity(4 + blobs.len() * 4 + total);
+    out.extend_from_slice(&(blobs.len() as u32).to_le_bytes());
+    for b in blobs {
+        out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    }
+    for b in blobs {
+        out.extend_from_slice(b);
+    }
+    Bytes::from(out)
+}
+
+/// Inverse of [`frame_blobs`]. Returns `None` on malformed input.
+/// Splitting is zero-copy (`Bytes::slice`).
+pub fn unframe_blobs(container: &Bytes) -> Option<Vec<Bytes>> {
+    if container.len() < 4 {
+        return None;
+    }
+    let count = u32::from_le_bytes(container[0..4].try_into().ok()?) as usize;
+    let header = 4 + count * 4;
+    if container.len() < header {
+        return None;
+    }
+    let mut sizes = Vec::with_capacity(count);
+    for i in 0..count {
+        let at = 4 + i * 4;
+        sizes.push(u32::from_le_bytes(container[at..at + 4].try_into().ok()?) as usize);
+    }
+    let total: usize = sizes.iter().sum();
+    if container.len() != header + total {
+        return None;
+    }
+    let mut blobs = Vec::with_capacity(count);
+    let mut at = header;
+    for s in sizes {
+        blobs.push(container.slice(at..at + s));
+        at += s;
+    }
+    Some(blobs)
+}
+
+/// `f32` slice → byte payload (little-endian).
+pub fn values_to_bytes(values: &[f32]) -> Bytes {
+    Bytes::from(ccoll_compress::f32s_to_bytes(values))
+}
+
+/// Byte payload → `f32` vector.
+///
+/// # Panics
+/// Panics if the length is not a multiple of four.
+pub fn bytes_to_values(bytes: &Bytes) -> Vec<f32> {
+    ccoll_compress::bytes_to_f32s(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let blobs = vec![
+            Bytes::from_static(b"alpha"),
+            Bytes::new(),
+            Bytes::from_static(b"z"),
+        ];
+        let c = frame_blobs(&blobs);
+        let back = unframe_blobs(&c).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(&back[0][..], b"alpha");
+        assert!(back[1].is_empty());
+        assert_eq!(&back[2][..], b"z");
+    }
+
+    #[test]
+    fn empty_container() {
+        let c = frame_blobs(&[]);
+        assert_eq!(unframe_blobs(&c).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(unframe_blobs(&Bytes::from_static(b"")).is_none());
+        assert!(unframe_blobs(&Bytes::from_static(b"\x01\x00\x00\x00")).is_none());
+        // Declared size exceeds payload.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&1u32.to_le_bytes());
+        bad.extend_from_slice(&100u32.to_le_bytes());
+        bad.extend_from_slice(b"short");
+        assert!(unframe_blobs(&Bytes::from(bad)).is_none());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let c = frame_blobs(&[Bytes::from_static(b"ok")]);
+        let mut v = c.to_vec();
+        v.push(0xFF);
+        assert!(unframe_blobs(&Bytes::from(v)).is_none());
+    }
+
+    #[test]
+    fn value_conversion() {
+        let vals = vec![1.5f32, -2.25, 0.0];
+        let b = values_to_bytes(&vals);
+        assert_eq!(b.len(), 12);
+        assert_eq!(bytes_to_values(&b), vals);
+    }
+}

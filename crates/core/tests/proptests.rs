@@ -1,0 +1,125 @@
+//! Property-based tests for collective correctness and error bounds,
+//! driven across random rank counts, buffer lengths and datasets.
+
+use c_coll::collectives::baseline;
+use c_coll::partition::{chunk_lengths, chunk_offsets};
+use c_coll::theory;
+use c_coll::{AllreduceVariant, CColl, CodecSpec, ReduceOp};
+use ccoll_comm::{Comm, SimConfig, SimWorld};
+use proptest::prelude::*;
+
+fn rank_data(rank: usize, len: usize, seed: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let x = (i as u64)
+                .wrapping_mul(0x9E37_79B9)
+                .wrapping_add(rank as u64 * 7919)
+                .wrapping_add(seed);
+            ((x % 10_000) as f32 / 10_000.0 - 0.5) * 4.0
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn baseline_allreduce_matches_oracle(
+        n in 1usize..=9,
+        len in 1usize..300,
+        seed in any::<u64>(),
+    ) {
+        let world = SimWorld::new(SimConfig::new(n));
+        let out = world.run(move |c| {
+            baseline::ring_allreduce(c, &rank_data(c.rank(), len, seed), ReduceOp::Sum)
+        });
+        let inputs: Vec<Vec<f32>> = (0..n).map(|r| rank_data(r, len, seed)).collect();
+        let expect = ReduceOp::Sum.oracle(&inputs);
+        for r in 0..n {
+            for (a, b) in out.results[r].iter().zip(&expect) {
+                prop_assert!((a - b).abs() < 1e-3, "rank {}: {} vs {}", r, a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_scatter_gather_inverse(
+        n in 2usize..=10,
+        total in 1usize..500,
+        root in 0usize..10,
+        seed in any::<u64>(),
+    ) {
+        let root = root % n;
+        let world = SimWorld::new(SimConfig::new(n));
+        let out = world.run(move |c| {
+            let data = if c.rank() == root {
+                rank_data(root, total, seed)
+            } else {
+                Vec::new()
+            };
+            let mine = baseline::binomial_scatter(c, root, &data, total);
+            baseline::binomial_gather(c, root, &mine, total)
+        });
+        let expect = rank_data(root, total, seed);
+        prop_assert_eq!(out.results[root].as_ref().expect("root gathers"), &expect);
+    }
+
+    #[test]
+    fn c_allreduce_error_bounded_prop(
+        n in 2usize..=8,
+        len in 10usize..2000,
+        seed in any::<u64>(),
+        variant_idx in 0usize..4,
+    ) {
+        let eb = 1e-3f32;
+        let variant = AllreduceVariant::ALL[variant_idx];
+        let ccoll = CColl::new(CodecSpec::Szx { error_bound: eb });
+        let world = SimWorld::new(SimConfig::new(n));
+        let out = world.run(move |c| {
+            ccoll.allreduce_variant(c, &rank_data(c.rank(), len, seed), ReduceOp::Sum, variant)
+        });
+        let inputs: Vec<Vec<f32>> = (0..n).map(|r| rank_data(r, len, seed)).collect();
+        let expect = ReduceOp::Sum.oracle(&inputs);
+        // DI can touch each value ~2(n-1) times in the worst case.
+        let tol = (2 * n) as f32 * eb;
+        for r in 0..n {
+            for (a, b) in out.results[r].iter().zip(&expect) {
+                prop_assert!((a - b).abs() <= tol,
+                    "{} n={} rank {}: {} vs {}", variant.label(), n, r, a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_is_exhaustive_and_balanced(len in 0usize..10_000, n in 1usize..=64) {
+        let lengths = chunk_lengths(len, n);
+        prop_assert_eq!(lengths.len(), n);
+        prop_assert_eq!(lengths.iter().sum::<usize>(), len);
+        let min = lengths.iter().min().copied().unwrap_or(0);
+        let max = lengths.iter().max().copied().unwrap_or(0);
+        prop_assert!(max - min <= 1, "balanced partition: {:?}", (min, max));
+        let offsets = chunk_offsets(&lengths);
+        for i in 1..n {
+            prop_assert_eq!(offsets[i], offsets[i - 1] + lengths[i - 1]);
+        }
+    }
+
+    #[test]
+    fn theorem1_interval_grows_like_sqrt_n(n in 1usize..5000, eb in 1e-6f64..1e-1) {
+        let half = theory::sum_error_halfwidth_from_bound(n, eb);
+        let expect = 2.0 / 3.0 * (n as f64).sqrt() * eb;
+        prop_assert!((half - expect).abs() < 1e-12 * expect.max(1.0));
+        // Always no worse than the deterministic bound for n ≥ 1
+        // (at n ≤ 4 the two coincide in order of magnitude).
+        if n >= 5 {
+            prop_assert!(half < theory::sum_error_worst_case(n, eb));
+        }
+    }
+
+    #[test]
+    fn maxmin_variance_bounded_by_2_sigma_sq(n in 1usize..200, sigma in 1e-6f64..10.0) {
+        let v = theory::maxmin_error_variance(n, sigma);
+        prop_assert!(v <= 2.0 * sigma * sigma + 1e-12);
+        prop_assert!(v >= 0.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # ccoll-data
+//!
+//! Synthetic scientific dataset generators and accuracy metrics for the
+//! C-Coll reproduction.
+//!
+//! The paper evaluates on three application datasets (Table IV):
+//!
+//! | Application | Dimensions | Description |
+//! |---|---|---|
+//! | RTM | 849×849×235 | Seismic wave (reverse time migration) |
+//! | Hurricane | 100×500×500 | Weather simulation (Hurricane ISABEL) |
+//! | CESM-ATM | 1800×3600 | Climate simulation |
+//!
+//! Those datasets are not redistributable here, so this crate generates
+//! *synthetic stand-ins* with matched qualitative properties — the only
+//! properties the evaluation depends on:
+//!
+//! * **Compressibility spread** — RTM is very smooth (paper Table II: SZx
+//!   ratio ≈ 49 at eb 1e-3), Hurricane is mid (≈ 17), CESM-ATM is rough
+//!   (≈ 5). The generators reproduce this ordering.
+//! * **Per-rank variation** — collective experiments need ranks holding
+//!   data of differing compressibility so that CPR-P2P's unbalanced
+//!   communication issue (paper §III-A1) manifests; every generator takes
+//!   a seed that perturbs the field.
+//! * **Error distribution** — compression errors on these fields are
+//!   approximately normally distributed (paper Fig. 5); verified by the
+//!   [`stats`] module on our generators.
+//!
+//! All generators are deterministic functions of their parameters.
+
+pub mod fields;
+pub mod metrics;
+pub mod pgm;
+pub mod rng;
+pub mod stats;
+
+pub use fields::{cesm, hurricane, rtm, Dataset, FieldSpec};
+pub use metrics::{max_abs_error, nrmse, psnr, value_range};
+pub use stats::{NormalFit, Summary};

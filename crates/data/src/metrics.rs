@@ -1,0 +1,123 @@
+//! Accuracy metrics used throughout the paper's evaluation: PSNR, NRMSE,
+//! maximum absolute error and value range.
+//!
+//! The paper reports PSNR and NRMSE for reconstructed fields (Figs. 14, 15
+//! and 18) using the range-based definitions standard in scientific-data
+//! compression: with `R = max(x) − min(x)` and
+//! `MSE = mean((x − x̂)²)`,
+//!
+//! * `PSNR = 20·log10(R) − 10·log10(MSE)`
+//! * `NRMSE = sqrt(MSE) / R`
+
+/// `(min, max)` of a slice. Returns `(0, 0)` for an empty slice.
+pub fn value_range(data: &[f32]) -> (f64, f64) {
+    if data.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &v in data {
+        let v = v as f64;
+        min = min.min(v);
+        max = max.max(v);
+    }
+    (min, max)
+}
+
+fn mse(original: &[f32], reconstructed: &[f32]) -> f64 {
+    assert_eq!(original.len(), reconstructed.len(), "length mismatch");
+    if original.is_empty() {
+        return 0.0;
+    }
+    let mut sum = 0.0f64;
+    for (&a, &b) in original.iter().zip(reconstructed) {
+        let d = a as f64 - b as f64;
+        sum += d * d;
+    }
+    sum / original.len() as f64
+}
+
+/// Range-based peak signal-to-noise ratio in dB. `inf` for an exact
+/// reconstruction.
+pub fn psnr(original: &[f32], reconstructed: &[f32]) -> f64 {
+    let (min, max) = value_range(original);
+    let range = max - min;
+    let mse = mse(original, reconstructed);
+    if mse == 0.0 {
+        f64::INFINITY
+    } else if range <= 0.0 {
+        0.0
+    } else {
+        20.0 * range.log10() - 10.0 * mse.log10()
+    }
+}
+
+/// Root-mean-square error normalized by the value range.
+pub fn nrmse(original: &[f32], reconstructed: &[f32]) -> f64 {
+    let (min, max) = value_range(original);
+    let range = max - min;
+    let mse = mse(original, reconstructed);
+    if mse == 0.0 {
+        0.0
+    } else if range <= 0.0 {
+        f64::INFINITY
+    } else {
+        mse.sqrt() / range
+    }
+}
+
+/// Maximum pointwise absolute error.
+pub fn max_abs_error(original: &[f32], reconstructed: &[f32]) -> f64 {
+    assert_eq!(original.len(), reconstructed.len(), "length mismatch");
+    original
+        .iter()
+        .zip(reconstructed)
+        .map(|(&a, &b)| (a as f64 - b as f64).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_reconstruction() {
+        let d = vec![1.0f32, -2.0, 3.0];
+        assert!(psnr(&d, &d).is_infinite());
+        assert_eq!(nrmse(&d, &d), 0.0);
+        assert_eq!(max_abs_error(&d, &d), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let a = vec![0.0f32, 2.0];
+        let b = vec![0.2f32, 2.0];
+        // range 2, mse = 0.04/2 = 0.02
+        let expect_psnr = 20.0 * 2f64.log10() - 10.0 * 0.02f64.log10();
+        assert!((psnr(&a, &b) - expect_psnr).abs() < 1e-4);
+        assert!((nrmse(&a, &b) - (0.02f64).sqrt() / 2.0).abs() < 1e-6);
+        assert!((max_abs_error(&a, &b) - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn range_helper() {
+        assert_eq!(value_range(&[]), (0.0, 0.0));
+        let (lo, hi) = value_range(&[3.0, -1.0, 2.0]);
+        assert_eq!((lo, hi), (-1.0, 3.0));
+    }
+
+    #[test]
+    fn psnr_monotone_in_error() {
+        let a: Vec<f32> = (0..1000).map(|i| (i as f32 * 0.01).sin()).collect();
+        let b: Vec<f32> = a.iter().map(|v| v + 0.001).collect();
+        let c: Vec<f32> = a.iter().map(|v| v + 0.01).collect();
+        assert!(psnr(&a, &b) > psnr(&a, &c));
+        assert!(nrmse(&a, &b) < nrmse(&a, &c));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        max_abs_error(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Grayscale PGM output for visual inspection of reconstructed fields.
+//!
+//! The paper's Figs. 14, 15 and 18 compare rendered images of original and
+//! reconstructed fields. This module writes portable graymap (P5) files —
+//! viewable everywhere, dependency-free — so the figure harnesses can dump
+//! the same comparisons.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Render a row-major `width × height` field to 8-bit grayscale by linear
+/// scaling between the field's min and max.
+///
+/// # Panics
+/// Panics if `data.len() < width * height`.
+pub fn to_gray8(data: &[f32], width: usize, height: usize) -> Vec<u8> {
+    assert!(
+        data.len() >= width * height,
+        "field has {} values, need {}",
+        data.len(),
+        width * height
+    );
+    let slice = &data[..width * height];
+    let mut min = f32::INFINITY;
+    let mut max = f32::NEG_INFINITY;
+    for &v in slice {
+        if v.is_finite() {
+            min = min.min(v);
+            max = max.max(v);
+        }
+    }
+    let range = if max > min { max - min } else { 1.0 };
+    slice
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                return 0;
+            }
+            (((v - min) / range) * 255.0).round().clamp(0.0, 255.0) as u8
+        })
+        .collect()
+}
+
+/// Write a binary PGM (P5) image.
+pub fn write_pgm(path: &Path, gray: &[u8], width: usize, height: usize) -> io::Result<()> {
+    assert_eq!(gray.len(), width * height, "pixel count mismatch");
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write!(f, "P5\n{width} {height}\n255\n")?;
+    f.write_all(gray)?;
+    f.flush()
+}
+
+/// Convenience: scale a field and write it in one call.
+pub fn dump_field(path: &Path, data: &[f32], width: usize, height: usize) -> io::Result<()> {
+    let gray = to_gray8(data, width, height);
+    write_pgm(path, &gray, width, height)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_maps_extremes() {
+        let data = vec![0.0f32, 0.5, 1.0, 0.25];
+        let g = to_gray8(&data, 2, 2);
+        assert_eq!(g[0], 0);
+        assert_eq!(g[2], 255);
+        assert_eq!(g[1], 128);
+    }
+
+    #[test]
+    fn constant_field_does_not_divide_by_zero() {
+        let data = vec![3.0f32; 9];
+        let g = to_gray8(&data, 3, 3);
+        assert!(g.iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn non_finite_pixels_are_black() {
+        let data = vec![f32::NAN, 0.0, 1.0, 0.5];
+        let g = to_gray8(&data, 2, 2);
+        assert_eq!(g[0], 0);
+    }
+
+    #[test]
+    fn pgm_file_round_trip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("ccoll_pgm_test.pgm");
+        let data: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        dump_field(&path, &data, 8, 8).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"P5\n8 8\n255\n"));
+        assert_eq!(bytes.len(), b"P5\n8 8\n255\n".len() + 64);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,172 @@
+//! A small deterministic PRNG and value-noise helpers.
+//!
+//! The generators need reproducible pseudo-randomness that is identical
+//! across platforms and independent of crate versions, so a fixed
+//! SplitMix64 is used instead of `rand`'s default generators (`rand` is
+//! still used in tests and benches for convenience).
+
+/// SplitMix64: tiny, fast, excellent distribution for seeding purposes.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[-1, 1)`.
+    #[inline]
+    pub fn next_signed(&mut self) -> f64 {
+        self.next_f64() * 2.0 - 1.0
+    }
+
+    /// Standard normal via Box–Muller (one sample per call; the pair's
+    /// second member is discarded for simplicity).
+    pub fn next_gaussian(&mut self) -> f64 {
+        // Avoid log(0).
+        let u1 = (1.0 - self.next_f64()).max(f64::MIN_POSITIVE);
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+/// Hash a lattice coordinate to a deterministic gradient-free noise value
+/// in `[-1, 1)` (value noise).
+#[inline]
+fn lattice(seed: u64, x: i64, y: i64) -> f64 {
+    let mut h = seed ^ 0x51_7C_C1_B7_27_22_0A_95u64;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB) ^ (x as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9) ^ (y as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93);
+    h ^= h >> 29;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 32;
+    ((h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) * 2.0 - 1.0
+}
+
+/// Smoothstep interpolation weight.
+#[inline]
+fn smooth(t: f64) -> f64 {
+    t * t * (3.0 - 2.0 * t)
+}
+
+/// 2-D value noise at `(x, y)` with unit lattice spacing: continuous,
+/// deterministic, in `[-1, 1]`.
+pub fn value_noise2(seed: u64, x: f64, y: f64) -> f64 {
+    let xi = x.floor() as i64;
+    let yi = y.floor() as i64;
+    let tx = smooth(x - xi as f64);
+    let ty = smooth(y - yi as f64);
+    let v00 = lattice(seed, xi, yi);
+    let v10 = lattice(seed, xi + 1, yi);
+    let v01 = lattice(seed, xi, yi + 1);
+    let v11 = lattice(seed, xi + 1, yi + 1);
+    let a = v00 + (v10 - v00) * tx;
+    let b = v01 + (v11 - v01) * tx;
+    a + (b - a) * ty
+}
+
+/// Fractal (multi-octave) value noise: `octaves` layers with persistence
+/// 0.5 and lacunarity 2. Roughness grows with `octaves`.
+pub fn fractal_noise2(seed: u64, x: f64, y: f64, octaves: u32) -> f64 {
+    let mut sum = 0.0;
+    let mut amp = 1.0;
+    let mut freq = 1.0;
+    let mut norm = 0.0;
+    for o in 0..octaves {
+        sum += amp * value_noise2(seed.wrapping_add(o as u64), x * freq, y * freq);
+        norm += amp;
+        amp *= 0.5;
+        freq *= 2.0;
+    }
+    sum / norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_deterministic() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut r = SplitMix64::new(42);
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = SplitMix64::new(1);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sq = 0.0;
+        for _ in 0..n {
+            let g = r.next_gaussian();
+            sum += g;
+            sq += g * g;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn value_noise_continuity() {
+        // Adjacent samples must differ by a bounded amount (continuity).
+        let mut prev = value_noise2(3, 0.0, 0.0);
+        for i in 1..1000 {
+            let x = i as f64 * 0.01;
+            let v = value_noise2(3, x, 0.5);
+            assert!((v - prev).abs() < 0.2, "jump at {x}: {prev} -> {v}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn noise_bounded() {
+        for i in 0..500 {
+            let v = fractal_noise2(9, i as f64 * 0.37, i as f64 * 0.11, 5);
+            assert!((-1.0..=1.0).contains(&v), "out of range: {v}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: f64 = (0..100)
+            .map(|i| value_noise2(1, i as f64 * 0.3, 0.0))
+            .sum();
+        let b: f64 = (0..100)
+            .map(|i| value_noise2(2, i as f64 * 0.3, 0.0))
+            .sum();
+        assert!((a - b).abs() > 1e-9);
+    }
+}

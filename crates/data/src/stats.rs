@@ -1,0 +1,259 @@
+//! Error-distribution statistics backing the paper's normality argument.
+//!
+//! The theoretical analysis (paper §III-B) assumes compression errors are
+//! normally distributed and supports this with MLE-fitted histograms
+//! (Figs. 5 and 6). This module provides the same machinery: summary
+//! moments, a maximum-likelihood normal fit (which for a normal is just
+//! the sample mean and standard deviation), empirical coverage
+//! probabilities for `±kσ` intervals, and histogramming for the
+//! figure-regeneration harness.
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (population convention, as MLE uses).
+    pub std: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+    /// Excess kurtosis (0 for a perfect normal); a cheap normality signal.
+    pub excess_kurtosis: f64,
+}
+
+impl Summary {
+    /// Compute summary statistics. Returns `None` for an empty sample.
+    pub fn compute(sample: &[f64]) -> Option<Self> {
+        if sample.is_empty() {
+            return None;
+        }
+        let n = sample.len() as f64;
+        let mean = sample.iter().sum::<f64>() / n;
+        let mut m2 = 0.0;
+        let mut m4 = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &x in sample {
+            let d = x - mean;
+            m2 += d * d;
+            m4 += d * d * d * d;
+            min = min.min(x);
+            max = max.max(x);
+        }
+        m2 /= n;
+        m4 /= n;
+        let std = m2.sqrt();
+        let excess_kurtosis = if m2 > 0.0 { m4 / (m2 * m2) - 3.0 } else { 0.0 };
+        Some(Summary {
+            n: sample.len(),
+            mean,
+            std,
+            min,
+            max,
+            excess_kurtosis,
+        })
+    }
+}
+
+/// A maximum-likelihood normal fit `N(mu, sigma²)`, mirroring the paper's
+/// "Fitted normal distribution of MLE" curves in Figs. 5–6.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NormalFit {
+    /// Fitted mean.
+    pub mu: f64,
+    /// Fitted standard deviation.
+    pub sigma: f64,
+}
+
+impl NormalFit {
+    /// Fit by maximum likelihood (sample mean / population std).
+    pub fn fit(sample: &[f64]) -> Option<Self> {
+        let s = Summary::compute(sample)?;
+        Some(NormalFit {
+            mu: s.mean,
+            sigma: s.std,
+        })
+    }
+
+    /// Density of the fitted normal at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        if self.sigma <= 0.0 {
+            return if x == self.mu { f64::INFINITY } else { 0.0 };
+        }
+        let z = (x - self.mu) / self.sigma;
+        (-0.5 * z * z).exp() / (self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    /// Fraction of the sample within `mu ± k·sigma`. A normal sample gives
+    /// ≈ 68.27 % at k=1, ≈ 95.44 % at k=2 (the paper's headline
+    /// probability) and ≈ 99.74 % at k=3.
+    pub fn coverage(&self, sample: &[f64], k: f64) -> f64 {
+        if sample.is_empty() {
+            return 0.0;
+        }
+        let half = k * self.sigma;
+        let hits = sample
+            .iter()
+            .filter(|&&x| (x - self.mu).abs() <= half)
+            .count();
+        hits as f64 / sample.len() as f64
+    }
+}
+
+/// An equal-width histogram over `[lo, hi]`, for regenerating the paper's
+/// Fig. 5/6 panels as text/CSV.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Inclusive lower edge.
+    pub lo: f64,
+    /// Inclusive upper edge.
+    pub hi: f64,
+    /// Per-bin counts.
+    pub counts: Vec<u64>,
+    /// Observations outside `[lo, hi]`.
+    pub outliers: u64,
+}
+
+impl Histogram {
+    /// Build a histogram with `bins` equal-width bins.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn build(sample: &[f64], lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(hi > lo, "hi must exceed lo");
+        let mut counts = vec![0u64; bins];
+        let mut outliers = 0;
+        let w = (hi - lo) / bins as f64;
+        for &x in sample {
+            if x < lo || x > hi || !x.is_finite() {
+                outliers += 1;
+                continue;
+            }
+            let idx = (((x - lo) / w) as usize).min(bins - 1);
+            counts[idx] += 1;
+        }
+        Histogram {
+            lo,
+            hi,
+            counts,
+            outliers,
+        }
+    }
+
+    /// Bin centers.
+    pub fn centers(&self) -> Vec<f64> {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        (0..self.counts.len())
+            .map(|i| self.lo + w * (i as f64 + 0.5))
+            .collect()
+    }
+
+    /// Normalized densities (integrate to ~1 over `[lo, hi]`).
+    pub fn densities(&self) -> Vec<f64> {
+        let total: u64 = self.counts.iter().sum();
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        if total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / (total as f64 * w))
+            .collect()
+    }
+}
+
+/// Pointwise compression errors `x̂ − x` as `f64`, the sample every
+/// normality figure is built from.
+pub fn pointwise_errors(original: &[f32], reconstructed: &[f32]) -> Vec<f64> {
+    assert_eq!(original.len(), reconstructed.len(), "length mismatch");
+    original
+        .iter()
+        .zip(reconstructed)
+        .map(|(&a, &b)| b as f64 - a as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    fn gaussian_sample(n: usize, mu: f64, sigma: f64, seed: u64) -> Vec<f64> {
+        let mut r = SplitMix64::new(seed);
+        (0..n).map(|_| mu + sigma * r.next_gaussian()).collect()
+    }
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::compute(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.std - (1.25f64).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn empty_sample() {
+        assert!(Summary::compute(&[]).is_none());
+        assert!(NormalFit::fit(&[]).is_none());
+    }
+
+    #[test]
+    fn mle_fit_recovers_parameters() {
+        let sample = gaussian_sample(100_000, 0.5, 2.0, 42);
+        let fit = NormalFit::fit(&sample).unwrap();
+        assert!((fit.mu - 0.5).abs() < 0.03, "mu {}", fit.mu);
+        assert!((fit.sigma - 2.0).abs() < 0.03, "sigma {}", fit.sigma);
+    }
+
+    #[test]
+    fn coverage_matches_normal_theory() {
+        let sample = gaussian_sample(200_000, 0.0, 1.0, 7);
+        let fit = NormalFit::fit(&sample).unwrap();
+        let c1 = fit.coverage(&sample, 1.0);
+        let c2 = fit.coverage(&sample, 2.0);
+        let c3 = fit.coverage(&sample, 3.0);
+        assert!((c1 - 0.6827).abs() < 0.01, "1σ coverage {c1}");
+        assert!((c2 - 0.9544).abs() < 0.005, "2σ coverage {c2}");
+        assert!((c3 - 0.9974).abs() < 0.002, "3σ coverage {c3}");
+    }
+
+    #[test]
+    fn kurtosis_flags_uniform() {
+        // Uniform has excess kurtosis −1.2; normal ≈ 0.
+        let mut r = SplitMix64::new(3);
+        let uni: Vec<f64> = (0..100_000).map(|_| r.next_signed()).collect();
+        let s = Summary::compute(&uni).unwrap();
+        assert!((s.excess_kurtosis + 1.2).abs() < 0.05, "{}", s.excess_kurtosis);
+        let gau = gaussian_sample(100_000, 0.0, 1.0, 4);
+        let g = Summary::compute(&gau).unwrap();
+        assert!(g.excess_kurtosis.abs() < 0.1, "{}", g.excess_kurtosis);
+    }
+
+    #[test]
+    fn histogram_counts_and_density() {
+        let sample = vec![0.1, 0.2, 0.5, 0.9, 1.5, -0.5];
+        let h = Histogram::build(&sample, 0.0, 1.0, 2);
+        // Bins are half-open: 0.5 falls in the second bin.
+        assert_eq!(h.counts, vec![2, 2]);
+        assert_eq!(h.outliers, 2);
+        let d = h.densities();
+        // total in-range 4, width 0.5: densities 2/(4*0.5) each.
+        assert!((d[0] - 1.0).abs() < 1e-12);
+        assert!((d[1] - 1.0).abs() < 1e-12);
+        assert_eq!(h.centers(), vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn pdf_peak_at_mean() {
+        let f = NormalFit { mu: 1.0, sigma: 0.5 };
+        assert!(f.pdf(1.0) > f.pdf(1.5));
+        assert!(f.pdf(1.5) > f.pdf(2.5));
+    }
+}

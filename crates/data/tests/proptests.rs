@@ -1,0 +1,90 @@
+//! Property tests for the dataset generators and statistics machinery.
+
+use ccoll_data::stats::{Histogram, NormalFit, Summary};
+use ccoll_data::{metrics, Dataset};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generators_deterministic_and_finite(
+        ds_idx in 0usize..3,
+        n in 0usize..20_000,
+        seed in any::<u64>(),
+    ) {
+        let ds = Dataset::ALL[ds_idx];
+        let a = ds.generate(n, seed);
+        let b = ds.generate(n, seed);
+        prop_assert_eq!(a.len(), n);
+        prop_assert_eq!(&a, &b, "determinism");
+        prop_assert!(a.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn generator_value_scale_bounded(
+        ds_idx in 0usize..3,
+        n in 1usize..20_000,
+        seed in any::<u64>(),
+    ) {
+        // Fields stay within the O(1) value scale the error bounds of the
+        // paper's experiments (1e-2..1e-4) are calibrated against.
+        let ds = Dataset::ALL[ds_idx];
+        let f = ds.generate(n, seed);
+        prop_assert!(f.iter().all(|v| v.abs() < 100.0));
+    }
+
+    #[test]
+    fn psnr_nrmse_consistent(
+        data in prop::collection::vec(-100.0f32..100.0, 2..500),
+        noise in 0.0f32..0.5,
+    ) {
+        let recon: Vec<f32> = data.iter().enumerate()
+            .map(|(i, &v)| v + noise * ((i % 3) as f32 - 1.0))
+            .collect();
+        let p = metrics::psnr(&data, &recon);
+        let e = metrics::nrmse(&data, &recon);
+        let m = metrics::max_abs_error(&data, &recon);
+        // Allow f32 rounding at |v| ~ 100 (ulp ≈ 8e-6 per op).
+        prop_assert!(m <= noise as f64 + 1e-4);
+        if m == 0.0 {
+            prop_assert!(p.is_infinite());
+            prop_assert_eq!(e, 0.0);
+        } else {
+            prop_assert!(p.is_finite());
+            prop_assert!(e > 0.0);
+        }
+    }
+
+    #[test]
+    fn summary_moments_sane(sample in prop::collection::vec(-1e6f64..1e6, 1..2000)) {
+        let s = Summary::compute(&sample).expect("non-empty");
+        prop_assert!(s.min <= s.mean + 1e-6);
+        prop_assert!(s.mean <= s.max + 1e-6);
+        prop_assert!(s.std >= 0.0);
+        prop_assert_eq!(s.n, sample.len());
+    }
+
+    #[test]
+    fn histogram_conserves_mass(
+        sample in prop::collection::vec(-10.0f64..10.0, 0..1000),
+        bins in 1usize..50,
+    ) {
+        let h = Histogram::build(&sample, -5.0, 5.0, bins);
+        let total: u64 = h.counts.iter().sum();
+        prop_assert_eq!(total + h.outliers, sample.len() as u64);
+        prop_assert_eq!(h.centers().len(), bins);
+    }
+
+    #[test]
+    fn normal_fit_coverage_monotone(sample in prop::collection::vec(-3.0f64..3.0, 10..1000)) {
+        if let Some(fit) = NormalFit::fit(&sample) {
+            let c1 = fit.coverage(&sample, 1.0);
+            let c2 = fit.coverage(&sample, 2.0);
+            let c3 = fit.coverage(&sample, 3.0);
+            prop_assert!(c1 <= c2 + 1e-12);
+            prop_assert!(c2 <= c3 + 1e-12);
+            prop_assert!((0.0..=1.0).contains(&c3));
+        }
+    }
+}

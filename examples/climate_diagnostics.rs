@@ -1,0 +1,61 @@
+//! Climate-model ensemble diagnostics: Average / Max / Min collectives
+//! over CESM-like fields, with the paper's error-propagation theory
+//! checked against what actually happens.
+//!
+//! An ensemble-mean temperature map is an allreduce-AVG; ensemble
+//! extremes are allreduce-MAX/MIN. The paper's §III-B predicts how the
+//! compression error aggregates for each operator (Corollary 2: averaging
+//! shrinks the error by `n`; Theorem 2: max/min errors stay near a single
+//! bound). This example measures all three on a 32-node virtual cluster.
+//!
+//! ```bash
+//! cargo run --release --example climate_diagnostics
+//! ```
+
+use c_coll::{theory, CColl, CodecSpec, ReduceOp};
+use ccoll_comm::{Comm, SimConfig, SimWorld};
+use ccoll_data::{cesm, metrics};
+
+fn main() {
+    let ranks = 32;
+    let n = 200_000;
+    let eb = 1e-3f32;
+
+    println!("Climate ensemble diagnostics: {ranks} members, eb={eb:.0e}\n");
+
+    let members: Vec<Vec<f32>> =
+        (0..ranks).map(|r| cesm::field(cesm::Field::Q, n, r as u64)).collect();
+
+    for op in [ReduceOp::Avg, ReduceOp::Max, ReduceOp::Min, ReduceOp::Sum] {
+        let exact = op.oracle(&members);
+        let world = SimWorld::new(SimConfig::new(ranks));
+        let members_for_run = members.clone();
+        let out = world.run(move |comm| {
+            let ccoll = CColl::new(CodecSpec::Szx { error_bound: eb });
+            ccoll.allreduce(comm, &members_for_run[comm.rank()], op)
+        });
+        let max_err = metrics::max_abs_error(&exact, &out.results[0]);
+        let prediction = match op {
+            ReduceOp::Sum => format!(
+                "95.44% interval ±{:.1e} (Thm 1)",
+                theory::sum_error_halfwidth_from_bound(ranks, eb as f64)
+            ),
+            ReduceOp::Avg => format!(
+                "error std ~{:.1e} (Cor 2: shrinks by n)",
+                theory::avg_error_std(ranks, theory::sigma_from_bound(eb as f64))
+            ),
+            ReduceOp::Max | ReduceOp::Min => format!(
+                "error std ~{:.1e} (Thm 2)",
+                theory::maxmin_error_variance(ranks, theory::sigma_from_bound(eb as f64)).sqrt()
+            ),
+        };
+        println!(
+            "{:4}  max|err| {max_err:9.2e}   worst-case n·eb {:9.2e}   theory: {prediction}",
+            format!("{op:?}"),
+            theory::sum_error_worst_case(ranks, eb as f64),
+        );
+    }
+
+    println!("\nObserved errors sit far inside the deterministic worst case, as the");
+    println!("probabilistic analysis (§III-B) predicts.");
+}

@@ -1,0 +1,50 @@
+//! Quickstart: run **C-Allreduce** on an 8-node virtual cluster and
+//! compare it against the uncompressed baseline — performance *and*
+//! accuracy.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use c_coll::{AllreduceVariant, CColl, CodecSpec, ReduceOp};
+use ccoll_comm::{Comm, SimConfig, SimWorld};
+use ccoll_data::{metrics, Dataset};
+
+fn main() {
+    let ranks = 8;
+    let values_per_rank = 500_000; // 2 MB of f32 per node
+    let error_bound = 1e-3f32;
+
+    println!("C-Coll quickstart: {ranks}-node virtual cluster, 2 MB/rank, eb={error_bound:.0e}\n");
+
+    // Exact oracle for accuracy measurement.
+    let inputs: Vec<Vec<f32>> =
+        (0..ranks).map(|r| Dataset::Rtm.generate(values_per_rank, r as u64)).collect();
+    let exact = ReduceOp::Sum.oracle(&inputs);
+
+    let mut baseline_time = None;
+    for (label, spec, _variant) in [
+        ("MPI_Allreduce (no compression)", CodecSpec::None, AllreduceVariant::Original),
+        (
+            "C-Allreduce (SZx, error-bounded)",
+            CodecSpec::Szx { error_bound },
+            AllreduceVariant::Overlapped,
+        ),
+    ] {
+        let ccoll = CColl::new(spec);
+        let world = SimWorld::new(SimConfig::new(ranks));
+        let out = world.run(move |comm| {
+            let data = Dataset::Rtm.generate(values_per_rank, comm.rank() as u64);
+            ccoll.allreduce(comm, &data, ReduceOp::Sum)
+        });
+        let t = out.makespan.as_secs_f64() * 1e3;
+        let psnr = metrics::psnr(&exact, &out.results[0]);
+        let maxerr = metrics::max_abs_error(&exact, &out.results[0]);
+        let speedup = baseline_time.map(|b: f64| b / t).unwrap_or(1.0);
+        baseline_time.get_or_insert(t);
+        println!("{label:36} {t:8.2} ms   speedup {speedup:4.2}x   PSNR {psnr:6.2} dB   max|err| {maxerr:.2e}");
+    }
+
+    println!("\nThe compressed allreduce is faster *and* the error stays near the");
+    println!("configured bound — the paper's headline result (§IV-C).");
+}

@@ -1,0 +1,15 @@
+//! # ccoll-repro
+//!
+//! Umbrella crate for the C-Coll reproduction: re-exports the public
+//! crates so the root-level examples and integration tests have a single
+//! dependency surface.
+//!
+//! * [`c_coll`] — the C-Coll framework itself (the paper's contribution).
+//! * [`ccoll_compress`] — SZx-style, PIPE-SZx and ZFP-style codecs.
+//! * [`ccoll_comm`] — threaded runtime + virtual-time cluster simulator.
+//! * [`ccoll_data`] — synthetic scientific datasets and accuracy metrics.
+
+pub use c_coll;
+pub use ccoll_comm;
+pub use ccoll_compress;
+pub use ccoll_data;

@@ -1,0 +1,161 @@
+//! Cross-crate integration tests: the full C-Coll stack (datasets →
+//! codecs → collectives → simulator/threads) exercised end to end.
+
+use c_coll::{AllreduceVariant, CColl, CodecSpec, ReduceOp};
+use ccoll_comm::{Category, Comm, SimConfig, SimWorld, ThreadWorld};
+use ccoll_data::{metrics, Dataset};
+
+fn inputs(ds: Dataset, ranks: usize, n: usize) -> Vec<Vec<f32>> {
+    (0..ranks).map(|r| ds.generate(n, r as u64)).collect()
+}
+
+#[test]
+fn c_allreduce_error_bounded_on_all_datasets() {
+    let ranks = 8;
+    let n = 40_000;
+    let eb = 1e-3f32;
+    for ds in Dataset::ALL {
+        let ins = inputs(ds, ranks, n);
+        let exact = ReduceOp::Sum.oracle(&ins);
+        let world = SimWorld::new(SimConfig::new(ranks));
+        let out = world.run(move |comm| {
+            let ccoll = CColl::new(CodecSpec::Szx { error_bound: eb });
+            ccoll.allreduce(comm, &ds.generate(n, comm.rank() as u64), ReduceOp::Sum)
+        });
+        // Deterministic envelope: one bounded error per contributor in the
+        // reduce tree plus one from the allgather stage.
+        let tol = (ranks + 1) as f64 * eb as f64;
+        for r in 0..ranks {
+            let err = metrics::max_abs_error(&exact, &out.results[r]);
+            assert!(err <= tol, "{} rank {r}: err {err} > {tol}", ds.label());
+        }
+    }
+}
+
+#[test]
+fn sim_and_threaded_backends_agree_on_values() {
+    // Same algorithm, same data, two backends: identical results, because
+    // the collectives are deterministic given the schedule order.
+    let ranks = 4;
+    let n = 9_000;
+    let eb = 1e-4f32;
+
+    let sim = SimWorld::new(SimConfig::new(ranks)).run(move |comm| {
+        let ccoll = CColl::new(CodecSpec::Szx { error_bound: eb });
+        ccoll.allreduce(comm, &Dataset::Hurricane.generate(n, comm.rank() as u64), ReduceOp::Sum)
+    });
+    let thr = ThreadWorld::new(ranks).run(move |comm| {
+        let ccoll = CColl::new(CodecSpec::Szx { error_bound: eb });
+        ccoll.allreduce(comm, &Dataset::Hurricane.generate(n, comm.rank() as u64), ReduceOp::Sum)
+    });
+    for r in 0..ranks {
+        assert_eq!(
+            sim.results[r], thr.results[r],
+            "rank {r}: backends disagree bit-for-bit"
+        );
+    }
+}
+
+#[test]
+fn variant_ordering_on_virtual_cluster() {
+    // The paper's performance ordering on a 16-node cluster with large
+    // messages: C-Allreduce (Overlap) < Original < Direct Integration.
+    let ranks = 16;
+    let n = 1_000_000; // 4 MB per rank
+    let eb = 1e-3f32;
+    let mut times = std::collections::HashMap::new();
+    for variant in [
+        AllreduceVariant::Original,
+        AllreduceVariant::DirectIntegration,
+        AllreduceVariant::Overlapped,
+    ] {
+        let world = SimWorld::new(SimConfig::new(ranks));
+        let out = world.run(move |comm| {
+            let ccoll = CColl::new(CodecSpec::Szx { error_bound: eb });
+            ccoll.allreduce_variant(
+                comm,
+                &Dataset::Rtm.generate(n, comm.rank() as u64),
+                ReduceOp::Sum,
+                variant,
+            );
+        });
+        times.insert(variant.label(), out.makespan);
+    }
+    assert!(
+        times["Overlap"] < times["AD"],
+        "C-Allreduce must beat the original: {times:?}"
+    );
+    assert!(
+        times["AD"] < times["DI"],
+        "naive CPR-P2P must lose to the original: {times:?}"
+    );
+}
+
+#[test]
+fn breakdown_shape_matches_paper_fig7() {
+    // In the original allreduce on large messages, the allgather stage
+    // dominates (~60 % in the paper) and Wait is the runner-up
+    // communication cost.
+    let ranks = 16;
+    let n = 2_000_000;
+    let world = SimWorld::new(SimConfig::new(ranks));
+    let out = world.run(move |comm| {
+        let ccoll = CColl::new(CodecSpec::None);
+        ccoll.allreduce(comm, &Dataset::Rtm.generate(n, comm.rank() as u64), ReduceOp::Sum);
+    });
+    let b = out.max_breakdown();
+    let total = b.total().as_secs_f64();
+    let ag = b.get(Category::Allgather).as_secs_f64();
+    let wait = b.get(Category::Wait).as_secs_f64();
+    assert!(ag / total > 0.3, "allgather share too small: {}", ag / total);
+    // Both ring stages move the same volume, so under a faithful network
+    // model Allgather ≥ Wait with near-equality; the paper's stronger
+    // 60 %-vs-20 % split reflects MPICH implementation details (see
+    // EXPERIMENTS.md). The communication categories must still dominate
+    // compute.
+    assert!(ag >= wait, "allgather must not be below wait: {ag} vs {wait}");
+    let comm_share = (ag + wait) / total;
+    assert!(comm_share > 0.6, "communication should dominate AD: {comm_share}");
+}
+
+#[test]
+fn deterministic_simulation_repeats_exactly() {
+    let run = || {
+        SimWorld::new(SimConfig::new(6))
+            .run(move |comm| {
+                let ccoll = CColl::new(CodecSpec::Szx { error_bound: 1e-3 });
+                ccoll.allreduce(comm, &Dataset::Cesm.generate(20_000, comm.rank() as u64), ReduceOp::Sum)
+            })
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.makespan, b.makespan, "virtual time must be deterministic");
+    assert_eq!(a.results, b.results);
+    for (x, y) in a.breakdowns.iter().zip(&b.breakdowns) {
+        assert_eq!(x, y);
+    }
+}
+
+#[test]
+fn scatter_bcast_roundtrip_through_full_stack() {
+    // Scatter a field from rank 0, then gather it back: the reassembled
+    // field must match within one compression error.
+    let ranks = 8;
+    let total = 50_000;
+    let eb = 1e-4f32;
+    let world = SimWorld::new(SimConfig::new(ranks));
+    let out = world.run(move |comm| {
+        let ccoll = CColl::new(CodecSpec::Szx { error_bound: eb });
+        let field = if comm.rank() == 0 {
+            Dataset::Hurricane.generate(total, 3)
+        } else {
+            Vec::new()
+        };
+        let mine = ccoll.scatter(comm, 0, &field, total);
+        ccoll.gather(comm, 0, &mine, total)
+    });
+    let expect = Dataset::Hurricane.generate(total, 3);
+    let got = out.results[0].as_ref().expect("root gathers");
+    let err = metrics::max_abs_error(&expect, got);
+    assert!(err <= eb as f64 + 1e-9, "round trip error {err} > {eb}");
+}
