@@ -1,57 +1,123 @@
 //! Criterion benchmarks for the compression kernels (backing Table I
-//! with statistically rigorous measurements).
+//! with statistically rigorous measurements), now split per stage:
+//! encode vs decode, per dataset and per SZx block-class mix, all driven
+//! through the zero-allocation `*_into` APIs with a warmed scratch —
+//! matching how the collectives invoke the codecs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use ccoll_compress::{Compressor, PipeSzx, SzxCodec, ZfpCodec};
+use ccoll_compress::{CodecScratch, Compressor, PipeSzx, SzxCodec, ZfpCodec};
 use ccoll_data::Dataset;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-fn bench_compress(c: &mut Criterion) {
-    let n = 1_000_000; // 4 MB
-    let mut g = c.benchmark_group("compress");
-    g.throughput(Throughput::Bytes((n * 4) as u64));
+const N: usize = 1_000_000; // 4 MB of f32
+
+/// Synthetic fields isolating each SZx block class.
+fn mix(name: &str) -> Vec<f32> {
+    match name {
+        "constant" => (0..N).map(|i| (i / 4096) as f32 * 0.5).collect(),
+        "quantized" => (0..N).map(|i| (i as f32 * 0.37).sin() * 8.0).collect(),
+        "verbatim" => (0..N)
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(0x2545_F491_4F6C_DD1D);
+                f32::from_bits(0x2000_0000 | ((x >> 33) as u32 & 0x1FFF_FFFF))
+            })
+            .collect(),
+        _ => unreachable!(),
+    }
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encode");
+    g.throughput(Throughput::Bytes((N * 4) as u64));
     for ds in Dataset::ALL {
-        let data = ds.generate(n, 3);
+        let data = ds.generate(N, 3);
         g.bench_with_input(BenchmarkId::new("szx_1e-3", ds.label()), &data, |b, d| {
             let codec = SzxCodec::new(1e-3);
-            b.iter(|| codec.compress(d).expect("compress"));
+            let mut scratch = CodecScratch::new();
+            b.iter(|| codec.compress_into(d, &mut scratch.enc).expect("compress"));
         });
-        g.bench_with_input(BenchmarkId::new("pipe_szx_1e-3", ds.label()), &data, |b, d| {
-            let codec = PipeSzx::new(1e-3);
-            b.iter(|| codec.compress(d).expect("compress"));
-        });
-        g.bench_with_input(BenchmarkId::new("zfp_abs_1e-3", ds.label()), &data, |b, d| {
-            let codec = ZfpCodec::fixed_accuracy(1e-3);
-            b.iter(|| codec.compress(d).expect("compress"));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("pipe_szx_1e-3", ds.label()),
+            &data,
+            |b, d| {
+                let codec = PipeSzx::new(1e-3);
+                let mut scratch = CodecScratch::new();
+                b.iter(|| codec.compress_into(d, &mut scratch.enc).expect("compress"));
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("zfp_abs_1e-3", ds.label()),
+            &data,
+            |b, d| {
+                let codec = ZfpCodec::fixed_accuracy(1e-3);
+                let mut scratch = CodecScratch::new();
+                b.iter(|| codec.compress_into(d, &mut scratch.enc).expect("compress"));
+            },
+        );
         g.bench_with_input(BenchmarkId::new("zfp_fxr_4", ds.label()), &data, |b, d| {
             let codec = ZfpCodec::fixed_rate(4);
-            b.iter(|| codec.compress(d).expect("compress"));
+            let mut scratch = CodecScratch::new();
+            b.iter(|| codec.compress_into(d, &mut scratch.enc).expect("compress"));
+        });
+    }
+    // Block-class mixes: how each SZx block kind encodes in isolation.
+    for m in ["constant", "quantized", "verbatim"] {
+        let data = mix(m);
+        g.bench_with_input(BenchmarkId::new("szx_1e-3", m), &data, |b, d| {
+            let codec = SzxCodec::new(1e-3);
+            let mut scratch = CodecScratch::new();
+            b.iter(|| codec.compress_into(d, &mut scratch.enc).expect("compress"));
         });
     }
     g.finish();
 }
 
-fn bench_decompress(c: &mut Criterion) {
-    let n = 1_000_000;
-    let mut g = c.benchmark_group("decompress");
-    g.throughput(Throughput::Bytes((n * 4) as u64));
-    let data = Dataset::Rtm.generate(n, 3);
+fn bench_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decode");
+    g.throughput(Throughput::Bytes((N * 4) as u64));
+    let data = Dataset::Rtm.generate(N, 3);
     let szx = SzxCodec::new(1e-3);
     let szx_stream = szx.compress(&data).expect("compress");
     g.bench_function("szx_1e-3/RTM", |b| {
-        b.iter(|| szx.decompress(&szx_stream).expect("decompress"));
+        let mut scratch = CodecScratch::new();
+        b.iter(|| {
+            szx.decompress_into(&szx_stream, &mut scratch.dec)
+                .expect("decompress")
+        });
+    });
+    let pipe = PipeSzx::new(1e-3);
+    let pipe_stream = pipe.compress(&data).expect("compress");
+    g.bench_function("pipe_szx_1e-3/RTM", |b| {
+        let mut scratch = CodecScratch::new();
+        b.iter(|| {
+            pipe.decompress_into(&pipe_stream, &mut scratch.dec)
+                .expect("decompress")
+        });
     });
     let zfp = ZfpCodec::fixed_accuracy(1e-3);
     let zfp_stream = zfp.compress(&data).expect("compress");
     g.bench_function("zfp_abs_1e-3/RTM", |b| {
-        b.iter(|| zfp.decompress(&zfp_stream).expect("decompress"));
+        let mut scratch = CodecScratch::new();
+        b.iter(|| {
+            zfp.decompress_into(&zfp_stream, &mut scratch.dec)
+                .expect("decompress")
+        });
     });
+    for m in ["constant", "quantized", "verbatim"] {
+        let stream = szx.compress(&mix(m)).expect("compress");
+        g.bench_function(format!("szx_1e-3/{m}"), |b| {
+            let mut scratch = CodecScratch::new();
+            b.iter(|| {
+                szx.decompress_into(&stream, &mut scratch.dec)
+                    .expect("decompress")
+            });
+        });
+    }
     g.finish();
 }
 
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_compress, bench_decompress
+    targets = bench_encode, bench_decode
 }
 criterion_main!(benches);

@@ -39,22 +39,39 @@ fn main() {
     let values = scale.values_for_mb(278);
     let cost = cost_model_from_env();
     println!("# Ablation — skewed compressibility (rank 0 rough, others smooth)\n");
-    let t = Table::new(&["workload", "CPR-P2P allgather ms", "C-Allgather ms", "advantage"]);
+    let t = Table::new(&[
+        "workload",
+        "CPR-P2P allgather ms",
+        "C-Allgather ms",
+        "advantage",
+    ]);
     for (label, skewed) in [("uniform smooth", false), ("one rough rank", true)] {
         let mut cfg = SimConfig::new(nodes);
         cfg.cost = cost.clone();
         cfg.net = scale.net_model();
-        let p2p = SimWorld::new(cfg).run(move |comm| {
-            let data = if skewed { skewed_data(comm.rank(), values) } else { Dataset::Rtm.generate(values, comm.rank() as u64) };
-            cpr_ring_allgather(comm, &codec(), &data);
-        }).makespan;
+        let p2p = SimWorld::new(cfg)
+            .run(move |comm| {
+                let data = if skewed {
+                    skewed_data(comm.rank(), values)
+                } else {
+                    Dataset::Rtm.generate(values, comm.rank() as u64)
+                };
+                cpr_ring_allgather(comm, &codec(), &data);
+            })
+            .makespan;
         let mut cfg = SimConfig::new(nodes);
         cfg.cost = cost.clone();
         cfg.net = scale.net_model();
-        let cg = SimWorld::new(cfg).run(move |comm| {
-            let data = if skewed { skewed_data(comm.rank(), values) } else { Dataset::Rtm.generate(values, comm.rank() as u64) };
-            c_ring_allgather(comm, &codec(), &data);
-        }).makespan;
+        let cg = SimWorld::new(cfg)
+            .run(move |comm| {
+                let data = if skewed {
+                    skewed_data(comm.rank(), values)
+                } else {
+                    Dataset::Rtm.generate(values, comm.rank() as u64)
+                };
+                c_ring_allgather(comm, &codec(), &data);
+            })
+            .makespan;
         t.row(&[
             label.to_string(),
             format!("{:.2}", p2p.as_secs_f64() * 1e3),

@@ -18,7 +18,10 @@ fn main() {
     let scale = Scale::from_env(64);
     let values = scale.values_for_mb(278);
     let cost = cost_model_from_env();
-    println!("# Ablation — PIPE-SZx sub-chunk size, {nodes} nodes, 278 MB label; {}", scale.note());
+    println!(
+        "# Ablation — PIPE-SZx sub-chunk size, {nodes} nodes, 278 MB label; {}",
+        scale.note()
+    );
     println!("# expected: a U-shape with the minimum near the paper's 5120\n");
     let t = Table::new(&["chunk values", "total ms", "Wait ms"]);
     for chunk in [256usize, 1024, 5120, 20_480, 81_920, 327_680] {
@@ -26,13 +29,21 @@ fn main() {
         cfg.cost = cost.clone();
         cfg.net = scale.net_model();
         let out = SimWorld::new(cfg).run(move |comm| {
-            let ccoll = CColl::new(CodecSpec::Szx { error_bound: 1e-3 }).with_pipeline_values(chunk);
-            ccoll.allreduce(comm, &Dataset::Rtm.generate(values, comm.rank() as u64), ReduceOp::Sum);
+            let ccoll =
+                CColl::new(CodecSpec::Szx { error_bound: 1e-3 }).with_pipeline_values(chunk);
+            ccoll.allreduce(
+                comm,
+                &Dataset::Rtm.generate(values, comm.rank() as u64),
+                ReduceOp::Sum,
+            );
         });
         t.row(&[
             chunk.to_string(),
             format!("{:.2}", out.makespan.as_secs_f64() * 1e3),
-            format!("{:.2}", out.max_breakdown().get(Category::Wait).as_secs_f64() * 1e3),
+            format!(
+                "{:.2}",
+                out.max_breakdown().get(Category::Wait).as_secs_f64() * 1e3
+            ),
         ]);
     }
 }

@@ -21,15 +21,41 @@ fn main() {
     let scale = Scale::from_env(64);
     let values = scale.values_for_mb(278);
     println!("# Ablation — CPU vs accelerator cost profile, {nodes} nodes, 278 MB label\n");
-    let t = Table::new(&["profile", "AD ms", "DI ms", "C-Allreduce ms", "C speedup", "DI speedup"]);
-    for (label, cost) in [("CPU (Broadwell)", CostModel::default()), ("GPU profile", CostModel::gpu_profile())] {
+    let t = Table::new(&[
+        "profile",
+        "AD ms",
+        "DI ms",
+        "C-Allreduce ms",
+        "C speedup",
+        "DI speedup",
+    ]);
+    for (label, cost) in [
+        ("CPU (Broadwell)", CostModel::default()),
+        ("GPU profile", CostModel::gpu_profile()),
+    ] {
         let mut times = Vec::new();
         for (spec, variant) in [
             (CodecSpec::None, AllreduceVariant::Original),
-            (CodecSpec::Szx { error_bound: 1e-3 }, AllreduceVariant::DirectIntegration),
-            (CodecSpec::Szx { error_bound: 1e-3 }, AllreduceVariant::Overlapped),
+            (
+                CodecSpec::Szx { error_bound: 1e-3 },
+                AllreduceVariant::DirectIntegration,
+            ),
+            (
+                CodecSpec::Szx { error_bound: 1e-3 },
+                AllreduceVariant::Overlapped,
+            ),
         ] {
-            let r = run_allreduce(nodes, values, Dataset::Rtm, spec, variant, ReduceOp::Sum, cost.clone(), scale.net_model(), false);
+            let r = run_allreduce(
+                nodes,
+                values,
+                Dataset::Rtm,
+                spec,
+                variant,
+                ReduceOp::Sum,
+                cost.clone(),
+                scale.net_model(),
+                false,
+            );
             times.push(r.makespan.as_secs_f64() * 1e3);
         }
         t.row(&[

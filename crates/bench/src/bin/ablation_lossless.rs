@@ -12,9 +12,18 @@ use ccoll_compress::{Compressor, LosslessCodec, SzxCodec};
 use ccoll_data::Dataset;
 
 fn main() {
-    let n: usize = std::env::var("CCOLL_N").ok().and_then(|v| v.parse().ok()).unwrap_or(2_000_000);
+    let n: usize = std::env::var("CCOLL_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000_000);
     println!("# Ablation — lossless vs error-bounded lossy ratios\n");
-    let t = Table::new(&["dataset", "lossless ratio", "SZx(1e-2)", "SZx(1e-3)", "SZx(1e-4)"]);
+    let t = Table::new(&[
+        "dataset",
+        "lossless ratio",
+        "SZx(1e-2)",
+        "SZx(1e-3)",
+        "SZx(1e-4)",
+    ]);
     for ds in Dataset::ALL {
         let data = ds.generate(n, 5);
         let orig = (n * 4) as f64;

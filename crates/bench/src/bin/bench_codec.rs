@@ -1,0 +1,253 @@
+//! Per-stage codec throughput benchmark, emitting `BENCH_codec.json`.
+//!
+//! Measures, in GB/s of *uncompressed* data:
+//!
+//! * the word-level bitstream against the seed's scalar (byte-at-a-time)
+//!   implementation on the quantized-block workload — the packing loop
+//!   that dominates SZx encode on non-constant data;
+//! * every codec's `compress_into`/`decompress_into` on the three paper
+//!   datasets (RTM / Hurricane / CESM-ATM) and on three synthetic block
+//!   mixes (constant-dominated, quantized-dominated, verbatim/noise),
+//!   through a warmed [`CodecScratch`] so the numbers reflect the
+//!   zero-allocation steady state the collectives run in.
+//!
+//! Run with `cargo run --release -p ccoll-bench --bin bench_codec`.
+//! The JSON lands in the current directory so future PRs can regress
+//! against the recorded trajectory.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ccoll_compress::bitstream::reference::{ScalarBitReader, ScalarBitWriter};
+use ccoll_compress::bitstream::{BitReader, BitWriter};
+use ccoll_compress::{CodecScratch, Compressor, LosslessCodec, PipeSzx, SzxCodec, ZfpCodec};
+use ccoll_data::Dataset;
+
+/// Values per field benchmarked (16 MB of f32).
+const FIELD_VALUES: usize = 4_000_000;
+/// Timed repetitions; the best (minimum) time is reported, which is the
+/// standard way to strip scheduler noise from a throughput measurement.
+const REPS: usize = 7;
+
+fn best_secs(mut f: impl FnMut()) -> f64 {
+    f(); // warmup (also warms scratch buffers)
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn gbps(bytes: usize, secs: f64) -> f64 {
+    bytes as f64 / secs / 1e9
+}
+
+/// The quantized-block packing workload: the (width, code-stream) shape
+/// SZx produces on oscillating data — 128-value blocks, 12-bit codes.
+struct QuantizedWorkload {
+    codes: Vec<u32>,
+    width: u32,
+}
+
+impl QuantizedWorkload {
+    fn new(values: usize) -> Self {
+        let codes = (0..values)
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                (x >> 17) as u32 & 0xFFF
+            })
+            .collect();
+        QuantizedWorkload { codes, width: 12 }
+    }
+
+    /// Uncompressed bytes this stream represents (one f32 per code).
+    fn payload_bytes(&self) -> usize {
+        self.codes.len() * 4
+    }
+}
+
+fn bench_bitstream(out: &mut String) {
+    let wl = QuantizedWorkload::new(FIELD_VALUES);
+    let bytes = wl.payload_bytes();
+
+    let scalar_encode = best_secs(|| {
+        let mut w = ScalarBitWriter::new();
+        for chunk in wl.codes.chunks(128) {
+            w.write_bits(1, 2); // tag
+            w.write_bits(0x3F80_0000, 32); // midpoint
+            w.write_bits((wl.width - 1) as u64, 5);
+            for &c in chunk {
+                w.write_bits(c as u64, wl.width);
+            }
+        }
+        std::hint::black_box(w.into_bytes());
+    });
+    let word_encode = best_secs(|| {
+        let mut w = BitWriter::new();
+        for chunk in wl.codes.chunks(128) {
+            w.write_bits(1, 2);
+            w.write_bits(0x3F80_0000, 32);
+            w.write_bits((wl.width - 1) as u64, 5);
+            for &c in chunk {
+                w.write_bits(c as u64, wl.width);
+            }
+        }
+        std::hint::black_box(w.into_bytes());
+    });
+
+    // One stream decoded by both readers.
+    let mut w = BitWriter::new();
+    for &c in &wl.codes {
+        w.write_bits(c as u64, wl.width);
+    }
+    let stream = w.into_bytes();
+    let n = wl.codes.len();
+    let scalar_decode = best_secs(|| {
+        let mut r = ScalarBitReader::new(&stream);
+        let mut acc = 0u64;
+        for _ in 0..n {
+            acc ^= r.read_bits(wl.width).expect("read");
+        }
+        std::hint::black_box(acc);
+    });
+    let word_decode = best_secs(|| {
+        let mut r = BitReader::new(&stream);
+        let mut acc = 0u64;
+        for _ in 0..n {
+            acc ^= r.read_bits(wl.width).expect("read");
+        }
+        std::hint::black_box(acc);
+    });
+
+    let enc_speedup = scalar_encode / word_encode;
+    let dec_speedup = scalar_decode / word_decode;
+    println!(
+        "bitstream quantized-block workload: encode {:.2} -> {:.2} GB/s ({enc_speedup:.2}x), \
+         decode {:.2} -> {:.2} GB/s ({dec_speedup:.2}x)",
+        gbps(bytes, scalar_encode),
+        gbps(bytes, word_encode),
+        gbps(bytes, scalar_decode),
+        gbps(bytes, word_decode),
+    );
+    let _ = write!(
+        out,
+        "  \"bitstream_quantized_workload\": {{\n    \
+         \"payload_mb\": {:.1},\n    \
+         \"scalar_encode_gbps\": {:.3},\n    \
+         \"word_encode_gbps\": {:.3},\n    \
+         \"encode_speedup\": {:.3},\n    \
+         \"scalar_decode_gbps\": {:.3},\n    \
+         \"word_decode_gbps\": {:.3},\n    \
+         \"decode_speedup\": {:.3}\n  }},\n",
+        bytes as f64 / 1e6,
+        gbps(bytes, scalar_encode),
+        gbps(bytes, word_encode),
+        enc_speedup,
+        gbps(bytes, scalar_decode),
+        gbps(bytes, word_decode),
+        dec_speedup,
+    );
+}
+
+/// Synthetic block mixes exercising each SZx block class.
+fn block_mix(name: &str, n: usize) -> (String, Vec<f32>) {
+    let data: Vec<f32> = match name {
+        // Every block constant: the best case for SZx.
+        "constant" => (0..n).map(|i| (i / 4096) as f32 * 0.5).collect(),
+        // Oscillation wide enough that blocks quantize, never constant.
+        "quantized" => (0..n).map(|i| (i as f32 * 0.37).sin() * 8.0).collect(),
+        // White noise spanning magnitudes: verbatim-dominated.
+        "verbatim" => (0..n)
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(0x2545_F491_4F6C_DD1D);
+                f32::from_bits(0x2000_0000 | ((x >> 33) as u32 & 0x1FFF_FFFF))
+            })
+            .collect(),
+        _ => unreachable!("unknown mix"),
+    };
+    (format!("mix:{name}"), data)
+}
+
+fn bench_codec_on(
+    out: &mut String,
+    first: &mut bool,
+    codec: &dyn Compressor,
+    codec_label: &str,
+    field: &str,
+    data: &[f32],
+) {
+    let bytes = data.len() * 4;
+    let mut scratch = CodecScratch::new();
+    let encode = best_secs(|| {
+        codec
+            .compress_into(data, &mut scratch.enc)
+            .expect("compress");
+    });
+    let compressed = scratch.enc.clone();
+    let decode = best_secs(|| {
+        codec
+            .decompress_into(&compressed, &mut scratch.dec)
+            .expect("decompress");
+    });
+    let ratio = bytes as f64 / compressed.len() as f64;
+    println!(
+        "{codec_label:<18} {field:<14} encode {:>7.2} GB/s  decode {:>7.2} GB/s  ratio {ratio:>7.2}",
+        gbps(bytes, encode),
+        gbps(bytes, decode),
+    );
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    let _ = write!(
+        out,
+        "    {{\"codec\": \"{codec_label}\", \"field\": \"{field}\", \
+         \"encode_gbps\": {:.3}, \"decode_gbps\": {:.3}, \"ratio\": {:.3}}}",
+        gbps(bytes, encode),
+        gbps(bytes, decode),
+        ratio,
+    );
+}
+
+fn main() {
+    let mut json = String::from("{\n");
+    let _ = write!(
+        json,
+        "  \"bench\": \"codec\",\n  \"field_values\": {FIELD_VALUES},\n  \"reps\": {REPS},\n"
+    );
+    bench_bitstream(&mut json);
+    json.push_str("  \"codecs\": [\n");
+
+    let szx = SzxCodec::new(1e-3);
+    let pipe = PipeSzx::new(1e-3);
+    let zfp_abs = ZfpCodec::fixed_accuracy(1e-3);
+    let zfp_fxr = ZfpCodec::fixed_rate(8);
+    let lossless = LosslessCodec::new();
+    let codecs: [(&dyn Compressor, &str); 5] = [
+        (&szx, "SZx(ABS=1e-3)"),
+        (&pipe, "PIPE-SZx(1e-3)"),
+        (&zfp_abs, "ZFP(ABS=1e-3)"),
+        (&zfp_fxr, "ZFP(FXR=8)"),
+        (&lossless, "lossless"),
+    ];
+
+    let mut first = true;
+    for ds in Dataset::ALL {
+        let data = ds.generate(FIELD_VALUES, 3);
+        for (codec, label) in codecs {
+            bench_codec_on(&mut json, &mut first, codec, label, ds.label(), &data);
+        }
+    }
+    for mix in ["constant", "quantized", "verbatim"] {
+        let (field, data) = block_mix(mix, FIELD_VALUES);
+        for (codec, label) in [(codecs[0].0, codecs[0].1), (codecs[1].0, codecs[1].1)] {
+            bench_codec_on(&mut json, &mut first, codec, label, &field, &data);
+        }
+    }
+    json.push_str("\n  ]\n}\n");
+
+    std::fs::write("BENCH_codec.json", &json).expect("write BENCH_codec.json");
+    println!("wrote BENCH_codec.json");
+}

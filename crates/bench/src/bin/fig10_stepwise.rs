@@ -16,19 +16,48 @@ fn main() {
     let nodes = 16;
     let scale = Scale::from_env(64);
     let cost = cost_model_from_env();
-    println!("# Fig 10 — step-wise optimizations, end-to-end, {nodes} nodes; {}", scale.note());
+    println!(
+        "# Fig 10 — step-wise optimizations, end-to-end, {nodes} nodes; {}",
+        scale.note()
+    );
     println!("# paper shape: DI > AD (slower); ND between; Overlap beats AD (2.2-2.5x vs DI)\n");
-    let t = Table::new(&["size MB", "AD ms", "DI ms", "ND ms", "Overlap ms", "Overlap vs AD"]);
+    let t = Table::new(&[
+        "size MB",
+        "AD ms",
+        "DI ms",
+        "ND ms",
+        "Overlap ms",
+        "Overlap vs AD",
+    ]);
     for mb in paper_sizes_mb() {
         let values = scale.values_for_mb(mb);
         let mut times = Vec::new();
         for (spec, variant) in [
             (CodecSpec::None, AllreduceVariant::Original),
-            (CodecSpec::Szx { error_bound: 1e-3 }, AllreduceVariant::DirectIntegration),
-            (CodecSpec::Szx { error_bound: 1e-3 }, AllreduceVariant::NovelDesign),
-            (CodecSpec::Szx { error_bound: 1e-3 }, AllreduceVariant::Overlapped),
+            (
+                CodecSpec::Szx { error_bound: 1e-3 },
+                AllreduceVariant::DirectIntegration,
+            ),
+            (
+                CodecSpec::Szx { error_bound: 1e-3 },
+                AllreduceVariant::NovelDesign,
+            ),
+            (
+                CodecSpec::Szx { error_bound: 1e-3 },
+                AllreduceVariant::Overlapped,
+            ),
         ] {
-            let r = run_allreduce(nodes, values, Dataset::Rtm, spec, variant, ReduceOp::Sum, cost.clone(), scale.net_model(), false);
+            let r = run_allreduce(
+                nodes,
+                values,
+                Dataset::Rtm,
+                spec,
+                variant,
+                ReduceOp::Sum,
+                cost.clone(),
+                scale.net_model(),
+                false,
+            );
             times.push(r.makespan);
         }
         t.row(&[

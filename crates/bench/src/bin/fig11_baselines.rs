@@ -14,27 +14,65 @@ use ccoll_bench::workload::{paper_sizes_mb, Scale};
 use ccoll_data::Dataset;
 
 fn main() {
-    let nodes: usize = std::env::var("CCOLL_NODES").ok().and_then(|v| v.parse().ok()).unwrap_or(128);
+    let nodes: usize = std::env::var("CCOLL_NODES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(128);
     let scale = Scale::from_env(256);
     let cost = cost_model_from_env();
-    println!("# Fig 11 — C-Allreduce vs baselines on {nodes} nodes; {}", scale.note());
-    println!("# paper shape: all CPR-P2P baselines lose to Allreduce; C-Allreduce wins up to 1.8x\n");
-    let t = Table::new(&["size MB", "Allreduce", "ZFP(FXR)", "ZFP(ABS)", "SZx", "C-Allreduce", "speedup"]);
+    println!(
+        "# Fig 11 — C-Allreduce vs baselines on {nodes} nodes; {}",
+        scale.note()
+    );
+    println!(
+        "# paper shape: all CPR-P2P baselines lose to Allreduce; C-Allreduce wins up to 1.8x\n"
+    );
+    let t = Table::new(&[
+        "size MB",
+        "Allreduce",
+        "ZFP(FXR)",
+        "ZFP(ABS)",
+        "SZx",
+        "C-Allreduce",
+        "speedup",
+    ]);
     let configs = [
         (CodecSpec::None, AllreduceVariant::Original),
-        (CodecSpec::ZfpFxr { rate: 4 }, AllreduceVariant::DirectIntegration),
-        (CodecSpec::ZfpAbs { error_bound: 1e-3 }, AllreduceVariant::DirectIntegration),
-        (CodecSpec::Szx { error_bound: 1e-3 }, AllreduceVariant::DirectIntegration),
-        (CodecSpec::Szx { error_bound: 1e-3 }, AllreduceVariant::Overlapped),
+        (
+            CodecSpec::ZfpFxr { rate: 4 },
+            AllreduceVariant::DirectIntegration,
+        ),
+        (
+            CodecSpec::ZfpAbs { error_bound: 1e-3 },
+            AllreduceVariant::DirectIntegration,
+        ),
+        (
+            CodecSpec::Szx { error_bound: 1e-3 },
+            AllreduceVariant::DirectIntegration,
+        ),
+        (
+            CodecSpec::Szx { error_bound: 1e-3 },
+            AllreduceVariant::Overlapped,
+        ),
     ];
     for mb in paper_sizes_mb() {
         let values = scale.values_for_mb(mb);
         let times: Vec<f64> = configs
             .iter()
             .map(|&(spec, variant)| {
-                run_allreduce(nodes, values, Dataset::Rtm, spec, variant, ReduceOp::Sum, cost.clone(), scale.net_model(), false)
-                    .makespan
-                    .as_secs_f64()
+                run_allreduce(
+                    nodes,
+                    values,
+                    Dataset::Rtm,
+                    spec,
+                    variant,
+                    ReduceOp::Sum,
+                    cost.clone(),
+                    scale.net_model(),
+                    false,
+                )
+                .makespan
+                .as_secs_f64()
                     * 1e3
             })
             .collect();

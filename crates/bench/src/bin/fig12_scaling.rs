@@ -16,23 +16,56 @@ fn main() {
     let scale = Scale::from_env(256);
     let cost = cost_model_from_env();
     let values = scale.values_for_mb(678);
-    println!("# Fig 12 — scaling at 678 MB (paper label); {}", scale.note());
+    println!(
+        "# Fig 12 — scaling at 678 MB (paper label); {}",
+        scale.note()
+    );
     println!("# paper shape: C-Allreduce wins at every node count (up to 1.8x)\n");
-    let t = Table::new(&["nodes", "Allreduce", "ZFP(FXR)", "ZFP(ABS)", "SZx", "C-Allreduce", "speedup"]);
+    let t = Table::new(&[
+        "nodes",
+        "Allreduce",
+        "ZFP(FXR)",
+        "ZFP(ABS)",
+        "SZx",
+        "C-Allreduce",
+        "speedup",
+    ]);
     let configs = [
         (CodecSpec::None, AllreduceVariant::Original),
-        (CodecSpec::ZfpFxr { rate: 4 }, AllreduceVariant::DirectIntegration),
-        (CodecSpec::ZfpAbs { error_bound: 1e-3 }, AllreduceVariant::DirectIntegration),
-        (CodecSpec::Szx { error_bound: 1e-3 }, AllreduceVariant::DirectIntegration),
-        (CodecSpec::Szx { error_bound: 1e-3 }, AllreduceVariant::Overlapped),
+        (
+            CodecSpec::ZfpFxr { rate: 4 },
+            AllreduceVariant::DirectIntegration,
+        ),
+        (
+            CodecSpec::ZfpAbs { error_bound: 1e-3 },
+            AllreduceVariant::DirectIntegration,
+        ),
+        (
+            CodecSpec::Szx { error_bound: 1e-3 },
+            AllreduceVariant::DirectIntegration,
+        ),
+        (
+            CodecSpec::Szx { error_bound: 1e-3 },
+            AllreduceVariant::Overlapped,
+        ),
     ];
     for nodes in node_sweep() {
         let times: Vec<f64> = configs
             .iter()
             .map(|&(spec, variant)| {
-                run_allreduce(nodes, values, Dataset::Rtm, spec, variant, ReduceOp::Sum, cost.clone(), scale.net_model(), false)
-                    .makespan
-                    .as_secs_f64()
+                run_allreduce(
+                    nodes,
+                    values,
+                    Dataset::Rtm,
+                    spec,
+                    variant,
+                    ReduceOp::Sum,
+                    cost.clone(),
+                    scale.net_model(),
+                    false,
+                )
+                .makespan
+                .as_secs_f64()
                     * 1e3
             })
             .collect();

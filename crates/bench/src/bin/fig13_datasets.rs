@@ -14,20 +14,39 @@ use ccoll_comm::{Comm, SimConfig, SimWorld};
 use ccoll_data::FieldSpec;
 
 fn main() {
-    let nodes: usize = std::env::var("CCOLL_NODES").ok().and_then(|v| v.parse().ok()).unwrap_or(64);
+    let nodes: usize = std::env::var("CCOLL_NODES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
     let scale = Scale::from_env(256);
     let values = scale.values_for_mb(256);
     let cost = cost_model_from_env();
     let eb = 1e-4f32;
-    println!("# Fig 13 — per-dataset generality on {nodes} nodes, eb={eb:.0e}; {}", scale.note());
+    println!(
+        "# Fig 13 — per-dataset generality on {nodes} nodes, eb={eb:.0e}; {}",
+        scale.note()
+    );
     println!("# paper shape: C-Allreduce 1.6-2.1x over Allreduce; SZx CPR-P2P below 1.0x\n");
-    let t = Table::new(&["field", "Allreduce ms", "SZx(CPR-P2P) ms", "C-Allreduce ms", "C speedup", "SZx speedup"]);
+    let t = Table::new(&[
+        "field",
+        "Allreduce ms",
+        "SZx(CPR-P2P) ms",
+        "C-Allreduce ms",
+        "C speedup",
+        "SZx speedup",
+    ]);
     for spec in FieldSpec::TABLE6 {
         let mut times = Vec::new();
         for (codec, variant) in [
             (CodecSpec::None, AllreduceVariant::Original),
-            (CodecSpec::Szx { error_bound: eb }, AllreduceVariant::DirectIntegration),
-            (CodecSpec::Szx { error_bound: eb }, AllreduceVariant::Overlapped),
+            (
+                CodecSpec::Szx { error_bound: eb },
+                AllreduceVariant::DirectIntegration,
+            ),
+            (
+                CodecSpec::Szx { error_bound: eb },
+                AllreduceVariant::Overlapped,
+            ),
         ] {
             let mut cfg = SimConfig::new(nodes);
             cfg.cost = cost.clone();

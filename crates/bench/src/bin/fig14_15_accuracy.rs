@@ -36,10 +36,20 @@ fn main() {
             format!("{:.1e}", metrics::nrmse(&exact, got)),
             format!("{:.2e}", metrics::max_abs_error(&exact, got)),
         ]);
-        pgm::dump_field(&out_dir.join(format!("{}_exact.pgm", ds.label())), &exact, GRID_WIDTH, height)
-            .expect("write pgm");
-        pgm::dump_field(&out_dir.join(format!("{}_callreduce.pgm", ds.label())), got, GRID_WIDTH, height)
-            .expect("write pgm");
+        pgm::dump_field(
+            &out_dir.join(format!("{}_exact.pgm", ds.label())),
+            &exact,
+            GRID_WIDTH,
+            height,
+        )
+        .expect("write pgm");
+        pgm::dump_field(
+            &out_dir.join(format!("{}_callreduce.pgm", ds.label())),
+            got,
+            GRID_WIDTH,
+            height,
+        )
+        .expect("write pgm");
     }
     println!("\nPGM images written to {}", out_dir.display());
 }

@@ -16,7 +16,12 @@ use ccoll_comm::{Comm, SimConfig, SimWorld};
 use ccoll_data::Dataset;
 use std::time::Duration;
 
-fn run_case(nodes: usize, cost: ccoll_comm::CostModel, net: ccoll_comm::NetModel, f: impl Fn(&mut ccoll_comm::sim::SimComm) + Send + Sync + 'static) -> Duration {
+fn run_case(
+    nodes: usize,
+    cost: ccoll_comm::CostModel,
+    net: ccoll_comm::NetModel,
+    f: impl Fn(&mut ccoll_comm::sim::SimComm) + Send + Sync + 'static,
+) -> Duration {
     let mut cfg = SimConfig::new(nodes);
     cfg.cost = cost;
     cfg.net = net;
@@ -33,44 +38,84 @@ fn main() {
     let nodes = 16;
     let scale = Scale::from_env(64);
     let cost = cost_model_from_env();
-    println!("# Fig 16 — C-Scatter / C-Bcast vs baselines on {nodes} nodes; {}", scale.note());
+    println!(
+        "# Fig 16 — C-Scatter / C-Bcast vs baselines on {nodes} nodes; {}",
+        scale.note()
+    );
     println!("# paper shape: C-Scatter up to 1.8x, C-Bcast up to 2.7x; CPR-P2P below 1x\n");
     let t = Table::new(&[
-        "size MB", "Scatter", "SZx-P2P scat", "C-Scatter", "C-Scat speedup",
-        "Bcast", "SZx-P2P bcast", "C-Bcast", "C-Bcast speedup",
+        "size MB",
+        "Scatter",
+        "SZx-P2P scat",
+        "C-Scatter",
+        "C-Scat speedup",
+        "Bcast",
+        "SZx-P2P bcast",
+        "C-Bcast",
+        "C-Bcast speedup",
     ]);
     for mb in paper_sizes_mb() {
         let values = scale.values_for_mb(mb);
         let base_scatter = run_case(nodes, cost.clone(), scale.net_model(), move |c| {
-            let data = if c.rank() == 0 { Dataset::Rtm.generate(values, 1) } else { Vec::new() };
+            let data = if c.rank() == 0 {
+                Dataset::Rtm.generate(values, 1)
+            } else {
+                Vec::new()
+            };
             baseline::binomial_scatter(c, 0, &data, values);
         });
         let p2p_scatter = run_case(nodes, cost.clone(), scale.net_model(), move |c| {
-            let data = if c.rank() == 0 { Dataset::Rtm.generate(values, 1) } else { Vec::new() };
+            let data = if c.rank() == 0 {
+                Dataset::Rtm.generate(values, 1)
+            } else {
+                Vec::new()
+            };
             cpr_p2p::cpr_binomial_scatter(c, &cpr(), 0, &data, values);
         });
         let c_scatter = run_case(nodes, cost.clone(), scale.net_model(), move |c| {
-            let data = if c.rank() == 0 { Dataset::Rtm.generate(values, 1) } else { Vec::new() };
+            let data = if c.rank() == 0 {
+                Dataset::Rtm.generate(values, 1)
+            } else {
+                Vec::new()
+            };
             data_movement::c_binomial_scatter(c, &cpr(), 0, &data, values);
         });
         let base_bcast = run_case(nodes, cost.clone(), scale.net_model(), move |c| {
-            let data = if c.rank() == 0 { Dataset::Rtm.generate(values, 1) } else { Vec::new() };
+            let data = if c.rank() == 0 {
+                Dataset::Rtm.generate(values, 1)
+            } else {
+                Vec::new()
+            };
             baseline::binomial_bcast(c, 0, &data);
         });
         let p2p_bcast = run_case(nodes, cost.clone(), scale.net_model(), move |c| {
-            let data = if c.rank() == 0 { Dataset::Rtm.generate(values, 1) } else { Vec::new() };
+            let data = if c.rank() == 0 {
+                Dataset::Rtm.generate(values, 1)
+            } else {
+                Vec::new()
+            };
             cpr_p2p::cpr_binomial_bcast(c, &cpr(), 0, &data);
         });
         let c_bcast = run_case(nodes, cost.clone(), scale.net_model(), move |c| {
-            let data = if c.rank() == 0 { Dataset::Rtm.generate(values, 1) } else { Vec::new() };
+            let data = if c.rank() == 0 {
+                Dataset::Rtm.generate(values, 1)
+            } else {
+                Vec::new()
+            };
             data_movement::c_binomial_bcast(c, &cpr(), 0, &data);
         });
         let ms = |d: Duration| format!("{:.2}", d.as_secs_f64() * 1e3);
         let sp = |a: Duration, b: Duration| format!("{:.2}x", a.as_secs_f64() / b.as_secs_f64());
         t.row(&[
             mb.to_string(),
-            ms(base_scatter), ms(p2p_scatter), ms(c_scatter), sp(base_scatter, c_scatter),
-            ms(base_bcast), ms(p2p_bcast), ms(c_bcast), sp(base_bcast, c_bcast),
+            ms(base_scatter),
+            ms(p2p_scatter),
+            ms(c_scatter),
+            sp(base_scatter, c_scatter),
+            ms(base_bcast),
+            ms(p2p_bcast),
+            ms(c_bcast),
+            sp(base_bcast, c_bcast),
         ]);
     }
 }

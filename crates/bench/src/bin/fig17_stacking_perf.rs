@@ -14,7 +14,14 @@ use ccoll_comm::{Comm, SimConfig, SimWorld};
 use ccoll_data::{fields::GRID_WIDTH, rtm};
 use std::time::Duration;
 
-fn run_stacking(nodes: usize, n: usize, cost: ccoll_comm::CostModel, net: ccoll_comm::NetModel, spec: CodecSpec, variant: AllreduceVariant) -> Duration {
+fn run_stacking(
+    nodes: usize,
+    n: usize,
+    cost: ccoll_comm::CostModel,
+    net: ccoll_comm::NetModel,
+    spec: CodecSpec,
+    variant: AllreduceVariant,
+) -> Duration {
     let mut cfg = SimConfig::new(nodes);
     cfg.cost = cost;
     cfg.net = net;
@@ -36,11 +43,29 @@ fn main() {
     println!("# Fig 17 — image stacking performance, {nodes} nodes, {GRID_WIDTH}x{height} shots");
     println!("# paper shape: C-Allreduce 1.2-1.5x over Allreduce; all CPR-P2P below 1x\n");
 
-    let base = run_stacking(nodes, n, cost.clone(), scale.net_model(), CodecSpec::None, AllreduceVariant::Original);
+    let base = run_stacking(
+        nodes,
+        n,
+        cost.clone(),
+        scale.net_model(),
+        CodecSpec::None,
+        AllreduceVariant::Original,
+    );
     let t = Table::new(&["config", "time ms", "vs Allreduce"]);
-    t.row(&["Allreduce".into(), format!("{:.2}", base.as_secs_f64() * 1e3), "1.00x".into()]);
+    t.row(&[
+        "Allreduce".into(),
+        format!("{:.2}", base.as_secs_f64() * 1e3),
+        "1.00x".into(),
+    ]);
     for eb in [1e-2f32, 1e-3, 1e-4] {
-        let d = run_stacking(nodes, n, cost.clone(), scale.net_model(), CodecSpec::Szx { error_bound: eb }, AllreduceVariant::Overlapped);
+        let d = run_stacking(
+            nodes,
+            n,
+            cost.clone(),
+            scale.net_model(),
+            CodecSpec::Szx { error_bound: eb },
+            AllreduceVariant::Overlapped,
+        );
         t.row(&[
             format!("C-Allreduce({eb:.0e})"),
             format!("{:.2}", d.as_secs_f64() * 1e3),
@@ -48,13 +73,27 @@ fn main() {
         ]);
     }
     for eb in [1e-2f32, 1e-3, 1e-4] {
-        let d = run_stacking(nodes, n, cost.clone(), scale.net_model(), CodecSpec::Szx { error_bound: eb }, AllreduceVariant::DirectIntegration);
+        let d = run_stacking(
+            nodes,
+            n,
+            cost.clone(),
+            scale.net_model(),
+            CodecSpec::Szx { error_bound: eb },
+            AllreduceVariant::DirectIntegration,
+        );
         t.row(&[
             format!("SZx-P2P({eb:.0e})"),
             format!("{:.2}", d.as_secs_f64() * 1e3),
             format!("{:.2}x", base.as_secs_f64() / d.as_secs_f64()),
         ]);
-        let d = run_stacking(nodes, n, cost.clone(), scale.net_model(), CodecSpec::ZfpAbs { error_bound: eb }, AllreduceVariant::DirectIntegration);
+        let d = run_stacking(
+            nodes,
+            n,
+            cost.clone(),
+            scale.net_model(),
+            CodecSpec::ZfpAbs { error_bound: eb },
+            AllreduceVariant::DirectIntegration,
+        );
         t.row(&[
             format!("ZFP(ABS={eb:.0e})-P2P"),
             format!("{:.2}", d.as_secs_f64() * 1e3),
@@ -62,7 +101,14 @@ fn main() {
         ]);
     }
     for rate in [4u32, 8, 16] {
-        let d = run_stacking(nodes, n, cost.clone(), scale.net_model(), CodecSpec::ZfpFxr { rate }, AllreduceVariant::DirectIntegration);
+        let d = run_stacking(
+            nodes,
+            n,
+            cost.clone(),
+            scale.net_model(),
+            CodecSpec::ZfpFxr { rate },
+            AllreduceVariant::DirectIntegration,
+        );
         t.row(&[
             format!("ZFP(FXR={rate})-P2P"),
             format!("{:.2}", d.as_secs_f64() * 1e3),

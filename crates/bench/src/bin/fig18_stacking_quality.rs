@@ -38,11 +38,31 @@ fn main() {
 
     let t = Table::new(&["config", "PSNR dB", "NRMSE", "max|err|"]);
     let configs: Vec<(String, CodecSpec, AllreduceVariant)> = vec![
-        ("C-Allreduce(1e-2)".into(), CodecSpec::Szx { error_bound: 1e-2 }, AllreduceVariant::Overlapped),
-        ("C-Allreduce(1e-3)".into(), CodecSpec::Szx { error_bound: 1e-3 }, AllreduceVariant::Overlapped),
-        ("C-Allreduce(1e-4)".into(), CodecSpec::Szx { error_bound: 1e-4 }, AllreduceVariant::Overlapped),
-        ("ZFP(ABS=1e-4)-P2P".into(), CodecSpec::ZfpAbs { error_bound: 1e-4 }, AllreduceVariant::DirectIntegration),
-        ("ZFP(FXR=4)-P2P".into(), CodecSpec::ZfpFxr { rate: 4 }, AllreduceVariant::DirectIntegration),
+        (
+            "C-Allreduce(1e-2)".into(),
+            CodecSpec::Szx { error_bound: 1e-2 },
+            AllreduceVariant::Overlapped,
+        ),
+        (
+            "C-Allreduce(1e-3)".into(),
+            CodecSpec::Szx { error_bound: 1e-3 },
+            AllreduceVariant::Overlapped,
+        ),
+        (
+            "C-Allreduce(1e-4)".into(),
+            CodecSpec::Szx { error_bound: 1e-4 },
+            AllreduceVariant::Overlapped,
+        ),
+        (
+            "ZFP(ABS=1e-4)-P2P".into(),
+            CodecSpec::ZfpAbs { error_bound: 1e-4 },
+            AllreduceVariant::DirectIntegration,
+        ),
+        (
+            "ZFP(FXR=4)-P2P".into(),
+            CodecSpec::ZfpFxr { rate: 4 },
+            AllreduceVariant::DirectIntegration,
+        ),
     ];
     for (label, spec, variant) in configs {
         let got = stack(nodes, n, spec, variant);
@@ -53,7 +73,13 @@ fn main() {
             format!("{:.2e}", metrics::max_abs_error(&exact, &got)),
         ]);
         let file = label.replace(['(', ')', '='], "_");
-        pgm::dump_field(&out_dir.join(format!("{file}.pgm")), &got, GRID_WIDTH, height).expect("pgm");
+        pgm::dump_field(
+            &out_dir.join(format!("{file}.pgm")),
+            &got,
+            GRID_WIDTH,
+            height,
+        )
+        .expect("pgm");
     }
     println!("\nPGM images written to {}", out_dir.display());
 }

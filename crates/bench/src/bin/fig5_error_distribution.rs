@@ -33,29 +33,51 @@ fn main() {
     let eb = 1e-3f32;
     println!("# Fig 5 — error-distribution normality (MLE fit + coverage)");
     println!("# a normal sample has 68.3% / 95.4% / 99.7% coverage at 1σ/2σ/3σ\n");
-    let t = Table::new(&["codec", "dataset", "mu", "sigma", "1σ cover", "2σ cover", "3σ cover"]);
+    let t = Table::new(&[
+        "codec",
+        "dataset",
+        "mu",
+        "sigma",
+        "1σ cover",
+        "2σ cover",
+        "3σ cover",
+    ]);
     for ds in Dataset::ALL {
         let data = ds.generate(n, 5);
         for (label, codec) in [
             ("SZx", Box::new(SzxCodec::new(eb)) as Box<dyn Compressor>),
             ("ZFP(ABS)", Box::new(ZfpCodec::fixed_accuracy(eb))),
         ] {
-            let restored = codec.decompress(&codec.compress(&data).expect("c")).expect("d");
+            let restored = codec
+                .decompress(&codec.compress(&data).expect("c"))
+                .expect("d");
             let errors = pointwise_errors(&data, &restored);
             analyze(label, ds.label(), &errors, &t);
         }
     }
 
     println!("\n# Fig 6 — second-stage error e2 (compress the reconstruction again)\n");
-    let t2 = Table::new(&["codec", "dataset", "mu", "sigma", "1σ cover", "2σ cover", "3σ cover"]);
+    let t2 = Table::new(&[
+        "codec",
+        "dataset",
+        "mu",
+        "sigma",
+        "1σ cover",
+        "2σ cover",
+        "3σ cover",
+    ]);
     for ds in [Dataset::Cesm, Dataset::Hurricane] {
         let data = ds.generate(n, 5);
         for (label, codec) in [
             ("SZx", Box::new(SzxCodec::new(eb)) as Box<dyn Compressor>),
             ("ZFP(ABS)", Box::new(ZfpCodec::fixed_accuracy(eb))),
         ] {
-            let stage1 = codec.decompress(&codec.compress(&data).expect("c")).expect("d");
-            let stage2 = codec.decompress(&codec.compress(&stage1).expect("c")).expect("d");
+            let stage1 = codec
+                .decompress(&codec.compress(&data).expect("c"))
+                .expect("d");
+            let stage2 = codec
+                .decompress(&codec.compress(&stage1).expect("c"))
+                .expect("d");
             let e2 = pointwise_errors(&stage1, &stage2);
             analyze(label, ds.label(), &e2, &t2);
         }
@@ -65,7 +87,9 @@ fn main() {
     println!("\n# histogram (SZx on CESM-ATM, density per bin center):");
     let data = Dataset::Cesm.generate(n, 5);
     let codec = SzxCodec::new(eb);
-    let restored = codec.decompress(&codec.compress(&data).expect("c")).expect("d");
+    let restored = codec
+        .decompress(&codec.compress(&data).expect("c"))
+        .expect("d");
     let errors = pointwise_errors(&data, &restored);
     let h = Histogram::build(&errors, -(eb as f64), eb as f64, 21);
     for (c, d) in h.centers().iter().zip(h.densities()) {

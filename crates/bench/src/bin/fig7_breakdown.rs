@@ -7,8 +7,8 @@
 
 use c_coll::{AllreduceVariant, CodecSpec, ReduceOp};
 use ccoll_bench::calibrate::cost_model_from_env;
-use ccoll_bench::table::Table;
 use ccoll_bench::run_allreduce;
+use ccoll_bench::table::Table;
 use ccoll_bench::workload::{fig7_sizes_mb, Scale};
 use ccoll_comm::Category;
 use ccoll_data::Dataset;
@@ -17,20 +17,43 @@ fn main() {
     let nodes = 16;
     let scale = Scale::from_env(64);
     let cost = cost_model_from_env();
-    println!("# Fig 7 — AD vs DI breakdown on {nodes} nodes; {}", scale.note());
+    println!(
+        "# Fig 7 — AD vs DI breakdown on {nodes} nodes; {}",
+        scale.note()
+    );
     println!("# paper shape: AD dominated by Allgather (~60%); DI dominated by ComDecom\n");
     let t = Table::new(&[
-        "size MB", "variant", "ComDecom ms", "Allgather ms", "Memcpy ms", "Wait ms",
-        "Reduction ms", "Others ms", "total ms",
+        "size MB",
+        "variant",
+        "ComDecom ms",
+        "Allgather ms",
+        "Memcpy ms",
+        "Wait ms",
+        "Reduction ms",
+        "Others ms",
+        "total ms",
     ]);
     for mb in fig7_sizes_mb() {
         let values = scale.values_for_mb(mb);
         for (label, spec, variant) in [
             ("AD", CodecSpec::None, AllreduceVariant::Original),
-            ("DI", CodecSpec::Szx { error_bound: 1e-3 }, AllreduceVariant::DirectIntegration),
+            (
+                "DI",
+                CodecSpec::Szx { error_bound: 1e-3 },
+                AllreduceVariant::DirectIntegration,
+            ),
         ] {
             let r = run_allreduce(
-                nodes, values, Dataset::Rtm, spec, variant, ReduceOp::Sum, cost.clone(), scale.net_model(), false);
+                nodes,
+                values,
+                Dataset::Rtm,
+                spec,
+                variant,
+                ReduceOp::Sum,
+                cost.clone(),
+                scale.net_model(),
+                false,
+            );
             let b = &r.breakdown;
             let msf = |c| format!("{:.2}", b.get(c).as_secs_f64() * 1e3);
             t.row(&[

@@ -17,22 +17,57 @@ fn main() {
     let nodes = 16;
     let scale = Scale::from_env(64);
     let cost = cost_model_from_env();
-    println!("# Fig 8 — DI vs ND (data-movement framework) on {nodes} nodes; {}", scale.note());
+    println!(
+        "# Fig 8 — DI vs ND (data-movement framework) on {nodes} nodes; {}",
+        scale.note()
+    );
     println!("# paper shape: ND cuts ComDecom sharply and balances the allgather\n");
-    let t = Table::new(&["size MB", "ComDecom(DI)", "Allgather(DI)", "ComDecom(ND)", "Allgather(ND)", "ND speedup"]);
+    let t = Table::new(&[
+        "size MB",
+        "ComDecom(DI)",
+        "Allgather(DI)",
+        "ComDecom(ND)",
+        "Allgather(ND)",
+        "ND speedup",
+    ]);
     let spec = CodecSpec::Szx { error_bound: 1e-3 };
     for mb in paper_sizes_mb() {
         let values = scale.values_for_mb(mb);
-        let di = run_allreduce(nodes, values, Dataset::Rtm, spec, AllreduceVariant::DirectIntegration, ReduceOp::Sum, cost.clone(), scale.net_model(), false);
-        let nd = run_allreduce(nodes, values, Dataset::Rtm, spec, AllreduceVariant::NovelDesign, ReduceOp::Sum, cost.clone(), scale.net_model(), false);
-        let msf = |r: &ccoll_bench::ExperimentResult, c| format!("{:.2}", r.breakdown.get(c).as_secs_f64() * 1e3);
+        let di = run_allreduce(
+            nodes,
+            values,
+            Dataset::Rtm,
+            spec,
+            AllreduceVariant::DirectIntegration,
+            ReduceOp::Sum,
+            cost.clone(),
+            scale.net_model(),
+            false,
+        );
+        let nd = run_allreduce(
+            nodes,
+            values,
+            Dataset::Rtm,
+            spec,
+            AllreduceVariant::NovelDesign,
+            ReduceOp::Sum,
+            cost.clone(),
+            scale.net_model(),
+            false,
+        );
+        let msf = |r: &ccoll_bench::ExperimentResult, c| {
+            format!("{:.2}", r.breakdown.get(c).as_secs_f64() * 1e3)
+        };
         t.row(&[
             mb.to_string(),
             msf(&di, Category::ComDecom),
             msf(&di, Category::Allgather),
             msf(&nd, Category::ComDecom),
             msf(&nd, Category::Allgather),
-            format!("{:.2}x", di.makespan.as_secs_f64() / nd.makespan.as_secs_f64()),
+            format!(
+                "{:.2}x",
+                di.makespan.as_secs_f64() / nd.makespan.as_secs_f64()
+            ),
         ]);
     }
 }

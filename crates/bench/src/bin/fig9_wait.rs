@@ -17,14 +17,37 @@ fn main() {
     let nodes = 16;
     let scale = Scale::from_env(64);
     let cost = cost_model_from_env();
-    println!("# Fig 9 — Wait time: ND vs Overlap on {nodes} nodes; {}", scale.note());
+    println!(
+        "# Fig 9 — Wait time: ND vs Overlap on {nodes} nodes; {}",
+        scale.note()
+    );
     println!("# paper shape: Overlap cuts Wait by 73–80%\n");
     let t = Table::new(&["size MB", "Wait(ND) ms", "Wait(Overlap) ms", "reduction"]);
     let spec = CodecSpec::Szx { error_bound: 1e-3 };
     for mb in paper_sizes_mb() {
         let values = scale.values_for_mb(mb);
-        let nd = run_allreduce(nodes, values, Dataset::Rtm, spec, AllreduceVariant::NovelDesign, ReduceOp::Sum, cost.clone(), scale.net_model(), false);
-        let ov = run_allreduce(nodes, values, Dataset::Rtm, spec, AllreduceVariant::Overlapped, ReduceOp::Sum, cost.clone(), scale.net_model(), false);
+        let nd = run_allreduce(
+            nodes,
+            values,
+            Dataset::Rtm,
+            spec,
+            AllreduceVariant::NovelDesign,
+            ReduceOp::Sum,
+            cost.clone(),
+            scale.net_model(),
+            false,
+        );
+        let ov = run_allreduce(
+            nodes,
+            values,
+            Dataset::Rtm,
+            spec,
+            AllreduceVariant::Overlapped,
+            ReduceOp::Sum,
+            cost.clone(),
+            scale.net_model(),
+            false,
+        );
         let w_nd = nd.breakdown.get(Category::Wait).as_secs_f64() * 1e3;
         let w_ov = ov.breakdown.get(Category::Wait).as_secs_f64() * 1e3;
         t.row(&[

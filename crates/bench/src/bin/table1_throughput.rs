@@ -13,7 +13,10 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(2_000_000);
-    println!("# Table I — compression/decompression throughput (MB/s), {} MB fields", n * 4 / 1_000_000);
+    println!(
+        "# Table I — compression/decompression throughput (MB/s), {} MB fields",
+        n * 4 / 1_000_000
+    );
     println!("# paper shape: SZx fastest, then ZFP(ABS), then ZFP(FXR)\n");
     let rows = characterize(n, &[1, 2, 3]);
     let t = Table::new(&["codec", "param", "dataset", "Com MB/s", "Decom MB/s"]);

@@ -13,10 +13,22 @@ fn main() {
     println!("# Table IV — dataset information (paper vs synthetic stand-in)\n");
     let paper = [
         ("RTM", "70 files", "849x849x235", "Seismic Wave"),
-        ("Hurricane", "48x13 files", "100x500x500", "Weather Simulation"),
+        (
+            "Hurricane",
+            "48x13 files",
+            "100x500x500",
+            "Weather Simulation",
+        ),
         ("CESM-ATM", "26x33 files", "1800x3600", "Climate Simulation"),
     ];
-    let t = Table::new(&["dataset", "paper files", "paper dims", "description", "synthetic mean", "synthetic std"]);
+    let t = Table::new(&[
+        "dataset",
+        "paper files",
+        "paper dims",
+        "description",
+        "synthetic mean",
+        "synthetic std",
+    ]);
     for ((label, files, dims, desc), ds) in paper.iter().zip(Dataset::ALL) {
         let f = ds.generate(1_000_000, 1);
         let sample: Vec<f64> = f.iter().map(|&v| v as f64).collect();

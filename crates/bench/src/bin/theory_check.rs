@@ -12,7 +12,14 @@ use ccoll_data::Dataset;
 
 fn main() {
     println!("# Theorem 1 / Corollary 1 — Sum error coverage (Monte-Carlo)\n");
-    let t = Table::new(&["nodes", "eb", "interval ±", "worst case n·eb", "coverage", "target"]);
+    let t = Table::new(&[
+        "nodes",
+        "eb",
+        "interval ±",
+        "worst case n·eb",
+        "coverage",
+        "target",
+    ]);
     for n in [4usize, 16, 64, 100, 128] {
         let eb = 1e-3f64;
         let check = theory::verify_sum_coverage(n, eb, 30_000, 7);
@@ -34,22 +41,37 @@ fn main() {
     }
 
     println!("\n# End-to-end: actual C-Allreduce Sum error vs the theoretical envelope\n");
-    let t3 = Table::new(&["nodes", "eb", "observed max|err|", "prob. bound (2/3·sqrt(n)·eb)", "worst case n·eb"]);
+    let t3 = Table::new(&[
+        "nodes",
+        "eb",
+        "observed max|err|",
+        "prob. bound (2/3·sqrt(n)·eb)",
+        "worst case n·eb",
+    ]);
     for nodes in [8usize, 32, 64] {
         let eb = 1e-3f32;
         let n_values = 50_000;
-        let inputs: Vec<Vec<f32>> = (0..nodes).map(|r| Dataset::Cesm.generate(n_values, r as u64)).collect();
+        let inputs: Vec<Vec<f32>> = (0..nodes)
+            .map(|r| Dataset::Cesm.generate(n_values, r as u64))
+            .collect();
         let exact = ReduceOp::Sum.oracle(&inputs);
         let out = SimWorld::new(SimConfig::new(nodes)).run(move |comm| {
             let ccoll = CColl::new(CodecSpec::Szx { error_bound: eb });
-            ccoll.allreduce(comm, &Dataset::Cesm.generate(n_values, comm.rank() as u64), ReduceOp::Sum)
+            ccoll.allreduce(
+                comm,
+                &Dataset::Cesm.generate(n_values, comm.rank() as u64),
+                ReduceOp::Sum,
+            )
         });
         let err = ccoll_data::metrics::max_abs_error(&exact, &out.results[0]);
         t3.row(&[
             nodes.to_string(),
             format!("{eb:.0e}"),
             format!("{err:.2e}"),
-            format!("{:.2e}", theory::sum_error_halfwidth_from_bound(nodes, eb as f64)),
+            format!(
+                "{:.2e}",
+                theory::sum_error_halfwidth_from_bound(nodes, eb as f64)
+            ),
             format!("{:.2e}", theory::sum_error_worst_case(nodes, eb as f64)),
         ]);
     }

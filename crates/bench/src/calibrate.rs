@@ -38,44 +38,68 @@ pub fn calibrate_cost_model(n: usize, eb: f32) -> CostModel {
 
     let szx = SzxCodec::new(eb);
     let szx_stream = szx.compress(&data).expect("szx compress");
-    model.set(Kernel::SzxCompress, throughput(bytes, || {
-        std::hint::black_box(szx.compress(&data).expect("szx compress"));
-    }));
-    model.set(Kernel::SzxDecompress, throughput(bytes, || {
-        std::hint::black_box(szx.decompress(&szx_stream).expect("szx decompress"));
-    }));
+    model.set(
+        Kernel::SzxCompress,
+        throughput(bytes, || {
+            std::hint::black_box(szx.compress(&data).expect("szx compress"));
+        }),
+    );
+    model.set(
+        Kernel::SzxDecompress,
+        throughput(bytes, || {
+            std::hint::black_box(szx.decompress(&szx_stream).expect("szx decompress"));
+        }),
+    );
 
     let zabs = ZfpCodec::fixed_accuracy(eb);
     let zabs_stream = zabs.compress(&data).expect("zfp abs compress");
-    model.set(Kernel::ZfpAbsCompress, throughput(bytes, || {
-        std::hint::black_box(zabs.compress(&data).expect("zfp abs compress"));
-    }));
-    model.set(Kernel::ZfpAbsDecompress, throughput(bytes, || {
-        std::hint::black_box(zabs.decompress(&zabs_stream).expect("zfp abs decompress"));
-    }));
+    model.set(
+        Kernel::ZfpAbsCompress,
+        throughput(bytes, || {
+            std::hint::black_box(zabs.compress(&data).expect("zfp abs compress"));
+        }),
+    );
+    model.set(
+        Kernel::ZfpAbsDecompress,
+        throughput(bytes, || {
+            std::hint::black_box(zabs.decompress(&zabs_stream).expect("zfp abs decompress"));
+        }),
+    );
 
     let zfxr = ZfpCodec::fixed_rate(4);
     let zfxr_stream = zfxr.compress(&data).expect("zfp fxr compress");
-    model.set(Kernel::ZfpFxrCompress, throughput(bytes, || {
-        std::hint::black_box(zfxr.compress(&data).expect("zfp fxr compress"));
-    }));
-    model.set(Kernel::ZfpFxrDecompress, throughput(bytes, || {
-        std::hint::black_box(zfxr.decompress(&zfxr_stream).expect("zfp fxr decompress"));
-    }));
+    model.set(
+        Kernel::ZfpFxrCompress,
+        throughput(bytes, || {
+            std::hint::black_box(zfxr.compress(&data).expect("zfp fxr compress"));
+        }),
+    );
+    model.set(
+        Kernel::ZfpFxrDecompress,
+        throughput(bytes, || {
+            std::hint::black_box(zfxr.decompress(&zfxr_stream).expect("zfp fxr decompress"));
+        }),
+    );
 
     let mut acc = vec![0.0f32; n];
-    model.set(Kernel::Reduce, throughput(bytes, || {
-        for (a, &b) in acc.iter_mut().zip(&data) {
-            *a += b;
-        }
-        std::hint::black_box(&acc);
-    }));
+    model.set(
+        Kernel::Reduce,
+        throughput(bytes, || {
+            for (a, &b) in acc.iter_mut().zip(&data) {
+                *a += b;
+            }
+            std::hint::black_box(&acc);
+        }),
+    );
 
     let mut dst = vec![0.0f32; n];
-    model.set(Kernel::Memcpy, throughput(bytes, || {
-        dst.copy_from_slice(&data);
-        std::hint::black_box(&dst);
-    }));
+    model.set(
+        Kernel::Memcpy,
+        throughput(bytes, || {
+            dst.copy_from_slice(&data);
+            std::hint::black_box(&dst);
+        }),
+    );
 
     model
 }
@@ -83,7 +107,10 @@ pub fn calibrate_cost_model(n: usize, eb: f32) -> CostModel {
 /// Use the measured model when `CCOLL_CALIBRATE=1`, otherwise the
 /// Table-I-shaped defaults (fast startup, same qualitative ordering).
 pub fn cost_model_from_env() -> CostModel {
-    if std::env::var("CCOLL_CALIBRATE").map(|v| v == "1").unwrap_or(false) {
+    if std::env::var("CCOLL_CALIBRATE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
         eprintln!("# calibrating cost model from real kernels ...");
         calibrate_cost_model(2_000_000, 1e-3)
     } else {

@@ -31,7 +31,10 @@ impl MinAvgMax {
 
     /// `"min / avg / max"` with the given precision.
     pub fn fmt(&self, prec: usize) -> String {
-        format!("{:.prec$} / {:.prec$} / {:.prec$}", self.min, self.avg, self.max)
+        format!(
+            "{:.prec$} / {:.prec$} / {:.prec$}",
+            self.min, self.avg, self.max
+        )
     }
 }
 
@@ -62,10 +65,18 @@ pub fn config_grid() -> Vec<(&'static str, String, Box<dyn Compressor>)> {
         out.push(("SZx", label.to_string(), Box::new(SzxCodec::new(eb))));
     }
     for (label, eb) in [("1E-2", 1e-2f32), ("1E-3", 1e-3), ("1E-4", 1e-4)] {
-        out.push(("ZFP(ABS)", label.to_string(), Box::new(ZfpCodec::fixed_accuracy(eb))));
+        out.push((
+            "ZFP(ABS)",
+            label.to_string(),
+            Box::new(ZfpCodec::fixed_accuracy(eb)),
+        ));
     }
     for rate in [4u32, 8, 16] {
-        out.push(("ZFP(FXR)", rate.to_string(), Box::new(ZfpCodec::fixed_rate(rate))));
+        out.push((
+            "ZFP(FXR)",
+            rate.to_string(),
+            Box::new(ZfpCodec::fixed_rate(rate)),
+        ));
     }
     out
 }

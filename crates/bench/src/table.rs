@@ -12,7 +12,9 @@ impl Table {
     /// Create a table and print its header row.
     pub fn new(headers: &[&str]) -> Self {
         let widths: Vec<usize> = headers.iter().map(|h| h.len().max(10)).collect();
-        let csv = std::env::var("CCOLL_CSV").map(|v| v == "1").unwrap_or(false);
+        let csv = std::env::var("CCOLL_CSV")
+            .map(|v| v == "1")
+            .unwrap_or(false);
         let t = Table {
             headers: headers.iter().map(|s| s.to_string()).collect(),
             widths,

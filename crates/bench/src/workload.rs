@@ -57,9 +57,8 @@ impl Scale {
     /// the message sizes, preserving the paper-scale α/β balance.
     pub fn net_model(&self) -> ccoll_comm::NetModel {
         let mut net = ccoll_comm::NetModel::default();
-        net.latency = std::time::Duration::from_nanos(
-            (net.latency.as_nanos() as u64 / self.0 as u64).max(1),
-        );
+        net.latency =
+            std::time::Duration::from_nanos((net.latency.as_nanos() as u64 / self.0 as u64).max(1));
         net
     }
 
@@ -68,7 +67,10 @@ impl Scale {
         if self.0 == 1 {
             "full paper sizes".to_string()
         } else {
-            format!("paper sizes scaled down by {}x (set CCOLL_SCALE=1 for full size)", self.0)
+            format!(
+                "paper sizes scaled down by {}x (set CCOLL_SCALE=1 for full size)",
+                self.0
+            )
         }
     }
 }

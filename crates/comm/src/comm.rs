@@ -164,14 +164,7 @@ pub trait Comm {
     /// Exchange payloads with two peers simultaneously (the ring step):
     /// send to `dst` while receiving from `src`. Waits are attributed to
     /// `cat`.
-    fn sendrecv(
-        &mut self,
-        dst: usize,
-        src: usize,
-        tag: Tag,
-        payload: Bytes,
-        cat: Category,
-    ) -> Bytes
+    fn sendrecv(&mut self, dst: usize, src: usize, tag: Tag, payload: Bytes, cat: Category) -> Bytes
     where
         Self: Sized,
     {

@@ -170,7 +170,10 @@ mod tests {
     fn cost_arithmetic() {
         let mut m = CostModel::default();
         m.set(Kernel::Reduce, 1e9);
-        assert_eq!(m.cost(Kernel::Reduce, 1_000_000_000), Duration::from_secs(1));
+        assert_eq!(
+            m.cost(Kernel::Reduce, 1_000_000_000),
+            Duration::from_secs(1)
+        );
         assert_eq!(m.cost(Kernel::Reduce, 0), Duration::ZERO);
     }
 

@@ -33,8 +33,8 @@
 //! scheduled, the kernel panics with a per-rank state dump — this is the
 //! simulator's failure-injection surface for collective-algorithm bugs.
 
-use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -193,9 +193,7 @@ impl SimKernel {
                     }
                     let mut dump = String::new();
                     for (rank, req) in &g.blocked_recv {
-                        dump.push_str(&format!(
-                            "\n  rank {rank}: blocked on recv request {req}"
-                        ));
+                        dump.push_str(&format!("\n  rank {rank}: blocked on recv request {req}"));
                     }
                     for rank in &g.barrier.waiters {
                         dump.push_str(&format!("\n  rank {rank}: blocked in barrier"));
@@ -341,10 +339,7 @@ impl SimKernel {
     fn wait_send(&self, me: usize, req: u64) -> Duration {
         let mut g = self.state.lock();
         let t0 = g.now;
-        let done = *g
-            .send_done
-            .get(&req)
-            .expect("wait on unknown send request");
+        let done = *g.send_done.get(&req).expect("wait on unknown send request");
         if done > g.now {
             Self::push_event(&mut g, done, me);
             self.park(&mut g, me);
@@ -490,9 +485,8 @@ impl SimWorld {
                             kernel: Arc::clone(&kernel),
                             profiler: Profiler::enabled(),
                         };
-                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                            || f(&mut comm),
-                        ));
+                        let out =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut comm)));
                         let breakdown = comm.profiler.breakdown().clone();
                         let traffic = comm.profiler.traffic();
                         match out {
@@ -663,13 +657,8 @@ mod tests {
                     let left = (c.rank() + n - 1) % n;
                     let mut token = vec![c.rank() as u8; 1000];
                     for _ in 0..n {
-                        let got = c.sendrecv(
-                            right,
-                            left,
-                            3,
-                            Bytes::from(token.clone()),
-                            Category::Wait,
-                        );
+                        let got =
+                            c.sendrecv(right, left, 3, Bytes::from(token.clone()), Category::Wait);
                         token = got.to_vec();
                     }
                     token[0]
@@ -786,7 +775,11 @@ mod tests {
             c.now().as_nanos()
         });
         // Everyone resumes at the slowest arrival: 2 ms.
-        assert!(out.results.iter().all(|&t| t == 2_000_000), "{:?}", out.results);
+        assert!(
+            out.results.iter().all(|&t| t == 2_000_000),
+            "{:?}",
+            out.results
+        );
     }
 
     #[test]
@@ -876,14 +869,17 @@ mod tests {
                     right,
                     left,
                     tag,
-                    Bytes::from(vec![pieces[outgoing].expect("have piece") ]),
+                    Bytes::from(vec![pieces[outgoing].expect("have piece")]),
                     Category::Allgather,
                 );
                 let incoming = (me + n - 1 - round) % n;
                 pieces[incoming] = Some(got[0]);
                 outgoing = incoming;
             }
-            pieces.iter().map(|p| p.expect("all gathered")).collect::<Vec<u8>>()
+            pieces
+                .iter()
+                .map(|p| p.expect("all gathered"))
+                .collect::<Vec<u8>>()
         });
         for r in 0..n {
             let expect: Vec<u8> = (0..n as u8).collect();

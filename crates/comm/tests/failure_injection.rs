@@ -2,7 +2,7 @@
 //! tags, panicking ranks — the kernel must detect or contain each.
 
 use bytes::Bytes;
-use ccoll_comm::{Category, Comm, SimConfig, SimWorld};
+use ccoll_comm::{Category, Comm, SimWorld};
 use std::time::Duration;
 
 #[test]

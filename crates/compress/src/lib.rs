@@ -51,6 +51,37 @@
 //! }
 //! assert!(compressed.len() < data.len() * 4);
 //! ```
+//!
+//! ## Performance architecture
+//!
+//! The codec hot loop is the critical path of the whole system, so it is
+//! engineered in three layers (full details and measured GB/s in the
+//! repository's `DESIGN.md`):
+//!
+//! 1. **Word-level bitstream** ([`bitstream`]) — a 64-bit-accumulator
+//!    writer and 64-bit-window reader, byte-identical to the seed's
+//!    scalar implementation (preserved in `bitstream::reference` as a
+//!    differential oracle) but ~5× faster on quantized-block streams.
+//! 2. **Zero-allocation API** — [`Compressor::compress_into`] /
+//!    [`Compressor::decompress_into`] encode/decode straight into
+//!    caller-owned [`CodecScratch`] buffers; once warmed, steady-state
+//!    round trips perform zero heap allocations (pinned by a
+//!    counting-allocator test).
+//! 3. **Branch-free block analysis** — SZx classifies blocks with
+//!    accumulator-style flag passes (no early exits inside loops) the
+//!    autovectorizer can handle, and packs two codes per staging word.
+//!
+//! ```
+//! use ccoll_compress::{CodecScratch, Compressor, SzxCodec};
+//!
+//! let codec = SzxCodec::new(1e-3);
+//! let mut scratch = CodecScratch::new();
+//! let data = vec![1.0f32; 4096];
+//! // First call warms the buffers; subsequent calls allocate nothing.
+//! codec.compress_into(&data, &mut scratch.enc).unwrap();
+//! codec.decompress_into(&scratch.enc, &mut scratch.dec).unwrap();
+//! assert_eq!(scratch.dec.len(), data.len());
+//! ```
 
 pub mod bitstream;
 pub mod bytecodec;
@@ -63,7 +94,7 @@ pub mod zfp;
 pub use lossless::LosslessCodec;
 pub use pipe::PipeSzx;
 pub use szx::SzxCodec;
-pub use traits::{CodecKind, CompressError, Compressor, RoundTripStats};
+pub use traits::{CodecKind, CodecScratch, CompressError, Compressor, RoundTripStats};
 pub use zfp::{ZfpCodec, ZfpMode};
 
 /// Convert a slice of `f32` values into little-endian bytes.
@@ -85,7 +116,7 @@ pub fn f32s_to_bytes(values: &[f32]) -> Vec<u8> {
 /// Panics if `bytes.len()` is not a multiple of four.
 pub fn bytes_to_f32s(bytes: &[u8]) -> Vec<f32> {
     assert!(
-        bytes.len() % 4 == 0,
+        bytes.len().is_multiple_of(4),
         "byte buffer length {} is not a multiple of 4",
         bytes.len()
     );

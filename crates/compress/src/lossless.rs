@@ -41,35 +41,42 @@ impl LosslessCodec {
 /// zero bytes, or `<len u8 != 0> <len literal bytes>` for a literal run
 /// (the length byte stores `len`, max 255).
 fn encode_plane(plane: &[u8], out: &mut Vec<u8>) {
-    let mut deltas = Vec::with_capacity(plane.len());
-    let mut prev = 0u8;
-    for &b in plane {
-        deltas.push(b ^ prev);
-        prev = b;
-    }
+    // Deltas are computed on the fly while scanning runs, so no
+    // intermediate delta buffer is materialized. A zero delta is simply
+    // `plane[i] == prev`.
     let mut i = 0;
-    while i < deltas.len() {
-        if deltas[i] == 0 {
+    let mut prev = 0u8;
+    while i < plane.len() {
+        if plane[i] == prev {
             let mut n = 0usize;
-            while i < deltas.len() && deltas[i] == 0 {
+            while i < plane.len() && plane[i] == prev {
                 n += 1;
                 i += 1;
             }
             out.push(0x00);
             put_varint(out, n as u64);
         } else {
-            let start = i;
-            while i < deltas.len() && deltas[i] != 0 && i - start < 255 {
+            let len_at = out.len();
+            out.push(0); // literal-run length, patched below
+            let mut run = 0usize;
+            while i < plane.len() && plane[i] != prev && run < 255 {
+                out.push(plane[i] ^ prev);
+                prev = plane[i];
                 i += 1;
+                run += 1;
             }
-            out.push((i - start) as u8);
-            out.extend_from_slice(&deltas[start..i]);
+            out[len_at] = run as u8;
         }
     }
 }
 
-fn decode_plane(r: &mut ByteReader<'_>, len: usize) -> Result<Vec<u8>, CompressError> {
-    let mut deltas = Vec::with_capacity(len);
+fn decode_plane(
+    r: &mut ByteReader<'_>,
+    len: usize,
+    deltas: &mut Vec<u8>,
+) -> Result<(), CompressError> {
+    deltas.clear();
+    deltas.reserve(len);
     while deltas.len() < len {
         let op = r.read_u8()?;
         if op == 0 {
@@ -77,7 +84,7 @@ fn decode_plane(r: &mut ByteReader<'_>, len: usize) -> Result<Vec<u8>, CompressE
             if deltas.len() + n > len {
                 return Err(CompressError::CorruptHeader);
             }
-            deltas.extend(std::iter::repeat(0u8).take(n));
+            deltas.resize(deltas.len() + n, 0u8);
         } else {
             let lits = r.read_slice(op as usize)?;
             if deltas.len() + lits.len() > len {
@@ -88,11 +95,11 @@ fn decode_plane(r: &mut ByteReader<'_>, len: usize) -> Result<Vec<u8>, CompressE
     }
     // Undo the XOR-delta.
     let mut prev = 0u8;
-    for d in &mut deltas {
+    for d in deltas.iter_mut() {
         *d ^= prev;
         prev = *d;
     }
-    Ok(deltas)
+    Ok(())
 }
 
 fn put_varint(out: &mut Vec<u8>, mut v: u64) {
@@ -125,50 +132,61 @@ fn read_varint(r: &mut ByteReader<'_>) -> Result<u64, CompressError> {
 
 impl Compressor for LosslessCodec {
     fn compress(&self, data: &[f32]) -> Result<Vec<u8>, CompressError> {
-        let n = data.len();
-        let mut out = Vec::with_capacity(12 + n);
-        put_u32(&mut out, LOSSLESS_MAGIC);
-        put_u64(&mut out, n as u64);
-        // Transpose into four byte planes (plane 3 = exponent-heavy MSB).
-        let mut planes: [Vec<u8>; 4] = std::array::from_fn(|_| Vec::with_capacity(n));
-        for &v in data {
-            let b = v.to_le_bytes();
-            for (p, &byte) in planes.iter_mut().zip(&b) {
-                p.push(byte);
-            }
-        }
-        for plane in &planes {
-            let mut body = Vec::new();
-            encode_plane(plane, &mut body);
-            put_u64(&mut out, body.len() as u64);
-            out.extend_from_slice(&body);
-        }
+        let mut out = Vec::with_capacity(12 + data.len());
+        self.compress_into(data, &mut out)?;
         Ok(out)
     }
 
     fn decompress(&self, stream: &[u8]) -> Result<Vec<f32>, CompressError> {
+        let mut out = Vec::new();
+        self.decompress_into(stream, &mut out)?;
+        Ok(out)
+    }
+
+    fn compress_into(&self, data: &[f32], out: &mut Vec<u8>) -> Result<(), CompressError> {
+        let n = data.len();
+        out.clear();
+        put_u32(out, LOSSLESS_MAGIC);
+        put_u64(out, n as u64);
+        // One reusable plane buffer: plane p is gathered by a strided
+        // sweep (plane 3 = exponent-heavy MSB), delta+RLE encoded into
+        // the output with its length patched afterwards.
+        let mut plane = Vec::with_capacity(n);
+        for p in 0..4 {
+            plane.clear();
+            plane.extend(data.iter().map(|v| v.to_le_bytes()[p]));
+            let len_at = out.len();
+            put_u64(out, 0);
+            let body_start = out.len();
+            encode_plane(&plane, out);
+            let body_len = (out.len() - body_start) as u64;
+            out[len_at..len_at + 8].copy_from_slice(&body_len.to_le_bytes());
+        }
+        Ok(())
+    }
+
+    fn decompress_into(&self, stream: &[u8], out: &mut Vec<f32>) -> Result<(), CompressError> {
         let mut r = ByteReader::new(stream);
         if r.read_u32()? != LOSSLESS_MAGIC {
             return Err(CompressError::BadMagic);
         }
         let n = r.read_u64()? as usize;
-        let mut planes = Vec::with_capacity(4);
-        for _ in 0..4 {
+        out.clear();
+        out.resize(n, 0.0);
+        // Decode each plane through one reusable buffer, scattering its
+        // bytes into the output values in place.
+        let mut plane = Vec::with_capacity(n);
+        for p in 0..4 {
             let plen = r.read_u64()? as usize;
             let body = r.read_slice(plen)?;
             let mut pr = ByteReader::new(body);
-            planes.push(decode_plane(&mut pr, n)?);
+            plane.clear();
+            decode_plane(&mut pr, n, &mut plane)?;
+            for (v, &byte) in out.iter_mut().zip(&plane) {
+                *v = f32::from_bits(v.to_bits() | (byte as u32) << (8 * p));
+            }
         }
-        let mut out = Vec::with_capacity(n);
-        for i in 0..n {
-            out.push(f32::from_le_bytes([
-                planes[0][i],
-                planes[1][i],
-                planes[2][i],
-                planes[3][i],
-            ]));
-        }
-        Ok(out)
+        Ok(())
     }
 
     fn kind(&self) -> CodecKind {
@@ -193,7 +211,15 @@ mod tests {
 
     #[test]
     fn exact_on_all_value_classes() {
-        round_trip(&[0.0, -0.0, 1.5, f32::NAN, f32::INFINITY, f32::MIN_POSITIVE, -1e38]);
+        round_trip(&[
+            0.0,
+            -0.0,
+            1.5,
+            f32::NAN,
+            f32::INFINITY,
+            f32::MIN_POSITIVE,
+            -1e38,
+        ]);
     }
 
     #[test]
@@ -213,7 +239,10 @@ mod tests {
         let data: Vec<f32> = (0..100_000).map(|i| (i as f32 * 1e-4).sin()).collect();
         let size = round_trip(&data);
         let ratio = (data.len() * 4) as f64 / size as f64;
-        assert!(ratio > 1.1, "smooth data should compress some, got {ratio:.2}");
+        assert!(
+            ratio > 1.1,
+            "smooth data should compress some, got {ratio:.2}"
+        );
         assert!(
             ratio < 10.0,
             "lossless can't reach lossy ratios on real-valued data, got {ratio:.2}"

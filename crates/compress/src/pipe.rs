@@ -34,7 +34,7 @@
 
 use crate::bitstream::{BitReader, BitWriter};
 use crate::bytecodec::{patch_u32, put_f32, put_u16, put_u32, put_u64, ByteReader};
-use crate::szx::{decode_blocks, encode_blocks, DEFAULT_BLOCK};
+use crate::szx::{decode_blocks_into, encode_blocks, worst_case_body_bytes, DEFAULT_BLOCK};
 use crate::traits::{CodecKind, CompressError, Compressor};
 
 /// Stream magic: `"SZXP"` little-endian.
@@ -42,6 +42,9 @@ pub const PIPE_MAGIC: u32 = 0x5058_5A53;
 
 /// Default pipeline chunk size in values — the paper's 5120 data points.
 pub const DEFAULT_CHUNK: usize = 5120;
+
+/// Fixed header length (magic + count + chunk + bsize + eb + nchunks).
+pub(crate) const PIPE_HEADER_BYTES: usize = 4 + 8 + 4 + 2 + 4 + 4;
 
 /// Pipelined SZx codec.
 ///
@@ -97,6 +100,20 @@ impl PipeSzx {
         len.div_ceil(self.chunk).max(if len == 0 { 0 } else { 1 })
     }
 
+    /// Exact worst-case stream size for a `len`-value input: header +
+    /// front index + per-chunk worst-case payload (every block verbatim
+    /// or maximally wide, each chunk byte-aligned). Reserving this up
+    /// front means the chunk loop can never reallocate mid-stream.
+    pub fn worst_case_stream_bytes(&self, len: usize) -> usize {
+        let nchunks = len.div_ceil(self.chunk);
+        let full = len / self.chunk;
+        let rem = len % self.chunk;
+        PIPE_HEADER_BYTES
+            + nchunks * 4
+            + full * worst_case_body_bytes(self.chunk, self.block_size)
+            + worst_case_body_bytes(rem, self.block_size)
+    }
+
     /// Compress `data`, invoking `progress` after every chunk.
     ///
     /// The callback runs `chunk_count` times; the final invocation happens
@@ -105,36 +122,78 @@ impl PipeSzx {
     pub fn compress_with_progress(
         &self,
         data: &[f32],
-        mut progress: impl FnMut(),
+        progress: impl FnMut(),
     ) -> Result<Vec<u8>, CompressError> {
+        let mut out = Vec::with_capacity(self.worst_case_stream_bytes(data.len()));
+        self.compress_with_progress_into(data, progress, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`PipeSzx::compress_with_progress`] into a caller-owned buffer.
+    ///
+    /// The whole stream — header, front index and every chunk payload —
+    /// is built in `out` through a single [`BitWriter`]; chunk sizes are
+    /// patched into the reserved index region as each chunk lands, so
+    /// the steady state performs no allocation and no payload copying.
+    pub fn compress_with_progress_into(
+        &self,
+        data: &[f32],
+        mut progress: impl FnMut(),
+        out: &mut Vec<u8>,
+    ) -> Result<(), CompressError> {
         let nchunks = data.len().div_ceil(self.chunk);
-        let mut out = Vec::with_capacity(26 + nchunks * 4 + data.len());
-        put_u32(&mut out, PIPE_MAGIC);
-        put_u64(&mut out, data.len() as u64);
-        put_u32(&mut out, self.chunk as u32);
-        put_u16(&mut out, self.block_size as u16);
-        put_f32(&mut out, self.error_bound);
-        put_u32(&mut out, nchunks as u32);
+        out.clear();
+        // Exact-capacity pre-reservation: the chunk loop below never
+        // reallocates mid-stream (no-op once the buffer is warmed).
+        out.reserve(self.worst_case_stream_bytes(data.len()));
+        put_u32(out, PIPE_MAGIC);
+        put_u64(out, data.len() as u64);
+        put_u32(out, self.chunk as u32);
+        put_u16(out, self.block_size as u16);
+        put_f32(out, self.error_bound);
+        put_u32(out, nchunks as u32);
         // Reserve the front-of-buffer size index (paper §III-E2).
         let index_at = out.len();
         out.resize(index_at + nchunks * 4, 0);
+        let mut w = BitWriter::from_vec(std::mem::take(out));
+        let mut chunk_start = w.byte_len();
         for (i, chunk) in data.chunks(self.chunk).enumerate() {
-            let mut w = BitWriter::with_capacity(chunk.len());
             encode_blocks(chunk, self.error_bound, self.block_size, &mut w);
-            let bytes = w.into_bytes();
-            patch_u32(&mut out, index_at + i * 4, bytes.len() as u32);
-            out.extend_from_slice(&bytes);
+            // Chunks are byte-aligned so each payload decodes standalone.
+            w.align();
+            let end = w.byte_len();
+            // The index region was materialized before the writer took
+            // over, so it is patchable while the tail is still staged.
+            patch_u32(
+                w.flushed_mut(),
+                index_at + i * 4,
+                (end - chunk_start) as u32,
+            );
+            chunk_start = end;
             progress();
         }
-        Ok(out)
+        *out = w.into_bytes();
+        Ok(())
     }
 
     /// Decompress, invoking `progress` after every chunk.
     pub fn decompress_with_progress(
         &self,
         stream: &[u8],
-        mut progress: impl FnMut(),
+        progress: impl FnMut(),
     ) -> Result<Vec<f32>, CompressError> {
+        let mut out = Vec::new();
+        self.decompress_with_progress_into(stream, progress, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`PipeSzx::decompress_with_progress`] into a caller-owned buffer.
+    pub fn decompress_with_progress_into(
+        &self,
+        stream: &[u8],
+        mut progress: impl FnMut(),
+        out: &mut Vec<f32>,
+    ) -> Result<(), CompressError> {
         let mut r = ByteReader::new(stream);
         if r.read_u32()? != PIPE_MAGIC {
             return Err(CompressError::BadMagic);
@@ -150,25 +209,25 @@ impl PipeSzx {
         if nchunks != count.div_ceil(chunk) {
             return Err(CompressError::CorruptHeader);
         }
-        let mut sizes = Vec::with_capacity(nchunks);
-        for _ in 0..nchunks {
-            sizes.push(r.read_u32()? as usize);
-        }
-        let mut out = Vec::with_capacity(count);
+        // The index is consumed in place — no sizes vector.
+        let mut sizes = r.clone();
+        r.read_slice(nchunks * 4)?;
+        out.clear();
+        out.reserve(count);
         // The chunk-starting-location pointer the paper describes: advance
         // through the payload using the recorded sizes.
-        for (i, &size) in sizes.iter().enumerate() {
+        for i in 0..nchunks {
+            let size = sizes.read_u32()? as usize;
             let payload = r.read_slice(size)?;
             let want = chunk.min(count - i * chunk);
             let mut bits = BitReader::new(payload);
-            let vals = decode_blocks(&mut bits, want, eb, block_size)?;
-            out.extend_from_slice(&vals);
+            decode_blocks_into(&mut bits, want, eb, block_size, out)?;
             progress();
         }
         if out.len() != count {
             return Err(CompressError::CorruptHeader);
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Byte offset and length of chunk `i`'s payload inside `stream`,
@@ -214,6 +273,14 @@ impl Compressor for PipeSzx {
         self.decompress_with_progress(stream, || {})
     }
 
+    fn compress_into(&self, data: &[f32], out: &mut Vec<u8>) -> Result<(), CompressError> {
+        self.compress_with_progress_into(data, || {}, out)
+    }
+
+    fn decompress_into(&self, stream: &[u8], out: &mut Vec<f32>) -> Result<(), CompressError> {
+        self.decompress_with_progress_into(stream, || {}, out)
+    }
+
     fn kind(&self) -> CodecKind {
         CodecKind::PipeSzx {
             error_bound: self.error_bound,
@@ -250,9 +317,7 @@ mod tests {
         let data = wave(5120 * 3 + 100); // 4 chunks
         let codec = PipeSzx::new(1e-3);
         let mut n = 0;
-        let c = codec
-            .compress_with_progress(&data, || n += 1)
-            .unwrap();
+        let c = codec.compress_with_progress(&data, || n += 1).unwrap();
         assert_eq!(n, 4);
         let mut m = 0;
         let d = codec.decompress_with_progress(&c, || m += 1).unwrap();

@@ -107,21 +107,58 @@ impl SzxCodec {
     }
 }
 
+/// Header length of an SZx stream in bytes.
+pub(crate) const SZX_HEADER_BYTES: usize = 4 + 8 + 2 + 4;
+
+/// Worst-case encoded size of `len` values at `block_size`, excluding any
+/// container header. Every block is bounded by the larger of its verbatim
+/// form (2-bit tag + 32 bits/value) and its widest quantized form (2-bit
+/// tag + 32-bit midpoint + 5-bit width + [`MAX_QUANT_BITS`] bits/value).
+pub(crate) fn worst_case_body_bytes(len: usize, block_size: usize) -> usize {
+    let full = len / block_size;
+    let rem = len % block_size;
+    let block_bits = |b: usize| -> usize {
+        if b == 0 {
+            0
+        } else {
+            (2 + 32 * b).max(2 + 32 + 5 + MAX_QUANT_BITS as usize * b)
+        }
+    };
+    (full * block_bits(block_size) + block_bits(rem)).div_ceil(8)
+}
+
 impl Compressor for SzxCodec {
     fn compress(&self, data: &[f32]) -> Result<Vec<u8>, CompressError> {
-        let mut header = Vec::with_capacity(18);
-        put_u32(&mut header, SZX_MAGIC);
-        put_u64(&mut header, data.len() as u64);
-        put_u16(&mut header, self.block_size as u16);
-        put_f32(&mut header, self.error_bound);
-        let mut w = BitWriter::with_capacity(data.len()); // ~2 bits/value guess
-        encode_blocks(data, self.error_bound, self.block_size, &mut w);
-        let mut out = header;
-        out.extend_from_slice(&w.into_bytes());
+        // A modest reservation (raw size) rather than the worst case:
+        // the returned Vec keeps its capacity, and callers of the
+        // allocating path often retain many streams. The zero-allocation
+        // path (`compress_into` with a warmed scratch) is unaffected.
+        let mut out = Vec::with_capacity(SZX_HEADER_BYTES + data.len());
+        self.compress_into(data, &mut out)?;
         Ok(out)
     }
 
     fn decompress(&self, stream: &[u8]) -> Result<Vec<f32>, CompressError> {
+        let mut out = Vec::new();
+        self.decompress_into(stream, &mut out)?;
+        Ok(out)
+    }
+
+    fn compress_into(&self, data: &[f32], out: &mut Vec<u8>) -> Result<(), CompressError> {
+        out.clear();
+        put_u32(out, SZX_MAGIC);
+        put_u64(out, data.len() as u64);
+        put_u16(out, self.block_size as u16);
+        put_f32(out, self.error_bound);
+        // Encode straight into the caller's buffer: no staging vector,
+        // no final concatenation copy.
+        let mut w = BitWriter::from_vec(std::mem::take(out));
+        encode_blocks(data, self.error_bound, self.block_size, &mut w);
+        *out = w.into_bytes();
+        Ok(())
+    }
+
+    fn decompress_into(&self, stream: &[u8], out: &mut Vec<f32>) -> Result<(), CompressError> {
         let mut r = ByteReader::new(stream);
         if r.read_u32()? != SZX_MAGIC {
             return Err(CompressError::BadMagic);
@@ -136,7 +173,9 @@ impl Compressor for SzxCodec {
             return Err(CompressError::CorruptHeader);
         }
         let mut bits = BitReader::new(r.remaining());
-        decode_blocks(&mut bits, count, eb, block_size)
+        out.clear();
+        out.reserve(count);
+        decode_blocks_into(&mut bits, count, eb, block_size, out)
     }
 
     fn kind(&self) -> CodecKind {
@@ -147,9 +186,12 @@ impl Compressor for SzxCodec {
 }
 
 /// Zig-zag map a signed quantization code to an unsigned packing code.
+/// Wrapping shift: in the branch-free encode pass a doomed block (one
+/// that will fall back to verbatim) may feed saturated garbage through
+/// here, and it must not trip the debug overflow check.
 #[inline]
 fn zigzag(q: i32) -> u32 {
-    ((q << 1) ^ (q >> 31)) as u32
+    (q.wrapping_shl(1) ^ (q >> 31)) as u32
 }
 
 /// Inverse of [`zigzag`].
@@ -161,29 +203,37 @@ fn unzigzag(z: u32) -> i32 {
 /// Encode `data` as a sequence of blocks into `w`. This is the header-less
 /// core shared with [`PipeSzx`](crate::pipe::PipeSzx).
 pub(crate) fn encode_blocks(data: &[f32], eb: f32, block_size: usize, w: &mut BitWriter) {
+    // One stack scratch shared by every block (the 4096 cap is enforced
+    // by `with_block_size`).
+    let mut codes = [0u32; 4096];
     for block in data.chunks(block_size) {
-        encode_block(block, eb, w);
+        encode_block(block, eb, w, &mut codes[..block.len()]);
     }
 }
 
-fn encode_block(block: &[f32], eb: f32, w: &mut BitWriter) {
+/// Classify and encode one block. `codes` is caller-provided scratch of
+/// exactly `block.len()` entries.
+///
+/// The analysis passes are deliberately branch-free inside the loops
+/// (no early exits, accumulator-style flags) so the autovectorizer can
+/// chew through them; classification decisions happen between passes.
+fn encode_block(block: &[f32], eb: f32, w: &mut BitWriter, codes: &mut [u32]) {
     let eb64 = eb as f64;
-    let mut min = f64::INFINITY;
-    let mut max = f64::NEG_INFINITY;
+    // Pass 1: block min/max + finiteness, in f32 (min/max are exact, so
+    // this matches the seed's f64 scan bit for bit).
+    let mut min = f32::INFINITY;
+    let mut max = f32::NEG_INFINITY;
     let mut finite = true;
     for &x in block {
-        if !x.is_finite() {
-            finite = false;
-            break;
-        }
-        let x = x as f64;
         min = min.min(x);
         max = max.max(x);
+        finite &= x.is_finite();
     }
     if !finite {
         write_verbatim(block, w);
         return;
     }
+    let (min, max) = (min as f64, max as f64);
     // Midpoint as the value actually stored (an f32), so the radius check
     // accounts for the f32 rounding of the midpoint itself.
     let mid = (0.5 * (min + max)) as f32;
@@ -201,85 +251,113 @@ fn encode_block(block: &[f32], eb: f32, w: &mut BitWriter) {
         write_verbatim(block, w);
         return;
     }
-    let mut codes = [0i32; 4096];
-    debug_assert!(block.len() <= 4096 || block.len() <= codes.len());
-    let codes = if block.len() <= codes.len() {
-        &mut codes[..block.len()]
-    } else {
-        // Unreachable with the u16 block-size cap, kept for safety.
-        write_verbatim(block, w);
-        return;
-    };
-    let mut max_z = 0u32;
+    // Pass 2: quantize + zigzag, flag-accumulating instead of breaking.
+    // Multiplying by the precomputed reciprocal replaces a division per
+    // value; any rounding drift this introduces is caught by the same
+    // reconstruction check that already guards extreme exponent ranges.
+    let inv_eb = 1.0 / eb64;
+    let limit = (1i64 << (MAX_QUANT_BITS - 1)) as f64;
+    let mut z_or = 0u32;
     let mut ok = true;
     for (c, &x) in codes.iter_mut().zip(block) {
-        let q = ((x as f64 - mid64) / eb64).round();
-        if q.abs() >= (1i64 << (MAX_QUANT_BITS - 1)) as f64 {
-            ok = false;
-            break;
-        }
-        let q = q as i32;
+        let qf = ((x as f64 - mid64) * inv_eb).round();
+        ok &= qf.abs() < limit;
+        let q = qf as i32;
         // Paranoid reconstruction check: guarantees the invariant even in
         // exponent ranges where f32 rounding of x̂ is comparable to eb.
         let xhat = (mid64 + q as f64 * eb64) as f32;
-        if (x as f64 - xhat as f64).abs() > eb64 {
-            ok = false;
-            break;
-        }
-        *c = q;
-        max_z = max_z.max(zigzag(q));
+        ok &= (x as f64 - xhat as f64).abs() <= eb64;
+        let z = zigzag(q);
+        *c = z;
+        // OR keeps the highest set bit of any code, which is all the
+        // width computation below needs — cheaper than a max reduction.
+        z_or |= z;
     }
     if !ok {
         write_verbatim(block, w);
         return;
     }
-    let m = (32 - max_z.leading_zeros()).max(1);
+    let m = (32 - z_or.leading_zeros()).max(1);
     w.write_bits(TAG_QUANTIZED as u64, 2);
     w.write_bits(mid.to_bits() as u64, 32);
     w.write_bits((m - 1) as u64, 5);
-    for &q in codes.iter() {
-        w.write_bits(zigzag(q) as u64, m);
+    // Pass 3: pack. Pairing halves the `write_bits` calls; 2m ≤ 56 bits
+    // always fits one staging word.
+    let mut pairs = codes.chunks_exact(2);
+    for pair in &mut pairs {
+        let packed = pair[0] as u64 | ((pair[1] as u64) << m);
+        w.write_bits(packed, 2 * m);
+    }
+    if let [last] = pairs.remainder() {
+        w.write_bits(*last as u64, m);
     }
 }
 
+#[inline]
 fn write_verbatim(block: &[f32], w: &mut BitWriter) {
     w.write_bits(TAG_VERBATIM as u64, 2);
-    for &x in block {
-        w.write_bits(x.to_bits() as u64, 32);
+    // Pack two IEEE words per staging word.
+    let mut pairs = block.chunks_exact(2);
+    for pair in &mut pairs {
+        let packed = pair[0].to_bits() as u64 | ((pair[1].to_bits() as u64) << 32);
+        w.write_bits(packed, 64);
+    }
+    if let [last] = pairs.remainder() {
+        w.write_bits(last.to_bits() as u64, 32);
     }
 }
 
-/// Decode `count` values written by [`encode_blocks`].
-pub(crate) fn decode_blocks(
+/// Decode `count` values written by [`encode_blocks`], appending to `out`.
+pub(crate) fn decode_blocks_into(
     r: &mut BitReader<'_>,
     count: usize,
     eb: f32,
     block_size: usize,
-) -> Result<Vec<f32>, CompressError> {
+    out: &mut Vec<f32>,
+) -> Result<(), CompressError> {
     let eb64 = eb as f64;
-    let mut out = Vec::with_capacity(count);
-    while out.len() < count {
-        let len = block_size.min(count - out.len());
+    let end = out.len() + count;
+    while out.len() < end {
+        let len = block_size.min(end - out.len());
         let tag = r.read_bits(2).map_err(|_| CompressError::Truncated)? as u32;
         match tag {
             TAG_CONSTANT => {
                 let mid =
                     f32::from_bits(r.read_bits(32).map_err(|_| CompressError::Truncated)? as u32);
-                out.extend(std::iter::repeat(mid).take(len));
+                // `resize` lowers to a memset-style fill.
+                out.resize(out.len() + len, mid);
             }
             TAG_QUANTIZED => {
                 let mid =
                     f32::from_bits(r.read_bits(32).map_err(|_| CompressError::Truncated)? as u32);
                 let mid64 = mid as f64;
                 let m = (r.read_bits(5).map_err(|_| CompressError::Truncated)? as u32) + 1;
-                for _ in 0..len {
+                // Mirror of the paired pack loop: one `read_bits` per two
+                // values.
+                let mask = (1u64 << m) - 1;
+                let mut remaining = len;
+                while remaining >= 2 {
+                    let packed = r.read_bits(2 * m).map_err(|_| CompressError::Truncated)?;
+                    let q0 = unzigzag((packed & mask) as u32);
+                    let q1 = unzigzag((packed >> m) as u32);
+                    out.push((mid64 + q0 as f64 * eb64) as f32);
+                    out.push((mid64 + q1 as f64 * eb64) as f32);
+                    remaining -= 2;
+                }
+                if remaining == 1 {
                     let z = r.read_bits(m).map_err(|_| CompressError::Truncated)? as u32;
-                    let q = unzigzag(z);
-                    out.push((mid64 + q as f64 * eb64) as f32);
+                    out.push((mid64 + unzigzag(z) as f64 * eb64) as f32);
                 }
             }
             TAG_VERBATIM => {
-                for _ in 0..len {
+                let mut remaining = len;
+                while remaining >= 2 {
+                    let packed = r.read_bits(64).map_err(|_| CompressError::Truncated)?;
+                    out.push(f32::from_bits(packed as u32));
+                    out.push(f32::from_bits((packed >> 32) as u32));
+                    remaining -= 2;
+                }
+                if remaining == 1 {
                     let bits = r.read_bits(32).map_err(|_| CompressError::Truncated)? as u32;
                     out.push(f32::from_bits(bits));
                 }
@@ -287,7 +365,7 @@ pub(crate) fn decode_blocks(
             _ => return Err(CompressError::CorruptHeader),
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -370,7 +448,11 @@ mod tests {
         let codec = SzxCodec::new(1e-3);
         let c = codec.compress(&data).unwrap();
         // 10 blocks * (2 bits tag + 32 bits mean) + 18-byte header ≈ 61 B.
-        assert!(c.len() < 80, "constant data should be ~34 bits/block, got {}", c.len());
+        assert!(
+            c.len() < 80,
+            "constant data should be ~34 bits/block, got {}",
+            c.len()
+        );
     }
 
     #[test]
@@ -399,7 +481,10 @@ mod tests {
     fn deterministic_output() {
         let data: Vec<f32> = (0..5000).map(|i| (i as f32).sqrt()).collect();
         let codec = SzxCodec::new(1e-3);
-        assert_eq!(codec.compress(&data).unwrap(), codec.compress(&data).unwrap());
+        assert_eq!(
+            codec.compress(&data).unwrap(),
+            codec.compress(&data).unwrap()
+        );
     }
 
     #[test]
@@ -412,7 +497,9 @@ mod tests {
 
     #[test]
     fn truncated_stream_rejected() {
-        let data: Vec<f32> = (0..1000).map(|i| (i as f32).ln_1p() * (i % 17) as f32).collect();
+        let data: Vec<f32> = (0..1000)
+            .map(|i| (i as f32).ln_1p() * (i % 17) as f32)
+            .collect();
         let codec = SzxCodec::new(1e-4);
         let c = codec.compress(&data).unwrap();
         let cut = &c[..c.len() - 10];

@@ -96,8 +96,69 @@ pub trait Compressor: Send + Sync {
     /// Decompress a buffer produced by [`Compressor::compress`].
     fn decompress(&self, stream: &[u8]) -> Result<Vec<f32>, CompressError>;
 
+    /// Compress `data` into a caller-owned buffer, replacing its
+    /// contents. On the steady state (a warmed buffer whose capacity
+    /// already fits the stream) native implementations perform **zero
+    /// heap allocations** — this is the fast path the collective layer
+    /// drives with per-collective scratch buffers.
+    ///
+    /// The default implementation falls back to [`Compressor::compress`]
+    /// plus a copy, so third-party codecs keep working unchanged.
+    fn compress_into(&self, data: &[f32], out: &mut Vec<u8>) -> Result<(), CompressError> {
+        let fresh = self.compress(data)?;
+        out.clear();
+        out.extend_from_slice(&fresh);
+        Ok(())
+    }
+
+    /// Decompress into a caller-owned buffer, replacing its contents.
+    /// Zero-allocation on a warmed buffer for native implementations;
+    /// the default falls back to [`Compressor::decompress`] plus a copy.
+    fn decompress_into(&self, stream: &[u8], out: &mut Vec<f32>) -> Result<(), CompressError> {
+        let fresh = self.decompress(stream)?;
+        out.clear();
+        out.extend_from_slice(&fresh);
+        Ok(())
+    }
+
     /// The codec configuration identifier.
     fn kind(&self) -> CodecKind;
+}
+
+/// Reusable compression/decompression buffers for the zero-allocation
+/// fast path.
+///
+/// Ownership rules (see DESIGN.md "Performance architecture"):
+///
+/// * A scratch is owned by exactly one call chain — collectives create
+///   one per collective invocation and reuse it across every round/hop,
+///   so steady-state rounds never touch the allocator in the codec path.
+/// * `enc`/`dec` contents are only valid until the next `*_into` call
+///   that targets them; callers must copy out (or hand off) before
+///   reusing the scratch.
+/// * Capacity only grows. After the first round at a given message size
+///   the buffers are warmed and subsequent rounds allocate nothing.
+#[derive(Debug, Default)]
+pub struct CodecScratch {
+    /// Compressed-stream buffer (target of `compress_into`).
+    pub enc: Vec<u8>,
+    /// Decoded-values buffer (target of `decompress_into`).
+    pub dec: Vec<f32>,
+}
+
+impl CodecScratch {
+    /// Create an empty scratch (buffers warm on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a scratch pre-sized for `values`-element payloads.
+    pub fn with_capacity(values: usize) -> Self {
+        CodecScratch {
+            enc: Vec::with_capacity(values * 4),
+            dec: Vec::with_capacity(values),
+        }
+    }
 }
 
 /// Quality and size statistics for one compression round trip. Produces the
@@ -152,10 +213,7 @@ impl RoundTripStats {
         let mse = sq_sum / n;
         let rmse = mse.sqrt();
         let (psnr, nrmse) = if range > 0.0 && mse > 0.0 {
-            (
-                20.0 * range.log10() - 10.0 * mse.log10(),
-                rmse / range,
-            )
+            (20.0 * range.log10() - 10.0 * mse.log10(), rmse / range)
         } else if mse == 0.0 {
             (f64::INFINITY, 0.0)
         } else {
@@ -183,7 +241,10 @@ mod tests {
 
     #[test]
     fn labels() {
-        assert_eq!(CodecKind::Szx { error_bound: 1e-3 }.label(), "SZx(ABS=1e-3)");
+        assert_eq!(
+            CodecKind::Szx { error_bound: 1e-3 }.label(),
+            "SZx(ABS=1e-3)"
+        );
         assert_eq!(CodecKind::ZfpFxr { rate: 4 }.label(), "ZFP(FXR=4)");
         assert!(CodecKind::Szx { error_bound: 1e-3 }.is_error_bounded());
         assert!(!CodecKind::ZfpFxr { rate: 4 }.is_error_bounded());

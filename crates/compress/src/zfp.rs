@@ -245,7 +245,9 @@ fn decode_planes(
         k -= 1;
         let m = (n as u64).min(bits);
         bits -= m;
-        let mut x = r.read_bits(m as u32).map_err(|_| CompressError::Truncated)?;
+        let mut x = r
+            .read_bits(m as u32)
+            .map_err(|_| CompressError::Truncated)?;
         while n < BLOCK {
             if bits == 0 {
                 break;
@@ -330,7 +332,7 @@ fn kmin_for_tolerance(eb: f32, emax: i32) -> u32 {
     k.clamp(0, INTPREC as i32) as u32
 }
 
-fn encode_block_abs(vals: &[f32; BLOCK], eb: f32, w: &mut BitWriter) {
+fn encode_block_abs(vals: &[f32; BLOCK], eb: f32, w: &mut BitWriter, trial: &mut BitWriter) {
     let finite = vals.iter().all(|v| v.is_finite());
     let all_zero = finite && vals.iter().all(|&v| v == 0.0);
     if all_zero {
@@ -343,10 +345,11 @@ fn encode_block_abs(vals: &[f32; BLOCK], eb: f32, w: &mut BitWriter) {
             let coeffs = forward_block(vals, emax);
             let kmin = kmin_for_tolerance(eb, emax);
             // Trial encode + verify: unconditional error-bound guarantee.
-            let mut trial = BitWriter::new();
-            encode_planes(&coeffs, kmin, u64::MAX / 2, &mut trial);
-            let trial_bytes = trial.into_bytes();
-            let mut tr = BitReader::new(&trial_bytes);
+            // The trial writer is caller-owned scratch so its buffer is
+            // allocated once per stream, not once per 4-value block.
+            trial.clear();
+            encode_planes(&coeffs, kmin, u64::MAX / 2, trial);
+            let mut tr = BitReader::new(trial.aligned_bytes());
             if let Ok(decoded) = decode_planes(&mut tr, kmin, u64::MAX / 2) {
                 let rec = inverse_block(&decoded, emax);
                 let ok = vals
@@ -450,19 +453,34 @@ fn decode_block_fxr(r: &mut BitReader<'_>, rate: u32) -> Result<[f32; BLOCK], Co
 impl Compressor for ZfpCodec {
     fn compress(&self, data: &[f32]) -> Result<Vec<u8>, CompressError> {
         let mut out = Vec::with_capacity(20 + data.len());
-        put_u32(&mut out, ZFP_MAGIC);
-        put_u64(&mut out, data.len() as u64);
+        self.compress_into(data, &mut out)?;
+        Ok(out)
+    }
+
+    fn decompress(&self, stream: &[u8]) -> Result<Vec<f32>, CompressError> {
+        let mut out = Vec::new();
+        self.decompress_into(stream, &mut out)?;
+        Ok(out)
+    }
+
+    fn compress_into(&self, data: &[f32], out: &mut Vec<u8>) -> Result<(), CompressError> {
+        out.clear();
+        put_u32(out, ZFP_MAGIC);
+        put_u64(out, data.len() as u64);
         match self.mode {
             ZfpMode::FixedRate(rate) => {
                 out.push(1);
-                put_u32(&mut out, rate);
+                put_u32(out, rate);
             }
             ZfpMode::FixedAccuracy(eb) => {
                 out.push(0);
-                put_f32(&mut out, eb);
+                put_f32(out, eb);
             }
         }
-        let mut w = BitWriter::with_capacity(data.len());
+        // Encode straight into the caller's buffer. One reusable trial
+        // writer serves every fixed-accuracy block's verify pass.
+        let mut w = BitWriter::from_vec(std::mem::take(out));
+        let mut trial = BitWriter::new();
         let mut iter = data.chunks(BLOCK);
         for chunk in &mut iter {
             let mut vals = [0.0f32; BLOCK];
@@ -473,14 +491,14 @@ impl Compressor for ZfpCodec {
             vals[..chunk.len()].copy_from_slice(chunk);
             match self.mode {
                 ZfpMode::FixedRate(rate) => encode_block_fxr(&vals, rate, &mut w),
-                ZfpMode::FixedAccuracy(eb) => encode_block_abs(&vals, eb, &mut w),
+                ZfpMode::FixedAccuracy(eb) => encode_block_abs(&vals, eb, &mut w, &mut trial),
             }
         }
-        out.extend_from_slice(&w.into_bytes());
-        Ok(out)
+        *out = w.into_bytes();
+        Ok(())
     }
 
-    fn decompress(&self, stream: &[u8]) -> Result<Vec<f32>, CompressError> {
+    fn decompress_into(&self, stream: &[u8], out: &mut Vec<f32>) -> Result<(), CompressError> {
         let mut r = ByteReader::new(stream);
         if r.read_u32()? != ZFP_MAGIC {
             return Err(CompressError::BadMagic);
@@ -502,7 +520,8 @@ impl Compressor for ZfpCodec {
             _ => {}
         }
         let mut bits = BitReader::new(r.remaining());
-        let mut out = Vec::with_capacity(count);
+        out.clear();
+        out.reserve(count);
         while out.len() < count {
             let vals = match mode {
                 ZfpMode::FixedRate(rate) => decode_block_fxr(&mut bits, rate)?,
@@ -514,7 +533,7 @@ impl Compressor for ZfpCodec {
             let take = BLOCK.min(count - out.len());
             out.extend_from_slice(&vals[..take]);
         }
-        Ok(out)
+        Ok(())
     }
 
     fn kind(&self) -> CodecKind {
@@ -558,7 +577,17 @@ mod tests {
 
     #[test]
     fn negabinary_round_trip() {
-        for i in [-5i64, -1, 0, 1, 5, (1 << 30), -(1 << 30), i32::MAX as i64, i32::MIN as i64] {
+        for i in [
+            -5i64,
+            -1,
+            0,
+            1,
+            5,
+            (1 << 30),
+            -(1 << 30),
+            i32::MAX as i64,
+            i32::MIN as i64,
+        ] {
             assert_eq!(uint2int(int2uint(i)), i);
         }
     }
@@ -586,7 +615,10 @@ mod tests {
         let codec = ZfpCodec::fixed_accuracy(1e-3);
         let c = codec.compress(&data).unwrap();
         let ratio = (data.len() * 4) as f64 / c.len() as f64;
-        assert!(ratio > 2.0, "expected >2x ratio on smooth data, got {ratio:.2}");
+        assert!(
+            ratio > 2.0,
+            "expected >2x ratio on smooth data, got {ratio:.2}"
+        );
     }
 
     #[test]
@@ -621,7 +653,10 @@ mod tests {
             );
             prev_err = max_err;
         }
-        assert!(prev_err < 1e-4, "rate 24 should be near-lossless, got {prev_err}");
+        assert!(
+            prev_err < 1e-4,
+            "rate 24 should be near-lossless, got {prev_err}"
+        );
     }
 
     #[test]
@@ -649,7 +684,11 @@ mod tests {
         let codec = ZfpCodec::fixed_accuracy(1e-3);
         let c = codec.compress(&data).unwrap();
         // 10_000 blocks * 2 bits + 17-byte header = 2517 bytes.
-        assert!(c.len() < 3000, "all-zero data should be ~2 bits/block, got {}", c.len());
+        assert!(
+            c.len() < 3000,
+            "all-zero data should be ~2 bits/block, got {}",
+            c.len()
+        );
         let d = codec.decompress(&c).unwrap();
         assert!(d.iter().all(|&v| v == 0.0));
     }
@@ -701,7 +740,10 @@ mod tests {
         let mut c = codec.compress(&wave(100)).unwrap();
         let mut broken = c.clone();
         broken[0] ^= 0x5A;
-        assert_eq!(codec.decompress(&broken).unwrap_err(), CompressError::BadMagic);
+        assert_eq!(
+            codec.decompress(&broken).unwrap_err(),
+            CompressError::BadMagic
+        );
         c.truncate(c.len() - 8);
         assert_eq!(codec.decompress(&c).unwrap_err(), CompressError::Truncated);
     }

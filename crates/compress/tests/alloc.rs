@@ -1,0 +1,127 @@
+//! Proof of the zero-allocation fast path: once a [`CodecScratch`] is
+//! warmed, steady-state `compress_into`/`decompress_into` on SZx and
+//! PIPE-SZx must never touch the global allocator.
+//!
+//! This file intentionally contains a single `#[test]` so no concurrent
+//! test can perturb the allocation counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use ccoll_compress::{CodecScratch, Compressor, PipeSzx, SzxCodec, ZfpCodec};
+
+struct CountingAllocator;
+
+static ALLOC_CALLS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> usize {
+    ALLOC_CALLS.load(Ordering::SeqCst)
+}
+
+/// A mixed workload: smooth regions (constant blocks), oscillating
+/// regions (quantized blocks) and a non-finite spike (verbatim block).
+fn mixed_field(n: usize) -> Vec<f32> {
+    let mut data: Vec<f32> = (0..n)
+        .map(|i| {
+            if i % 3000 < 1000 {
+                4.25 // constant blocks
+            } else {
+                (i as f32 * 2e-3).sin() * 3.0
+            }
+        })
+        .collect();
+    data[n / 2] = f32::NAN; // forces one verbatim block
+    data
+}
+
+#[test]
+fn steady_state_codec_path_allocates_nothing() {
+    let data = mixed_field(60_000);
+    let szx = SzxCodec::new(1e-3);
+    let pipe = PipeSzx::new(1e-3);
+
+    let mut szx_scratch = CodecScratch::new();
+    let mut pipe_scratch = CodecScratch::new();
+
+    // Warmup: buffers grow to their steady-state capacity.
+    szx.compress_into(&data, &mut szx_scratch.enc)
+        .expect("warm szx c");
+    szx.decompress_into(&szx_scratch.enc, &mut szx_scratch.dec)
+        .expect("warm szx d");
+    pipe.compress_into(&data, &mut pipe_scratch.enc)
+        .expect("warm pipe c");
+    pipe.decompress_into(&pipe_scratch.enc, &mut pipe_scratch.dec)
+        .expect("warm pipe d");
+
+    let szx_expected = szx_scratch.enc.clone();
+
+    // Steady state: zero heap traffic across repeated round trips.
+    let before = allocations();
+    for _ in 0..8 {
+        szx.compress_into(&data, &mut szx_scratch.enc)
+            .expect("szx c");
+        szx.decompress_into(&szx_scratch.enc, &mut szx_scratch.dec)
+            .expect("szx d");
+        pipe.compress_into(&data, &mut pipe_scratch.enc)
+            .expect("pipe c");
+        pipe.decompress_into(&pipe_scratch.enc, &mut pipe_scratch.dec)
+            .expect("pipe d");
+    }
+    let delta = allocations() - before;
+    assert_eq!(
+        delta, 0,
+        "steady-state SZx/PIPE-SZx round trips must not allocate, saw {delta} allocator calls"
+    );
+
+    // The zero-allocation path still produces the canonical stream and a
+    // correct reconstruction.
+    assert_eq!(szx_scratch.enc, szx_expected);
+    assert_eq!(szx_scratch.dec.len(), data.len());
+    for (a, b) in data.iter().zip(&szx_scratch.dec) {
+        if a.is_finite() {
+            assert!((a - b).abs() <= 1e-3);
+        } else {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    // ZFP's fixed-accuracy trial writer allocates once per stream (not
+    // per block, not per value); pin that bound so regressions surface.
+    let zfp = ZfpCodec::fixed_accuracy(1e-3);
+    let mut zfp_scratch = CodecScratch::new();
+    zfp.compress_into(&data, &mut zfp_scratch.enc)
+        .expect("warm zfp c");
+    zfp.decompress_into(&zfp_scratch.enc, &mut zfp_scratch.dec)
+        .expect("warm zfp d");
+    let before = allocations();
+    for _ in 0..4 {
+        zfp.compress_into(&data, &mut zfp_scratch.enc)
+            .expect("zfp c");
+        zfp.decompress_into(&zfp_scratch.enc, &mut zfp_scratch.dec)
+            .expect("zfp d");
+    }
+    let delta = allocations() - before;
+    assert!(
+        delta <= 8,
+        "ZFP steady state should allocate at most its per-stream trial buffer, saw {delta}"
+    );
+}

@@ -8,9 +8,10 @@
 //! * the bitstream layer is an exact round trip for arbitrary
 //!   (width, value) sequences.
 
+use ccoll_compress::bitstream::reference::{ScalarBitReader, ScalarBitWriter};
 use ccoll_compress::bitstream::{BitReader, BitWriter};
 use ccoll_compress::lossless::LosslessCodec;
-use ccoll_compress::{Compressor, PipeSzx, SzxCodec, ZfpCodec};
+use ccoll_compress::{CodecScratch, Compressor, PipeSzx, SzxCodec, ZfpCodec};
 use proptest::prelude::*;
 
 /// Arbitrary finite f32 values spanning many magnitudes.
@@ -31,7 +32,13 @@ fn any_f32() -> impl Strategy<Value = f32> {
 }
 
 fn error_bound() -> impl Strategy<Value = f32> {
-    prop_oneof![Just(1e-1f32), Just(1e-2), Just(1e-3), Just(1e-4), Just(1e-6)]
+    prop_oneof![
+        Just(1e-1f32),
+        Just(1e-2),
+        Just(1e-3),
+        Just(1e-4),
+        Just(1e-6)
+    ]
 }
 
 proptest! {
@@ -135,6 +142,108 @@ proptest! {
         for &(n, v) in &ops {
             let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
             prop_assert_eq!(r.read_bits(n).expect("read"), v & mask);
+        }
+    }
+
+    #[test]
+    fn word_writer_is_byte_identical_to_scalar(
+        ops in prop::collection::vec((1u32..=64, any::<u64>()), 0..300),
+        raw in prop::collection::vec(any::<u8>(), 0..40),
+        align_every in 1usize..12,
+    ) {
+        // The word-level rewrite must produce streams byte-identical to
+        // the seed scalar implementation under arbitrary interleavings of
+        // bit writes, single bits, alignment and raw-byte appends.
+        let mut word = BitWriter::new();
+        let mut scalar = ScalarBitWriter::new();
+        for (i, &(n, v)) in ops.iter().enumerate() {
+            word.write_bits(v, n);
+            scalar.write_bits(v, n);
+            if i % align_every == align_every - 1 {
+                word.align();
+                scalar.align();
+                word.write_bytes(&raw);
+                scalar.write_bytes(&raw);
+            }
+            if i % 3 == 0 {
+                word.write_bit((v >> 7) as u32);
+                scalar.write_bit((v >> 7) as u32);
+            }
+        }
+        prop_assert_eq!(word.bit_len(), scalar.bit_len());
+        prop_assert_eq!(word.into_bytes(), scalar.into_bytes());
+    }
+
+    #[test]
+    fn word_reader_matches_scalar_reader(
+        ops in prop::collection::vec((1u32..=64, any::<u64>()), 1..300),
+    ) {
+        let mut w = BitWriter::new();
+        for &(n, v) in &ops {
+            w.write_bits(v, n);
+        }
+        let bytes = w.into_bytes();
+        let mut word = BitReader::new(&bytes);
+        let mut scalar = ScalarBitReader::new(&bytes);
+        for &(n, _) in &ops {
+            prop_assert_eq!(word.read_bits(n).expect("word"), scalar.read_bits(n).expect("scalar"));
+        }
+        prop_assert_eq!(word.remaining_bits(), scalar.remaining_bits());
+    }
+
+    #[test]
+    fn into_apis_match_allocating_apis(
+        data in prop::collection::vec(finite_f32(), 0..2500),
+        eb in error_bound(),
+        codec_idx in 0usize..4,
+    ) {
+        // `compress_into`/`decompress_into` must produce exactly the same
+        // stream and reconstruction as the allocating entry points, and
+        // the round trip through them must preserve the error bound.
+        let codecs: [Box<dyn Compressor>; 4] = [
+            Box::new(SzxCodec::new(eb)),
+            Box::new(PipeSzx::with_chunk(eb, 777)),
+            Box::new(ZfpCodec::fixed_accuracy(eb)),
+            Box::new(LosslessCodec::new()),
+        ];
+        let codec = &codecs[codec_idx];
+        let mut scratch = CodecScratch::new();
+        // Pre-dirty the scratch to prove `*_into` replaces contents.
+        scratch.enc.extend_from_slice(&[0xAB; 33]);
+        scratch.dec.extend_from_slice(&[7.75f32; 9]);
+        codec.compress_into(&data, &mut scratch.enc).expect("compress_into");
+        let fresh = codec.compress(&data).expect("compress");
+        prop_assert_eq!(&scratch.enc, &fresh, "stream mismatch for codec {}", codec_idx);
+        codec.decompress_into(&scratch.enc, &mut scratch.dec).expect("decompress_into");
+        let restored = codec.decompress(&fresh).expect("decompress");
+        prop_assert_eq!(scratch.dec.len(), data.len());
+        for (i, (a, b)) in scratch.dec.iter().zip(&restored).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "value {} diverged", i);
+        }
+        let lossless = codec_idx == 3;
+        for (a, b) in data.iter().zip(&scratch.dec) {
+            if lossless {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            } else {
+                prop_assert!((*a as f64 - *b as f64).abs() <= eb as f64,
+                    "|{} - {}| > {}", a, b, eb);
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_deterministic(
+        data in prop::collection::vec(finite_f32(), 1..1500),
+        eb in error_bound(),
+    ) {
+        // Re-running through a warmed scratch must not perturb results.
+        let codec = SzxCodec::new(eb);
+        let mut scratch = CodecScratch::new();
+        codec.compress_into(&data, &mut scratch.enc).expect("warmup");
+        let first = scratch.enc.clone();
+        for _ in 0..3 {
+            codec.compress_into(&data, &mut scratch.enc).expect("steady");
+            prop_assert_eq!(&scratch.enc, &first);
         }
     }
 

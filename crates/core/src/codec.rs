@@ -4,9 +4,7 @@
 use std::sync::Arc;
 
 use ccoll_comm::Kernel;
-use ccoll_compress::{
-    traits::CodecKind, Compressor, PipeSzx, SzxCodec, ZfpCodec,
-};
+use ccoll_compress::{traits::CodecKind, Compressor, PipeSzx, SzxCodec, ZfpCodec};
 
 /// Which codec (and configuration) a compression-integrated collective
 /// uses. Mirrors the paper's evaluated configurations:
@@ -59,9 +57,7 @@ impl CodecSpec {
     /// The cost-model kernels `(compress, decompress)` for this codec.
     pub fn kernels(&self) -> (Kernel, Kernel) {
         match self {
-            CodecSpec::None | CodecSpec::Szx { .. } => {
-                (Kernel::SzxCompress, Kernel::SzxDecompress)
-            }
+            CodecSpec::None | CodecSpec::Szx { .. } => (Kernel::SzxCompress, Kernel::SzxDecompress),
             CodecSpec::ZfpAbs { .. } => (Kernel::ZfpAbsCompress, Kernel::ZfpAbsDecompress),
             CodecSpec::ZfpFxr { .. } => (Kernel::ZfpFxrCompress, Kernel::ZfpFxrDecompress),
         }
@@ -70,9 +66,7 @@ impl CodecSpec {
     /// The absolute error bound, if this spec has one.
     pub fn error_bound(&self) -> Option<f32> {
         match *self {
-            CodecSpec::Szx { error_bound } | CodecSpec::ZfpAbs { error_bound } => {
-                Some(error_bound)
-            }
+            CodecSpec::Szx { error_bound } | CodecSpec::ZfpAbs { error_bound } => Some(error_bound),
             _ => None,
         }
     }

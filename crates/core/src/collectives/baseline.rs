@@ -14,10 +14,10 @@
 use bytes::Bytes;
 use ccoll_comm::{Category, Comm, Tag};
 
-use crate::collectives::{memcpy_in, tags};
+use crate::collectives::{decode_values_in, memcpy_in, tags};
 use crate::partition::{chunk_lengths, chunk_offsets};
 use crate::reduce::ReduceOp;
-use crate::wire::{bytes_to_values, values_to_bytes};
+use crate::wire::{bytes_to_values, decode_values_vec, values_to_bytes};
 
 /// Ring allgather of equal-length per-rank buffers. Returns the
 /// concatenation in rank order (`n · mine.len()` values on every rank).
@@ -52,12 +52,11 @@ pub fn ring_allgatherv<C: Comm>(comm: &mut C, mine: &[f32], counts: &[usize]) ->
         let payload =
             values_to_bytes(&out[offsets[send_idx]..offsets[send_idx] + counts[send_idx]]);
         let got = comm.sendrecv(right, left, tag, payload, Category::Allgather);
-        let vals = bytes_to_values(&got);
-        assert_eq!(vals.len(), counts[recv_idx], "allgather block size mismatch");
-        memcpy_in(
+        // Decode straight into the output block — no intermediate Vec.
+        decode_values_in(
             comm,
             &mut out[offsets[recv_idx]..offsets[recv_idx] + counts[recv_idx]],
-            &vals,
+            &got,
         );
     }
     out
@@ -71,20 +70,27 @@ pub fn ring_reduce_scatter<C: Comm>(comm: &mut C, input: &[f32], op: ReduceOp) -
     let me = comm.rank();
     let lengths = chunk_lengths(input.len(), n);
     let offsets = chunk_offsets(&lengths);
-    let chunk = |acc: &[f32], i: usize| -> Vec<f32> { acc[offsets[i]..offsets[i] + lengths[i]].to_vec() };
+    let chunk =
+        |acc: &[f32], i: usize| -> Vec<f32> { acc[offsets[i]..offsets[i] + lengths[i]].to_vec() };
     let mut acc = vec![0.0f32; input.len()];
     memcpy_in(comm, &mut acc, input);
     if n > 1 {
         let right = (me + 1) % n;
         let left = (me + n - 1) % n;
+        // Receive buffer reused across every ring round.
+        let mut vals: Vec<f32> = Vec::new();
         for k in 0..n - 1 {
             let send_idx = (me + 2 * n - k - 1) % n;
             let recv_idx = (me + 2 * n - k - 2) % n;
             let tag = tags::REDUCE_SCATTER + k as Tag;
             let payload = values_to_bytes(&chunk(&acc, send_idx));
             let got = comm.sendrecv(right, left, tag, payload, Category::Wait);
-            let vals = bytes_to_values(&got);
-            assert_eq!(vals.len(), lengths[recv_idx], "reduce-scatter block mismatch");
+            decode_values_vec(&got, &mut vals);
+            assert_eq!(
+                vals.len(),
+                lengths[recv_idx],
+                "reduce-scatter block mismatch"
+            );
             let dst = &mut acc[offsets[recv_idx]..offsets[recv_idx] + lengths[recv_idx]];
             comm.run_kernel(
                 ccoll_comm::Kernel::Reduce,
@@ -115,7 +121,11 @@ pub fn binomial_bcast<C: Comm>(comm: &mut C, root: usize, data: &[f32]) -> Vec<f
     let me = comm.rank();
     assert!(root < n, "root {root} out of range");
     let relative = (me + n - root) % n;
-    let mut buf: Option<Vec<f32>> = if me == root { Some(data.to_vec()) } else { None };
+    let mut buf: Option<Vec<f32>> = if me == root {
+        Some(data.to_vec())
+    } else {
+        None
+    };
     // Receive phase: find the bit where my parent contacted me.
     let mut mask: usize = 1;
     while mask < n {
@@ -293,7 +303,7 @@ pub fn recursive_doubling_allreduce<C: Comm>(
 
     // Fold: ranks 0..2*rem pair (even → odd), odd ranks survive.
     let my_pos: Option<usize> = if me < 2 * rem {
-        if me % 2 == 0 {
+        if me.is_multiple_of(2) {
             let req = comm.isend(me + 1, tag, values_to_bytes(&acc));
             comm.wait_send_in(req, Category::Wait);
             None
@@ -313,14 +323,22 @@ pub fn recursive_doubling_allreduce<C: Comm>(
     };
 
     if let Some(pos) = my_pos {
-        // Butterfly among the pow2 surviving positions.
+        // Butterfly among the pow2 surviving positions, reusing one
+        // receive buffer across rounds.
         let pos_to_rank = |p: usize| if p < rem { 2 * p + 1 } else { p + rem };
+        let mut vals: Vec<f32> = Vec::new();
         let mut mask = 1usize;
         let mut round: Tag = 1;
         while mask < pow2 {
             let peer = pos_to_rank(pos ^ mask);
-            let got = comm.sendrecv(peer, peer, tag + round, values_to_bytes(&acc), Category::Wait);
-            let vals = bytes_to_values(&got);
+            let got = comm.sendrecv(
+                peer,
+                peer,
+                tag + round,
+                values_to_bytes(&acc),
+                Category::Wait,
+            );
+            decode_values_vec(&got, &mut vals);
             comm.run_kernel(
                 ccoll_comm::Kernel::Reduce,
                 vals.len() * 4,
@@ -355,7 +373,7 @@ pub fn pairwise_alltoall<C: Comm>(comm: &mut C, send: &[f32]) -> Vec<f32> {
     let n = comm.size();
     let me = comm.rank();
     assert!(
-        send.len() % n == 0,
+        send.len().is_multiple_of(n),
         "all-to-all buffer ({}) must divide evenly across {n} ranks",
         send.len()
     );
@@ -372,8 +390,7 @@ pub fn pairwise_alltoall<C: Comm>(comm: &mut C, send: &[f32]) -> Vec<f32> {
         let tag = tags::ALLTOALL + i as Tag;
         let payload = values_to_bytes(&send[to * block..(to + 1) * block]);
         let got = comm.sendrecv(to, from, tag, payload, Category::Wait);
-        let vals = bytes_to_values(&got);
-        memcpy_in(comm, &mut out[from * block..(from + 1) * block], &vals);
+        decode_values_in(comm, &mut out[from * block..(from + 1) * block], &got);
     }
     out
 }
@@ -452,8 +469,8 @@ mod tests {
             ring_allgatherv(c, &mine, &counts)
         });
         let mut expect = Vec::new();
-        for r in 0..n {
-            expect.extend(rank_data(r, counts[r]));
+        for (r, &count) in counts.iter().enumerate() {
+            expect.extend(rank_data(r, count));
         }
         for r in 0..n {
             assert_eq!(out.results[r], expect, "rank {r}");
@@ -486,7 +503,8 @@ mod tests {
         for n in [1usize, 2, 4, 7] {
             let len = 33;
             let world = SimWorld::new(SimConfig::new(n));
-            let out = world.run(move |c| ring_allreduce(c, &rank_data(c.rank(), len), ReduceOp::Sum));
+            let out =
+                world.run(move |c| ring_allreduce(c, &rank_data(c.rank(), len), ReduceOp::Sum));
             let inputs: Vec<Vec<f32>> = (0..n).map(|r| rank_data(r, len)).collect();
             let expect = ReduceOp::Sum.oracle(&inputs);
             for r in 0..n {
@@ -568,8 +586,9 @@ mod tests {
         for n in [1usize, 2, 3, 4, 5, 6, 8] {
             let len = 20;
             let world = SimWorld::new(SimConfig::new(n));
-            let out =
-                world.run(move |c| recursive_doubling_allreduce(c, &rank_data(c.rank(), len), ReduceOp::Sum));
+            let out = world.run(move |c| {
+                recursive_doubling_allreduce(c, &rank_data(c.rank(), len), ReduceOp::Sum)
+            });
             let inputs: Vec<Vec<f32>> = (0..n).map(|r| rank_data(r, len)).collect();
             let expect = ReduceOp::Sum.oracle(&inputs);
             for r in 0..n {

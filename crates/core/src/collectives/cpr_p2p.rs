@@ -19,7 +19,7 @@
 use std::sync::Arc;
 
 use ccoll_comm::{Category, Comm, Kernel, Tag};
-use ccoll_compress::Compressor;
+use ccoll_compress::{CodecScratch, Compressor};
 
 use crate::collectives::{compress_in, decompress_in, memcpy_in, tags};
 use crate::partition::{chunk_lengths, chunk_offsets};
@@ -43,12 +43,37 @@ impl CprCodec {
         CprCodec { codec, ck, dk }
     }
 
-    fn compress<C: Comm>(&self, comm: &mut C, vals: &[f32]) -> bytes::Bytes {
-        compress_in(comm, self.codec.as_ref(), self.ck, vals, false)
+    /// Compress through a reusable scratch (see
+    /// [`compress_in`](crate::collectives::compress_in) for the cost
+    /// accounting). Each collective owns one scratch for its whole
+    /// lifetime, so steady-state rounds run the codec allocation-free.
+    pub(crate) fn compress<C: Comm>(
+        &self,
+        comm: &mut C,
+        vals: &[f32],
+        scratch: &mut CodecScratch,
+    ) -> bytes::Bytes {
+        compress_in(comm, self.codec.as_ref(), self.ck, vals, false, scratch)
     }
 
-    fn decompress<C: Comm>(&self, comm: &mut C, stream: &[u8], expect: usize) -> Vec<f32> {
-        decompress_in(comm, self.codec.as_ref(), self.dk, stream, expect, false)
+    /// Decompress into the scratch's decode buffer, returning a borrow
+    /// of the decoded values.
+    pub(crate) fn decompress<'s, C: Comm>(
+        &self,
+        comm: &mut C,
+        stream: &[u8],
+        expect: usize,
+        scratch: &'s mut CodecScratch,
+    ) -> &'s [f32] {
+        decompress_in(
+            comm,
+            self.codec.as_ref(),
+            self.dk,
+            stream,
+            expect,
+            false,
+            scratch,
+        )
     }
 }
 
@@ -76,19 +101,27 @@ pub fn cpr_ring_allgatherv<C: Comm>(
     }
     let right = (me + 1) % n;
     let left = (me + n - 1) % n;
+    // One scratch for the whole collective, pre-sized for the largest
+    // block so first-round growth is rare (compressed streams can
+    // slightly exceed the raw size on incompressible data, in which
+    // case the buffer grows once and stays).
+    let mut scratch = CodecScratch::with_capacity(counts.iter().copied().max().unwrap_or(0));
     for k in 0..n - 1 {
         let send_idx = (me + n - k) % n;
         let recv_idx = (me + n - 1 - k) % n;
         let tag = tags::ALLGATHER + 0x800 + k as Tag;
         // Compress this hop's block (every round — the DI waste).
-        let payload =
-            cpr.compress(comm, &out[offsets[send_idx]..offsets[send_idx] + counts[send_idx]]);
+        let payload = cpr.compress(
+            comm,
+            &out[offsets[send_idx]..offsets[send_idx] + counts[send_idx]],
+            &mut scratch,
+        );
         let got = comm.sendrecv(right, left, tag, payload, Category::Allgather);
-        let vals = cpr.decompress(comm, &got, counts[recv_idx]);
+        let vals = cpr.decompress(comm, &got, counts[recv_idx], &mut scratch);
         memcpy_in(
             comm,
             &mut out[offsets[recv_idx]..offsets[recv_idx] + counts[recv_idx]],
-            &vals,
+            vals,
         );
     }
     out
@@ -118,21 +151,28 @@ pub fn cpr_ring_reduce_scatter<C: Comm>(
     if n > 1 {
         let right = (me + 1) % n;
         let left = (me + n - 1) % n;
+        let mut scratch = CodecScratch::with_capacity(lengths.iter().copied().max().unwrap_or(0));
         for k in 0..n - 1 {
             let send_idx = (me + 2 * n - k - 1) % n;
             let recv_idx = (me + 2 * n - k - 2) % n;
             let tag = tags::REDUCE_SCATTER + 0x800 + k as Tag;
-            let send_chunk = acc[offsets[send_idx]..offsets[send_idx] + lengths[send_idx]].to_vec();
-            // CPR-P2P schedule: compress, exchange, then decompress.
+            // CPR-P2P schedule: compress, exchange, then decompress. The
+            // outgoing chunk is compressed straight out of the
+            // accumulator (the compressed payload is an owned snapshot,
+            // so no staging copy of the chunk is needed).
             let rreq = comm.irecv(left, tag);
-            let payload = cpr.compress(comm, &send_chunk);
+            let payload = cpr.compress(
+                comm,
+                &acc[offsets[send_idx]..offsets[send_idx] + lengths[send_idx]],
+                &mut scratch,
+            );
             let sreq = comm.isend(right, tag, payload);
             let got = comm.wait_recv_in(rreq, Category::Wait);
-            let vals = cpr.decompress(comm, &got, lengths[recv_idx]);
+            let vals = cpr.decompress(comm, &got, lengths[recv_idx], &mut scratch);
             comm.wait_send_in(sreq, Category::Wait);
             let dst = &mut acc[offsets[recv_idx]..offsets[recv_idx] + lengths[recv_idx]];
             comm.run_kernel(Kernel::Reduce, vals.len() * 4, Category::Reduction, || {
-                op.apply(dst, &vals)
+                op.apply(dst, vals)
             });
         }
     }
@@ -168,7 +208,12 @@ pub fn cpr_binomial_bcast<C: Comm>(
     let me = comm.rank();
     assert!(root < n, "root {root} out of range");
     let relative = (me + n - root) % n;
-    let mut have: Option<Vec<f32>> = if me == root { Some(data.to_vec()) } else { None };
+    let mut scratch = CodecScratch::new();
+    let mut have: Option<Vec<f32>> = if me == root {
+        Some(data.to_vec())
+    } else {
+        None
+    };
     let mut mask: usize = 1;
     while mask < n {
         if relative & mask != 0 {
@@ -179,7 +224,10 @@ pub fn cpr_binomial_bcast<C: Comm>(
             let expect_len =
                 u32::from_le_bytes(hdr[0..4].try_into().expect("4-byte header")) as usize;
             let got = comm.recv(src, tags::BCAST + 0x800);
-            have = Some(cpr.decompress(comm, &got, expect_len));
+            cpr.decompress(comm, &got, expect_len, &mut scratch);
+            // This rank re-forwards (and finally returns) the decoded
+            // buffer, so take ownership of it from the scratch.
+            have = Some(std::mem::take(&mut scratch.dec));
             break;
         }
         mask <<= 1;
@@ -190,7 +238,7 @@ pub fn cpr_binomial_bcast<C: Comm>(
         if relative + mask < n {
             let dst = (relative + mask + root) % n;
             // Re-compress for each child (the per-hop waste).
-            let payload = cpr.compress(comm, &vals);
+            let payload = cpr.compress(comm, &vals, &mut scratch);
             let hdr = bytes::Bytes::from((vals.len() as u32).to_le_bytes().to_vec());
             comm.send(dst, tags::BCAST + 0x801, hdr);
             let req = comm.isend(dst, tags::BCAST + 0x800, payload);
@@ -218,6 +266,7 @@ pub fn cpr_binomial_scatter<C: Comm>(
     let rel_len = |i: usize| lengths[(root + i) % n];
     let rel_range_values = |lo: usize, hi: usize| -> usize { (lo..hi).map(rel_len).sum() };
 
+    let mut scratch = CodecScratch::new();
     let mut held: Vec<f32>;
     let mut span: usize;
     let mut m: usize;
@@ -239,8 +288,10 @@ pub fn cpr_binomial_scatter<C: Comm>(
         m = lowbit;
         let expect = rel_range_values(relative, relative + span);
         let got = comm.recv(src, tags::SCATTER + 0x800);
-        // Decompress the whole subtree block (per-hop cost).
-        held = cpr.decompress(comm, &got, expect);
+        // Decompress the whole subtree block (per-hop cost); this rank
+        // keeps (a prefix of) the buffer, so take it from the scratch.
+        cpr.decompress(comm, &got, expect, &mut scratch);
+        held = std::mem::take(&mut scratch.dec);
     }
     m /= 2;
     while m >= 1 {
@@ -248,7 +299,7 @@ pub fn cpr_binomial_scatter<C: Comm>(
             let child_rel = relative + m;
             let keep_vals = rel_range_values(relative, child_rel);
             // Re-compress the child's portion before forwarding.
-            let payload = cpr.compress(comm, &held[keep_vals..]);
+            let payload = cpr.compress(comm, &held[keep_vals..], &mut scratch);
             let dst = (child_rel + root) % n;
             let req = comm.isend(dst, tags::SCATTER + 0x800, payload);
             comm.wait_send_in(req, Category::Wait);
@@ -258,6 +309,39 @@ pub fn cpr_binomial_scatter<C: Comm>(
         m /= 2;
     }
     held
+}
+
+/// CPR-P2P pairwise all-to-all: every outgoing block is compressed and
+/// every incoming block decompressed. (All-to-all blocks travel a single
+/// hop, so unlike ring/tree collectives there is no re-compression waste
+/// — the remaining CPR-P2P deficiencies here are the per-call buffer
+/// overhead and the unbalanced, size-unaware schedule.)
+pub fn cpr_pairwise_alltoall<C: Comm>(comm: &mut C, cpr: &CprCodec, send: &[f32]) -> Vec<f32> {
+    let n = comm.size();
+    let me = comm.rank();
+    assert!(
+        send.len().is_multiple_of(n),
+        "all-to-all buffer ({}) must divide evenly across {n} ranks",
+        send.len()
+    );
+    let block = send.len() / n;
+    let mut out = vec![0.0f32; send.len()];
+    memcpy_in(
+        comm,
+        &mut out[me * block..(me + 1) * block],
+        &send[me * block..(me + 1) * block],
+    );
+    let mut scratch = CodecScratch::with_capacity(block);
+    for i in 1..n {
+        let to = (me + i) % n;
+        let from = (me + n - i) % n;
+        let tag = tags::ALLTOALL + 0x800 + i as Tag;
+        let payload = cpr.compress(comm, &send[to * block..(to + 1) * block], &mut scratch);
+        let got = comm.sendrecv(to, from, tag, payload, Category::Wait);
+        let vals = cpr.decompress(comm, &got, block, &mut scratch);
+        memcpy_in(comm, &mut out[from * block..(from + 1) * block], vals);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -338,8 +422,9 @@ mod tests {
         let eb = 1e-3f32;
         let world = SimWorld::new(SimConfig::new(n));
         let cpr = szx(eb);
-        let out =
-            world.run(move |c| cpr_ring_reduce_scatter(c, &cpr, &rank_data(c.rank(), len), ReduceOp::Sum));
+        let out = world.run(move |c| {
+            cpr_ring_reduce_scatter(c, &cpr, &rank_data(c.rank(), len), ReduceOp::Sum)
+        });
         let inputs: Vec<Vec<f32>> = (0..n).map(|r| rank_data(r, len)).collect();
         let full = ReduceOp::Sum.oracle(&inputs);
         let lengths = chunk_lengths(len, n);
@@ -360,7 +445,8 @@ mod tests {
         let len = 600;
         let world = SimWorld::new(SimConfig::new(n));
         let cpr = szx(1e-4);
-        let out = world.run(move |c| cpr_ring_allreduce(c, &cpr, &rank_data(c.rank(), len), ReduceOp::Sum));
+        let out = world
+            .run(move |c| cpr_ring_allreduce(c, &cpr, &rank_data(c.rank(), len), ReduceOp::Sum));
         let inputs: Vec<Vec<f32>> = (0..n).map(|r| rank_data(r, len)).collect();
         let expect = ReduceOp::Sum.oracle(&inputs);
         for r in 0..n {
@@ -404,7 +490,11 @@ mod tests {
         let world = SimWorld::new(SimConfig::new(n));
         let cpr = szx(eb);
         let out = world.run(move |c| {
-            let data = if c.rank() == 0 { rank_data(42, total) } else { Vec::new() };
+            let data = if c.rank() == 0 {
+                rank_data(42, total)
+            } else {
+                Vec::new()
+            };
             cpr_binomial_scatter(c, &cpr, 0, &data, total)
         });
         let full = rank_data(42, total);
@@ -440,36 +530,4 @@ mod tests {
             "DI should lose to plain allreduce on a 100 Gb/s network: {t_di:?} vs {t_plain:?}"
         );
     }
-}
-
-/// CPR-P2P pairwise all-to-all: every outgoing block is compressed and
-/// every incoming block decompressed. (All-to-all blocks travel a single
-/// hop, so unlike ring/tree collectives there is no re-compression waste
-/// — the remaining CPR-P2P deficiencies here are the per-call buffer
-/// overhead and the unbalanced, size-unaware schedule.)
-pub fn cpr_pairwise_alltoall<C: Comm>(comm: &mut C, cpr: &CprCodec, send: &[f32]) -> Vec<f32> {
-    let n = comm.size();
-    let me = comm.rank();
-    assert!(
-        send.len() % n == 0,
-        "all-to-all buffer ({}) must divide evenly across {n} ranks",
-        send.len()
-    );
-    let block = send.len() / n;
-    let mut out = vec![0.0f32; send.len()];
-    memcpy_in(
-        comm,
-        &mut out[me * block..(me + 1) * block],
-        &send[me * block..(me + 1) * block],
-    );
-    for i in 1..n {
-        let to = (me + i) % n;
-        let from = (me + n - i) % n;
-        let tag = tags::ALLTOALL + 0x800 + i as Tag;
-        let payload = cpr.compress(comm, &send[to * block..(to + 1) * block]);
-        let got = comm.sendrecv(to, from, tag, payload, Category::Wait);
-        let vals = cpr.decompress(comm, &got, block);
-        memcpy_in(comm, &mut out[from * block..(from + 1) * block], &vals);
-    }
-    out
 }

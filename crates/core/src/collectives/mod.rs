@@ -11,7 +11,7 @@ pub mod cpr_p2p;
 
 use bytes::Bytes;
 use ccoll_comm::{Category, Comm, Kernel};
-use ccoll_compress::Compressor;
+use ccoll_compress::{CodecScratch, Compressor};
 
 /// Tag bases per collective family (disjoint 4096-wide spaces).
 pub(crate) mod tags {
@@ -28,24 +28,35 @@ pub(crate) mod tags {
     pub const PIPELINE: Tag = 0x9000;
 }
 
-/// Compress `vals` with unified cost accounting (the kernel's time lands
-/// in `ComDecom` on both backends). When `pooled` is false, an
-/// additional buffer-management charge lands under `Others`: the paper
-/// observes that per-call compression buffer allocation/free is a
-/// significant cost of naive integration ("the Others part also takes a
-/// significant amount, specifically 23% in the 278 MB case. This is
-/// because the SZx requires users to free compression-generated
-/// buffers", §III-D). C-Coll's frameworks preallocate and reuse buffers
-/// (§III-E2's front-index design), so they pass `pooled = true`.
+/// Compress `vals` into the reusable `scratch.enc` buffer with unified
+/// cost accounting (the kernel's time lands in `ComDecom` on both
+/// backends), then hand the stream to the transport as an owned
+/// [`Bytes`] payload (one exact-size copy — the transport keeps the
+/// payload alive across ranks, so it cannot borrow the scratch). The
+/// codec itself runs allocation-free once the scratch is warmed.
+///
+/// When `pooled` is false, an additional buffer-management charge lands
+/// under `Others`: the paper observes that per-call compression buffer
+/// allocation/free is a significant cost of naive integration ("the
+/// Others part also takes a significant amount, specifically 23% in the
+/// 278 MB case. This is because the SZx requires users to free
+/// compression-generated buffers", §III-D). C-Coll's frameworks
+/// preallocate and reuse buffers (§III-E2's front-index design), so they
+/// pass `pooled = true`.
 pub(crate) fn compress_in<C: Comm>(
     comm: &mut C,
     codec: &dyn Compressor,
     kernel: Kernel,
     vals: &[f32],
     pooled: bool,
+    scratch: &mut CodecScratch,
 ) -> Bytes {
+    let enc = &mut scratch.enc;
     let out = comm.run_kernel(kernel, vals.len() * 4, Category::ComDecom, || {
-        Bytes::from(codec.compress(vals).expect("compression cannot fail on f32 input"))
+        codec
+            .compress_into(vals, enc)
+            .expect("compression cannot fail on f32 input");
+        Bytes::copy_from_slice(enc)
     });
     if !pooled {
         comm.charge(Kernel::BufferMgmt, vals.len() * 4, Category::Others);
@@ -53,32 +64,54 @@ pub(crate) fn compress_in<C: Comm>(
     out
 }
 
-/// Decompress `stream`, charging by the *uncompressed* size produced
-/// (matching how the paper's Table I reports decompression throughput).
-/// `pooled` as in [`compress_in`].
-pub(crate) fn decompress_in<C: Comm>(
+/// Decompress `stream` into the reusable `scratch.dec` buffer, charging
+/// by the *uncompressed* size produced (matching how the paper's Table I
+/// reports decompression throughput). Returns the decoded values as a
+/// borrow of the scratch — callers copy/reduce them into place and the
+/// buffer is reused on the next hop. `pooled` as in [`compress_in`].
+pub(crate) fn decompress_in<'s, C: Comm>(
     comm: &mut C,
     codec: &dyn Compressor,
     kernel: Kernel,
     stream: &[u8],
     expected_values: usize,
     pooled: bool,
-) -> Vec<f32> {
-    let out = comm.run_kernel(kernel, expected_values * 4, Category::ComDecom, || {
+    scratch: &'s mut CodecScratch,
+) -> &'s [f32] {
+    let dec = &mut scratch.dec;
+    comm.run_kernel(kernel, expected_values * 4, Category::ComDecom, || {
         codec
-            .decompress(stream)
-            .expect("decompression of a stream we compressed cannot fail")
+            .decompress_into(stream, dec)
+            .expect("decompression of a stream we compressed cannot fail");
     });
-    debug_assert_eq!(out.len(), expected_values, "decompressed length mismatch");
+    debug_assert_eq!(dec.len(), expected_values, "decompressed length mismatch");
     if !pooled {
         comm.charge(Kernel::BufferMgmt, expected_values * 4, Category::Others);
     }
-    out
+    dec
 }
 
 /// Copy values with `Memcpy` accounting.
 pub(crate) fn memcpy_in<C: Comm>(comm: &mut C, dst: &mut [f32], src: &[f32]) {
     comm.run_kernel(Kernel::Memcpy, src.len() * 4, Category::Memcpy, || {
         dst.copy_from_slice(src);
+    });
+}
+
+/// Decode a raw little-endian `f32` payload directly into `dst` with
+/// `Memcpy` accounting — the uncompressed-collective counterpart of
+/// [`decompress_in`], skipping the intermediate `Vec` the seed built for
+/// every hop.
+///
+/// # Panics
+/// Panics if the payload length disagrees with `dst`.
+pub(crate) fn decode_values_in<C: Comm>(comm: &mut C, dst: &mut [f32], payload: &[u8]) {
+    assert_eq!(
+        payload.len(),
+        dst.len() * 4,
+        "payload length disagrees with destination"
+    );
+    comm.run_kernel(Kernel::Memcpy, payload.len(), Category::Memcpy, || {
+        crate::wire::decode_values_into(payload, dst);
     });
 }

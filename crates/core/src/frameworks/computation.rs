@@ -21,7 +21,7 @@
 //!   by 73–80 %.
 
 use ccoll_comm::{Category, Comm, Kernel, Tag};
-use ccoll_compress::SzxCodec;
+use ccoll_compress::{CodecScratch, SzxCodec};
 
 use crate::collectives::cpr_p2p::CprCodec;
 use crate::collectives::{compress_in, decompress_in, memcpy_in, tags};
@@ -77,13 +77,30 @@ pub fn c_ring_reduce_scatter<C: Comm>(
     if n > 1 {
         let right = (me + 1) % n;
         let left = (me + n - 1) % n;
+        // Round-spanning buffers: codec scratch (sized for one pipeline
+        // sub-chunk) plus the outgoing-chunk snapshot, all reused so
+        // steady-state rounds allocate nothing in the codec path.
+        let mut scratch = CodecScratch::with_capacity(cfg.chunk_values.min(input.len().max(1)));
+        let mut send_buf: Vec<f32> = Vec::new();
         for k in 0..n - 1 {
             let send_idx = (me + 2 * n - k - 1) % n;
             let recv_idx = (me + 2 * n - k - 2) % n;
             let tag = tags::PIPELINE + k as Tag;
             round_pipelined(
-                comm, &codec, cfg, op, &mut acc, &lengths, &offsets, send_idx, recv_idx, right,
-                left, tag,
+                comm,
+                &codec,
+                cfg,
+                op,
+                &mut acc,
+                &lengths,
+                &offsets,
+                send_idx,
+                recv_idx,
+                right,
+                left,
+                tag,
+                &mut scratch,
+                &mut send_buf,
             );
         }
     }
@@ -109,6 +126,8 @@ fn round_pipelined<C: Comm>(
     right: usize,
     left: usize,
     tag: Tag,
+    scratch: &mut CodecScratch,
+    send_buf: &mut Vec<f32>,
 ) {
     let pipe = cfg.chunk_values;
     let send_len = lengths[send_idx];
@@ -123,17 +142,18 @@ fn round_pipelined<C: Comm>(
     let mut sreqs = Vec::with_capacity(n_out);
     let mut next_in = 0usize; // index of the next sub-chunk to drain
 
-    // The outgoing data must be snapshotted: when send_idx == recv_idx
-    // cannot happen in this schedule, but the borrow of acc must end
-    // before we reduce into it.
-    let out_chunk: Vec<f32> =
-        acc[offsets[send_idx]..offsets[send_idx] + send_len].to_vec();
+    // The outgoing data must be snapshotted (the borrow of acc must end
+    // before we reduce into it); the snapshot buffer is reused across
+    // rounds, so this is a copy, not an allocation.
+    send_buf.clear();
+    send_buf.extend_from_slice(&acc[offsets[send_idx]..offsets[send_idx] + send_len]);
 
     let drain = |comm: &mut C,
-                     rreqs: &mut std::collections::VecDeque<ccoll_comm::RecvReq>,
-                     next_in: &mut usize,
-                     acc: &mut [f32],
-                     blocking: bool| {
+                 rreqs: &mut std::collections::VecDeque<ccoll_comm::RecvReq>,
+                 next_in: &mut usize,
+                 acc: &mut [f32],
+                 scratch: &mut CodecScratch,
+                 blocking: bool| {
         while *next_in < n_in {
             let front_ready = rreqs.front().map(|r| comm.test_recv(r)).unwrap_or(false);
             if !front_ready && !blocking {
@@ -143,10 +163,18 @@ fn round_pipelined<C: Comm>(
             let blob = comm.wait_recv_in(req, Category::Wait);
             let lo = *next_in * pipe;
             let hi = (lo + pipe).min(recv_len);
-            let vals = decompress_in(comm, codec, Kernel::SzxDecompress, &blob, hi - lo, true);
+            let vals = decompress_in(
+                comm,
+                codec,
+                Kernel::SzxDecompress,
+                &blob,
+                hi - lo,
+                true,
+                scratch,
+            );
             let dst = &mut acc[offsets[recv_idx] + lo..offsets[recv_idx] + hi];
             comm.run_kernel(Kernel::Reduce, (hi - lo) * 4, Category::Reduction, || {
-                op.apply(dst, &vals)
+                op.apply(dst, vals)
             });
             *next_in += 1;
         }
@@ -157,13 +185,20 @@ fn round_pipelined<C: Comm>(
     for j in 0..n_out {
         let lo = j * pipe;
         let hi = (lo + pipe).min(send_len);
-        let blob = compress_in(comm, codec, Kernel::SzxCompress, &out_chunk[lo..hi], true);
+        let blob = compress_in(
+            comm,
+            codec,
+            Kernel::SzxCompress,
+            &send_buf[lo..hi],
+            true,
+            scratch,
+        );
         sreqs.push(comm.isend(right, tag, blob));
         comm.poll();
-        drain(comm, &mut rreqs, &mut next_in, acc, false);
+        drain(comm, &mut rreqs, &mut next_in, acc, scratch, false);
     }
     // Blocking drain of whatever could not be overlapped.
-    drain(comm, &mut rreqs, &mut next_in, acc, true);
+    drain(comm, &mut rreqs, &mut next_in, acc, scratch, true);
     for req in sreqs {
         comm.wait_send_in(req, Category::Wait);
     }
@@ -234,8 +269,8 @@ mod tests {
         let eb = 1e-3f32;
         let world = SimWorld::new(SimConfig::new(n));
         let cfg = PipelineConfig::new(eb);
-        let out =
-            world.run(move |c| c_ring_reduce_scatter(c, cfg, &rank_data(c.rank(), len), ReduceOp::Sum));
+        let out = world
+            .run(move |c| c_ring_reduce_scatter(c, cfg, &rank_data(c.rank(), len), ReduceOp::Sum));
         let inputs: Vec<Vec<f32>> = (0..n).map(|r| rank_data(r, len)).collect();
         let full = ReduceOp::Sum.oracle(&inputs);
         let lengths = chunk_lengths(len, n);
@@ -256,7 +291,8 @@ mod tests {
         for op in ReduceOp::ALL {
             let world = SimWorld::new(SimConfig::new(n));
             let cfg = PipelineConfig::new(1e-4);
-            let out = world.run(move |c| c_ring_reduce_scatter(c, cfg, &rank_data(c.rank(), len), op));
+            let out =
+                world.run(move |c| c_ring_reduce_scatter(c, cfg, &rank_data(c.rank(), len), op));
             let inputs: Vec<Vec<f32>> = (0..n).map(|r| rank_data(r, len)).collect();
             let full = op.oracle(&inputs);
             let lengths = chunk_lengths(len, n);
@@ -277,8 +313,9 @@ mod tests {
             let n = 3;
             let world = SimWorld::new(SimConfig::new(n));
             let cfg = PipelineConfig::new(1e-4).with_chunk_values(chunk);
-            let out =
-                world.run(move |c| c_ring_reduce_scatter(c, cfg, &rank_data(c.rank(), len), ReduceOp::Sum));
+            let out = world.run(move |c| {
+                c_ring_reduce_scatter(c, cfg, &rank_data(c.rank(), len), ReduceOp::Sum)
+            });
             let inputs: Vec<Vec<f32>> = (0..n).map(|r| rank_data(r, len)).collect();
             let full = ReduceOp::Sum.oracle(&inputs);
             let lengths = chunk_lengths(len, n);
@@ -347,8 +384,8 @@ mod tests {
         let len = 15_000;
         let world = ThreadWorld::new(n);
         let cfg = PipelineConfig::new(1e-3);
-        let out =
-            world.run(move |c| c_ring_reduce_scatter(c, cfg, &rank_data(c.rank(), len), ReduceOp::Sum));
+        let out = world
+            .run(move |c| c_ring_reduce_scatter(c, cfg, &rank_data(c.rank(), len), ReduceOp::Sum));
         let inputs: Vec<Vec<f32>> = (0..n).map(|r| rank_data(r, len)).collect();
         let full = ReduceOp::Sum.oracle(&inputs);
         let lengths = chunk_lengths(len, n);

@@ -23,6 +23,7 @@
 
 use bytes::Bytes;
 use ccoll_comm::{Category, Comm, Tag};
+use ccoll_compress::CodecScratch;
 
 use crate::collectives::baseline::binomial_bcast_bytes;
 use crate::collectives::cpr_p2p::CprCodec;
@@ -69,9 +70,10 @@ pub fn c_ring_allgatherv<C: Comm>(
     assert_eq!(mine.len(), counts[me], "my buffer disagrees with counts");
     let offsets = chunk_offsets(counts);
     let total: usize = counts.iter().sum();
+    let mut scratch = CodecScratch::with_capacity(counts.iter().copied().max().unwrap_or(0));
 
     // Step 1: compress local data exactly once.
-    let my_blob = compress_in(comm, cpr.codec.as_ref(), cpr.ck, mine, true);
+    let my_blob = compress_in(comm, cpr.codec.as_ref(), cpr.ck, mine, true, &mut scratch);
 
     // Step 2: size synchronization (4 bytes per rank).
     let _sizes = exchange_sizes(comm, my_blob.len() as u32);
@@ -101,9 +103,9 @@ pub fn c_ring_allgatherv<C: Comm>(
             continue;
         }
         let blob = blobs[r].take().expect("gathered block present");
-        let vals = decompress_auto_in(comm, cpr.codec.as_ref(), cpr.dk, &blob);
+        let vals = decompress_auto_in(comm, cpr.codec.as_ref(), cpr.dk, &blob, &mut scratch);
         assert_eq!(vals.len(), counts[r], "C-Allgather block length mismatch");
-        memcpy_in(comm, &mut out[offsets[r]..offsets[r] + counts[r]], &vals);
+        memcpy_in(comm, &mut out[offsets[r]..offsets[r] + counts[r]], vals);
     }
     out
 }
@@ -125,8 +127,16 @@ pub fn c_binomial_bcast<C: Comm>(
     let n = comm.size();
     let me = comm.rank();
     assert!(root < n, "root {root} out of range");
+    let mut scratch = CodecScratch::new();
     let payload = if me == root {
-        Some(compress_in(comm, cpr.codec.as_ref(), cpr.ck, data, true))
+        Some(compress_in(
+            comm,
+            cpr.codec.as_ref(),
+            cpr.ck,
+            data,
+            true,
+            &mut scratch,
+        ))
     } else {
         None
     };
@@ -134,7 +144,8 @@ pub fn c_binomial_bcast<C: Comm>(
     if me == root {
         data.to_vec()
     } else {
-        decompress_auto_in(comm, cpr.codec.as_ref(), cpr.dk, &blob)
+        decompress_auto_in(comm, cpr.codec.as_ref(), cpr.dk, &blob, &mut scratch);
+        std::mem::take(&mut scratch.dec)
     }
 }
 
@@ -153,6 +164,7 @@ pub fn c_binomial_scatter<C: Comm>(
     assert!(root < n, "root {root} out of range");
     let lengths = chunk_lengths(total_len, n);
     let relative = (me + n - root) % n;
+    let mut scratch = CodecScratch::new();
 
     // Acquire my span of compressed segments, in relative order.
     let mut held: Vec<Bytes>;
@@ -165,7 +177,14 @@ pub fn c_binomial_scatter<C: Comm>(
         for i in 0..n {
             let a = (root + i) % n;
             let seg = &data[offsets[a]..offsets[a] + lengths[a]];
-            held.push(compress_in(comm, cpr.codec.as_ref(), cpr.ck, seg, true));
+            held.push(compress_in(
+                comm,
+                cpr.codec.as_ref(),
+                cpr.ck,
+                seg,
+                true,
+                &mut scratch,
+            ));
         }
         span = n;
         m = n.next_power_of_two();
@@ -195,14 +214,128 @@ pub fn c_binomial_scatter<C: Comm>(
     }
 
     // Decompress exactly my own segment (held[0]).
-    let mine = decompress_auto_in(comm, cpr.codec.as_ref(), cpr.dk, &held[0]);
+    decompress_auto_in(comm, cpr.codec.as_ref(), cpr.dk, &held[0], &mut scratch);
     if me == root {
         // The root never lost precision: return its original chunk.
         let offsets = chunk_offsets(&lengths);
         return data[offsets[me]..offsets[me] + lengths[me]].to_vec();
     }
+    let mine = std::mem::take(&mut scratch.dec);
     assert_eq!(mine.len(), lengths[me], "C-Scatter segment length mismatch");
     mine
+}
+
+/// C-Alltoall: compress every outgoing block once (into pooled buffers),
+/// exchange compressed sizes, then run the pairwise exchange on compressed
+/// payloads with a fixed, size-aware schedule; decompress on receipt.
+pub fn c_pairwise_alltoall<C: Comm>(comm: &mut C, cpr: &CprCodec, send: &[f32]) -> Vec<f32> {
+    let n = comm.size();
+    let me = comm.rank();
+    assert!(
+        send.len().is_multiple_of(n),
+        "all-to-all buffer ({}) must divide evenly across {n} ranks",
+        send.len()
+    );
+    let block = send.len() / n;
+    let mut scratch = CodecScratch::new();
+    // Compress all outgoing blocks up front (once each).
+    let blobs: Vec<Bytes> = (0..n)
+        .map(|to| {
+            if to == me {
+                Bytes::new()
+            } else {
+                compress_in(
+                    comm,
+                    cpr.codec.as_ref(),
+                    cpr.ck,
+                    &send[to * block..(to + 1) * block],
+                    true,
+                    &mut scratch,
+                )
+            }
+        })
+        .collect();
+    // Size synchronization (total compressed bytes per rank) keeps the
+    // schedule fixed, as in C-Allgather.
+    let total: usize = blobs.iter().map(|b| b.len()).sum();
+    let _sizes = exchange_sizes(comm, total as u32);
+    let mut out = vec![0.0f32; send.len()];
+    memcpy_in(
+        comm,
+        &mut out[me * block..(me + 1) * block],
+        &send[me * block..(me + 1) * block],
+    );
+    for i in 1..n {
+        let to = (me + i) % n;
+        let from = (me + n - i) % n;
+        let tag = tags::ALLTOALL + 0xC00 + i as Tag;
+        let got = comm.sendrecv(to, from, tag, blobs[to].clone(), Category::Allgather);
+        let vals = decompress_auto_in(comm, cpr.codec.as_ref(), cpr.dk, &got, &mut scratch);
+        assert_eq!(vals.len(), block, "C-Alltoall block length mismatch");
+        memcpy_in(comm, &mut out[from * block..(from + 1) * block], vals);
+    }
+    out
+}
+
+/// C-Gather: each rank compresses its chunk once; interior binomial-tree
+/// nodes relay framed compressed segments upward untouched; the root
+/// performs every decompression. The mirror image of [`c_binomial_scatter`].
+pub fn c_binomial_gather<C: Comm>(
+    comm: &mut C,
+    cpr: &CprCodec,
+    root: usize,
+    mine: &[f32],
+    total_len: usize,
+) -> Option<Vec<f32>> {
+    let n = comm.size();
+    let me = comm.rank();
+    assert!(root < n, "root {root} out of range");
+    let lengths = chunk_lengths(total_len, n);
+    assert_eq!(mine.len(), lengths[me], "my chunk disagrees with partition");
+    let relative = (me + n - root) % n;
+    let mut scratch = CodecScratch::new();
+
+    // My own compressed segment (root's stays uncompressed-exact later).
+    let mut held: Vec<Bytes> = vec![compress_in(
+        comm,
+        cpr.codec.as_ref(),
+        cpr.ck,
+        mine,
+        true,
+        &mut scratch,
+    )];
+    let mut mask = 1usize;
+    while mask < n {
+        if relative & mask != 0 {
+            let parent = (relative - mask + root) % n;
+            let container = frame_blobs(&held);
+            let req = comm.isend(parent, tags::GATHER + 0xC00, container);
+            comm.wait_send_in(req, Category::Wait);
+            return None;
+        }
+        let child_rel = relative + mask;
+        if child_rel < n {
+            let container = comm.recv((child_rel + root) % n, tags::GATHER + 0xC00);
+            let blobs = unframe_blobs(&container).expect("well-formed gather container");
+            held.extend(blobs);
+        }
+        mask <<= 1;
+    }
+    // Root: decompress every segment (held is in relative order),
+    // through the one scratch.
+    let mut out = vec![0.0f32; total_len];
+    let offsets = chunk_offsets(&lengths);
+    for (i, blob) in held.iter().enumerate() {
+        let a = (root + i) % n;
+        let vals: &[f32] = if a == me {
+            mine // the root's own chunk stays lossless
+        } else {
+            decompress_auto_in(comm, cpr.codec.as_ref(), cpr.dk, blob, &mut scratch)
+        };
+        assert_eq!(vals.len(), lengths[a], "C-Gather segment length mismatch");
+        out[offsets[a]..offsets[a] + lengths[a]].copy_from_slice(vals);
+    }
+    Some(out)
 }
 
 #[cfg(test)]
@@ -277,7 +410,7 @@ mod tests {
             let mine = rank_data(c.rank(), counts[c.rank()]);
             c_ring_allgatherv(c, &cpr, &mine, &counts)
         });
-        let offsets = chunk_offsets(&counts.to_vec());
+        let offsets = chunk_offsets(counts.as_ref());
         for r in 0..n {
             for src in 0..n {
                 let expect = rank_data(src, counts[src]);
@@ -327,7 +460,11 @@ mod tests {
         let world = SimWorld::new(SimConfig::new(n));
         let cpr = szx(eb);
         let out = world.run(move |c| {
-            let data = if c.rank() == 1 { rank_data(5, total) } else { Vec::new() };
+            let data = if c.rank() == 1 {
+                rank_data(5, total)
+            } else {
+                Vec::new()
+            };
             c_binomial_scatter(c, &cpr, 1, &data, total)
         });
         let full = rank_data(5, total);
@@ -373,7 +510,10 @@ mod tests {
         let world = SimWorld::new(SimConfig::new(n));
         world.run(move |c| c_ring_allgather(c, &cpr, &rank_data(c.rank(), 500)));
         let c_coll_count = COUNT.swap(0, Ordering::SeqCst);
-        assert_eq!(c_coll_count, n, "C-Allgather: exactly one compression per rank");
+        assert_eq!(
+            c_coll_count, n,
+            "C-Allgather: exactly one compression per rank"
+        );
 
         let cpr = CprCodec::new(
             Arc::new(Counting(SzxCodec::new(1e-3))),
@@ -391,107 +531,4 @@ mod tests {
             "CPR-P2P allgather: one compression per rank per round"
         );
     }
-}
-
-/// C-Alltoall: compress every outgoing block once (into pooled buffers),
-/// exchange compressed sizes, then run the pairwise exchange on compressed
-/// payloads with a fixed, size-aware schedule; decompress on receipt.
-pub fn c_pairwise_alltoall<C: Comm>(comm: &mut C, cpr: &CprCodec, send: &[f32]) -> Vec<f32> {
-    let n = comm.size();
-    let me = comm.rank();
-    assert!(
-        send.len() % n == 0,
-        "all-to-all buffer ({}) must divide evenly across {n} ranks",
-        send.len()
-    );
-    let block = send.len() / n;
-    // Compress all outgoing blocks up front (once each).
-    let blobs: Vec<Bytes> = (0..n)
-        .map(|to| {
-            if to == me {
-                Bytes::new()
-            } else {
-                compress_in(
-                    comm,
-                    cpr.codec.as_ref(),
-                    cpr.ck,
-                    &send[to * block..(to + 1) * block],
-                    true,
-                )
-            }
-        })
-        .collect();
-    // Size synchronization (total compressed bytes per rank) keeps the
-    // schedule fixed, as in C-Allgather.
-    let total: usize = blobs.iter().map(|b| b.len()).sum();
-    let _sizes = exchange_sizes(comm, total as u32);
-    let mut out = vec![0.0f32; send.len()];
-    memcpy_in(
-        comm,
-        &mut out[me * block..(me + 1) * block],
-        &send[me * block..(me + 1) * block],
-    );
-    for i in 1..n {
-        let to = (me + i) % n;
-        let from = (me + n - i) % n;
-        let tag = tags::ALLTOALL + 0xC00 + i as Tag;
-        let got = comm.sendrecv(to, from, tag, blobs[to].clone(), Category::Allgather);
-        let vals = decompress_auto_in(comm, cpr.codec.as_ref(), cpr.dk, &got);
-        assert_eq!(vals.len(), block, "C-Alltoall block length mismatch");
-        memcpy_in(comm, &mut out[from * block..(from + 1) * block], &vals);
-    }
-    out
-}
-
-/// C-Gather: each rank compresses its chunk once; interior binomial-tree
-/// nodes relay framed compressed segments upward untouched; the root
-/// performs every decompression. The mirror image of [`c_binomial_scatter`].
-pub fn c_binomial_gather<C: Comm>(
-    comm: &mut C,
-    cpr: &CprCodec,
-    root: usize,
-    mine: &[f32],
-    total_len: usize,
-) -> Option<Vec<f32>> {
-    let n = comm.size();
-    let me = comm.rank();
-    assert!(root < n, "root {root} out of range");
-    let lengths = chunk_lengths(total_len, n);
-    assert_eq!(mine.len(), lengths[me], "my chunk disagrees with partition");
-    let relative = (me + n - root) % n;
-
-    // My own compressed segment (root's stays uncompressed-exact later).
-    let mut held: Vec<Bytes> =
-        vec![compress_in(comm, cpr.codec.as_ref(), cpr.ck, mine, true)];
-    let mut mask = 1usize;
-    while mask < n {
-        if relative & mask != 0 {
-            let parent = (relative - mask + root) % n;
-            let container = frame_blobs(&held);
-            let req = comm.isend(parent, tags::GATHER + 0xC00, container);
-            comm.wait_send_in(req, Category::Wait);
-            return None;
-        }
-        let child_rel = relative + mask;
-        if child_rel < n {
-            let container = comm.recv((child_rel + root) % n, tags::GATHER + 0xC00);
-            let blobs = unframe_blobs(&container).expect("well-formed gather container");
-            held.extend(blobs);
-        }
-        mask <<= 1;
-    }
-    // Root: decompress every segment (held is in relative order).
-    let mut out = vec![0.0f32; total_len];
-    let offsets = chunk_offsets(&lengths);
-    for (i, blob) in held.iter().enumerate() {
-        let a = (root + i) % n;
-        let vals = if a == me {
-            mine.to_vec() // the root's own chunk stays lossless
-        } else {
-            decompress_auto_in(comm, cpr.codec.as_ref(), cpr.dk, blob)
-        };
-        assert_eq!(vals.len(), lengths[a], "C-Gather segment length mismatch");
-        out[offsets[a]..offsets[a] + lengths[a]].copy_from_slice(&vals);
-    }
-    Some(out)
 }

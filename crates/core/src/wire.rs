@@ -69,6 +69,36 @@ pub fn bytes_to_values(bytes: &Bytes) -> Vec<f32> {
     ccoll_compress::bytes_to_f32s(bytes)
 }
 
+/// Decode a little-endian byte payload straight into an existing slice —
+/// the zero-allocation counterpart of [`bytes_to_values`] used on
+/// collective hot paths.
+///
+/// # Panics
+/// Panics if `bytes.len() != dst.len() * 4`.
+pub fn decode_values_into(bytes: &[u8], dst: &mut [f32]) {
+    assert_eq!(bytes.len(), dst.len() * 4, "payload/destination mismatch");
+    for (v, c) in dst.iter_mut().zip(bytes.chunks_exact(4)) {
+        *v = f32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+    }
+}
+
+/// Decode a little-endian byte payload into a reusable vector (resized
+/// to fit), for receive loops that reduce out of a scratch buffer.
+/// Delegates to [`decode_values_into`] so there is one canonical decode
+/// loop.
+///
+/// # Panics
+/// Panics if the length is not a multiple of four.
+pub fn decode_values_vec(bytes: &[u8], out: &mut Vec<f32>) {
+    assert!(
+        bytes.len().is_multiple_of(4),
+        "byte buffer length {} is not a multiple of 4",
+        bytes.len()
+    );
+    out.resize(bytes.len() / 4, 0.0);
+    decode_values_into(bytes, out);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,145 @@
+//! Scratch-reuse verification for the collective codec path.
+//!
+//! Together with `ccoll-compress`'s counting-allocator test (which
+//! proves `*_into` on a warmed buffer performs zero allocations), this
+//! pins the end-to-end property: steady-state collectives drive the
+//! codec exclusively through the `*_into` fast path, against a small,
+//! fixed set of per-collective scratch buffers — not a fresh buffer per
+//! hop.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use c_coll::collectives::cpr_p2p::{cpr_ring_allreduce, CprCodec};
+use c_coll::frameworks::data_movement::c_binomial_bcast;
+use c_coll::ReduceOp;
+use ccoll_comm::{Comm, Kernel, SimConfig, SimWorld};
+use ccoll_compress::{CompressError, Compressor, SzxCodec};
+
+static LEGACY_CALLS: AtomicUsize = AtomicUsize::new(0);
+static INTO_CALLS: AtomicUsize = AtomicUsize::new(0);
+static FRESH_BUFFERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Wraps SZx and records which API the collective layer drives and
+/// whether it hands over warmed (reused) buffers.
+struct Auditing(SzxCodec);
+
+impl Compressor for Auditing {
+    fn compress(&self, data: &[f32]) -> Result<Vec<u8>, CompressError> {
+        LEGACY_CALLS.fetch_add(1, Ordering::SeqCst);
+        self.0.compress(data)
+    }
+
+    fn decompress(&self, stream: &[u8]) -> Result<Vec<f32>, CompressError> {
+        LEGACY_CALLS.fetch_add(1, Ordering::SeqCst);
+        self.0.decompress(stream)
+    }
+
+    fn compress_into(&self, data: &[f32], out: &mut Vec<u8>) -> Result<(), CompressError> {
+        INTO_CALLS.fetch_add(1, Ordering::SeqCst);
+        if out.capacity() == 0 {
+            FRESH_BUFFERS.fetch_add(1, Ordering::SeqCst);
+        }
+        self.0.compress_into(data, out)
+    }
+
+    fn decompress_into(&self, stream: &[u8], out: &mut Vec<f32>) -> Result<(), CompressError> {
+        INTO_CALLS.fetch_add(1, Ordering::SeqCst);
+        if out.capacity() == 0 {
+            FRESH_BUFFERS.fetch_add(1, Ordering::SeqCst);
+        }
+        self.0.decompress_into(stream, out)
+    }
+
+    fn kind(&self) -> ccoll_compress::CodecKind {
+        self.0.kind()
+    }
+}
+
+fn auditing_cpr(eb: f32) -> CprCodec {
+    CprCodec::new(
+        Arc::new(Auditing(SzxCodec::new(eb))),
+        Kernel::SzxCompress,
+        Kernel::SzxDecompress,
+    )
+}
+
+fn rank_data(rank: usize, len: usize) -> Vec<f32> {
+    (0..len)
+        .map(|i| ((i * 11 + rank * 211) as f32 * 1e-3).sin() * 2.5)
+        .collect()
+}
+
+fn reset_counters() {
+    LEGACY_CALLS.store(0, Ordering::SeqCst);
+    INTO_CALLS.store(0, Ordering::SeqCst);
+    FRESH_BUFFERS.store(0, Ordering::SeqCst);
+}
+
+#[test]
+fn allreduce_codec_path_reuses_scratch_buffers() {
+    let n = 8;
+    let len = 40_000;
+    reset_counters();
+    let cpr = auditing_cpr(1e-3);
+    let world = SimWorld::new(SimConfig::new(n));
+    world.run(move |c| {
+        cpr_ring_allreduce(c, &cpr, &rank_data(c.rank(), len), ReduceOp::Sum);
+    });
+
+    let legacy = LEGACY_CALLS.load(Ordering::SeqCst);
+    let into = INTO_CALLS.load(Ordering::SeqCst);
+    let fresh = FRESH_BUFFERS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        legacy, 0,
+        "collectives must never use the allocating codec API"
+    );
+    // DI allreduce: per rank, (n-1) compress + (n-1) decompress in each of
+    // the two ring stages.
+    assert_eq!(into, n * (n - 1) * 4, "unexpected codec call count");
+    // Each stage owns one scratch (enc + dec buffer): at most 4 cold
+    // buffers per rank, ever — every other call reuses warmed capacity.
+    assert!(
+        fresh <= n * 4,
+        "scratch not reused: {fresh} cold buffers across {into} codec calls"
+    );
+    assert!(
+        fresh * 4 <= into,
+        "cold-buffer share too high: {fresh}/{into}"
+    );
+}
+
+#[test]
+fn bcast_codec_path_compresses_once_per_rank_with_scratch() {
+    let n = 9;
+    let len = 20_000;
+    reset_counters();
+    let cpr = auditing_cpr(1e-3);
+    let world = SimWorld::new(SimConfig::new(n));
+    world.run(move |c| {
+        let data = if c.rank() == 0 {
+            rank_data(0, len)
+        } else {
+            Vec::new()
+        };
+        c_binomial_bcast(c, &cpr, 0, &data);
+    });
+
+    let legacy = LEGACY_CALLS.load(Ordering::SeqCst);
+    let into = INTO_CALLS.load(Ordering::SeqCst);
+    let fresh = FRESH_BUFFERS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        legacy, 0,
+        "collectives must never use the allocating codec API"
+    );
+    // Data-movement framework: one compression at the root, one
+    // decompression per non-root — nothing else.
+    assert_eq!(
+        into,
+        1 + (n - 1),
+        "C-Bcast must compress once and decompress n-1 times"
+    );
+    assert!(fresh <= into, "cold buffers cannot exceed codec calls");
+}

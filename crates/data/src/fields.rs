@@ -66,21 +66,29 @@ pub struct FieldSpec {
 impl FieldSpec {
     /// The per-field workloads of the paper's Table VI / Fig. 13.
     pub const TABLE6: [FieldSpec; 4] = [
-        FieldSpec { dataset: Dataset::Hurricane, name: "PRECIPf" },
-        FieldSpec { dataset: Dataset::Hurricane, name: "QGRAUPf" },
-        FieldSpec { dataset: Dataset::Hurricane, name: "CLOUDf" },
-        FieldSpec { dataset: Dataset::Cesm, name: "Q" },
+        FieldSpec {
+            dataset: Dataset::Hurricane,
+            name: "PRECIPf",
+        },
+        FieldSpec {
+            dataset: Dataset::Hurricane,
+            name: "QGRAUPf",
+        },
+        FieldSpec {
+            dataset: Dataset::Hurricane,
+            name: "CLOUDf",
+        },
+        FieldSpec {
+            dataset: Dataset::Cesm,
+            name: "Q",
+        },
     ];
 
     /// Generate `n` values of this field.
     pub fn generate(&self, n: usize, seed: u64) -> Vec<f32> {
         match (self.dataset, self.name) {
-            (Dataset::Hurricane, "PRECIPf") => {
-                hurricane::field(hurricane::Field::PrecipF, n, seed)
-            }
-            (Dataset::Hurricane, "QGRAUPf") => {
-                hurricane::field(hurricane::Field::QGraupF, n, seed)
-            }
+            (Dataset::Hurricane, "PRECIPf") => hurricane::field(hurricane::Field::PrecipF, n, seed),
+            (Dataset::Hurricane, "QGRAUPf") => hurricane::field(hurricane::Field::QGraupF, n, seed),
             (Dataset::Hurricane, "CLOUDf") => hurricane::field(hurricane::Field::CloudF, n, seed),
             (Dataset::Hurricane, _) => hurricane::field(hurricane::Field::QVaporF, n, seed),
             (Dataset::Cesm, "Q") => cesm::field(cesm::Field::Q, n, seed),
@@ -115,8 +123,8 @@ pub mod rtm {
                 (
                     rng.next_f64() * GRID_WIDTH as f64,
                     rng.next_f64() * height as f64,
-                    40.0 + rng.next_f64() * 120.0,  // wavefront radius (cells)
-                    0.2 + rng.next_f64() * 0.35,    // amplitude
+                    40.0 + rng.next_f64() * 120.0, // wavefront radius (cells)
+                    0.2 + rng.next_f64() * 0.35,   // amplitude
                 )
             })
             .collect();
@@ -252,8 +260,8 @@ pub mod cesm {
                 let lat = y / height as f64 * std::f64::consts::PI;
                 // Zonal structure: warm equator, cold poles, with waves.
                 let zonal = lat.sin().powi(2) + 0.2 * (6.0 * lat).cos();
-                let turb = noise_amp
-                    * fractal_noise2(nseed, x * noise_freq, y * noise_freq, octaves);
+                let turb =
+                    noise_amp * fractal_noise2(nseed, x * noise_freq, y * noise_freq, octaves);
                 ((zonal + turb) * scale) as f32
             })
             .collect()
@@ -343,14 +351,21 @@ mod tests {
         let rtm = ratio(Dataset::Rtm);
         let hur = ratio(Dataset::Hurricane);
         let cesm = ratio(Dataset::Cesm);
-        assert!(rtm > hur && hur > cesm, "ordering broken: {rtm:.1} / {hur:.1} / {cesm:.1}");
+        assert!(
+            rtm > hur && hur > cesm,
+            "ordering broken: {rtm:.1} / {hur:.1} / {cesm:.1}"
+        );
         assert!(rtm > 15.0, "RTM should be highly compressible: {rtm:.1}");
         assert!(cesm < 5.0, "CESM-ATM should be hard: {cesm:.1}");
     }
 
     #[test]
     fn hydrometeor_fields_are_sparse() {
-        for which in [hurricane::Field::PrecipF, hurricane::Field::QGraupF, hurricane::Field::CloudF] {
+        for which in [
+            hurricane::Field::PrecipF,
+            hurricane::Field::QGraupF,
+            hurricane::Field::CloudF,
+        ] {
             let f = hurricane::field(which, 100_000, 3);
             let zeros = f.iter().filter(|&&v| v == 0.0).count();
             assert!(

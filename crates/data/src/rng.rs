@@ -161,12 +161,8 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a: f64 = (0..100)
-            .map(|i| value_noise2(1, i as f64 * 0.3, 0.0))
-            .sum();
-        let b: f64 = (0..100)
-            .map(|i| value_noise2(2, i as f64 * 0.3, 0.0))
-            .sum();
+        let a: f64 = (0..100).map(|i| value_noise2(1, i as f64 * 0.3, 0.0)).sum();
+        let b: f64 = (0..100).map(|i| value_noise2(2, i as f64 * 0.3, 0.0)).sum();
         assert!((a - b).abs() > 1e-9);
     }
 }

@@ -230,7 +230,11 @@ mod tests {
         let mut r = SplitMix64::new(3);
         let uni: Vec<f64> = (0..100_000).map(|_| r.next_signed()).collect();
         let s = Summary::compute(&uni).unwrap();
-        assert!((s.excess_kurtosis + 1.2).abs() < 0.05, "{}", s.excess_kurtosis);
+        assert!(
+            (s.excess_kurtosis + 1.2).abs() < 0.05,
+            "{}",
+            s.excess_kurtosis
+        );
         let gau = gaussian_sample(100_000, 0.0, 1.0, 4);
         let g = Summary::compute(&gau).unwrap();
         assert!(g.excess_kurtosis.abs() < 0.1, "{}", g.excess_kurtosis);
@@ -252,7 +256,10 @@ mod tests {
 
     #[test]
     fn pdf_peak_at_mean() {
-        let f = NormalFit { mu: 1.0, sigma: 0.5 };
+        let f = NormalFit {
+            mu: 1.0,
+            sigma: 0.5,
+        };
         assert!(f.pdf(1.0) > f.pdf(1.5));
         assert!(f.pdf(1.5) > f.pdf(2.5));
     }

@@ -1,0 +1,117 @@
+//! Test configuration, the deterministic RNG, and case-failure plumbing.
+
+use std::collections::hash_map::DefaultHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run each property against `cases` generated inputs.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Error carried out of a failing property case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Build a failure with the given message.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError(msg)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// A deterministic splitmix64 generator seeded from the test's name, so
+/// every run of a given test binary draws the identical case sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed deterministically from an identifier (module path + name).
+    pub fn deterministic(id: &str) -> Self {
+        let mut h = DefaultHasher::new();
+        id.hash(&mut h);
+        TestRng {
+            state: h.finish() ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`. `bound` must be non-zero.
+    pub fn below(&mut self, bound: u128) -> u128 {
+        debug_assert!(bound > 0, "below(0) is meaningless");
+        let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+        wide % bound
+    }
+
+    /// Uniform draw from `[0.0, 1.0)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        let mut c = TestRng::deterministic("y");
+        let (va, vb, vc) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn unit_in_range() {
+        let mut r = TestRng::deterministic("unit");
+        for _ in 0..1000 {
+            let u = r.unit_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = TestRng::deterministic("below");
+        for bound in [1u128, 2, 7, 1 << 40] {
+            for _ in 0..100 {
+                assert!(r.below(bound) < bound);
+            }
+        }
+    }
+}

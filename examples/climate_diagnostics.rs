@@ -23,8 +23,9 @@ fn main() {
 
     println!("Climate ensemble diagnostics: {ranks} members, eb={eb:.0e}\n");
 
-    let members: Vec<Vec<f32>> =
-        (0..ranks).map(|r| cesm::field(cesm::Field::Q, n, r as u64)).collect();
+    let members: Vec<Vec<f32>> = (0..ranks)
+        .map(|r| cesm::field(cesm::Field::Q, n, r as u64))
+        .collect();
 
     for op in [ReduceOp::Avg, ReduceOp::Max, ReduceOp::Min, ReduceOp::Sum] {
         let exact = op.oracle(&members);

@@ -13,7 +13,10 @@ use std::time::Instant;
 
 fn main() {
     let n = 4_000_000; // 16 MB per field
-    println!("Compressor characterization on {} MB fields\n", n * 4 / 1_000_000);
+    println!(
+        "Compressor characterization on {} MB fields\n",
+        n * 4 / 1_000_000
+    );
     println!(
         "{:<10} {:<16} {:>10} {:>10} {:>8} {:>9}",
         "dataset", "codec", "comp MB/s", "dec MB/s", "ratio", "PSNR dB"
@@ -23,7 +26,10 @@ fn main() {
         let data = ds.generate(n, 7);
         let codecs: Vec<(String, Box<dyn Compressor>)> = vec![
             ("SZx(1e-3)".into(), Box::new(SzxCodec::new(1e-3))),
-            ("ZFP(ABS=1e-3)".into(), Box::new(ZfpCodec::fixed_accuracy(1e-3))),
+            (
+                "ZFP(ABS=1e-3)".into(),
+                Box::new(ZfpCodec::fixed_accuracy(1e-3)),
+            ),
             ("ZFP(FXR=4)".into(), Box::new(ZfpCodec::fixed_rate(4))),
         ];
         for (label, codec) in codecs {

@@ -36,9 +36,15 @@ fn main() {
     // example under a minute (set FULL=1 for the real 143M).
     let full = std::env::var("FULL").map(|v| v == "1").unwrap_or(false);
     let models: Vec<(&str, usize)> = if full {
-        vec![("ResNet-50 (25M)", 25_000_000), ("VGG19 (143M)", 143_000_000)]
+        vec![
+            ("ResNet-50 (25M)", 25_000_000),
+            ("VGG19 (143M)", 143_000_000),
+        ]
     } else {
-        vec![("ResNet-50 (25M)", 25_000_000), ("VGG19/4 (36M)", 35_750_000)]
+        vec![
+            ("ResNet-50 (25M)", 25_000_000),
+            ("VGG19/4 (36M)", 35_750_000),
+        ]
     };
     let eb = 1e-6f32; // tight bound: gradients are small numbers
 

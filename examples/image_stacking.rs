@@ -45,7 +45,10 @@ fn main() {
         ccoll.allreduce(comm, &shots_for_run[comm.rank()], ReduceOp::Sum)
     });
     let t_base = base.makespan.as_secs_f64() * 1e3;
-    println!("{:28} {t_base:8.2} ms   (exact)", "Allreduce w/o compression");
+    println!(
+        "{:28} {t_base:8.2} ms   (exact)",
+        "Allreduce w/o compression"
+    );
 
     for eb in [1e-2f32, 1e-3, 1e-4] {
         let world = SimWorld::new(SimConfig::new(ranks));
@@ -63,7 +66,11 @@ fn main() {
             format!("C-Allreduce (eb={eb:.0e})"),
             t_base / t,
         );
-        dump(&out_dir.join(format!("stacked_eb{eb:.0e}.pgm")), stacked, height);
+        dump(
+            &out_dir.join(format!("stacked_eb{eb:.0e}.pgm")),
+            stacked,
+            height,
+        );
     }
 
     println!("\nPGM images written to {}", out_dir.display());

@@ -18,13 +18,18 @@ fn main() {
     println!("C-Coll quickstart: {ranks}-node virtual cluster, 2 MB/rank, eb={error_bound:.0e}\n");
 
     // Exact oracle for accuracy measurement.
-    let inputs: Vec<Vec<f32>> =
-        (0..ranks).map(|r| Dataset::Rtm.generate(values_per_rank, r as u64)).collect();
+    let inputs: Vec<Vec<f32>> = (0..ranks)
+        .map(|r| Dataset::Rtm.generate(values_per_rank, r as u64))
+        .collect();
     let exact = ReduceOp::Sum.oracle(&inputs);
 
     let mut baseline_time = None;
     for (label, spec, _variant) in [
-        ("MPI_Allreduce (no compression)", CodecSpec::None, AllreduceVariant::Original),
+        (
+            "MPI_Allreduce (no compression)",
+            CodecSpec::None,
+            AllreduceVariant::Original,
+        ),
         (
             "C-Allreduce (SZx, error-bounded)",
             CodecSpec::Szx { error_bound },

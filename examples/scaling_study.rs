@@ -13,19 +13,31 @@ fn main() {
     // A scaled-down message (the paper uses 678 MB; we default to ~5 MB
     // per rank so the example runs in seconds — pass a size in MB to
     // override).
-    let mb: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let mb: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
     let values = mb * 1_000_000 / 4;
     let eb = 1e-3f32;
 
     println!("Allreduce scaling, {mb} MB per rank, RTM-like data, eb={eb:.0e}");
-    println!("{:>6} {:>14} {:>14} {:>14} {:>9}", "nodes", "Allreduce(ms)", "DI/CPR-P2P(ms)", "C-Allreduce(ms)", "speedup");
+    println!(
+        "{:>6} {:>14} {:>14} {:>14} {:>9}",
+        "nodes", "Allreduce(ms)", "DI/CPR-P2P(ms)", "C-Allreduce(ms)", "speedup"
+    );
 
     for nodes in [2usize, 4, 8, 16, 32, 64, 128] {
         let mut times = Vec::new();
         for (spec, variant) in [
             (CodecSpec::None, AllreduceVariant::Original),
-            (CodecSpec::Szx { error_bound: eb }, AllreduceVariant::DirectIntegration),
-            (CodecSpec::Szx { error_bound: eb }, AllreduceVariant::Overlapped),
+            (
+                CodecSpec::Szx { error_bound: eb },
+                AllreduceVariant::DirectIntegration,
+            ),
+            (
+                CodecSpec::Szx { error_bound: eb },
+                AllreduceVariant::Overlapped,
+            ),
         ] {
             let ccoll = CColl::new(spec);
             let world = SimWorld::new(SimConfig::new(nodes));

@@ -42,11 +42,19 @@ fn sim_and_threaded_backends_agree_on_values() {
 
     let sim = SimWorld::new(SimConfig::new(ranks)).run(move |comm| {
         let ccoll = CColl::new(CodecSpec::Szx { error_bound: eb });
-        ccoll.allreduce(comm, &Dataset::Hurricane.generate(n, comm.rank() as u64), ReduceOp::Sum)
+        ccoll.allreduce(
+            comm,
+            &Dataset::Hurricane.generate(n, comm.rank() as u64),
+            ReduceOp::Sum,
+        )
     });
     let thr = ThreadWorld::new(ranks).run(move |comm| {
         let ccoll = CColl::new(CodecSpec::Szx { error_bound: eb });
-        ccoll.allreduce(comm, &Dataset::Hurricane.generate(n, comm.rank() as u64), ReduceOp::Sum)
+        ccoll.allreduce(
+            comm,
+            &Dataset::Hurricane.generate(n, comm.rank() as u64),
+            ReduceOp::Sum,
+        )
     });
     for r in 0..ranks {
         assert_eq!(
@@ -101,31 +109,48 @@ fn breakdown_shape_matches_paper_fig7() {
     let world = SimWorld::new(SimConfig::new(ranks));
     let out = world.run(move |comm| {
         let ccoll = CColl::new(CodecSpec::None);
-        ccoll.allreduce(comm, &Dataset::Rtm.generate(n, comm.rank() as u64), ReduceOp::Sum);
+        ccoll.allreduce(
+            comm,
+            &Dataset::Rtm.generate(n, comm.rank() as u64),
+            ReduceOp::Sum,
+        );
     });
     let b = out.max_breakdown();
     let total = b.total().as_secs_f64();
     let ag = b.get(Category::Allgather).as_secs_f64();
     let wait = b.get(Category::Wait).as_secs_f64();
-    assert!(ag / total > 0.3, "allgather share too small: {}", ag / total);
+    assert!(
+        ag / total > 0.3,
+        "allgather share too small: {}",
+        ag / total
+    );
     // Both ring stages move the same volume, so under a faithful network
     // model Allgather ≥ Wait with near-equality; the paper's stronger
     // 60 %-vs-20 % split reflects MPICH implementation details (see
     // EXPERIMENTS.md). The communication categories must still dominate
     // compute.
-    assert!(ag >= wait, "allgather must not be below wait: {ag} vs {wait}");
+    assert!(
+        ag >= wait,
+        "allgather must not be below wait: {ag} vs {wait}"
+    );
     let comm_share = (ag + wait) / total;
-    assert!(comm_share > 0.6, "communication should dominate AD: {comm_share}");
+    assert!(
+        comm_share > 0.6,
+        "communication should dominate AD: {comm_share}"
+    );
 }
 
 #[test]
 fn deterministic_simulation_repeats_exactly() {
     let run = || {
-        SimWorld::new(SimConfig::new(6))
-            .run(move |comm| {
-                let ccoll = CColl::new(CodecSpec::Szx { error_bound: 1e-3 });
-                ccoll.allreduce(comm, &Dataset::Cesm.generate(20_000, comm.rank() as u64), ReduceOp::Sum)
-            })
+        SimWorld::new(SimConfig::new(6)).run(move |comm| {
+            let ccoll = CColl::new(CodecSpec::Szx { error_bound: 1e-3 });
+            ccoll.allreduce(
+                comm,
+                &Dataset::Cesm.generate(20_000, comm.rank() as u64),
+                ReduceOp::Sum,
+            )
+        })
     };
     let a = run();
     let b = run();
