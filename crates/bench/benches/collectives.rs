@@ -25,7 +25,7 @@ fn bench_sim_variants(c: &mut Criterion) {
                     world.run(move |comm| {
                         let ccoll = CColl::new(spec);
                         let data = Dataset::Rtm.generate(values, comm.rank() as u64);
-                        ccoll.allreduce_variant(comm, &data, ReduceOp::Sum, variant);
+                        let _ = ccoll.allreduce_variant(comm, &data, ReduceOp::Sum, variant);
                     })
                 });
             },
@@ -47,7 +47,7 @@ fn bench_threaded_allreduce(c: &mut Criterion) {
                 world.run(move |comm| {
                     let ccoll = CColl::new(spec);
                     let data = Dataset::Rtm.generate(values, comm.rank() as u64);
-                    ccoll.allreduce(comm, &data, ReduceOp::Sum);
+                    let _ = ccoll.allreduce(comm, &data, ReduceOp::Sum);
                 })
             });
         });

@@ -6,7 +6,7 @@
 //! cargo run --release -p ccoll-bench --bin ablation_chunk_size
 //! ```
 
-use c_coll::{CColl, CodecSpec, ReduceOp};
+use c_coll::{CCollSession, ReduceOp};
 use ccoll_bench::calibrate::cost_model_from_env;
 use ccoll_bench::table::Table;
 use ccoll_bench::workload::Scale;
@@ -29,12 +29,14 @@ fn main() {
         cfg.cost = cost.clone();
         cfg.net = scale.net_model();
         let out = SimWorld::new(cfg).run(move |comm| {
-            let ccoll =
-                CColl::new(CodecSpec::Szx { error_bound: 1e-3 }).with_pipeline_values(chunk);
-            ccoll.allreduce(
+            let session = CCollSession::new(ccoll_bench::specs::szx_default(), comm.size())
+                .with_pipeline_values(chunk);
+            let mut plan = session.plan_allreduce(values, ReduceOp::Sum);
+            let mut stacked = vec![0.0f32; values];
+            plan.execute_into(
                 comm,
                 &Dataset::Rtm.generate(values, comm.rank() as u64),
-                ReduceOp::Sum,
+                &mut stacked,
             );
         });
         t.row(&[

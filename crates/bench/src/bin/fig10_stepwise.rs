@@ -5,7 +5,7 @@
 //! cargo run --release -p ccoll-bench --bin fig10_stepwise
 //! ```
 
-use c_coll::{AllreduceVariant, CodecSpec, ReduceOp};
+use c_coll::ReduceOp;
 use ccoll_bench::calibrate::cost_model_from_env;
 use ccoll_bench::run_allreduce;
 use ccoll_bench::table::Table;
@@ -32,21 +32,8 @@ fn main() {
     for mb in paper_sizes_mb() {
         let values = scale.values_for_mb(mb);
         let mut times = Vec::new();
-        for (spec, variant) in [
-            (CodecSpec::None, AllreduceVariant::Original),
-            (
-                CodecSpec::Szx { error_bound: 1e-3 },
-                AllreduceVariant::DirectIntegration,
-            ),
-            (
-                CodecSpec::Szx { error_bound: 1e-3 },
-                AllreduceVariant::NovelDesign,
-            ),
-            (
-                CodecSpec::Szx { error_bound: 1e-3 },
-                AllreduceVariant::Overlapped,
-            ),
-        ] {
+        // Table V's step-wise lineup, shared across figures (specs.rs).
+        for (spec, variant) in ccoll_bench::specs::stepwise_configs() {
             let r = run_allreduce(
                 nodes,
                 values,

@@ -6,7 +6,7 @@
 //! cargo run --release -p ccoll-bench --bin fig11_baselines
 //! ```
 
-use c_coll::{AllreduceVariant, CodecSpec, ReduceOp};
+use c_coll::ReduceOp;
 use ccoll_bench::calibrate::cost_model_from_env;
 use ccoll_bench::run_allreduce;
 use ccoll_bench::table::Table;
@@ -36,25 +36,8 @@ fn main() {
         "C-Allreduce",
         "speedup",
     ]);
-    let configs = [
-        (CodecSpec::None, AllreduceVariant::Original),
-        (
-            CodecSpec::ZfpFxr { rate: 4 },
-            AllreduceVariant::DirectIntegration,
-        ),
-        (
-            CodecSpec::ZfpAbs { error_bound: 1e-3 },
-            AllreduceVariant::DirectIntegration,
-        ),
-        (
-            CodecSpec::Szx { error_bound: 1e-3 },
-            AllreduceVariant::DirectIntegration,
-        ),
-        (
-            CodecSpec::Szx { error_bound: 1e-3 },
-            AllreduceVariant::Overlapped,
-        ),
-    ];
+    // The paper's baseline lineup, shared across figures (specs.rs).
+    let configs = ccoll_bench::specs::baseline_configs();
     for mb in paper_sizes_mb() {
         let values = scale.values_for_mb(mb);
         let times: Vec<f64> = configs

@@ -6,7 +6,7 @@
 //! cargo run --release -p ccoll-bench --bin fig13_datasets
 //! ```
 
-use c_coll::{AllreduceVariant, CColl, CodecSpec, ReduceOp};
+use c_coll::{AllreduceVariant, CCollSession, CodecSpec, ReduceOp};
 use ccoll_bench::calibrate::cost_model_from_env;
 use ccoll_bench::table::Table;
 use ccoll_bench::workload::Scale;
@@ -52,9 +52,11 @@ fn main() {
             cfg.cost = cost.clone();
             cfg.net = scale.net_model();
             let out = SimWorld::new(cfg).run(move |comm| {
-                let ccoll = CColl::new(codec);
+                let session = CCollSession::new(codec, comm.size());
+                let mut plan = session.plan_allreduce_variant(values, ReduceOp::Sum, variant);
                 let data = spec.generate(values, comm.rank() as u64);
-                ccoll.allreduce_variant(comm, &data, ReduceOp::Sum, variant);
+                let mut result = vec![0.0f32; values];
+                plan.execute_into(comm, &data, &mut result);
             });
             times.push(out.makespan.as_secs_f64() * 1e3);
         }

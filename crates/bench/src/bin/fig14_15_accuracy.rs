@@ -6,7 +6,7 @@
 //! cargo run --release -p ccoll-bench --bin fig14_15_accuracy
 //! ```
 
-use c_coll::{CColl, CodecSpec, ReduceOp};
+use c_coll::{CCollSession, CodecSpec, ReduceOp};
 use ccoll_bench::table::Table;
 use ccoll_comm::{Comm, SimConfig, SimWorld};
 use ccoll_data::fields::GRID_WIDTH;
@@ -26,8 +26,9 @@ fn main() {
         let inputs: Vec<Vec<f32>> = (0..nodes).map(|r| ds.generate(n, r as u64)).collect();
         let exact = ReduceOp::Sum.oracle(&inputs);
         let out = SimWorld::new(SimConfig::new(nodes)).run(move |comm| {
-            let ccoll = CColl::new(CodecSpec::Szx { error_bound: eb });
-            ccoll.allreduce(comm, &ds.generate(n, comm.rank() as u64), ReduceOp::Sum)
+            let session = CCollSession::new(CodecSpec::Szx { error_bound: eb }, comm.size());
+            let mut plan = session.plan_allreduce(n, ReduceOp::Sum);
+            plan.execute(comm, &ds.generate(n, comm.rank() as u64))
         });
         let got = &out.results[0];
         t.row(&[

@@ -6,7 +6,7 @@
 //! cargo run --release -p ccoll-bench --bin fig18_stacking_quality
 //! ```
 
-use c_coll::{AllreduceVariant, CColl, CodecSpec, ReduceOp};
+use c_coll::{AllreduceVariant, CCollSession, CodecSpec, ReduceOp};
 use ccoll_bench::table::Table;
 use ccoll_comm::{Comm, SimConfig, SimWorld};
 use ccoll_data::{fields::GRID_WIDTH, metrics, pgm, rtm};
@@ -15,8 +15,9 @@ fn stack(nodes: usize, n: usize, spec: CodecSpec, variant: AllreduceVariant) -> 
     SimWorld::new(SimConfig::new(nodes))
         .run(move |comm| {
             let shot = rtm::snapshots(comm.size(), n, 99)[comm.rank()].clone();
-            let ccoll = CColl::new(spec);
-            ccoll.allreduce_variant(comm, &shot, ReduceOp::Sum, variant)
+            let session = CCollSession::new(spec, comm.size());
+            let mut plan = session.plan_allreduce_variant(n, ReduceOp::Sum, variant);
+            plan.execute(comm, &shot)
         })
         .results
         .remove(0)

@@ -5,7 +5,7 @@
 //! cargo run --release -p ccoll-bench --bin theory_check
 //! ```
 
-use c_coll::{theory, CColl, CodecSpec, ReduceOp};
+use c_coll::{theory, CCollSession, CodecSpec, ReduceOp};
 use ccoll_bench::table::Table;
 use ccoll_comm::{Comm, SimConfig, SimWorld};
 use ccoll_data::Dataset;
@@ -56,12 +56,9 @@ fn main() {
             .collect();
         let exact = ReduceOp::Sum.oracle(&inputs);
         let out = SimWorld::new(SimConfig::new(nodes)).run(move |comm| {
-            let ccoll = CColl::new(CodecSpec::Szx { error_bound: eb });
-            ccoll.allreduce(
-                comm,
-                &Dataset::Cesm.generate(n_values, comm.rank() as u64),
-                ReduceOp::Sum,
-            )
+            let session = CCollSession::new(CodecSpec::Szx { error_bound: eb }, comm.size());
+            let mut plan = session.plan_allreduce(n_values, ReduceOp::Sum);
+            plan.execute(comm, &Dataset::Cesm.generate(n_values, comm.rank() as u64))
         });
         let err = ccoll_data::metrics::max_abs_error(&exact, &out.results[0]);
         t3.row(&[

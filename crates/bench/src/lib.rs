@@ -6,9 +6,10 @@
 pub mod calibrate;
 pub mod characterize;
 pub mod runner;
+pub mod specs;
 pub mod table;
 pub mod workload;
 
 pub use calibrate::calibrate_cost_model;
-pub use runner::{run_allreduce, ExperimentResult};
+pub use runner::{run_allreduce, run_allreduce_steady, ExperimentResult};
 pub use workload::Scale;

@@ -1,16 +1,18 @@
 //! Experiment runners: configure a virtual cluster, run a collective
-//! variant, return makespan + breakdown.
+//! variant through the session + persistent-plan API, return makespan +
+//! breakdown.
 
 use std::time::Duration;
 
-use c_coll::{AllreduceVariant, CColl, CodecSpec, ReduceOp};
+use c_coll::{AllreduceVariant, CCollSession, CodecSpec, ReduceOp};
 use ccoll_comm::{Comm, CostModel, NetModel, SimConfig, SimWorld, TimeBreakdown};
 use ccoll_data::Dataset;
 
 /// One experiment's outcome.
 #[derive(Debug, Clone)]
 pub struct ExperimentResult {
-    /// Virtual makespan (what the paper's time axes show).
+    /// Virtual makespan (what the paper's time axes show). For
+    /// steady-state runs this is the per-iteration average.
     pub makespan: Duration,
     /// Slowest-path per-category breakdown across ranks.
     pub breakdown: TimeBreakdown,
@@ -34,14 +36,55 @@ pub fn run_allreduce(
     net: NetModel,
     capture_result: bool,
 ) -> ExperimentResult {
+    run_allreduce_steady(
+        nodes,
+        values_per_rank,
+        dataset,
+        spec,
+        variant,
+        op,
+        cost,
+        net,
+        capture_result,
+        1,
+    )
+}
+
+/// Run `iters` back-to-back allreduces against ONE persistent plan and
+/// report the per-iteration makespan — the repeated-shape workload
+/// (training loops, iterative solvers) the session API exists for. With
+/// `iters = 1` this is the classic single-shot experiment.
+///
+/// # Panics
+/// Panics if `iters` is zero.
+#[allow(clippy::too_many_arguments)]
+pub fn run_allreduce_steady(
+    nodes: usize,
+    values_per_rank: usize,
+    dataset: Dataset,
+    spec: CodecSpec,
+    variant: AllreduceVariant,
+    op: ReduceOp,
+    cost: CostModel,
+    net: NetModel,
+    capture_result: bool,
+    iters: usize,
+) -> ExperimentResult {
+    assert!(iters > 0, "need at least one iteration");
     let mut cfg = SimConfig::new(nodes);
     cfg.cost = cost;
     cfg.net = net;
     let world = SimWorld::new(cfg);
     let out = world.run(move |comm| {
-        let ccoll = CColl::new(spec);
+        // Session + plan built once per rank; the execute loop pays no
+        // per-iteration setup (no codec rebuild, no buffer churn).
+        let session = CCollSession::new(spec, nodes);
+        let mut plan = session.plan_allreduce_variant(values_per_rank, op, variant);
         let data = dataset.generate(values_per_rank, comm.rank() as u64);
-        let result = ccoll.allreduce_variant(comm, &data, op, variant);
+        let mut result = vec![0.0f32; values_per_rank];
+        for _ in 0..iters {
+            plan.execute_into(comm, &data, &mut result);
+        }
         if capture_result && comm.rank() == 0 {
             result
         } else {
@@ -49,7 +92,7 @@ pub fn run_allreduce(
         }
     });
     ExperimentResult {
-        makespan: out.makespan,
+        makespan: out.makespan / iters as u32,
         breakdown: out.max_breakdown(),
         result: if capture_result {
             out.results.into_iter().next()
@@ -99,6 +142,38 @@ mod tests {
         assert!(r.makespan > Duration::ZERO);
         assert_eq!(r.result.as_ref().map(|v| v.len()), Some(10_000));
         assert!(r.breakdown.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn steady_state_reuses_one_plan() {
+        let single = run_allreduce(
+            4,
+            20_000,
+            Dataset::Rtm,
+            CodecSpec::Szx { error_bound: 1e-3 },
+            AllreduceVariant::Overlapped,
+            ReduceOp::Sum,
+            CostModel::default(),
+            NetModel::default(),
+            false,
+        );
+        let steady = run_allreduce_steady(
+            4,
+            20_000,
+            Dataset::Rtm,
+            CodecSpec::Szx { error_bound: 1e-3 },
+            AllreduceVariant::Overlapped,
+            ReduceOp::Sum,
+            CostModel::default(),
+            NetModel::default(),
+            false,
+            8,
+        );
+        // Per-iteration steady-state time cannot exceed the single-shot
+        // time by much (pipeline fill is amortized; virtual costs are
+        // deterministic).
+        let ratio = steady.makespan.as_secs_f64() / single.makespan.as_secs_f64();
+        assert!(ratio < 1.2, "steady-state per-iter time blew up: {ratio}");
     }
 
     #[test]

@@ -36,6 +36,7 @@
 
 pub mod comm;
 pub mod cost;
+pub mod pool;
 pub mod profile;
 pub mod sim;
 pub mod threaded;
@@ -43,6 +44,7 @@ pub mod time;
 
 pub use comm::{Comm, RecvReq, SendReq, Tag};
 pub use cost::{CostModel, Kernel};
+pub use pool::PayloadPool;
 pub use profile::{Category, Profiler, TimeBreakdown, TrafficStats};
 pub use sim::{NetModel, SimConfig, SimWorld};
 pub use threaded::ThreadWorld;

@@ -360,9 +360,11 @@ impl SimKernel {
         g.barrier.waiters.push(me);
         if g.barrier.waiters.len() == self.size {
             let release = g.barrier.max_time;
-            let waiters = std::mem::take(&mut g.barrier.waiters);
             g.barrier.max_time = 0;
-            for w in waiters {
+            // Drain in place (rather than `mem::take`) so the waiters
+            // vector keeps its capacity: steady-state barriers must not
+            // touch the allocator (see the collective allocation audit).
+            while let Some(w) = g.barrier.waiters.pop() {
                 let wake = release.max(g.now);
                 Self::push_event(&mut g, wake, w);
             }

@@ -26,7 +26,7 @@
 //! Because an LSB-first stream is position-independent of the chunk size
 //! used to produce it, the word-level writer emits **byte-identical
 //! streams** to the original scalar (byte-at-a-time) implementation. The
-//! original is preserved verbatim in [`reference`] and differential
+//! original is preserved verbatim in the [`reference` module](self::reference) and differential
 //! property tests in `tests/proptests.rs` pin the equivalence; the
 //! `bench_codec` binary measures the speedup against it.
 

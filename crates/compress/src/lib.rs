@@ -104,10 +104,18 @@ pub use zfp::{ZfpCodec, ZfpMode};
 /// wire representation used throughout the workspace.
 pub fn f32s_to_bytes(values: &[f32]) -> Vec<u8> {
     let mut out = Vec::with_capacity(values.len() * 4);
+    encode_f32s_into(values, &mut out);
+    out
+}
+
+/// Append the little-endian encoding of `values` to `out` — the
+/// reusable-buffer counterpart of [`f32s_to_bytes`] used by the pooled
+/// collective payload path (zero allocations on a warmed buffer).
+pub fn encode_f32s_into(values: &[f32], out: &mut Vec<u8>) {
+    out.reserve(values.len() * 4);
     for v in values {
         out.extend_from_slice(&v.to_le_bytes());
     }
-    out
 }
 
 /// Convert little-endian bytes back into `f32` values.

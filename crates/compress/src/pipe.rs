@@ -281,6 +281,10 @@ impl Compressor for PipeSzx {
         self.decompress_with_progress_into(stream, || {}, out)
     }
 
+    fn max_compressed_bytes(&self, values: usize) -> usize {
+        self.worst_case_stream_bytes(values)
+    }
+
     fn kind(&self) -> CodecKind {
         CodecKind::PipeSzx {
             error_bound: self.error_bound,

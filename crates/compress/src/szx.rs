@@ -178,6 +178,10 @@ impl Compressor for SzxCodec {
         decode_blocks_into(&mut bits, count, eb, block_size, out)
     }
 
+    fn max_compressed_bytes(&self, values: usize) -> usize {
+        SZX_HEADER_BYTES + worst_case_body_bytes(values, self.block_size)
+    }
+
     fn kind(&self) -> CodecKind {
         CodecKind::Szx {
             error_bound: self.error_bound,

@@ -121,6 +121,15 @@ pub trait Compressor: Send + Sync {
         Ok(())
     }
 
+    /// Upper bound on the compressed-stream size for a `values`-element
+    /// input. Persistent collective plans use this to pre-size payload
+    /// buffers so even the first call avoids growth. The default is a
+    /// conservative envelope (raw size plus 25 % and a header allowance);
+    /// native codecs override it with their exact worst case.
+    fn max_compressed_bytes(&self, values: usize) -> usize {
+        values * 5 + 64
+    }
+
     /// The codec configuration identifier.
     fn kind(&self) -> CodecKind;
 }

@@ -47,23 +47,41 @@ impl AllreduceVariant {
     }
 }
 
-/// The C-Coll context: a codec choice plus pipeline configuration.
+/// The compatibility C-Coll facade: a codec choice plus pipeline
+/// configuration, with one-shot collective methods.
 ///
 /// All collectives are generic over the communication backend, so the
 /// same `CColl` value drives real threads and the virtual-time simulator.
-#[derive(Debug, Clone, Copy)]
+///
+/// **Migration note.** `CColl` is now a thin shim over the session +
+/// persistent-plan API ([`crate::session::CCollSession`]): the codec is
+/// built **once** at construction (it used to be rebuilt per collective
+/// call), but each method call still allocates its output buffer and
+/// workspace. Repeated-shape workloads should create a session and reuse
+/// plans — `plan.execute_into` reaches a zero-allocation steady state
+/// the one-shot methods cannot. Differential tests pin the two APIs
+/// bitwise-identical.
+#[derive(Debug, Clone)]
+#[must_use]
 pub struct CColl {
     spec: CodecSpec,
     pipe_values: usize,
+    cpr: Option<CprCodec>,
 }
 
 impl CColl {
     /// Create a context with the paper's default 5120-value pipeline
-    /// sub-chunks.
+    /// sub-chunks. The codec is built here, exactly once per `CColl`
+    /// (not per collective call).
     pub fn new(spec: CodecSpec) -> Self {
+        let cpr = spec.build().map(|codec| {
+            let (ck, dk) = spec.kernels();
+            CprCodec::new(codec, ck, dk)
+        });
         CColl {
             spec,
             pipe_values: computation::DEFAULT_PIPE_VALUES,
+            cpr,
         }
     }
 
@@ -79,10 +97,8 @@ impl CColl {
         self.spec
     }
 
-    fn cpr(&self) -> Option<CprCodec> {
-        let codec = self.spec.build()?;
-        let (ck, dk) = self.spec.kernels();
-        Some(CprCodec::new(codec, ck, dk))
+    fn cpr(&self) -> Option<&CprCodec> {
+        self.cpr.as_ref()
     }
 
     fn pipeline_config(&self) -> Option<PipelineConfig> {
@@ -97,12 +113,14 @@ impl CColl {
     /// **C-Allreduce** (or the plain ring allreduce when the codec is
     /// `None`). Every rank contributes `data`; every rank receives the
     /// reduced buffer.
+    #[must_use]
     pub fn allreduce<C: Comm>(&self, comm: &mut C, data: &[f32], op: ReduceOp) -> Vec<f32> {
         self.allreduce_variant(comm, data, op, AllreduceVariant::Overlapped)
     }
 
     /// Run a specific step-wise variant (Table V) — the benchmark
     /// harness's entry point for Figs. 7–13.
+    #[must_use]
     pub fn allreduce_variant<C: Comm>(
         &self,
         comm: &mut C,
@@ -115,55 +133,57 @@ impl CColl {
         };
         match variant {
             AllreduceVariant::Original => baseline::ring_allreduce(comm, data, op),
-            AllreduceVariant::DirectIntegration => {
-                cpr_p2p::cpr_ring_allreduce(comm, &cpr, data, op)
-            }
+            AllreduceVariant::DirectIntegration => cpr_p2p::cpr_ring_allreduce(comm, cpr, data, op),
             AllreduceVariant::NovelDesign => {
-                let mine = cpr_p2p::cpr_ring_reduce_scatter(comm, &cpr, data, op);
+                let mine = cpr_p2p::cpr_ring_reduce_scatter(comm, cpr, data, op);
                 let counts = chunk_lengths(data.len(), comm.size());
-                data_movement::c_ring_allgatherv(comm, &cpr, &mine, &counts)
+                data_movement::c_ring_allgatherv(comm, cpr, &mine, &counts)
             }
             AllreduceVariant::Overlapped => match self.pipeline_config() {
-                Some(cfg) => computation::c_ring_allreduce(comm, cfg, &cpr, data, op),
+                Some(cfg) => computation::c_ring_allreduce(comm, cfg, cpr, data, op),
                 // Codecs without an error bound (ZFP-FXR) cannot drive the
                 // SZx pipeline; the best schedule available is ND.
                 None => {
-                    let mine = cpr_p2p::cpr_ring_reduce_scatter(comm, &cpr, data, op);
+                    let mine = cpr_p2p::cpr_ring_reduce_scatter(comm, cpr, data, op);
                     let counts = chunk_lengths(data.len(), comm.size());
-                    data_movement::c_ring_allgatherv(comm, &cpr, &mine, &counts)
+                    data_movement::c_ring_allgatherv(comm, cpr, &mine, &counts)
                 }
             },
         }
     }
 
     /// **C-Allgather** (ring; compress-once data-movement framework).
+    #[must_use]
     pub fn allgather<C: Comm>(&self, comm: &mut C, mine: &[f32]) -> Vec<f32> {
         match self.cpr() {
-            Some(cpr) => data_movement::c_ring_allgather(comm, &cpr, mine),
+            Some(cpr) => data_movement::c_ring_allgather(comm, cpr, mine),
             None => baseline::ring_allgather(comm, mine),
         }
     }
 
     /// **C-Reduce-scatter** (pipelined computation framework). Rank `r`
     /// returns chunk `r` of the reduced buffer.
+    #[must_use]
     pub fn reduce_scatter<C: Comm>(&self, comm: &mut C, data: &[f32], op: ReduceOp) -> Vec<f32> {
         match (self.pipeline_config(), self.cpr()) {
             (Some(cfg), _) => computation::c_ring_reduce_scatter(comm, cfg, data, op),
-            (None, Some(cpr)) => cpr_p2p::cpr_ring_reduce_scatter(comm, &cpr, data, op),
+            (None, Some(cpr)) => cpr_p2p::cpr_ring_reduce_scatter(comm, cpr, data, op),
             (None, None) => baseline::ring_reduce_scatter(comm, data, op),
         }
     }
 
     /// **C-Bcast** (binomial tree; compress once at the root).
+    #[must_use]
     pub fn bcast<C: Comm>(&self, comm: &mut C, root: usize, data: &[f32]) -> Vec<f32> {
         match self.cpr() {
-            Some(cpr) => data_movement::c_binomial_bcast(comm, &cpr, root, data),
+            Some(cpr) => data_movement::c_binomial_bcast(comm, cpr, root, data),
             None => baseline::binomial_bcast(comm, root, data),
         }
     }
 
     /// **C-Scatter** (binomial tree; per-segment compression at the
     /// root). Rank `r` returns chunk `r` of the balanced partition.
+    #[must_use]
     pub fn scatter<C: Comm>(
         &self,
         comm: &mut C,
@@ -172,7 +192,7 @@ impl CColl {
         total_len: usize,
     ) -> Vec<f32> {
         match self.cpr() {
-            Some(cpr) => data_movement::c_binomial_scatter(comm, &cpr, root, data, total_len),
+            Some(cpr) => data_movement::c_binomial_scatter(comm, cpr, root, data, total_len),
             None => baseline::binomial_scatter(comm, root, data, total_len),
         }
     }
@@ -180,6 +200,7 @@ impl CColl {
     /// **C-Gather** (binomial tree; every rank compresses its chunk once,
     /// the root performs all decompressions). One of the "more C-Coll
     /// based collectives" from the paper's future-work list.
+    #[must_use]
     pub fn gather<C: Comm>(
         &self,
         comm: &mut C,
@@ -188,22 +209,24 @@ impl CColl {
         total_len: usize,
     ) -> Option<Vec<f32>> {
         match self.cpr() {
-            Some(cpr) => data_movement::c_binomial_gather(comm, &cpr, root, mine, total_len),
+            Some(cpr) => data_movement::c_binomial_gather(comm, cpr, root, mine, total_len),
             None => baseline::binomial_gather(comm, root, mine, total_len),
         }
     }
 
     /// **C-Alltoall** (pairwise exchange; each block compressed once with
     /// a size-aware fixed schedule).
+    #[must_use]
     pub fn alltoall<C: Comm>(&self, comm: &mut C, send: &[f32]) -> Vec<f32> {
         match self.cpr() {
-            Some(cpr) => data_movement::c_pairwise_alltoall(comm, &cpr, send),
+            Some(cpr) => data_movement::c_pairwise_alltoall(comm, cpr, send),
             None => baseline::pairwise_alltoall(comm, send),
         }
     }
 
     /// **C-Reduce**: pipelined C-Reduce-scatter followed by C-Gather of
     /// the reduced chunks at the root. Non-roots return `None`.
+    #[must_use]
     pub fn reduce<C: Comm>(
         &self,
         comm: &mut C,

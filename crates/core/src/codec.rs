@@ -1,6 +1,13 @@
 //! Codec selection: a constructible description of which compressor a
 //! collective should use, and the cost-model kernels it maps to.
+//!
+//! Specs have a canonical textual form (`"none"`, `"szx:1e-3"`,
+//! `"zfp-abs:1e-3"`, `"zfp-fxr:16"`) round-tripped by [`FromStr`] and
+//! [`Display`](fmt::Display), so benchmark harnesses and CLI tools share
+//! one parser instead of hand-rolled spec lists.
 
+use std::fmt;
+use std::str::FromStr;
 use std::sync::Arc;
 
 use ccoll_comm::Kernel;
@@ -82,6 +89,86 @@ impl CodecSpec {
     }
 }
 
+impl fmt::Display for CodecSpec {
+    /// The canonical spec string (parseable back via [`FromStr`]).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CodecSpec::None => write!(f, "none"),
+            CodecSpec::Szx { error_bound } => write!(f, "szx:{error_bound:e}"),
+            CodecSpec::ZfpAbs { error_bound } => write!(f, "zfp-abs:{error_bound:e}"),
+            CodecSpec::ZfpFxr { rate } => write!(f, "zfp-fxr:{rate}"),
+        }
+    }
+}
+
+/// Error from parsing a [`CodecSpec`] string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCodecSpecError {
+    input: String,
+    reason: &'static str,
+}
+
+impl fmt::Display for ParseCodecSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid codec spec {:?}: {} (expected \"none\", \"szx:<eb>\", \
+             \"zfp-abs:<eb>\" or \"zfp-fxr:<bits>\")",
+            self.input, self.reason
+        )
+    }
+}
+
+impl std::error::Error for ParseCodecSpecError {}
+
+impl FromStr for CodecSpec {
+    type Err = ParseCodecSpecError;
+
+    /// Parse the canonical spec syntax: `none` (or `raw`), `szx:<eb>`,
+    /// `zfp-abs:<eb>`, `zfp-fxr:<bits>`. Case-insensitive; underscores
+    /// accepted in place of dashes.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = |reason| ParseCodecSpecError {
+            input: s.to_string(),
+            reason,
+        };
+        let norm = s.trim().to_ascii_lowercase().replace('_', "-");
+        let (name, arg) = match norm.split_once(':') {
+            Some((n, a)) => (n, Some(a)),
+            None => (norm.as_str(), None),
+        };
+        let parse_eb = |a: Option<&str>| -> Result<f32, ParseCodecSpecError> {
+            let raw = a.ok_or_else(|| err("missing error bound"))?;
+            let eb: f32 = raw.parse().map_err(|_| err("malformed error bound"))?;
+            if !(eb.is_finite() && eb > 0.0) {
+                return Err(err("error bound must be finite and positive"));
+            }
+            Ok(eb)
+        };
+        match name {
+            "none" | "raw" => match arg {
+                None => Ok(CodecSpec::None),
+                Some(_) => Err(err("\"none\" takes no argument")),
+            },
+            "szx" => Ok(CodecSpec::Szx {
+                error_bound: parse_eb(arg)?,
+            }),
+            "zfp-abs" => Ok(CodecSpec::ZfpAbs {
+                error_bound: parse_eb(arg)?,
+            }),
+            "zfp-fxr" => {
+                let raw = arg.ok_or_else(|| err("missing rate"))?;
+                let rate: u32 = raw.parse().map_err(|_| err("malformed rate"))?;
+                if rate == 0 || rate > 32 {
+                    return Err(err("rate must be in 1..=32 bits per value"));
+                }
+                Ok(CodecSpec::ZfpFxr { rate })
+            }
+            _ => Err(err("unknown codec name")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,6 +190,61 @@ mod tests {
         assert!(CodecSpec::ZfpAbs { error_bound: 1e-3 }
             .build_pipelined(5120)
             .is_none());
+    }
+
+    #[test]
+    fn display_round_trips_through_from_str() {
+        let specs = [
+            CodecSpec::None,
+            CodecSpec::Szx { error_bound: 1e-3 },
+            CodecSpec::ZfpAbs { error_bound: 1e-2 },
+            CodecSpec::ZfpFxr { rate: 16 },
+        ];
+        for spec in specs {
+            let text = spec.to_string();
+            let back: CodecSpec = text.parse().unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(back, spec, "round trip through {text:?}");
+        }
+    }
+
+    #[test]
+    fn from_str_accepts_paper_notation() {
+        assert_eq!("none".parse::<CodecSpec>().unwrap(), CodecSpec::None);
+        assert_eq!("raw".parse::<CodecSpec>().unwrap(), CodecSpec::None);
+        assert_eq!(
+            "szx:1e-3".parse::<CodecSpec>().unwrap(),
+            CodecSpec::Szx { error_bound: 1e-3 }
+        );
+        assert_eq!(
+            "ZFP-ABS:0.01".parse::<CodecSpec>().unwrap(),
+            CodecSpec::ZfpAbs { error_bound: 0.01 }
+        );
+        assert_eq!(
+            "zfp_fxr:8".parse::<CodecSpec>().unwrap(),
+            CodecSpec::ZfpFxr { rate: 8 }
+        );
+    }
+
+    #[test]
+    fn from_str_rejects_malformed_specs() {
+        for bad in [
+            "",
+            "szx",
+            "szx:",
+            "szx:-1",
+            "szx:nan",
+            "szx:inf",
+            "zfp-fxr:0",
+            "zfp-fxr:33",
+            "zfp-fxr:1.5",
+            "lz4:3",
+            "none:1",
+        ] {
+            assert!(
+                bad.parse::<CodecSpec>().is_err(),
+                "{bad:?} should be rejected"
+            );
+        }
     }
 
     #[test]

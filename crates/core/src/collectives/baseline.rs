@@ -14,10 +14,11 @@
 use bytes::Bytes;
 use ccoll_comm::{Category, Comm, Tag};
 
-use crate::collectives::{decode_values_in, memcpy_in, tags};
-use crate::partition::{chunk_lengths, chunk_offsets};
+use crate::collectives::{decode_values_in, memcpy_in, tags, values_payload};
+use crate::partition::chunk_lengths;
 use crate::reduce::ReduceOp;
 use crate::wire::{bytes_to_values, decode_values_vec, values_to_bytes};
+use crate::workspace::CollWorkspace;
 
 /// Ring allgather of equal-length per-rank buffers. Returns the
 /// concatenation in rank order (`n · mine.len()` values on every rank).
@@ -32,25 +33,70 @@ pub fn ring_allgather<C: Comm>(comm: &mut C, mine: &[f32]) -> Vec<f32> {
 /// # Panics
 /// Panics if `mine.len() != counts[rank]`.
 pub fn ring_allgatherv<C: Comm>(comm: &mut C, mine: &[f32], counts: &[usize]) -> Vec<f32> {
+    let mut out = vec![0.0f32; counts.iter().sum()];
+    let mut ws = CollWorkspace::new();
+    ring_allgatherv_into(comm, mine, counts, &mut out, &mut ws);
+    out
+}
+
+/// [`ring_allgatherv`] writing into a caller-provided buffer through a
+/// reusable workspace: the persistent-plan fast path (zero steady-state
+/// allocations).
+///
+/// # Panics
+/// Panics if `mine.len() != counts[rank]` or `out.len()` is not the sum
+/// of `counts`.
+pub fn ring_allgatherv_into<C: Comm>(
+    comm: &mut C,
+    mine: &[f32],
+    counts: &[usize],
+    out: &mut [f32],
+    ws: &mut CollWorkspace,
+) {
+    let me = comm.rank();
+    assert_eq!(
+        counts.len(),
+        comm.size(),
+        "counts must have one entry per rank"
+    );
+    assert_eq!(mine.len(), counts[me], "my buffer disagrees with counts");
+    assert_eq!(
+        out.len(),
+        counts.iter().sum::<usize>(),
+        "output buffer size mismatch"
+    );
+    ws.set_partition_from_counts(counts);
+    let (at, len) = (ws.offsets[me], ws.counts[me]);
+    memcpy_in(comm, &mut out[at..at + len], mine);
+    ring_allgather_rounds(comm, out, ws);
+}
+
+/// The `n−1` relay rounds of the ring allgather, assuming the caller's
+/// own block is already in place in `out` and the partition is cached in
+/// `ws.counts`/`ws.offsets` (shared by the allgatherv and allreduce
+/// compositions).
+fn ring_allgather_rounds<C: Comm>(comm: &mut C, out: &mut [f32], ws: &mut CollWorkspace) {
     let n = comm.size();
     let me = comm.rank();
-    assert_eq!(counts.len(), n, "counts must have one entry per rank");
-    assert_eq!(mine.len(), counts[me], "my buffer disagrees with counts");
-    let offsets = chunk_offsets(counts);
-    let total: usize = counts.iter().sum();
-    let mut out = vec![0.0f32; total];
-    memcpy_in(comm, &mut out[offsets[me]..offsets[me] + counts[me]], mine);
     if n == 1 {
-        return out;
+        return;
     }
+    let CollWorkspace {
+        pool,
+        counts,
+        offsets,
+        ..
+    } = ws;
     let right = (me + 1) % n;
     let left = (me + n - 1) % n;
     for k in 0..n - 1 {
         let send_idx = (me + n - k) % n;
         let recv_idx = (me + n - 1 - k) % n;
         let tag = tags::ALLGATHER + k as Tag;
-        let payload =
-            values_to_bytes(&out[offsets[send_idx]..offsets[send_idx] + counts[send_idx]]);
+        let payload = values_payload(
+            pool,
+            &out[offsets[send_idx]..offsets[send_idx] + counts[send_idx]],
+        );
         let got = comm.sendrecv(right, left, tag, payload, Category::Allgather);
         // Decode straight into the output block — no intermediate Vec.
         decode_values_in(
@@ -59,63 +105,120 @@ pub fn ring_allgatherv<C: Comm>(comm: &mut C, mine: &[f32], counts: &[usize]) ->
             &got,
         );
     }
-    out
 }
 
 /// Ring reduce-scatter: every rank contributes `input` (all ranks equal
 /// length); rank `r` returns the fully reduced chunk `r` of the balanced
 /// partition (including `Avg` finalization).
 pub fn ring_reduce_scatter<C: Comm>(comm: &mut C, input: &[f32], op: ReduceOp) -> Vec<f32> {
+    let lengths = chunk_lengths(input.len(), comm.size());
+    let mut out = vec![0.0f32; lengths[comm.rank()]];
+    let mut ws = CollWorkspace::new();
+    ring_reduce_scatter_into(comm, input, op, &mut out, &mut ws);
+    out
+}
+
+/// [`ring_reduce_scatter`] writing rank `r`'s reduced chunk into a
+/// caller-provided buffer through a reusable workspace.
+///
+/// # Panics
+/// Panics if `out.len()` differs from this rank's chunk length.
+pub fn ring_reduce_scatter_into<C: Comm>(
+    comm: &mut C,
+    input: &[f32],
+    op: ReduceOp,
+    out: &mut [f32],
+    ws: &mut CollWorkspace,
+) {
     let n = comm.size();
     let me = comm.rank();
-    let lengths = chunk_lengths(input.len(), n);
-    let offsets = chunk_offsets(&lengths);
-    let chunk =
-        |acc: &[f32], i: usize| -> Vec<f32> { acc[offsets[i]..offsets[i] + lengths[i]].to_vec() };
-    let mut acc = vec![0.0f32; input.len()];
-    memcpy_in(comm, &mut acc, input);
+    ws.set_partition(input.len(), n);
+    ws.acc.resize(input.len(), 0.0);
+    let CollWorkspace {
+        pool,
+        scratch,
+        acc,
+        counts,
+        offsets,
+        ..
+    } = ws;
+    assert_eq!(out.len(), counts[me], "output must hold my chunk");
+    memcpy_in(comm, acc, input);
     if n > 1 {
         let right = (me + 1) % n;
         let left = (me + n - 1) % n;
-        // Receive buffer reused across every ring round.
-        let mut vals: Vec<f32> = Vec::new();
         for k in 0..n - 1 {
             let send_idx = (me + 2 * n - k - 1) % n;
             let recv_idx = (me + 2 * n - k - 2) % n;
             let tag = tags::REDUCE_SCATTER + k as Tag;
-            let payload = values_to_bytes(&chunk(&acc, send_idx));
+            let payload = values_payload(
+                pool,
+                &acc[offsets[send_idx]..offsets[send_idx] + counts[send_idx]],
+            );
             let got = comm.sendrecv(right, left, tag, payload, Category::Wait);
-            decode_values_vec(&got, &mut vals);
+            decode_values_vec(&got, &mut scratch.dec);
+            let vals = &scratch.dec;
             assert_eq!(
                 vals.len(),
-                lengths[recv_idx],
+                counts[recv_idx],
                 "reduce-scatter block mismatch"
             );
-            let dst = &mut acc[offsets[recv_idx]..offsets[recv_idx] + lengths[recv_idx]];
+            let dst = &mut acc[offsets[recv_idx]..offsets[recv_idx] + counts[recv_idx]];
             comm.run_kernel(
                 ccoll_comm::Kernel::Reduce,
                 vals.len() * 4,
                 Category::Reduction,
-                || op.apply(dst, &vals),
+                || op.apply(dst, vals),
             );
         }
     }
-    let mut mine = chunk(&acc, me);
-    op.finalize(&mut mine, n);
-    mine
+    out.copy_from_slice(&acc[offsets[me]..offsets[me] + counts[me]]);
+    op.finalize(out, n);
 }
 
 /// Ring allreduce (= ring reduce-scatter + ring allgather), the
 /// bandwidth-optimal large-message algorithm the paper optimizes.
 pub fn ring_allreduce<C: Comm>(comm: &mut C, input: &[f32], op: ReduceOp) -> Vec<f32> {
+    let mut out = vec![0.0f32; input.len()];
+    let mut ws = CollWorkspace::new();
+    ring_allreduce_into(comm, input, op, &mut out, &mut ws);
+    out
+}
+
+/// [`ring_allreduce`] writing into a caller-provided buffer through a
+/// reusable workspace: the reduced chunk lands in `out`'s own block and
+/// the allgather relay fills in the rest, with zero steady-state heap
+/// allocations.
+///
+/// # Panics
+/// Panics if `out.len() != input.len()`.
+pub fn ring_allreduce_into<C: Comm>(
+    comm: &mut C,
+    input: &[f32],
+    op: ReduceOp,
+    out: &mut [f32],
+    ws: &mut CollWorkspace,
+) {
     let n = comm.size();
-    let mine = ring_reduce_scatter(comm, input, op);
-    let counts = chunk_lengths(input.len(), n);
-    ring_allgatherv(comm, &mine, &counts)
+    let me = comm.rank();
+    assert_eq!(out.len(), input.len(), "output buffer size mismatch");
+    // The reduce-scatter stage caches the same partition the allgather
+    // rounds read back out of the workspace.
+    ws.set_partition(input.len(), n);
+    let (at, len) = (ws.offsets[me], ws.counts[me]);
+    ring_reduce_scatter_into(comm, input, op, &mut out[at..at + len], ws);
+    // Parity with the two-call composition, which pays one charged copy
+    // of the reduced chunk into the allgather output buffer.
+    comm.charge(ccoll_comm::Kernel::Memcpy, len * 4, Category::Memcpy);
+    ring_allgather_rounds(comm, out, ws);
 }
 
 /// Binomial-tree broadcast. `data` is read on `root` and ignored
 /// elsewhere; every rank returns the broadcast buffer.
+///
+/// The allocating wrapper learns the length from the received payload
+/// (as the seed implementation did, at no extra traffic); persistent
+/// plans know the length up front and use [`binomial_bcast_into`].
 pub fn binomial_bcast<C: Comm>(comm: &mut C, root: usize, data: &[f32]) -> Vec<f32> {
     let n = comm.size();
     let me = comm.rank();
@@ -152,6 +255,53 @@ pub fn binomial_bcast<C: Comm>(comm: &mut C, root: usize, data: &[f32]) -> Vec<f
     have
 }
 
+/// [`binomial_bcast`] writing into a caller-provided buffer through a
+/// reusable workspace. Every rank (root included) must pass `out` sized
+/// to the broadcast length; `data` is read on the root only.
+pub fn binomial_bcast_into<C: Comm>(
+    comm: &mut C,
+    root: usize,
+    data: &[f32],
+    out: &mut [f32],
+    ws: &mut CollWorkspace,
+) {
+    let n = comm.size();
+    let me = comm.rank();
+    assert!(root < n, "root {root} out of range");
+    let relative = (me + n - root) % n;
+    if me == root {
+        assert_eq!(
+            data.len(),
+            out.len(),
+            "root data disagrees with plan length"
+        );
+        out.copy_from_slice(data);
+    }
+    // Receive phase: find the bit where my parent contacted me (the root,
+    // at relative 0, never matches and falls through with a full mask).
+    let mut mask: usize = 1;
+    while mask < n {
+        if relative & mask != 0 {
+            let src = (relative - mask + root) % n;
+            let got = comm.recv(src, tags::BCAST);
+            crate::wire::decode_values_into(&got, out);
+            break;
+        }
+        mask <<= 1;
+    }
+    // Send phase: forward to children at decreasing masks.
+    let payload = values_payload(&mut ws.pool, out);
+    mask >>= 1;
+    while mask > 0 {
+        if relative + mask < n {
+            let dst = (relative + mask + root) % n;
+            let req = comm.isend(dst, tags::BCAST, payload.clone());
+            comm.wait_send_in(req, Category::Wait);
+        }
+        mask >>= 1;
+    }
+}
+
 /// Binomial-tree scatter of the balanced partition of `total_len` values.
 /// `data` is read on `root` (must have `total_len` values) and ignored
 /// elsewhere. Rank `r` returns chunk `r`.
@@ -167,36 +317,62 @@ pub fn binomial_scatter<C: Comm>(
     data: &[f32],
     total_len: usize,
 ) -> Vec<f32> {
+    let lengths = chunk_lengths(total_len, comm.size());
+    let mut out = vec![0.0f32; lengths[comm.rank()]];
+    let mut ws = CollWorkspace::new();
+    binomial_scatter_into(comm, root, data, total_len, &mut out, &mut ws);
+    out
+}
+
+/// [`binomial_scatter`] writing rank `r`'s chunk into a caller-provided
+/// buffer through a reusable workspace (subtree spans stage in
+/// `ws.stage`).
+///
+/// # Panics
+/// Panics if `out.len()` differs from this rank's chunk length.
+pub fn binomial_scatter_into<C: Comm>(
+    comm: &mut C,
+    root: usize,
+    data: &[f32],
+    total_len: usize,
+    out: &mut [f32],
+    ws: &mut CollWorkspace,
+) {
     let n = comm.size();
     let me = comm.rank();
     assert!(root < n, "root {root} out of range");
-    let lengths = chunk_lengths(total_len, n);
+    ws.set_partition(total_len, n);
+    let CollWorkspace {
+        pool,
+        stage: held,
+        counts,
+        offsets,
+        ..
+    } = ws;
+    assert_eq!(out.len(), counts[me], "output must hold my chunk");
     let relative = (me + n - root) % n;
     // Segment i in *relative* order is the chunk of absolute rank
     // (root + i) % n.
-    let rel_len = |i: usize| lengths[(root + i) % n];
+    let rel_len = |i: usize| counts[(root + i) % n];
     let rel_range_values = |lo: usize, hi: usize| -> usize { (lo..hi).map(rel_len).sum() };
 
-    // Acquire my segment span `[relative, relative + span)`.
-    let mut held: Vec<f32>;
+    // Acquire my segment span `[relative, relative + span)` in `ws.stage`.
+    held.clear();
     let mut span: usize;
     let mut m: usize;
     if me == root {
         assert_eq!(data.len(), total_len, "root buffer must hold all chunks");
-        let offsets = chunk_offsets(&lengths);
-        let mut rel = Vec::with_capacity(total_len);
         for i in 0..n {
             let a = (root + i) % n;
-            rel.extend_from_slice(&data[offsets[a]..offsets[a] + lengths[a]]);
+            held.extend_from_slice(&data[offsets[a]..offsets[a] + counts[a]]);
         }
-        held = rel;
         span = n;
         m = n.next_power_of_two();
     } else {
         let lowbit = relative & relative.wrapping_neg();
         let src = (relative - lowbit + root) % n;
         let got = comm.recv(src, tags::SCATTER);
-        held = bytes_to_values(&got);
+        decode_values_vec(&got, held);
         span = lowbit.min(n - relative);
         m = lowbit;
         assert_eq!(
@@ -213,7 +389,7 @@ pub fn binomial_scatter<C: Comm>(
         if m < span {
             let child_rel = relative + m;
             let keep_vals = rel_range_values(relative, child_rel);
-            let payload = values_to_bytes(&held[keep_vals..]);
+            let payload = values_payload(pool, &held[keep_vals..]);
             let dst = (child_rel + root) % n;
             let req = comm.isend(dst, tags::SCATTER, payload);
             comm.wait_send_in(req, Category::Wait);
@@ -222,7 +398,7 @@ pub fn binomial_scatter<C: Comm>(
         }
         m /= 2;
     }
-    held
+    out.copy_from_slice(&held[..counts[me]]);
 }
 
 /// Binomial-tree gather: rank `r` contributes `mine` (chunk `r` of the
@@ -234,49 +410,74 @@ pub fn binomial_gather<C: Comm>(
     mine: &[f32],
     total_len: usize,
 ) -> Option<Vec<f32>> {
+    let mut out = vec![0.0f32; if comm.rank() == root { total_len } else { 0 }];
+    let mut ws = CollWorkspace::new();
+    binomial_gather_into(comm, root, mine, total_len, &mut out, &mut ws).then_some(out)
+}
+
+/// [`binomial_gather`] writing the concatenated buffer into `out` on the
+/// root (which must size it to `total_len`; other ranks may pass an
+/// empty buffer). Returns `true` on the root, `false` elsewhere.
+pub fn binomial_gather_into<C: Comm>(
+    comm: &mut C,
+    root: usize,
+    mine: &[f32],
+    total_len: usize,
+    out: &mut [f32],
+    ws: &mut CollWorkspace,
+) -> bool {
     let n = comm.size();
     let me = comm.rank();
     assert!(root < n, "root {root} out of range");
-    let lengths = chunk_lengths(total_len, n);
-    assert_eq!(mine.len(), lengths[me], "my chunk disagrees with partition");
+    ws.set_partition(total_len, n);
+    let CollWorkspace {
+        pool,
+        stage: held,
+        counts,
+        offsets,
+        ..
+    } = ws;
+    assert_eq!(mine.len(), counts[me], "my chunk disagrees with partition");
     let relative = (me + n - root) % n;
-    let rel_len = |i: usize| lengths[(root + i) % n];
+    let rel_len = |i: usize| counts[(root + i) % n];
 
     // Accumulate my subtree (in relative order), growing by doubling.
-    let mut held: Vec<f32> = mine.to_vec();
+    held.clear();
+    held.extend_from_slice(mine);
     let mut span = 1usize;
     let mut mask = 1usize;
     while mask < n {
         if relative & mask != 0 {
             // Send my subtree up to the parent and stop.
             let parent = (relative - mask + root) % n;
-            let req = comm.isend(parent, tags::GATHER, values_to_bytes(&held));
+            let payload = values_payload(pool, held);
+            let req = comm.isend(parent, tags::GATHER, payload);
             comm.wait_send_in(req, Category::Wait);
-            return None;
+            return false;
         }
         let child_rel = relative + mask;
         if child_rel < n {
             let child_span = mask.min(n - child_rel);
             let expect: usize = (child_rel..child_rel + child_span).map(rel_len).sum();
             let got = comm.recv((child_rel + root) % n, tags::GATHER);
-            let vals = bytes_to_values(&got);
-            assert_eq!(vals.len(), expect, "gather subtree block size mismatch");
-            held.extend_from_slice(&vals);
+            assert_eq!(got.len(), expect * 4, "gather subtree block size mismatch");
+            let at = held.len();
+            held.resize(at + expect, 0.0);
+            crate::wire::decode_values_into(&got, &mut held[at..]);
             span += child_span;
         }
         mask <<= 1;
     }
     debug_assert_eq!(span, n);
     // Root: reorder from relative to absolute rank order.
-    let mut out = vec![0.0f32; total_len];
-    let offsets = chunk_offsets(&lengths);
+    assert_eq!(out.len(), total_len, "root output must hold all chunks");
     let mut at = 0;
     for i in 0..n {
         let a = (root + i) % n;
-        out[offsets[a]..offsets[a] + lengths[a]].copy_from_slice(&held[at..at + lengths[a]]);
-        at += lengths[a];
+        out[offsets[a]..offsets[a] + counts[a]].copy_from_slice(&held[at..at + counts[a]]);
+        at += counts[a];
     }
-    Some(out)
+    true
 }
 
 /// Recursive-doubling allreduce (efficient for short messages; included
@@ -370,6 +571,24 @@ pub fn recursive_doubling_allreduce<C: Comm>(
 /// # Panics
 /// Panics if `send.len()` is not divisible by the rank count.
 pub fn pairwise_alltoall<C: Comm>(comm: &mut C, send: &[f32]) -> Vec<f32> {
+    let mut out = vec![0.0f32; send.len()];
+    let mut ws = CollWorkspace::new();
+    pairwise_alltoall_into(comm, send, &mut out, &mut ws);
+    out
+}
+
+/// [`pairwise_alltoall`] writing into a caller-provided buffer through a
+/// reusable workspace.
+///
+/// # Panics
+/// Panics if `send.len()` is not divisible by the rank count or
+/// `out.len() != send.len()`.
+pub fn pairwise_alltoall_into<C: Comm>(
+    comm: &mut C,
+    send: &[f32],
+    out: &mut [f32],
+    ws: &mut CollWorkspace,
+) {
     let n = comm.size();
     let me = comm.rank();
     assert!(
@@ -377,8 +596,8 @@ pub fn pairwise_alltoall<C: Comm>(comm: &mut C, send: &[f32]) -> Vec<f32> {
         "all-to-all buffer ({}) must divide evenly across {n} ranks",
         send.len()
     );
+    assert_eq!(out.len(), send.len(), "output buffer size mismatch");
     let block = send.len() / n;
-    let mut out = vec![0.0f32; send.len()];
     memcpy_in(
         comm,
         &mut out[me * block..(me + 1) * block],
@@ -388,11 +607,10 @@ pub fn pairwise_alltoall<C: Comm>(comm: &mut C, send: &[f32]) -> Vec<f32> {
         let to = (me + i) % n;
         let from = (me + n - i) % n;
         let tag = tags::ALLTOALL + i as Tag;
-        let payload = values_to_bytes(&send[to * block..(to + 1) * block]);
+        let payload = values_payload(&mut ws.pool, &send[to * block..(to + 1) * block]);
         let got = comm.sendrecv(to, from, tag, payload, Category::Wait);
         decode_values_in(comm, &mut out[from * block..(from + 1) * block], &got);
     }
-    out
 }
 
 /// Broadcast raw bytes over the binomial tree (used by compressed
@@ -436,6 +654,7 @@ pub(crate) fn binomial_bcast_bytes<C: Comm>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::partition::chunk_offsets;
     use ccoll_comm::{SimConfig, SimWorld, ThreadWorld};
 
     fn rank_data(rank: usize, len: usize) -> Vec<f32> {

@@ -18,12 +18,13 @@
 
 use std::sync::Arc;
 
-use ccoll_comm::{Category, Comm, Kernel, Tag};
+use ccoll_comm::{Category, Comm, Kernel, PayloadPool, Tag};
 use ccoll_compress::{CodecScratch, Compressor};
 
 use crate::collectives::{compress_in, decompress_in, memcpy_in, tags};
-use crate::partition::{chunk_lengths, chunk_offsets};
+use crate::partition::chunk_lengths;
 use crate::reduce::ReduceOp;
+use crate::workspace::CollWorkspace;
 
 /// Codec handle plus its cost-model kernels, shared by all CPR-P2P
 /// collectives.
@@ -37,23 +38,33 @@ pub struct CprCodec {
     pub dk: Kernel,
 }
 
+impl std::fmt::Debug for CprCodec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CprCodec")
+            .field("codec", &self.codec.kind())
+            .field("ck", &self.ck)
+            .field("dk", &self.dk)
+            .finish()
+    }
+}
+
 impl CprCodec {
     /// Bundle a codec with its cost kernels.
     pub fn new(codec: Arc<dyn Compressor>, ck: Kernel, dk: Kernel) -> Self {
         CprCodec { codec, ck, dk }
     }
 
-    /// Compress through a reusable scratch (see
+    /// Compress through a recycled payload buffer (see
     /// [`compress_in`](crate::collectives::compress_in) for the cost
-    /// accounting). Each collective owns one scratch for its whole
+    /// accounting). Each collective owns one pool for its whole
     /// lifetime, so steady-state rounds run the codec allocation-free.
     pub(crate) fn compress<C: Comm>(
         &self,
         comm: &mut C,
         vals: &[f32],
-        scratch: &mut CodecScratch,
+        pool: &mut PayloadPool,
     ) -> bytes::Bytes {
-        compress_in(comm, self.codec.as_ref(), self.ck, vals, false, scratch)
+        compress_in(comm, self.codec.as_ref(), self.ck, vals, false, pool)
     }
 
     /// Decompress into the scratch's decode buffer, returning a borrow
@@ -88,24 +99,67 @@ pub fn cpr_ring_allgatherv<C: Comm>(
     mine: &[f32],
     counts: &[usize],
 ) -> Vec<f32> {
+    let mut out = vec![0.0f32; counts.iter().sum()];
+    let mut ws = CollWorkspace::with_value_capacity(counts.iter().copied().max().unwrap_or(0));
+    cpr_ring_allgatherv_into(comm, cpr, mine, counts, &mut out, &mut ws);
+    out
+}
+
+/// [`cpr_ring_allgatherv`] writing into a caller-provided buffer through
+/// a reusable workspace.
+///
+/// # Panics
+/// Panics if `mine.len() != counts[rank]` or `out.len()` is not the sum
+/// of `counts`.
+pub fn cpr_ring_allgatherv_into<C: Comm>(
+    comm: &mut C,
+    cpr: &CprCodec,
+    mine: &[f32],
+    counts: &[usize],
+    out: &mut [f32],
+    ws: &mut CollWorkspace,
+) {
+    let me = comm.rank();
+    assert_eq!(
+        counts.len(),
+        comm.size(),
+        "counts must have one entry per rank"
+    );
+    assert_eq!(mine.len(), counts[me], "my buffer disagrees with counts");
+    assert_eq!(
+        out.len(),
+        counts.iter().sum::<usize>(),
+        "output buffer size mismatch"
+    );
+    ws.set_partition_from_counts(counts);
+    let (at, len) = (ws.offsets[me], ws.counts[me]);
+    memcpy_in(comm, &mut out[at..at + len], mine);
+    cpr_ring_allgather_rounds(comm, cpr, out, ws);
+}
+
+/// The `n−1` compress–relay–decompress rounds of the CPR-P2P allgather,
+/// assuming the caller's own block is already in place in `out` and the
+/// partition is cached in `ws.counts`/`ws.offsets`.
+fn cpr_ring_allgather_rounds<C: Comm>(
+    comm: &mut C,
+    cpr: &CprCodec,
+    out: &mut [f32],
+    ws: &mut CollWorkspace,
+) {
     let n = comm.size();
     let me = comm.rank();
-    assert_eq!(counts.len(), n, "counts must have one entry per rank");
-    assert_eq!(mine.len(), counts[me], "my buffer disagrees with counts");
-    let offsets = chunk_offsets(counts);
-    let total: usize = counts.iter().sum();
-    let mut out = vec![0.0f32; total];
-    memcpy_in(comm, &mut out[offsets[me]..offsets[me] + counts[me]], mine);
     if n == 1 {
-        return out;
+        return;
     }
+    let CollWorkspace {
+        pool,
+        scratch,
+        counts,
+        offsets,
+        ..
+    } = ws;
     let right = (me + 1) % n;
     let left = (me + n - 1) % n;
-    // One scratch for the whole collective, pre-sized for the largest
-    // block so first-round growth is rare (compressed streams can
-    // slightly exceed the raw size on incompressible data, in which
-    // case the buffer grows once and stays).
-    let mut scratch = CodecScratch::with_capacity(counts.iter().copied().max().unwrap_or(0));
     for k in 0..n - 1 {
         let send_idx = (me + n - k) % n;
         let recv_idx = (me + n - 1 - k) % n;
@@ -114,17 +168,16 @@ pub fn cpr_ring_allgatherv<C: Comm>(
         let payload = cpr.compress(
             comm,
             &out[offsets[send_idx]..offsets[send_idx] + counts[send_idx]],
-            &mut scratch,
+            pool,
         );
         let got = comm.sendrecv(right, left, tag, payload, Category::Allgather);
-        let vals = cpr.decompress(comm, &got, counts[recv_idx], &mut scratch);
+        let vals = cpr.decompress(comm, &got, counts[recv_idx], scratch);
         memcpy_in(
             comm,
             &mut out[offsets[recv_idx]..offsets[recv_idx] + counts[recv_idx]],
             vals,
         );
     }
-    out
 }
 
 /// Equal-count convenience wrapper over [`cpr_ring_allgatherv`].
@@ -142,16 +195,43 @@ pub fn cpr_ring_reduce_scatter<C: Comm>(
     input: &[f32],
     op: ReduceOp,
 ) -> Vec<f32> {
+    let lengths = chunk_lengths(input.len(), comm.size());
+    let mut out = vec![0.0f32; lengths[comm.rank()]];
+    let mut ws = CollWorkspace::with_value_capacity(lengths.iter().copied().max().unwrap_or(0));
+    cpr_ring_reduce_scatter_into(comm, cpr, input, op, &mut out, &mut ws);
+    out
+}
+
+/// [`cpr_ring_reduce_scatter`] writing rank `r`'s reduced chunk into a
+/// caller-provided buffer through a reusable workspace.
+///
+/// # Panics
+/// Panics if `out.len()` differs from this rank's chunk length.
+pub fn cpr_ring_reduce_scatter_into<C: Comm>(
+    comm: &mut C,
+    cpr: &CprCodec,
+    input: &[f32],
+    op: ReduceOp,
+    out: &mut [f32],
+    ws: &mut CollWorkspace,
+) {
     let n = comm.size();
     let me = comm.rank();
-    let lengths = chunk_lengths(input.len(), n);
-    let offsets = chunk_offsets(&lengths);
-    let mut acc = vec![0.0f32; input.len()];
-    memcpy_in(comm, &mut acc, input);
+    ws.set_partition(input.len(), n);
+    ws.acc.resize(input.len(), 0.0);
+    let CollWorkspace {
+        pool,
+        scratch,
+        acc,
+        counts,
+        offsets,
+        ..
+    } = ws;
+    assert_eq!(out.len(), counts[me], "output must hold my chunk");
+    memcpy_in(comm, acc, input);
     if n > 1 {
         let right = (me + 1) % n;
         let left = (me + n - 1) % n;
-        let mut scratch = CodecScratch::with_capacity(lengths.iter().copied().max().unwrap_or(0));
         for k in 0..n - 1 {
             let send_idx = (me + 2 * n - k - 1) % n;
             let recv_idx = (me + 2 * n - k - 2) % n;
@@ -163,22 +243,21 @@ pub fn cpr_ring_reduce_scatter<C: Comm>(
             let rreq = comm.irecv(left, tag);
             let payload = cpr.compress(
                 comm,
-                &acc[offsets[send_idx]..offsets[send_idx] + lengths[send_idx]],
-                &mut scratch,
+                &acc[offsets[send_idx]..offsets[send_idx] + counts[send_idx]],
+                pool,
             );
             let sreq = comm.isend(right, tag, payload);
             let got = comm.wait_recv_in(rreq, Category::Wait);
-            let vals = cpr.decompress(comm, &got, lengths[recv_idx], &mut scratch);
+            let vals = cpr.decompress(comm, &got, counts[recv_idx], scratch);
             comm.wait_send_in(sreq, Category::Wait);
-            let dst = &mut acc[offsets[recv_idx]..offsets[recv_idx] + lengths[recv_idx]];
+            let dst = &mut acc[offsets[recv_idx]..offsets[recv_idx] + counts[recv_idx]];
             comm.run_kernel(Kernel::Reduce, vals.len() * 4, Category::Reduction, || {
                 op.apply(dst, vals)
             });
         }
     }
-    let mut mine = acc[offsets[me]..offsets[me] + lengths[me]].to_vec();
-    op.finalize(&mut mine, n);
-    mine
+    out.copy_from_slice(&acc[offsets[me]..offsets[me] + counts[me]]);
+    op.finalize(out, n);
 }
 
 /// CPR-P2P ring allreduce — the "Direct Integration" (DI) variant of the
@@ -189,10 +268,37 @@ pub fn cpr_ring_allreduce<C: Comm>(
     input: &[f32],
     op: ReduceOp,
 ) -> Vec<f32> {
+    let mut out = vec![0.0f32; input.len()];
+    let mut ws = CollWorkspace::new();
+    cpr_ring_allreduce_into(comm, cpr, input, op, &mut out, &mut ws);
+    out
+}
+
+/// [`cpr_ring_allreduce`] writing into a caller-provided buffer through
+/// a reusable workspace.
+///
+/// # Panics
+/// Panics if `out.len() != input.len()`.
+pub fn cpr_ring_allreduce_into<C: Comm>(
+    comm: &mut C,
+    cpr: &CprCodec,
+    input: &[f32],
+    op: ReduceOp,
+    out: &mut [f32],
+    ws: &mut CollWorkspace,
+) {
     let n = comm.size();
-    let mine = cpr_ring_reduce_scatter(comm, cpr, input, op);
-    let counts = chunk_lengths(input.len(), n);
-    cpr_ring_allgatherv(comm, cpr, &mine, &counts)
+    let me = comm.rank();
+    assert_eq!(out.len(), input.len(), "output buffer size mismatch");
+    // The reduce-scatter stage caches the same partition the allgather
+    // rounds read back out of the workspace.
+    ws.set_partition(input.len(), n);
+    let (at, len) = (ws.offsets[me], ws.counts[me]);
+    cpr_ring_reduce_scatter_into(comm, cpr, input, op, &mut out[at..at + len], ws);
+    // Parity with the two-call composition, which pays one charged copy
+    // of the reduced chunk into the allgather output buffer.
+    comm.charge(Kernel::Memcpy, len * 4, Category::Memcpy);
+    cpr_ring_allgather_rounds(comm, cpr, out, ws);
 }
 
 /// CPR-P2P binomial broadcast: each hop decompresses on receive and
@@ -204,11 +310,15 @@ pub fn cpr_binomial_bcast<C: Comm>(
     root: usize,
     data: &[f32],
 ) -> Vec<f32> {
+    // The allocating wrapper learns the length from the per-hop header
+    // message (as the seed implementation did, at no extra traffic);
+    // persistent plans know the length up front and use the `_into`
+    // variant.
     let n = comm.size();
     let me = comm.rank();
     assert!(root < n, "root {root} out of range");
     let relative = (me + n - root) % n;
-    let mut scratch = CodecScratch::new();
+    let mut ws = CollWorkspace::new();
     let mut have: Option<Vec<f32>> = if me == root {
         Some(data.to_vec())
     } else {
@@ -224,10 +334,10 @@ pub fn cpr_binomial_bcast<C: Comm>(
             let expect_len =
                 u32::from_le_bytes(hdr[0..4].try_into().expect("4-byte header")) as usize;
             let got = comm.recv(src, tags::BCAST + 0x800);
-            cpr.decompress(comm, &got, expect_len, &mut scratch);
+            cpr.decompress(comm, &got, expect_len, &mut ws.scratch);
             // This rank re-forwards (and finally returns) the decoded
             // buffer, so take ownership of it from the scratch.
-            have = Some(std::mem::take(&mut scratch.dec));
+            have = Some(std::mem::take(&mut ws.scratch.dec));
             break;
         }
         mask <<= 1;
@@ -238,8 +348,8 @@ pub fn cpr_binomial_bcast<C: Comm>(
         if relative + mask < n {
             let dst = (relative + mask + root) % n;
             // Re-compress for each child (the per-hop waste).
-            let payload = cpr.compress(comm, &vals, &mut scratch);
-            let hdr = bytes::Bytes::from((vals.len() as u32).to_le_bytes().to_vec());
+            let payload = cpr.compress(comm, &vals, &mut ws.pool);
+            let hdr = ws.pool.write(&(vals.len() as u32).to_le_bytes());
             comm.send(dst, tags::BCAST + 0x801, hdr);
             let req = comm.isend(dst, tags::BCAST + 0x800, payload);
             comm.wait_send_in(req, Category::Wait);
@@ -247,6 +357,61 @@ pub fn cpr_binomial_bcast<C: Comm>(
         mask >>= 1;
     }
     vals
+}
+
+/// [`cpr_binomial_bcast`] writing into a caller-provided buffer through
+/// a reusable workspace. Every rank must size `out` to the broadcast
+/// length; `data` is read on the root only.
+pub fn cpr_binomial_bcast_into<C: Comm>(
+    comm: &mut C,
+    cpr: &CprCodec,
+    root: usize,
+    data: &[f32],
+    out: &mut [f32],
+    ws: &mut CollWorkspace,
+) {
+    let n = comm.size();
+    let me = comm.rank();
+    assert!(root < n, "root {root} out of range");
+    let relative = (me + n - root) % n;
+    if me == root {
+        assert_eq!(
+            data.len(),
+            out.len(),
+            "root data disagrees with plan length"
+        );
+        out.copy_from_slice(data);
+    }
+    let mut mask: usize = 1;
+    while mask < n {
+        if relative & mask != 0 {
+            let src = (relative - mask + root) % n;
+            // Length travels in a tiny header message (4 bytes), as a
+            // real CPR-P2P implementation must do for eager decompression.
+            let hdr = comm.recv(src, tags::BCAST + 0x801);
+            let expect_len =
+                u32::from_le_bytes(hdr[0..4].try_into().expect("4-byte header")) as usize;
+            assert_eq!(expect_len, out.len(), "bcast length disagrees with plan");
+            let got = comm.recv(src, tags::BCAST + 0x800);
+            let vals = cpr.decompress(comm, &got, expect_len, &mut ws.scratch);
+            out.copy_from_slice(vals);
+            break;
+        }
+        mask <<= 1;
+    }
+    mask >>= 1;
+    while mask > 0 {
+        if relative + mask < n {
+            let dst = (relative + mask + root) % n;
+            // Re-compress for each child (the per-hop waste).
+            let payload = cpr.compress(comm, out, &mut ws.pool);
+            let hdr = ws.pool.write(&(out.len() as u32).to_le_bytes());
+            comm.send(dst, tags::BCAST + 0x801, hdr);
+            let req = comm.isend(dst, tags::BCAST + 0x800, payload);
+            comm.wait_send_in(req, Category::Wait);
+        }
+        mask >>= 1;
+    }
 }
 
 /// CPR-P2P binomial scatter: each forwarding hop decompresses the
@@ -258,27 +423,53 @@ pub fn cpr_binomial_scatter<C: Comm>(
     data: &[f32],
     total_len: usize,
 ) -> Vec<f32> {
+    let lengths = chunk_lengths(total_len, comm.size());
+    let mut out = vec![0.0f32; lengths[comm.rank()]];
+    let mut ws = CollWorkspace::new();
+    cpr_binomial_scatter_into(comm, cpr, root, data, total_len, &mut out, &mut ws);
+    out
+}
+
+/// [`cpr_binomial_scatter`] writing rank `r`'s chunk into a
+/// caller-provided buffer through a reusable workspace.
+///
+/// # Panics
+/// Panics if `out.len()` differs from this rank's chunk length.
+pub fn cpr_binomial_scatter_into<C: Comm>(
+    comm: &mut C,
+    cpr: &CprCodec,
+    root: usize,
+    data: &[f32],
+    total_len: usize,
+    out: &mut [f32],
+    ws: &mut CollWorkspace,
+) {
     let n = comm.size();
     let me = comm.rank();
     assert!(root < n, "root {root} out of range");
-    let lengths = chunk_lengths(total_len, n);
+    ws.set_partition(total_len, n);
+    let CollWorkspace {
+        pool,
+        scratch,
+        stage: held,
+        counts,
+        offsets,
+        ..
+    } = ws;
+    assert_eq!(out.len(), counts[me], "output must hold my chunk");
     let relative = (me + n - root) % n;
-    let rel_len = |i: usize| lengths[(root + i) % n];
+    let rel_len = |i: usize| counts[(root + i) % n];
     let rel_range_values = |lo: usize, hi: usize| -> usize { (lo..hi).map(rel_len).sum() };
 
-    let mut scratch = CodecScratch::new();
-    let mut held: Vec<f32>;
     let mut span: usize;
     let mut m: usize;
     if me == root {
         assert_eq!(data.len(), total_len, "root buffer must hold all chunks");
-        let offsets = chunk_offsets(&lengths);
-        let mut rel = Vec::with_capacity(total_len);
+        held.clear();
         for i in 0..n {
             let a = (root + i) % n;
-            rel.extend_from_slice(&data[offsets[a]..offsets[a] + lengths[a]]);
+            held.extend_from_slice(&data[offsets[a]..offsets[a] + counts[a]]);
         }
-        held = rel;
         span = n;
         m = n.next_power_of_two();
     } else {
@@ -288,10 +479,11 @@ pub fn cpr_binomial_scatter<C: Comm>(
         m = lowbit;
         let expect = rel_range_values(relative, relative + span);
         let got = comm.recv(src, tags::SCATTER + 0x800);
-        // Decompress the whole subtree block (per-hop cost); this rank
-        // keeps (a prefix of) the buffer, so take it from the scratch.
-        cpr.decompress(comm, &got, expect, &mut scratch);
-        held = std::mem::take(&mut scratch.dec);
+        // Decompress the whole subtree block (per-hop cost), staging it
+        // for the forward phase.
+        let vals = cpr.decompress(comm, &got, expect, scratch);
+        held.clear();
+        held.extend_from_slice(vals);
     }
     m /= 2;
     while m >= 1 {
@@ -299,7 +491,7 @@ pub fn cpr_binomial_scatter<C: Comm>(
             let child_rel = relative + m;
             let keep_vals = rel_range_values(relative, child_rel);
             // Re-compress the child's portion before forwarding.
-            let payload = cpr.compress(comm, &held[keep_vals..], &mut scratch);
+            let payload = cpr.compress(comm, &held[keep_vals..], pool);
             let dst = (child_rel + root) % n;
             let req = comm.isend(dst, tags::SCATTER + 0x800, payload);
             comm.wait_send_in(req, Category::Wait);
@@ -308,7 +500,7 @@ pub fn cpr_binomial_scatter<C: Comm>(
         }
         m /= 2;
     }
-    held
+    out.copy_from_slice(&held[..counts[me]]);
 }
 
 /// CPR-P2P pairwise all-to-all: every outgoing block is compressed and
@@ -317,6 +509,25 @@ pub fn cpr_binomial_scatter<C: Comm>(
 /// — the remaining CPR-P2P deficiencies here are the per-call buffer
 /// overhead and the unbalanced, size-unaware schedule.)
 pub fn cpr_pairwise_alltoall<C: Comm>(comm: &mut C, cpr: &CprCodec, send: &[f32]) -> Vec<f32> {
+    let mut out = vec![0.0f32; send.len()];
+    let mut ws = CollWorkspace::with_value_capacity(send.len() / comm.size().max(1));
+    cpr_pairwise_alltoall_into(comm, cpr, send, &mut out, &mut ws);
+    out
+}
+
+/// [`cpr_pairwise_alltoall`] writing into a caller-provided buffer
+/// through a reusable workspace.
+///
+/// # Panics
+/// Panics if `send.len()` is not divisible by the rank count or
+/// `out.len() != send.len()`.
+pub fn cpr_pairwise_alltoall_into<C: Comm>(
+    comm: &mut C,
+    cpr: &CprCodec,
+    send: &[f32],
+    out: &mut [f32],
+    ws: &mut CollWorkspace,
+) {
     let n = comm.size();
     let me = comm.rank();
     assert!(
@@ -324,30 +535,29 @@ pub fn cpr_pairwise_alltoall<C: Comm>(comm: &mut C, cpr: &CprCodec, send: &[f32]
         "all-to-all buffer ({}) must divide evenly across {n} ranks",
         send.len()
     );
+    assert_eq!(out.len(), send.len(), "output buffer size mismatch");
     let block = send.len() / n;
-    let mut out = vec![0.0f32; send.len()];
     memcpy_in(
         comm,
         &mut out[me * block..(me + 1) * block],
         &send[me * block..(me + 1) * block],
     );
-    let mut scratch = CodecScratch::with_capacity(block);
     for i in 1..n {
         let to = (me + i) % n;
         let from = (me + n - i) % n;
         let tag = tags::ALLTOALL + 0x800 + i as Tag;
-        let payload = cpr.compress(comm, &send[to * block..(to + 1) * block], &mut scratch);
+        let payload = cpr.compress(comm, &send[to * block..(to + 1) * block], &mut ws.pool);
         let got = comm.sendrecv(to, from, tag, payload, Category::Wait);
-        let vals = cpr.decompress(comm, &got, block, &mut scratch);
+        let vals = cpr.decompress(comm, &got, block, &mut ws.scratch);
         memcpy_in(comm, &mut out[from * block..(from + 1) * block], vals);
     }
-    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::collectives::baseline;
+    use crate::partition::chunk_offsets;
     use ccoll_comm::{SimConfig, SimWorld};
     use ccoll_compress::SzxCodec;
 

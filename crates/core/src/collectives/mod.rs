@@ -10,7 +10,7 @@ pub mod baseline;
 pub mod cpr_p2p;
 
 use bytes::Bytes;
-use ccoll_comm::{Category, Comm, Kernel};
+use ccoll_comm::{Category, Comm, Kernel, PayloadPool};
 use ccoll_compress::{CodecScratch, Compressor};
 
 /// Tag bases per collective family (disjoint 4096-wide spaces).
@@ -28,12 +28,12 @@ pub(crate) mod tags {
     pub const PIPELINE: Tag = 0x9000;
 }
 
-/// Compress `vals` into the reusable `scratch.enc` buffer with unified
-/// cost accounting (the kernel's time lands in `ComDecom` on both
-/// backends), then hand the stream to the transport as an owned
-/// [`Bytes`] payload (one exact-size copy — the transport keeps the
-/// payload alive across ranks, so it cannot borrow the scratch). The
-/// codec itself runs allocation-free once the scratch is warmed.
+/// Compress `vals` directly into a recycled [`PayloadPool`] buffer with
+/// unified cost accounting (the kernel's time lands in `ComDecom` on
+/// both backends) and hand back the zero-copy [`Bytes`] view the
+/// transport keeps alive. Once the pool is warmed the whole step — codec
+/// plus payload hand-off — touches the allocator zero times (the seed
+/// copied the stream into a fresh `Bytes` per send).
 ///
 /// When `pooled` is false, an additional buffer-management charge lands
 /// under `Others`: the paper observes that per-call compression buffer
@@ -49,19 +49,30 @@ pub(crate) fn compress_in<C: Comm>(
     kernel: Kernel,
     vals: &[f32],
     pooled: bool,
-    scratch: &mut CodecScratch,
+    pool: &mut PayloadPool,
 ) -> Bytes {
-    let enc = &mut scratch.enc;
     let out = comm.run_kernel(kernel, vals.len() * 4, Category::ComDecom, || {
-        codec
-            .compress_into(vals, enc)
-            .expect("compression cannot fail on f32 input");
-        Bytes::copy_from_slice(enc)
+        pool.write_with(|buf| codec.compress_into(vals, buf))
+            .expect("compression cannot fail on f32 input")
     });
     if !pooled {
         comm.charge(Kernel::BufferMgmt, vals.len() * 4, Category::Others);
     }
     out
+}
+
+/// Encode raw `f32` values into a recycled payload buffer — the
+/// uncompressed-collective counterpart of [`compress_in`] (no cost
+/// charge: payload construction was never charged on the baseline
+/// paths).
+pub(crate) fn values_payload(pool: &mut PayloadPool, vals: &[f32]) -> Bytes {
+    match pool.write_with(|buf| {
+        ccoll_compress::encode_f32s_into(vals, buf);
+        Ok::<(), std::convert::Infallible>(())
+    }) {
+        Ok(b) => b,
+        Err(e) => match e {},
+    }
 }
 
 /// Decompress `stream` into the reusable `scratch.dec` buffer, charging

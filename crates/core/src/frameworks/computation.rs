@@ -20,13 +20,14 @@
 //!   `Wait` time — which is exactly the quantity Fig. 9 shows shrinking
 //!   by 73–80 %.
 
-use ccoll_comm::{Category, Comm, Kernel, Tag};
+use ccoll_comm::{Category, Comm, Kernel, PayloadPool, Tag};
 use ccoll_compress::{CodecScratch, SzxCodec};
 
 use crate::collectives::cpr_p2p::CprCodec;
 use crate::collectives::{compress_in, decompress_in, memcpy_in, tags};
-use crate::partition::{chunk_lengths, chunk_offsets};
+use crate::partition::chunk_lengths;
 use crate::reduce::ReduceOp;
+use crate::workspace::CollWorkspace;
 
 /// Default pipeline sub-chunk in values (the paper's 5120 data points).
 pub const DEFAULT_PIPE_VALUES: usize = 5120;
@@ -66,47 +67,61 @@ pub fn c_ring_reduce_scatter<C: Comm>(
     input: &[f32],
     op: ReduceOp,
 ) -> Vec<f32> {
+    let lengths = chunk_lengths(input.len(), comm.size());
+    let mut out = vec![0.0f32; lengths[comm.rank()]];
+    let mut ws = CollWorkspace::with_value_capacity(cfg.chunk_values.min(input.len().max(1)));
+    c_ring_reduce_scatter_into(comm, cfg, input, op, &mut out, &mut ws);
+    out
+}
+
+/// [`c_ring_reduce_scatter`] writing rank `r`'s reduced chunk into a
+/// caller-provided buffer through a reusable workspace: the
+/// persistent-plan fast path (zero steady-state allocations).
+///
+/// # Panics
+/// Panics if `out.len()` differs from this rank's chunk length.
+pub fn c_ring_reduce_scatter_into<C: Comm>(
+    comm: &mut C,
+    cfg: PipelineConfig,
+    input: &[f32],
+    op: ReduceOp,
+    out: &mut [f32],
+    ws: &mut CollWorkspace,
+) {
     let n = comm.size();
     let me = comm.rank();
     let codec = SzxCodec::new(cfg.error_bound);
-    let lengths = chunk_lengths(input.len(), n);
-    let offsets = chunk_offsets(&lengths);
-    let mut acc = vec![0.0f32; input.len()];
-    memcpy_in(comm, &mut acc, input);
+    ws.set_partition(input.len(), n);
+    ws.acc.resize(input.len(), 0.0);
+    let CollWorkspace {
+        pool,
+        scratch,
+        acc,
+        stage: send_buf,
+        counts,
+        offsets,
+        sreqs,
+        rreqs,
+        ..
+    } = ws;
+    assert_eq!(out.len(), counts[me], "output must hold my chunk");
+    memcpy_in(comm, acc, input);
 
     if n > 1 {
         let right = (me + 1) % n;
         let left = (me + n - 1) % n;
-        // Round-spanning buffers: codec scratch (sized for one pipeline
-        // sub-chunk) plus the outgoing-chunk snapshot, all reused so
-        // steady-state rounds allocate nothing in the codec path.
-        let mut scratch = CodecScratch::with_capacity(cfg.chunk_values.min(input.len().max(1)));
-        let mut send_buf: Vec<f32> = Vec::new();
         for k in 0..n - 1 {
             let send_idx = (me + 2 * n - k - 1) % n;
             let recv_idx = (me + 2 * n - k - 2) % n;
             let tag = tags::PIPELINE + k as Tag;
             round_pipelined(
-                comm,
-                &codec,
-                cfg,
-                op,
-                &mut acc,
-                &lengths,
-                &offsets,
-                send_idx,
-                recv_idx,
-                right,
-                left,
-                tag,
-                &mut scratch,
-                &mut send_buf,
+                comm, &codec, cfg, op, acc, counts, offsets, send_idx, recv_idx, right, left, tag,
+                scratch, pool, send_buf, sreqs, rreqs,
             );
         }
     }
-    let mut mine = acc[offsets[me]..offsets[me] + lengths[me]].to_vec();
-    op.finalize(&mut mine, n);
-    mine
+    out.copy_from_slice(&acc[offsets[me]..offsets[me] + counts[me]]);
+    op.finalize(out, n);
 }
 
 /// One pipelined ring round: compress-and-send sub-chunks of
@@ -127,7 +142,10 @@ fn round_pipelined<C: Comm>(
     left: usize,
     tag: Tag,
     scratch: &mut CodecScratch,
+    pool: &mut PayloadPool,
     send_buf: &mut Vec<f32>,
+    sreqs: &mut Vec<ccoll_comm::SendReq>,
+    rreqs: &mut std::collections::VecDeque<ccoll_comm::RecvReq>,
 ) {
     let pipe = cfg.chunk_values;
     let send_len = lengths[send_idx];
@@ -136,10 +154,11 @@ fn round_pipelined<C: Comm>(
     let n_in = recv_len.div_ceil(pipe);
 
     // Post all incoming sub-chunk receives up front (the paper's early
-    // Irecv), matched FIFO on one tag.
-    let mut rreqs: std::collections::VecDeque<ccoll_comm::RecvReq> =
-        (0..n_in).map(|_| comm.irecv(left, tag)).collect();
-    let mut sreqs = Vec::with_capacity(n_out);
+    // Irecv), matched FIFO on one tag. The request queues live in the
+    // workspace and keep their capacity across rounds and calls.
+    rreqs.clear();
+    rreqs.extend((0..n_in).map(|_| comm.irecv(left, tag)));
+    sreqs.clear();
     let mut next_in = 0usize; // index of the next sub-chunk to drain
 
     // The outgoing data must be snapshotted (the borrow of acc must end
@@ -191,15 +210,15 @@ fn round_pipelined<C: Comm>(
             Kernel::SzxCompress,
             &send_buf[lo..hi],
             true,
-            scratch,
+            pool,
         );
         sreqs.push(comm.isend(right, tag, blob));
         comm.poll();
-        drain(comm, &mut rreqs, &mut next_in, acc, scratch, false);
+        drain(comm, rreqs, &mut next_in, acc, scratch, false);
     }
     // Blocking drain of whatever could not be overlapped.
-    drain(comm, &mut rreqs, &mut next_in, acc, scratch, true);
-    for req in sreqs {
+    drain(comm, rreqs, &mut next_in, acc, scratch, true);
+    for req in sreqs.drain(..) {
         comm.wait_send_in(req, Category::Wait);
     }
 }
@@ -226,10 +245,36 @@ pub fn c_ring_allreduce<C: Comm>(
     input: &[f32],
     op: ReduceOp,
 ) -> Vec<f32> {
+    let mut out = vec![0.0f32; input.len()];
+    let mut ws = CollWorkspace::with_value_capacity(cfg.chunk_values.min(input.len().max(1)));
+    c_ring_allreduce_into(comm, cfg, cpr, input, op, &mut out, &mut ws);
+    out
+}
+
+/// [`c_ring_allreduce`] writing into a caller-provided buffer through a
+/// reusable workspace: the persistent-plan fast path (zero steady-state
+/// allocations from the codec through the collective schedule).
+///
+/// # Panics
+/// Panics if `out.len() != input.len()`.
+pub fn c_ring_allreduce_into<C: Comm>(
+    comm: &mut C,
+    cfg: PipelineConfig,
+    cpr: &CprCodec,
+    input: &[f32],
+    op: ReduceOp,
+    out: &mut [f32],
+    ws: &mut CollWorkspace,
+) {
     let n = comm.size();
-    let mine = c_ring_reduce_scatter(comm, cfg, input, op);
-    let counts = chunk_lengths(input.len(), n);
-    crate::frameworks::data_movement::c_ring_allgatherv(comm, cpr, &mine, &counts)
+    let me = comm.rank();
+    assert_eq!(out.len(), input.len(), "output buffer size mismatch");
+    // The reduce-scatter stage caches the same partition the allgather
+    // stage reads back out of the workspace.
+    ws.set_partition(input.len(), n);
+    let (at, len) = (ws.offsets[me], ws.counts[me]);
+    c_ring_reduce_scatter_into(comm, cfg, input, op, &mut out[at..at + len], ws);
+    crate::frameworks::data_movement::c_ring_allgather_core(comm, cpr, None, out, ws);
 }
 
 /// Error budget of a C-Allreduce sum result, per the paper's theory: one
@@ -244,6 +289,7 @@ pub fn allreduce_worst_case_error(n: usize, eb: f32) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::partition::chunk_offsets;
     use ccoll_comm::{SimConfig, SimWorld, ThreadWorld};
     use ccoll_compress::SzxCodec;
     use std::sync::Arc;

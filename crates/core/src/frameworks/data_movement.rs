@@ -23,24 +23,31 @@
 
 use bytes::Bytes;
 use ccoll_comm::{Category, Comm, Tag};
-use ccoll_compress::CodecScratch;
 
 use crate::collectives::baseline::binomial_bcast_bytes;
 use crate::collectives::cpr_p2p::CprCodec;
 use crate::collectives::{compress_in, memcpy_in, tags};
 use crate::frameworks::decompress_auto_in;
-use crate::partition::{chunk_lengths, chunk_offsets};
-use crate::wire::{frame_blobs, unframe_blobs};
+use crate::partition::chunk_lengths;
+use crate::wire::{frame_blobs_pooled, unframe_blobs, unframe_blobs_into};
+use crate::workspace::CollWorkspace;
 
 /// Exchange one `u32` per rank around the ring (the compressed-size
-/// synchronization step). Returns the value from every rank.
-pub(crate) fn exchange_sizes<C: Comm>(comm: &mut C, mine: u32) -> Vec<u32> {
+/// synchronization step), writing every rank's value into the reusable
+/// `sizes` table.
+fn exchange_sizes_raw<C: Comm>(
+    comm: &mut C,
+    mine: u32,
+    pool: &mut ccoll_comm::PayloadPool,
+    sizes: &mut Vec<u32>,
+) {
     let n = comm.size();
     let me = comm.rank();
-    let mut sizes = vec![0u32; n];
+    sizes.clear();
+    sizes.resize(n, 0);
     sizes[me] = mine;
     if n == 1 {
-        return sizes;
+        return;
     }
     let right = (me + 1) % n;
     let left = (me + n - 1) % n;
@@ -48,11 +55,10 @@ pub(crate) fn exchange_sizes<C: Comm>(comm: &mut C, mine: u32) -> Vec<u32> {
         let send_idx = (me + n - k) % n;
         let recv_idx = (me + n - 1 - k) % n;
         let tag = tags::SIZE_EXCHANGE + k as Tag;
-        let payload = Bytes::from(sizes[send_idx].to_le_bytes().to_vec());
+        let payload = pool.write(&sizes[send_idx].to_le_bytes());
         let got = comm.sendrecv(right, left, tag, payload, Category::Others);
         sizes[recv_idx] = u32::from_le_bytes(got[0..4].try_into().expect("4-byte size"));
     }
-    sizes
 }
 
 /// C-Allgather with per-rank value counts: compress once, relay
@@ -64,23 +70,85 @@ pub fn c_ring_allgatherv<C: Comm>(
     mine: &[f32],
     counts: &[usize],
 ) -> Vec<f32> {
+    let mut out = vec![0.0f32; counts.iter().sum()];
+    let mut ws = CollWorkspace::with_value_capacity(counts.iter().copied().max().unwrap_or(0));
+    c_ring_allgatherv_into(comm, cpr, mine, counts, &mut out, &mut ws);
+    out
+}
+
+/// [`c_ring_allgatherv`] writing into a caller-provided buffer through a
+/// reusable workspace: the persistent-plan fast path (zero steady-state
+/// allocations).
+///
+/// # Panics
+/// Panics if `mine.len() != counts[rank]` or `out.len()` is not the sum
+/// of `counts`.
+pub fn c_ring_allgatherv_into<C: Comm>(
+    comm: &mut C,
+    cpr: &CprCodec,
+    mine: &[f32],
+    counts: &[usize],
+    out: &mut [f32],
+    ws: &mut CollWorkspace,
+) {
+    let me = comm.rank();
+    assert_eq!(
+        counts.len(),
+        comm.size(),
+        "counts must have one entry per rank"
+    );
+    assert_eq!(mine.len(), counts[me], "my buffer disagrees with counts");
+    assert_eq!(
+        out.len(),
+        counts.iter().sum::<usize>(),
+        "output buffer size mismatch"
+    );
+    ws.set_partition_from_counts(counts);
+    c_ring_allgather_core(comm, cpr, Some(mine), out, ws);
+}
+
+/// Shared C-Allgather engine. The partition must be cached in
+/// `ws.counts`/`ws.offsets`. When `mine` is `Some`, the own block is
+/// copied from it in the final sweep (out-of-place API); when `None`,
+/// the own block is assumed to be in place in `out` already (the
+/// allreduce composition) and only the parity memcpy charge is paid.
+pub(crate) fn c_ring_allgather_core<C: Comm>(
+    comm: &mut C,
+    cpr: &CprCodec,
+    mine: Option<&[f32]>,
+    out: &mut [f32],
+    ws: &mut CollWorkspace,
+) {
     let n = comm.size();
     let me = comm.rank();
-    assert_eq!(counts.len(), n, "counts must have one entry per rank");
-    assert_eq!(mine.len(), counts[me], "my buffer disagrees with counts");
-    let offsets = chunk_offsets(counts);
-    let total: usize = counts.iter().sum();
-    let mut scratch = CodecScratch::with_capacity(counts.iter().copied().max().unwrap_or(0));
+    let CollWorkspace {
+        pool,
+        scratch,
+        blobs,
+        sizes,
+        counts,
+        offsets,
+        ..
+    } = ws;
+
+    // Release the previous call's relay handles before compressing, so
+    // their payload-pool slots (ours and our peers') can be recycled by
+    // this call instead of forcing the pools to grow.
+    blobs.clear();
+    blobs.resize(n, None);
 
     // Step 1: compress local data exactly once.
-    let my_blob = compress_in(comm, cpr.codec.as_ref(), cpr.ck, mine, true, &mut scratch);
+    let own = match mine {
+        Some(m) => m,
+        None => &out[offsets[me]..offsets[me] + counts[me]],
+    };
+    let my_blob = compress_in(comm, cpr.codec.as_ref(), cpr.ck, own, true, pool);
 
     // Step 2: size synchronization (4 bytes per rank).
-    let _sizes = exchange_sizes(comm, my_blob.len() as u32);
+    exchange_sizes_raw(comm, my_blob.len() as u32, pool, sizes);
 
     // Step 3: ring relay of opaque compressed blocks. The blocks are
     // never re-encoded, so each hop forwards exactly the bytes received.
-    let mut blobs: Vec<Option<Bytes>> = vec![None; n];
     blobs[me] = Some(my_blob);
     if n > 1 {
         let right = (me + 1) % n;
@@ -96,18 +164,23 @@ pub fn c_ring_allgatherv<C: Comm>(
     }
 
     // Step 4: one decompression sweep; own data is copied, not decoded.
-    let mut out = vec![0.0f32; total];
-    memcpy_in(comm, &mut out[offsets[me]..offsets[me] + counts[me]], mine);
+    match mine {
+        Some(m) => memcpy_in(comm, &mut out[offsets[me]..offsets[me] + counts[me]], m),
+        None => {
+            // Own block already in place: parity charge only.
+            let bytes = counts[me] * 4;
+            comm.charge(ccoll_comm::Kernel::Memcpy, bytes, Category::Memcpy);
+        }
+    }
     for r in 0..n {
         if r == me {
             continue;
         }
         let blob = blobs[r].take().expect("gathered block present");
-        let vals = decompress_auto_in(comm, cpr.codec.as_ref(), cpr.dk, &blob, &mut scratch);
+        let vals = decompress_auto_in(comm, cpr.codec.as_ref(), cpr.dk, &blob, scratch);
         assert_eq!(vals.len(), counts[r], "C-Allgather block length mismatch");
         memcpy_in(comm, &mut out[offsets[r]..offsets[r] + counts[r]], vals);
     }
-    out
 }
 
 /// Equal-count convenience wrapper over [`c_ring_allgatherv`].
@@ -124,10 +197,14 @@ pub fn c_binomial_bcast<C: Comm>(
     root: usize,
     data: &[f32],
 ) -> Vec<f32> {
+    // The allocating wrapper learns the length from the compressed
+    // stream itself (as the seed implementation did, at no extra
+    // traffic); persistent plans know the length up front and use the
+    // `_into` variant.
     let n = comm.size();
     let me = comm.rank();
     assert!(root < n, "root {root} out of range");
-    let mut scratch = CodecScratch::new();
+    let mut ws = CollWorkspace::new();
     let payload = if me == root {
         Some(compress_in(
             comm,
@@ -135,7 +212,7 @@ pub fn c_binomial_bcast<C: Comm>(
             cpr.ck,
             data,
             true,
-            &mut scratch,
+            &mut ws.pool,
         ))
     } else {
         None
@@ -144,8 +221,50 @@ pub fn c_binomial_bcast<C: Comm>(
     if me == root {
         data.to_vec()
     } else {
-        decompress_auto_in(comm, cpr.codec.as_ref(), cpr.dk, &blob, &mut scratch);
-        std::mem::take(&mut scratch.dec)
+        decompress_auto_in(comm, cpr.codec.as_ref(), cpr.dk, &blob, &mut ws.scratch);
+        std::mem::take(&mut ws.scratch.dec)
+    }
+}
+
+/// [`c_binomial_bcast`] writing into a caller-provided buffer through a
+/// reusable workspace. Every rank must size `out` to the broadcast
+/// length; `data` is read on the root only.
+pub fn c_binomial_bcast_into<C: Comm>(
+    comm: &mut C,
+    cpr: &CprCodec,
+    root: usize,
+    data: &[f32],
+    out: &mut [f32],
+    ws: &mut CollWorkspace,
+) {
+    let n = comm.size();
+    let me = comm.rank();
+    assert!(root < n, "root {root} out of range");
+    let CollWorkspace { pool, scratch, .. } = ws;
+    let payload = if me == root {
+        assert_eq!(
+            data.len(),
+            out.len(),
+            "root data disagrees with plan length"
+        );
+        Some(compress_in(
+            comm,
+            cpr.codec.as_ref(),
+            cpr.ck,
+            data,
+            true,
+            pool,
+        ))
+    } else {
+        None
+    };
+    let blob = binomial_bcast_bytes(comm, root, payload, tags::BCAST + 0xC00);
+    if me == root {
+        out.copy_from_slice(data);
+    } else {
+        let vals = decompress_auto_in(comm, cpr.codec.as_ref(), cpr.dk, &blob, scratch);
+        assert_eq!(vals.len(), out.len(), "C-Bcast length disagrees with plan");
+        out.copy_from_slice(vals);
     }
 }
 
@@ -159,31 +278,58 @@ pub fn c_binomial_scatter<C: Comm>(
     data: &[f32],
     total_len: usize,
 ) -> Vec<f32> {
+    let lengths = chunk_lengths(total_len, comm.size());
+    let mut out = vec![0.0f32; lengths[comm.rank()]];
+    let mut ws = CollWorkspace::new();
+    c_binomial_scatter_into(comm, cpr, root, data, total_len, &mut out, &mut ws);
+    out
+}
+
+/// [`c_binomial_scatter`] writing rank `r`'s chunk into a
+/// caller-provided buffer through a reusable workspace.
+///
+/// # Panics
+/// Panics if `out.len()` differs from this rank's chunk length.
+pub fn c_binomial_scatter_into<C: Comm>(
+    comm: &mut C,
+    cpr: &CprCodec,
+    root: usize,
+    data: &[f32],
+    total_len: usize,
+    out: &mut [f32],
+    ws: &mut CollWorkspace,
+) {
     let n = comm.size();
     let me = comm.rank();
     assert!(root < n, "root {root} out of range");
-    let lengths = chunk_lengths(total_len, n);
+    ws.set_partition(total_len, n);
+    let CollWorkspace {
+        pool,
+        scratch,
+        blob_list: held,
+        counts,
+        offsets,
+        ..
+    } = ws;
+    assert_eq!(out.len(), counts[me], "output must hold my chunk");
     let relative = (me + n - root) % n;
-    let mut scratch = CodecScratch::new();
 
     // Acquire my span of compressed segments, in relative order.
-    let mut held: Vec<Bytes>;
+    held.clear();
     let mut span: usize;
     let mut m: usize;
     if me == root {
         assert_eq!(data.len(), total_len, "root buffer must hold all chunks");
-        let offsets = chunk_offsets(&lengths);
-        held = Vec::with_capacity(n);
         for i in 0..n {
             let a = (root + i) % n;
-            let seg = &data[offsets[a]..offsets[a] + lengths[a]];
+            let seg = &data[offsets[a]..offsets[a] + counts[a]];
             held.push(compress_in(
                 comm,
                 cpr.codec.as_ref(),
                 cpr.ck,
                 seg,
                 true,
-                &mut scratch,
+                pool,
             ));
         }
         span = n;
@@ -194,7 +340,7 @@ pub fn c_binomial_scatter<C: Comm>(
         span = lowbit.min(n - relative);
         m = lowbit;
         let container = comm.recv(src, tags::SCATTER + 0xC00);
-        held = unframe_blobs(&container).expect("well-formed scatter container");
+        unframe_blobs_into(&container, held).expect("well-formed scatter container");
         assert_eq!(held.len(), span, "scatter container segment count mismatch");
     }
 
@@ -203,7 +349,7 @@ pub fn c_binomial_scatter<C: Comm>(
     while m >= 1 {
         if m < span {
             let child_rel = relative + m;
-            let container = frame_blobs(&held[m..]);
+            let container = frame_blobs_pooled(pool, &held[m..]);
             let dst = (child_rel + root) % n;
             let req = comm.isend(dst, tags::SCATTER + 0xC00, container);
             comm.wait_send_in(req, Category::Wait);
@@ -214,21 +360,39 @@ pub fn c_binomial_scatter<C: Comm>(
     }
 
     // Decompress exactly my own segment (held[0]).
-    decompress_auto_in(comm, cpr.codec.as_ref(), cpr.dk, &held[0], &mut scratch);
+    let vals = decompress_auto_in(comm, cpr.codec.as_ref(), cpr.dk, &held[0], scratch);
     if me == root {
         // The root never lost precision: return its original chunk.
-        let offsets = chunk_offsets(&lengths);
-        return data[offsets[me]..offsets[me] + lengths[me]].to_vec();
+        out.copy_from_slice(&data[offsets[me]..offsets[me] + counts[me]]);
+        return;
     }
-    let mine = std::mem::take(&mut scratch.dec);
-    assert_eq!(mine.len(), lengths[me], "C-Scatter segment length mismatch");
-    mine
+    assert_eq!(vals.len(), counts[me], "C-Scatter segment length mismatch");
+    out.copy_from_slice(vals);
 }
 
 /// C-Alltoall: compress every outgoing block once (into pooled buffers),
 /// exchange compressed sizes, then run the pairwise exchange on compressed
 /// payloads with a fixed, size-aware schedule; decompress on receipt.
 pub fn c_pairwise_alltoall<C: Comm>(comm: &mut C, cpr: &CprCodec, send: &[f32]) -> Vec<f32> {
+    let mut out = vec![0.0f32; send.len()];
+    let mut ws = CollWorkspace::new();
+    c_pairwise_alltoall_into(comm, cpr, send, &mut out, &mut ws);
+    out
+}
+
+/// [`c_pairwise_alltoall`] writing into a caller-provided buffer through
+/// a reusable workspace.
+///
+/// # Panics
+/// Panics if `send.len()` is not divisible by the rank count or
+/// `out.len() != send.len()`.
+pub fn c_pairwise_alltoall_into<C: Comm>(
+    comm: &mut C,
+    cpr: &CprCodec,
+    send: &[f32],
+    out: &mut [f32],
+    ws: &mut CollWorkspace,
+) {
     let n = comm.size();
     let me = comm.rank();
     assert!(
@@ -236,30 +400,35 @@ pub fn c_pairwise_alltoall<C: Comm>(comm: &mut C, cpr: &CprCodec, send: &[f32]) 
         "all-to-all buffer ({}) must divide evenly across {n} ranks",
         send.len()
     );
+    assert_eq!(out.len(), send.len(), "output buffer size mismatch");
     let block = send.len() / n;
-    let mut scratch = CodecScratch::new();
+    let CollWorkspace {
+        pool,
+        scratch,
+        blob_list: blobs,
+        sizes,
+        ..
+    } = ws;
     // Compress all outgoing blocks up front (once each).
-    let blobs: Vec<Bytes> = (0..n)
-        .map(|to| {
-            if to == me {
-                Bytes::new()
-            } else {
-                compress_in(
-                    comm,
-                    cpr.codec.as_ref(),
-                    cpr.ck,
-                    &send[to * block..(to + 1) * block],
-                    true,
-                    &mut scratch,
-                )
-            }
-        })
-        .collect();
+    blobs.clear();
+    for to in 0..n {
+        blobs.push(if to == me {
+            Bytes::new()
+        } else {
+            compress_in(
+                comm,
+                cpr.codec.as_ref(),
+                cpr.ck,
+                &send[to * block..(to + 1) * block],
+                true,
+                pool,
+            )
+        });
+    }
     // Size synchronization (total compressed bytes per rank) keeps the
     // schedule fixed, as in C-Allgather.
     let total: usize = blobs.iter().map(|b| b.len()).sum();
-    let _sizes = exchange_sizes(comm, total as u32);
-    let mut out = vec![0.0f32; send.len()];
+    exchange_sizes_raw(comm, total as u32, pool, sizes);
     memcpy_in(
         comm,
         &mut out[me * block..(me + 1) * block],
@@ -270,11 +439,10 @@ pub fn c_pairwise_alltoall<C: Comm>(comm: &mut C, cpr: &CprCodec, send: &[f32]) 
         let from = (me + n - i) % n;
         let tag = tags::ALLTOALL + 0xC00 + i as Tag;
         let got = comm.sendrecv(to, from, tag, blobs[to].clone(), Category::Allgather);
-        let vals = decompress_auto_in(comm, cpr.codec.as_ref(), cpr.dk, &got, &mut scratch);
+        let vals = decompress_auto_in(comm, cpr.codec.as_ref(), cpr.dk, &got, scratch);
         assert_eq!(vals.len(), block, "C-Alltoall block length mismatch");
         memcpy_in(comm, &mut out[from * block..(from + 1) * block], vals);
     }
-    out
 }
 
 /// C-Gather: each rank compresses its chunk once; interior binomial-tree
@@ -287,31 +455,56 @@ pub fn c_binomial_gather<C: Comm>(
     mine: &[f32],
     total_len: usize,
 ) -> Option<Vec<f32>> {
+    let mut out = vec![0.0f32; if comm.rank() == root { total_len } else { 0 }];
+    let mut ws = CollWorkspace::new();
+    c_binomial_gather_into(comm, cpr, root, mine, total_len, &mut out, &mut ws).then_some(out)
+}
+
+/// [`c_binomial_gather`] writing the concatenated buffer into `out` on
+/// the root (which must size it to `total_len`; other ranks may pass an
+/// empty buffer). Returns `true` on the root, `false` elsewhere.
+pub fn c_binomial_gather_into<C: Comm>(
+    comm: &mut C,
+    cpr: &CprCodec,
+    root: usize,
+    mine: &[f32],
+    total_len: usize,
+    out: &mut [f32],
+    ws: &mut CollWorkspace,
+) -> bool {
     let n = comm.size();
     let me = comm.rank();
     assert!(root < n, "root {root} out of range");
-    let lengths = chunk_lengths(total_len, n);
-    assert_eq!(mine.len(), lengths[me], "my chunk disagrees with partition");
+    ws.set_partition(total_len, n);
+    let CollWorkspace {
+        pool,
+        scratch,
+        blob_list: held,
+        counts,
+        offsets,
+        ..
+    } = ws;
+    assert_eq!(mine.len(), counts[me], "my chunk disagrees with partition");
     let relative = (me + n - root) % n;
-    let mut scratch = CodecScratch::new();
 
     // My own compressed segment (root's stays uncompressed-exact later).
-    let mut held: Vec<Bytes> = vec![compress_in(
+    held.clear();
+    held.push(compress_in(
         comm,
         cpr.codec.as_ref(),
         cpr.ck,
         mine,
         true,
-        &mut scratch,
-    )];
+        pool,
+    ));
     let mut mask = 1usize;
     while mask < n {
         if relative & mask != 0 {
             let parent = (relative - mask + root) % n;
-            let container = frame_blobs(&held);
+            let container = frame_blobs_pooled(pool, held);
             let req = comm.isend(parent, tags::GATHER + 0xC00, container);
             comm.wait_send_in(req, Category::Wait);
-            return None;
+            return false;
         }
         let child_rel = relative + mask;
         if child_rel < n {
@@ -323,24 +516,24 @@ pub fn c_binomial_gather<C: Comm>(
     }
     // Root: decompress every segment (held is in relative order),
     // through the one scratch.
-    let mut out = vec![0.0f32; total_len];
-    let offsets = chunk_offsets(&lengths);
+    assert_eq!(out.len(), total_len, "root output must hold all chunks");
     for (i, blob) in held.iter().enumerate() {
         let a = (root + i) % n;
         let vals: &[f32] = if a == me {
             mine // the root's own chunk stays lossless
         } else {
-            decompress_auto_in(comm, cpr.codec.as_ref(), cpr.dk, blob, &mut scratch)
+            decompress_auto_in(comm, cpr.codec.as_ref(), cpr.dk, blob, scratch)
         };
-        assert_eq!(vals.len(), lengths[a], "C-Gather segment length mismatch");
-        out[offsets[a]..offsets[a] + lengths[a]].copy_from_slice(vals);
+        assert_eq!(vals.len(), counts[a], "C-Gather segment length mismatch");
+        out[offsets[a]..offsets[a] + counts[a]].copy_from_slice(vals);
     }
-    Some(out)
+    true
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::partition::chunk_offsets;
     use ccoll_comm::{Kernel, SimConfig, SimWorld};
     use ccoll_compress::{Compressor, SzxCodec};
     use std::sync::Arc;
@@ -363,7 +556,12 @@ mod tests {
     fn size_exchange_collects_all() {
         let n = 7;
         let world = SimWorld::new(SimConfig::new(n));
-        let out = world.run(move |c| exchange_sizes(c, (100 + c.rank()) as u32));
+        let out = world.run(move |c| {
+            let mut pool = ccoll_comm::PayloadPool::new();
+            let mut sizes = Vec::new();
+            exchange_sizes_raw(c, (100 + c.rank()) as u32, &mut pool, &mut sizes);
+            sizes
+        });
         for r in 0..n {
             let expect: Vec<u32> = (0..n).map(|i| (100 + i) as u32).collect();
             assert_eq!(out.results[r], expect, "rank {r}");

@@ -11,31 +11,60 @@
 //! |---|---|
 //! | Collective **data-movement** framework: compress once, relay compressed bytes through every round, decompress once (§III-A1) | [`frameworks::data_movement`] |
 //! | Collective **computation** framework: pipeline chunk-wise compression with communication so transfers hide inside the kernel (§III-A2, §III-E2) | [`frameworks::computation`] |
-//! | C-Allreduce / C-Scatter / C-Bcast built on the two frameworks (§III-E, §IV-D) | [`api`] |
+//! | Session + persistent-plan API (`MPI_Allreduce_init` shape): C-Allreduce / C-Scatter / C-Bcast with zero steady-state allocations | [`session`] |
+//! | One-shot compatibility facade over the same engine | [`api`] |
 //! | CPR-P2P baselines (compress every send, decompress every receive) | [`collectives::cpr_p2p`] |
 //! | Uncompressed MPI-style collectives (ring, binomial tree, recursive doubling) | [`collectives::baseline`] |
 //! | Error-propagation theory: Theorems 1–2 and corollaries (§III-B) | [`theory`] |
 //!
 //! ## Quick start
 //!
+//! Create one [`CCollSession`] per rank (the codec is built exactly
+//! once), then a *persistent plan* per repeated collective shape.
+//! `execute_into` writes into a caller-provided buffer and reaches a
+//! **zero-allocation steady state** after its first call — the shape
+//! ML training loops and iterative solvers want:
+//!
 //! ```
-//! use c_coll::api::{CColl, ReduceOp};
-//! use c_coll::codec::CodecSpec;
+//! use c_coll::{CCollSession, CodecSpec, ReduceOp};
 //! use ccoll_comm::{SimWorld, SimConfig, Comm};
 //!
 //! // An 8-node virtual cluster; each node holds a 40k-value buffer.
-//! let ccoll = CColl::new(CodecSpec::Szx { error_bound: 1e-3 });
-//! let world = SimWorld::new(SimConfig::new(8));
+//! let n = 8;
+//! let len = 40_000;
+//! let world = SimWorld::new(SimConfig::new(n));
 //! let out = world.run(move |comm| {
-//!     let rank = comm.rank();
-//!     let data: Vec<f32> = (0..40_000)
-//!         .map(|i| ((i + rank * 7) as f32 * 1e-3).sin())
-//!         .collect();
-//!     ccoll.allreduce(comm, &data, ReduceOp::Sum)
+//!     let session = CCollSession::new(CodecSpec::Szx { error_bound: 1e-3 }, n);
+//!     let mut plan = session.plan_allreduce(len, ReduceOp::Sum);
+//!     let mut result = vec![0.0f32; len];
+//!     for step in 0..3 {
+//!         let data: Vec<f32> = (0..len)
+//!             .map(|i| ((i + comm.rank() * 7 + step) as f32 * 1e-3).sin())
+//!             .collect();
+//!         // Same shape every step: every buffer (codec scratch, payload
+//!         // pool, accumulator, output) is reused — no allocation.
+//!         plan.execute_into(comm, &data, &mut result);
+//!     }
+//!     result
 //! });
 //! // Every rank holds the (error-bounded) global sum.
 //! assert_eq!(out.results.len(), 8);
 //! assert_eq!(out.results[0].len(), 40_000);
+//! ```
+//!
+//! ## Migrating from the one-shot API
+//!
+//! The pre-session facade ([`CColl`]) survives as a thin compatibility
+//! shim over the same `*_into` engine: its codec is now built once per
+//! `CColl` (instead of once per call), but each call still allocates
+//! its output and workspace. Differential tests pin it bitwise-equal to
+//! the plan path, so migration is mechanical:
+//!
+//! ```text
+//! // before                                  // after
+//! let ccoll = CColl::new(spec);              let session = CCollSession::new(spec, n);
+//! ccoll.allreduce(comm, &x, op)              let mut plan = session.plan_allreduce(x.len(), op);
+//!                                            plan.execute_into(comm, &x, &mut out)
 //! ```
 
 pub mod api;
@@ -44,8 +73,15 @@ pub mod collectives;
 pub mod frameworks;
 pub mod partition;
 pub mod reduce;
+pub mod session;
 pub mod theory;
 pub mod wire;
+pub mod workspace;
 
 pub use api::{AllreduceVariant, CColl, ReduceOp};
-pub use codec::CodecSpec;
+pub use codec::{CodecSpec, ParseCodecSpecError};
+pub use session::{
+    AllgatherPlan, AllreducePlan, AlltoallPlan, BcastPlan, CCollSession, GatherPlan, ReducePlan,
+    ReduceScatterPlan, ScatterPlan,
+};
+pub use workspace::CollWorkspace;

@@ -12,22 +12,40 @@
 /// # Panics
 /// Panics if `n == 0`.
 pub fn chunk_lengths(len: usize, n: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(n);
+    chunk_lengths_into(len, n, &mut out);
+    out
+}
+
+/// [`chunk_lengths`] into a reusable vector (cleared first) — the
+/// allocation-free variant collective workspaces cache per call.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn chunk_lengths_into(len: usize, n: usize, out: &mut Vec<usize>) {
     assert!(n > 0, "cannot partition across zero ranks");
     let base = len / n;
     let extra = len % n;
-    (0..n).map(|i| base + usize::from(i < extra)).collect()
+    out.clear();
+    out.extend((0..n).map(|i| base + usize::from(i < extra)));
 }
 
 /// Exclusive prefix sums of [`chunk_lengths`]: chunk `i` spans
 /// `offsets[i]..offsets[i] + lengths[i]`.
 pub fn chunk_offsets(lengths: &[usize]) -> Vec<usize> {
     let mut offsets = Vec::with_capacity(lengths.len());
+    chunk_offsets_into(lengths, &mut offsets);
+    offsets
+}
+
+/// [`chunk_offsets`] into a reusable vector (cleared first).
+pub fn chunk_offsets_into(lengths: &[usize], out: &mut Vec<usize>) {
+    out.clear();
     let mut acc = 0;
     for &l in lengths {
-        offsets.push(acc);
+        out.push(acc);
         acc += l;
     }
-    offsets
 }
 
 /// The sub-slice of `data` belonging to chunk `i` under the balanced

@@ -1,0 +1,928 @@
+//! The session + persistent-plan C-Coll API: allocation-free steady
+//! state from codec to collective.
+//!
+//! The original [`CColl`](crate::api::CColl) facade rebuilt its codec on
+//! every collective call, allocated a fresh output `Vec` per call and
+//! re-warmed its scratch buffers per call — exactly the per-call
+//! buffer-management overhead the paper's §III-D breakdown charges under
+//! "Others" (23 % of a 278 MB allreduce). This module replaces it with
+//! the MPI persistent-collective shape (`MPI_Allreduce_init`):
+//!
+//! 1. **[`CCollSession`]** — a per-rank handle created *once* from a
+//!    [`CodecSpec`] and the world size. It builds the codec exactly once
+//!    and stamps every plan it creates.
+//! 2. **Persistent plans** — [`CCollSession::plan_allreduce`] (and the
+//!    other `plan_*` constructors) precompute the chunk partition, the
+//!    pipeline configuration and the worst-case compressed sizes, and
+//!    own a [`CollWorkspace`] of reusable buffers. Repeated
+//!    `execute_into` calls at the planned shape perform **zero heap
+//!    allocations** after the first (warm-up) call — the property pinned
+//!    end to end by `tests/collective_alloc.rs`.
+//!
+//! ```
+//! use c_coll::{CCollSession, CodecSpec, ReduceOp};
+//! use ccoll_comm::{Comm, SimConfig, SimWorld};
+//!
+//! let n = 4;
+//! let len = 10_000;
+//! let world = SimWorld::new(SimConfig::new(n));
+//! let out = world.run(move |comm| {
+//!     // One session per rank, one plan per repeated shape.
+//!     let session = CCollSession::new(CodecSpec::Szx { error_bound: 1e-3 }, n);
+//!     let mut plan = session.plan_allreduce(len, ReduceOp::Sum);
+//!     let input: Vec<f32> = (0..len).map(|i| (i as f32 * 1e-3).sin()).collect();
+//!     let mut result = vec![0.0f32; len];
+//!     for _step in 0..3 {
+//!         // Steady-state calls reuse every buffer — no allocation.
+//!         plan.execute_into(comm, &input, &mut result);
+//!     }
+//!     result[0]
+//! });
+//! assert_eq!(out.results.len(), n);
+//! ```
+
+use ccoll_comm::{Comm, PayloadPool};
+
+use crate::api::AllreduceVariant;
+use crate::codec::CodecSpec;
+use crate::collectives::baseline;
+use crate::collectives::cpr_p2p::{self, CprCodec};
+use crate::frameworks::computation::{self, PipelineConfig};
+use crate::frameworks::data_movement;
+use crate::partition::chunk_lengths;
+use crate::reduce::ReduceOp;
+use crate::workspace::CollWorkspace;
+
+/// A per-rank C-Coll handle: codec built exactly once, pipeline
+/// configuration fixed, world size pinned. Create plans from it for
+/// every repeated collective shape (see the module docs).
+///
+/// Cloning a session is cheap (the codec is reference-counted), so one
+/// session can be captured by a per-rank closure and cloned per thread.
+#[derive(Clone)]
+pub struct CCollSession {
+    spec: CodecSpec,
+    pipe_values: usize,
+    world_size: usize,
+    cpr: Option<CprCodec>,
+}
+
+impl CCollSession {
+    /// Create a session for a `world_size`-rank communicator with the
+    /// paper's default 5120-value pipeline sub-chunks. The codec is
+    /// built here, exactly once.
+    ///
+    /// # Panics
+    /// Panics if `world_size` is zero.
+    #[must_use]
+    pub fn new(spec: CodecSpec, world_size: usize) -> Self {
+        assert!(world_size > 0, "session needs at least one rank");
+        let cpr = spec.build().map(|codec| {
+            let (ck, dk) = spec.kernels();
+            CprCodec::new(codec, ck, dk)
+        });
+        CCollSession {
+            spec,
+            pipe_values: computation::DEFAULT_PIPE_VALUES,
+            world_size,
+            cpr,
+        }
+    }
+
+    /// Override the pipeline sub-chunk size (values), for ablations.
+    ///
+    /// # Panics
+    /// Panics if `values` is zero.
+    #[must_use]
+    pub fn with_pipeline_values(mut self, values: usize) -> Self {
+        assert!(values > 0, "pipeline sub-chunk must be positive");
+        self.pipe_values = values;
+        self
+    }
+
+    /// The configured codec.
+    pub fn spec(&self) -> CodecSpec {
+        self.spec
+    }
+
+    /// The communicator size this session plans for.
+    pub fn world_size(&self) -> usize {
+        self.world_size
+    }
+
+    pub(crate) fn cpr(&self) -> Option<&CprCodec> {
+        self.cpr.as_ref()
+    }
+
+    pub(crate) fn pipeline_config(&self) -> Option<PipelineConfig> {
+        let eb = self.spec.error_bound()?;
+        Some(PipelineConfig::new(eb).with_chunk_values(self.pipe_values))
+    }
+
+    /// A workspace pre-warmed for payloads of up to `values` elements:
+    /// the codec scratch fits the largest chunk and the payload pool
+    /// holds `slots` buffers at the codec's worst-case compressed size.
+    /// A ring schedule keeps up to two payload generations alive at once
+    /// (peers release a relayed block only when they enter their next
+    /// call), so plans pass at least four slots; pipelined plans scale
+    /// `slots` with the number of concurrently in-flight sub-chunks.
+    fn warmed_workspace(&self, values: usize, slots: usize) -> CollWorkspace {
+        let mut ws = CollWorkspace::with_value_capacity(values);
+        let worst = match &self.cpr {
+            Some(cpr) => cpr.codec.max_compressed_bytes(values),
+            None => values * 4,
+        };
+        ws.pool = PayloadPool::warmed(slots, worst);
+        ws
+    }
+
+    /// Pool slots for a pipelined reduce-scatter over `len` values: all
+    /// of a round's sub-chunk payloads can be in flight at once, plus
+    /// the previous generation not yet released by the receiver.
+    fn pipelined_slots(&self, len: usize) -> usize {
+        let max_chunk = len.div_ceil(self.world_size);
+        max_chunk.div_ceil(self.pipe_values) + 4
+    }
+
+    // ------------------------------------------------------------------
+    // Plan constructors.
+    // ------------------------------------------------------------------
+
+    /// Plan an allreduce of `len` values per rank with the full C-Coll
+    /// schedule (the paper's "Overlap" variant, falling back to ND for
+    /// codecs without an error bound, exactly like the one-shot API).
+    #[must_use]
+    pub fn plan_allreduce(&self, len: usize, op: ReduceOp) -> AllreducePlan {
+        self.plan_allreduce_variant(len, op, AllreduceVariant::Overlapped)
+    }
+
+    /// Plan a specific step-wise allreduce variant (Table V) — the
+    /// benchmark harness's entry point.
+    #[must_use]
+    pub fn plan_allreduce_variant(
+        &self,
+        len: usize,
+        op: ReduceOp,
+        variant: AllreduceVariant,
+    ) -> AllreducePlan {
+        let max_chunk = len.div_ceil(self.world_size);
+        let (values, slots) = match variant {
+            // Pipelined compression never sees more than one sub-chunk,
+            // but keeps many sub-chunk payloads in flight. Codecs that
+            // cannot drive the pipeline (no error bound) fall back to
+            // the ND schedule at execute time, so warm for full chunks.
+            AllreduceVariant::Overlapped if self.pipeline_config().is_some() => {
+                (self.pipe_values.min(len.max(1)), self.pipelined_slots(len))
+            }
+            _ => (max_chunk, 4),
+        };
+        AllreducePlan {
+            session: self.clone(),
+            len,
+            op,
+            variant,
+            ws: self.warmed_workspace(values, slots),
+        }
+    }
+
+    /// Plan an equal-count allgather (`len_per_rank` values from every
+    /// rank; output is `world_size · len_per_rank`).
+    #[must_use]
+    pub fn plan_allgather(&self, len_per_rank: usize) -> AllgatherPlan {
+        self.plan_allgatherv(&vec![len_per_rank; self.world_size])
+    }
+
+    /// Plan an allgather with per-rank value counts.
+    ///
+    /// # Panics
+    /// Panics if `counts.len() != world_size`.
+    #[must_use]
+    pub fn plan_allgatherv(&self, counts: &[usize]) -> AllgatherPlan {
+        assert_eq!(
+            counts.len(),
+            self.world_size,
+            "counts must have one entry per rank"
+        );
+        let max_chunk = counts.iter().copied().max().unwrap_or(0);
+        AllgatherPlan {
+            session: self.clone(),
+            counts: counts.to_vec(),
+            total: counts.iter().sum(),
+            ws: self.warmed_workspace(max_chunk, 4),
+        }
+    }
+
+    /// Plan a reduce-scatter of `len` values per rank; rank `r` receives
+    /// chunk `r` of the balanced partition.
+    #[must_use]
+    pub fn plan_reduce_scatter(&self, len: usize, op: ReduceOp) -> ReduceScatterPlan {
+        let (values, slots) = match self.pipeline_config() {
+            Some(_) => (self.pipe_values.min(len.max(1)), self.pipelined_slots(len)),
+            None => (len.div_ceil(self.world_size), 4),
+        };
+        ReduceScatterPlan {
+            session: self.clone(),
+            len,
+            op,
+            counts: chunk_lengths(len, self.world_size),
+            ws: self.warmed_workspace(values, slots),
+        }
+    }
+
+    /// Plan a broadcast of `len` values from `root`.
+    ///
+    /// # Panics
+    /// Panics if `root` is out of range.
+    #[must_use]
+    pub fn plan_bcast(&self, root: usize, len: usize) -> BcastPlan {
+        assert!(root < self.world_size, "root {root} out of range");
+        BcastPlan {
+            session: self.clone(),
+            root,
+            len,
+            ws: self.warmed_workspace(len, 4),
+        }
+    }
+
+    /// Plan a scatter of the balanced partition of `total_len` values
+    /// from `root`; rank `r` receives chunk `r`.
+    ///
+    /// # Panics
+    /// Panics if `root` is out of range.
+    #[must_use]
+    pub fn plan_scatter(&self, root: usize, total_len: usize) -> ScatterPlan {
+        assert!(root < self.world_size, "root {root} out of range");
+        ScatterPlan {
+            session: self.clone(),
+            root,
+            total_len,
+            counts: chunk_lengths(total_len, self.world_size),
+            ws: self.warmed_workspace(total_len, 4),
+        }
+    }
+
+    /// Plan a gather of the balanced partition of `total_len` values to
+    /// `root`.
+    ///
+    /// # Panics
+    /// Panics if `root` is out of range.
+    #[must_use]
+    pub fn plan_gather(&self, root: usize, total_len: usize) -> GatherPlan {
+        assert!(root < self.world_size, "root {root} out of range");
+        GatherPlan {
+            session: self.clone(),
+            root,
+            total_len,
+            counts: chunk_lengths(total_len, self.world_size),
+            ws: self.warmed_workspace(total_len, 4),
+        }
+    }
+
+    /// Plan an all-to-all over `len` values per rank (`len` must divide
+    /// evenly by the world size).
+    ///
+    /// # Panics
+    /// Panics if `len` is not divisible by the world size.
+    #[must_use]
+    pub fn plan_alltoall(&self, len: usize) -> AlltoallPlan {
+        assert!(
+            len.is_multiple_of(self.world_size),
+            "all-to-all buffer ({len}) must divide evenly across {} ranks",
+            self.world_size
+        );
+        AlltoallPlan {
+            session: self.clone(),
+            len,
+            ws: self.warmed_workspace(len / self.world_size, 4),
+        }
+    }
+
+    /// Plan a rooted reduce of `len` values per rank (pipelined
+    /// reduce-scatter followed by a gather of the reduced chunks).
+    ///
+    /// # Panics
+    /// Panics if `root` is out of range.
+    #[must_use]
+    pub fn plan_reduce(&self, root: usize, len: usize, op: ReduceOp) -> ReducePlan {
+        assert!(root < self.world_size, "root {root} out of range");
+        ReducePlan {
+            reduce_scatter: self.plan_reduce_scatter(len, op),
+            gather: self.plan_gather(root, len),
+            mine: Vec::new(),
+        }
+    }
+}
+
+impl std::fmt::Debug for CCollSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CCollSession")
+            .field("spec", &self.spec)
+            .field("pipe_values", &self.pipe_values)
+            .field("world_size", &self.world_size)
+            .finish()
+    }
+}
+
+fn check_world<C: Comm>(comm: &C, world_size: usize) {
+    assert_eq!(
+        comm.size(),
+        world_size,
+        "plan built for {world_size} ranks executed on {} ranks",
+        comm.size()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Plans.
+// ---------------------------------------------------------------------------
+
+/// Persistent allreduce plan (see [`CCollSession::plan_allreduce`]).
+pub struct AllreducePlan {
+    session: CCollSession,
+    len: usize,
+    op: ReduceOp,
+    variant: AllreduceVariant,
+    ws: CollWorkspace,
+}
+
+impl AllreducePlan {
+    /// Values per rank this plan was built for.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the planned buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The planned step-wise variant.
+    pub fn variant(&self) -> AllreduceVariant {
+        self.variant
+    }
+
+    /// Execute into a caller-provided buffer: zero steady-state heap
+    /// allocations after the warm-up call.
+    ///
+    /// # Panics
+    /// Panics if the communicator size or buffer lengths disagree with
+    /// the plan.
+    pub fn execute_into<C: Comm>(&mut self, comm: &mut C, input: &[f32], out: &mut [f32]) {
+        check_world(comm, self.session.world_size);
+        assert_eq!(input.len(), self.len, "input disagrees with plan length");
+        assert_eq!(out.len(), self.len, "output disagrees with plan length");
+        let ws = &mut self.ws;
+        let Some(cpr) = self.session.cpr() else {
+            baseline::ring_allreduce_into(comm, input, self.op, out, ws);
+            return;
+        };
+        match self.variant {
+            AllreduceVariant::Original => {
+                baseline::ring_allreduce_into(comm, input, self.op, out, ws)
+            }
+            AllreduceVariant::DirectIntegration => {
+                cpr_p2p::cpr_ring_allreduce_into(comm, cpr, input, self.op, out, ws)
+            }
+            AllreduceVariant::NovelDesign => nd_allreduce_into(comm, cpr, input, self.op, out, ws),
+            AllreduceVariant::Overlapped => match self.session.pipeline_config() {
+                Some(cfg) => {
+                    computation::c_ring_allreduce_into(comm, cfg, cpr, input, self.op, out, ws)
+                }
+                // Codecs without an error bound (ZFP-FXR) cannot drive the
+                // SZx pipeline; the best schedule available is ND.
+                None => nd_allreduce_into(comm, cpr, input, self.op, out, ws),
+            },
+        }
+    }
+
+    /// Allocating convenience wrapper over [`AllreducePlan::execute_into`].
+    #[must_use]
+    pub fn execute<C: Comm>(&mut self, comm: &mut C, input: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.len];
+        self.execute_into(comm, input, &mut out);
+        out
+    }
+}
+
+/// The ND ("Novel Design") schedule: CPR-P2P reduce-scatter followed by
+/// the compress-once C-Allgather, composed in place.
+fn nd_allreduce_into<C: Comm>(
+    comm: &mut C,
+    cpr: &CprCodec,
+    input: &[f32],
+    op: ReduceOp,
+    out: &mut [f32],
+    ws: &mut CollWorkspace,
+) {
+    let me = comm.rank();
+    ws.set_partition(input.len(), comm.size());
+    let (at, len) = (ws.offsets[me], ws.counts[me]);
+    cpr_p2p::cpr_ring_reduce_scatter_into(comm, cpr, input, op, &mut out[at..at + len], ws);
+    data_movement::c_ring_allgather_core(comm, cpr, None, out, ws);
+}
+
+/// Persistent allgather plan (see [`CCollSession::plan_allgatherv`]).
+pub struct AllgatherPlan {
+    session: CCollSession,
+    counts: Vec<usize>,
+    total: usize,
+    ws: CollWorkspace,
+}
+
+impl AllgatherPlan {
+    /// Per-rank value counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Total gathered length (the required output size).
+    pub fn total_len(&self) -> usize {
+        self.total
+    }
+
+    /// Execute into a caller-provided buffer (`total_len` values).
+    ///
+    /// # Panics
+    /// Panics if the communicator size or buffer lengths disagree with
+    /// the plan.
+    pub fn execute_into<C: Comm>(&mut self, comm: &mut C, mine: &[f32], out: &mut [f32]) {
+        check_world(comm, self.session.world_size);
+        match self.session.cpr() {
+            Some(cpr) => data_movement::c_ring_allgatherv_into(
+                comm,
+                cpr,
+                mine,
+                &self.counts,
+                out,
+                &mut self.ws,
+            ),
+            None => baseline::ring_allgatherv_into(comm, mine, &self.counts, out, &mut self.ws),
+        }
+    }
+
+    /// Allocating convenience wrapper over [`AllgatherPlan::execute_into`].
+    #[must_use]
+    pub fn execute<C: Comm>(&mut self, comm: &mut C, mine: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.total];
+        self.execute_into(comm, mine, &mut out);
+        out
+    }
+}
+
+/// Persistent reduce-scatter plan (see
+/// [`CCollSession::plan_reduce_scatter`]).
+pub struct ReduceScatterPlan {
+    session: CCollSession,
+    len: usize,
+    op: ReduceOp,
+    counts: Vec<usize>,
+    ws: CollWorkspace,
+}
+
+impl ReduceScatterPlan {
+    /// Values per rank this plan was built for.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the planned buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The output length on `rank` (its chunk of the balanced partition).
+    pub fn output_len(&self, rank: usize) -> usize {
+        self.counts[rank]
+    }
+
+    /// Execute into a caller-provided buffer (this rank's chunk).
+    ///
+    /// # Panics
+    /// Panics if the communicator size or buffer lengths disagree with
+    /// the plan.
+    pub fn execute_into<C: Comm>(&mut self, comm: &mut C, input: &[f32], out: &mut [f32]) {
+        check_world(comm, self.session.world_size);
+        assert_eq!(input.len(), self.len, "input disagrees with plan length");
+        let ws = &mut self.ws;
+        match (self.session.pipeline_config(), self.session.cpr()) {
+            (Some(cfg), _) => {
+                computation::c_ring_reduce_scatter_into(comm, cfg, input, self.op, out, ws)
+            }
+            (None, Some(cpr)) => {
+                cpr_p2p::cpr_ring_reduce_scatter_into(comm, cpr, input, self.op, out, ws)
+            }
+            (None, None) => baseline::ring_reduce_scatter_into(comm, input, self.op, out, ws),
+        }
+    }
+
+    /// Allocating convenience wrapper over
+    /// [`ReduceScatterPlan::execute_into`].
+    #[must_use]
+    pub fn execute<C: Comm>(&mut self, comm: &mut C, input: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.counts[comm.rank()]];
+        self.execute_into(comm, input, &mut out);
+        out
+    }
+}
+
+/// Persistent broadcast plan (see [`CCollSession::plan_bcast`]).
+pub struct BcastPlan {
+    session: CCollSession,
+    root: usize,
+    len: usize,
+    ws: CollWorkspace,
+}
+
+impl BcastPlan {
+    /// The broadcast root.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// The broadcast length (required output size on every rank).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the planned buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Execute into a caller-provided buffer. `data` is read on the root
+    /// only (other ranks may pass an empty slice).
+    ///
+    /// # Panics
+    /// Panics if the communicator size or buffer lengths disagree with
+    /// the plan.
+    pub fn execute_into<C: Comm>(&mut self, comm: &mut C, data: &[f32], out: &mut [f32]) {
+        check_world(comm, self.session.world_size);
+        assert_eq!(out.len(), self.len, "output disagrees with plan length");
+        match self.session.cpr() {
+            Some(cpr) => {
+                data_movement::c_binomial_bcast_into(comm, cpr, self.root, data, out, &mut self.ws)
+            }
+            None => baseline::binomial_bcast_into(comm, self.root, data, out, &mut self.ws),
+        }
+    }
+
+    /// Allocating convenience wrapper over [`BcastPlan::execute_into`].
+    #[must_use]
+    pub fn execute<C: Comm>(&mut self, comm: &mut C, data: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.len];
+        self.execute_into(comm, data, &mut out);
+        out
+    }
+}
+
+/// Persistent scatter plan (see [`CCollSession::plan_scatter`]).
+pub struct ScatterPlan {
+    session: CCollSession,
+    root: usize,
+    total_len: usize,
+    counts: Vec<usize>,
+    ws: CollWorkspace,
+}
+
+impl ScatterPlan {
+    /// The scatter root.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// The total scattered length.
+    pub fn total_len(&self) -> usize {
+        self.total_len
+    }
+
+    /// The output length on `rank` (its chunk of the balanced partition).
+    pub fn output_len(&self, rank: usize) -> usize {
+        self.counts[rank]
+    }
+
+    /// Execute into a caller-provided buffer (this rank's chunk). `data`
+    /// is read on the root only.
+    ///
+    /// # Panics
+    /// Panics if the communicator size or buffer lengths disagree with
+    /// the plan.
+    pub fn execute_into<C: Comm>(&mut self, comm: &mut C, data: &[f32], out: &mut [f32]) {
+        check_world(comm, self.session.world_size);
+        match self.session.cpr() {
+            Some(cpr) => data_movement::c_binomial_scatter_into(
+                comm,
+                cpr,
+                self.root,
+                data,
+                self.total_len,
+                out,
+                &mut self.ws,
+            ),
+            None => baseline::binomial_scatter_into(
+                comm,
+                self.root,
+                data,
+                self.total_len,
+                out,
+                &mut self.ws,
+            ),
+        }
+    }
+
+    /// Allocating convenience wrapper over [`ScatterPlan::execute_into`].
+    #[must_use]
+    pub fn execute<C: Comm>(&mut self, comm: &mut C, data: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.counts[comm.rank()]];
+        self.execute_into(comm, data, &mut out);
+        out
+    }
+}
+
+/// Persistent gather plan (see [`CCollSession::plan_gather`]).
+pub struct GatherPlan {
+    session: CCollSession,
+    root: usize,
+    total_len: usize,
+    counts: Vec<usize>,
+    ws: CollWorkspace,
+}
+
+impl GatherPlan {
+    /// The gather root.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// The total gathered length (required output size on the root).
+    pub fn total_len(&self) -> usize {
+        self.total_len
+    }
+
+    /// The input length on `rank` (its chunk of the balanced partition).
+    pub fn input_len(&self, rank: usize) -> usize {
+        self.counts[rank]
+    }
+
+    /// Execute into a caller-provided buffer. The root must size `out`
+    /// to `total_len`; other ranks may pass an empty buffer. Returns
+    /// `true` on the root, `false` elsewhere.
+    ///
+    /// # Panics
+    /// Panics if the communicator size or buffer lengths disagree with
+    /// the plan.
+    pub fn execute_into<C: Comm>(&mut self, comm: &mut C, mine: &[f32], out: &mut [f32]) -> bool {
+        check_world(comm, self.session.world_size);
+        match self.session.cpr() {
+            Some(cpr) => data_movement::c_binomial_gather_into(
+                comm,
+                cpr,
+                self.root,
+                mine,
+                self.total_len,
+                out,
+                &mut self.ws,
+            ),
+            None => baseline::binomial_gather_into(
+                comm,
+                self.root,
+                mine,
+                self.total_len,
+                out,
+                &mut self.ws,
+            ),
+        }
+    }
+
+    /// Allocating convenience wrapper over [`GatherPlan::execute_into`].
+    /// Returns `Some` on the root, `None` elsewhere.
+    #[must_use]
+    pub fn execute<C: Comm>(&mut self, comm: &mut C, mine: &[f32]) -> Option<Vec<f32>> {
+        let mut out = vec![
+            0.0f32;
+            if comm.rank() == self.root {
+                self.total_len
+            } else {
+                0
+            }
+        ];
+        self.execute_into(comm, mine, &mut out).then_some(out)
+    }
+}
+
+/// Persistent all-to-all plan (see [`CCollSession::plan_alltoall`]).
+pub struct AlltoallPlan {
+    session: CCollSession,
+    len: usize,
+    ws: CollWorkspace,
+}
+
+impl AlltoallPlan {
+    /// Values per rank this plan was built for.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the planned buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Execute into a caller-provided buffer.
+    ///
+    /// # Panics
+    /// Panics if the communicator size or buffer lengths disagree with
+    /// the plan.
+    pub fn execute_into<C: Comm>(&mut self, comm: &mut C, send: &[f32], out: &mut [f32]) {
+        check_world(comm, self.session.world_size);
+        assert_eq!(send.len(), self.len, "input disagrees with plan length");
+        match self.session.cpr() {
+            Some(cpr) => {
+                data_movement::c_pairwise_alltoall_into(comm, cpr, send, out, &mut self.ws)
+            }
+            None => baseline::pairwise_alltoall_into(comm, send, out, &mut self.ws),
+        }
+    }
+
+    /// Allocating convenience wrapper over [`AlltoallPlan::execute_into`].
+    #[must_use]
+    pub fn execute<C: Comm>(&mut self, comm: &mut C, send: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.len];
+        self.execute_into(comm, send, &mut out);
+        out
+    }
+}
+
+/// Persistent rooted-reduce plan (see [`CCollSession::plan_reduce`]):
+/// pipelined C-Reduce-scatter followed by C-Gather of the reduced
+/// chunks.
+pub struct ReducePlan {
+    reduce_scatter: ReduceScatterPlan,
+    gather: GatherPlan,
+    /// Intermediate reduced-chunk buffer, reused across calls.
+    mine: Vec<f32>,
+}
+
+impl ReducePlan {
+    /// Values per rank this plan was built for.
+    pub fn len(&self) -> usize {
+        self.reduce_scatter.len()
+    }
+
+    /// True when the planned buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.reduce_scatter.is_empty()
+    }
+
+    /// The reduce root.
+    pub fn root(&self) -> usize {
+        self.gather.root()
+    }
+
+    /// Execute into a caller-provided buffer. The root must size `out`
+    /// to the input length; other ranks may pass an empty buffer.
+    /// Returns `true` on the root, `false` elsewhere.
+    ///
+    /// # Panics
+    /// Panics if the communicator size or buffer lengths disagree with
+    /// the plan.
+    pub fn execute_into<C: Comm>(&mut self, comm: &mut C, input: &[f32], out: &mut [f32]) -> bool {
+        let chunk = self.reduce_scatter.output_len(comm.rank());
+        // `resize` shrinks as well as grows, keeping the buffer exact
+        // without reallocating once its capacity is warm.
+        self.mine.resize(chunk, 0.0);
+        self.reduce_scatter
+            .execute_into(comm, input, &mut self.mine);
+        self.gather.execute_into(comm, &self.mine, out)
+    }
+
+    /// Allocating convenience wrapper over [`ReducePlan::execute_into`].
+    /// Returns `Some` on the root, `None` elsewhere.
+    #[must_use]
+    pub fn execute<C: Comm>(&mut self, comm: &mut C, input: &[f32]) -> Option<Vec<f32>> {
+        let mut out = vec![
+            0.0f32;
+            if comm.rank() == self.gather.root() {
+                self.reduce_scatter.len()
+            } else {
+                0
+            }
+        ];
+        self.execute_into(comm, input, &mut out).then_some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccoll_comm::{SimConfig, SimWorld};
+
+    fn rank_data(rank: usize, len: usize) -> Vec<f32> {
+        (0..len)
+            .map(|i| ((i * 3 + rank * 97) as f32 * 1e-3).cos() * 3.0)
+            .collect()
+    }
+
+    #[test]
+    fn session_allreduce_matches_oracle_envelope() {
+        let n = 5;
+        let len = 15_000;
+        let eb = 1e-3f32;
+        let world = SimWorld::new(SimConfig::new(n));
+        let out = world.run(move |c| {
+            let session = CCollSession::new(CodecSpec::Szx { error_bound: eb }, n);
+            let mut plan = session.plan_allreduce(len, ReduceOp::Sum);
+            let input = rank_data(c.rank(), len);
+            let mut result = vec![0.0f32; len];
+            // Repeated executions must be stable (same input → same output).
+            plan.execute_into(c, &input, &mut result);
+            let first = result.clone();
+            plan.execute_into(c, &input, &mut result);
+            assert_eq!(first, result, "steady-state repeat must be bit-stable");
+            result
+        });
+        let inputs: Vec<Vec<f32>> = (0..n).map(|r| rank_data(r, len)).collect();
+        let expect = ReduceOp::Sum.oracle(&inputs);
+        let tol = (n + 1) as f32 * eb;
+        for r in 0..n {
+            for (a, b) in out.results[r].iter().zip(&expect) {
+                assert!((a - b).abs() <= tol, "rank {r}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn plans_are_reusable_across_shapeful_collectives() {
+        let n = 4;
+        let world = SimWorld::new(SimConfig::new(n));
+        let out = world.run(move |c| {
+            let session = CCollSession::new(CodecSpec::Szx { error_bound: 1e-4 }, n);
+            let data = rank_data(c.rank(), 1200);
+            let mut gather_all = session.plan_allgather(1200);
+            let mut bcast = session.plan_bcast(0, 100);
+            let mut scatter = session.plan_scatter(0, 4800);
+            let gathered = gather_all.execute(c, &data);
+            let b = bcast.execute(c, &gathered[..100]);
+            let s = scatter.execute(c, &gathered);
+            (gathered.len(), b.len(), s.len())
+        });
+        for r in 0..n {
+            assert_eq!(out.results[r], (4800, 100, 1200));
+        }
+    }
+
+    #[test]
+    fn reduce_plan_returns_root_only() {
+        let n = 6;
+        let len = 3000;
+        let world = SimWorld::new(SimConfig::new(n));
+        let out = world.run(move |c| {
+            let session = CCollSession::new(CodecSpec::Szx { error_bound: 1e-4 }, n);
+            let mut plan = session.plan_reduce(2, len, ReduceOp::Sum);
+            plan.execute(c, &rank_data(c.rank(), len))
+        });
+        for (r, res) in out.results.iter().enumerate() {
+            assert_eq!(res.is_some(), r == 2, "rank {r}");
+        }
+        let inputs: Vec<Vec<f32>> = (0..n).map(|r| rank_data(r, len)).collect();
+        let expect = ReduceOp::Sum.oracle(&inputs);
+        let got = out.results[2].as_ref().unwrap();
+        for (a, b) in got.iter().zip(&expect) {
+            assert!((a - b).abs() <= (n + 1) as f32 * 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "plan built for")]
+    fn plan_rejects_wrong_world_size() {
+        let world = SimWorld::new(SimConfig::new(3));
+        world.run(move |c| {
+            let session = CCollSession::new(CodecSpec::None, 4);
+            let mut plan = session.plan_allreduce(10, ReduceOp::Sum);
+            let mut out = vec![0.0; 10];
+            plan.execute_into(c, &[0.0; 10], &mut out);
+        });
+    }
+
+    #[test]
+    fn variant_plans_cover_table_v() {
+        let n = 4;
+        let len = 8000;
+        let eb = 1e-3f32;
+        for variant in AllreduceVariant::ALL {
+            let world = SimWorld::new(SimConfig::new(n));
+            let out = world.run(move |c| {
+                let session = CCollSession::new(CodecSpec::Szx { error_bound: eb }, n);
+                let mut plan = session.plan_allreduce_variant(len, ReduceOp::Sum, variant);
+                plan.execute(c, &rank_data(c.rank(), len))
+            });
+            let inputs: Vec<Vec<f32>> = (0..n).map(|r| rank_data(r, len)).collect();
+            let expect = ReduceOp::Sum.oracle(&inputs);
+            let tol = (2 * n) as f32 * eb;
+            for r in 0..n {
+                for (a, b) in out.results[r].iter().zip(&expect) {
+                    assert!((a - b).abs() <= tol, "{} rank {r}", variant.label());
+                }
+            }
+        }
+    }
+}

@@ -12,11 +12,29 @@
 //! ```
 
 use bytes::Bytes;
+use ccoll_comm::PayloadPool;
 
 /// Frame `blobs` into a single container payload.
 pub fn frame_blobs(blobs: &[Bytes]) -> Bytes {
     let total: usize = blobs.iter().map(|b| b.len()).sum();
     let mut out = Vec::with_capacity(4 + blobs.len() * 4 + total);
+    frame_blobs_to(blobs, &mut out);
+    Bytes::from(out)
+}
+
+/// [`frame_blobs`] through a recycled payload buffer (zero allocations
+/// once the pool is warm).
+pub fn frame_blobs_pooled(pool: &mut PayloadPool, blobs: &[Bytes]) -> Bytes {
+    match pool.write_with(|buf| {
+        frame_blobs_to(blobs, buf);
+        Ok::<(), std::convert::Infallible>(())
+    }) {
+        Ok(b) => b,
+        Err(e) => match e {},
+    }
+}
+
+fn frame_blobs_to(blobs: &[Bytes], out: &mut Vec<u8>) {
     out.extend_from_slice(&(blobs.len() as u32).to_le_bytes());
     for b in blobs {
         out.extend_from_slice(&(b.len() as u32).to_le_bytes());
@@ -24,12 +42,21 @@ pub fn frame_blobs(blobs: &[Bytes]) -> Bytes {
     for b in blobs {
         out.extend_from_slice(b);
     }
-    Bytes::from(out)
 }
 
 /// Inverse of [`frame_blobs`]. Returns `None` on malformed input.
 /// Splitting is zero-copy (`Bytes::slice`).
 pub fn unframe_blobs(container: &Bytes) -> Option<Vec<Bytes>> {
+    let mut blobs = Vec::new();
+    unframe_blobs_into(container, &mut blobs)?;
+    Some(blobs)
+}
+
+/// [`unframe_blobs`] into a reusable vector (cleared first). Returns
+/// `None` on malformed input, leaving `blobs` in an unspecified but
+/// valid state.
+pub fn unframe_blobs_into(container: &Bytes, blobs: &mut Vec<Bytes>) -> Option<()> {
+    blobs.clear();
     if container.len() < 4 {
         return None;
     }
@@ -38,22 +65,25 @@ pub fn unframe_blobs(container: &Bytes) -> Option<Vec<Bytes>> {
     if container.len() < header {
         return None;
     }
-    let mut sizes = Vec::with_capacity(count);
+    let mut total = 0usize;
     for i in 0..count {
         let at = 4 + i * 4;
-        sizes.push(u32::from_le_bytes(container[at..at + 4].try_into().ok()?) as usize);
+        total += u32::from_le_bytes(container[at..at + 4].try_into().ok()?) as usize;
     }
-    let total: usize = sizes.iter().sum();
     if container.len() != header + total {
         return None;
     }
-    let mut blobs = Vec::with_capacity(count);
     let mut at = header;
-    for s in sizes {
+    for i in 0..count {
+        let s = u32::from_le_bytes(
+            container[4 + i * 4..8 + i * 4]
+                .try_into()
+                .expect("validated above"),
+        ) as usize;
         blobs.push(container.slice(at..at + s));
         at += s;
     }
-    Some(blobs)
+    Some(())
 }
 
 /// `f32` slice → byte payload (little-endian).

@@ -1,0 +1,111 @@
+//! The collective-level allocation audit: after one warm-up call,
+//! repeated `plan.execute_into` collectives on the sim backend perform
+//! **zero** heap allocations — the end-to-end extension of the
+//! codec-level counting-allocator test in `ccoll-compress`.
+//!
+//! The measured window covers *all* ranks (the counter is global and the
+//! simulator runs exactly one rank at a time), so a single stray
+//! allocation anywhere in the codec, payload-pool, workspace or
+//! simulator-kernel path fails the audit.
+//!
+//! This file intentionally contains a single `#[test]` so no concurrent
+//! test can perturb the allocation counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use c_coll::{CCollSession, CodecSpec, ReduceOp};
+use ccoll_comm::{Comm, SimConfig, SimWorld};
+
+struct CountingAllocator;
+
+static ALLOC_CALLS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> usize {
+    ALLOC_CALLS.load(Ordering::SeqCst)
+}
+
+fn rank_data(rank: usize, len: usize) -> Vec<f32> {
+    (0..len)
+        .map(|i| ((i * 7 + rank * 131) as f32 * 1e-3).sin() * 2.0)
+        .collect()
+}
+
+#[test]
+fn steady_state_plans_allocate_nothing() {
+    let n = 6;
+    let len = 24_000;
+    let world = SimWorld::new(SimConfig::new(n));
+    let out = world.run(move |c| {
+        let me = c.rank();
+        let session = CCollSession::new(CodecSpec::Szx { error_bound: 1e-3 }, n);
+        let mut allreduce = session.plan_allreduce(len, ReduceOp::Sum);
+        let mut allgather = session.plan_allgather(len / n);
+        let mut bcast = session.plan_bcast(0, len / 2);
+
+        let input = rank_data(me, len);
+        let chunk = rank_data(me, len / n);
+        let bdata = if me == 0 {
+            rank_data(42, len / 2)
+        } else {
+            Vec::new()
+        };
+        let mut ar_out = vec![0.0f32; len];
+        let mut ag_out = vec![0.0f32; len];
+        let mut bc_out = vec![0.0f32; len / 2];
+
+        // Warm-up. The collective path itself (codec, payload pool,
+        // workspace) is warm after ONE call per plan — plans pre-size
+        // their pools from the codec's worst-case compressed size. The
+        // second round exists for the *simulator's* event tables
+        // (request maps, event heap), whose high-water capacity depends
+        // on cross-rank timing and settles one call later.
+        for _ in 0..2 {
+            allreduce.execute_into(c, &input, &mut ar_out);
+            allgather.execute_into(c, &chunk, &mut ag_out);
+            bcast.execute_into(c, &bdata, &mut bc_out);
+        }
+        c.barrier();
+
+        // Steady state: zero allocator calls across every rank.
+        let before = allocations();
+        for _ in 0..4 {
+            allreduce.execute_into(c, &input, &mut ar_out);
+            allgather.execute_into(c, &chunk, &mut ag_out);
+            bcast.execute_into(c, &bdata, &mut bc_out);
+        }
+        c.barrier();
+        let delta = allocations() - before;
+
+        // Sanity: the steady-state results are real (bounded error).
+        let sample = ar_out[len / 3];
+        (delta, sample.is_finite())
+    });
+    for (r, &(delta, finite)) in out.results.iter().enumerate() {
+        assert!(finite, "rank {r}: non-finite result");
+        assert_eq!(
+            delta, 0,
+            "rank {r}: steady-state plan execution must not allocate, \
+             saw {delta} allocator calls in its measurement window"
+        );
+    }
+}

@@ -171,7 +171,7 @@ fn traffic_matches_ring_allreduce_formula() {
     let out = world.run(move |c| {
         let ccoll = CColl::new(CodecSpec::None);
         let data = block_data(c.rank(), 1, len);
-        ccoll.allreduce(c, &data, ReduceOp::Sum);
+        let _ = ccoll.allreduce(c, &data, ReduceOp::Sum);
     });
     let d_bytes = (len * 4) as f64;
     let expect = 2.0 * (n as f64 - 1.0) / n as f64 * d_bytes;
@@ -195,7 +195,7 @@ fn compressed_allreduce_sends_fewer_bytes() {
             let data: Vec<f32> = (0..len)
                 .map(|i| ((i + c.rank()) as f32 * 1e-4).sin())
                 .collect();
-            ccoll.allreduce(c, &data, ReduceOp::Sum);
+            let _ = ccoll.allreduce(c, &data, ReduceOp::Sum);
         });
         out.traffics.iter().map(|t| t.bytes_sent).sum::<u64>()
     };

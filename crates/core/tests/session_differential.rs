@@ -1,0 +1,169 @@
+//! Differential pinning of the compatibility API against the session +
+//! persistent-plan API: for every codec, variant and collective family,
+//! the old one-shot `CColl` methods and the new `plan.execute_into`
+//! path must produce **bitwise-identical** results on every rank —
+//! the old API is a shim over the same `_into` engine, and these tests
+//! keep it that way.
+
+use c_coll::{AllreduceVariant, CColl, CCollSession, CodecSpec, ReduceOp};
+use ccoll_comm::{Comm, SimConfig, SimWorld};
+use proptest::prelude::*;
+
+fn rank_data(rank: usize, len: usize, seed: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let x = (i as u64)
+                .wrapping_mul(0x9E37_79B9)
+                .wrapping_add(rank as u64 * 7919)
+                .wrapping_add(seed);
+            ((x % 10_000) as f32 / 10_000.0 - 0.5) * 4.0
+        })
+        .collect()
+}
+
+fn spec_from_index(idx: usize) -> CodecSpec {
+    match idx % 4 {
+        0 => CodecSpec::None,
+        1 => CodecSpec::Szx { error_bound: 1e-3 },
+        2 => CodecSpec::ZfpAbs { error_bound: 1e-2 },
+        _ => CodecSpec::ZfpFxr { rate: 8 },
+    }
+}
+
+fn variant_from_index(idx: usize) -> AllreduceVariant {
+    AllreduceVariant::ALL[idx % AllreduceVariant::ALL.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn allreduce_old_and_session_apis_agree_bitwise(
+        n in 2usize..=6,
+        len in 1usize..600,
+        spec_idx in 0usize..4,
+        variant_idx in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let spec = spec_from_index(spec_idx);
+        let variant = variant_from_index(variant_idx);
+
+        let world = SimWorld::new(SimConfig::new(n));
+        let old = world.run(move |c| {
+            let ccoll = CColl::new(spec);
+            ccoll.allreduce_variant(c, &rank_data(c.rank(), len, seed), ReduceOp::Sum, variant)
+        });
+        let world = SimWorld::new(SimConfig::new(n));
+        let new = world.run(move |c| {
+            let session = CCollSession::new(spec, n);
+            let mut plan = session.plan_allreduce_variant(len, ReduceOp::Sum, variant);
+            // Execute twice: the steady-state (buffer-reusing) second
+            // call must match the warm-up call and the old API.
+            let input = rank_data(c.rank(), len, seed);
+            let mut out = vec![0.0f32; len];
+            plan.execute_into(c, &input, &mut out);
+            let warm = out.clone();
+            plan.execute_into(c, &input, &mut out);
+            prop_assert_eq!(&warm, &out, "steady-state call diverged from warm-up");
+            Ok(out)
+        });
+        for r in 0..n {
+            let new_r = new.results[r].as_ref().expect("inner assertions passed");
+            prop_assert_eq!(
+                &old.results[r], new_r,
+                "rank {} differs ({:?}, {:?})", r, spec, variant
+            );
+        }
+    }
+
+    #[test]
+    fn movement_collectives_old_and_session_apis_agree_bitwise(
+        n in 2usize..=6,
+        len in 1usize..400,
+        spec_idx in 0usize..4,
+        root in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        let spec = spec_from_index(spec_idx);
+        let root = root % n;
+        let total = len * n;
+
+        let world = SimWorld::new(SimConfig::new(n));
+        let old = world.run(move |c| {
+            let ccoll = CColl::new(spec);
+            let mine = rank_data(c.rank(), len, seed);
+            let gathered = ccoll.allgather(c, &mine);
+            let b = ccoll.bcast(c, root, if c.rank() == root { &gathered[..len] } else { &[] });
+            let s = ccoll.scatter(
+                c,
+                root,
+                if c.rank() == root { &gathered } else { &[] },
+                total,
+            );
+            let g = ccoll.gather(c, root, &s, total);
+            let rs = ccoll.reduce_scatter(c, &gathered, ReduceOp::Sum);
+            (gathered, b, s, g, rs)
+        });
+
+        let world = SimWorld::new(SimConfig::new(n));
+        let new = world.run(move |c| {
+            let session = CCollSession::new(spec, n);
+            let mine = rank_data(c.rank(), len, seed);
+            let mut allgather = session.plan_allgather(len);
+            let gathered = allgather.execute(c, &mine);
+            let mut bcast = session.plan_bcast(root, len);
+            let b = bcast.execute(c, if c.rank() == root { &gathered[..len] } else { &[] });
+            let mut scatter = session.plan_scatter(root, total);
+            let s = scatter.execute(c, if c.rank() == root { &gathered } else { &[] });
+            let mut gather = session.plan_gather(root, total);
+            let g = gather.execute(c, &s);
+            let mut reduce_scatter = session.plan_reduce_scatter(total, ReduceOp::Sum);
+            let rs = reduce_scatter.execute(c, &gathered);
+            (gathered, b, s, g, rs)
+        });
+
+        for r in 0..n {
+            prop_assert_eq!(&old.results[r].0, &new.results[r].0, "allgather rank {}", r);
+            prop_assert_eq!(&old.results[r].1, &new.results[r].1, "bcast rank {}", r);
+            prop_assert_eq!(&old.results[r].2, &new.results[r].2, "scatter rank {}", r);
+            prop_assert_eq!(&old.results[r].3, &new.results[r].3, "gather rank {}", r);
+            prop_assert_eq!(&old.results[r].4, &new.results[r].4, "reduce_scatter rank {}", r);
+        }
+    }
+
+    #[test]
+    fn alltoall_and_reduce_old_and_session_apis_agree_bitwise(
+        n in 2usize..=5,
+        block in 1usize..200,
+        spec_idx in 0usize..4,
+        root in 0usize..5,
+        seed in any::<u64>(),
+    ) {
+        let spec = spec_from_index(spec_idx);
+        let root = root % n;
+        let len = block * n;
+
+        let world = SimWorld::new(SimConfig::new(n));
+        let old = world.run(move |c| {
+            let ccoll = CColl::new(spec);
+            let data = rank_data(c.rank(), len, seed);
+            let a = ccoll.alltoall(c, &data);
+            let red = ccoll.reduce(c, root, &data, ReduceOp::Sum);
+            (a, red)
+        });
+        let world = SimWorld::new(SimConfig::new(n));
+        let new = world.run(move |c| {
+            let session = CCollSession::new(spec, n);
+            let data = rank_data(c.rank(), len, seed);
+            let mut alltoall = session.plan_alltoall(len);
+            let a = alltoall.execute(c, &data);
+            let mut reduce = session.plan_reduce(root, len, ReduceOp::Sum);
+            let red = reduce.execute(c, &data);
+            (a, red)
+        });
+        for r in 0..n {
+            prop_assert_eq!(&old.results[r].0, &new.results[r].0, "alltoall rank {}", r);
+            prop_assert_eq!(&old.results[r].1, &new.results[r].1, "reduce rank {}", r);
+        }
+    }
+}

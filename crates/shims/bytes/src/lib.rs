@@ -14,17 +14,49 @@ use std::ops::{Deref, Range};
 use std::sync::Arc;
 
 /// A cheaply clonable, immutable byte buffer (reference-counted view).
-#[derive(Clone, Default)]
+///
+/// Internally this is an `Arc<Vec<u8>>` plus a range, so a buffer can be
+/// constructed from an existing shared vector without copying
+/// ([`Bytes::from_shared`]) — the hook the collective payload pool uses
+/// to recycle message buffers allocation-free.
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        // One process-wide empty backing store so empty buffers (used for
+        // self-addressed blocks on collective hot paths) never allocate.
+        static EMPTY: std::sync::OnceLock<Arc<Vec<u8>>> = std::sync::OnceLock::new();
+        Bytes {
+            data: Arc::clone(EMPTY.get_or_init(|| Arc::new(Vec::new()))),
+            start: 0,
+            end: 0,
+        }
+    }
 }
 
 impl Bytes {
     /// Create an empty buffer.
     pub fn new() -> Self {
         Bytes::default()
+    }
+
+    /// View an existing shared vector as a full-length buffer without
+    /// copying (the reference count is bumped, nothing is allocated).
+    ///
+    /// Holders of other clones of `buf` must not mutate it while views
+    /// exist; `Arc::get_mut` enforces exactly that for pool-style reuse.
+    pub fn from_shared(buf: Arc<Vec<u8>>) -> Self {
+        let end = buf.len();
+        Bytes {
+            data: buf,
+            start: 0,
+            end,
+        }
     }
 
     /// Create a buffer borrowing a static slice (copied once here; the
@@ -71,10 +103,9 @@ impl Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        let data: Arc<[u8]> = v.into();
-        let end = data.len();
+        let end = v.len();
         Bytes {
-            data,
+            data: Arc::new(v),
             start: 0,
             end,
         }
@@ -187,5 +218,17 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn bad_slice_panics() {
         Bytes::from(vec![1u8, 2]).slice(1..3).slice(0..5);
+    }
+
+    #[test]
+    fn from_shared_is_zero_copy() {
+        let backing = Arc::new(vec![9u8, 8, 7]);
+        let b = Bytes::from_shared(Arc::clone(&backing));
+        assert_eq!(Arc::strong_count(&backing), 2);
+        assert_eq!(&b[..], &[9, 8, 7]);
+        drop(b);
+        // The view released its reference: the backing store is unique
+        // again and a pool may rewrite it in place.
+        assert_eq!(Arc::strong_count(&backing), 1);
     }
 }

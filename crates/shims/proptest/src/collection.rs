@@ -5,7 +5,7 @@ use std::ops::{Range, RangeInclusive};
 use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 
-/// Accepted length specifications for [`vec`].
+/// Accepted length specifications for [`vec()`](vec()).
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
     lo: usize,

@@ -12,13 +12,14 @@
 //! cargo run --release --example climate_diagnostics
 //! ```
 
-use c_coll::{theory, CColl, CodecSpec, ReduceOp};
+use c_coll::{theory, CCollSession, CodecSpec, ReduceOp};
 use ccoll_comm::{Comm, SimConfig, SimWorld};
 use ccoll_data::{cesm, metrics};
 
 fn main() {
     let ranks = 32;
-    let n = 200_000;
+    let quick = std::env::var_os("CCOLL_QUICK").is_some();
+    let n = if quick { 40_000 } else { 200_000 };
     let eb = 1e-3f32;
 
     println!("Climate ensemble diagnostics: {ranks} members, eb={eb:.0e}\n");
@@ -32,8 +33,9 @@ fn main() {
         let world = SimWorld::new(SimConfig::new(ranks));
         let members_for_run = members.clone();
         let out = world.run(move |comm| {
-            let ccoll = CColl::new(CodecSpec::Szx { error_bound: eb });
-            ccoll.allreduce(comm, &members_for_run[comm.rank()], op)
+            let session = CCollSession::new(CodecSpec::Szx { error_bound: eb }, comm.size());
+            let mut plan = session.plan_allreduce(n, op);
+            plan.execute(comm, &members_for_run[comm.rank()])
         });
         let max_err = metrics::max_abs_error(&exact, &out.results[0]);
         let prediction = match op {

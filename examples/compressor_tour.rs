@@ -12,7 +12,8 @@ use ccoll_data::Dataset;
 use std::time::Instant;
 
 fn main() {
-    let n = 4_000_000; // 16 MB per field
+    let quick = std::env::var_os("CCOLL_QUICK").is_some();
+    let n = if quick { 500_000 } else { 4_000_000 }; // 16 MB per field
     println!(
         "Compressor characterization on {} MB fields\n",
         n * 4 / 1_000_000

@@ -16,7 +16,7 @@
 //! cargo run --release --example image_stacking
 //! ```
 
-use c_coll::{CColl, CodecSpec, ReduceOp};
+use c_coll::{CCollSession, CodecSpec, ReduceOp};
 use ccoll_comm::{Comm, SimConfig, SimWorld};
 use ccoll_data::fields::GRID_WIDTH;
 use ccoll_data::{metrics, pgm, rtm};
@@ -24,7 +24,8 @@ use std::path::Path;
 
 fn main() {
     let ranks = 16;
-    let height = 400;
+    let quick = std::env::var_os("CCOLL_QUICK").is_some();
+    let height = if quick { 100 } else { 400 };
     let n = GRID_WIDTH * height;
 
     println!("Image stacking on {ranks} virtual nodes ({GRID_WIDTH}x{height} image)\n");
@@ -41,8 +42,9 @@ fn main() {
     let world = SimWorld::new(SimConfig::new(ranks));
     let shots_for_run = shots.clone();
     let base = world.run(move |comm| {
-        let ccoll = CColl::new(CodecSpec::None);
-        ccoll.allreduce(comm, &shots_for_run[comm.rank()], ReduceOp::Sum)
+        let session = CCollSession::new(CodecSpec::None, comm.size());
+        let mut plan = session.plan_allreduce(n, ReduceOp::Sum);
+        plan.execute(comm, &shots_for_run[comm.rank()])
     });
     let t_base = base.makespan.as_secs_f64() * 1e3;
     println!(
@@ -54,8 +56,9 @@ fn main() {
         let world = SimWorld::new(SimConfig::new(ranks));
         let shots_for_run = shots.clone();
         let out = world.run(move |comm| {
-            let ccoll = CColl::new(CodecSpec::Szx { error_bound: eb });
-            ccoll.allreduce(comm, &shots_for_run[comm.rank()], ReduceOp::Sum)
+            let session = CCollSession::new(CodecSpec::Szx { error_bound: eb }, comm.size());
+            let mut plan = session.plan_allreduce(n, ReduceOp::Sum);
+            plan.execute(comm, &shots_for_run[comm.rank()])
         });
         let t = out.makespan.as_secs_f64() * 1e3;
         let stacked = &out.results[0];

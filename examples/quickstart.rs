@@ -6,16 +6,22 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use c_coll::{AllreduceVariant, CColl, CodecSpec, ReduceOp};
+use c_coll::{AllreduceVariant, CCollSession, CodecSpec, ReduceOp};
 use ccoll_comm::{Comm, SimConfig, SimWorld};
 use ccoll_data::{metrics, Dataset};
 
 fn main() {
     let ranks = 8;
-    let values_per_rank = 500_000; // 2 MB of f32 per node
+    // CCOLL_QUICK=1 (set by CI) shrinks the workload so the example
+    // finishes in moments on a shared runner.
+    let quick = std::env::var_os("CCOLL_QUICK").is_some();
+    let values_per_rank = if quick { 50_000 } else { 500_000 }; // 2 MB of f32 per node
     let error_bound = 1e-3f32;
 
-    println!("C-Coll quickstart: {ranks}-node virtual cluster, 2 MB/rank, eb={error_bound:.0e}\n");
+    println!(
+        "C-Coll quickstart: {ranks}-node virtual cluster, {:.1} MB/rank, eb={error_bound:.0e}\n",
+        values_per_rank as f64 * 4.0 / 1e6
+    );
 
     // Exact oracle for accuracy measurement.
     let inputs: Vec<Vec<f32>> = (0..ranks)
@@ -36,11 +42,13 @@ fn main() {
             AllreduceVariant::Overlapped,
         ),
     ] {
-        let ccoll = CColl::new(spec);
         let world = SimWorld::new(SimConfig::new(ranks));
         let out = world.run(move |comm| {
+            // One session per rank; the plan is reusable across steps.
+            let session = CCollSession::new(spec, comm.size());
+            let mut plan = session.plan_allreduce(values_per_rank, ReduceOp::Sum);
             let data = Dataset::Rtm.generate(values_per_rank, comm.rank() as u64);
-            ccoll.allreduce(comm, &data, ReduceOp::Sum)
+            plan.execute(comm, &data)
         });
         let t = out.makespan.as_secs_f64() * 1e3;
         let psnr = metrics::psnr(&exact, &out.results[0]);

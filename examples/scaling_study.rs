@@ -5,7 +5,7 @@
 //! cargo run --release --example scaling_study
 //! ```
 
-use c_coll::{AllreduceVariant, CColl, CodecSpec, ReduceOp};
+use c_coll::{AllreduceVariant, CCollSession, CodecSpec, ReduceOp};
 use ccoll_comm::{Comm, SimConfig, SimWorld};
 use ccoll_data::Dataset;
 
@@ -13,10 +13,11 @@ fn main() {
     // A scaled-down message (the paper uses 678 MB; we default to ~5 MB
     // per rank so the example runs in seconds — pass a size in MB to
     // override).
+    let quick = std::env::var_os("CCOLL_QUICK").is_some();
     let mb: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
-        .unwrap_or(5);
+        .unwrap_or(if quick { 1 } else { 5 });
     let values = mb * 1_000_000 / 4;
     let eb = 1e-3f32;
 
@@ -26,7 +27,12 @@ fn main() {
         "nodes", "Allreduce(ms)", "DI/CPR-P2P(ms)", "C-Allreduce(ms)", "speedup"
     );
 
-    for nodes in [2usize, 4, 8, 16, 32, 64, 128] {
+    let sweep: &[usize] = if quick {
+        &[2, 4, 8]
+    } else {
+        &[2, 4, 8, 16, 32, 64, 128]
+    };
+    for &nodes in sweep {
         let mut times = Vec::new();
         for (spec, variant) in [
             (CodecSpec::None, AllreduceVariant::Original),
@@ -39,11 +45,13 @@ fn main() {
                 AllreduceVariant::Overlapped,
             ),
         ] {
-            let ccoll = CColl::new(spec);
             let world = SimWorld::new(SimConfig::new(nodes));
             let out = world.run(move |comm| {
+                let session = CCollSession::new(spec, comm.size());
+                let mut plan = session.plan_allreduce_variant(values, ReduceOp::Sum, variant);
                 let data = Dataset::Rtm.generate(values, comm.rank() as u64);
-                ccoll.allreduce_variant(comm, &data, ReduceOp::Sum, variant);
+                let mut result = vec![0.0f32; values];
+                plan.execute_into(comm, &data, &mut result);
             });
             times.push(out.makespan.as_secs_f64() * 1e3);
         }

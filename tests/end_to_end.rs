@@ -1,7 +1,9 @@
 //! Cross-crate integration tests: the full C-Coll stack (datasets →
-//! codecs → collectives → simulator/threads) exercised end to end.
+//! codecs → collectives → simulator/threads) exercised end to end,
+//! through both the session/persistent-plan API and the `CColl`
+//! compatibility shim.
 
-use c_coll::{AllreduceVariant, CColl, CodecSpec, ReduceOp};
+use c_coll::{AllreduceVariant, CColl, CCollSession, CodecSpec, ReduceOp};
 use ccoll_comm::{Category, Comm, SimConfig, SimWorld, ThreadWorld};
 use ccoll_data::{metrics, Dataset};
 
@@ -80,7 +82,7 @@ fn variant_ordering_on_virtual_cluster() {
         let world = SimWorld::new(SimConfig::new(ranks));
         let out = world.run(move |comm| {
             let ccoll = CColl::new(CodecSpec::Szx { error_bound: eb });
-            ccoll.allreduce_variant(
+            let _ = ccoll.allreduce_variant(
                 comm,
                 &Dataset::Rtm.generate(n, comm.rank() as u64),
                 ReduceOp::Sum,
@@ -109,7 +111,7 @@ fn breakdown_shape_matches_paper_fig7() {
     let world = SimWorld::new(SimConfig::new(ranks));
     let out = world.run(move |comm| {
         let ccoll = CColl::new(CodecSpec::None);
-        ccoll.allreduce(
+        let _ = ccoll.allreduce(
             comm,
             &Dataset::Rtm.generate(n, comm.rank() as u64),
             ReduceOp::Sum,
@@ -158,6 +160,82 @@ fn deterministic_simulation_repeats_exactly() {
     assert_eq!(a.results, b.results);
     for (x, y) in a.breakdowns.iter().zip(&b.breakdowns) {
         assert_eq!(x, y);
+    }
+}
+
+#[test]
+fn session_training_loop_through_full_stack() {
+    // The repeated-shape workload the session API exists for: a
+    // training loop executing the same-shape allreduce every step
+    // against ONE persistent plan, across both backends.
+    let ranks = 4;
+    let n = 12_000;
+    let eb = 1e-3f32;
+    let steps = 3;
+
+    let run_sim = SimWorld::new(SimConfig::new(ranks)).run(move |comm| {
+        let session = CCollSession::new(CodecSpec::Szx { error_bound: eb }, ranks);
+        let mut plan = session.plan_allreduce(n, ReduceOp::Avg);
+        let mut out = vec![0.0f32; n];
+        let mut checksums = Vec::new();
+        for step in 0..steps {
+            let data = Dataset::Cesm.generate(n, (comm.rank() + step * 100) as u64);
+            plan.execute_into(comm, &data, &mut out);
+            checksums.push(out.iter().map(|v| *v as f64).sum::<f64>());
+        }
+        (checksums, out)
+    });
+    let run_thr = ThreadWorld::new(ranks).run(move |comm| {
+        let session = CCollSession::new(CodecSpec::Szx { error_bound: eb }, ranks);
+        let mut plan = session.plan_allreduce(n, ReduceOp::Avg);
+        let mut out = vec![0.0f32; n];
+        let mut checksums = Vec::new();
+        for step in 0..steps {
+            let data = Dataset::Cesm.generate(n, (comm.rank() + step * 100) as u64);
+            plan.execute_into(comm, &data, &mut out);
+            checksums.push(out.iter().map(|v| *v as f64).sum::<f64>());
+        }
+        (checksums, out)
+    });
+    for r in 0..ranks {
+        assert_eq!(
+            run_sim.results[r], run_thr.results[r],
+            "rank {r}: backends disagree through the plan path"
+        );
+    }
+    // Every step's result is error-bounded against its own oracle.
+    let inputs: Vec<Vec<f32>> = (0..ranks)
+        .map(|r| Dataset::Cesm.generate(n, (r + (steps - 1) * 100) as u64))
+        .collect();
+    let exact = ReduceOp::Avg.oracle(&inputs);
+    let err = metrics::max_abs_error(&exact, &run_sim.results[0].1);
+    // Avg divides the summed per-rank errors back down: ≲ (ranks+1)·eb/ranks.
+    assert!(err <= 2.0 * eb as f64, "final step error {err}");
+}
+
+#[test]
+fn session_and_compat_apis_agree_through_full_stack() {
+    let ranks = 8;
+    let n = 30_000;
+    let spec = CodecSpec::Szx { error_bound: 1e-4 };
+    let old = SimWorld::new(SimConfig::new(ranks)).run(move |comm| {
+        let ccoll = CColl::new(spec);
+        ccoll.allreduce(
+            comm,
+            &Dataset::Rtm.generate(n, comm.rank() as u64),
+            ReduceOp::Sum,
+        )
+    });
+    let new = SimWorld::new(SimConfig::new(ranks)).run(move |comm| {
+        let session = CCollSession::new(spec, ranks);
+        let mut plan = session.plan_allreduce(n, ReduceOp::Sum);
+        plan.execute(comm, &Dataset::Rtm.generate(n, comm.rank() as u64))
+    });
+    for r in 0..ranks {
+        assert_eq!(
+            old.results[r], new.results[r],
+            "rank {r}: compat shim diverged from the session path"
+        );
     }
 }
 
