@@ -4,7 +4,7 @@
 
 use std::time::Duration;
 
-use c_coll::{AllreduceVariant, CCollSession, CodecSpec, ReduceOp};
+use c_coll::{Algorithm, AllreduceVariant, CCollSession, CodecSpec, PlanOptions, ReduceOp};
 use ccoll_comm::{Comm, CostModel, NetModel, SimConfig, SimWorld, TimeBreakdown};
 use ccoll_data::Dataset;
 
@@ -100,6 +100,69 @@ pub fn run_allreduce_steady(
             None
         },
     }
+}
+
+/// Run `iters` allreduces against one persistent plan built with an
+/// explicit [`Algorithm`] choice (the `fig_algo_selection` harness's
+/// entry point). The session is given the experiment's cost and network
+/// models, so [`Algorithm::Auto`] resolves against the same models the
+/// simulator charges — returns the resolved algorithm alongside the
+/// timing result.
+///
+/// # Panics
+/// Panics if `iters` is zero.
+#[allow(clippy::too_many_arguments)]
+pub fn run_allreduce_algorithm(
+    nodes: usize,
+    values_per_rank: usize,
+    dataset: Dataset,
+    spec: CodecSpec,
+    algorithm: Algorithm,
+    op: ReduceOp,
+    cost: CostModel,
+    net: NetModel,
+    iters: usize,
+) -> (ExperimentResult, Algorithm) {
+    assert!(iters > 0, "need at least one iteration");
+    // Resolve Auto up front (plan creation is communicator-free) so the
+    // caller can report what the cost model picked. Explicit choices
+    // resolve to themselves, so only Auto needs the probe plan.
+    let resolved = if algorithm == Algorithm::Auto {
+        CCollSession::new(spec, nodes)
+            .with_cost_model(cost.clone())
+            .with_net_model(net)
+            .plan_allreduce_with(values_per_rank, op, PlanOptions::new())
+            .algorithm()
+    } else {
+        algorithm
+    };
+    let mut cfg = SimConfig::new(nodes);
+    cfg.cost = cost.clone();
+    cfg.net = net;
+    let world = SimWorld::new(cfg);
+    let out = world.run(move |comm| {
+        let session = CCollSession::new(spec, nodes)
+            .with_cost_model(cost.clone())
+            .with_net_model(net);
+        let mut plan = session.plan_allreduce_with(
+            values_per_rank,
+            op,
+            PlanOptions::new().algorithm(algorithm),
+        );
+        let data = dataset.generate(values_per_rank, comm.rank() as u64);
+        let mut result = vec![0.0f32; values_per_rank];
+        for _ in 0..iters {
+            plan.execute_into(comm, &data, &mut result);
+        }
+    });
+    (
+        ExperimentResult {
+            makespan: out.makespan / iters as u32,
+            breakdown: out.max_breakdown(),
+            result: None,
+        },
+        resolved,
+    )
 }
 
 /// Run an arbitrary per-rank closure on a virtual cluster with the given

@@ -9,11 +9,26 @@
 //! Default throughputs follow the paper's single-core measurements
 //! (Table I: SZx ≈ 0.9–1.7 GB/s compression, 1.7–3.6 GB/s decompression
 //! on the Broadwell testbed; ZFP(ABS) 2–4× slower; ZFP(FXR) slower
-//! still). The `calibrate` helpers in `ccoll-bench` can overwrite them
-//! with throughputs measured from this repository's own Rust kernels so
-//! that simulated results track the real implementation.
+//! still). `ccoll_bench::calibrate_cost_model` (or its env-gated wrapper
+//! `cost_model_from_env`, `CCOLL_CALIBRATE=1`) can overwrite them with
+//! throughputs measured from this repository's own Rust kernels so that
+//! simulated results track the real implementation — and, through
+//! `CCollSession::with_cost_model`, so that `Algorithm::Auto` schedule
+//! selection picks algorithms for *this* machine's kernels rather than
+//! the paper's testbed.
+//!
+//! Beyond per-kernel charges, the model also provides **closed-form
+//! schedule estimates** ([`CostModel::estimate`] over [`Schedule`]): the
+//! classic α–β–γ critical-path formulas for every collective schedule
+//! implemented in the `c-coll` crate, extended with compression terms.
+//! These are what `Algorithm::Auto` consults to pick a schedule from
+//! (payload size, world size, codec throughput) — see the paper's
+//! Table I discussion: the optimal schedule flips with message size and
+//! codec speed, so a single hard-wired ring is never uniformly best.
 
 use std::time::Duration;
+
+use crate::sim::NetModel;
 
 /// Kernel classes whose cost the simulator models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -152,6 +167,174 @@ impl CostModel {
         }
         Duration::from_secs_f64(bytes as f64 / t)
     }
+
+    /// Closed-form critical-path estimate for running `schedule` on an
+    /// `α–β` network described by `net` with the workload `p` — the
+    /// quantity `Algorithm::Auto` minimizes over candidate schedules.
+    ///
+    /// The formulas are the textbook per-rank critical paths (Thakur et
+    /// al.'s MPICH collective analysis) extended with the codec terms of
+    /// this cost model: compression/decompression time is charged per
+    /// *uncompressed* byte at the throughput in [`SchedParams`], while
+    /// wire terms are shrunk by the expected compression ratio. The ring
+    /// reduce-scatter additionally receives the paper's pipelining
+    /// credit: its per-hop transfer overlaps sub-chunk compression
+    /// (§III-A2), so the hop costs `max(transfer, compress)` rather than
+    /// their sum.
+    ///
+    /// Estimates are *relative* rankings, not wall-clock predictions —
+    /// they share the model's idealizations (full-duplex links, no
+    /// congestion, uniform ranks).
+    pub fn estimate(&self, schedule: Schedule, net: &NetModel, p: &SchedParams) -> Duration {
+        let n = p.world.max(1);
+        if n == 1 {
+            return Duration::ZERO;
+        }
+        let nf = n as f64;
+        let d = p.payload_bytes as f64; // uncompressed payload, bytes
+        let wire = d / p.ratio.max(1.0); // expected on-the-wire bytes
+        let alpha = net.latency.as_secs_f64();
+        let beta = 1.0 / net.bandwidth; // secs per wire byte
+        let comp = |bytes: f64| bytes / p.compress_tput;
+        let deco = |bytes: f64| bytes / p.decompress_tput;
+        let reduce = |bytes: f64| bytes / self.throughput(Kernel::Reduce);
+        let memcpy = |bytes: f64| bytes / self.throughput(Kernel::Memcpy);
+        // Butterfly round count; non-powers-of-two pay a fold + unfold
+        // round of full-payload traffic on top (see `baseline.rs`).
+        let log2n = (usize::BITS - (n - 1).leading_zeros()) as f64;
+        let fold = if n.is_power_of_two() {
+            0.0
+        } else {
+            2.0 * (alpha + wire * beta) + comp(d) + deco(d) + reduce(d)
+        };
+        // Per-rank chunk of the balanced partition.
+        let m = d / nf;
+        let wm = wire / nf;
+        // Bytes every rank relays in a bandwidth-optimal stage: all
+        // chunks but its own.
+        let rest = (nf - 1.0) / nf;
+
+        // Per-hop reduce-scatter cost of the ring: with the PIPE-SZx
+        // pipeline the transfer hides under sub-chunk compression
+        // (`max`); codecs that cannot drive the pipeline pay the sum.
+        let ring_rs_hop = if p.pipelined {
+            (wm * beta).max(comp(m))
+        } else {
+            wm * beta + comp(m)
+        };
+
+        let secs = match schedule {
+            Schedule::RingAllreduce => {
+                // Reduce-scatter (pipelining credit only when the codec
+                // can pipeline), then a compress-once allgather over the
+                // reduced chunks.
+                let rs = (nf - 1.0) * (alpha + ring_rs_hop + deco(m) + reduce(m));
+                let ag = comp(m) + (nf - 1.0) * (alpha + wm * beta + deco(m));
+                rs + ag
+            }
+            Schedule::RecursiveDoublingAllreduce => {
+                // log₂n rounds, each exchanging and reducing the FULL
+                // payload (latency-optimal, bandwidth-wasteful).
+                fold + log2n * (alpha + wire * beta + comp(d) + deco(d) + reduce(d))
+            }
+            Schedule::RabenseifnerAllreduce => {
+                // Recursive-halving reduce-scatter + recursive-doubling
+                // allgather: ring's bytes at tree latency, but without
+                // the ring's compression/transfer overlap.
+                let rs = log2n * alpha + rest * (wire * beta + comp(d) + deco(d) + reduce(d));
+                let ag = log2n * alpha + rest * (wire * beta + comp(d) + deco(d));
+                fold + rs + ag
+            }
+            Schedule::RingAllgather => comp(d) + (nf - 1.0) * (alpha + wire * beta + deco(d)),
+            Schedule::BruckAllgather => {
+                // Same bytes as the ring in ⌈log₂n⌉ steps, plus the final
+                // local rotation of the whole gathered buffer.
+                comp(d) + log2n * alpha + (nf - 1.0) * (wire * beta + deco(d)) + memcpy(nf * d)
+            }
+            Schedule::BinomialTreeReduce => {
+                // Up to log₂n full-payload hops on the root's critical
+                // path, each decompressed and reduced at the parent.
+                log2n * (alpha + wire * beta + comp(d) + deco(d) + reduce(d))
+            }
+            Schedule::ReduceScatterGatherReduce => {
+                // Ring reduce-scatter (same pipelining rule as above),
+                // then a binomial gather of the reduced chunks.
+                let rs = (nf - 1.0) * (alpha + ring_rs_hop + deco(m) + reduce(m));
+                let gather = comp(m) + log2n * alpha + rest * (wire * beta + deco(d));
+                rs + gather
+            }
+            Schedule::BinomialTreeBcast => comp(d) + log2n * (alpha + wire * beta) + deco(d),
+        };
+        Duration::from_secs_f64(secs)
+    }
+}
+
+/// The collective schedules the cost model can rank (one entry per
+/// `*_into` implementation in the `c-coll` crate). `Algorithm::Auto`
+/// maps its candidate algorithms onto these shapes and picks the
+/// minimum [`CostModel::estimate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Schedule {
+    /// Ring reduce-scatter + ring allgather (bandwidth-optimal;
+    /// pipelined compression overlap in the reduce-scatter stage).
+    RingAllreduce,
+    /// Recursive-doubling butterfly allreduce (latency-optimal; full
+    /// payload exchanged and re-compressed every round).
+    RecursiveDoublingAllreduce,
+    /// Rabenseifner allreduce: recursive-halving reduce-scatter +
+    /// recursive-doubling allgather (ring bytes at tree latency).
+    RabenseifnerAllreduce,
+    /// Ring allgather relaying compress-once blocks.
+    RingAllgather,
+    /// Bruck allgather: ⌈log₂n⌉ doubling steps + final local rotation.
+    BruckAllgather,
+    /// Binomial-tree rooted reduce (full payload per hop).
+    BinomialTreeReduce,
+    /// Rooted reduce as ring reduce-scatter + binomial gather.
+    ReduceScatterGatherReduce,
+    /// Binomial-tree broadcast (compress once at the root).
+    BinomialTreeBcast,
+}
+
+/// Workload description for [`CostModel::estimate`].
+///
+/// `payload_bytes` is the *uncompressed* per-rank buffer: the allreduce
+/// / reduce input length for reduction schedules, one rank's contributed
+/// block for allgather, the broadcast buffer for bcast.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedParams {
+    /// Communicator size.
+    pub world: usize,
+    /// Uncompressed per-rank payload in bytes (see the type docs).
+    pub payload_bytes: usize,
+    /// Compression throughput in uncompressed bytes/second
+    /// (`f64::INFINITY` for uncompressed schedules).
+    pub compress_tput: f64,
+    /// Decompression throughput in uncompressed bytes/second produced.
+    pub decompress_tput: f64,
+    /// Expected compression ratio (≥ 1): wire bytes are
+    /// `payload / ratio`.
+    pub ratio: f64,
+    /// Whether the ring reduce-scatter can run the PIPE-SZx overlap
+    /// (error-bounded codecs only): grants the per-hop
+    /// `max(transfer, compress)` credit instead of their sum, matching
+    /// what `execute_into` will actually run.
+    pub pipelined: bool,
+}
+
+impl SchedParams {
+    /// Parameters for an uncompressed schedule: codec terms vanish and
+    /// bytes travel at ratio 1.
+    pub fn uncompressed(world: usize, payload_bytes: usize) -> Self {
+        SchedParams {
+            world,
+            payload_bytes,
+            compress_tput: f64::INFINITY,
+            decompress_tput: f64::INFINITY,
+            ratio: 1.0,
+            pipelined: false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -187,5 +370,140 @@ mod tests {
     #[should_panic(expected = "throughput must be positive")]
     fn zero_throughput_rejected() {
         CostModel::default().set(Kernel::Memcpy, 0.0);
+    }
+
+    fn szx_params(world: usize, payload_bytes: usize) -> SchedParams {
+        let m = CostModel::default();
+        SchedParams {
+            world,
+            payload_bytes,
+            compress_tput: m.throughput(Kernel::SzxCompress),
+            decompress_tput: m.throughput(Kernel::SzxDecompress),
+            ratio: 8.0,
+            pipelined: true,
+        }
+    }
+
+    #[test]
+    fn allreduce_estimates_cross_over_with_size() {
+        // THE selection property: latency-optimal recursive doubling
+        // wins small payloads; bandwidth-optimal ring/Rabenseifner win
+        // large ones. This is the crossover Algorithm::Auto rides.
+        let m = CostModel::default();
+        let net = NetModel::default();
+        let est = |s, bytes| m.estimate(s, &net, &szx_params(16, bytes)).as_secs_f64();
+
+        let small = 512; // 128 values — latency-dominated regime
+        assert!(
+            est(Schedule::RecursiveDoublingAllreduce, small) < est(Schedule::RingAllreduce, small),
+            "recursive doubling must win small payloads"
+        );
+        assert!(
+            est(Schedule::RecursiveDoublingAllreduce, small)
+                < est(Schedule::RabenseifnerAllreduce, small),
+            "recursive doubling must beat Rabenseifner on small payloads"
+        );
+
+        let large = 64 * 1024 * 1024;
+        let rd = est(Schedule::RecursiveDoublingAllreduce, large);
+        let best_bw =
+            est(Schedule::RingAllreduce, large).min(est(Schedule::RabenseifnerAllreduce, large));
+        assert!(
+            best_bw < rd,
+            "a bandwidth-optimal schedule must win large payloads: {best_bw} vs {rd}"
+        );
+    }
+
+    #[test]
+    fn allgather_estimates_cross_over_with_size() {
+        let m = CostModel::default();
+        let net = NetModel::default();
+        let est = |s, bytes| m.estimate(s, &net, &szx_params(32, bytes)).as_secs_f64();
+        assert!(
+            est(Schedule::BruckAllgather, 256) < est(Schedule::RingAllgather, 256),
+            "Bruck (log n latency terms) must win tiny blocks"
+        );
+        let large = 16 * 1024 * 1024;
+        assert!(
+            est(Schedule::RingAllgather, large) < est(Schedule::BruckAllgather, large),
+            "the ring (no rotation memcpy) must win large blocks"
+        );
+    }
+
+    #[test]
+    fn reduce_estimates_cross_over_with_size() {
+        let m = CostModel::default();
+        let net = NetModel::default();
+        let est = |s, bytes| m.estimate(s, &net, &szx_params(16, bytes)).as_secs_f64();
+        assert!(
+            est(Schedule::BinomialTreeReduce, 512) < est(Schedule::ReduceScatterGatherReduce, 512),
+            "binomial tree must win small reduces"
+        );
+        let large = 64 * 1024 * 1024;
+        assert!(
+            est(Schedule::ReduceScatterGatherReduce, large)
+                < est(Schedule::BinomialTreeReduce, large),
+            "reduce-scatter + gather must win large reduces"
+        );
+    }
+
+    #[test]
+    fn unpipelined_ring_loses_its_overlap_credit() {
+        // A codec that cannot drive the pipeline (ZFP-FXR, lossless)
+        // pays transfer + compression per hop instead of hiding one
+        // under the other, so the pipelining credit must be gated on
+        // `pipelined` — selection then ranks the schedule that will
+        // actually execute.
+        let m = CostModel::default();
+        let net = NetModel::default();
+        let mut p = szx_params(16, 64 * 1024 * 1024);
+        p.pipelined = false;
+        let ring = m.estimate(Schedule::RingAllreduce, &net, &p);
+        p.pipelined = true;
+        let ring_piped = m.estimate(Schedule::RingAllreduce, &net, &p);
+        assert!(ring_piped < ring, "{ring_piped:?} vs {ring:?}");
+        // The credit never exceeds the full compression term.
+        let gap = ring - ring_piped;
+        let compress_total = Duration::from_secs_f64(
+            (p.payload_bytes as f64 / p.ratio / net.bandwidth)
+                .min(p.payload_bytes as f64 / p.compress_tput),
+        );
+        assert!(gap <= compress_total, "{gap:?} vs {compress_total:?}");
+    }
+
+    #[test]
+    fn single_rank_estimates_are_free() {
+        let m = CostModel::default();
+        let net = NetModel::default();
+        for s in [
+            Schedule::RingAllreduce,
+            Schedule::RecursiveDoublingAllreduce,
+            Schedule::RabenseifnerAllreduce,
+            Schedule::BruckAllgather,
+        ] {
+            assert_eq!(
+                m.estimate(s, &net, &SchedParams::uncompressed(1, 1 << 20)),
+                Duration::ZERO
+            );
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_pays_a_fold_surcharge() {
+        let m = CostModel::default();
+        let net = NetModel::default();
+        let t9 = m.estimate(
+            Schedule::RecursiveDoublingAllreduce,
+            &net,
+            &szx_params(9, 1 << 20),
+        );
+        let t16 = m.estimate(
+            Schedule::RecursiveDoublingAllreduce,
+            &net,
+            &szx_params(16, 1 << 20),
+        );
+        // 9 ranks fold to 8 and pay two extra full-payload rounds, so
+        // despite the smaller world the estimate must exceed 16 ranks'.
+        assert!(t9 > t16, "{t9:?} vs {t16:?}");
     }
 }

@@ -34,6 +34,8 @@
 //! elapsed time to the categories the paper's breakdown figures use
 //! (ComDecom, Allgather, Memcpy, Wait, Reduction, Others — Fig. 7).
 
+#![warn(missing_docs)]
+
 pub mod comm;
 pub mod cost;
 pub mod pool;
@@ -43,7 +45,7 @@ pub mod threaded;
 pub mod time;
 
 pub use comm::{Comm, RecvReq, SendReq, Tag};
-pub use cost::{CostModel, Kernel};
+pub use cost::{CostModel, Kernel, SchedParams, Schedule};
 pub use pool::PayloadPool;
 pub use profile::{Category, Profiler, TimeBreakdown, TrafficStats};
 pub use sim::{NetModel, SimConfig, SimWorld};

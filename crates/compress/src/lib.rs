@@ -83,6 +83,8 @@
 //! assert_eq!(scratch.dec.len(), data.len());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod bitstream;
 pub mod bytecodec;
 pub mod lossless;

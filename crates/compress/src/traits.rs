@@ -8,14 +8,28 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum CodecKind {
     /// SZx-style error-bounded codec with the given absolute error bound.
-    Szx { error_bound: f32 },
+    Szx {
+        /// Absolute error bound.
+        error_bound: f32,
+    },
     /// Pipelined SZx with the given absolute error bound and chunk size in
     /// values (the paper uses 5120).
-    PipeSzx { error_bound: f32, chunk: usize },
+    PipeSzx {
+        /// Absolute error bound.
+        error_bound: f32,
+        /// Chunk size in values.
+        chunk: usize,
+    },
     /// ZFP-style codec in fixed-accuracy mode.
-    ZfpAbs { error_bound: f32 },
+    ZfpAbs {
+        /// Absolute error bound.
+        error_bound: f32,
+    },
     /// ZFP-style codec in fixed-rate mode, `rate` bits per value.
-    ZfpFxr { rate: u32 },
+    ZfpFxr {
+        /// Bits per value.
+        rate: u32,
+    },
     /// No compression: payloads are raw little-endian f32 bytes.
     None,
 }

@@ -1,0 +1,276 @@
+//! The algorithm layer: which *schedule* a collective plan runs, and the
+//! cost-model-driven [`Algorithm::Auto`] selection.
+//!
+//! The paper builds every collective on a single schedule per primitive
+//! (ring for allreduce/allgather, binomial tree for bcast/scatter), but
+//! its own Table I cost discussion implies the optimal schedule flips
+//! with message size, world size and codec throughput: a ring pays
+//! `n−1` latency terms where a butterfly pays `⌈log₂n⌉`, and a pipeline
+//! only helps when there is enough payload to fill it. This module
+//! exposes that choice:
+//!
+//! * [`Algorithm`] names every schedule implemented in
+//!   [`collectives`](crate::collectives) and
+//!   [`frameworks`](crate::frameworks);
+//! * [`PlanOptions`] carries the choice into the `plan_*_with`
+//!   constructors on [`CCollSession`](crate::CCollSession);
+//! * [`Algorithm::Auto`] (the default) ranks the candidate schedules
+//!   with [`CostModel::estimate`] — the closed-form α–β–γ critical
+//!   paths extended with the session codec's throughput and nominal
+//!   ratio — and picks the minimum.
+//!
+//! The crossover the selection rides, qualitatively:
+//!
+//! ```text
+//! payload →  small                    medium                  large
+//! allreduce  RecursiveDoubling        Rabenseifner            Ring (pipelined)
+//! allgather  Bruck                    Bruck/Ring              Ring
+//! reduce     Binomial tree            …                       RS + gather
+//! ```
+
+use ccoll_comm::{CostModel, NetModel, SchedParams, Schedule};
+
+use crate::codec::CodecSpec;
+
+/// Which schedule a collective plan executes. Constructed through
+/// [`PlanOptions`]; resolved (for [`Algorithm::Auto`]) at plan-creation
+/// time, so `execute_into` dispatch is branch-cheap and the workspace is
+/// warmed for the schedule that will actually run.
+///
+/// Not every algorithm applies to every collective — each `plan_*_with`
+/// constructor documents its supported set and panics on an unsupported
+/// choice (a plan is a static configuration error, not a runtime
+/// condition). `Auto` is accepted everywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Algorithm {
+    /// Pick the cheapest supported schedule via [`CostModel::estimate`]
+    /// from (payload size, world size, codec throughputs). The default.
+    #[default]
+    Auto,
+    /// Ring schedule: bandwidth-optimal, `n−1` rounds. For allreduce
+    /// this is the paper's pipelined C-Allreduce (reduce-scatter +
+    /// allgather over the ring).
+    Ring,
+    /// Recursive-doubling butterfly (allreduce): `⌈log₂n⌉` rounds of
+    /// full-payload exchange — latency-optimal for small payloads.
+    RecursiveDoubling,
+    /// Rabenseifner (allreduce: recursive-halving reduce-scatter +
+    /// recursive-doubling allgather). For rooted reduce this names the
+    /// bandwidth-optimal reduce-scatter + gather composition.
+    Rabenseifner,
+    /// Binomial tree (bcast, scatter, gather, rooted reduce).
+    Binomial,
+    /// Bruck doubling schedule (allgather): `⌈log₂n⌉` steps plus one
+    /// local rotation — latency-optimal for small blocks.
+    Bruck,
+    /// Pairwise exchange (all-to-all).
+    Pairwise,
+}
+
+impl Algorithm {
+    /// Short lowercase label for benchmark tables and JSON output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Algorithm::Auto => "auto",
+            Algorithm::Ring => "ring",
+            Algorithm::RecursiveDoubling => "recursive-doubling",
+            Algorithm::Rabenseifner => "rabenseifner",
+            Algorithm::Binomial => "binomial",
+            Algorithm::Bruck => "bruck",
+            Algorithm::Pairwise => "pairwise",
+        }
+    }
+}
+
+/// Per-plan configuration accepted by every `plan_*_with` constructor on
+/// [`CCollSession`](crate::CCollSession) (builder style).
+///
+/// ```
+/// use c_coll::{Algorithm, PlanOptions};
+///
+/// let opts = PlanOptions::new().algorithm(Algorithm::RecursiveDoubling);
+/// assert_eq!(opts.algorithm, Algorithm::RecursiveDoubling);
+/// // The default is cost-model-driven selection.
+/// assert_eq!(PlanOptions::default().algorithm, Algorithm::Auto);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanOptions {
+    /// The schedule to run ([`Algorithm::Auto`] selects per cost model).
+    pub algorithm: Algorithm,
+}
+
+impl PlanOptions {
+    /// Options with every field at its default (`Algorithm::Auto`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the schedule.
+    #[must_use]
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+}
+
+/// The inputs `Algorithm::Auto` selection works from; bundled by the
+/// session (which owns the cost/net models and the codec spec).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SelectCtx<'a> {
+    pub cost: &'a CostModel,
+    pub net: &'a NetModel,
+    pub spec: CodecSpec,
+    pub world: usize,
+}
+
+impl SelectCtx<'_> {
+    /// Workload parameters for a `payload_bytes`-byte uncompressed
+    /// per-rank buffer under this session's codec.
+    fn params(&self, payload_bytes: usize) -> SchedParams {
+        match self.spec {
+            CodecSpec::None => SchedParams::uncompressed(self.world, payload_bytes),
+            spec => {
+                let (ck, dk) = spec.kernels();
+                SchedParams {
+                    world: self.world,
+                    payload_bytes,
+                    compress_tput: self.cost.throughput(ck),
+                    decompress_tput: self.cost.throughput(dk),
+                    ratio: spec.nominal_ratio(),
+                    // Only error-bounded codecs drive the PIPE-SZx
+                    // overlap; others execute the compress-once ND ring,
+                    // which has no per-hop transfer/compress credit.
+                    pipelined: spec.error_bound().is_some(),
+                }
+            }
+        }
+    }
+
+    /// The cheapest of `candidates` for a `payload_bytes` workload.
+    fn cheapest(&self, payload_bytes: usize, candidates: &[(Algorithm, Schedule)]) -> Algorithm {
+        let p = self.params(payload_bytes);
+        candidates
+            .iter()
+            .min_by(|(_, a), (_, b)| {
+                self.cost
+                    .estimate(*a, self.net, &p)
+                    .cmp(&self.cost.estimate(*b, self.net, &p))
+            })
+            .expect("candidate list is never empty")
+            .0
+    }
+
+    /// Resolve an allreduce algorithm (Ring | RecursiveDoubling |
+    /// Rabenseifner).
+    pub fn allreduce(&self, len: usize) -> Algorithm {
+        self.cheapest(
+            len * 4,
+            &[
+                (Algorithm::Ring, Schedule::RingAllreduce),
+                (
+                    Algorithm::RecursiveDoubling,
+                    Schedule::RecursiveDoublingAllreduce,
+                ),
+                (Algorithm::Rabenseifner, Schedule::RabenseifnerAllreduce),
+            ],
+        )
+    }
+
+    /// Resolve an allgather algorithm (Ring | Bruck) for the largest
+    /// per-rank block.
+    pub fn allgather(&self, max_block: usize) -> Algorithm {
+        self.cheapest(
+            max_block * 4,
+            &[
+                (Algorithm::Ring, Schedule::RingAllgather),
+                (Algorithm::Bruck, Schedule::BruckAllgather),
+            ],
+        )
+    }
+
+    /// Resolve a rooted-reduce algorithm (Binomial | Rabenseifner).
+    pub fn reduce(&self, len: usize) -> Algorithm {
+        self.cheapest(
+            len * 4,
+            &[
+                (Algorithm::Binomial, Schedule::BinomialTreeReduce),
+                (Algorithm::Rabenseifner, Schedule::ReduceScatterGatherReduce),
+            ],
+        )
+    }
+}
+
+/// Panic helper for `plan_*_with` constructors: reject an algorithm a
+/// collective has no schedule for, naming the supported set.
+pub(crate) fn reject_unsupported(collective: &str, got: Algorithm, supported: &[Algorithm]) -> ! {
+    let names: Vec<&str> = supported.iter().map(|a| a.label()).collect();
+    panic!(
+        "{collective} has no {} schedule (supported: auto, {})",
+        got.label(),
+        names.join(", ")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(spec: CodecSpec, world: usize) -> (CostModel, NetModel, CodecSpec, usize) {
+        (CostModel::default(), NetModel::default(), spec, world)
+    }
+
+    #[test]
+    fn auto_allreduce_crosses_from_doubling_to_bandwidth_optimal() {
+        let (cost, net, spec, world) = ctx(CodecSpec::Szx { error_bound: 1e-3 }, 16);
+        let s = SelectCtx {
+            cost: &cost,
+            net: &net,
+            spec,
+            world,
+        };
+        assert_eq!(
+            s.allreduce(128),
+            Algorithm::RecursiveDoubling,
+            "small payloads are latency-bound"
+        );
+        let large = s.allreduce(16 * 1024 * 1024);
+        assert!(
+            matches!(large, Algorithm::Ring | Algorithm::Rabenseifner),
+            "large payloads are bandwidth-bound, got {large:?}"
+        );
+    }
+
+    #[test]
+    fn auto_allgather_crosses_from_bruck_to_ring() {
+        let (cost, net, spec, world) = ctx(CodecSpec::Szx { error_bound: 1e-3 }, 32);
+        let s = SelectCtx {
+            cost: &cost,
+            net: &net,
+            spec,
+            world,
+        };
+        assert_eq!(s.allgather(64), Algorithm::Bruck);
+        assert_eq!(s.allgather(8 * 1024 * 1024), Algorithm::Ring);
+    }
+
+    #[test]
+    fn auto_reduce_crosses_from_binomial_to_rs_gather() {
+        let (cost, net, spec, world) = ctx(CodecSpec::None, 16);
+        let s = SelectCtx {
+            cost: &cost,
+            net: &net,
+            spec,
+            world,
+        };
+        assert_eq!(s.reduce(128), Algorithm::Binomial);
+        assert_eq!(s.reduce(16 * 1024 * 1024), Algorithm::Rabenseifner);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        // Bench JSON keys — renaming them breaks recorded trajectories.
+        assert_eq!(Algorithm::Auto.label(), "auto");
+        assert_eq!(Algorithm::RecursiveDoubling.label(), "recursive-doubling");
+        assert_eq!(Algorithm::Rabenseifner.label(), "rabenseifner");
+    }
+}

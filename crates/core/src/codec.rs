@@ -11,16 +11,20 @@ use std::str::FromStr;
 use std::sync::Arc;
 
 use ccoll_comm::Kernel;
-use ccoll_compress::{traits::CodecKind, Compressor, PipeSzx, SzxCodec, ZfpCodec};
+use ccoll_compress::{traits::CodecKind, Compressor, LosslessCodec, PipeSzx, SzxCodec, ZfpCodec};
 
 /// Which codec (and configuration) a compression-integrated collective
 /// uses. Mirrors the paper's evaluated configurations:
 /// SZx and ZFP(ABS) at error bounds 1e-2/1e-3/1e-4, ZFP(FXR) at rates
-/// 4/8/16, plus `None` for uncompressed baselines.
+/// 4/8/16, plus `None` for uncompressed baselines and `Lossless` for
+/// the bit-exact gzip-class baseline of §II.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum CodecSpec {
     /// No compression (raw f32 bytes).
     None,
+    /// Bit-exact lossless codec (byte transpose + delta + RLE): the
+    /// gzip/zstd-class baseline. Exact round-trips, modest ratios.
+    Lossless,
     /// SZx-style codec with an absolute error bound.
     Szx {
         /// Absolute error bound.
@@ -43,6 +47,7 @@ impl CodecSpec {
     pub fn build(&self) -> Option<Arc<dyn Compressor>> {
         match *self {
             CodecSpec::None => None,
+            CodecSpec::Lossless => Some(Arc::new(LosslessCodec::new())),
             CodecSpec::Szx { error_bound } => Some(Arc::new(SzxCodec::new(error_bound))),
             CodecSpec::ZfpAbs { error_bound } => {
                 Some(Arc::new(ZfpCodec::fixed_accuracy(error_bound)))
@@ -62,9 +67,14 @@ impl CodecSpec {
     }
 
     /// The cost-model kernels `(compress, decompress)` for this codec.
+    /// The lossless codec is charged at SZx-class throughput (it is a
+    /// comparable single-pass byte scheme; the cost model has no
+    /// dedicated lossless entry).
     pub fn kernels(&self) -> (Kernel, Kernel) {
         match self {
-            CodecSpec::None | CodecSpec::Szx { .. } => (Kernel::SzxCompress, Kernel::SzxDecompress),
+            CodecSpec::None | CodecSpec::Lossless | CodecSpec::Szx { .. } => {
+                (Kernel::SzxCompress, Kernel::SzxDecompress)
+            }
             CodecSpec::ZfpAbs { .. } => (Kernel::ZfpAbsCompress, Kernel::ZfpAbsDecompress),
             CodecSpec::ZfpFxr { .. } => (Kernel::ZfpFxrCompress, Kernel::ZfpFxrDecompress),
         }
@@ -78,10 +88,26 @@ impl CodecSpec {
         }
     }
 
+    /// A nominal compression-ratio estimate for schedule selection
+    /// (`Algorithm::Auto` shrinks its wire terms by this factor). These
+    /// are order-of-magnitude planning figures in the spirit of the
+    /// paper's Table II ratios on smooth scientific fields — actual
+    /// ratios are data-dependent, but schedule crossovers only need the
+    /// right magnitude.
+    pub fn nominal_ratio(&self) -> f64 {
+        match *self {
+            CodecSpec::None => 1.0,
+            CodecSpec::Lossless => 1.5,
+            CodecSpec::Szx { .. } | CodecSpec::ZfpAbs { .. } => 8.0,
+            CodecSpec::ZfpFxr { rate } => 32.0 / rate.max(1) as f64,
+        }
+    }
+
     /// Paper-style label.
     pub fn label(&self) -> String {
         match *self {
             CodecSpec::None => "Allreduce".to_string(), // the uncompressed baseline
+            CodecSpec::Lossless => "Lossless".to_string(),
             CodecSpec::Szx { error_bound } => CodecKind::Szx { error_bound }.label(),
             CodecSpec::ZfpAbs { error_bound } => CodecKind::ZfpAbs { error_bound }.label(),
             CodecSpec::ZfpFxr { rate } => CodecKind::ZfpFxr { rate }.label(),
@@ -94,6 +120,7 @@ impl fmt::Display for CodecSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             CodecSpec::None => write!(f, "none"),
+            CodecSpec::Lossless => write!(f, "lossless"),
             CodecSpec::Szx { error_bound } => write!(f, "szx:{error_bound:e}"),
             CodecSpec::ZfpAbs { error_bound } => write!(f, "zfp-abs:{error_bound:e}"),
             CodecSpec::ZfpFxr { rate } => write!(f, "zfp-fxr:{rate}"),
@@ -112,8 +139,8 @@ impl fmt::Display for ParseCodecSpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "invalid codec spec {:?}: {} (expected \"none\", \"szx:<eb>\", \
-             \"zfp-abs:<eb>\" or \"zfp-fxr:<bits>\")",
+            "invalid codec spec {:?}: {} (expected \"none\", \"lossless\", \
+             \"szx:<eb>\", \"zfp-abs:<eb>\" or \"zfp-fxr:<bits>\")",
             self.input, self.reason
         )
     }
@@ -124,9 +151,20 @@ impl std::error::Error for ParseCodecSpecError {}
 impl FromStr for CodecSpec {
     type Err = ParseCodecSpecError;
 
-    /// Parse the canonical spec syntax: `none` (or `raw`), `szx:<eb>`,
-    /// `zfp-abs:<eb>`, `zfp-fxr:<bits>`. Case-insensitive; underscores
-    /// accepted in place of dashes.
+    /// Parse the canonical spec syntax: `none` (or `raw`), `lossless`,
+    /// `szx:<eb>`, `zfp-abs:<eb>`, `zfp-fxr:<bits>`. Case-insensitive;
+    /// underscores accepted in place of dashes.
+    ///
+    /// ```
+    /// use c_coll::CodecSpec;
+    ///
+    /// let spec: CodecSpec = "szx:1e-3".parse().unwrap();
+    /// assert_eq!(spec, CodecSpec::Szx { error_bound: 1e-3 });
+    /// // Display emits the canonical form, so specs round-trip.
+    /// assert_eq!(spec.to_string().parse::<CodecSpec>().unwrap(), spec);
+    /// // Malformed specs explain what they expected.
+    /// assert!("szx:-1".parse::<CodecSpec>().is_err());
+    /// ```
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let err = |reason| ParseCodecSpecError {
             input: s.to_string(),
@@ -149,6 +187,10 @@ impl FromStr for CodecSpec {
             "none" | "raw" => match arg {
                 None => Ok(CodecSpec::None),
                 Some(_) => Err(err("\"none\" takes no argument")),
+            },
+            "lossless" => match arg {
+                None => Ok(CodecSpec::Lossless),
+                Some(_) => Err(err("\"lossless\" takes no argument")),
             },
             "szx" => Ok(CodecSpec::Szx {
                 error_bound: parse_eb(arg)?,
@@ -196,6 +238,7 @@ mod tests {
     fn display_round_trips_through_from_str() {
         let specs = [
             CodecSpec::None,
+            CodecSpec::Lossless,
             CodecSpec::Szx { error_bound: 1e-3 },
             CodecSpec::ZfpAbs { error_bound: 1e-2 },
             CodecSpec::ZfpFxr { rate: 16 },

@@ -480,6 +480,31 @@ pub fn binomial_gather_into<C: Comm>(
     true
 }
 
+/// The fold geometry every butterfly schedule shares: non-power-of-two
+/// worlds pre-reduce the first `2·rem` ranks pairwise (even → odd) so a
+/// power-of-two subset runs the butterfly, then unfold the result back.
+///
+/// Returns `(pow2, rem)` where `pow2` is the largest power of two not
+/// exceeding `n` and `rem = n - pow2`.
+pub(crate) fn butterfly_fold(n: usize) -> (usize, usize) {
+    let pow2 = if n.is_power_of_two() {
+        n
+    } else {
+        n.next_power_of_two() / 2
+    };
+    (pow2, n - pow2)
+}
+
+/// The rank holding butterfly position `p` after the fold (odd folded
+/// ranks take positions `0..rem`; unpaired ranks shift down by `rem`).
+pub(crate) fn butterfly_pos_to_rank(p: usize, rem: usize) -> usize {
+    if p < rem {
+        2 * p + 1
+    } else {
+        p + rem
+    }
+}
+
 /// Recursive-doubling allreduce (efficient for short messages; included
 /// as the classic alternative to the ring for completeness).
 ///
@@ -491,31 +516,52 @@ pub fn recursive_doubling_allreduce<C: Comm>(
     input: &[f32],
     op: ReduceOp,
 ) -> Vec<f32> {
+    let mut out = vec![0.0f32; input.len()];
+    let mut ws = CollWorkspace::new();
+    recursive_doubling_allreduce_into(comm, input, op, &mut out, &mut ws);
+    out
+}
+
+/// [`recursive_doubling_allreduce`] writing into a caller-provided
+/// buffer through a reusable workspace: `⌈log₂n⌉` butterfly rounds, each
+/// exchanging and reducing the full payload, with zero steady-state heap
+/// allocations.
+///
+/// # Panics
+/// Panics if `out.len() != input.len()`.
+pub fn recursive_doubling_allreduce_into<C: Comm>(
+    comm: &mut C,
+    input: &[f32],
+    op: ReduceOp,
+    out: &mut [f32],
+    ws: &mut CollWorkspace,
+) {
     let n = comm.size();
     let me = comm.rank();
-    let pow2 = if n.is_power_of_two() {
-        n
-    } else {
-        n.next_power_of_two() / 2
-    };
-    let rem = n - pow2;
-    let mut acc = input.to_vec();
+    assert_eq!(out.len(), input.len(), "output buffer size mismatch");
+    let (pow2, rem) = butterfly_fold(n);
+    ws.acc.resize(input.len(), 0.0);
+    let CollWorkspace {
+        pool, scratch, acc, ..
+    } = ws;
+    memcpy_in(comm, acc, input);
     let tag = tags::RECURSIVE_DOUBLING;
 
     // Fold: ranks 0..2*rem pair (even → odd), odd ranks survive.
     let my_pos: Option<usize> = if me < 2 * rem {
         if me.is_multiple_of(2) {
-            let req = comm.isend(me + 1, tag, values_to_bytes(&acc));
+            let req = comm.isend(me + 1, tag, values_payload(pool, acc));
             comm.wait_send_in(req, Category::Wait);
             None
         } else {
             let got = comm.recv(me - 1, tag);
-            let vals = bytes_to_values(&got);
+            decode_values_vec(&got, &mut scratch.dec);
+            let vals = &scratch.dec;
             comm.run_kernel(
                 ccoll_comm::Kernel::Reduce,
                 vals.len() * 4,
                 Category::Reduction,
-                || op.apply(&mut acc, &vals),
+                || op.apply(acc, vals),
             );
             Some(me / 2)
         }
@@ -524,27 +570,21 @@ pub fn recursive_doubling_allreduce<C: Comm>(
     };
 
     if let Some(pos) = my_pos {
-        // Butterfly among the pow2 surviving positions, reusing one
-        // receive buffer across rounds.
-        let pos_to_rank = |p: usize| if p < rem { 2 * p + 1 } else { p + rem };
-        let mut vals: Vec<f32> = Vec::new();
+        // Butterfly among the pow2 surviving positions, decoding into
+        // the one scratch buffer every round.
         let mut mask = 1usize;
         let mut round: Tag = 1;
         while mask < pow2 {
-            let peer = pos_to_rank(pos ^ mask);
-            let got = comm.sendrecv(
-                peer,
-                peer,
-                tag + round,
-                values_to_bytes(&acc),
-                Category::Wait,
-            );
-            decode_values_vec(&got, &mut vals);
+            let peer = butterfly_pos_to_rank(pos ^ mask, rem);
+            let payload = values_payload(pool, acc);
+            let got = comm.sendrecv(peer, peer, tag + round, payload, Category::Wait);
+            decode_values_vec(&got, &mut scratch.dec);
+            let vals = &scratch.dec;
             comm.run_kernel(
                 ccoll_comm::Kernel::Reduce,
                 vals.len() * 4,
                 Category::Reduction,
-                || op.apply(&mut acc, &vals),
+                || op.apply(acc, vals),
             );
             mask <<= 1;
             round += 1;
@@ -554,14 +594,310 @@ pub fn recursive_doubling_allreduce<C: Comm>(
     // Unfold: odd folded ranks send results back to their even partner.
     if me < 2 * rem {
         if me % 2 == 1 {
-            let req = comm.isend(me - 1, tag + 999, values_to_bytes(&acc));
+            let req = comm.isend(me - 1, tag + 999, values_payload(pool, acc));
             comm.wait_send_in(req, Category::Wait);
         } else {
-            acc = bytes_to_values(&comm.recv(me + 1, tag + 999));
+            let got = comm.recv(me + 1, tag + 999);
+            decode_values_in(comm, acc, &got);
         }
     }
-    op.finalize(&mut acc, n);
-    acc
+    memcpy_in(comm, out, acc);
+    op.finalize(out, n);
+}
+
+/// Rabenseifner allreduce: recursive-halving reduce-scatter followed by
+/// recursive-doubling allgather — the ring's `2·(n−1)/n·D` bytes at tree
+/// (`2⌈log₂n⌉`) latency. The classic large-message algorithm for
+/// power-of-two worlds; non-powers-of-two fold/unfold exactly like
+/// [`recursive_doubling_allreduce`].
+pub fn rabenseifner_allreduce<C: Comm>(comm: &mut C, input: &[f32], op: ReduceOp) -> Vec<f32> {
+    let mut out = vec![0.0f32; input.len()];
+    let mut ws = CollWorkspace::new();
+    rabenseifner_allreduce_into(comm, input, op, &mut out, &mut ws);
+    out
+}
+
+/// [`rabenseifner_allreduce`] writing into a caller-provided buffer
+/// through a reusable workspace (zero steady-state heap allocations).
+///
+/// The internal partition is the balanced split of the buffer across the
+/// `pow2` butterfly positions (not across all `n` ranks): the halving
+/// phase narrows each position's ownership by one bit per round, so
+/// position `p` ends up with exactly chunk `p`, and the doubling phase
+/// re-merges the aligned ranges.
+///
+/// # Panics
+/// Panics if `out.len() != input.len()`.
+pub fn rabenseifner_allreduce_into<C: Comm>(
+    comm: &mut C,
+    input: &[f32],
+    op: ReduceOp,
+    out: &mut [f32],
+    ws: &mut CollWorkspace,
+) {
+    let n = comm.size();
+    let me = comm.rank();
+    assert_eq!(out.len(), input.len(), "output buffer size mismatch");
+    let (pow2, rem) = butterfly_fold(n);
+    // Partition across butterfly *positions*, cached in the workspace.
+    ws.set_partition(input.len(), pow2);
+    ws.acc.resize(input.len(), 0.0);
+    let CollWorkspace {
+        pool,
+        scratch,
+        acc,
+        counts,
+        offsets,
+        ..
+    } = ws;
+    memcpy_in(comm, acc, input);
+    let tag = tags::RABENSEIFNER;
+    // Value range covered by chunk indices [lo, hi).
+    let range = |lo: usize, hi: usize| -> (usize, usize) {
+        (offsets[lo], offsets[hi - 1] + counts[hi - 1])
+    };
+
+    // Fold (as in recursive doubling): even ranks < 2·rem hand their
+    // buffer to their odd neighbour and sit out the butterfly.
+    let my_pos: Option<usize> = if me < 2 * rem {
+        if me.is_multiple_of(2) {
+            let req = comm.isend(me + 1, tag, values_payload(pool, acc));
+            comm.wait_send_in(req, Category::Wait);
+            None
+        } else {
+            let got = comm.recv(me - 1, tag);
+            decode_values_vec(&got, &mut scratch.dec);
+            let vals = &scratch.dec;
+            comm.run_kernel(
+                ccoll_comm::Kernel::Reduce,
+                vals.len() * 4,
+                Category::Reduction,
+                || op.apply(acc, vals),
+            );
+            Some(me / 2)
+        }
+    } else {
+        Some(me - rem)
+    };
+
+    if let Some(pos) = my_pos {
+        // Recursive-halving reduce-scatter: each round exchanges the
+        // half I'm giving up and reduces the half I keep, narrowing my
+        // ownership [lo, hi) to the single chunk `pos`.
+        let (mut lo, mut hi) = (0usize, pow2);
+        let mut mask = pow2 / 2;
+        let mut round: Tag = 1;
+        while mask >= 1 {
+            let peer = butterfly_pos_to_rank(pos ^ mask, rem);
+            let mid = lo + (hi - lo) / 2;
+            let (keep_lo, keep_hi, send_lo, send_hi) = if pos & mask == 0 {
+                (lo, mid, mid, hi)
+            } else {
+                (mid, hi, lo, mid)
+            };
+            let (sb, se) = range(send_lo, send_hi);
+            let (kb, ke) = range(keep_lo, keep_hi);
+            let payload = values_payload(pool, &acc[sb..se]);
+            let got = comm.sendrecv(peer, peer, tag + round, payload, Category::Wait);
+            decode_values_vec(&got, &mut scratch.dec);
+            let vals = &scratch.dec;
+            assert_eq!(vals.len(), ke - kb, "halving block mismatch");
+            let dst = &mut acc[kb..ke];
+            comm.run_kernel(
+                ccoll_comm::Kernel::Reduce,
+                vals.len() * 4,
+                Category::Reduction,
+                || op.apply(dst, vals),
+            );
+            lo = keep_lo;
+            hi = keep_hi;
+            mask /= 2;
+            round += 1;
+        }
+        debug_assert_eq!((lo, hi), (pos, pos + 1));
+
+        // Recursive-doubling allgather: exchange the aligned owned range
+        // with the mirror position, doubling ownership every round.
+        let mut mask = 1usize;
+        let mut round: Tag = 0x100;
+        while mask < pow2 {
+            let peer = butterfly_pos_to_rank(pos ^ mask, rem);
+            let base = pos & !(2 * mask - 1);
+            let (cur_lo, cur_hi) = if pos & mask == 0 {
+                (base, base + mask)
+            } else {
+                (base + mask, base + 2 * mask)
+            };
+            let (peer_lo, peer_hi) = if pos & mask == 0 {
+                (base + mask, base + 2 * mask)
+            } else {
+                (base, base + mask)
+            };
+            let (sb, se) = range(cur_lo, cur_hi);
+            let (pb, pe) = range(peer_lo, peer_hi);
+            let payload = values_payload(pool, &acc[sb..se]);
+            let got = comm.sendrecv(peer, peer, tag + round, payload, Category::Wait);
+            decode_values_in(comm, &mut acc[pb..pe], &got);
+            mask <<= 1;
+            round += 1;
+        }
+    }
+
+    // Unfold: odd folded ranks send the full result back.
+    if me < 2 * rem {
+        if me % 2 == 1 {
+            let req = comm.isend(me - 1, tag + 999, values_payload(pool, acc));
+            comm.wait_send_in(req, Category::Wait);
+        } else {
+            let got = comm.recv(me + 1, tag + 999);
+            decode_values_in(comm, acc, &got);
+        }
+    }
+    memcpy_in(comm, out, acc);
+    op.finalize(out, n);
+}
+
+/// Bruck allgather with per-rank value counts: `⌈log₂n⌉` doubling steps
+/// (each rank sends everything it holds to `me − 2ᵏ` and receives from
+/// `me + 2ᵏ`), then one local rotation from relative to absolute rank
+/// order.
+pub fn bruck_allgatherv<C: Comm>(comm: &mut C, mine: &[f32], counts: &[usize]) -> Vec<f32> {
+    let mut out = vec![0.0f32; counts.iter().sum()];
+    let mut ws = CollWorkspace::new();
+    bruck_allgatherv_into(comm, mine, counts, &mut out, &mut ws);
+    out
+}
+
+/// [`bruck_allgatherv`] writing into a caller-provided buffer through a
+/// reusable workspace (zero steady-state heap allocations). Blocks are
+/// staged in *relative* order (`hold[i]` is the block of rank
+/// `(me + i) % n`) in the workspace accumulator, then rotated into
+/// absolute order during the final sweep.
+///
+/// # Panics
+/// Panics if `mine.len() != counts[rank]` or `out.len()` is not the sum
+/// of `counts`.
+pub fn bruck_allgatherv_into<C: Comm>(
+    comm: &mut C,
+    mine: &[f32],
+    counts_in: &[usize],
+    out: &mut [f32],
+    ws: &mut CollWorkspace,
+) {
+    let n = comm.size();
+    let me = comm.rank();
+    assert_eq!(counts_in.len(), n, "counts must have one entry per rank");
+    assert_eq!(mine.len(), counts_in[me], "my buffer disagrees with counts");
+    assert_eq!(
+        out.len(),
+        counts_in.iter().sum::<usize>(),
+        "output buffer size mismatch"
+    );
+    ws.set_partition_from_counts(counts_in);
+    let CollWorkspace {
+        pool,
+        acc: hold,
+        counts,
+        offsets,
+        ..
+    } = ws;
+    hold.clear();
+    hold.extend_from_slice(mine);
+    let mut held = 1usize; // blocks held, in relative order
+    let mut step: Tag = 0;
+    while held < n {
+        let dist = held; // always a power of two
+        let send_cnt = dist.min(n - held);
+        let dst = (me + n - dist) % n;
+        let src = (me + dist) % n;
+        let send_vals: usize = (0..send_cnt).map(|i| counts[(me + i) % n]).sum();
+        let recv_vals: usize = (0..send_cnt).map(|i| counts[(src + i) % n]).sum();
+        let payload = values_payload(pool, &hold[..send_vals]);
+        let got = comm.sendrecv(dst, src, tags::BRUCK + step, payload, Category::Allgather);
+        assert_eq!(got.len(), recv_vals * 4, "Bruck step block size mismatch");
+        let at = hold.len();
+        hold.resize(at + recv_vals, 0.0);
+        decode_values_in(comm, &mut hold[at..], &got);
+        held += send_cnt;
+        step += 1;
+    }
+    // Rotate: relative block i belongs to absolute rank (me + i) % n.
+    let mut at = 0;
+    for i in 0..n {
+        let a = (me + i) % n;
+        memcpy_in(
+            comm,
+            &mut out[offsets[a]..offsets[a] + counts[a]],
+            &hold[at..at + counts[a]],
+        );
+        at += counts[a];
+    }
+}
+
+/// Binomial-tree rooted reduce: every rank reduces its children's
+/// subtrees into its accumulator and forwards one message to its parent
+/// — `⌈log₂n⌉` full-payload hops on the root's critical path (the
+/// latency-optimal rooted reduce, vs the bandwidth-optimal
+/// reduce-scatter + gather composition in [`crate::session::ReducePlan`]).
+/// The root returns the reduced buffer, other ranks `None`.
+pub fn binomial_reduce<C: Comm>(
+    comm: &mut C,
+    root: usize,
+    input: &[f32],
+    op: ReduceOp,
+) -> Option<Vec<f32>> {
+    let mut out = vec![0.0f32; if comm.rank() == root { input.len() } else { 0 }];
+    let mut ws = CollWorkspace::new();
+    binomial_reduce_into(comm, root, input, op, &mut out, &mut ws).then_some(out)
+}
+
+/// [`binomial_reduce`] writing the reduced buffer into `out` on the root
+/// (which must size it to the input length; other ranks may pass an
+/// empty buffer). Returns `true` on the root, `false` elsewhere.
+pub fn binomial_reduce_into<C: Comm>(
+    comm: &mut C,
+    root: usize,
+    input: &[f32],
+    op: ReduceOp,
+    out: &mut [f32],
+    ws: &mut CollWorkspace,
+) -> bool {
+    let n = comm.size();
+    let me = comm.rank();
+    assert!(root < n, "root {root} out of range");
+    ws.acc.resize(input.len(), 0.0);
+    let CollWorkspace {
+        pool, scratch, acc, ..
+    } = ws;
+    memcpy_in(comm, acc, input);
+    let relative = (me + n - root) % n;
+    let mut mask = 1usize;
+    while mask < n {
+        if relative & mask != 0 {
+            let parent = (relative - mask + root) % n;
+            let req = comm.isend(parent, tags::TREE_REDUCE, values_payload(pool, acc));
+            comm.wait_send_in(req, Category::Wait);
+            return false;
+        }
+        let child_rel = relative + mask;
+        if child_rel < n {
+            let got = comm.recv((child_rel + root) % n, tags::TREE_REDUCE);
+            decode_values_vec(&got, &mut scratch.dec);
+            let vals = &scratch.dec;
+            assert_eq!(vals.len(), acc.len(), "tree-reduce block size mismatch");
+            comm.run_kernel(
+                ccoll_comm::Kernel::Reduce,
+                vals.len() * 4,
+                Category::Reduction,
+                || op.apply(acc, vals),
+            );
+        }
+        mask <<= 1;
+    }
+    assert_eq!(out.len(), input.len(), "root output must hold the result");
+    memcpy_in(comm, out, acc);
+    op.finalize(out, n);
+    true
 }
 
 /// Pairwise-exchange all-to-all: `send` holds `n` equal blocks (block `i`
@@ -815,6 +1151,81 @@ mod tests {
                     assert!((a - b).abs() < 1e-3, "n={n} rank {r}: {a} vs {b}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn rabenseifner_all_sizes() {
+        for n in [1usize, 2, 3, 4, 5, 6, 7, 8, 9] {
+            let len = 37; // uneven across every pow2 partition
+            let world = SimWorld::new(SimConfig::new(n));
+            let out = world
+                .run(move |c| rabenseifner_allreduce(c, &rank_data(c.rank(), len), ReduceOp::Sum));
+            let inputs: Vec<Vec<f32>> = (0..n).map(|r| rank_data(r, len)).collect();
+            let expect = ReduceOp::Sum.oracle(&inputs);
+            for r in 0..n {
+                for (a, b) in out.results[r].iter().zip(&expect) {
+                    assert!((a - b).abs() < 1e-3, "n={n} rank {r}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bruck_allgather_all_sizes() {
+        for n in [1usize, 2, 3, 5, 7, 8] {
+            let counts: Vec<usize> = (0..n).map(|r| 10 + 7 * (r % 3)).collect();
+            let c2 = counts.clone();
+            let world = SimWorld::new(SimConfig::new(n));
+            let out = world.run(move |c| {
+                let mine = rank_data(c.rank(), c2[c.rank()]);
+                bruck_allgatherv(c, &mine, &c2)
+            });
+            let mut expect = Vec::new();
+            for (r, &count) in counts.iter().enumerate() {
+                expect.extend(rank_data(r, count));
+            }
+            for r in 0..n {
+                assert_eq!(out.results[r], expect, "n={n} rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_reduce_all_roots() {
+        let n = 6;
+        let len = 45;
+        for root in 0..n {
+            let world = SimWorld::new(SimConfig::new(n));
+            let out = world
+                .run(move |c| binomial_reduce(c, root, &rank_data(c.rank(), len), ReduceOp::Sum));
+            let inputs: Vec<Vec<f32>> = (0..n).map(|r| rank_data(r, len)).collect();
+            let expect = ReduceOp::Sum.oracle(&inputs);
+            for (r, res) in out.results.iter().enumerate() {
+                if r == root {
+                    let got = res.as_ref().unwrap();
+                    for (a, b) in got.iter().zip(&expect) {
+                        assert!((a - b).abs() < 1e-3, "root {root}: {a} vs {b}");
+                    }
+                } else {
+                    assert!(res.is_none(), "non-root {r} must return None");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_reduce_avg_finalizes_once() {
+        let n = 5;
+        let len = 30;
+        let world = SimWorld::new(SimConfig::new(n));
+        let out =
+            world.run(move |c| binomial_reduce(c, 0, &rank_data(c.rank(), len), ReduceOp::Avg));
+        let inputs: Vec<Vec<f32>> = (0..n).map(|r| rank_data(r, len)).collect();
+        let expect = ReduceOp::Avg.oracle(&inputs);
+        let got = out.results[0].as_ref().unwrap();
+        for (a, b) in got.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
         }
     }
 

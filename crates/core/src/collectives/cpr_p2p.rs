@@ -301,6 +301,300 @@ pub fn cpr_ring_allreduce_into<C: Comm>(
     cpr_ring_allgather_rounds(comm, cpr, out, ws);
 }
 
+/// Compressed recursive-doubling allreduce: every butterfly round
+/// compresses the full accumulator, exchanges, decompresses and reduces
+/// (CPR-P2P placement — each of the `⌈log₂n⌉` rounds adds one bounded
+/// compression error). The latency-optimal compressed allreduce for
+/// small payloads.
+pub fn cpr_recursive_doubling_allreduce<C: Comm>(
+    comm: &mut C,
+    cpr: &CprCodec,
+    input: &[f32],
+    op: ReduceOp,
+) -> Vec<f32> {
+    let mut out = vec![0.0f32; input.len()];
+    let mut ws = CollWorkspace::with_value_capacity(input.len());
+    cpr_recursive_doubling_allreduce_into(comm, cpr, input, op, &mut out, &mut ws);
+    out
+}
+
+/// [`cpr_recursive_doubling_allreduce`] writing into a caller-provided
+/// buffer through a reusable workspace (zero steady-state heap
+/// allocations).
+///
+/// # Panics
+/// Panics if `out.len() != input.len()`.
+pub fn cpr_recursive_doubling_allreduce_into<C: Comm>(
+    comm: &mut C,
+    cpr: &CprCodec,
+    input: &[f32],
+    op: ReduceOp,
+    out: &mut [f32],
+    ws: &mut CollWorkspace,
+) {
+    let n = comm.size();
+    let me = comm.rank();
+    assert_eq!(out.len(), input.len(), "output buffer size mismatch");
+    let (pow2, rem) = crate::collectives::baseline::butterfly_fold(n);
+    ws.acc.resize(input.len(), 0.0);
+    let CollWorkspace {
+        pool, scratch, acc, ..
+    } = ws;
+    memcpy_in(comm, acc, input);
+    let tag = tags::RECURSIVE_DOUBLING + 0x800;
+    let len = input.len();
+
+    // Fold (see `baseline::recursive_doubling_allreduce_into`), with
+    // the folded buffer travelling compressed.
+    let my_pos: Option<usize> = if me < 2 * rem {
+        if me.is_multiple_of(2) {
+            let payload = cpr.compress(comm, acc, pool);
+            let req = comm.isend(me + 1, tag, payload);
+            comm.wait_send_in(req, Category::Wait);
+            None
+        } else {
+            let got = comm.recv(me - 1, tag);
+            let vals = cpr.decompress(comm, &got, len, scratch);
+            comm.run_kernel(Kernel::Reduce, vals.len() * 4, Category::Reduction, || {
+                op.apply(acc, vals)
+            });
+            Some(me / 2)
+        }
+    } else {
+        Some(me - rem)
+    };
+
+    if let Some(pos) = my_pos {
+        let mut mask = 1usize;
+        let mut round: Tag = 1;
+        while mask < pow2 {
+            let peer = crate::collectives::baseline::butterfly_pos_to_rank(pos ^ mask, rem);
+            // Re-compress the accumulator every round — the butterfly
+            // modifies it, so compress-once cannot apply.
+            let payload = cpr.compress(comm, acc, pool);
+            let got = comm.sendrecv(peer, peer, tag + round, payload, Category::Wait);
+            let vals = cpr.decompress(comm, &got, len, scratch);
+            comm.run_kernel(Kernel::Reduce, vals.len() * 4, Category::Reduction, || {
+                op.apply(acc, vals)
+            });
+            mask <<= 1;
+            round += 1;
+        }
+    }
+
+    if me < 2 * rem {
+        if me % 2 == 1 {
+            let payload = cpr.compress(comm, acc, pool);
+            let req = comm.isend(me - 1, tag + 999, payload);
+            comm.wait_send_in(req, Category::Wait);
+        } else {
+            let got = comm.recv(me + 1, tag + 999);
+            let vals = cpr.decompress(comm, &got, len, scratch);
+            memcpy_in(comm, acc, vals);
+        }
+    }
+    memcpy_in(comm, out, acc);
+    op.finalize(out, n);
+}
+
+/// Compressed Rabenseifner allreduce: recursive-halving reduce-scatter +
+/// recursive-doubling allgather with CPR-P2P compression placement (each
+/// hop compresses the moved range). Ring-equivalent bytes at tree
+/// latency; every value passes through at most `⌈log₂n⌉ + 1` compression
+/// stages on either phase.
+pub fn cpr_rabenseifner_allreduce<C: Comm>(
+    comm: &mut C,
+    cpr: &CprCodec,
+    input: &[f32],
+    op: ReduceOp,
+) -> Vec<f32> {
+    let mut out = vec![0.0f32; input.len()];
+    let mut ws = CollWorkspace::with_value_capacity(input.len());
+    cpr_rabenseifner_allreduce_into(comm, cpr, input, op, &mut out, &mut ws);
+    out
+}
+
+/// [`cpr_rabenseifner_allreduce`] writing into a caller-provided buffer
+/// through a reusable workspace (zero steady-state heap allocations).
+///
+/// # Panics
+/// Panics if `out.len() != input.len()`.
+pub fn cpr_rabenseifner_allreduce_into<C: Comm>(
+    comm: &mut C,
+    cpr: &CprCodec,
+    input: &[f32],
+    op: ReduceOp,
+    out: &mut [f32],
+    ws: &mut CollWorkspace,
+) {
+    let n = comm.size();
+    let me = comm.rank();
+    assert_eq!(out.len(), input.len(), "output buffer size mismatch");
+    let (pow2, rem) = crate::collectives::baseline::butterfly_fold(n);
+    ws.set_partition(input.len(), pow2);
+    ws.acc.resize(input.len(), 0.0);
+    let CollWorkspace {
+        pool,
+        scratch,
+        acc,
+        counts,
+        offsets,
+        ..
+    } = ws;
+    memcpy_in(comm, acc, input);
+    let tag = tags::RABENSEIFNER + 0x800;
+    let len = input.len();
+    let range = |lo: usize, hi: usize| -> (usize, usize) {
+        (offsets[lo], offsets[hi - 1] + counts[hi - 1])
+    };
+
+    let my_pos: Option<usize> = if me < 2 * rem {
+        if me.is_multiple_of(2) {
+            let payload = cpr.compress(comm, acc, pool);
+            let req = comm.isend(me + 1, tag, payload);
+            comm.wait_send_in(req, Category::Wait);
+            None
+        } else {
+            let got = comm.recv(me - 1, tag);
+            let vals = cpr.decompress(comm, &got, len, scratch);
+            comm.run_kernel(Kernel::Reduce, vals.len() * 4, Category::Reduction, || {
+                op.apply(acc, vals)
+            });
+            Some(me / 2)
+        }
+    } else {
+        Some(me - rem)
+    };
+
+    if let Some(pos) = my_pos {
+        // Recursive-halving reduce-scatter over compressed halves.
+        let (mut lo, mut hi) = (0usize, pow2);
+        let mut mask = pow2 / 2;
+        let mut round: Tag = 1;
+        while mask >= 1 {
+            let peer = crate::collectives::baseline::butterfly_pos_to_rank(pos ^ mask, rem);
+            let mid = lo + (hi - lo) / 2;
+            let (keep_lo, keep_hi, send_lo, send_hi) = if pos & mask == 0 {
+                (lo, mid, mid, hi)
+            } else {
+                (mid, hi, lo, mid)
+            };
+            let (sb, se) = range(send_lo, send_hi);
+            let (kb, ke) = range(keep_lo, keep_hi);
+            let payload = cpr.compress(comm, &acc[sb..se], pool);
+            let got = comm.sendrecv(peer, peer, tag + round, payload, Category::Wait);
+            let vals = cpr.decompress(comm, &got, ke - kb, scratch);
+            let dst = &mut acc[kb..ke];
+            comm.run_kernel(Kernel::Reduce, vals.len() * 4, Category::Reduction, || {
+                op.apply(dst, vals)
+            });
+            lo = keep_lo;
+            hi = keep_hi;
+            mask /= 2;
+            round += 1;
+        }
+
+        // Recursive-doubling allgather over compressed ranges.
+        let mut mask = 1usize;
+        let mut round: Tag = 0x100;
+        while mask < pow2 {
+            let peer = crate::collectives::baseline::butterfly_pos_to_rank(pos ^ mask, rem);
+            let base = pos & !(2 * mask - 1);
+            let (cur_lo, cur_hi, peer_lo, peer_hi) = if pos & mask == 0 {
+                (base, base + mask, base + mask, base + 2 * mask)
+            } else {
+                (base + mask, base + 2 * mask, base, base + mask)
+            };
+            let (sb, se) = range(cur_lo, cur_hi);
+            let (pb, pe) = range(peer_lo, peer_hi);
+            let payload = cpr.compress(comm, &acc[sb..se], pool);
+            let got = comm.sendrecv(peer, peer, tag + round, payload, Category::Wait);
+            let vals = cpr.decompress(comm, &got, pe - pb, scratch);
+            memcpy_in(comm, &mut acc[pb..pe], vals);
+            mask <<= 1;
+            round += 1;
+        }
+    }
+
+    if me < 2 * rem {
+        if me % 2 == 1 {
+            let payload = cpr.compress(comm, acc, pool);
+            let req = comm.isend(me - 1, tag + 999, payload);
+            comm.wait_send_in(req, Category::Wait);
+        } else {
+            let got = comm.recv(me + 1, tag + 999);
+            let vals = cpr.decompress(comm, &got, len, scratch);
+            memcpy_in(comm, acc, vals);
+        }
+    }
+    memcpy_in(comm, out, acc);
+    op.finalize(out, n);
+}
+
+/// Compressed binomial-tree rooted reduce: every tree hop compresses the
+/// sender's accumulated subtree and decompresses + reduces at the parent
+/// (CPR-P2P placement — reduction modifies the data, so compress-once
+/// cannot apply; at most `⌈log₂n⌉` bounded errors accumulate on the
+/// root's path). Returns the reduced buffer on the root, `None`
+/// elsewhere.
+pub fn cpr_binomial_reduce<C: Comm>(
+    comm: &mut C,
+    cpr: &CprCodec,
+    root: usize,
+    input: &[f32],
+    op: ReduceOp,
+) -> Option<Vec<f32>> {
+    let mut out = vec![0.0f32; if comm.rank() == root { input.len() } else { 0 }];
+    let mut ws = CollWorkspace::with_value_capacity(input.len());
+    cpr_binomial_reduce_into(comm, cpr, root, input, op, &mut out, &mut ws).then_some(out)
+}
+
+/// [`cpr_binomial_reduce`] writing the reduced buffer into `out` on the
+/// root (which must size it to the input length; other ranks may pass an
+/// empty buffer). Returns `true` on the root, `false` elsewhere.
+pub fn cpr_binomial_reduce_into<C: Comm>(
+    comm: &mut C,
+    cpr: &CprCodec,
+    root: usize,
+    input: &[f32],
+    op: ReduceOp,
+    out: &mut [f32],
+    ws: &mut CollWorkspace,
+) -> bool {
+    let n = comm.size();
+    let me = comm.rank();
+    assert!(root < n, "root {root} out of range");
+    ws.acc.resize(input.len(), 0.0);
+    let CollWorkspace {
+        pool, scratch, acc, ..
+    } = ws;
+    memcpy_in(comm, acc, input);
+    let relative = (me + n - root) % n;
+    let mut mask = 1usize;
+    while mask < n {
+        if relative & mask != 0 {
+            let parent = (relative - mask + root) % n;
+            let payload = cpr.compress(comm, acc, pool);
+            let req = comm.isend(parent, tags::TREE_REDUCE + 0x800, payload);
+            comm.wait_send_in(req, Category::Wait);
+            return false;
+        }
+        let child_rel = relative + mask;
+        if child_rel < n {
+            let got = comm.recv((child_rel + root) % n, tags::TREE_REDUCE + 0x800);
+            let vals = cpr.decompress(comm, &got, acc.len(), scratch);
+            comm.run_kernel(Kernel::Reduce, vals.len() * 4, Category::Reduction, || {
+                op.apply(acc, vals)
+            });
+        }
+        mask <<= 1;
+    }
+    assert_eq!(out.len(), input.len(), "root output must hold the result");
+    memcpy_in(comm, out, acc);
+    op.finalize(out, n);
+    true
+}
+
 /// CPR-P2P binomial broadcast: each hop decompresses on receive and
 /// re-compresses to forward — `log₂N · (T_comp + T_decomp)` on the
 /// critical path (the Fig. 3 left-hand timeline).
@@ -715,6 +1009,76 @@ mod tests {
             let expect = &full[offsets[r]..offsets[r] + lengths[r]];
             for (a, b) in out.results[r].iter().zip(expect) {
                 assert!((a - b).abs() <= tol, "rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn recursive_doubling_bounded_all_sizes() {
+        let eb = 1e-3f32;
+        for n in [2usize, 3, 5, 8] {
+            let len = 500;
+            let world = SimWorld::new(SimConfig::new(n));
+            let cpr = szx(eb);
+            let out = world.run(move |c| {
+                cpr_recursive_doubling_allreduce(c, &cpr, &rank_data(c.rank(), len), ReduceOp::Sum)
+            });
+            let inputs: Vec<Vec<f32>> = (0..n).map(|r| rank_data(r, len)).collect();
+            let expect = ReduceOp::Sum.oracle(&inputs);
+            // Each of ≤ log2(n)+2 rounds adds one bounded error, scaled
+            // by the partial-sum magnitudes it rides on.
+            let tol = 4.0 * (n as f32) * eb;
+            for r in 0..n {
+                for (a, b) in out.results[r].iter().zip(&expect) {
+                    assert!((a - b).abs() <= tol, "n={n} rank {r}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rabenseifner_bounded_all_sizes() {
+        let eb = 1e-3f32;
+        for n in [2usize, 4, 6, 9] {
+            let len = 700;
+            let world = SimWorld::new(SimConfig::new(n));
+            let cpr = szx(eb);
+            let out = world.run(move |c| {
+                cpr_rabenseifner_allreduce(c, &cpr, &rank_data(c.rank(), len), ReduceOp::Sum)
+            });
+            let inputs: Vec<Vec<f32>> = (0..n).map(|r| rank_data(r, len)).collect();
+            let expect = ReduceOp::Sum.oracle(&inputs);
+            let tol = 4.0 * (n as f32) * eb;
+            for r in 0..n {
+                for (a, b) in out.results[r].iter().zip(&expect) {
+                    assert!((a - b).abs() <= tol, "n={n} rank {r}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_reduce_bounded_all_roots() {
+        let n = 7;
+        let len = 400;
+        let eb = 1e-3f32;
+        for root in [0usize, 3, 6] {
+            let world = SimWorld::new(SimConfig::new(n));
+            let cpr = szx(eb);
+            let out = world.run(move |c| {
+                cpr_binomial_reduce(c, &cpr, root, &rank_data(c.rank(), len), ReduceOp::Sum)
+            });
+            let inputs: Vec<Vec<f32>> = (0..n).map(|r| rank_data(r, len)).collect();
+            let expect = ReduceOp::Sum.oracle(&inputs);
+            let tol = 4.0 * (n as f32) * eb;
+            for (r, res) in out.results.iter().enumerate() {
+                if r == root {
+                    for (a, b) in res.as_ref().unwrap().iter().zip(&expect) {
+                        assert!((a - b).abs() <= tol, "root {root}: {a} vs {b}");
+                    }
+                } else {
+                    assert!(res.is_none(), "non-root {r} must return None");
+                }
             }
         }
     }

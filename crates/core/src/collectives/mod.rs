@@ -26,6 +26,9 @@ pub(crate) mod tags {
     pub const ALLTOALL: Tag = 0x7000;
     pub const SIZE_EXCHANGE: Tag = 0x8000;
     pub const PIPELINE: Tag = 0x9000;
+    pub const RABENSEIFNER: Tag = 0xA000;
+    pub const BRUCK: Tag = 0xB000;
+    pub const TREE_REDUCE: Tag = 0xC000;
 }
 
 /// Compress `vals` directly into a recycled [`PayloadPool`] buffer with

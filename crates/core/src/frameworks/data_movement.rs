@@ -189,6 +189,110 @@ pub fn c_ring_allgather<C: Comm>(comm: &mut C, cpr: &CprCodec, mine: &[f32]) -> 
     c_ring_allgatherv(comm, cpr, mine, &counts)
 }
 
+/// C-Bruck allgather: the Bruck doubling schedule carried out on
+/// **compress-once** blocks. Every rank compresses its own block exactly
+/// once; each of the `⌈log₂n⌉` steps forwards a framed *set* of opaque
+/// compressed blocks (never re-encoding them), and one decompression
+/// sweep at the end writes the rotated output — so the data-movement
+/// framework's single-compression error bound holds on this schedule
+/// too, at tree latency instead of the ring's `n−1` hops.
+pub fn c_bruck_allgatherv<C: Comm>(
+    comm: &mut C,
+    cpr: &CprCodec,
+    mine: &[f32],
+    counts: &[usize],
+) -> Vec<f32> {
+    let mut out = vec![0.0f32; counts.iter().sum()];
+    let mut ws = CollWorkspace::with_value_capacity(counts.iter().copied().max().unwrap_or(0));
+    c_bruck_allgatherv_into(comm, cpr, mine, counts, &mut out, &mut ws);
+    out
+}
+
+/// [`c_bruck_allgatherv`] writing into a caller-provided buffer through
+/// a reusable workspace (zero steady-state heap allocations). Compressed
+/// blocks are staged in *relative* order in the workspace blob list and
+/// rotated into absolute rank order during the decompression sweep.
+///
+/// # Panics
+/// Panics if `mine.len() != counts[rank]` or `out.len()` is not the sum
+/// of `counts`.
+pub fn c_bruck_allgatherv_into<C: Comm>(
+    comm: &mut C,
+    cpr: &CprCodec,
+    mine: &[f32],
+    counts_in: &[usize],
+    out: &mut [f32],
+    ws: &mut CollWorkspace,
+) {
+    let n = comm.size();
+    let me = comm.rank();
+    assert_eq!(counts_in.len(), n, "counts must have one entry per rank");
+    assert_eq!(mine.len(), counts_in[me], "my buffer disagrees with counts");
+    assert_eq!(
+        out.len(),
+        counts_in.iter().sum::<usize>(),
+        "output buffer size mismatch"
+    );
+    ws.set_partition_from_counts(counts_in);
+    let CollWorkspace {
+        pool,
+        scratch,
+        blob_list: held,
+        counts,
+        offsets,
+        ..
+    } = ws;
+
+    // Compress the local block exactly once; `held[i]` is the block of
+    // rank `(me + i) % n`.
+    held.clear();
+    held.push(compress_in(
+        comm,
+        cpr.codec.as_ref(),
+        cpr.ck,
+        mine,
+        true,
+        pool,
+    ));
+    let mut step: Tag = 0;
+    while held.len() < n {
+        let dist = held.len(); // always a power of two
+        let send_cnt = dist.min(n - dist);
+        let dst = (me + n - dist) % n;
+        let src = (me + dist) % n;
+        let container = frame_blobs_pooled(pool, &held[..send_cnt]);
+        let got = comm.sendrecv(
+            dst,
+            src,
+            tags::BRUCK + 0xC00 + step,
+            container,
+            Category::Allgather,
+        );
+        // The received set extends my held blocks at relative positions
+        // [dist, dist + send_cnt); the blocks themselves are zero-copy
+        // slices of the received container.
+        crate::wire::unframe_blobs_append(&got, held).expect("well-formed Bruck container");
+        assert_eq!(
+            held.len(),
+            dist + send_cnt,
+            "Bruck step block count mismatch"
+        );
+        step += 1;
+    }
+
+    // Decompression sweep with rotation: relative block i belongs to
+    // absolute rank (me + i) % n. Own data is copied, not decoded.
+    memcpy_in(comm, &mut out[offsets[me]..offsets[me] + counts[me]], mine);
+    for (i, blob) in held.iter().enumerate().skip(1) {
+        let a = (me + i) % n;
+        let vals = decompress_auto_in(comm, cpr.codec.as_ref(), cpr.dk, blob, scratch);
+        assert_eq!(vals.len(), counts[a], "C-Bruck block length mismatch");
+        memcpy_in(comm, &mut out[offsets[a]..offsets[a] + counts[a]], vals);
+    }
+    // Release the containers before the next call reuses the pool.
+    held.clear();
+}
+
 /// C-Bcast: compress once at the root, relay compressed bytes through the
 /// binomial tree, decompress once at each non-root (paper Fig. 3, right).
 pub fn c_binomial_bcast<C: Comm>(
@@ -607,6 +711,63 @@ mod tests {
         let out = world.run(move |c| {
             let mine = rank_data(c.rank(), counts[c.rank()]);
             c_ring_allgatherv(c, &cpr, &mine, &counts)
+        });
+        let offsets = chunk_offsets(counts.as_ref());
+        for r in 0..n {
+            for src in 0..n {
+                let expect = rank_data(src, counts[src]);
+                let got = &out.results[r][offsets[src]..offsets[src] + counts[src]];
+                for (a, b) in expect.iter().zip(got) {
+                    assert!((a - b).abs() <= 1e-4 + 1e-7, "rank {r} src {src}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn c_bruck_single_compression_error() {
+        // The compress-once property must survive the Bruck schedule:
+        // blocks relayed through up to ⌈log₂n⌉ container hops still
+        // carry exactly one compression error.
+        for n in [2usize, 3, 5, 8, 9] {
+            let eb = 1e-3f32;
+            let len = 800;
+            let world = SimWorld::new(SimConfig::new(n));
+            let cpr = szx(eb);
+            let out = world.run(move |c| {
+                let counts = vec![len; c.size()];
+                c_bruck_allgatherv(c, &cpr, &rank_data(c.rank(), len), &counts)
+            });
+            for r in 0..n {
+                for src in 0..n {
+                    let expect = rank_data(src, len);
+                    let got = &out.results[r][src * len..(src + 1) * len];
+                    let worst = expect
+                        .iter()
+                        .zip(got)
+                        .map(|(a, b)| (a - b).abs())
+                        .fold(0.0f32, f32::max);
+                    assert!(
+                        worst <= eb + 1e-7,
+                        "n={n} rank {r} block {src}: error {worst} exceeds single bound"
+                    );
+                    if src == r {
+                        assert_eq!(worst, 0.0, "own block must be exact");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn c_bruck_unequal_counts() {
+        let n = 6;
+        let counts = [40usize, 0, 333, 17, 250, 5];
+        let world = SimWorld::new(SimConfig::new(n));
+        let cpr = szx(1e-4);
+        let out = world.run(move |c| {
+            let mine = rank_data(c.rank(), counts[c.rank()]);
+            c_bruck_allgatherv(c, &cpr, &mine, &counts)
         });
         let offsets = chunk_offsets(counts.as_ref());
         for r in 0..n {

@@ -12,6 +12,7 @@
 //! | Collective **data-movement** framework: compress once, relay compressed bytes through every round, decompress once (§III-A1) | [`frameworks::data_movement`] |
 //! | Collective **computation** framework: pipeline chunk-wise compression with communication so transfers hide inside the kernel (§III-A2, §III-E2) | [`frameworks::computation`] |
 //! | Session + persistent-plan API (`MPI_Allreduce_init` shape): C-Allreduce / C-Scatter / C-Bcast with zero steady-state allocations | [`session`] |
+//! | Multi-algorithm schedule layer (recursive doubling, Rabenseifner, Bruck, binomial reduce) with cost-model-driven `Auto` selection | [`algorithm`] |
 //! | One-shot compatibility facade over the same engine | [`api`] |
 //! | CPR-P2P baselines (compress every send, decompress every receive) | [`collectives::cpr_p2p`] |
 //! | Uncompressed MPI-style collectives (ring, binomial tree, recursive doubling) | [`collectives::baseline`] |
@@ -52,6 +53,54 @@
 //! assert_eq!(out.results[0].len(), 40_000);
 //! ```
 //!
+//! ## Choosing an algorithm
+//!
+//! The plain `plan_*` constructors run the paper's schedules (ring
+//! allreduce/allgather, binomial tree for the rooted collectives). But
+//! no single schedule is uniformly best: a ring pays `n−1` latency
+//! terms where a butterfly pays `⌈log₂n⌉`, and compression shifts the
+//! crossover further because butterfly schedules re-compress the full
+//! payload every round. The `plan_*_with` constructors accept a
+//! [`PlanOptions`] selecting an explicit [`Algorithm`] — or
+//! [`Algorithm::Auto`] (the default), which ranks every candidate
+//! schedule with the closed-form cost model
+//! ([`ccoll_comm::CostModel::estimate`]) and picks the minimum:
+//!
+//! ```
+//! use c_coll::{Algorithm, CCollSession, CodecSpec, PlanOptions, ReduceOp};
+//!
+//! let session = CCollSession::new(CodecSpec::Szx { error_bound: 1e-3 }, 16);
+//! // Explicit choice:
+//! let rd = session.plan_allreduce_with(
+//!     1000,
+//!     ReduceOp::Sum,
+//!     PlanOptions::new().algorithm(Algorithm::RecursiveDoubling),
+//! );
+//! assert_eq!(rd.algorithm(), Algorithm::RecursiveDoubling);
+//! // Cost-model-driven choice: small payloads resolve to the
+//! // latency-optimal butterfly, large ones to a bandwidth-optimal
+//! // schedule (ring or Rabenseifner).
+//! let auto = session.plan_allreduce_with(128, ReduceOp::Sum, PlanOptions::new());
+//! assert_eq!(auto.algorithm(), Algorithm::RecursiveDoubling);
+//! let auto = session.plan_allreduce_with(4_000_000, ReduceOp::Sum, PlanOptions::new());
+//! assert!(matches!(auto.algorithm(), Algorithm::Ring | Algorithm::Rabenseifner));
+//! ```
+//!
+//! Rules of thumb (see DESIGN.md for the selection-flow details and
+//! `BENCH_algo.json` for measured crossovers):
+//!
+//! * **Allreduce** — `RecursiveDoubling` below a few KB per rank,
+//!   `Ring` (the paper's pipelined C-Allreduce) for large payloads,
+//!   `Rabenseifner` in between and on slow-codec configurations.
+//! * **Allgather** — `Bruck` for small blocks (`⌈log₂n⌉` steps),
+//!   `Ring` for large ones; both are compress-once, so the
+//!   single-compression error bound holds either way.
+//! * **Rooted reduce** — `Binomial` tree for small payloads,
+//!   `Rabenseifner` (reduce-scatter + gather) for large ones.
+//! * Pass a calibrated model (`ccoll_bench::calibrate_cost_model`) via
+//!   [`CCollSession::with_cost_model`] to select for *your* kernels
+//!   rather than the paper's Table-I testbed.
+//!
 //! ## Migrating from the one-shot API
 //!
 //! The pre-session facade ([`CColl`]) survives as a thin compatibility
@@ -67,6 +116,9 @@
 //!                                            plan.execute_into(comm, &x, &mut out)
 //! ```
 
+#![warn(missing_docs)]
+
+pub mod algorithm;
 pub mod api;
 pub mod codec;
 pub mod collectives;
@@ -78,6 +130,7 @@ pub mod theory;
 pub mod wire;
 pub mod workspace;
 
+pub use algorithm::{Algorithm, PlanOptions};
 pub use api::{AllreduceVariant, CColl, ReduceOp};
 pub use codec::{CodecSpec, ParseCodecSpecError};
 pub use session::{

@@ -41,8 +41,9 @@
 //! assert_eq!(out.results.len(), n);
 //! ```
 
-use ccoll_comm::{Comm, PayloadPool};
+use ccoll_comm::{Comm, CostModel, NetModel, PayloadPool};
 
+use crate::algorithm::{reject_unsupported, Algorithm, PlanOptions, SelectCtx};
 use crate::api::AllreduceVariant;
 use crate::codec::CodecSpec;
 use crate::collectives::baseline;
@@ -59,12 +60,33 @@ use crate::workspace::CollWorkspace;
 ///
 /// Cloning a session is cheap (the codec is reference-counted), so one
 /// session can be captured by a per-rank closure and cloned per thread.
+///
+/// ```
+/// use c_coll::{Algorithm, CCollSession, CodecSpec, PlanOptions, ReduceOp};
+///
+/// let session = CCollSession::new(CodecSpec::Szx { error_bound: 1e-3 }, 8);
+/// assert_eq!(session.world_size(), 8);
+///
+/// // Plans fix the schedule at creation time. The plain constructors
+/// // keep the paper's schedules; `_with` constructors take a
+/// // PlanOptions whose Algorithm::Auto consults the cost model.
+/// let ring = session.plan_allreduce(100_000, ReduceOp::Sum);
+/// assert_eq!(ring.algorithm(), Algorithm::Ring);
+/// let auto = session.plan_allreduce_with(64, ReduceOp::Sum, PlanOptions::new());
+/// assert_eq!(
+///     auto.algorithm(),
+///     Algorithm::RecursiveDoubling,
+///     "64 values over 8 ranks is latency-bound",
+/// );
+/// ```
 #[derive(Clone)]
 pub struct CCollSession {
     spec: CodecSpec,
     pipe_values: usize,
     world_size: usize,
     cpr: Option<CprCodec>,
+    cost: CostModel,
+    net: NetModel,
 }
 
 impl CCollSession {
@@ -86,6 +108,8 @@ impl CCollSession {
             pipe_values: computation::DEFAULT_PIPE_VALUES,
             world_size,
             cpr,
+            cost: CostModel::default(),
+            net: NetModel::default(),
         }
     }
 
@@ -100,6 +124,25 @@ impl CCollSession {
         self
     }
 
+    /// Override the kernel cost model [`Algorithm::Auto`] selection
+    /// consults (defaults to the paper's Table-I-shaped
+    /// [`CostModel::default`]). Pass
+    /// `ccoll_bench::calibrate_cost_model(..)`'s output to select
+    /// schedules for *this* machine's measured kernel throughputs.
+    #[must_use]
+    pub fn with_cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Override the α–β network model [`Algorithm::Auto`] selection
+    /// consults (defaults to [`NetModel::default`]).
+    #[must_use]
+    pub fn with_net_model(mut self, net: NetModel) -> Self {
+        self.net = net;
+        self
+    }
+
     /// The configured codec.
     pub fn spec(&self) -> CodecSpec {
         self.spec
@@ -108,6 +151,15 @@ impl CCollSession {
     /// The communicator size this session plans for.
     pub fn world_size(&self) -> usize {
         self.world_size
+    }
+
+    fn select_ctx(&self) -> SelectCtx<'_> {
+        SelectCtx {
+            cost: &self.cost,
+            net: &self.net,
+            spec: self.spec,
+            world: self.world_size,
+        }
     }
 
     pub(crate) fn cpr(&self) -> Option<&CprCodec> {
@@ -149,15 +201,61 @@ impl CCollSession {
     // ------------------------------------------------------------------
 
     /// Plan an allreduce of `len` values per rank with the full C-Coll
-    /// schedule (the paper's "Overlap" variant, falling back to ND for
-    /// codecs without an error bound, exactly like the one-shot API).
+    /// schedule (the paper's "Overlap" variant over the ring, falling
+    /// back to ND for codecs without an error bound, exactly like the
+    /// one-shot API). Use [`CCollSession::plan_allreduce_with`] to pick
+    /// a different schedule or let the cost model choose.
     #[must_use]
     pub fn plan_allreduce(&self, len: usize, op: ReduceOp) -> AllreducePlan {
         self.plan_allreduce_variant(len, op, AllreduceVariant::Overlapped)
     }
 
+    /// Plan an allreduce with explicit [`PlanOptions`]. Supported
+    /// algorithms: [`Algorithm::Ring`] (the paper's C-Allreduce),
+    /// [`Algorithm::RecursiveDoubling`], [`Algorithm::Rabenseifner`],
+    /// and [`Algorithm::Auto`] (cost-model selection over those three).
+    ///
+    /// # Panics
+    /// Panics on an unsupported algorithm.
+    #[must_use]
+    pub fn plan_allreduce_with(
+        &self,
+        len: usize,
+        op: ReduceOp,
+        opts: PlanOptions,
+    ) -> AllreducePlan {
+        let algorithm = match opts.algorithm {
+            Algorithm::Auto => self.select_ctx().allreduce(len),
+            a @ (Algorithm::Ring | Algorithm::RecursiveDoubling | Algorithm::Rabenseifner) => a,
+            other => reject_unsupported(
+                "allreduce",
+                other,
+                &[
+                    Algorithm::Ring,
+                    Algorithm::RecursiveDoubling,
+                    Algorithm::Rabenseifner,
+                ],
+            ),
+        };
+        if algorithm == Algorithm::Ring {
+            return self.plan_allreduce_variant(len, op, AllreduceVariant::Overlapped);
+        }
+        // Butterfly schedules exchange up to the full payload per round
+        // (recursive doubling) or half of it (Rabenseifner); warm the
+        // scratch and pool for the full length.
+        AllreducePlan {
+            session: self.clone(),
+            len,
+            op,
+            variant: AllreduceVariant::Overlapped,
+            algorithm,
+            ws: self.warmed_workspace(len.max(1), 4),
+        }
+    }
+
     /// Plan a specific step-wise allreduce variant (Table V) — the
-    /// benchmark harness's entry point.
+    /// benchmark harness's entry point. All variants run the ring
+    /// schedule; they differ in compression placement.
     #[must_use]
     pub fn plan_allreduce_variant(
         &self,
@@ -181,6 +279,7 @@ impl CCollSession {
             len,
             op,
             variant,
+            algorithm: Algorithm::Ring,
             ws: self.warmed_workspace(values, slots),
         }
     }
@@ -192,22 +291,49 @@ impl CCollSession {
         self.plan_allgatherv(&vec![len_per_rank; self.world_size])
     }
 
-    /// Plan an allgather with per-rank value counts.
+    /// [`CCollSession::plan_allgather`] with explicit [`PlanOptions`].
+    #[must_use]
+    pub fn plan_allgather_with(&self, len_per_rank: usize, opts: PlanOptions) -> AllgatherPlan {
+        self.plan_allgatherv_with(&vec![len_per_rank; self.world_size], opts)
+    }
+
+    /// Plan an allgather with per-rank value counts, on the ring
+    /// schedule (the paper's C-Allgather). Use
+    /// [`CCollSession::plan_allgatherv_with`] for schedule choice.
     ///
     /// # Panics
     /// Panics if `counts.len() != world_size`.
     #[must_use]
     pub fn plan_allgatherv(&self, counts: &[usize]) -> AllgatherPlan {
+        self.plan_allgatherv_with(counts, PlanOptions::new().algorithm(Algorithm::Ring))
+    }
+
+    /// Plan an allgather with per-rank value counts and explicit
+    /// [`PlanOptions`]. Supported algorithms: [`Algorithm::Ring`],
+    /// [`Algorithm::Bruck`] (compress-once on both — the single-error
+    /// bound holds on either schedule), and [`Algorithm::Auto`].
+    ///
+    /// # Panics
+    /// Panics if `counts.len() != world_size` or on an unsupported
+    /// algorithm.
+    #[must_use]
+    pub fn plan_allgatherv_with(&self, counts: &[usize], opts: PlanOptions) -> AllgatherPlan {
         assert_eq!(
             counts.len(),
             self.world_size,
             "counts must have one entry per rank"
         );
         let max_chunk = counts.iter().copied().max().unwrap_or(0);
+        let algorithm = match opts.algorithm {
+            Algorithm::Auto => self.select_ctx().allgather(max_chunk),
+            a @ (Algorithm::Ring | Algorithm::Bruck) => a,
+            other => reject_unsupported("allgather", other, &[Algorithm::Ring, Algorithm::Bruck]),
+        };
         AllgatherPlan {
             session: self.clone(),
             counts: counts.to_vec(),
             total: counts.iter().sum(),
+            algorithm,
             ws: self.warmed_workspace(max_chunk, 4),
         }
     }
@@ -229,6 +355,26 @@ impl CCollSession {
         }
     }
 
+    /// [`CCollSession::plan_reduce_scatter`] with explicit
+    /// [`PlanOptions`]. The only reduce-scatter schedule is the
+    /// (pipelined) ring, so [`Algorithm::Auto`] and [`Algorithm::Ring`]
+    /// are accepted.
+    ///
+    /// # Panics
+    /// Panics on an unsupported algorithm.
+    #[must_use]
+    pub fn plan_reduce_scatter_with(
+        &self,
+        len: usize,
+        op: ReduceOp,
+        opts: PlanOptions,
+    ) -> ReduceScatterPlan {
+        match opts.algorithm {
+            Algorithm::Auto | Algorithm::Ring => self.plan_reduce_scatter(len, op),
+            other => reject_unsupported("reduce-scatter", other, &[Algorithm::Ring]),
+        }
+    }
+
     /// Plan a broadcast of `len` values from `root`.
     ///
     /// # Panics
@@ -241,6 +387,21 @@ impl CCollSession {
             root,
             len,
             ws: self.warmed_workspace(len, 4),
+        }
+    }
+
+    /// [`CCollSession::plan_bcast`] with explicit [`PlanOptions`]. The
+    /// broadcast schedule is the MPICH binomial tree (compress-once at
+    /// the root), so [`Algorithm::Auto`] and [`Algorithm::Binomial`] are
+    /// accepted.
+    ///
+    /// # Panics
+    /// Panics if `root` is out of range or on an unsupported algorithm.
+    #[must_use]
+    pub fn plan_bcast_with(&self, root: usize, len: usize, opts: PlanOptions) -> BcastPlan {
+        match opts.algorithm {
+            Algorithm::Auto | Algorithm::Binomial => self.plan_bcast(root, len),
+            other => reject_unsupported("bcast", other, &[Algorithm::Binomial]),
         }
     }
 
@@ -261,6 +422,24 @@ impl CCollSession {
         }
     }
 
+    /// [`CCollSession::plan_scatter`] with explicit [`PlanOptions`]
+    /// ([`Algorithm::Auto`] or [`Algorithm::Binomial`]).
+    ///
+    /// # Panics
+    /// Panics if `root` is out of range or on an unsupported algorithm.
+    #[must_use]
+    pub fn plan_scatter_with(
+        &self,
+        root: usize,
+        total_len: usize,
+        opts: PlanOptions,
+    ) -> ScatterPlan {
+        match opts.algorithm {
+            Algorithm::Auto | Algorithm::Binomial => self.plan_scatter(root, total_len),
+            other => reject_unsupported("scatter", other, &[Algorithm::Binomial]),
+        }
+    }
+
     /// Plan a gather of the balanced partition of `total_len` values to
     /// `root`.
     ///
@@ -275,6 +454,19 @@ impl CCollSession {
             total_len,
             counts: chunk_lengths(total_len, self.world_size),
             ws: self.warmed_workspace(total_len, 4),
+        }
+    }
+
+    /// [`CCollSession::plan_gather`] with explicit [`PlanOptions`]
+    /// ([`Algorithm::Auto`] or [`Algorithm::Binomial`]).
+    ///
+    /// # Panics
+    /// Panics if `root` is out of range or on an unsupported algorithm.
+    #[must_use]
+    pub fn plan_gather_with(&self, root: usize, total_len: usize, opts: PlanOptions) -> GatherPlan {
+        match opts.algorithm {
+            Algorithm::Auto | Algorithm::Binomial => self.plan_gather(root, total_len),
+            other => reject_unsupported("gather", other, &[Algorithm::Binomial]),
         }
     }
 
@@ -297,19 +489,77 @@ impl CCollSession {
         }
     }
 
+    /// [`CCollSession::plan_alltoall`] with explicit [`PlanOptions`]
+    /// ([`Algorithm::Auto`] or [`Algorithm::Pairwise`]).
+    ///
+    /// # Panics
+    /// Panics if `len` is not divisible by the world size or on an
+    /// unsupported algorithm.
+    #[must_use]
+    pub fn plan_alltoall_with(&self, len: usize, opts: PlanOptions) -> AlltoallPlan {
+        match opts.algorithm {
+            Algorithm::Auto | Algorithm::Pairwise => self.plan_alltoall(len),
+            other => reject_unsupported("all-to-all", other, &[Algorithm::Pairwise]),
+        }
+    }
+
     /// Plan a rooted reduce of `len` values per rank (pipelined
-    /// reduce-scatter followed by a gather of the reduced chunks).
+    /// reduce-scatter followed by a gather of the reduced chunks — the
+    /// bandwidth-optimal composition). Use
+    /// [`CCollSession::plan_reduce_with`] for schedule choice.
     ///
     /// # Panics
     /// Panics if `root` is out of range.
     #[must_use]
     pub fn plan_reduce(&self, root: usize, len: usize, op: ReduceOp) -> ReducePlan {
+        self.plan_reduce_with(
+            root,
+            len,
+            op,
+            PlanOptions::new().algorithm(Algorithm::Rabenseifner),
+        )
+    }
+
+    /// Plan a rooted reduce with explicit [`PlanOptions`]. Supported
+    /// algorithms: [`Algorithm::Rabenseifner`] (reduce-scatter + gather,
+    /// bandwidth-optimal), [`Algorithm::Binomial`] (tree reduce,
+    /// latency-optimal), and [`Algorithm::Auto`].
+    ///
+    /// # Panics
+    /// Panics if `root` is out of range or on an unsupported algorithm.
+    #[must_use]
+    pub fn plan_reduce_with(
+        &self,
+        root: usize,
+        len: usize,
+        op: ReduceOp,
+        opts: PlanOptions,
+    ) -> ReducePlan {
         assert!(root < self.world_size, "root {root} out of range");
-        ReducePlan {
-            reduce_scatter: self.plan_reduce_scatter(len, op),
-            gather: self.plan_gather(root, len),
-            mine: Vec::new(),
-        }
+        let algorithm = match opts.algorithm {
+            Algorithm::Auto => self.select_ctx().reduce(len),
+            a @ (Algorithm::Rabenseifner | Algorithm::Binomial) => a,
+            other => reject_unsupported(
+                "reduce",
+                other,
+                &[Algorithm::Rabenseifner, Algorithm::Binomial],
+            ),
+        };
+        let inner = match algorithm {
+            Algorithm::Binomial => ReducePlanImpl::Binomial {
+                session: self.clone(),
+                root,
+                len,
+                op,
+                ws: self.warmed_workspace(len.max(1), 4),
+            },
+            _ => ReducePlanImpl::RsGather {
+                reduce_scatter: self.plan_reduce_scatter(len, op),
+                gather: self.plan_gather(root, len),
+                mine: Vec::new(),
+            },
+        };
+        ReducePlan { algorithm, inner }
     }
 }
 
@@ -336,12 +586,14 @@ fn check_world<C: Comm>(comm: &C, world_size: usize) {
 // Plans.
 // ---------------------------------------------------------------------------
 
-/// Persistent allreduce plan (see [`CCollSession::plan_allreduce`]).
+/// Persistent allreduce plan (see [`CCollSession::plan_allreduce`] and
+/// [`CCollSession::plan_allreduce_with`]).
 pub struct AllreducePlan {
     session: CCollSession,
     len: usize,
     op: ReduceOp,
     variant: AllreduceVariant,
+    algorithm: Algorithm,
     ws: CollWorkspace,
 }
 
@@ -356,13 +608,37 @@ impl AllreducePlan {
         self.len == 0
     }
 
-    /// The planned step-wise variant.
+    /// The planned step-wise variant (meaningful on the ring schedule).
     pub fn variant(&self) -> AllreduceVariant {
         self.variant
     }
 
+    /// The resolved schedule this plan executes (never
+    /// [`Algorithm::Auto`] — selection happens at plan creation).
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
     /// Execute into a caller-provided buffer: zero steady-state heap
     /// allocations after the warm-up call.
+    ///
+    /// ```
+    /// use c_coll::{CCollSession, CodecSpec, ReduceOp};
+    /// use ccoll_comm::{Comm, SimConfig, SimWorld};
+    ///
+    /// let n = 4;
+    /// let world = SimWorld::new(SimConfig::new(n));
+    /// let out = world.run(move |comm| {
+    ///     let session = CCollSession::new(CodecSpec::None, n);
+    ///     let mut plan = session.plan_allreduce(1000, ReduceOp::Sum);
+    ///     let input = vec![comm.rank() as f32; 1000];
+    ///     let mut result = vec![0.0f32; 1000];
+    ///     plan.execute_into(comm, &input, &mut result);
+    ///     result[0]
+    /// });
+    /// // Exact (uncompressed): sum of ranks 0+1+2+3.
+    /// assert!(out.results.iter().all(|&x| x == 6.0));
+    /// ```
     ///
     /// # Panics
     /// Panics if the communicator size or buffer lengths disagree with
@@ -372,25 +648,38 @@ impl AllreducePlan {
         assert_eq!(input.len(), self.len, "input disagrees with plan length");
         assert_eq!(out.len(), self.len, "output disagrees with plan length");
         let ws = &mut self.ws;
-        let Some(cpr) = self.session.cpr() else {
-            baseline::ring_allreduce_into(comm, input, self.op, out, ws);
-            return;
-        };
-        match self.variant {
-            AllreduceVariant::Original => {
-                baseline::ring_allreduce_into(comm, input, self.op, out, ws)
+        match (self.algorithm, self.session.cpr()) {
+            (Algorithm::RecursiveDoubling, None) => {
+                baseline::recursive_doubling_allreduce_into(comm, input, self.op, out, ws);
             }
-            AllreduceVariant::DirectIntegration => {
-                cpr_p2p::cpr_ring_allreduce_into(comm, cpr, input, self.op, out, ws)
+            (Algorithm::RecursiveDoubling, Some(cpr)) => {
+                cpr_p2p::cpr_recursive_doubling_allreduce_into(comm, cpr, input, self.op, out, ws);
             }
-            AllreduceVariant::NovelDesign => nd_allreduce_into(comm, cpr, input, self.op, out, ws),
-            AllreduceVariant::Overlapped => match self.session.pipeline_config() {
-                Some(cfg) => {
-                    computation::c_ring_allreduce_into(comm, cfg, cpr, input, self.op, out, ws)
+            (Algorithm::Rabenseifner, None) => {
+                baseline::rabenseifner_allreduce_into(comm, input, self.op, out, ws);
+            }
+            (Algorithm::Rabenseifner, Some(cpr)) => {
+                cpr_p2p::cpr_rabenseifner_allreduce_into(comm, cpr, input, self.op, out, ws);
+            }
+            (_, None) => baseline::ring_allreduce_into(comm, input, self.op, out, ws),
+            (_, Some(cpr)) => match self.variant {
+                AllreduceVariant::Original => {
+                    baseline::ring_allreduce_into(comm, input, self.op, out, ws)
                 }
-                // Codecs without an error bound (ZFP-FXR) cannot drive the
-                // SZx pipeline; the best schedule available is ND.
-                None => nd_allreduce_into(comm, cpr, input, self.op, out, ws),
+                AllreduceVariant::DirectIntegration => {
+                    cpr_p2p::cpr_ring_allreduce_into(comm, cpr, input, self.op, out, ws)
+                }
+                AllreduceVariant::NovelDesign => {
+                    nd_allreduce_into(comm, cpr, input, self.op, out, ws)
+                }
+                AllreduceVariant::Overlapped => match self.session.pipeline_config() {
+                    Some(cfg) => {
+                        computation::c_ring_allreduce_into(comm, cfg, cpr, input, self.op, out, ws)
+                    }
+                    // Codecs without an error bound (ZFP-FXR) cannot drive
+                    // the SZx pipeline; the best schedule available is ND.
+                    None => nd_allreduce_into(comm, cpr, input, self.op, out, ws),
+                },
             },
         }
     }
@@ -421,11 +710,13 @@ fn nd_allreduce_into<C: Comm>(
     data_movement::c_ring_allgather_core(comm, cpr, None, out, ws);
 }
 
-/// Persistent allgather plan (see [`CCollSession::plan_allgatherv`]).
+/// Persistent allgather plan (see [`CCollSession::plan_allgatherv`] and
+/// [`CCollSession::plan_allgatherv_with`]).
 pub struct AllgatherPlan {
     session: CCollSession,
     counts: Vec<usize>,
     total: usize,
+    algorithm: Algorithm,
     ws: CollWorkspace,
 }
 
@@ -440,6 +731,11 @@ impl AllgatherPlan {
         self.total
     }
 
+    /// The resolved schedule this plan executes.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
     /// Execute into a caller-provided buffer (`total_len` values).
     ///
     /// # Panics
@@ -447,16 +743,18 @@ impl AllgatherPlan {
     /// the plan.
     pub fn execute_into<C: Comm>(&mut self, comm: &mut C, mine: &[f32], out: &mut [f32]) {
         check_world(comm, self.session.world_size);
-        match self.session.cpr() {
-            Some(cpr) => data_movement::c_ring_allgatherv_into(
-                comm,
-                cpr,
-                mine,
-                &self.counts,
-                out,
-                &mut self.ws,
-            ),
-            None => baseline::ring_allgatherv_into(comm, mine, &self.counts, out, &mut self.ws),
+        let ws = &mut self.ws;
+        match (self.algorithm, self.session.cpr()) {
+            (Algorithm::Bruck, Some(cpr)) => {
+                data_movement::c_bruck_allgatherv_into(comm, cpr, mine, &self.counts, out, ws)
+            }
+            (Algorithm::Bruck, None) => {
+                baseline::bruck_allgatherv_into(comm, mine, &self.counts, out, ws)
+            }
+            (_, Some(cpr)) => {
+                data_movement::c_ring_allgatherv_into(comm, cpr, mine, &self.counts, out, ws)
+            }
+            (_, None) => baseline::ring_allgatherv_into(comm, mine, &self.counts, out, ws),
         }
     }
 
@@ -493,6 +791,11 @@ impl ReduceScatterPlan {
     /// The output length on `rank` (its chunk of the balanced partition).
     pub fn output_len(&self, rank: usize) -> usize {
         self.counts[rank]
+    }
+
+    /// The resolved schedule this plan executes (always the ring).
+    pub fn algorithm(&self) -> Algorithm {
+        Algorithm::Ring
     }
 
     /// Execute into a caller-provided buffer (this rank's chunk).
@@ -549,6 +852,12 @@ impl BcastPlan {
         self.len == 0
     }
 
+    /// The resolved schedule this plan executes (always the binomial
+    /// tree).
+    pub fn algorithm(&self) -> Algorithm {
+        Algorithm::Binomial
+    }
+
     /// Execute into a caller-provided buffer. `data` is read on the root
     /// only (other ranks may pass an empty slice).
     ///
@@ -598,6 +907,12 @@ impl ScatterPlan {
     /// The output length on `rank` (its chunk of the balanced partition).
     pub fn output_len(&self, rank: usize) -> usize {
         self.counts[rank]
+    }
+
+    /// The resolved schedule this plan executes (always the binomial
+    /// tree).
+    pub fn algorithm(&self) -> Algorithm {
+        Algorithm::Binomial
     }
 
     /// Execute into a caller-provided buffer (this rank's chunk). `data`
@@ -661,6 +976,12 @@ impl GatherPlan {
     /// The input length on `rank` (its chunk of the balanced partition).
     pub fn input_len(&self, rank: usize) -> usize {
         self.counts[rank]
+    }
+
+    /// The resolved schedule this plan executes (always the binomial
+    /// tree).
+    pub fn algorithm(&self) -> Algorithm {
+        Algorithm::Binomial
     }
 
     /// Execute into a caller-provided buffer. The root must size `out`
@@ -727,6 +1048,12 @@ impl AlltoallPlan {
         self.len == 0
     }
 
+    /// The resolved schedule this plan executes (always pairwise
+    /// exchange).
+    pub fn algorithm(&self) -> Algorithm {
+        Algorithm::Pairwise
+    }
+
     /// Execute into a caller-provided buffer.
     ///
     /// # Panics
@@ -752,30 +1079,61 @@ impl AlltoallPlan {
     }
 }
 
-/// Persistent rooted-reduce plan (see [`CCollSession::plan_reduce`]):
-/// pipelined C-Reduce-scatter followed by C-Gather of the reduced
-/// chunks.
+/// Persistent rooted-reduce plan (see [`CCollSession::plan_reduce`] and
+/// [`CCollSession::plan_reduce_with`]): either the bandwidth-optimal
+/// pipelined C-Reduce-scatter + C-Gather composition
+/// ([`Algorithm::Rabenseifner`]) or the latency-optimal binomial tree
+/// ([`Algorithm::Binomial`]).
 pub struct ReducePlan {
-    reduce_scatter: ReduceScatterPlan,
-    gather: GatherPlan,
-    /// Intermediate reduced-chunk buffer, reused across calls.
-    mine: Vec<f32>,
+    algorithm: Algorithm,
+    inner: ReducePlanImpl,
+}
+
+// The workspace-bearing variants are intentionally large: a plan is a
+// long-lived, once-allocated object, so boxing would only add a pointer
+// chase to every execute call.
+#[allow(clippy::large_enum_variant)]
+enum ReducePlanImpl {
+    RsGather {
+        reduce_scatter: ReduceScatterPlan,
+        gather: GatherPlan,
+        /// Intermediate reduced-chunk buffer, reused across calls.
+        mine: Vec<f32>,
+    },
+    Binomial {
+        session: CCollSession,
+        root: usize,
+        len: usize,
+        op: ReduceOp,
+        ws: CollWorkspace,
+    },
 }
 
 impl ReducePlan {
     /// Values per rank this plan was built for.
     pub fn len(&self) -> usize {
-        self.reduce_scatter.len()
+        match &self.inner {
+            ReducePlanImpl::RsGather { reduce_scatter, .. } => reduce_scatter.len(),
+            ReducePlanImpl::Binomial { len, .. } => *len,
+        }
     }
 
     /// True when the planned buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.reduce_scatter.is_empty()
+        self.len() == 0
     }
 
     /// The reduce root.
     pub fn root(&self) -> usize {
-        self.gather.root()
+        match &self.inner {
+            ReducePlanImpl::RsGather { gather, .. } => gather.root(),
+            ReducePlanImpl::Binomial { root, .. } => *root,
+        }
+    }
+
+    /// The resolved schedule this plan executes.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
     }
 
     /// Execute into a caller-provided buffer. The root must size `out`
@@ -786,13 +1144,36 @@ impl ReducePlan {
     /// Panics if the communicator size or buffer lengths disagree with
     /// the plan.
     pub fn execute_into<C: Comm>(&mut self, comm: &mut C, input: &[f32], out: &mut [f32]) -> bool {
-        let chunk = self.reduce_scatter.output_len(comm.rank());
-        // `resize` shrinks as well as grows, keeping the buffer exact
-        // without reallocating once its capacity is warm.
-        self.mine.resize(chunk, 0.0);
-        self.reduce_scatter
-            .execute_into(comm, input, &mut self.mine);
-        self.gather.execute_into(comm, &self.mine, out)
+        match &mut self.inner {
+            ReducePlanImpl::RsGather {
+                reduce_scatter,
+                gather,
+                mine,
+            } => {
+                let chunk = reduce_scatter.output_len(comm.rank());
+                // `resize` shrinks as well as grows, keeping the buffer
+                // exact without reallocating once its capacity is warm.
+                mine.resize(chunk, 0.0);
+                reduce_scatter.execute_into(comm, input, mine);
+                gather.execute_into(comm, mine, out)
+            }
+            ReducePlanImpl::Binomial {
+                session,
+                root,
+                len,
+                op,
+                ws,
+            } => {
+                check_world(comm, session.world_size);
+                assert_eq!(input.len(), *len, "input disagrees with plan length");
+                match session.cpr() {
+                    Some(cpr) => {
+                        cpr_p2p::cpr_binomial_reduce_into(comm, cpr, *root, input, *op, out, ws)
+                    }
+                    None => baseline::binomial_reduce_into(comm, *root, input, *op, out, ws),
+                }
+            }
+        }
     }
 
     /// Allocating convenience wrapper over [`ReducePlan::execute_into`].
@@ -801,8 +1182,8 @@ impl ReducePlan {
     pub fn execute<C: Comm>(&mut self, comm: &mut C, input: &[f32]) -> Option<Vec<f32>> {
         let mut out = vec![
             0.0f32;
-            if comm.rank() == self.gather.root() {
-                self.reduce_scatter.len()
+            if comm.rank() == self.root() {
+                self.len()
             } else {
                 0
             }
@@ -901,6 +1282,118 @@ mod tests {
             let mut out = vec![0.0; 10];
             plan.execute_into(c, &[0.0; 10], &mut out);
         });
+    }
+
+    #[test]
+    fn algorithm_plans_match_oracle_envelope() {
+        let n = 6;
+        let len = 5000;
+        let eb = 1e-3f32;
+        for algorithm in [
+            Algorithm::Ring,
+            Algorithm::RecursiveDoubling,
+            Algorithm::Rabenseifner,
+        ] {
+            let world = SimWorld::new(SimConfig::new(n));
+            let out = world.run(move |c| {
+                let session = CCollSession::new(CodecSpec::Szx { error_bound: eb }, n);
+                let mut plan = session.plan_allreduce_with(
+                    len,
+                    ReduceOp::Sum,
+                    PlanOptions::new().algorithm(algorithm),
+                );
+                assert_eq!(plan.algorithm(), algorithm);
+                plan.execute(c, &rank_data(c.rank(), len))
+            });
+            let inputs: Vec<Vec<f32>> = (0..n).map(|r| rank_data(r, len)).collect();
+            let expect = ReduceOp::Sum.oracle(&inputs);
+            let tol = 4.0 * (n as f32) * eb;
+            for r in 0..n {
+                for (a, b) in out.results[r].iter().zip(&expect) {
+                    assert!((a - b).abs() <= tol, "{algorithm:?} rank {r}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bruck_allgather_plan_round_trips() {
+        let n = 5;
+        let len = 700;
+        let world = SimWorld::new(SimConfig::new(n));
+        let out = world.run(move |c| {
+            let session = CCollSession::new(CodecSpec::Szx { error_bound: 1e-4 }, n);
+            let mut plan =
+                session.plan_allgather_with(len, PlanOptions::new().algorithm(Algorithm::Bruck));
+            assert_eq!(plan.algorithm(), Algorithm::Bruck);
+            plan.execute(c, &rank_data(c.rank(), len))
+        });
+        for r in 0..n {
+            for src in 0..n {
+                let expect = rank_data(src, len);
+                let got = &out.results[r][src * len..(src + 1) * len];
+                for (a, b) in expect.iter().zip(got) {
+                    assert!((a - b).abs() <= 1e-4 + 1e-7, "rank {r} src {src}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_reduce_plan_root_only() {
+        let n = 7;
+        let len = 900;
+        let world = SimWorld::new(SimConfig::new(n));
+        let out = world.run(move |c| {
+            let session = CCollSession::new(CodecSpec::Szx { error_bound: 1e-4 }, n);
+            let mut plan = session.plan_reduce_with(
+                3,
+                len,
+                ReduceOp::Sum,
+                PlanOptions::new().algorithm(Algorithm::Binomial),
+            );
+            assert_eq!(plan.algorithm(), Algorithm::Binomial);
+            plan.execute(c, &rank_data(c.rank(), len))
+        });
+        let inputs: Vec<Vec<f32>> = (0..n).map(|r| rank_data(r, len)).collect();
+        let expect = ReduceOp::Sum.oracle(&inputs);
+        for (r, res) in out.results.iter().enumerate() {
+            if r == 3 {
+                for (a, b) in res.as_ref().unwrap().iter().zip(&expect) {
+                    assert!((a - b).abs() <= 4.0 * (n as f32) * 1e-4, "{a} vs {b}");
+                }
+            } else {
+                assert!(res.is_none(), "rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_plans_resolve_by_payload_size() {
+        let session = CCollSession::new(CodecSpec::Szx { error_bound: 1e-3 }, 16);
+        let small = session.plan_allreduce_with(64, ReduceOp::Sum, PlanOptions::new());
+        assert_eq!(small.algorithm(), Algorithm::RecursiveDoubling);
+        let large = session.plan_allreduce_with(4_000_000, ReduceOp::Sum, PlanOptions::new());
+        assert!(
+            matches!(large.algorithm(), Algorithm::Ring | Algorithm::Rabenseifner),
+            "large payloads must resolve to a bandwidth-optimal schedule, got {:?}",
+            large.algorithm()
+        );
+        let small_ag = session.plan_allgather_with(16, PlanOptions::new());
+        assert_eq!(small_ag.algorithm(), Algorithm::Bruck);
+        let large_ag = session.plan_allgather_with(2_000_000, PlanOptions::new());
+        assert_eq!(large_ag.algorithm(), Algorithm::Ring);
+    }
+
+    #[test]
+    #[should_panic(expected = "allreduce has no bruck schedule")]
+    fn unsupported_algorithm_is_rejected_at_plan_time() {
+        let session = CCollSession::new(CodecSpec::None, 4);
+        let _ = session.plan_allreduce_with(
+            100,
+            ReduceOp::Sum,
+            PlanOptions::new().algorithm(Algorithm::Bruck),
+        );
     }
 
     #[test]

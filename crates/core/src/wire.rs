@@ -57,6 +57,13 @@ pub fn unframe_blobs(container: &Bytes) -> Option<Vec<Bytes>> {
 /// valid state.
 pub fn unframe_blobs_into(container: &Bytes, blobs: &mut Vec<Bytes>) -> Option<()> {
     blobs.clear();
+    unframe_blobs_append(container, blobs)
+}
+
+/// [`unframe_blobs_into`] that *appends* to `blobs` instead of clearing
+/// it — the shape the Bruck allgather's doubling steps need, where each
+/// received container extends the held block set.
+pub fn unframe_blobs_append(container: &Bytes, blobs: &mut Vec<Bytes>) -> Option<()> {
     if container.len() < 4 {
         return None;
     }

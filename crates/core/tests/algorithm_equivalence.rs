@@ -1,0 +1,266 @@
+//! Differential tests for the algorithm layer: every alternative
+//! schedule must compute the *same collective* as the ring reference.
+//!
+//! Two regimes, matching the codec taxonomy:
+//!
+//! * **Lossless codecs** (`CodecSpec::None`, `CodecSpec::Lossless`):
+//!   byte-exact transport, so any cross-schedule difference can only
+//!   come from floating-point reduction order. The tests drive
+//!   *integer-valued* inputs whose sums stay exactly representable in
+//!   f32 (magnitudes ≪ 2²⁴), where +,max,min are associative — so every
+//!   schedule must be **bitwise identical** to the ring result, across
+//!   worlds 2–9 including non-powers-of-two (which exercise the
+//!   butterfly fold/unfold and the partial Bruck step).
+//! * **Lossy codecs** (SZx): each schedule must stay within its
+//!   compression-error envelope of the exact oracle — `k·eb` where `k`
+//!   counts the compression stages on the schedule's critical path.
+//!
+//! Property-based: rank counts, lengths and seeds are drawn by proptest.
+
+// The proptest shim's macro expands recursively per body token.
+#![recursion_limit = "4096"]
+
+use c_coll::{Algorithm, CCollSession, CodecSpec, PlanOptions, ReduceOp};
+use ccoll_comm::{Comm, SimConfig, SimWorld};
+use proptest::prelude::*;
+
+/// Integer-valued rank data: f32 arithmetic on these is exact for sums
+/// of up to thousands of terms, so reduction order cannot matter.
+fn integer_data(rank: usize, len: usize, seed: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let x = (i as u64)
+                .wrapping_mul(0x9E37_79B9)
+                .wrapping_add(rank as u64 * 2654435761)
+                .wrapping_add(seed);
+            ((x % 201) as f32) - 100.0 // integers in [-100, 100]
+        })
+        .collect()
+}
+
+/// Smooth lossy-codec test data.
+fn smooth_data(rank: usize, len: usize, seed: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| ((i as f32) * 2e-3 + (seed % 97) as f32 + rank as f32 * 0.37).sin() * 3.0)
+        .collect()
+}
+
+/// Run one allreduce plan per rank and return every rank's result.
+fn run_allreduce(
+    n: usize,
+    len: usize,
+    seed: u64,
+    spec: CodecSpec,
+    algorithm: Algorithm,
+    op: ReduceOp,
+    integer: bool,
+) -> Vec<Vec<f32>> {
+    let world = SimWorld::new(SimConfig::new(n));
+    let out = world.run(move |c| {
+        let session = CCollSession::new(spec, n);
+        let mut plan =
+            session.plan_allreduce_with(len, op, PlanOptions::new().algorithm(algorithm));
+        let data = if integer {
+            integer_data(c.rank(), len, seed)
+        } else {
+            smooth_data(c.rank(), len, seed)
+        };
+        plan.execute(c, &data)
+    });
+    out.results
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // Bitwise ring-equivalence of every allreduce schedule under
+    // byte-exact transport and exact arithmetic.
+    #[test]
+    fn allreduce_schedules_bitwise_match_ring_when_lossless(
+        n in 2usize..=9,
+        len in 1usize..400,
+        seed in any::<u64>(),
+        op_idx in 0usize..3,
+    ) {
+        let op = [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min][op_idx];
+        for spec in [CodecSpec::None, CodecSpec::Lossless] {
+            let ring = run_allreduce(n, len, seed, spec, Algorithm::Ring, op, true);
+            for algorithm in [Algorithm::RecursiveDoubling, Algorithm::Rabenseifner] {
+                let alt = run_allreduce(n, len, seed, spec, algorithm, op, true);
+                for r in 0..n {
+                    prop_assert_eq!(
+                        &alt[r], &ring[r],
+                        "{:?}/{:?} diverged from ring on rank {} (n={}, len={})",
+                        algorithm, spec, r, n, len
+                    );
+                }
+            }
+        }
+    }
+
+    // Every lossy allreduce schedule stays inside its error envelope of
+    // the exact oracle.
+    #[test]
+    fn allreduce_schedules_bounded_when_lossy(
+        n in 2usize..=9,
+        len in 1usize..400,
+        seed in any::<u64>(),
+    ) {
+        let eb = 1e-3f32;
+        let spec = CodecSpec::Szx { error_bound: eb };
+        let inputs: Vec<Vec<f32>> = (0..n).map(|r| smooth_data(r, len, seed)).collect();
+        let expect = ReduceOp::Sum.oracle(&inputs);
+        for algorithm in [
+            Algorithm::Ring,
+            Algorithm::RecursiveDoubling,
+            Algorithm::Rabenseifner,
+        ] {
+            let got = run_allreduce(n, len, seed, spec, algorithm, ReduceOp::Sum, false);
+            // Worst case: one bounded perturbation per compression stage
+            // on the critical path, ≤ one per rank plus the allgather
+            // hop(s); butterflies re-compress per round (≤ log₂n + 2).
+            let tol = 4.0 * (n as f32) * eb;
+            for (r, rank_out) in got.iter().enumerate() {
+                for (a, b) in rank_out.iter().zip(&expect) {
+                    prop_assert!(
+                        (a - b).abs() <= tol,
+                        "{:?} rank {} out of envelope: {} vs {} (n={}, len={})",
+                        algorithm, r, a, b, n, len
+                    );
+                }
+            }
+        }
+    }
+
+    // Bruck allgather is bitwise identical to the ring allgather under
+    // byte-exact transport (no arithmetic happens at all), and inside
+    // the single-compression bound under SZx.
+    #[test]
+    fn allgather_bruck_matches_ring(
+        n in 2usize..=9,
+        len in 1usize..300,
+        seed in any::<u64>(),
+    ) {
+        for spec in [CodecSpec::None, CodecSpec::Lossless] {
+            let run = |algorithm: Algorithm| {
+                let world = SimWorld::new(SimConfig::new(n));
+                world
+                    .run(move |c| {
+                        let session = CCollSession::new(spec, n);
+                        let mut plan = session
+                            .plan_allgather_with(len, PlanOptions::new().algorithm(algorithm));
+                        plan.execute(c, &integer_data(c.rank(), len, seed))
+                    })
+                    .results
+            };
+            let ring = run(Algorithm::Ring);
+            let bruck = run(Algorithm::Bruck);
+            for r in 0..n {
+                prop_assert_eq!(
+                    &bruck[r], &ring[r],
+                    "Bruck/{:?} diverged on rank {} (n={}, len={})", spec, r, n, len
+                );
+            }
+        }
+        // Lossy: single-compression error bound (the compress-once
+        // property survives the Bruck relay).
+        let eb = 1e-3f32;
+        let world = SimWorld::new(SimConfig::new(n));
+        let out = world.run(move |c| {
+            let session = CCollSession::new(CodecSpec::Szx { error_bound: eb }, n);
+            let mut plan =
+                session.plan_allgather_with(len, PlanOptions::new().algorithm(Algorithm::Bruck));
+            plan.execute(c, &smooth_data(c.rank(), len, seed))
+        });
+        for r in 0..n {
+            for src in 0..n {
+                let expect = smooth_data(src, len, seed);
+                let got = &out.results[r][src * len..(src + 1) * len];
+                for (a, b) in expect.iter().zip(got) {
+                    prop_assert!(
+                        (a - b).abs() <= eb + 1e-6,
+                        "rank {} block {} beyond single bound (n={}, len={})", r, src, n, len
+                    );
+                }
+            }
+        }
+    }
+
+    // The binomial-tree rooted reduce is bitwise identical to the
+    // reduce-scatter + gather composition under exact arithmetic and
+    // byte-exact transport.
+    #[test]
+    fn reduce_schedules_bitwise_match_when_lossless(
+        n in 2usize..=9,
+        len in 1usize..300,
+        root in 0usize..9,
+        seed in any::<u64>(),
+    ) {
+        let root = root % n;
+        for spec in [CodecSpec::None, CodecSpec::Lossless] {
+            let run = |algorithm: Algorithm| {
+                let world = SimWorld::new(SimConfig::new(n));
+                world
+                    .run(move |c| {
+                        let session = CCollSession::new(spec, n);
+                        let mut plan = session.plan_reduce_with(
+                            root,
+                            len,
+                            ReduceOp::Sum,
+                            PlanOptions::new().algorithm(algorithm),
+                        );
+                        plan.execute(c, &integer_data(c.rank(), len, seed))
+                    })
+                    .results
+            };
+            let composed = run(Algorithm::Rabenseifner);
+            let tree = run(Algorithm::Binomial);
+            for r in 0..n {
+                prop_assert_eq!(composed[r].is_some(), r == root);
+                prop_assert_eq!(
+                    &tree[r], &composed[r],
+                    "binomial/{:?} diverged on rank {} (n={}, root={})", spec, r, n, root
+                );
+            }
+        }
+    }
+}
+
+/// Steady-state determinism: repeated executions of an algorithm plan at
+/// the same inputs are bit-stable (buffers fully reset between calls).
+#[test]
+fn algorithm_plans_are_bit_stable_across_calls() {
+    let n = 5;
+    let len = 3000;
+    for algorithm in [
+        Algorithm::RecursiveDoubling,
+        Algorithm::Rabenseifner,
+        Algorithm::Bruck,
+    ] {
+        let world = SimWorld::new(SimConfig::new(n));
+        let out = world.run(move |c| {
+            let session = CCollSession::new(CodecSpec::Szx { error_bound: 1e-3 }, n);
+            if algorithm == Algorithm::Bruck {
+                let mut plan =
+                    session.plan_allgather_with(len, PlanOptions::new().algorithm(algorithm));
+                let data = smooth_data(c.rank(), len, 7);
+                let first = plan.execute(c, &data);
+                let second = plan.execute(c, &data);
+                first == second
+            } else {
+                let mut plan = session.plan_allreduce_with(
+                    len,
+                    ReduceOp::Sum,
+                    PlanOptions::new().algorithm(algorithm),
+                );
+                let data = smooth_data(c.rank(), len, 7);
+                let first = plan.execute(c, &data);
+                let second = plan.execute(c, &data);
+                first == second
+            }
+        });
+        for (r, &stable) in out.results.iter().enumerate() {
+            assert!(stable, "{algorithm:?} rank {r}: repeat call diverged");
+        }
+    }
+}

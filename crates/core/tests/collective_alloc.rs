@@ -14,7 +14,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use c_coll::{CCollSession, CodecSpec, ReduceOp};
+use c_coll::{Algorithm, CCollSession, CodecSpec, PlanOptions, ReduceOp};
 use ccoll_comm::{Comm, SimConfig, SimWorld};
 
 struct CountingAllocator;
@@ -61,9 +61,30 @@ fn steady_state_plans_allocate_nothing() {
         let mut allreduce = session.plan_allreduce(len, ReduceOp::Sum);
         let mut allgather = session.plan_allgather(len / n);
         let mut bcast = session.plan_bcast(0, len / 2);
+        // The algorithm layer's alternative schedules must uphold the
+        // same guarantee.
+        let mut rd_allreduce = session.plan_allreduce_with(
+            len,
+            ReduceOp::Sum,
+            PlanOptions::new().algorithm(Algorithm::RecursiveDoubling),
+        );
+        let mut raben_allreduce = session.plan_allreduce_with(
+            len,
+            ReduceOp::Sum,
+            PlanOptions::new().algorithm(Algorithm::Rabenseifner),
+        );
+        let mut bruck_allgather =
+            session.plan_allgather_with(len / n, PlanOptions::new().algorithm(Algorithm::Bruck));
+        let mut tree_reduce = session.plan_reduce_with(
+            0,
+            len / 2,
+            ReduceOp::Sum,
+            PlanOptions::new().algorithm(Algorithm::Binomial),
+        );
 
         let input = rank_data(me, len);
         let chunk = rank_data(me, len / n);
+        let half = rank_data(me, len / 2);
         let bdata = if me == 0 {
             rank_data(42, len / 2)
         } else {
@@ -72,6 +93,7 @@ fn steady_state_plans_allocate_nothing() {
         let mut ar_out = vec![0.0f32; len];
         let mut ag_out = vec![0.0f32; len];
         let mut bc_out = vec![0.0f32; len / 2];
+        let mut rr_out = vec![0.0f32; if me == 0 { len / 2 } else { 0 }];
 
         // Warm-up. The collective path itself (codec, payload pool,
         // workspace) is warm after ONE call per plan — plans pre-size
@@ -83,6 +105,10 @@ fn steady_state_plans_allocate_nothing() {
             allreduce.execute_into(c, &input, &mut ar_out);
             allgather.execute_into(c, &chunk, &mut ag_out);
             bcast.execute_into(c, &bdata, &mut bc_out);
+            rd_allreduce.execute_into(c, &input, &mut ar_out);
+            raben_allreduce.execute_into(c, &input, &mut ar_out);
+            bruck_allgather.execute_into(c, &chunk, &mut ag_out);
+            tree_reduce.execute_into(c, &half, &mut rr_out);
         }
         c.barrier();
 
@@ -92,6 +118,10 @@ fn steady_state_plans_allocate_nothing() {
             allreduce.execute_into(c, &input, &mut ar_out);
             allgather.execute_into(c, &chunk, &mut ag_out);
             bcast.execute_into(c, &bdata, &mut bc_out);
+            rd_allreduce.execute_into(c, &input, &mut ar_out);
+            raben_allreduce.execute_into(c, &input, &mut ar_out);
+            bruck_allgather.execute_into(c, &chunk, &mut ag_out);
+            tree_reduce.execute_into(c, &half, &mut rr_out);
         }
         c.barrier();
         let delta = allocations() - before;
