@@ -124,18 +124,6 @@ pub fn run_allreduce_algorithm(
     iters: usize,
 ) -> (ExperimentResult, Algorithm) {
     assert!(iters > 0, "need at least one iteration");
-    // Resolve Auto up front (plan creation is communicator-free) so the
-    // caller can report what the cost model picked. Explicit choices
-    // resolve to themselves, so only Auto needs the probe plan.
-    let resolved = if algorithm == Algorithm::Auto {
-        CCollSession::new(spec, nodes)
-            .with_cost_model(cost.clone())
-            .with_net_model(net)
-            .plan_allreduce_with(values_per_rank, op, PlanOptions::new())
-            .algorithm()
-    } else {
-        algorithm
-    };
     let mut cfg = SimConfig::new(nodes);
     cfg.cost = cost.clone();
     cfg.net = net;
@@ -154,7 +142,12 @@ pub fn run_allreduce_algorithm(
         for _ in 0..iters {
             plan.execute_into(comm, &data, &mut result);
         }
+        // The schedule the plan actually settled on: for `Auto` with
+        // iters > 1 this includes the post-warm-up re-rank from the
+        // measured compression ratio.
+        plan.algorithm()
     });
+    let resolved = out.results[0];
     (
         ExperimentResult {
             makespan: out.makespan / iters as u32,

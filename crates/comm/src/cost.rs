@@ -222,14 +222,20 @@ impl CostModel {
         } else {
             wm * beta + comp(m)
         };
+        // Relay-overlap credit of the pipelined allgather stage: blocks
+        // received in hop k are decompressed while hop k+1's relay is in
+        // flight, so each hop costs `max(transfer, decompress)` and only
+        // the final block's decompression lands on the critical path.
+        // Pure reordering of compress-once blocks — every codec gets it.
+        let ag_hop = |xfer: f64, dec: f64| xfer.max(dec);
 
         let secs = match schedule {
             Schedule::RingAllreduce => {
                 // Reduce-scatter (pipelining credit only when the codec
-                // can pipeline), then a compress-once allgather over the
-                // reduced chunks.
+                // can pipeline), then a compress-once allgather with the
+                // relay-overlap credit over the reduced chunks.
                 let rs = (nf - 1.0) * (alpha + ring_rs_hop + deco(m) + reduce(m));
-                let ag = comp(m) + (nf - 1.0) * (alpha + wm * beta + deco(m));
+                let ag = comp(m) + (nf - 1.0) * (alpha + ag_hop(wm * beta, deco(m))) + deco(m);
                 rs + ag
             }
             Schedule::RecursiveDoublingAllreduce => {
@@ -239,22 +245,48 @@ impl CostModel {
             }
             Schedule::RabenseifnerAllreduce => {
                 // Recursive-halving reduce-scatter + recursive-doubling
-                // allgather: ring's bytes at tree latency, but without
-                // the ring's compression/transfer overlap.
-                let rs = log2n * alpha + rest * (wire * beta + comp(d) + deco(d) + reduce(d));
+                // allgather: ring's bytes at tree latency. The halving
+                // phase drives the same sub-chunk pipeline as the ring
+                // reduce-scatter, so pipeline-capable codecs hide each
+                // round's transfer under its compression.
+                let rs_xfer_comp = if p.pipelined {
+                    (wire * beta).max(comp(d))
+                } else {
+                    wire * beta + comp(d)
+                };
+                let rs = log2n * alpha + rest * (rs_xfer_comp + deco(d) + reduce(d));
                 let ag = log2n * alpha + rest * (wire * beta + comp(d) + deco(d));
                 fold + rs + ag
             }
-            Schedule::RingAllgather => comp(d) + (nf - 1.0) * (alpha + wire * beta + deco(d)),
+            Schedule::RingAllgather => {
+                comp(d) + (nf - 1.0) * (alpha + ag_hop(wire * beta, deco(d))) + deco(d)
+            }
             Schedule::BruckAllgather => {
-                // Same bytes as the ring in ⌈log₂n⌉ steps, plus the final
-                // local rotation of the whole gathered buffer.
-                comp(d) + log2n * alpha + (nf - 1.0) * (wire * beta + deco(d)) + memcpy(nf * d)
+                // Same bytes as the ring in ⌈log₂n⌉ steps; held blocks
+                // decompress while the next container is in flight. The
+                // blocks received in the LAST step (n − 2^(steps−1) of
+                // them, up to ~n/2) have no later transfer to hide
+                // under, so their decodes stay exposed, as does the
+                // final local rotation.
+                let last = nf - 2f64.powi(log2n as i32 - 1);
+                comp(d)
+                    + log2n * alpha
+                    + ((nf - 1.0) * wire * beta).max((nf - 1.0 - last) * deco(d))
+                    + last * deco(d)
+                    + memcpy(nf * d)
             }
             Schedule::BinomialTreeReduce => {
                 // Up to log₂n full-payload hops on the root's critical
-                // path, each decompressed and reduced at the parent.
-                log2n * (alpha + wire * beta + comp(d) + deco(d) + reduce(d))
+                // path. The pipelined tree overlaps each hop three ways:
+                // the child's sub-chunk compression hides the transfer,
+                // and the parent's fused decompress-reduce drains chunks
+                // while later ones are still in flight.
+                let hop = if p.pipelined {
+                    (wire * beta).max(comp(d)).max(deco(d) + reduce(d))
+                } else {
+                    wire * beta + comp(d) + deco(d) + reduce(d)
+                };
+                log2n * (alpha + hop)
             }
             Schedule::ReduceScatterGatherReduce => {
                 // Ring reduce-scatter (same pipelining rule as above),
@@ -445,6 +477,75 @@ mod tests {
                 < est(Schedule::BinomialTreeReduce, large),
             "reduce-scatter + gather must win large reduces"
         );
+    }
+
+    #[test]
+    fn eight_rank_crossovers_match_measured_argmin() {
+        // The BENCH_algo.json crossover sequence at nodes=8 under the
+        // default SZx profile: recursive doubling at 64 values,
+        // Rabenseifner at 512 and 4096 (its pipelined halving phase
+        // makes it the mid-size winner), ring from 32768 up. PR 3's
+        // model mispicked the two middle rows; the pipelining credits
+        // pin the measured ordering.
+        let m = CostModel::default();
+        let net = NetModel::default();
+        let candidates = [
+            Schedule::RingAllreduce,
+            Schedule::RecursiveDoublingAllreduce,
+            Schedule::RabenseifnerAllreduce,
+        ];
+        let argmin = |values: usize| {
+            candidates
+                .iter()
+                .copied()
+                .min_by_key(|s| m.estimate(*s, &net, &szx_params(8, values * 4)))
+                .unwrap()
+        };
+        assert_eq!(argmin(64), Schedule::RecursiveDoublingAllreduce);
+        assert_eq!(argmin(512), Schedule::RabenseifnerAllreduce);
+        assert_eq!(argmin(4096), Schedule::RabenseifnerAllreduce);
+        assert_eq!(argmin(32768), Schedule::RingAllreduce);
+        assert_eq!(argmin(2_097_152), Schedule::RingAllreduce);
+    }
+
+    #[test]
+    fn pipelined_rabenseifner_and_tree_reduce_gain_credit() {
+        // Every schedule that drives the sub-chunk pipeline must rank
+        // better with it than without — and the credit is bounded by
+        // the full compression (reduce-side) term it can hide.
+        let m = CostModel::default();
+        let net = NetModel::default();
+        for s in [
+            Schedule::RabenseifnerAllreduce,
+            Schedule::BinomialTreeReduce,
+        ] {
+            let mut p = szx_params(16, 8 * 1024 * 1024);
+            p.pipelined = false;
+            let plain = m.estimate(s, &net, &p);
+            p.pipelined = true;
+            let piped = m.estimate(s, &net, &p);
+            assert!(piped < plain, "{s:?}: {piped:?} !< {plain:?}");
+        }
+    }
+
+    #[test]
+    fn allgather_relay_overlap_hides_decompression() {
+        // The relay-overlap credit: with a decompression slower than the
+        // wire, the ring allgather's critical path is bounded by the
+        // max() of the two streams, not their sum.
+        let m = CostModel::default();
+        let net = NetModel::default();
+        let p = szx_params(16, 4 * 1024 * 1024);
+        let est = m.estimate(Schedule::RingAllgather, &net, &p).as_secs_f64();
+        let nf = 15.0f64;
+        let alpha = net.latency.as_secs_f64();
+        let wire = p.payload_bytes as f64 / p.ratio / net.bandwidth;
+        let deco = p.payload_bytes as f64 / p.decompress_tput;
+        let comp = p.payload_bytes as f64 / p.compress_tput;
+        let summed = comp + nf * (alpha + wire + deco);
+        let overlapped = comp + nf * (alpha + wire.max(deco)) + deco;
+        assert!((est - overlapped).abs() < 1e-9, "{est} vs {overlapped}");
+        assert!(est < summed, "overlap credit missing: {est} vs {summed}");
     }
 
     #[test]

@@ -22,9 +22,18 @@ use std::sync::Arc;
 use bytes::Bytes;
 
 /// A recycling pool of payload backing buffers. See the module docs.
+///
+/// Besides recycling, the pool doubles as the collection point for
+/// **measured compression ratios**: every compression that lands in a
+/// pool slot reports its uncompressed/compressed byte pair via
+/// [`PayloadPool::note_compression`], and a collective plan drains the
+/// accumulated sample with [`PayloadPool::take_ratio_sample`] after each
+/// execution — the feedback `Algorithm::Auto` re-ranks schedules from.
 #[derive(Debug, Default)]
 pub struct PayloadPool {
     slots: Vec<Arc<Vec<u8>>>,
+    raw_bytes: u64,
+    wire_bytes: u64,
 }
 
 impl PayloadPool {
@@ -41,6 +50,29 @@ impl PayloadPool {
             slots: (0..slots)
                 .map(|_| Arc::new(Vec::with_capacity(capacity)))
                 .collect(),
+            raw_bytes: 0,
+            wire_bytes: 0,
+        }
+    }
+
+    /// Record one codec invocation: `raw_bytes` uncompressed input
+    /// produced `wire_bytes` of compressed stream.
+    pub fn note_compression(&mut self, raw_bytes: usize, wire_bytes: usize) {
+        self.raw_bytes += raw_bytes as u64;
+        self.wire_bytes += wire_bytes as u64;
+    }
+
+    /// The compression ratio (uncompressed / compressed) observed since
+    /// the last call, resetting the accumulators. `None` when no
+    /// compression was recorded in the window.
+    pub fn take_ratio_sample(&mut self) -> Option<f64> {
+        let (raw, wire) = (self.raw_bytes, self.wire_bytes);
+        self.raw_bytes = 0;
+        self.wire_bytes = 0;
+        if raw == 0 || wire == 0 {
+            None
+        } else {
+            Some(raw as f64 / wire as f64)
         }
     }
 
@@ -115,6 +147,17 @@ mod tests {
         let p = pool.write(&[7u8; 48]);
         assert_eq!(p.len(), 48);
         assert_eq!(pool.slot_count(), 3);
+    }
+
+    #[test]
+    fn ratio_samples_accumulate_and_reset() {
+        let mut pool = PayloadPool::new();
+        assert_eq!(pool.take_ratio_sample(), None);
+        pool.note_compression(800, 100);
+        pool.note_compression(200, 100);
+        assert_eq!(pool.take_ratio_sample(), Some(5.0));
+        // Drained: the next window starts from zero.
+        assert_eq!(pool.take_ratio_sample(), None);
     }
 
     #[test]

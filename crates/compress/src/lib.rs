@@ -96,7 +96,7 @@ pub mod zfp;
 pub use lossless::LosslessCodec;
 pub use pipe::PipeSzx;
 pub use szx::SzxCodec;
-pub use traits::{CodecKind, CodecScratch, CompressError, Compressor, RoundTripStats};
+pub use traits::{CodecKind, CodecScratch, CompressError, Compressor, ReduceKind, RoundTripStats};
 pub use zfp::{ZfpCodec, ZfpMode};
 
 /// Convert a slice of `f32` values into little-endian bytes.

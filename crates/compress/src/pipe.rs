@@ -34,8 +34,10 @@
 
 use crate::bitstream::{BitReader, BitWriter};
 use crate::bytecodec::{patch_u32, put_f32, put_u16, put_u32, put_u64, ByteReader};
-use crate::szx::{decode_blocks_into, encode_blocks, worst_case_body_bytes, DEFAULT_BLOCK};
-use crate::traits::{CodecKind, CompressError, Compressor};
+use crate::szx::{
+    decode_blocks_into, decode_blocks_reduce, encode_blocks, worst_case_body_bytes, DEFAULT_BLOCK,
+};
+use crate::traits::{CodecKind, CompressError, Compressor, ReduceKind};
 
 /// Stream magic: `"SZXP"` little-endian.
 pub const PIPE_MAGIC: u32 = 0x5058_5A53;
@@ -281,6 +283,42 @@ impl Compressor for PipeSzx {
         self.decompress_with_progress_into(stream, || {}, out)
     }
 
+    fn decompress_reduce_into(
+        &self,
+        stream: &[u8],
+        op: ReduceKind,
+        dst: &mut [f32],
+        _scratch: &mut Vec<f32>,
+    ) -> Result<(), CompressError> {
+        let mut r = ByteReader::new(stream);
+        if r.read_u32()? != PIPE_MAGIC {
+            return Err(CompressError::BadMagic);
+        }
+        let count = r.read_u64()? as usize;
+        let chunk = r.read_u32()? as usize;
+        let block_size = r.read_u16()? as usize;
+        let eb = r.read_f32()?;
+        let nchunks = r.read_u32()? as usize;
+        if chunk == 0 || block_size == 0 || !(eb.is_finite() && eb > 0.0) {
+            return Err(CompressError::CorruptHeader);
+        }
+        if nchunks != count.div_ceil(chunk) {
+            return Err(CompressError::CorruptHeader);
+        }
+        assert_eq!(count, dst.len(), "decompress-reduce length mismatch");
+        let mut sizes = r.clone();
+        r.read_slice(nchunks * 4)?;
+        for i in 0..nchunks {
+            let size = sizes.read_u32()? as usize;
+            let payload = r.read_slice(size)?;
+            let lo = i * chunk;
+            let hi = (lo + chunk).min(count);
+            let mut bits = BitReader::new(payload);
+            decode_blocks_reduce(&mut bits, op, eb, block_size, &mut dst[lo..hi])?;
+        }
+        Ok(())
+    }
+
     fn max_compressed_bytes(&self, values: usize) -> usize {
         self.worst_case_stream_bytes(values)
     }
@@ -399,6 +437,28 @@ mod tests {
             codec.decompress(&c[..c.len() - 5]).unwrap_err(),
             CompressError::Truncated
         );
+    }
+
+    #[test]
+    fn fused_reduce_matches_decode_then_apply_bitwise() {
+        let data = wave(5120 * 2 + 777); // multiple chunks + partial tail
+        let codec = PipeSzx::new(1e-3);
+        let stream = codec.compress(&data).unwrap();
+        let decoded = codec.decompress(&stream).unwrap();
+        for op in [ReduceKind::Sum, ReduceKind::Max, ReduceKind::Min] {
+            let acc: Vec<f32> = (0..data.len()).map(|i| (i as f32 * 0.11).sin()).collect();
+            let mut expect = acc.clone();
+            for (d, &v) in expect.iter_mut().zip(&decoded) {
+                *d = op.fold(*d, v);
+            }
+            let mut fused = acc.clone();
+            codec
+                .decompress_reduce_into(&stream, op, &mut fused, &mut Vec::new())
+                .unwrap();
+            for (i, (a, b)) in fused.iter().zip(&expect).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{op:?} diverged at {i}");
+            }
+        }
     }
 
     #[test]

@@ -43,7 +43,7 @@
 
 use crate::bitstream::{BitReader, BitWriter};
 use crate::bytecodec::{put_f32, put_u16, put_u32, put_u64, ByteReader};
-use crate::traits::{CodecKind, CompressError, Compressor};
+use crate::traits::{CodecKind, CompressError, Compressor, ReduceKind};
 
 /// Stream magic: `"SZX1"` little-endian.
 pub const SZX_MAGIC: u32 = 0x3158_5A53;
@@ -176,6 +176,31 @@ impl Compressor for SzxCodec {
         out.clear();
         out.reserve(count);
         decode_blocks_into(&mut bits, count, eb, block_size, out)
+    }
+
+    fn decompress_reduce_into(
+        &self,
+        stream: &[u8],
+        op: ReduceKind,
+        dst: &mut [f32],
+        _scratch: &mut Vec<f32>,
+    ) -> Result<(), CompressError> {
+        let mut r = ByteReader::new(stream);
+        if r.read_u32()? != SZX_MAGIC {
+            return Err(CompressError::BadMagic);
+        }
+        let count = r.read_u64()? as usize;
+        let block_size = r.read_u16()? as usize;
+        if block_size == 0 {
+            return Err(CompressError::CorruptHeader);
+        }
+        let eb = r.read_f32()?;
+        if !(eb.is_finite() && eb > 0.0) {
+            return Err(CompressError::CorruptHeader);
+        }
+        assert_eq!(count, dst.len(), "decompress-reduce length mismatch");
+        let mut bits = BitReader::new(r.remaining());
+        decode_blocks_reduce(&mut bits, op, eb, block_size, dst)
     }
 
     fn max_compressed_bytes(&self, values: usize) -> usize {
@@ -372,6 +397,70 @@ pub(crate) fn decode_blocks_into(
     Ok(())
 }
 
+/// Fused variant of [`decode_blocks_into`]: every reconstructed value is
+/// folded into `dst` with `op` as it is decoded, so the quantized blocks
+/// never materialize in a scratch buffer. The reconstruction arithmetic
+/// (`x̂ = (mid + q·eb) as f32`, then [`ReduceKind::fold`]) is identical to
+/// decode-then-apply, keeping fused and unfused results bitwise equal.
+pub(crate) fn decode_blocks_reduce(
+    r: &mut BitReader<'_>,
+    op: ReduceKind,
+    eb: f32,
+    block_size: usize,
+    dst: &mut [f32],
+) -> Result<(), CompressError> {
+    let eb64 = eb as f64;
+    let mut at = 0usize;
+    while at < dst.len() {
+        let len = block_size.min(dst.len() - at);
+        let block = &mut dst[at..at + len];
+        let tag = r.read_bits(2).map_err(|_| CompressError::Truncated)? as u32;
+        match tag {
+            TAG_CONSTANT => {
+                let mid =
+                    f32::from_bits(r.read_bits(32).map_err(|_| CompressError::Truncated)? as u32);
+                for d in block.iter_mut() {
+                    *d = op.fold(*d, mid);
+                }
+            }
+            TAG_QUANTIZED => {
+                let mid =
+                    f32::from_bits(r.read_bits(32).map_err(|_| CompressError::Truncated)? as u32);
+                let mid64 = mid as f64;
+                let m = (r.read_bits(5).map_err(|_| CompressError::Truncated)? as u32) + 1;
+                let mask = (1u64 << m) - 1;
+                let mut pairs = block.chunks_exact_mut(2);
+                for pair in &mut pairs {
+                    let packed = r.read_bits(2 * m).map_err(|_| CompressError::Truncated)?;
+                    let q0 = unzigzag((packed & mask) as u32);
+                    let q1 = unzigzag((packed >> m) as u32);
+                    pair[0] = op.fold(pair[0], (mid64 + q0 as f64 * eb64) as f32);
+                    pair[1] = op.fold(pair[1], (mid64 + q1 as f64 * eb64) as f32);
+                }
+                if let [last] = pairs.into_remainder() {
+                    let z = r.read_bits(m).map_err(|_| CompressError::Truncated)? as u32;
+                    *last = op.fold(*last, (mid64 + unzigzag(z) as f64 * eb64) as f32);
+                }
+            }
+            TAG_VERBATIM => {
+                let mut pairs = block.chunks_exact_mut(2);
+                for pair in &mut pairs {
+                    let packed = r.read_bits(64).map_err(|_| CompressError::Truncated)?;
+                    pair[0] = op.fold(pair[0], f32::from_bits(packed as u32));
+                    pair[1] = op.fold(pair[1], f32::from_bits((packed >> 32) as u32));
+                }
+                if let [last] = pairs.into_remainder() {
+                    let bits = r.read_bits(32).map_err(|_| CompressError::Truncated)? as u32;
+                    *last = op.fold(*last, f32::from_bits(bits));
+                }
+            }
+            _ => return Err(CompressError::CorruptHeader),
+        }
+        at += len;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -534,5 +623,64 @@ mod tests {
     #[should_panic(expected = "error bound must be finite and positive")]
     fn zero_error_bound_panics() {
         SzxCodec::new(0.0);
+    }
+
+    #[test]
+    fn fused_reduce_matches_decode_then_apply_bitwise() {
+        // Mixed block population: constant runs, quantized waves, a
+        // verbatim (non-finite) block and a partial tail.
+        let mut data: Vec<f32> = (0..1000).map(|i| (i as f32 * 7e-3).sin() * 4.0).collect();
+        data.extend(std::iter::repeat_n(2.5f32, 300));
+        data.push(f32::NAN);
+        data.extend((0..77).map(|i| i as f32 * 1e4));
+        let codec = SzxCodec::new(1e-3);
+        let stream = codec.compress(&data).unwrap();
+        let decoded = codec.decompress(&stream).unwrap();
+        for op in [ReduceKind::Sum, ReduceKind::Max, ReduceKind::Min] {
+            let acc: Vec<f32> = (0..data.len()).map(|i| (i as f32 * 0.3).cos()).collect();
+            let mut expect = acc.clone();
+            for (d, &v) in expect.iter_mut().zip(&decoded) {
+                *d = op.fold(*d, v);
+            }
+            let mut fused = acc.clone();
+            let mut scratch = Vec::new();
+            codec
+                .decompress_reduce_into(&stream, op, &mut fused, &mut scratch)
+                .unwrap();
+            assert!(scratch.is_empty(), "native kernel must not touch scratch");
+            for (i, (a, b)) in fused.iter().zip(&expect).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{op:?} diverged at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_reduce_rejects_corrupt_streams() {
+        let codec = SzxCodec::new(1e-3);
+        let mut c = codec.compress(&[1.0f32; 64]).unwrap();
+        let mut dst = vec![0.0f32; 64];
+        let mut scratch = Vec::new();
+        assert_eq!(
+            codec
+                .decompress_reduce_into(&c[..c.len() - 2], ReduceKind::Sum, &mut dst, &mut scratch)
+                .unwrap_err(),
+            CompressError::Truncated
+        );
+        c[0] ^= 0xFF;
+        assert_eq!(
+            codec
+                .decompress_reduce_into(&c, ReduceKind::Sum, &mut dst, &mut scratch)
+                .unwrap_err(),
+            CompressError::BadMagic
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "decompress-reduce length mismatch")]
+    fn fused_reduce_rejects_wrong_destination_length() {
+        let codec = SzxCodec::new(1e-3);
+        let c = codec.compress(&[1.0f32; 10]).unwrap();
+        let mut dst = vec![0.0f32; 9];
+        let _ = codec.decompress_reduce_into(&c, ReduceKind::Sum, &mut dst, &mut Vec::new());
     }
 }

@@ -97,6 +97,36 @@ impl fmt::Display for CompressError {
 
 impl std::error::Error for CompressError {}
 
+/// The element-wise fold a fused decompress-reduce kernel applies while
+/// decoding (see [`Compressor::decompress_reduce_into`]). This is the
+/// codec-layer mirror of the collective layer's reduction operators;
+/// averaging is a `Sum` followed by a collective-side finalization, so it
+/// needs no entry here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceKind {
+    /// `dst[i] += decoded[i]`.
+    Sum,
+    /// `dst[i] = dst[i].max(decoded[i])`.
+    Max,
+    /// `dst[i] = dst[i].min(decoded[i])`.
+    Min,
+}
+
+impl ReduceKind {
+    /// Fold one decoded value into a destination slot — the scalar the
+    /// fused kernels inline per value. Kept as a method so the fallback
+    /// path and every native kernel share identical `f32` arithmetic
+    /// (fused and unfused results must match bitwise).
+    #[inline]
+    pub fn fold(&self, dst: f32, v: f32) -> f32 {
+        match self {
+            ReduceKind::Sum => dst + v,
+            ReduceKind::Max => dst.max(v),
+            ReduceKind::Min => dst.min(v),
+        }
+    }
+}
+
 /// Object-safe compressor interface over `f32` slices.
 ///
 /// Implementations must be deterministic: compressing the same input twice
@@ -132,6 +162,42 @@ pub trait Compressor: Send + Sync {
         let fresh = self.decompress(stream)?;
         out.clear();
         out.extend_from_slice(&fresh);
+        Ok(())
+    }
+
+    /// Decompress a stream and fold every decoded value straight into
+    /// `dst` with `op` — the fused decompress-reduce kernel of the
+    /// collective computation framework's hot path. Fusing removes a
+    /// full memory pass per received block: the unfused path writes the
+    /// decoded values to a scratch buffer and then reads them back for
+    /// the reduction, while a native fused kernel accumulates each value
+    /// into `dst` the moment it is decoded.
+    ///
+    /// `dst` must hold exactly the stream's value count. `scratch` is
+    /// only touched by the fallback implementation (decompress into
+    /// `scratch`, then apply `op`), so native implementations stay
+    /// zero-allocation with a cold scratch; results must be **bitwise
+    /// identical** between the fused and fallback paths — both fold with
+    /// [`ReduceKind::fold`] in stream order.
+    ///
+    /// # Panics
+    /// Panics if the decoded length disagrees with `dst.len()`.
+    fn decompress_reduce_into(
+        &self,
+        stream: &[u8],
+        op: ReduceKind,
+        dst: &mut [f32],
+        scratch: &mut Vec<f32>,
+    ) -> Result<(), CompressError> {
+        self.decompress_into(stream, scratch)?;
+        assert_eq!(
+            scratch.len(),
+            dst.len(),
+            "decompress-reduce length mismatch"
+        );
+        for (d, &v) in dst.iter_mut().zip(scratch.iter()) {
+            *d = op.fold(*d, v);
+        }
         Ok(())
     }
 

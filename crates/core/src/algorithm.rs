@@ -114,13 +114,18 @@ impl PlanOptions {
 }
 
 /// The inputs `Algorithm::Auto` selection works from; bundled by the
-/// session (which owns the cost/net models and the codec spec).
+/// session (which owns the cost/net models, the codec spec and the
+/// measured-ratio feedback).
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct SelectCtx<'a> {
     pub cost: &'a CostModel,
     pub net: &'a NetModel,
     pub spec: CodecSpec,
     pub world: usize,
+    /// Compression ratio measured from this session's executed plans,
+    /// when available; replaces the codec's nominal planning ratio so
+    /// post-warm-up selection tracks the live workload.
+    pub measured_ratio: Option<f64>,
 }
 
 impl SelectCtx<'_> {
@@ -136,7 +141,7 @@ impl SelectCtx<'_> {
                     payload_bytes,
                     compress_tput: self.cost.throughput(ck),
                     decompress_tput: self.cost.throughput(dk),
-                    ratio: spec.nominal_ratio(),
+                    ratio: self.measured_ratio.unwrap_or_else(|| spec.nominal_ratio()),
                     // Only error-bounded codecs drive the PIPE-SZx
                     // overlap; others execute the compress-once ND ring,
                     // which has no per-hop transfer/compress credit.
@@ -227,6 +232,7 @@ mod tests {
             net: &net,
             spec,
             world,
+            measured_ratio: None,
         };
         assert_eq!(
             s.allreduce(128),
@@ -248,6 +254,7 @@ mod tests {
             net: &net,
             spec,
             world,
+            measured_ratio: None,
         };
         assert_eq!(s.allgather(64), Algorithm::Bruck);
         assert_eq!(s.allgather(8 * 1024 * 1024), Algorithm::Ring);
@@ -261,6 +268,7 @@ mod tests {
             net: &net,
             spec,
             world,
+            measured_ratio: None,
         };
         assert_eq!(s.reduce(128), Algorithm::Binomial);
         assert_eq!(s.reduce(16 * 1024 * 1024), Algorithm::Rabenseifner);

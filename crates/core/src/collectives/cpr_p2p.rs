@@ -21,7 +21,7 @@ use std::sync::Arc;
 use ccoll_comm::{Category, Comm, Kernel, PayloadPool, Tag};
 use ccoll_compress::{CodecScratch, Compressor};
 
-use crate::collectives::{compress_in, decompress_in, memcpy_in, tags};
+use crate::collectives::{compress_in, decompress_in, decompress_reduce_in, memcpy_in, tags};
 use crate::partition::chunk_lengths;
 use crate::reduce::ReduceOp;
 use crate::workspace::CollWorkspace;
@@ -85,6 +85,30 @@ impl CprCodec {
             false,
             scratch,
         )
+    }
+
+    /// Fused decompress-reduce straight into `dst` (see
+    /// [`decompress_reduce_in`]): one pass instead of decompress → apply,
+    /// with the same CPR-P2P buffer-management charge as
+    /// [`CprCodec::decompress`].
+    pub(crate) fn decompress_reduce<C: Comm>(
+        &self,
+        comm: &mut C,
+        stream: &[u8],
+        op: ReduceOp,
+        dst: &mut [f32],
+        scratch: &mut CodecScratch,
+    ) {
+        decompress_reduce_in(
+            comm,
+            self.codec.as_ref(),
+            self.dk,
+            stream,
+            op,
+            dst,
+            false,
+            scratch,
+        );
     }
 }
 
@@ -236,10 +260,11 @@ pub fn cpr_ring_reduce_scatter_into<C: Comm>(
             let send_idx = (me + 2 * n - k - 1) % n;
             let recv_idx = (me + 2 * n - k - 2) % n;
             let tag = tags::REDUCE_SCATTER + 0x800 + k as Tag;
-            // CPR-P2P schedule: compress, exchange, then decompress. The
-            // outgoing chunk is compressed straight out of the
-            // accumulator (the compressed payload is an owned snapshot,
-            // so no staging copy of the chunk is needed).
+            // CPR-P2P schedule: compress, exchange, then fused
+            // decompress-reduce. The outgoing chunk is compressed
+            // straight out of the accumulator (the compressed payload is
+            // an owned snapshot, so no staging copy of the chunk is
+            // needed).
             let rreq = comm.irecv(left, tag);
             let payload = cpr.compress(
                 comm,
@@ -248,12 +273,9 @@ pub fn cpr_ring_reduce_scatter_into<C: Comm>(
             );
             let sreq = comm.isend(right, tag, payload);
             let got = comm.wait_recv_in(rreq, Category::Wait);
-            let vals = cpr.decompress(comm, &got, counts[recv_idx], scratch);
-            comm.wait_send_in(sreq, Category::Wait);
             let dst = &mut acc[offsets[recv_idx]..offsets[recv_idx] + counts[recv_idx]];
-            comm.run_kernel(Kernel::Reduce, vals.len() * 4, Category::Reduction, || {
-                op.apply(dst, vals)
-            });
+            cpr.decompress_reduce(comm, &got, op, dst, scratch);
+            comm.wait_send_in(sreq, Category::Wait);
         }
     }
     out.copy_from_slice(&acc[offsets[me]..offsets[me] + counts[me]]);
@@ -354,10 +376,7 @@ pub fn cpr_recursive_doubling_allreduce_into<C: Comm>(
             None
         } else {
             let got = comm.recv(me - 1, tag);
-            let vals = cpr.decompress(comm, &got, len, scratch);
-            comm.run_kernel(Kernel::Reduce, vals.len() * 4, Category::Reduction, || {
-                op.apply(acc, vals)
-            });
+            cpr.decompress_reduce(comm, &got, op, acc, scratch);
             Some(me / 2)
         }
     } else {
@@ -373,10 +392,7 @@ pub fn cpr_recursive_doubling_allreduce_into<C: Comm>(
             // modifies it, so compress-once cannot apply.
             let payload = cpr.compress(comm, acc, pool);
             let got = comm.sendrecv(peer, peer, tag + round, payload, Category::Wait);
-            let vals = cpr.decompress(comm, &got, len, scratch);
-            comm.run_kernel(Kernel::Reduce, vals.len() * 4, Category::Reduction, || {
-                op.apply(acc, vals)
-            });
+            cpr.decompress_reduce(comm, &got, op, acc, scratch);
             mask <<= 1;
             round += 1;
         }
@@ -427,108 +443,12 @@ pub fn cpr_rabenseifner_allreduce_into<C: Comm>(
     out: &mut [f32],
     ws: &mut CollWorkspace,
 ) {
-    let n = comm.size();
-    let me = comm.rank();
-    assert_eq!(out.len(), input.len(), "output buffer size mismatch");
-    let (pow2, rem) = crate::collectives::baseline::butterfly_fold(n);
-    ws.set_partition(input.len(), pow2);
-    ws.acc.resize(input.len(), 0.0);
-    let CollWorkspace {
-        pool,
-        scratch,
-        acc,
-        counts,
-        offsets,
-        ..
-    } = ws;
-    memcpy_in(comm, acc, input);
-    let tag = tags::RABENSEIFNER + 0x800;
-    let len = input.len();
-    let range = |lo: usize, hi: usize| -> (usize, usize) {
-        (offsets[lo], offsets[hi - 1] + counts[hi - 1])
-    };
-
-    let my_pos: Option<usize> = if me < 2 * rem {
-        if me.is_multiple_of(2) {
-            let payload = cpr.compress(comm, acc, pool);
-            let req = comm.isend(me + 1, tag, payload);
-            comm.wait_send_in(req, Category::Wait);
-            None
-        } else {
-            let got = comm.recv(me - 1, tag);
-            let vals = cpr.decompress(comm, &got, len, scratch);
-            comm.run_kernel(Kernel::Reduce, vals.len() * 4, Category::Reduction, || {
-                op.apply(acc, vals)
-            });
-            Some(me / 2)
-        }
-    } else {
-        Some(me - rem)
-    };
-
-    if let Some(pos) = my_pos {
-        // Recursive-halving reduce-scatter over compressed halves.
-        let (mut lo, mut hi) = (0usize, pow2);
-        let mut mask = pow2 / 2;
-        let mut round: Tag = 1;
-        while mask >= 1 {
-            let peer = crate::collectives::baseline::butterfly_pos_to_rank(pos ^ mask, rem);
-            let mid = lo + (hi - lo) / 2;
-            let (keep_lo, keep_hi, send_lo, send_hi) = if pos & mask == 0 {
-                (lo, mid, mid, hi)
-            } else {
-                (mid, hi, lo, mid)
-            };
-            let (sb, se) = range(send_lo, send_hi);
-            let (kb, ke) = range(keep_lo, keep_hi);
-            let payload = cpr.compress(comm, &acc[sb..se], pool);
-            let got = comm.sendrecv(peer, peer, tag + round, payload, Category::Wait);
-            let vals = cpr.decompress(comm, &got, ke - kb, scratch);
-            let dst = &mut acc[kb..ke];
-            comm.run_kernel(Kernel::Reduce, vals.len() * 4, Category::Reduction, || {
-                op.apply(dst, vals)
-            });
-            lo = keep_lo;
-            hi = keep_hi;
-            mask /= 2;
-            round += 1;
-        }
-
-        // Recursive-doubling allgather over compressed ranges.
-        let mut mask = 1usize;
-        let mut round: Tag = 0x100;
-        while mask < pow2 {
-            let peer = crate::collectives::baseline::butterfly_pos_to_rank(pos ^ mask, rem);
-            let base = pos & !(2 * mask - 1);
-            let (cur_lo, cur_hi, peer_lo, peer_hi) = if pos & mask == 0 {
-                (base, base + mask, base + mask, base + 2 * mask)
-            } else {
-                (base + mask, base + 2 * mask, base, base + mask)
-            };
-            let (sb, se) = range(cur_lo, cur_hi);
-            let (pb, pe) = range(peer_lo, peer_hi);
-            let payload = cpr.compress(comm, &acc[sb..se], pool);
-            let got = comm.sendrecv(peer, peer, tag + round, payload, Category::Wait);
-            let vals = cpr.decompress(comm, &got, pe - pb, scratch);
-            memcpy_in(comm, &mut acc[pb..pe], vals);
-            mask <<= 1;
-            round += 1;
-        }
-    }
-
-    if me < 2 * rem {
-        if me % 2 == 1 {
-            let payload = cpr.compress(comm, acc, pool);
-            let req = comm.isend(me - 1, tag + 999, payload);
-            comm.wait_send_in(req, Category::Wait);
-        } else {
-            let got = comm.recv(me + 1, tag + 999);
-            let vals = cpr.decompress(comm, &got, len, scratch);
-            memcpy_in(comm, acc, vals);
-        }
-    }
-    memcpy_in(comm, out, acc);
-    op.finalize(out, n);
+    // One butterfly skeleton serves both Rabenseifner variants; passing
+    // no pipeline config selects the monolithic per-hop legs (this
+    // baseline's compression placement).
+    crate::frameworks::computation::rabenseifner_allreduce_core(
+        comm, cpr, None, input, op, out, ws,
+    );
 }
 
 /// Compressed binomial-tree rooted reduce: every tree hop compresses the
@@ -582,10 +502,7 @@ pub fn cpr_binomial_reduce_into<C: Comm>(
         let child_rel = relative + mask;
         if child_rel < n {
             let got = comm.recv((child_rel + root) % n, tags::TREE_REDUCE + 0x800);
-            let vals = cpr.decompress(comm, &got, acc.len(), scratch);
-            comm.run_kernel(Kernel::Reduce, vals.len() * 4, Category::Reduction, || {
-                op.apply(acc, vals)
-            });
+            cpr.decompress_reduce(comm, &got, op, acc, scratch);
         }
         mask <<= 1;
     }

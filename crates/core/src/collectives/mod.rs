@@ -29,6 +29,7 @@ pub(crate) mod tags {
     pub const RABENSEIFNER: Tag = 0xA000;
     pub const BRUCK: Tag = 0xB000;
     pub const TREE_REDUCE: Tag = 0xC000;
+    pub const RERANK: Tag = 0xD000;
 }
 
 /// Compress `vals` directly into a recycled [`PayloadPool`] buffer with
@@ -58,6 +59,10 @@ pub(crate) fn compress_in<C: Comm>(
         pool.write_with(|buf| codec.compress_into(vals, buf))
             .expect("compression cannot fail on f32 input")
     });
+    // Feed the measured-ratio loop: plans drain the pool's accumulated
+    // sample after each execution and report it to the session, where
+    // `Algorithm::Auto` re-ranks schedules from it (see `session`).
+    pool.note_compression(vals.len() * 4, out.len());
     if !pooled {
         comm.charge(Kernel::BufferMgmt, vals.len() * 4, Category::Others);
     }
@@ -103,6 +108,39 @@ pub(crate) fn decompress_in<'s, C: Comm>(
         comm.charge(Kernel::BufferMgmt, expected_values * 4, Category::Others);
     }
     dec
+}
+
+/// Fused decompress-reduce with unified cost accounting: decode `stream`
+/// and fold every value straight into `dst` with `op` through
+/// [`Compressor::decompress_reduce_into`] (native single-pass kernels
+/// for SZx/PIPE-SZx, decompress-then-apply for other codecs). The
+/// decompression lands under `ComDecom` (charged per uncompressed byte
+/// produced, as in [`decompress_in`]) and the reduction under
+/// `Reduction`, so the virtual-time totals match the unfused pair the
+/// call replaces — the fusion's win is the eliminated memory pass on
+/// real backends. `pooled` as in [`compress_in`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn decompress_reduce_in<C: Comm>(
+    comm: &mut C,
+    codec: &dyn Compressor,
+    kernel: Kernel,
+    stream: &[u8],
+    op: crate::reduce::ReduceOp,
+    dst: &mut [f32],
+    pooled: bool,
+    scratch: &mut CodecScratch,
+) {
+    let kind = op.fused_kind();
+    let dec = &mut scratch.dec;
+    comm.run_kernel(kernel, dst.len() * 4, Category::ComDecom, || {
+        codec
+            .decompress_reduce_into(stream, kind, dst, dec)
+            .expect("decompression of a stream we compressed cannot fail");
+    });
+    comm.charge(Kernel::Reduce, dst.len() * 4, Category::Reduction);
+    if !pooled {
+        comm.charge(Kernel::BufferMgmt, dst.len() * 4, Category::Others);
+    }
 }
 
 /// Copy values with `Memcpy` accounting.

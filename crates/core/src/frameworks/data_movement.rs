@@ -104,7 +104,41 @@ pub fn c_ring_allgatherv_into<C: Comm>(
         "output buffer size mismatch"
     );
     ws.set_partition_from_counts(counts);
-    c_ring_allgather_core(comm, cpr, Some(mine), out, ws);
+    c_ring_allgather_core(comm, cpr, Some(mine), out, ws, true);
+}
+
+/// [`c_ring_allgatherv_into`] with the relay/decompress overlap
+/// disabled: the pre-pipeline monolithic schedule (relay every block,
+/// then one decompression sweep at the end). Kept public so the
+/// pipeline-ablation benches and the equivalence tests can isolate the
+/// overlap's contribution; results are bitwise identical to the
+/// overlapped path (the same blocks are decompressed, in a different
+/// interleaving with the relays).
+///
+/// # Panics
+/// As [`c_ring_allgatherv_into`].
+pub fn c_ring_allgatherv_monolithic_into<C: Comm>(
+    comm: &mut C,
+    cpr: &CprCodec,
+    mine: &[f32],
+    counts: &[usize],
+    out: &mut [f32],
+    ws: &mut CollWorkspace,
+) {
+    let me = comm.rank();
+    assert_eq!(
+        counts.len(),
+        comm.size(),
+        "counts must have one entry per rank"
+    );
+    assert_eq!(mine.len(), counts[me], "my buffer disagrees with counts");
+    assert_eq!(
+        out.len(),
+        counts.iter().sum::<usize>(),
+        "output buffer size mismatch"
+    );
+    ws.set_partition_from_counts(counts);
+    c_ring_allgather_core(comm, cpr, Some(mine), out, ws, false);
 }
 
 /// Shared C-Allgather engine. The partition must be cached in
@@ -112,12 +146,20 @@ pub fn c_ring_allgatherv_into<C: Comm>(
 /// copied from it in the final sweep (out-of-place API); when `None`,
 /// the own block is assumed to be in place in `out` already (the
 /// allreduce composition) and only the parity memcpy charge is paid.
+///
+/// With `overlap` set (the default through the public wrappers), the
+/// relay is pipelined: the block received in hop `k` is decompressed
+/// while hop `k+1`'s relay is in flight, so only the final block's
+/// decompression remains on the critical path after the last transfer.
+/// The blocks themselves still travel compress-once — the overlap is a
+/// pure reordering and preserves the single-compression error bound.
 pub(crate) fn c_ring_allgather_core<C: Comm>(
     comm: &mut C,
     cpr: &CprCodec,
     mine: Option<&[f32]>,
     out: &mut [f32],
     ws: &mut CollWorkspace,
+    overlap: bool,
 ) {
     let n = comm.size();
     let me = comm.rank();
@@ -158,12 +200,31 @@ pub(crate) fn c_ring_allgather_core<C: Comm>(
             let recv_idx = (me + n - 1 - k) % n;
             let tag = tags::ALLGATHER + 0xC00 + k as Tag;
             let payload = blobs[send_idx].clone().expect("relay block present");
-            let got = comm.sendrecv(right, left, tag, payload, Category::Allgather);
+            let rreq = comm.irecv(left, tag);
+            let sreq = comm.isend(right, tag, payload);
+            // Pipelined relay: the block being forwarded this hop is the
+            // one received last hop; its onward copy is on the wire, so
+            // decompress it while the transfer is in flight.
+            if overlap && send_idx != me {
+                if let Some(blob) = blobs[send_idx].take() {
+                    let vals = decompress_auto_in(comm, cpr.codec.as_ref(), cpr.dk, &blob, scratch);
+                    assert_eq!(vals.len(), counts[send_idx], "C-Allgather block mismatch");
+                    memcpy_in(
+                        comm,
+                        &mut out[offsets[send_idx]..offsets[send_idx] + counts[send_idx]],
+                        vals,
+                    );
+                }
+            }
+            let got = comm.wait_recv_in(rreq, Category::Allgather);
+            comm.wait_send_in(sreq, Category::Allgather);
             blobs[recv_idx] = Some(got);
         }
     }
 
-    // Step 4: one decompression sweep; own data is copied, not decoded.
+    // Step 4: decompression sweep over whatever the relay loop did not
+    // already decode (everything in monolithic mode, the final block in
+    // overlapped mode); own data is copied, not decoded.
     match mine {
         Some(m) => memcpy_in(comm, &mut out[offsets[me]..offsets[me] + counts[me]], m),
         None => {
@@ -176,7 +237,9 @@ pub(crate) fn c_ring_allgather_core<C: Comm>(
         if r == me {
             continue;
         }
-        let blob = blobs[r].take().expect("gathered block present");
+        let Some(blob) = blobs[r].take() else {
+            continue;
+        };
         let vals = decompress_auto_in(comm, cpr.codec.as_ref(), cpr.dk, &blob, scratch);
         assert_eq!(vals.len(), counts[r], "C-Allgather block length mismatch");
         memcpy_in(comm, &mut out[offsets[r]..offsets[r] + counts[r]], vals);
@@ -244,7 +307,7 @@ pub fn c_bruck_allgatherv_into<C: Comm>(
     } = ws;
 
     // Compress the local block exactly once; `held[i]` is the block of
-    // rank `(me + i) % n`.
+    // rank `(me + i) % n`. Own data lands in `out` by copy, not decode.
     held.clear();
     held.push(compress_in(
         comm,
@@ -254,20 +317,33 @@ pub fn c_bruck_allgatherv_into<C: Comm>(
         true,
         pool,
     ));
+    memcpy_in(comm, &mut out[offsets[me]..offsets[me] + counts[me]], mine);
+    // Pipelined decompression cursor: held blocks below it are already
+    // decoded into their rotated positions in `out`.
+    let mut decoded = 1usize;
     let mut step: Tag = 0;
     while held.len() < n {
         let dist = held.len(); // always a power of two
         let send_cnt = dist.min(n - dist);
-        let dst = (me + n - dist) % n;
-        let src = (me + dist) % n;
+        let to = (me + n - dist) % n;
+        let from = (me + dist) % n;
+        let tag = tags::BRUCK + 0xC00 + step;
         let container = frame_blobs_pooled(pool, &held[..send_cnt]);
-        let got = comm.sendrecv(
-            dst,
-            src,
-            tags::BRUCK + 0xC00 + step,
-            container,
-            Category::Allgather,
-        );
+        let rreq = comm.irecv(from, tag);
+        let sreq = comm.isend(to, tag, container);
+        // Decompress blocks gathered in earlier steps while this step's
+        // containers are in flight (relays forward the compressed bytes
+        // untouched, so decoding early changes nothing but the overlap).
+        while decoded < held.len() {
+            let a = (me + decoded) % n;
+            let vals =
+                decompress_auto_in(comm, cpr.codec.as_ref(), cpr.dk, &held[decoded], scratch);
+            assert_eq!(vals.len(), counts[a], "C-Bruck block length mismatch");
+            memcpy_in(comm, &mut out[offsets[a]..offsets[a] + counts[a]], vals);
+            decoded += 1;
+        }
+        let got = comm.wait_recv_in(rreq, Category::Allgather);
+        comm.wait_send_in(sreq, Category::Allgather);
         // The received set extends my held blocks at relative positions
         // [dist, dist + send_cnt); the blocks themselves are zero-copy
         // slices of the received container.
@@ -280,14 +356,13 @@ pub fn c_bruck_allgatherv_into<C: Comm>(
         step += 1;
     }
 
-    // Decompression sweep with rotation: relative block i belongs to
-    // absolute rank (me + i) % n. Own data is copied, not decoded.
-    memcpy_in(comm, &mut out[offsets[me]..offsets[me] + counts[me]], mine);
-    for (i, blob) in held.iter().enumerate().skip(1) {
-        let a = (me + i) % n;
-        let vals = decompress_auto_in(comm, cpr.codec.as_ref(), cpr.dk, blob, scratch);
+    // Tail sweep: decode whatever arrived in the final step.
+    while decoded < held.len() {
+        let a = (me + decoded) % n;
+        let vals = decompress_auto_in(comm, cpr.codec.as_ref(), cpr.dk, &held[decoded], scratch);
         assert_eq!(vals.len(), counts[a], "C-Bruck block length mismatch");
         memcpy_in(comm, &mut out[offsets[a]..offsets[a] + counts[a]], vals);
+        decoded += 1;
     }
     // Release the containers before the next call reuses the pool.
     held.clear();
@@ -837,6 +912,43 @@ mod tests {
         }
         // Root keeps its chunk losslessly.
         assert_eq!(out.results[1], &full[offsets[1]..offsets[1] + lengths[1]]);
+    }
+
+    #[test]
+    fn overlapped_relay_matches_monolithic_bitwise_and_is_faster() {
+        // The pipelined relay decompresses the same compress-once blocks
+        // in a different interleaving: results must be bitwise identical
+        // while the deferred-decompression makespan shrinks.
+        let n = 8;
+        let len = 120_000;
+        let counts = vec![len; n];
+        let run = |overlap: bool| {
+            let counts = counts.clone();
+            let world = SimWorld::new(SimConfig::new(n));
+            let cpr = szx(1e-3);
+            world.run(move |c| {
+                let mine = rank_data(c.rank(), len);
+                let mut out = vec![0.0f32; n * len];
+                let mut ws = CollWorkspace::new();
+                if overlap {
+                    c_ring_allgatherv_into(c, &cpr, &mine, &counts, &mut out, &mut ws);
+                } else {
+                    c_ring_allgatherv_monolithic_into(c, &cpr, &mine, &counts, &mut out, &mut ws);
+                }
+                out
+            })
+        };
+        let mono = run(false);
+        let piped = run(true);
+        for r in 0..n {
+            assert_eq!(piped.results[r], mono.results[r], "rank {r} diverged");
+        }
+        assert!(
+            piped.makespan < mono.makespan,
+            "overlapped relay {:?} should undercut monolithic {:?}",
+            piped.makespan,
+            mono.makespan
+        );
     }
 
     #[test]

@@ -124,6 +124,7 @@ pub mod codec;
 pub mod collectives;
 pub mod frameworks;
 pub mod partition;
+pub(crate) mod pipeline;
 pub mod reduce;
 pub mod session;
 pub mod theory;
@@ -134,7 +135,7 @@ pub use algorithm::{Algorithm, PlanOptions};
 pub use api::{AllreduceVariant, CColl, ReduceOp};
 pub use codec::{CodecSpec, ParseCodecSpecError};
 pub use session::{
-    AllgatherPlan, AllreducePlan, AlltoallPlan, BcastPlan, CCollSession, GatherPlan, ReducePlan,
-    ReduceScatterPlan, ScatterPlan,
+    AllgatherPlan, AllreducePlan, AlltoallPlan, BcastPlan, CCollSession, GatherPlan, PlanStats,
+    ReducePlan, ReduceScatterPlan, ScatterPlan,
 };
 pub use workspace::CollWorkspace;

@@ -1,0 +1,278 @@
+//! The reusable pipelined-hop engine (paper §III-A2/§III-E2, made
+//! schedule-agnostic).
+//!
+//! PR 0–3 confined sub-chunk pipelining to one function: the ring
+//! reduce-scatter round in `frameworks::computation`. This module
+//! extracts that machinery so **any** schedule can drive it. A hop moves
+//! one logical buffer between two ranks in PIPE-SZx sub-chunks (5120
+//! values by default):
+//!
+//! * the sender compresses sub-chunk `j+1` while sub-chunk `j` is on the
+//!   wire ([`hop_send`] / the send half of [`hop_exchange`]) — the
+//!   paper's "actively pull communication progress within the
+//!   compression phase";
+//! * the receiver drains arrived sub-chunks opportunistically and runs
+//!   the **fused decompress-reduce kernel**
+//!   (`Compressor::decompress_reduce_into`) straight into its
+//!   accumulator range ([`hop_recv_reduce`] / the drain half of
+//!   [`hop_exchange`]), so decoded values never take a detour through a
+//!   scratch buffer;
+//! * only the residual tail that could not be overlapped shows up as
+//!   `Wait` time — the quantity Fig. 9 shows shrinking by 73–80 %.
+//!
+//! Drivers: the ring reduce-scatter round, the Rabenseifner
+//! recursive-halving phase (plus its non-power-of-two fold), and the
+//! binomial-tree rooted reduce — see `frameworks::computation`. All
+//! sub-chunks of a hop travel on one tag and are matched FIFO, so the
+//! engine needs no per-chunk sequence numbers.
+//!
+//! Buffer discipline: the engine owns **no** buffers. Callers lend the
+//! workspace's payload pool, codec scratch and request queues through
+//! [`PipeBufs`], which keeps the zero-allocation steady state intact —
+//! plans pre-size the pool for the worst number of concurrently
+//! in-flight sub-chunk payloads.
+
+use std::collections::VecDeque;
+use std::ops::Range;
+
+use ccoll_comm::{Category, Comm, Kernel, PayloadPool, RecvReq, SendReq, Tag};
+use ccoll_compress::{CodecScratch, SzxCodec};
+
+use crate::collectives::{compress_in, decompress_reduce_in};
+use crate::reduce::ReduceOp;
+
+/// The workspace buffers a pipelined hop borrows: payload pool, codec
+/// scratch and the two request queues. Grouped so hop signatures stay
+/// readable and the borrows stay disjoint from the accumulator slices
+/// the hop reads/writes.
+pub(crate) struct PipeBufs<'a> {
+    /// Payload pool for compressed sub-chunk buffers.
+    pub pool: &'a mut PayloadPool,
+    /// Codec scratch (only touched by non-native fused fallbacks).
+    pub scratch: &'a mut CodecScratch,
+    /// Outstanding sub-chunk sends.
+    pub sreqs: &'a mut Vec<SendReq>,
+    /// Outstanding sub-chunk receives, drained FIFO.
+    pub rreqs: &'a mut VecDeque<RecvReq>,
+}
+
+/// Split one buffer into a read-only `src` range and a mutable `dst`
+/// range, which must be disjoint. This is what lets a pipelined hop
+/// compress straight out of the accumulator while the drain reduces into
+/// a different chunk of the same accumulator — the snapshot copy the
+/// pre-engine implementation paid per round is gone.
+///
+/// # Panics
+/// Panics if the ranges overlap.
+pub(crate) fn split_src_dst(
+    buf: &mut [f32],
+    src: Range<usize>,
+    dst: Range<usize>,
+) -> (&[f32], &mut [f32]) {
+    if src.end <= dst.start {
+        let (head, tail) = buf.split_at_mut(dst.start);
+        (&head[src.start..src.end], &mut tail[..dst.end - dst.start])
+    } else {
+        assert!(
+            dst.end <= src.start,
+            "source and destination ranges overlap"
+        );
+        let (head, tail) = buf.split_at_mut(src.start);
+        (&tail[..src.end - src.start], &mut head[dst.start..dst.end])
+    }
+}
+
+/// FIFO drain of arrived sub-chunks: each one is decompressed and
+/// reduced into its slice of `recv_dst` through the fused kernel. With
+/// `blocking = false` the drain stops at the first not-yet-arrived
+/// sub-chunk (the opportunistic poll between compressions); with
+/// `blocking = true` it waits out the tail.
+struct Drain {
+    next_in: usize,
+    n_in: usize,
+    pipe: usize,
+    op: ReduceOp,
+}
+
+impl Drain {
+    fn step<C: Comm>(
+        &mut self,
+        comm: &mut C,
+        codec: &SzxCodec,
+        rreqs: &mut VecDeque<RecvReq>,
+        recv_dst: &mut [f32],
+        scratch: &mut CodecScratch,
+        blocking: bool,
+    ) {
+        while self.next_in < self.n_in {
+            let front_ready = rreqs.front().map(|r| comm.test_recv(r)).unwrap_or(false);
+            if !front_ready && !blocking {
+                break;
+            }
+            let req = rreqs.pop_front().expect("outstanding receive");
+            let blob = comm.wait_recv_in(req, Category::Wait);
+            let lo = self.next_in * self.pipe;
+            let hi = (lo + self.pipe).min(recv_dst.len());
+            decompress_reduce_in(
+                comm,
+                codec,
+                Kernel::SzxDecompress,
+                &blob,
+                self.op,
+                &mut recv_dst[lo..hi],
+                true,
+                scratch,
+            );
+            self.next_in += 1;
+        }
+    }
+}
+
+/// Full-duplex pipelined hop: compress-and-send sub-chunks of `send_buf`
+/// to `to` while draining, decompressing and reducing arriving
+/// sub-chunks from `from` into `recv_dst`.
+///
+/// Both sides must agree on the sub-chunk size and on the buffer
+/// lengths: `recv_dst.len()` here must equal `send_buf.len()` on the
+/// peer (ring rounds and butterfly halving rounds guarantee this through
+/// their shared partitions). All sub-chunks travel on `tag`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn hop_exchange<C: Comm>(
+    comm: &mut C,
+    codec: &SzxCodec,
+    pipe: usize,
+    op: ReduceOp,
+    send_buf: &[f32],
+    to: usize,
+    recv_dst: &mut [f32],
+    from: usize,
+    tag: Tag,
+    bufs: &mut PipeBufs<'_>,
+) {
+    let n_out = send_buf.len().div_ceil(pipe);
+    let n_in = recv_dst.len().div_ceil(pipe);
+
+    // Post all incoming sub-chunk receives up front (the paper's early
+    // Irecv), matched FIFO on one tag. The request queues live in the
+    // workspace and keep their capacity across rounds and calls.
+    bufs.rreqs.clear();
+    bufs.rreqs.extend((0..n_in).map(|_| comm.irecv(from, tag)));
+    bufs.sreqs.clear();
+    let mut drain = Drain {
+        next_in: 0,
+        n_in,
+        pipe,
+        op,
+    };
+
+    // Compress-and-send loop with opportunistic draining between
+    // sub-chunks (the PIPE-SZx progress poll).
+    for j in 0..n_out {
+        let lo = j * pipe;
+        let hi = (lo + pipe).min(send_buf.len());
+        let blob = compress_in(
+            comm,
+            codec,
+            Kernel::SzxCompress,
+            &send_buf[lo..hi],
+            true,
+            bufs.pool,
+        );
+        bufs.sreqs.push(comm.isend(to, tag, blob));
+        comm.poll();
+        drain.step(comm, codec, bufs.rreqs, recv_dst, bufs.scratch, false);
+    }
+    // Blocking drain of whatever could not be overlapped.
+    drain.step(comm, codec, bufs.rreqs, recv_dst, bufs.scratch, true);
+    for req in bufs.sreqs.drain(..) {
+        comm.wait_send_in(req, Category::Wait);
+    }
+}
+
+/// Send half of a pipelined hop: compress sub-chunks of `send_buf` and
+/// hand each to the network the moment it is encoded (the binomial-tree
+/// child leg, the butterfly fold's contributing rank).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn hop_send<C: Comm>(
+    comm: &mut C,
+    codec: &SzxCodec,
+    pipe: usize,
+    send_buf: &[f32],
+    to: usize,
+    tag: Tag,
+    pool: &mut PayloadPool,
+    sreqs: &mut Vec<SendReq>,
+) {
+    let n_out = send_buf.len().div_ceil(pipe);
+    sreqs.clear();
+    for j in 0..n_out {
+        let lo = j * pipe;
+        let hi = (lo + pipe).min(send_buf.len());
+        let blob = compress_in(
+            comm,
+            codec,
+            Kernel::SzxCompress,
+            &send_buf[lo..hi],
+            true,
+            pool,
+        );
+        sreqs.push(comm.isend(to, tag, blob));
+        comm.poll();
+    }
+    for req in sreqs.drain(..) {
+        comm.wait_send_in(req, Category::Wait);
+    }
+}
+
+/// Receive half of a pipelined hop: drain sub-chunks from `from` and
+/// fuse-reduce each into its slice of `recv_dst` while later sub-chunks
+/// are still being compressed and transferred by the peer (the
+/// binomial-tree parent leg).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn hop_recv_reduce<C: Comm>(
+    comm: &mut C,
+    codec: &SzxCodec,
+    pipe: usize,
+    op: ReduceOp,
+    recv_dst: &mut [f32],
+    from: usize,
+    tag: Tag,
+    scratch: &mut CodecScratch,
+    rreqs: &mut VecDeque<RecvReq>,
+) {
+    let n_in = recv_dst.len().div_ceil(pipe);
+    rreqs.clear();
+    rreqs.extend((0..n_in).map(|_| comm.irecv(from, tag)));
+    let mut drain = Drain {
+        next_in: 0,
+        n_in,
+        pipe,
+        op,
+    };
+    drain.step(comm, codec, rreqs, recv_dst, scratch, true);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_src_dst_handles_both_orders() {
+        let mut buf: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let (src, dst) = split_src_dst(&mut buf, 0..3, 5..10);
+        assert_eq!(src, &[0.0, 1.0, 2.0]);
+        assert_eq!(dst.len(), 5);
+        dst[0] = 99.0;
+        assert_eq!(buf[5], 99.0);
+        let (src, dst) = split_src_dst(&mut buf, 7..10, 2..5);
+        assert_eq!(src, &[7.0, 8.0, 9.0]);
+        assert_eq!(dst.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "ranges overlap")]
+    fn split_src_dst_rejects_overlap() {
+        let mut buf = vec![0.0f32; 10];
+        let _ = split_src_dst(&mut buf, 2..6, 4..8);
+    }
+}

@@ -49,6 +49,17 @@ impl ReduceOp {
         }
     }
 
+    /// The codec-layer fold this operator maps to for fused
+    /// decompress-reduce kernels: `Avg` accumulates as `Sum` (its
+    /// division happens in [`ReduceOp::finalize`]).
+    pub fn fused_kind(&self) -> ccoll_compress::ReduceKind {
+        match self {
+            ReduceOp::Sum | ReduceOp::Avg => ccoll_compress::ReduceKind::Sum,
+            ReduceOp::Max => ccoll_compress::ReduceKind::Max,
+            ReduceOp::Min => ccoll_compress::ReduceKind::Min,
+        }
+    }
+
     /// Post-processing after the reduction tree completes: `Avg` divides
     /// by the number of contributors; other operators are identity.
     pub fn finalize(&self, acc: &mut [f32], contributors: usize) {

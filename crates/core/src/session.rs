@@ -41,6 +41,10 @@
 //! assert_eq!(out.results.len(), n);
 //! ```
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
 use ccoll_comm::{Comm, CostModel, NetModel, PayloadPool};
 
 use crate::algorithm::{reject_unsupported, Algorithm, PlanOptions, SelectCtx};
@@ -87,6 +91,62 @@ pub struct CCollSession {
     cpr: Option<CprCodec>,
     cost: CostModel,
     net: NetModel,
+    feedback: Arc<SessionFeedback>,
+}
+
+/// Session-owned measured-performance state, shared by every plan the
+/// session (and its clones) creates. Plans drain the compression-ratio
+/// sample their workspace pool accumulated during each execution and
+/// fold it in here; [`Algorithm::Auto`] consults the running average —
+/// at plan-creation time for new plans, and through a one-shot post-
+/// warm-up re-rank on existing `Auto` plans — so schedule selection
+/// tracks the *measured* ratio of the live workload instead of the
+/// codec's nominal planning figure.
+#[derive(Debug, Default)]
+struct SessionFeedback {
+    /// EWMA of observed compression ratios, stored as `f64` bits.
+    /// Zero (the bits of `0.0`, never a valid ratio) means "no sample
+    /// yet". Plain relaxed atomics: ranks own distinct sessions, and a
+    /// lost update between clones only delays convergence of the EWMA.
+    ratio_bits: AtomicU64,
+}
+
+impl SessionFeedback {
+    fn record_ratio(&self, sample: f64) {
+        if !(sample.is_finite() && sample > 0.0) {
+            return;
+        }
+        let next = match self.ratio() {
+            Some(prev) => 0.5 * prev + 0.5 * sample,
+            None => sample,
+        };
+        self.ratio_bits.store(next.to_bits(), Ordering::Relaxed);
+    }
+
+    fn ratio(&self) -> Option<f64> {
+        let bits = self.ratio_bits.load(Ordering::Relaxed);
+        if bits == 0 {
+            None
+        } else {
+            Some(f64::from_bits(bits))
+        }
+    }
+}
+
+/// Measured per-execution statistics a plan accumulates (see
+/// [`AllreducePlan::stats`]): how often it ran, how long the last
+/// execution took end to end on its backend's clock (virtual time on the
+/// simulator, wall time on threads), and the compression ratio its codec
+/// achieved on the live data.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PlanStats {
+    /// Completed `execute_into` calls.
+    pub executions: u64,
+    /// End-to-end duration of the most recent execution.
+    pub last_makespan: Duration,
+    /// Compression ratio measured during the most recent execution, if
+    /// the plan's codec compressed anything.
+    pub observed_ratio: Option<f64>,
 }
 
 impl CCollSession {
@@ -110,6 +170,7 @@ impl CCollSession {
             cpr,
             cost: CostModel::default(),
             net: NetModel::default(),
+            feedback: Arc::new(SessionFeedback::default()),
         }
     }
 
@@ -153,12 +214,49 @@ impl CCollSession {
         self.world_size
     }
 
+    /// The compression ratio measured across this session's plan
+    /// executions (an exponentially weighted running average), if any
+    /// compression has run yet. This is the feedback [`Algorithm::Auto`]
+    /// re-ranks schedules from after warm-up; until a sample exists,
+    /// selection falls back to the codec's
+    /// [`CodecSpec::nominal_ratio`](crate::CodecSpec::nominal_ratio).
+    pub fn measured_ratio(&self) -> Option<f64> {
+        self.feedback.ratio()
+    }
+
+    /// Drain a workspace's compression-ratio sample into the session
+    /// feedback, returning it. Called by every plan after `execute_into`.
+    fn note_execution(&self, ws: &mut CollWorkspace) -> Option<f64> {
+        let sample = ws.pool.take_ratio_sample();
+        if let Some(r) = sample {
+            self.feedback.record_ratio(r);
+        }
+        sample
+    }
+
+    /// Selection context for plan creation. Deliberately uses the
+    /// codec's *nominal* ratio: plan creation is communicator-free and
+    /// every rank must resolve `Auto` to the same schedule, while the
+    /// locally measured ratios differ per rank. Measured ratios enter
+    /// selection only through the post-warm-up re-rank, which first
+    /// agrees on one value across the communicator
+    /// (see [`AllreducePlan`]'s re-rank).
     fn select_ctx(&self) -> SelectCtx<'_> {
         SelectCtx {
             cost: &self.cost,
             net: &self.net,
             spec: self.spec,
             world: self.world_size,
+            measured_ratio: None,
+        }
+    }
+
+    /// Selection context with an explicitly agreed measured ratio (the
+    /// re-rank path; `ratio` must be identical on every rank).
+    fn select_ctx_with_ratio(&self, ratio: f64) -> SelectCtx<'_> {
+        SelectCtx {
+            measured_ratio: Some(ratio),
+            ..self.select_ctx()
         }
     }
 
@@ -194,6 +292,52 @@ impl CCollSession {
     fn pipelined_slots(&self, len: usize) -> usize {
         let max_chunk = len.div_ceil(self.world_size);
         max_chunk.div_ceil(self.pipe_values) + 4
+    }
+
+    /// A workspace for a schedule that streams up to `stream_values`
+    /// values through the sub-chunk pipeline in one hop (Rabenseifner
+    /// halving rounds, binomial-tree reduce hops): one warm pool slot
+    /// per concurrently in-flight sub-chunk payload, sized at the
+    /// codec's worst case for a sub-chunk. The codec scratch is sized
+    /// for `scratch_values` (the largest *monolithic* decode the
+    /// schedule performs — e.g. the Rabenseifner allgather ranges).
+    ///
+    /// Deliberate trade-off: a schedule's monolithic legs (the
+    /// Rabenseifner allgather and unfold) compress ranges far larger
+    /// than a sub-chunk, so the slots they land in grow once during the
+    /// warm-up call — warming *every* slot at the full-payload worst
+    /// case would cost `slots × worst(len)` memory for buffers only a
+    /// couple of slots ever need. The steady state stays allocation-
+    /// free either way (pinned by `collective_alloc.rs`).
+    fn pipelined_stream_workspace(
+        &self,
+        scratch_values: usize,
+        stream_values: usize,
+    ) -> CollWorkspace {
+        let mut ws = CollWorkspace::with_value_capacity(scratch_values);
+        let chunk = self.pipe_values.min(stream_values.max(1));
+        let per_slot = match &self.cpr {
+            Some(cpr) => cpr.codec.max_compressed_bytes(chunk),
+            None => chunk * 4,
+        };
+        ws.pool = PayloadPool::warmed(stream_values.div_ceil(self.pipe_values) + 4, per_slot);
+        ws
+    }
+
+    /// The workspace an allreduce plan at `len` values needs for
+    /// `algorithm` (shared by plan construction and the post-warm-up
+    /// re-rank, which must re-warm when it switches schedules).
+    fn allreduce_workspace(&self, len: usize, algorithm: Algorithm) -> CollWorkspace {
+        match algorithm {
+            Algorithm::Ring if self.pipeline_config().is_some() => {
+                self.warmed_workspace(self.pipe_values.min(len.max(1)), self.pipelined_slots(len))
+            }
+            Algorithm::Ring => self.warmed_workspace(len.div_ceil(self.world_size).max(1), 4),
+            Algorithm::Rabenseifner if self.pipeline_config().is_some() => {
+                self.pipelined_stream_workspace(len.max(1), len)
+            }
+            _ => self.warmed_workspace(len.max(1), 4),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -237,20 +381,28 @@ impl CCollSession {
                 ],
             ),
         };
-        if algorithm == Algorithm::Ring {
-            return self.plan_allreduce_variant(len, op, AllreduceVariant::Overlapped);
-        }
         // Butterfly schedules exchange up to the full payload per round
         // (recursive doubling) or half of it (Rabenseifner); warm the
-        // scratch and pool for the full length.
-        AllreducePlan {
-            session: self.clone(),
-            len,
-            op,
-            variant: AllreduceVariant::Overlapped,
-            algorithm,
-            ws: self.warmed_workspace(len.max(1), 4),
-        }
+        // scratch and pool for the full length. Plans created with
+        // `Auto` stay adaptive: after warm-up they re-rank once from the
+        // session's measured compression ratio.
+        let mut plan = if algorithm == Algorithm::Ring {
+            self.plan_allreduce_variant(len, op, AllreduceVariant::Overlapped)
+        } else {
+            AllreducePlan {
+                session: self.clone(),
+                len,
+                op,
+                variant: AllreduceVariant::Overlapped,
+                algorithm,
+                auto: false,
+                reranked: false,
+                stats: PlanStats::default(),
+                ws: self.allreduce_workspace(len, algorithm),
+            }
+        };
+        plan.auto = opts.algorithm == Algorithm::Auto;
+        plan
     }
 
     /// Plan a specific step-wise allreduce variant (Table V) — the
@@ -280,6 +432,9 @@ impl CCollSession {
             op,
             variant,
             algorithm: Algorithm::Ring,
+            auto: false,
+            reranked: false,
+            stats: PlanStats::default(),
             ws: self.warmed_workspace(values, slots),
         }
     }
@@ -551,7 +706,14 @@ impl CCollSession {
                 root,
                 len,
                 op,
-                ws: self.warmed_workspace(len.max(1), 4),
+                // The pipelined tree streams the full buffer per hop in
+                // sub-chunks; warm one pool slot per in-flight payload.
+                ws: match self.pipeline_config() {
+                    Some(_) => {
+                        self.pipelined_stream_workspace(self.pipe_values.min(len.max(1)), len)
+                    }
+                    None => self.warmed_workspace(len.max(1), 4),
+                },
             },
             _ => ReducePlanImpl::RsGather {
                 reduce_scatter: self.plan_reduce_scatter(len, op),
@@ -571,6 +733,29 @@ impl std::fmt::Debug for CCollSession {
             .field("world_size", &self.world_size)
             .finish()
     }
+}
+
+/// Agree on the communicator-wide minimum measured compression ratio:
+/// `n−1` ring hops of a 4-byte running minimum (ratio fixed-point scaled
+/// by 1024; 0 encodes "no sample"). Returns `None` unless every rank
+/// contributed a sample — conservative: with partial information the
+/// nominal selection stands.
+fn agree_min_ratio<C: Comm>(comm: &mut C, local: f64, pool: &mut PayloadPool) -> Option<f64> {
+    let n = comm.size();
+    let mut cur = (local.clamp(0.0, 4.0e6) * 1024.0).round() as u32;
+    if n > 1 {
+        let me = comm.rank();
+        let right = (me + 1) % n;
+        let left = (me + n - 1) % n;
+        for k in 0..n - 1 {
+            let tag = crate::collectives::tags::RERANK + k as ccoll_comm::Tag;
+            let payload = pool.write(&cur.to_le_bytes());
+            let got = comm.sendrecv(right, left, tag, payload, ccoll_comm::Category::Others);
+            let peer = u32::from_le_bytes(got[0..4].try_into().expect("4-byte ratio"));
+            cur = cur.min(peer);
+        }
+    }
+    (cur > 0).then(|| cur as f64 / 1024.0)
 }
 
 fn check_world<C: Comm>(comm: &C, world_size: usize) {
@@ -594,6 +779,11 @@ pub struct AllreducePlan {
     op: ReduceOp,
     variant: AllreduceVariant,
     algorithm: Algorithm,
+    /// Created with [`Algorithm::Auto`]: eligible for the one-shot
+    /// post-warm-up re-rank from measured compression ratios.
+    auto: bool,
+    reranked: bool,
+    stats: PlanStats,
     ws: CollWorkspace,
 }
 
@@ -614,9 +804,50 @@ impl AllreducePlan {
     }
 
     /// The resolved schedule this plan executes (never
-    /// [`Algorithm::Auto`] — selection happens at plan creation).
+    /// [`Algorithm::Auto`] — selection happens at plan creation, and an
+    /// `Auto` plan may switch once more after its first execution, when
+    /// the measured compression ratio replaces the nominal one).
     pub fn algorithm(&self) -> Algorithm {
         self.algorithm
+    }
+
+    /// Measured statistics: execution count, last end-to-end duration
+    /// and last observed compression ratio.
+    pub fn stats(&self) -> PlanStats {
+        self.stats
+    }
+
+    /// One-shot re-rank for `Auto` plans, at the start of the second
+    /// execution (i.e. after warm-up): re-resolve the schedule with the
+    /// *measured* compression ratio in place of the codec's nominal one.
+    ///
+    /// Ranks measure different ratios on their own data, and a divergent
+    /// pick would deadlock the collective — so the re-rank first agrees
+    /// on the communicator-wide **minimum** measured ratio through a
+    /// 4-byte ring exchange (minimum = the most conservative wire-size
+    /// estimate; `min` is order-independent, so every rank lands on the
+    /// identical value and therefore the identical schedule). If any
+    /// rank has no sample yet, the agreement yields none and the nominal
+    /// selection stands. Switching schedules re-warms the workspace — a
+    /// single allocation event, after which the steady state is
+    /// allocation-free again.
+    fn maybe_rerank<C: Comm>(&mut self, comm: &mut C) {
+        if !self.auto || self.reranked || self.stats.executions == 0 {
+            return;
+        }
+        self.reranked = true;
+        let local = self.session.feedback.ratio().unwrap_or(0.0);
+        let Some(ratio) = agree_min_ratio(comm, local, &mut self.ws.pool) else {
+            return;
+        };
+        let algorithm = self
+            .session
+            .select_ctx_with_ratio(ratio)
+            .allreduce(self.len);
+        if algorithm != self.algorithm {
+            self.algorithm = algorithm;
+            self.ws = self.session.allreduce_workspace(self.len, algorithm);
+        }
     }
 
     /// Execute into a caller-provided buffer: zero steady-state heap
@@ -647,6 +878,8 @@ impl AllreducePlan {
         check_world(comm, self.session.world_size);
         assert_eq!(input.len(), self.len, "input disagrees with plan length");
         assert_eq!(out.len(), self.len, "output disagrees with plan length");
+        self.maybe_rerank(comm);
+        let t0 = comm.now();
         let ws = &mut self.ws;
         match (self.algorithm, self.session.cpr()) {
             (Algorithm::RecursiveDoubling, None) => {
@@ -658,9 +891,16 @@ impl AllreducePlan {
             (Algorithm::Rabenseifner, None) => {
                 baseline::rabenseifner_allreduce_into(comm, input, self.op, out, ws);
             }
-            (Algorithm::Rabenseifner, Some(cpr)) => {
-                cpr_p2p::cpr_rabenseifner_allreduce_into(comm, cpr, input, self.op, out, ws);
-            }
+            (Algorithm::Rabenseifner, Some(cpr)) => match self.session.pipeline_config() {
+                // Error-bounded codecs drive the pipelined halving
+                // phase; others run the monolithic CPR butterfly.
+                Some(cfg) => computation::c_rabenseifner_allreduce_into(
+                    comm, cfg, cpr, input, self.op, out, ws,
+                ),
+                None => {
+                    cpr_p2p::cpr_rabenseifner_allreduce_into(comm, cpr, input, self.op, out, ws)
+                }
+            },
             (_, None) => baseline::ring_allreduce_into(comm, input, self.op, out, ws),
             (_, Some(cpr)) => match self.variant {
                 AllreduceVariant::Original => {
@@ -681,6 +921,11 @@ impl AllreducePlan {
                     None => nd_allreduce_into(comm, cpr, input, self.op, out, ws),
                 },
             },
+        }
+        self.stats.executions += 1;
+        self.stats.last_makespan = comm.now() - t0;
+        if let Some(r) = self.session.note_execution(&mut self.ws) {
+            self.stats.observed_ratio = Some(r);
         }
     }
 
@@ -707,7 +952,7 @@ fn nd_allreduce_into<C: Comm>(
     ws.set_partition(input.len(), comm.size());
     let (at, len) = (ws.offsets[me], ws.counts[me]);
     cpr_p2p::cpr_ring_reduce_scatter_into(comm, cpr, input, op, &mut out[at..at + len], ws);
-    data_movement::c_ring_allgather_core(comm, cpr, None, out, ws);
+    data_movement::c_ring_allgather_core(comm, cpr, None, out, ws, true);
 }
 
 /// Persistent allgather plan (see [`CCollSession::plan_allgatherv`] and
@@ -756,6 +1001,7 @@ impl AllgatherPlan {
             }
             (_, None) => baseline::ring_allgatherv_into(comm, mine, &self.counts, out, ws),
         }
+        self.session.note_execution(&mut self.ws);
     }
 
     /// Allocating convenience wrapper over [`AllgatherPlan::execute_into`].
@@ -816,6 +1062,7 @@ impl ReduceScatterPlan {
             }
             (None, None) => baseline::ring_reduce_scatter_into(comm, input, self.op, out, ws),
         }
+        self.session.note_execution(&mut self.ws);
     }
 
     /// Allocating convenience wrapper over
@@ -873,6 +1120,7 @@ impl BcastPlan {
             }
             None => baseline::binomial_bcast_into(comm, self.root, data, out, &mut self.ws),
         }
+        self.session.note_execution(&mut self.ws);
     }
 
     /// Allocating convenience wrapper over [`BcastPlan::execute_into`].
@@ -942,6 +1190,7 @@ impl ScatterPlan {
                 &mut self.ws,
             ),
         }
+        self.session.note_execution(&mut self.ws);
     }
 
     /// Allocating convenience wrapper over [`ScatterPlan::execute_into`].
@@ -993,7 +1242,7 @@ impl GatherPlan {
     /// the plan.
     pub fn execute_into<C: Comm>(&mut self, comm: &mut C, mine: &[f32], out: &mut [f32]) -> bool {
         check_world(comm, self.session.world_size);
-        match self.session.cpr() {
+        let is_root = match self.session.cpr() {
             Some(cpr) => data_movement::c_binomial_gather_into(
                 comm,
                 cpr,
@@ -1011,7 +1260,9 @@ impl GatherPlan {
                 out,
                 &mut self.ws,
             ),
-        }
+        };
+        self.session.note_execution(&mut self.ws);
+        is_root
     }
 
     /// Allocating convenience wrapper over [`GatherPlan::execute_into`].
@@ -1068,6 +1319,7 @@ impl AlltoallPlan {
             }
             None => baseline::pairwise_alltoall_into(comm, send, out, &mut self.ws),
         }
+        self.session.note_execution(&mut self.ws);
     }
 
     /// Allocating convenience wrapper over [`AlltoallPlan::execute_into`].
@@ -1166,12 +1418,19 @@ impl ReducePlan {
             } => {
                 check_world(comm, session.world_size);
                 assert_eq!(input.len(), *len, "input disagrees with plan length");
-                match session.cpr() {
-                    Some(cpr) => {
+                let is_root = match (session.pipeline_config(), session.cpr()) {
+                    // Error-bounded codecs stream every tree hop through
+                    // the sub-chunk pipeline with fused reduction.
+                    (Some(cfg), Some(_)) => {
+                        computation::c_binomial_reduce_into(comm, cfg, *root, input, *op, out, ws)
+                    }
+                    (None, Some(cpr)) => {
                         cpr_p2p::cpr_binomial_reduce_into(comm, cpr, *root, input, *op, out, ws)
                     }
-                    None => baseline::binomial_reduce_into(comm, *root, input, *op, out, ws),
-                }
+                    (_, None) => baseline::binomial_reduce_into(comm, *root, input, *op, out, ws),
+                };
+                session.note_execution(ws);
+                is_root
             }
         }
     }
@@ -1365,6 +1624,99 @@ mod tests {
             } else {
                 assert!(res.is_none(), "rank {r}");
             }
+        }
+    }
+
+    #[test]
+    fn plans_record_stats_and_measured_ratio() {
+        let n = 4;
+        let len = 12_000;
+        let world = SimWorld::new(SimConfig::new(n));
+        let out = world.run(move |c| {
+            let session = CCollSession::new(CodecSpec::Szx { error_bound: 1e-3 }, n);
+            let mut plan = session.plan_allreduce(len, ReduceOp::Sum);
+            assert_eq!(plan.stats(), PlanStats::default());
+            let data = rank_data(c.rank(), len);
+            let mut out = vec![0.0f32; len];
+            plan.execute_into(c, &data, &mut out);
+            plan.execute_into(c, &data, &mut out);
+            (plan.stats(), session.measured_ratio())
+        });
+        for (r, (stats, session_ratio)) in out.results.iter().enumerate() {
+            assert_eq!(stats.executions, 2, "rank {r}");
+            assert!(stats.last_makespan > Duration::ZERO, "rank {r}");
+            let ratio = stats.observed_ratio.expect("compression ran");
+            assert!(ratio > 1.5, "smooth data should compress, got {ratio}");
+            assert!(session_ratio.is_some(), "rank {r}: session feedback empty");
+        }
+    }
+
+    #[test]
+    fn auto_plan_reranks_consistently_from_agreed_ratio() {
+        // Rough data compresses far below the nominal planning ratio of
+        // 8: at 4500 values over 8 ranks the nominal selection says
+        // Rabenseifner, but at the measured (~1.5) ratio the wire terms
+        // grow and the bandwidth-optimal ring wins. Every rank must land
+        // on the same post-re-rank schedule (the agreement is the
+        // communicator minimum), or the collective would deadlock.
+        fn rough(rank: usize, len: usize) -> Vec<f32> {
+            let mut state = 0x2468_ACE0u32 ^ (rank as u32).wrapping_mul(0x9E37_79B9);
+            (0..len)
+                .map(|_| {
+                    state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                    (state as f32 / u32::MAX as f32 - 0.5) * 200.0
+                })
+                .collect()
+        }
+        let n = 8;
+        let len = 4500;
+        let world = SimWorld::new(SimConfig::new(n));
+        let out = world.run(move |c| {
+            let session = CCollSession::new(CodecSpec::Szx { error_bound: 1e-4 }, n);
+            let mut plan = session.plan_allreduce_with(len, ReduceOp::Sum, PlanOptions::new());
+            let initial = plan.algorithm();
+            let data = rough(c.rank(), len);
+            let mut out = vec![0.0f32; len];
+            plan.execute_into(c, &data, &mut out); // warm-up: records the ratio
+            plan.execute_into(c, &data, &mut out); // re-ranks from the agreed minimum
+            (initial, plan.algorithm(), session.measured_ratio())
+        });
+        for (r, &(initial, after, ratio)) in out.results.iter().enumerate() {
+            assert_eq!(initial, Algorithm::Rabenseifner, "rank {r}: nominal pick");
+            let ratio = ratio.expect("rank measured a ratio");
+            assert!(
+                ratio < 4.0,
+                "rough data should compress poorly, got {ratio}"
+            );
+            assert_eq!(
+                after,
+                Algorithm::Ring,
+                "rank {r}: measured ratio {ratio} should re-rank to ring"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_plans_never_rerank() {
+        let n = 8;
+        let len = 4500;
+        let world = SimWorld::new(SimConfig::new(n));
+        let out = world.run(move |c| {
+            let session = CCollSession::new(CodecSpec::Szx { error_bound: 1e-3 }, n);
+            let mut plan = session.plan_allreduce_with(
+                len,
+                ReduceOp::Sum,
+                PlanOptions::new().algorithm(Algorithm::RecursiveDoubling),
+            );
+            let data = rank_data(c.rank(), len);
+            let mut out = vec![0.0f32; len];
+            for _ in 0..3 {
+                plan.execute_into(c, &data, &mut out);
+            }
+            plan.algorithm()
+        });
+        for (r, &algorithm) in out.results.iter().enumerate() {
+            assert_eq!(algorithm, Algorithm::RecursiveDoubling, "rank {r}");
         }
     }
 

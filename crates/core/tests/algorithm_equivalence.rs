@@ -20,8 +20,16 @@
 // The proptest shim's macro expands recursively per body token.
 #![recursion_limit = "4096"]
 
-use c_coll::{Algorithm, CCollSession, CodecSpec, PlanOptions, ReduceOp};
-use ccoll_comm::{Comm, SimConfig, SimWorld};
+use std::sync::Arc;
+
+use c_coll::collectives::cpr_p2p::{cpr_binomial_reduce, CprCodec};
+use c_coll::frameworks::computation::{c_binomial_reduce_into, PipelineConfig};
+use c_coll::frameworks::data_movement::{
+    c_ring_allgatherv_into, c_ring_allgatherv_monolithic_into,
+};
+use c_coll::{Algorithm, CCollSession, CodecSpec, CollWorkspace, PlanOptions, ReduceOp};
+use ccoll_comm::{Comm, Kernel, SimConfig, SimWorld};
+use ccoll_compress::{LosslessCodec, SzxCodec};
 use proptest::prelude::*;
 
 /// Integer-valued rank data: f32 arithmetic on these is exact for sums
@@ -180,6 +188,124 @@ proptest! {
                     prop_assert!(
                         (a - b).abs() <= eb + 1e-6,
                         "rank {} block {} beyond single bound (n={}, len={})", r, src, n, len
+                    );
+                }
+            }
+        }
+    }
+
+    // The PR-4 pipelined allgather relay (decompress arrived blocks
+    // while later relays are in flight) is a pure reordering: bitwise
+    // identical to the monolithic relay-then-sweep schedule for every
+    // codec, lossless AND lossy — the same compress-once blocks decode
+    // to the same values regardless of interleaving.
+    #[test]
+    fn pipelined_allgather_relay_bitwise_matches_monolithic(
+        n in 2usize..=9,
+        len in 1usize..300,
+        seed in any::<u64>(),
+    ) {
+        let cprs: [CprCodec; 2] = [
+            CprCodec::new(
+                Arc::new(LosslessCodec::new()),
+                Kernel::SzxCompress,
+                Kernel::SzxDecompress,
+            ),
+            CprCodec::new(
+                Arc::new(SzxCodec::new(1e-3)),
+                Kernel::SzxCompress,
+                Kernel::SzxDecompress,
+            ),
+        ];
+        for cpr in cprs {
+            let run = |overlap: bool| {
+                let cpr = cpr.clone();
+                let world = SimWorld::new(SimConfig::new(n));
+                world
+                    .run(move |c| {
+                        let counts = vec![len; c.size()];
+                        let mine = smooth_data(c.rank(), len, seed);
+                        let mut out = vec![0.0f32; len * c.size()];
+                        let mut ws = CollWorkspace::new();
+                        if overlap {
+                            c_ring_allgatherv_into(c, &cpr, &mine, &counts, &mut out, &mut ws);
+                        } else {
+                            c_ring_allgatherv_monolithic_into(
+                                c, &cpr, &mine, &counts, &mut out, &mut ws,
+                            );
+                        }
+                        out
+                    })
+                    .results
+            };
+            let mono = run(false);
+            let piped = run(true);
+            for r in 0..n {
+                prop_assert_eq!(
+                    &piped[r], &mono[r],
+                    "overlapped relay diverged on rank {} (n={}, len={})", r, n, len
+                );
+            }
+        }
+    }
+
+    // The pipelined binomial-tree reduce (sub-chunked hops with fused
+    // decompress-reduce) stays within the same accumulated error
+    // envelope as its monolithic CPR form, on every root and world size.
+    #[test]
+    fn pipelined_tree_reduce_bounded_against_oracle(
+        n in 2usize..=9,
+        len in 1usize..400,
+        root in 0usize..9,
+        seed in any::<u64>(),
+    ) {
+        let root = root % n;
+        let eb = 1e-3f32;
+        let inputs: Vec<Vec<f32>> = (0..n).map(|r| smooth_data(r, len, seed)).collect();
+        let expect = ReduceOp::Sum.oracle(&inputs);
+        let tol = 4.0 * (n as f32) * eb;
+
+        let world = SimWorld::new(SimConfig::new(n));
+        let piped = world.run(move |c| {
+            let me = c.rank();
+            let mut out = vec![0.0f32; if me == root { len } else { 0 }];
+            let mut ws = CollWorkspace::new();
+            c_binomial_reduce_into(
+                c,
+                PipelineConfig::new(eb),
+                root,
+                &smooth_data(me, len, seed),
+                ReduceOp::Sum,
+                &mut out,
+                &mut ws,
+            )
+            .then_some(out)
+        });
+        let world = SimWorld::new(SimConfig::new(n));
+        let cpr = CprCodec::new(
+            Arc::new(SzxCodec::new(eb)),
+            Kernel::SzxCompress,
+            Kernel::SzxDecompress,
+        );
+        let mono = world.run(move |c| {
+            cpr_binomial_reduce(c, &cpr, root, &smooth_data(c.rank(), len, seed), ReduceOp::Sum)
+        });
+        for (r, (p, m)) in piped.results.iter().zip(&mono.results).enumerate() {
+            prop_assert_eq!(p.is_some(), r == root, "root presence mismatch on rank {}", r);
+            prop_assert_eq!(m.is_some(), r == root);
+            if r == root {
+                for ((a, b), e) in p.as_ref().unwrap().iter()
+                    .zip(m.as_ref().unwrap())
+                    .zip(&expect)
+                {
+                    prop_assert!(
+                        (a - e).abs() <= tol,
+                        "pipelined out of envelope on root {}: {} vs {} (n={}, len={})",
+                        root, a, e, n, len
+                    );
+                    prop_assert!(
+                        (b - e).abs() <= tol,
+                        "monolithic out of envelope on root {}: {} vs {}", root, b, e
                     );
                 }
             }

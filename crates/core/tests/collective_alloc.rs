@@ -81,6 +81,15 @@ fn steady_state_plans_allocate_nothing() {
             ReduceOp::Sum,
             PlanOptions::new().algorithm(Algorithm::Binomial),
         );
+        // Every pipelined schedule of the PR-4 engine: the ring
+        // reduce-scatter, the (pipelined-halving) Rabenseifner and the
+        // (pipelined) binomial tree are covered above; the standalone
+        // reduce-scatter plan and an Auto plan — whose post-warm-up
+        // re-rank from measured ratios must also settle without steady-
+        // state allocations — ride the same audit.
+        let mut reduce_scatter = session.plan_reduce_scatter(len, ReduceOp::Sum);
+        let mut auto_allreduce =
+            session.plan_allreduce_with(len, ReduceOp::Sum, PlanOptions::new());
 
         let input = rank_data(me, len);
         let chunk = rank_data(me, len / n);
@@ -94,14 +103,17 @@ fn steady_state_plans_allocate_nothing() {
         let mut ag_out = vec![0.0f32; len];
         let mut bc_out = vec![0.0f32; len / 2];
         let mut rr_out = vec![0.0f32; if me == 0 { len / 2 } else { 0 }];
+        let mut rs_out = vec![0.0f32; reduce_scatter.output_len(me)];
 
         // Warm-up. The collective path itself (codec, payload pool,
         // workspace) is warm after ONE call per plan — plans pre-size
         // their pools from the codec's worst-case compressed size. The
-        // second round exists for the *simulator's* event tables
+        // later rounds exist for the *simulator's* event tables
         // (request maps, event heap), whose high-water capacity depends
-        // on cross-rank timing and settles one call later.
-        for _ in 0..2 {
+        // on cross-rank timing and settles one call later, and for the
+        // Auto plan's one-shot re-rank (it may switch schedules after
+        // its first execution and re-warm its workspace once).
+        for _ in 0..3 {
             allreduce.execute_into(c, &input, &mut ar_out);
             allgather.execute_into(c, &chunk, &mut ag_out);
             bcast.execute_into(c, &bdata, &mut bc_out);
@@ -109,6 +121,8 @@ fn steady_state_plans_allocate_nothing() {
             raben_allreduce.execute_into(c, &input, &mut ar_out);
             bruck_allgather.execute_into(c, &chunk, &mut ag_out);
             tree_reduce.execute_into(c, &half, &mut rr_out);
+            reduce_scatter.execute_into(c, &input, &mut rs_out);
+            auto_allreduce.execute_into(c, &input, &mut ar_out);
         }
         c.barrier();
 
@@ -122,6 +136,8 @@ fn steady_state_plans_allocate_nothing() {
             raben_allreduce.execute_into(c, &input, &mut ar_out);
             bruck_allgather.execute_into(c, &chunk, &mut ag_out);
             tree_reduce.execute_into(c, &half, &mut rr_out);
+            reduce_scatter.execute_into(c, &input, &mut rs_out);
+            auto_allreduce.execute_into(c, &input, &mut ar_out);
         }
         c.barrier();
         let delta = allocations() - before;
