@@ -11,5 +11,7 @@ pub mod table;
 pub mod workload;
 
 pub use calibrate::calibrate_cost_model;
-pub use runner::{run_allreduce, run_allreduce_steady, ExperimentResult};
+pub use runner::{
+    run_allreduce, run_allreduce_overlap, run_allreduce_steady, ExperimentResult, OverlapResult,
+};
 pub use workload::Scale;

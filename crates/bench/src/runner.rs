@@ -4,8 +4,11 @@
 
 use std::time::Duration;
 
-use c_coll::{Algorithm, AllreduceVariant, CCollSession, CodecSpec, PlanOptions, ReduceOp};
-use ccoll_comm::{Comm, CostModel, NetModel, SimConfig, SimWorld, TimeBreakdown};
+use c_coll::{
+    Algorithm, AllreduceVariant, CCollSession, CodecSpec, PlanOptions, PlanStats, ReduceOp,
+    SessionStats,
+};
+use ccoll_comm::{Category, Comm, CostModel, NetModel, SimConfig, SimWorld, TimeBreakdown};
 use ccoll_data::Dataset;
 
 /// One experiment's outcome.
@@ -158,6 +161,84 @@ pub fn run_allreduce_algorithm(
     )
 }
 
+/// One cell of the blocking-vs-nonblocking overlap experiment (see
+/// [`run_allreduce_overlap`]).
+#[derive(Debug, Clone, Copy)]
+pub struct OverlapResult {
+    /// Per-iteration makespan of the blocking schedule: `execute_into`
+    /// followed by the application compute.
+    pub blocking: Duration,
+    /// Per-iteration makespan of the nonblocking schedule: `start`, the
+    /// same compute interleaved with `progress` polls, `complete`.
+    pub nonblocking: Duration,
+    /// Rank 0's plan statistics after the nonblocking run (execution
+    /// count, last/EWMA makespan, measured ratio).
+    pub plan_stats: PlanStats,
+    /// Rank 0's session-level aggregate after the nonblocking run.
+    pub session_stats: SessionStats,
+}
+
+/// Run the `MPI_Iallreduce`-shape overlap experiment: every iteration
+/// performs one allreduce *and* `compute` worth of application work.
+/// The blocking schedule serializes them; the nonblocking schedule
+/// `start`s the collective, slices the compute into `slices` pieces
+/// with a `progress` poll after each, and `complete`s the residual
+/// tail. The difference of the two makespans is the hidden
+/// communication time.
+///
+/// # Panics
+/// Panics if `iters` or `slices` is zero.
+#[allow(clippy::too_many_arguments)]
+pub fn run_allreduce_overlap(
+    nodes: usize,
+    values_per_rank: usize,
+    dataset: Dataset,
+    spec: CodecSpec,
+    compute: Duration,
+    slices: usize,
+    cost: CostModel,
+    net: NetModel,
+    iters: usize,
+) -> OverlapResult {
+    assert!(iters > 0, "need at least one iteration");
+    assert!(slices > 0, "need at least one compute slice");
+    let run = |nonblocking: bool| {
+        let mut cfg = SimConfig::new(nodes);
+        cfg.cost = cost.clone();
+        cfg.net = net;
+        let world = SimWorld::new(cfg);
+        let out = world.run(move |comm| {
+            let session = CCollSession::new(spec, nodes);
+            let mut plan = session.plan_allreduce(values_per_rank, ReduceOp::Sum);
+            let data = dataset.generate(values_per_rank, comm.rank() as u64);
+            let mut result = vec![0.0f32; values_per_rank];
+            for _ in 0..iters {
+                if nonblocking {
+                    let mut handle = plan.start(comm, &data, &mut result);
+                    for _ in 0..slices {
+                        comm.charge_duration(compute / slices as u32, Category::Others);
+                        let _ = handle.progress(comm);
+                    }
+                    handle.complete(comm);
+                } else {
+                    plan.execute_into(comm, &data, &mut result);
+                    comm.charge_duration(compute, Category::Others);
+                }
+            }
+            (plan.stats(), session.stats())
+        });
+        (out.makespan / iters as u32, out.results[0])
+    };
+    let (blocking, _) = run(false);
+    let (nonblocking, (plan_stats, session_stats)) = run(true);
+    OverlapResult {
+        blocking,
+        nonblocking,
+        plan_stats,
+        session_stats,
+    }
+}
+
 /// Run an arbitrary per-rank closure on a virtual cluster with the given
 /// cost model; returns makespan + breakdown.
 pub fn run_custom<T, F>(
@@ -230,6 +311,30 @@ mod tests {
         // deterministic).
         let ratio = steady.makespan.as_secs_f64() / single.makespan.as_secs_f64();
         assert!(ratio < 1.2, "steady-state per-iter time blew up: {ratio}");
+    }
+
+    #[test]
+    fn overlap_runner_hides_wait_time() {
+        let r = run_allreduce_overlap(
+            4,
+            60_000,
+            Dataset::Rtm,
+            CodecSpec::Lossless,
+            Duration::from_millis(1),
+            16,
+            CostModel::default(),
+            NetModel::default(),
+            2,
+        );
+        assert!(
+            r.nonblocking < r.blocking,
+            "nonblocking {:?} should undercut blocking {:?}",
+            r.nonblocking,
+            r.blocking
+        );
+        assert_eq!(r.plan_stats.executions, 2);
+        assert!(r.plan_stats.ewma_makespan > Duration::ZERO);
+        assert_eq!(r.session_stats.executions, 2);
     }
 
     #[test]

@@ -128,6 +128,38 @@ pub trait Comm {
         self.wait_recv_in(req, Category::Wait)
     }
 
+    /// Non-blocking completion attempt for a receive (the progress-engine
+    /// primitive behind `CollHandle::progress`): if the message has
+    /// arrived, consume the request and return the payload immediately;
+    /// otherwise hand the request back untouched. Never blocks — a
+    /// `test_recv`-gated wait completes without waiting on both backends
+    /// (MPI_Test semantics).
+    fn try_recv(&mut self, req: RecvReq, cat: Category) -> Result<Bytes, RecvReq>
+    where
+        Self: Sized,
+    {
+        if self.test_recv(&req) {
+            Ok(self.wait_recv_in(req, cat))
+        } else {
+            Err(req)
+        }
+    }
+
+    /// Non-blocking completion attempt for a send: consume the request if
+    /// the payload has left this rank, hand it back otherwise. Never
+    /// blocks.
+    fn try_send(&mut self, req: SendReq, cat: Category) -> Result<(), SendReq>
+    where
+        Self: Sized,
+    {
+        if self.test_send(&req) {
+            self.wait_send_in(req, cat);
+            Ok(())
+        } else {
+            Err(req)
+        }
+    }
+
     /// Charge the modeled cost of `kernel` over `bytes` to `cat`.
     fn charge(&mut self, kernel: Kernel, bytes: usize, cat: Category)
     where

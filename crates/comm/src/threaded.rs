@@ -378,6 +378,38 @@ mod tests {
     }
 
     #[test]
+    fn try_recv_and_try_send_never_block() {
+        let world = ThreadWorld::new(2);
+        let out = world.run(|c| {
+            if c.rank() == 0 {
+                std::thread::sleep(Duration::from_millis(5));
+                let req = c.isend(1, 1, Bytes::from_static(b"late"));
+                // Eager buffered sends complete immediately.
+                assert!(c.try_send(req, Category::Wait).is_ok());
+                0
+            } else {
+                let mut req = Some(c.irecv(0, 1));
+                let mut polls = 0usize;
+                loop {
+                    match c.try_recv(req.take().expect("pending"), Category::Wait) {
+                        Ok(msg) => {
+                            assert_eq!(&msg[..], b"late");
+                            break;
+                        }
+                        Err(r) => {
+                            req = Some(r);
+                            polls += 1;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                polls
+            }
+        });
+        assert!(out.results[1] >= 1, "message cannot have arrived instantly");
+    }
+
+    #[test]
     fn barrier_synchronizes() {
         use std::sync::atomic::{AtomicUsize, Ordering};
         static PHASE: AtomicUsize = AtomicUsize::new(0);

@@ -272,7 +272,15 @@ pub(crate) fn rabenseifner_allreduce_core<C: Comm>(
     let my_pos: Option<usize> = if me < 2 * rem {
         if me.is_multiple_of(2) {
             match &pipeline {
-                Some((codec, pipe)) => hop_send(comm, codec, *pipe, acc, me + 1, tag, pool, sreqs),
+                Some((codec, pipe)) => {
+                    let mut bufs = PipeBufs {
+                        pool: &mut *pool,
+                        scratch: &mut *scratch,
+                        sreqs: &mut *sreqs,
+                        rreqs: &mut *rreqs,
+                    };
+                    hop_send(comm, codec, *pipe, acc, me + 1, tag, &mut bufs);
+                }
                 None => {
                     let payload = cpr.compress(comm, acc, pool);
                     let req = comm.isend(me + 1, tag, payload);
@@ -283,7 +291,13 @@ pub(crate) fn rabenseifner_allreduce_core<C: Comm>(
         } else {
             match &pipeline {
                 Some((codec, pipe)) => {
-                    hop_recv_reduce(comm, codec, *pipe, op, acc, me - 1, tag, scratch, rreqs)
+                    let mut bufs = PipeBufs {
+                        pool: &mut *pool,
+                        scratch: &mut *scratch,
+                        sreqs: &mut *sreqs,
+                        rreqs: &mut *rreqs,
+                    };
+                    hop_recv_reduce(comm, codec, *pipe, op, acc, me - 1, tag, &mut bufs);
                 }
                 None => {
                     let got = comm.recv(me - 1, tag);
@@ -427,13 +441,25 @@ pub fn c_binomial_reduce_into<C: Comm>(
     while mask < n {
         if relative & mask != 0 {
             let parent = (relative - mask + root) % n;
-            hop_send(comm, &codec, pipe, acc, parent, tag, pool, sreqs);
+            let mut bufs = PipeBufs {
+                pool,
+                scratch,
+                sreqs,
+                rreqs,
+            };
+            hop_send(comm, &codec, pipe, acc, parent, tag, &mut bufs);
             return false;
         }
         let child_rel = relative + mask;
         if child_rel < n {
             let child = (child_rel + root) % n;
-            hop_recv_reduce(comm, &codec, pipe, op, acc, child, tag, scratch, rreqs);
+            let mut bufs = PipeBufs {
+                pool: &mut *pool,
+                scratch: &mut *scratch,
+                sreqs: &mut *sreqs,
+                rreqs: &mut *rreqs,
+            };
+            hop_recv_reduce(comm, &codec, pipe, op, acc, child, tag, &mut bufs);
         }
         mask <<= 1;
     }

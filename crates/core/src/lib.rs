@@ -12,6 +12,7 @@
 //! | Collective **data-movement** framework: compress once, relay compressed bytes through every round, decompress once (§III-A1) | [`frameworks::data_movement`] |
 //! | Collective **computation** framework: pipeline chunk-wise compression with communication so transfers hide inside the kernel (§III-A2, §III-E2) | [`frameworks::computation`] |
 //! | Session + persistent-plan API (`MPI_Allreduce_init` shape): C-Allreduce / C-Scatter / C-Bcast with zero steady-state allocations | [`session`] |
+//! | Nonblocking collectives (`MPI_Iallreduce` shape): `start`/`progress`/`complete` handles over resumable schedule state machines | [`nonblocking`] |
 //! | Multi-algorithm schedule layer (recursive doubling, Rabenseifner, Bruck, binomial reduce) with cost-model-driven `Auto` selection | [`algorithm`] |
 //! | One-shot compatibility facade over the same engine | [`api`] |
 //! | CPR-P2P baselines (compress every send, decompress every receive) | [`collectives::cpr_p2p`] |
@@ -51,6 +52,46 @@
 //! // Every rank holds the (error-bounded) global sum.
 //! assert_eq!(out.results.len(), 8);
 //! assert_eq!(out.results[0].len(), 40_000);
+//! ```
+//!
+//! ## Overlapping compute with a collective
+//!
+//! Every plan also exposes the `MPI_Iallreduce` shape:
+//! [`AllreducePlan::start`](session::AllreducePlan::start) returns a
+//! handle that borrows the plan exclusively (one outstanding operation
+//! per plan, enforced by the borrow checker). `progress` never blocks —
+//! it performs a bounded slice of collective work and suspends at the
+//! first incomplete transfer — so application compute can run while
+//! sub-chunks are on the wire; `complete` drains the residual tail the
+//! compute could not hide. Results are bitwise identical to
+//! `execute_into`, and the whole cycle stays allocation-free:
+//!
+//! ```
+//! use c_coll::{CCollSession, CodecSpec, Poll, ReduceOp};
+//! use ccoll_comm::{Category, Comm, SimConfig, SimWorld};
+//! use std::time::Duration;
+//!
+//! let n = 4;
+//! let len = 30_000;
+//! let world = SimWorld::new(SimConfig::new(n));
+//! let out = world.run(move |comm| {
+//!     let session = CCollSession::new(CodecSpec::Szx { error_bound: 1e-3 }, n);
+//!     let mut plan = session.plan_allreduce(len, ReduceOp::Sum);
+//!     let grad: Vec<f32> = (0..len).map(|i| (i as f32 * 1e-3).sin()).collect();
+//!     let mut avg = vec![0.0f32; len];
+//!     // Start the allreduce, then interleave slices of "application
+//!     // compute" (virtual time on the simulator) with progress polls.
+//!     let mut handle = plan.start(comm, &grad, &mut avg);
+//!     for _slice in 0..16 {
+//!         comm.charge_duration(Duration::from_micros(50), Category::Others);
+//!         if let Poll::Ready = handle.progress(comm) {
+//!             break; // collective finished under the compute
+//!         }
+//!     }
+//!     handle.complete(comm); // blocking drain of whatever remains
+//!     avg[0]
+//! });
+//! assert_eq!(out.results.len(), n);
 //! ```
 //!
 //! ## Choosing an algorithm
@@ -123,6 +164,7 @@ pub mod api;
 pub mod codec;
 pub mod collectives;
 pub mod frameworks;
+pub mod nonblocking;
 pub mod partition;
 pub(crate) mod pipeline;
 pub mod reduce;
@@ -134,8 +176,10 @@ pub mod workspace;
 pub use algorithm::{Algorithm, PlanOptions};
 pub use api::{AllreduceVariant, CColl, ReduceOp};
 pub use codec::{CodecSpec, ParseCodecSpecError};
+pub use nonblocking::Poll;
 pub use session::{
-    AllgatherPlan, AllreducePlan, AlltoallPlan, BcastPlan, CCollSession, GatherPlan, PlanStats,
-    ReducePlan, ReduceScatterPlan, ScatterPlan,
+    AllgatherHandle, AllgatherPlan, AllreduceHandle, AllreducePlan, AlltoallHandle, AlltoallPlan,
+    BcastHandle, BcastPlan, CCollSession, GatherHandle, GatherPlan, PlanStats, ReduceHandle,
+    ReducePlan, ReduceScatterHandle, ReduceScatterPlan, ScatterHandle, ScatterPlan, SessionStats,
 };
 pub use workspace::CollWorkspace;

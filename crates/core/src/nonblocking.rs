@@ -1,0 +1,2588 @@
+//! Resumable collective state machines: the engine behind the
+//! nonblocking `start`/`progress`/`complete` plan API.
+//!
+//! Every schedule a plan can dispatch (ring reduce-scatter and
+//! allgather, Bruck, recursive doubling, Rabenseifner, binomial
+//! bcast/scatter/gather/reduce, pairwise all-to-all — in raw,
+//! CPR-P2P-compressed and compress-once/pipelined form) is re-expressed
+//! here as an explicit-phase state machine over the plan's
+//! [`CollWorkspace`]. One `step(.., block)` function drives each
+//! machine:
+//!
+//! * `block = true` runs the machine to completion in one call with the
+//!   *identical* sequence of communicator operations (same tags, same
+//!   payloads, same wait categories) as the classic blocking `*_into`
+//!   collectives — this is what `execute_into` drives, so its bitwise
+//!   behavior and virtual-time accounting are preserved;
+//! * `block = false` performs a bounded amount of work and suspends
+//!   ([`Poll::Pending`]) at the first not-yet-complete receive or send
+//!   (the posted-receive boundaries of the pipeline engine, the
+//!   per-round exchanges of the monolithic schedules), which is what
+//!   `CollHandle::progress` calls so application compute can run while
+//!   transfers are in flight.
+//!
+//! The machines hold **no heap data**: phase tags, round counters and
+//! request slots only. All buffers are borrowed from the plan's
+//! workspace at every step, so the zero-allocation steady state of the
+//! persistent-plan API extends to the full
+//! start → progress* → complete cycle (pinned by
+//! `tests/collective_alloc.rs`).
+
+use bytes::Bytes;
+use ccoll_comm::{Category, Comm, Kernel, RecvReq, SendReq, Tag};
+use ccoll_compress::SzxCodec;
+
+use crate::collectives::baseline::{butterfly_fold, butterfly_pos_to_rank};
+use crate::collectives::cpr_p2p::CprCodec;
+use crate::collectives::{compress_in, decode_values_in, memcpy_in, tags, values_payload};
+use crate::frameworks::computation::PipelineConfig;
+use crate::frameworks::decompress_auto_in;
+use crate::pipeline::{split_src_dst, HopCursor, PipeBufs};
+use crate::reduce::ReduceOp;
+use crate::wire::decode_values_vec;
+use crate::workspace::CollWorkspace;
+
+/// The result of polling a nonblocking collective.
+///
+/// Returned by every `CollHandle::progress` call: [`Poll::Pending`]
+/// means the operation is waiting on at least one transfer and the
+/// caller should interleave useful compute before polling again;
+/// [`Poll::Ready`] means the collective has fully completed and the
+/// output buffer holds the result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Poll {
+    /// The collective is still in flight; call `progress` again later.
+    Pending,
+    /// The collective has completed; `complete` will not block.
+    Ready,
+}
+
+impl Poll {
+    /// True when the operation has completed.
+    pub fn is_ready(self) -> bool {
+        matches!(self, Poll::Ready)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request-slot helpers.
+// ---------------------------------------------------------------------------
+
+/// One outstanding exchange's request slots. Plain-old-data: the
+/// payloads live in the transport / payload pool.
+#[derive(Debug, Default)]
+struct Wire {
+    rreq: Option<RecvReq>,
+    sreq: Option<SendReq>,
+}
+
+impl Wire {
+    /// Complete the posted receive: blocking when `block`, else only if
+    /// the message has arrived.
+    fn recv<C: Comm>(&mut self, comm: &mut C, block: bool, cat: Category) -> Option<Bytes> {
+        let req = self.rreq.take().expect("receive must be posted");
+        if block {
+            return Some(comm.wait_recv_in(req, cat));
+        }
+        match comm.try_recv(req, cat) {
+            Ok(payload) => Some(payload),
+            Err(req) => {
+                self.rreq = Some(req);
+                None
+            }
+        }
+    }
+
+    /// Retire the posted send (if any): blocking when `block`, else only
+    /// if the payload has left this rank. Returns completion.
+    fn send_done<C: Comm>(&mut self, comm: &mut C, block: bool, cat: Category) -> bool {
+        let Some(req) = self.sreq.take() else {
+            return true;
+        };
+        if block {
+            comm.wait_send_in(req, cat);
+            return true;
+        }
+        match comm.try_send(req, cat) {
+            Ok(()) => true,
+            Err(req) => {
+                self.sreq = Some(req);
+                false
+            }
+        }
+    }
+}
+
+/// Run the charged decode-into-scratch + reduce pair of the raw
+/// (uncompressed) reduction rounds.
+fn raw_reduce_in<C: Comm>(
+    comm: &mut C,
+    payload: &[u8],
+    op: ReduceOp,
+    dst: &mut [f32],
+    dec: &mut Vec<f32>,
+    context: &str,
+) {
+    decode_values_vec(payload, dec);
+    assert_eq!(dec.len(), dst.len(), "{context} block size mismatch");
+    let vals: &[f32] = dec;
+    comm.run_kernel(Kernel::Reduce, vals.len() * 4, Category::Reduction, || {
+        op.apply(dst, vals)
+    });
+}
+
+/// Resumable 4-byte compressed-size synchronization ring — the
+/// data-movement framework's step 2 (`exchange_sizes_raw`) made
+/// suspendable, shared by the compress-once allgather and all-to-all
+/// machines. The caller seeds `sizes` (own entry set, rest zero) before
+/// the first step; `Ready` means every rank's size is filled in.
+#[derive(Debug, Default)]
+struct SizeRing {
+    k: usize,
+    /// 0 = post round, 1 = await receive, 2 = retire send.
+    phase: u8,
+    wire: Wire,
+}
+
+impl SizeRing {
+    fn step<C: Comm>(
+        &mut self,
+        comm: &mut C,
+        pool: &mut ccoll_comm::PayloadPool,
+        sizes: &mut [u32],
+        block: bool,
+    ) -> Poll {
+        let n = comm.size();
+        let me = comm.rank();
+        let right = (me + 1) % n;
+        let left = (me + n - 1) % n;
+        loop {
+            if self.k == n - 1 {
+                return Poll::Ready;
+            }
+            match self.phase {
+                0 => {
+                    let send_idx = (me + n - self.k) % n;
+                    let tag = tags::SIZE_EXCHANGE + self.k as Tag;
+                    let payload = pool.write(&sizes[send_idx].to_le_bytes());
+                    self.wire.rreq = Some(comm.irecv(left, tag));
+                    self.wire.sreq = Some(comm.isend(right, tag, payload));
+                    self.phase = 1;
+                }
+                1 => {
+                    let Some(got) = self.wire.recv(comm, block, Category::Others) else {
+                        return Poll::Pending;
+                    };
+                    let recv_idx = (me + n - 1 - self.k) % n;
+                    sizes[recv_idx] =
+                        u32::from_le_bytes(got[0..4].try_into().expect("4-byte size"));
+                    self.phase = 2;
+                }
+                _ => {
+                    if !self.wire.send_done(comm, block, Category::Others) {
+                        return Poll::Pending;
+                    }
+                    self.k += 1;
+                    self.phase = 0;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ring reduce-scatter.
+// ---------------------------------------------------------------------------
+
+/// Compression placement of a ring reduce-scatter (mirrors the three
+/// blocking implementations: pipelined C-Coll, CPR-P2P, uncompressed).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum RsMode {
+    /// Pipelined sub-chunk schedule (`computation::c_ring_reduce_scatter_into`).
+    Piped(PipelineConfig),
+    /// Monolithic per-hop compression (`cpr_p2p::cpr_ring_reduce_scatter_into`).
+    Cpr,
+    /// Uncompressed (`baseline::ring_reduce_scatter_into`).
+    Raw,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum RsPhase {
+    Init,
+    Round,
+    RecvWait,
+    SendWait,
+    Finish,
+    Done,
+}
+
+/// Resumable ring reduce-scatter: `n−1` hop rounds over the workspace
+/// accumulator, suspending per posted receive (monolithic modes) or per
+/// pipeline sub-chunk (piped mode).
+#[derive(Debug)]
+pub(crate) struct RingRs {
+    mode: RsMode,
+    phase: RsPhase,
+    k: usize,
+    hop: HopCursor,
+    wire: Wire,
+    got: Option<Bytes>,
+}
+
+impl RingRs {
+    pub(crate) fn new(mode: RsMode) -> Self {
+        RingRs {
+            mode,
+            phase: RsPhase::Init,
+            k: 0,
+            hop: HopCursor::new(),
+            wire: Wire::default(),
+            got: None,
+        }
+    }
+
+    /// Drive the reduce-scatter; `out_chunk` is this rank's chunk of the
+    /// balanced partition.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn step<C: Comm>(
+        &mut self,
+        comm: &mut C,
+        cpr: Option<&CprCodec>,
+        op: ReduceOp,
+        input: &[f32],
+        out_chunk: &mut [f32],
+        ws: &mut CollWorkspace,
+        block: bool,
+    ) -> Poll {
+        let n = comm.size();
+        let me = comm.rank();
+        let right = (me + 1) % n;
+        let left = (me + n - 1) % n;
+        loop {
+            match self.phase {
+                RsPhase::Init => {
+                    ws.set_partition(input.len(), n);
+                    ws.acc.resize(input.len(), 0.0);
+                    assert_eq!(out_chunk.len(), ws.counts[me], "output must hold my chunk");
+                    memcpy_in(comm, &mut ws.acc, input);
+                    self.k = 0;
+                    self.phase = if n > 1 {
+                        RsPhase::Round
+                    } else {
+                        RsPhase::Finish
+                    };
+                }
+                RsPhase::Round => {
+                    if self.k == n - 1 {
+                        self.phase = RsPhase::Finish;
+                        continue;
+                    }
+                    let send_idx = (me + 2 * n - self.k - 1) % n;
+                    let recv_idx = (me + 2 * n - self.k - 2) % n;
+                    let CollWorkspace {
+                        pool,
+                        scratch,
+                        acc,
+                        counts,
+                        offsets,
+                        sreqs,
+                        rreqs,
+                        ..
+                    } = ws;
+                    match self.mode {
+                        RsMode::Piped(cfg) => {
+                            let codec = SzxCodec::new(cfg.error_bound);
+                            let tag = tags::PIPELINE + self.k as Tag;
+                            let (send_buf, recv_dst) = split_src_dst(
+                                acc,
+                                offsets[send_idx]..offsets[send_idx] + counts[send_idx],
+                                offsets[recv_idx]..offsets[recv_idx] + counts[recv_idx],
+                            );
+                            let mut bufs = PipeBufs {
+                                pool,
+                                scratch,
+                                sreqs,
+                                rreqs,
+                            };
+                            match self.hop.step(
+                                comm,
+                                &codec,
+                                cfg.chunk_values,
+                                op,
+                                send_buf,
+                                right,
+                                recv_dst,
+                                left,
+                                tag,
+                                &mut bufs,
+                                block,
+                            ) {
+                                Poll::Pending => return Poll::Pending,
+                                Poll::Ready => {
+                                    self.hop = HopCursor::new();
+                                    self.k += 1;
+                                }
+                            }
+                        }
+                        RsMode::Cpr => {
+                            let tag = tags::REDUCE_SCATTER + 0x800 + self.k as Tag;
+                            self.wire.rreq = Some(comm.irecv(left, tag));
+                            let payload = cpr.expect("compressed mode needs a codec").compress(
+                                comm,
+                                &acc[offsets[send_idx]..offsets[send_idx] + counts[send_idx]],
+                                pool,
+                            );
+                            self.wire.sreq = Some(comm.isend(right, tag, payload));
+                            self.phase = RsPhase::RecvWait;
+                        }
+                        RsMode::Raw => {
+                            let tag = tags::REDUCE_SCATTER + self.k as Tag;
+                            let payload = values_payload(
+                                pool,
+                                &acc[offsets[send_idx]..offsets[send_idx] + counts[send_idx]],
+                            );
+                            self.wire.rreq = Some(comm.irecv(left, tag));
+                            self.wire.sreq = Some(comm.isend(right, tag, payload));
+                            self.phase = RsPhase::RecvWait;
+                        }
+                    }
+                }
+                RsPhase::RecvWait => {
+                    let Some(got) = self.wire.recv(comm, block, Category::Wait) else {
+                        return Poll::Pending;
+                    };
+                    let recv_idx = (me + 2 * n - self.k - 2) % n;
+                    match self.mode {
+                        // CPR-P2P processes between the two waits.
+                        RsMode::Cpr => {
+                            let CollWorkspace {
+                                scratch,
+                                acc,
+                                counts,
+                                offsets,
+                                ..
+                            } = ws;
+                            let dst =
+                                &mut acc[offsets[recv_idx]..offsets[recv_idx] + counts[recv_idx]];
+                            cpr.expect("compressed mode needs a codec")
+                                .decompress_reduce(comm, &got, op, dst, scratch);
+                        }
+                        // The raw schedule (sendrecv) processes after both.
+                        RsMode::Raw => self.got = Some(got),
+                        RsMode::Piped(_) => unreachable!("piped rounds use the hop cursor"),
+                    }
+                    self.phase = RsPhase::SendWait;
+                }
+                RsPhase::SendWait => {
+                    if !self.wire.send_done(comm, block, Category::Wait) {
+                        return Poll::Pending;
+                    }
+                    if let Some(got) = self.got.take() {
+                        let recv_idx = (me + 2 * n - self.k - 2) % n;
+                        let CollWorkspace {
+                            scratch,
+                            acc,
+                            counts,
+                            offsets,
+                            ..
+                        } = ws;
+                        let dst = &mut acc[offsets[recv_idx]..offsets[recv_idx] + counts[recv_idx]];
+                        raw_reduce_in(comm, &got, op, dst, &mut scratch.dec, "reduce-scatter");
+                    }
+                    self.k += 1;
+                    self.phase = RsPhase::Round;
+                }
+                RsPhase::Finish => {
+                    out_chunk
+                        .copy_from_slice(&ws.acc[ws.offsets[me]..ws.offsets[me] + ws.counts[me]]);
+                    op.finalize(out_chunk, n);
+                    self.phase = RsPhase::Done;
+                }
+                RsPhase::Done => return Poll::Ready,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ring allgather.
+// ---------------------------------------------------------------------------
+
+/// Compression placement of a ring allgather.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum AgMode {
+    /// Uncompressed relays (`baseline::ring_allgather(v)_into`).
+    Raw,
+    /// CPR-P2P: recompress every hop (`cpr_p2p::cpr_ring_allgather*`).
+    Cpr,
+    /// Compress-once relays (`data_movement::c_ring_allgather_core`),
+    /// with the PR-4 relay/decompress overlap on or off.
+    Compressed { overlap: bool },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum AgPhase {
+    Init,
+    SizeExchange,
+    Round,
+    RecvWait,
+    SendWait,
+    Sweep,
+    Done,
+}
+
+/// Resumable ring allgather over the caller's output buffer. The own
+/// block either comes from `mine` (standalone allgather plan) or is
+/// already in place in `out` (the allreduce composition, `mine = None`).
+/// The partition must be cached in the workspace before the first step.
+#[derive(Debug)]
+pub(crate) struct RingAg {
+    mode: AgMode,
+    phase: AgPhase,
+    k: usize,
+    sizes: SizeRing,
+    wire: Wire,
+    got: Option<Bytes>,
+}
+
+impl RingAg {
+    pub(crate) fn new(mode: AgMode) -> Self {
+        RingAg {
+            mode,
+            phase: AgPhase::Init,
+            k: 0,
+            sizes: SizeRing::default(),
+            wire: Wire::default(),
+            got: None,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn step<C: Comm>(
+        &mut self,
+        comm: &mut C,
+        cpr: Option<&CprCodec>,
+        mine: Option<&[f32]>,
+        out: &mut [f32],
+        ws: &mut CollWorkspace,
+        block: bool,
+    ) -> Poll {
+        let n = comm.size();
+        let me = comm.rank();
+        let right = (me + 1) % n;
+        let left = (me + n - 1) % n;
+        loop {
+            match self.phase {
+                AgPhase::Init => {
+                    self.k = 0;
+                    match self.mode {
+                        AgMode::Raw | AgMode::Cpr => {
+                            // Own block lands before the relay rounds
+                            // (`ring_allgatherv_into`) — or, in the
+                            // allreduce composition, the parity memcpy
+                            // charge is paid here as the blocking
+                            // composition does.
+                            match mine {
+                                Some(m) => memcpy_in(
+                                    comm,
+                                    &mut out[ws.offsets[me]..ws.offsets[me] + ws.counts[me]],
+                                    m,
+                                ),
+                                None => {
+                                    comm.charge(Kernel::Memcpy, ws.counts[me] * 4, Category::Memcpy)
+                                }
+                            }
+                            self.phase = if n > 1 { AgPhase::Round } else { AgPhase::Done };
+                        }
+                        AgMode::Compressed { .. } => {
+                            // Release the previous call's relay handles
+                            // before compressing (see the blocking core).
+                            ws.blobs.clear();
+                            ws.blobs.resize(n, None);
+                            let CollWorkspace {
+                                pool,
+                                blobs,
+                                sizes,
+                                counts,
+                                offsets,
+                                ..
+                            } = ws;
+                            let own: &[f32] = match mine {
+                                Some(m) => m,
+                                None => &out[offsets[me]..offsets[me] + counts[me]],
+                            };
+                            let codec = cpr.expect("compressed mode needs a codec");
+                            let my_blob =
+                                compress_in(comm, codec.codec.as_ref(), codec.ck, own, true, pool);
+                            sizes.clear();
+                            sizes.resize(n, 0);
+                            sizes[me] = my_blob.len() as u32;
+                            blobs[me] = Some(my_blob);
+                            self.phase = if n > 1 {
+                                AgPhase::SizeExchange
+                            } else {
+                                AgPhase::Sweep
+                            };
+                        }
+                    }
+                }
+                // 4-byte compressed-size synchronization ring (the
+                // data-movement framework's step 2).
+                AgPhase::SizeExchange => {
+                    match self.sizes.step(comm, &mut ws.pool, &mut ws.sizes, block) {
+                        Poll::Pending => return Poll::Pending,
+                        Poll::Ready => {
+                            self.k = 0;
+                            self.phase = AgPhase::Round;
+                        }
+                    }
+                }
+                AgPhase::Round => {
+                    if self.k == n - 1 {
+                        self.phase = match self.mode {
+                            AgMode::Compressed { .. } => AgPhase::Sweep,
+                            _ => AgPhase::Done,
+                        };
+                        continue;
+                    }
+                    let send_idx = (me + n - self.k) % n;
+                    let CollWorkspace {
+                        pool,
+                        scratch,
+                        blobs,
+                        counts,
+                        offsets,
+                        ..
+                    } = ws;
+                    match self.mode {
+                        AgMode::Raw => {
+                            let tag = tags::ALLGATHER + self.k as Tag;
+                            let payload = values_payload(
+                                pool,
+                                &out[offsets[send_idx]..offsets[send_idx] + counts[send_idx]],
+                            );
+                            self.wire.rreq = Some(comm.irecv(left, tag));
+                            self.wire.sreq = Some(comm.isend(right, tag, payload));
+                        }
+                        AgMode::Cpr => {
+                            let tag = tags::ALLGATHER + 0x800 + self.k as Tag;
+                            let payload = cpr.expect("compressed mode needs a codec").compress(
+                                comm,
+                                &out[offsets[send_idx]..offsets[send_idx] + counts[send_idx]],
+                                pool,
+                            );
+                            self.wire.rreq = Some(comm.irecv(left, tag));
+                            self.wire.sreq = Some(comm.isend(right, tag, payload));
+                        }
+                        AgMode::Compressed { overlap } => {
+                            let tag = tags::ALLGATHER + 0xC00 + self.k as Tag;
+                            let payload = blobs[send_idx].clone().expect("relay block present");
+                            self.wire.rreq = Some(comm.irecv(left, tag));
+                            self.wire.sreq = Some(comm.isend(right, tag, payload));
+                            // Pipelined relay: decompress the block being
+                            // forwarded while its onward copy is on the
+                            // wire.
+                            if overlap && send_idx != me {
+                                if let Some(blob) = blobs[send_idx].take() {
+                                    let codec = cpr.expect("compressed mode needs a codec");
+                                    let vals = decompress_auto_in(
+                                        comm,
+                                        codec.codec.as_ref(),
+                                        codec.dk,
+                                        &blob,
+                                        scratch,
+                                    );
+                                    assert_eq!(
+                                        vals.len(),
+                                        counts[send_idx],
+                                        "C-Allgather block mismatch"
+                                    );
+                                    memcpy_in(
+                                        comm,
+                                        &mut out[offsets[send_idx]
+                                            ..offsets[send_idx] + counts[send_idx]],
+                                        vals,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    self.phase = AgPhase::RecvWait;
+                }
+                AgPhase::RecvWait => {
+                    let Some(got) = self.wire.recv(comm, block, Category::Allgather) else {
+                        return Poll::Pending;
+                    };
+                    self.got = Some(got);
+                    self.phase = AgPhase::SendWait;
+                }
+                AgPhase::SendWait => {
+                    if !self.wire.send_done(comm, block, Category::Allgather) {
+                        return Poll::Pending;
+                    }
+                    let got = self.got.take().expect("round received a payload");
+                    let recv_idx = (me + n - 1 - self.k) % n;
+                    let CollWorkspace {
+                        scratch,
+                        blobs,
+                        counts,
+                        offsets,
+                        ..
+                    } = ws;
+                    match self.mode {
+                        AgMode::Raw => decode_values_in(
+                            comm,
+                            &mut out[offsets[recv_idx]..offsets[recv_idx] + counts[recv_idx]],
+                            &got,
+                        ),
+                        AgMode::Cpr => {
+                            let codec = cpr.expect("compressed mode needs a codec");
+                            let vals = codec.decompress(comm, &got, counts[recv_idx], scratch);
+                            memcpy_in(
+                                comm,
+                                &mut out[offsets[recv_idx]..offsets[recv_idx] + counts[recv_idx]],
+                                vals,
+                            );
+                        }
+                        AgMode::Compressed { .. } => blobs[recv_idx] = Some(got),
+                    }
+                    self.k += 1;
+                    self.phase = AgPhase::Round;
+                }
+                // Compress-once epilogue: own block + whatever the relay
+                // loop did not already decode.
+                AgPhase::Sweep => {
+                    let CollWorkspace {
+                        scratch,
+                        blobs,
+                        counts,
+                        offsets,
+                        ..
+                    } = ws;
+                    match mine {
+                        Some(m) => {
+                            memcpy_in(comm, &mut out[offsets[me]..offsets[me] + counts[me]], m)
+                        }
+                        None => comm.charge(Kernel::Memcpy, counts[me] * 4, Category::Memcpy),
+                    }
+                    let codec = cpr.expect("compressed mode needs a codec");
+                    for r in 0..n {
+                        if r == me {
+                            continue;
+                        }
+                        let Some(blob) = blobs[r].take() else {
+                            continue;
+                        };
+                        let vals = decompress_auto_in(
+                            comm,
+                            codec.codec.as_ref(),
+                            codec.dk,
+                            &blob,
+                            scratch,
+                        );
+                        assert_eq!(vals.len(), counts[r], "C-Allgather block length mismatch");
+                        memcpy_in(comm, &mut out[offsets[r]..offsets[r] + counts[r]], vals);
+                    }
+                    self.phase = AgPhase::Done;
+                }
+                AgPhase::Done => return Poll::Ready,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Butterfly allreduces: recursive doubling and Rabenseifner.
+// ---------------------------------------------------------------------------
+
+/// Compression placement of a butterfly allreduce.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum BflyMode {
+    /// Uncompressed exchanges.
+    Raw,
+    /// Monolithic CPR-P2P compression per hop.
+    Cpr,
+    /// Pipelined halving/fold legs (Rabenseifner only).
+    Piped(PipelineConfig),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum BflyPhase {
+    Init,
+    FoldSend,
+    FoldSendWait,
+    FoldRecv,
+    Halving,
+    HalvingRecv,
+    HalvingSend,
+    Doubling,
+    DoublingRecv,
+    DoublingSend,
+    Unfold,
+    UnfoldSendWait,
+    UnfoldRecvWait,
+    Final,
+    Done,
+}
+
+/// Resumable butterfly allreduce: serves both recursive doubling
+/// (`halving = false`, full-payload rounds) and Rabenseifner
+/// (`halving = true`, recursive-halving reduce-scatter +
+/// recursive-doubling allgather), in raw / CPR / pipelined placements —
+/// the nonblocking counterpart of the four blocking butterflies.
+#[derive(Debug)]
+pub(crate) struct Butterfly {
+    mode: BflyMode,
+    /// Rabenseifner when true, recursive doubling when false.
+    halving: bool,
+    phase: BflyPhase,
+    pos: usize,
+    lo: usize,
+    hi: usize,
+    mask: usize,
+    round: Tag,
+    pow2: usize,
+    rem: usize,
+    tag: Tag,
+    hop: HopCursor,
+    wire: Wire,
+    got: Option<Bytes>,
+}
+
+impl Butterfly {
+    pub(crate) fn recursive_doubling(mode: BflyMode) -> Self {
+        debug_assert!(
+            !matches!(mode, BflyMode::Piped(_)),
+            "recursive doubling has no pipelined placement"
+        );
+        Self::new(mode, false)
+    }
+
+    pub(crate) fn rabenseifner(mode: BflyMode) -> Self {
+        Self::new(mode, true)
+    }
+
+    fn new(mode: BflyMode, halving: bool) -> Self {
+        Butterfly {
+            mode,
+            halving,
+            phase: BflyPhase::Init,
+            pos: 0,
+            lo: 0,
+            hi: 0,
+            mask: 0,
+            round: 0,
+            pow2: 1,
+            rem: 0,
+            tag: 0,
+            hop: HopCursor::new(),
+            wire: Wire::default(),
+            got: None,
+        }
+    }
+
+    /// Value range covered by butterfly chunk indices `[lo, hi)`.
+    fn range(ws: &CollWorkspace, lo: usize, hi: usize) -> (usize, usize) {
+        (ws.offsets[lo], ws.offsets[hi - 1] + ws.counts[hi - 1])
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn step<C: Comm>(
+        &mut self,
+        comm: &mut C,
+        cpr: Option<&CprCodec>,
+        op: ReduceOp,
+        input: &[f32],
+        out: &mut [f32],
+        ws: &mut CollWorkspace,
+        block: bool,
+    ) -> Poll {
+        let n = comm.size();
+        let me = comm.rank();
+        loop {
+            match self.phase {
+                BflyPhase::Init => {
+                    assert_eq!(out.len(), input.len(), "output buffer size mismatch");
+                    let (pow2, rem) = butterfly_fold(n);
+                    self.pow2 = pow2;
+                    self.rem = rem;
+                    self.tag = match (self.halving, self.mode) {
+                        (false, BflyMode::Raw) => tags::RECURSIVE_DOUBLING,
+                        (false, _) => tags::RECURSIVE_DOUBLING + 0x800,
+                        (true, BflyMode::Raw) => tags::RABENSEIFNER,
+                        (true, BflyMode::Cpr) => tags::RABENSEIFNER + 0x800,
+                        (true, BflyMode::Piped(_)) => tags::RABENSEIFNER + 0xC00,
+                    };
+                    if self.halving {
+                        ws.set_partition(input.len(), pow2);
+                    }
+                    ws.acc.resize(input.len(), 0.0);
+                    memcpy_in(comm, &mut ws.acc, input);
+                    if me < 2 * rem {
+                        if me.is_multiple_of(2) {
+                            self.phase = BflyPhase::FoldSend;
+                        } else {
+                            self.pos = me / 2;
+                            self.phase = BflyPhase::FoldRecv;
+                            self.wire.rreq = match self.mode {
+                                // The pipelined fold posts its own
+                                // sub-chunk receives through the cursor.
+                                BflyMode::Piped(_) => None,
+                                _ => Some(comm.irecv(me - 1, self.tag)),
+                            };
+                        }
+                    } else {
+                        self.pos = me - rem;
+                        self.enter_rounds();
+                    }
+                }
+                // Fold: the contributing even rank ships its whole buffer.
+                BflyPhase::FoldSend => {
+                    let CollWorkspace {
+                        pool,
+                        scratch,
+                        acc,
+                        sreqs,
+                        rreqs,
+                        ..
+                    } = ws;
+                    match self.mode {
+                        BflyMode::Piped(cfg) => {
+                            let codec = SzxCodec::new(cfg.error_bound);
+                            let mut bufs = PipeBufs {
+                                pool,
+                                scratch,
+                                sreqs,
+                                rreqs,
+                            };
+                            match self.hop.step(
+                                comm,
+                                &codec,
+                                cfg.chunk_values,
+                                op,
+                                acc,
+                                me + 1,
+                                &mut [],
+                                me + 1,
+                                self.tag,
+                                &mut bufs,
+                                block,
+                            ) {
+                                Poll::Pending => return Poll::Pending,
+                                Poll::Ready => {
+                                    self.hop = HopCursor::new();
+                                    self.phase = BflyPhase::Unfold;
+                                }
+                            }
+                        }
+                        _ => {
+                            let payload = match self.mode {
+                                BflyMode::Raw => values_payload(pool, acc),
+                                _ => cpr
+                                    .expect("compressed mode needs a codec")
+                                    .compress(comm, acc, pool),
+                            };
+                            self.wire.sreq = Some(comm.isend(me + 1, self.tag, payload));
+                            self.phase = BflyPhase::FoldSendWait;
+                        }
+                    }
+                }
+                BflyPhase::FoldSendWait => {
+                    if !self.wire.send_done(comm, block, Category::Wait) {
+                        return Poll::Pending;
+                    }
+                    self.phase = BflyPhase::Unfold;
+                }
+                // Fold: the surviving odd rank reduces what arrives.
+                BflyPhase::FoldRecv => {
+                    let CollWorkspace {
+                        pool,
+                        scratch,
+                        acc,
+                        sreqs,
+                        rreqs,
+                        ..
+                    } = ws;
+                    match self.mode {
+                        BflyMode::Piped(cfg) => {
+                            let codec = SzxCodec::new(cfg.error_bound);
+                            let mut bufs = PipeBufs {
+                                pool,
+                                scratch,
+                                sreqs,
+                                rreqs,
+                            };
+                            match self.hop.step(
+                                comm,
+                                &codec,
+                                cfg.chunk_values,
+                                op,
+                                &[],
+                                me - 1,
+                                acc,
+                                me - 1,
+                                self.tag,
+                                &mut bufs,
+                                block,
+                            ) {
+                                Poll::Pending => return Poll::Pending,
+                                Poll::Ready => {
+                                    self.hop = HopCursor::new();
+                                    self.enter_rounds();
+                                }
+                            }
+                        }
+                        _ => {
+                            let Some(got) = self.wire.recv(comm, block, Category::Others) else {
+                                return Poll::Pending;
+                            };
+                            match self.mode {
+                                BflyMode::Raw => {
+                                    raw_reduce_in(comm, &got, op, acc, &mut scratch.dec, "fold")
+                                }
+                                _ => cpr
+                                    .expect("compressed mode needs a codec")
+                                    .decompress_reduce(comm, &got, op, acc, scratch),
+                            }
+                            self.enter_rounds();
+                        }
+                    }
+                }
+                // Rabenseifner recursive-halving reduce-scatter rounds.
+                BflyPhase::Halving => {
+                    if self.mask < 1 {
+                        self.mask = 1;
+                        self.round = 0x100;
+                        self.phase = BflyPhase::Doubling;
+                        continue;
+                    }
+                    let peer = butterfly_pos_to_rank(self.pos ^ self.mask, self.rem);
+                    let (kb, ke, sb, se) = self.halving_ranges(ws);
+                    let tag = self.tag + self.round;
+                    let CollWorkspace {
+                        pool,
+                        scratch,
+                        acc,
+                        sreqs,
+                        rreqs,
+                        ..
+                    } = ws;
+                    match self.mode {
+                        BflyMode::Piped(cfg) => {
+                            let codec = SzxCodec::new(cfg.error_bound);
+                            let (send_buf, recv_dst) = split_src_dst(acc, sb..se, kb..ke);
+                            let mut bufs = PipeBufs {
+                                pool,
+                                scratch,
+                                sreqs,
+                                rreqs,
+                            };
+                            match self.hop.step(
+                                comm,
+                                &codec,
+                                cfg.chunk_values,
+                                op,
+                                send_buf,
+                                peer,
+                                recv_dst,
+                                peer,
+                                tag,
+                                &mut bufs,
+                                block,
+                            ) {
+                                Poll::Pending => return Poll::Pending,
+                                Poll::Ready => {
+                                    self.hop = HopCursor::new();
+                                    self.advance_halving();
+                                }
+                            }
+                        }
+                        BflyMode::Cpr => {
+                            let payload = cpr.expect("compressed mode needs a codec").compress(
+                                comm,
+                                &acc[sb..se],
+                                pool,
+                            );
+                            self.wire.rreq = Some(comm.irecv(peer, tag));
+                            self.wire.sreq = Some(comm.isend(peer, tag, payload));
+                            self.phase = BflyPhase::HalvingRecv;
+                        }
+                        BflyMode::Raw => {
+                            let payload = values_payload(pool, &acc[sb..se]);
+                            self.wire.rreq = Some(comm.irecv(peer, tag));
+                            self.wire.sreq = Some(comm.isend(peer, tag, payload));
+                            self.phase = BflyPhase::HalvingRecv;
+                        }
+                    }
+                }
+                BflyPhase::HalvingRecv => {
+                    let Some(got) = self.wire.recv(comm, block, Category::Wait) else {
+                        return Poll::Pending;
+                    };
+                    self.got = Some(got);
+                    self.phase = BflyPhase::HalvingSend;
+                }
+                BflyPhase::HalvingSend => {
+                    if !self.wire.send_done(comm, block, Category::Wait) {
+                        return Poll::Pending;
+                    }
+                    let got = self.got.take().expect("halving received a payload");
+                    let (kb, ke, _, _) = self.halving_ranges(ws);
+                    let CollWorkspace { scratch, acc, .. } = ws;
+                    let dst = &mut acc[kb..ke];
+                    match self.mode {
+                        BflyMode::Raw => {
+                            raw_reduce_in(comm, &got, op, dst, &mut scratch.dec, "halving")
+                        }
+                        _ => cpr
+                            .expect("compressed mode needs a codec")
+                            .decompress_reduce(comm, &got, op, dst, scratch),
+                    }
+                    self.advance_halving();
+                }
+                // Recursive-doubling rounds: full-payload exchange-and-
+                // reduce (recursive doubling) or aligned-range allgather
+                // (Rabenseifner — finalized data moves, monolithic in
+                // every placement).
+                BflyPhase::Doubling => {
+                    if self.mask >= self.pow2 {
+                        self.phase = BflyPhase::Unfold;
+                        continue;
+                    }
+                    let peer = butterfly_pos_to_rank(self.pos ^ self.mask, self.rem);
+                    let tag = self.tag + self.round;
+                    if self.halving {
+                        let (sb, se, _, _) = self.doubling_ranges(ws);
+                        let CollWorkspace { pool, acc, .. } = ws;
+                        let payload = match self.mode {
+                            BflyMode::Raw => values_payload(pool, &acc[sb..se]),
+                            _ => cpr.expect("compressed mode needs a codec").compress(
+                                comm,
+                                &acc[sb..se],
+                                pool,
+                            ),
+                        };
+                        self.wire.rreq = Some(comm.irecv(peer, tag));
+                        self.wire.sreq = Some(comm.isend(peer, tag, payload));
+                    } else {
+                        let CollWorkspace { pool, acc, .. } = ws;
+                        let payload = match self.mode {
+                            BflyMode::Raw => values_payload(pool, acc),
+                            _ => cpr
+                                .expect("compressed mode needs a codec")
+                                .compress(comm, acc, pool),
+                        };
+                        self.wire.rreq = Some(comm.irecv(peer, tag));
+                        self.wire.sreq = Some(comm.isend(peer, tag, payload));
+                    }
+                    self.phase = BflyPhase::DoublingRecv;
+                }
+                BflyPhase::DoublingRecv => {
+                    let Some(got) = self.wire.recv(comm, block, Category::Wait) else {
+                        return Poll::Pending;
+                    };
+                    self.got = Some(got);
+                    self.phase = BflyPhase::DoublingSend;
+                }
+                BflyPhase::DoublingSend => {
+                    if !self.wire.send_done(comm, block, Category::Wait) {
+                        return Poll::Pending;
+                    }
+                    let got = self.got.take().expect("doubling received a payload");
+                    if self.halving {
+                        let (_, _, pb, pe) = self.doubling_ranges(ws);
+                        let CollWorkspace { scratch, acc, .. } = ws;
+                        match self.mode {
+                            BflyMode::Raw => decode_values_in(comm, &mut acc[pb..pe], &got),
+                            _ => {
+                                let vals = cpr.expect("compressed mode needs a codec").decompress(
+                                    comm,
+                                    &got,
+                                    pe - pb,
+                                    scratch,
+                                );
+                                memcpy_in(comm, &mut acc[pb..pe], vals);
+                            }
+                        }
+                    } else {
+                        let CollWorkspace { scratch, acc, .. } = ws;
+                        match self.mode {
+                            BflyMode::Raw => {
+                                raw_reduce_in(comm, &got, op, acc, &mut scratch.dec, "doubling")
+                            }
+                            _ => cpr
+                                .expect("compressed mode needs a codec")
+                                .decompress_reduce(comm, &got, op, acc, scratch),
+                        }
+                    }
+                    self.mask <<= 1;
+                    self.round += 1;
+                    self.phase = BflyPhase::Doubling;
+                }
+                // Unfold: ship the final buffer back to the folded-away
+                // rank.
+                BflyPhase::Unfold => {
+                    if me >= 2 * self.rem {
+                        self.phase = BflyPhase::Final;
+                        continue;
+                    }
+                    let CollWorkspace { pool, acc, .. } = ws;
+                    if me % 2 == 1 {
+                        let payload = match self.mode {
+                            BflyMode::Raw => values_payload(pool, acc),
+                            _ => cpr
+                                .expect("compressed mode needs a codec")
+                                .compress(comm, acc, pool),
+                        };
+                        self.wire.sreq = Some(comm.isend(me - 1, self.tag + 999, payload));
+                        self.phase = BflyPhase::UnfoldSendWait;
+                    } else {
+                        self.wire.rreq = Some(comm.irecv(me + 1, self.tag + 999));
+                        self.phase = BflyPhase::UnfoldRecvWait;
+                    }
+                }
+                BflyPhase::UnfoldSendWait => {
+                    if !self.wire.send_done(comm, block, Category::Wait) {
+                        return Poll::Pending;
+                    }
+                    self.phase = BflyPhase::Final;
+                }
+                BflyPhase::UnfoldRecvWait => {
+                    let Some(got) = self.wire.recv(comm, block, Category::Others) else {
+                        return Poll::Pending;
+                    };
+                    let CollWorkspace { scratch, acc, .. } = ws;
+                    match self.mode {
+                        BflyMode::Raw => decode_values_in(comm, acc, &got),
+                        _ => {
+                            let vals = cpr.expect("compressed mode needs a codec").decompress(
+                                comm,
+                                &got,
+                                input.len(),
+                                scratch,
+                            );
+                            memcpy_in(comm, acc, vals);
+                        }
+                    }
+                    self.phase = BflyPhase::Final;
+                }
+                BflyPhase::Final => {
+                    memcpy_in(comm, out, &ws.acc);
+                    op.finalize(out, n);
+                    self.phase = BflyPhase::Done;
+                }
+                BflyPhase::Done => return Poll::Ready,
+            }
+        }
+    }
+
+    /// Enter the exchange rounds after the fold resolved this rank's
+    /// butterfly position.
+    fn enter_rounds(&mut self) {
+        if self.halving {
+            self.lo = 0;
+            self.hi = self.pow2;
+            self.mask = self.pow2 / 2;
+            self.round = 1;
+            self.phase = BflyPhase::Halving;
+        } else {
+            self.mask = 1;
+            self.round = 1;
+            self.phase = BflyPhase::Doubling;
+        }
+    }
+
+    /// `(keep_begin, keep_end, send_begin, send_end)` value ranges of the
+    /// current halving round.
+    fn halving_ranges(&self, ws: &CollWorkspace) -> (usize, usize, usize, usize) {
+        let mid = self.lo + (self.hi - self.lo) / 2;
+        let (keep_lo, keep_hi, send_lo, send_hi) = if self.pos & self.mask == 0 {
+            (self.lo, mid, mid, self.hi)
+        } else {
+            (mid, self.hi, self.lo, mid)
+        };
+        let (sb, se) = Self::range(ws, send_lo, send_hi);
+        let (kb, ke) = Self::range(ws, keep_lo, keep_hi);
+        (kb, ke, sb, se)
+    }
+
+    /// Advance the halving cursor to the next round.
+    fn advance_halving(&mut self) {
+        let mid = self.lo + (self.hi - self.lo) / 2;
+        if self.pos & self.mask == 0 {
+            self.hi = mid;
+        } else {
+            self.lo = mid;
+        }
+        self.mask /= 2;
+        self.round += 1;
+        self.phase = BflyPhase::Halving;
+    }
+
+    /// `(send_begin, send_end, peer_begin, peer_end)` value ranges of the
+    /// current Rabenseifner doubling round.
+    fn doubling_ranges(&self, ws: &CollWorkspace) -> (usize, usize, usize, usize) {
+        let base = self.pos & !(2 * self.mask - 1);
+        let (cur_lo, cur_hi, peer_lo, peer_hi) = if self.pos & self.mask == 0 {
+            (
+                base,
+                base + self.mask,
+                base + self.mask,
+                base + 2 * self.mask,
+            )
+        } else {
+            (
+                base + self.mask,
+                base + 2 * self.mask,
+                base,
+                base + self.mask,
+            )
+        };
+        let (sb, se) = Self::range(ws, cur_lo, cur_hi);
+        let (pb, pe) = Self::range(ws, peer_lo, peer_hi);
+        (sb, se, pb, pe)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binomial-tree rooted reduce.
+// ---------------------------------------------------------------------------
+
+/// Compression placement of the binomial-tree rooted reduce.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum TreeMode {
+    /// Uncompressed (`baseline::binomial_reduce_into`).
+    Raw,
+    /// Monolithic per-hop compression (`cpr_p2p::cpr_binomial_reduce_into`).
+    Cpr,
+    /// Pipelined sub-chunk hops (`computation::c_binomial_reduce_into`).
+    Piped(PipelineConfig),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TreePhase {
+    Init,
+    Loop,
+    SendParent,
+    SendParentWait,
+    RecvChild,
+    Final,
+    DoneRoot,
+    DoneLeaf,
+}
+
+/// Resumable binomial-tree rooted reduce. `step` returns
+/// `Poll::Ready`; whether this rank is the root comes from
+/// [`TreeReduce::is_root`] after completion.
+#[derive(Debug)]
+pub(crate) struct TreeReduce {
+    mode: TreeMode,
+    root: usize,
+    phase: TreePhase,
+    mask: usize,
+    hop: HopCursor,
+    wire: Wire,
+}
+
+impl TreeReduce {
+    pub(crate) fn new(mode: TreeMode, root: usize) -> Self {
+        TreeReduce {
+            mode,
+            root,
+            phase: TreePhase::Init,
+            mask: 1,
+            hop: HopCursor::new(),
+            wire: Wire::default(),
+        }
+    }
+
+    /// True when this rank ended up holding the reduced result. Only
+    /// meaningful after `step` returned `Poll::Ready`.
+    pub(crate) fn is_root(&self) -> bool {
+        matches!(self.phase, TreePhase::DoneRoot)
+    }
+
+    fn tag(&self) -> Tag {
+        match self.mode {
+            TreeMode::Raw => tags::TREE_REDUCE,
+            TreeMode::Cpr => tags::TREE_REDUCE + 0x800,
+            TreeMode::Piped(_) => tags::TREE_REDUCE + 0xC00,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn step<C: Comm>(
+        &mut self,
+        comm: &mut C,
+        cpr: Option<&CprCodec>,
+        op: ReduceOp,
+        input: &[f32],
+        out: &mut [f32],
+        ws: &mut CollWorkspace,
+        block: bool,
+    ) -> Poll {
+        let n = comm.size();
+        let me = comm.rank();
+        let relative = (me + n - self.root) % n;
+        loop {
+            match self.phase {
+                TreePhase::Init => {
+                    assert!(self.root < n, "root {} out of range", self.root);
+                    ws.acc.resize(input.len(), 0.0);
+                    memcpy_in(comm, &mut ws.acc, input);
+                    self.mask = 1;
+                    self.phase = TreePhase::Loop;
+                }
+                TreePhase::Loop => {
+                    if self.mask >= n {
+                        self.phase = TreePhase::Final;
+                        continue;
+                    }
+                    if relative & self.mask != 0 {
+                        self.phase = TreePhase::SendParent;
+                        continue;
+                    }
+                    let child_rel = relative + self.mask;
+                    if child_rel < n {
+                        // Monolithic modes receive through a blocking
+                        // `recv` in the classic path; post the receive
+                        // here so the nonblocking path can suspend on it.
+                        if !matches!(self.mode, TreeMode::Piped(_)) {
+                            let child = (child_rel + self.root) % n;
+                            self.wire.rreq = Some(comm.irecv(child, self.tag()));
+                        }
+                        self.phase = TreePhase::RecvChild;
+                        continue;
+                    }
+                    self.mask <<= 1;
+                }
+                TreePhase::SendParent => {
+                    let parent = (relative - self.mask + self.root) % n;
+                    let tag = self.tag();
+                    let CollWorkspace {
+                        pool,
+                        scratch,
+                        acc,
+                        sreqs,
+                        rreqs,
+                        ..
+                    } = ws;
+                    match self.mode {
+                        TreeMode::Piped(cfg) => {
+                            let codec = SzxCodec::new(cfg.error_bound);
+                            let mut bufs = PipeBufs {
+                                pool,
+                                scratch,
+                                sreqs,
+                                rreqs,
+                            };
+                            match self.hop.step(
+                                comm,
+                                &codec,
+                                cfg.chunk_values,
+                                op,
+                                acc,
+                                parent,
+                                &mut [],
+                                parent,
+                                tag,
+                                &mut bufs,
+                                block,
+                            ) {
+                                Poll::Pending => return Poll::Pending,
+                                Poll::Ready => self.phase = TreePhase::DoneLeaf,
+                            }
+                        }
+                        _ => {
+                            let payload = match self.mode {
+                                TreeMode::Raw => values_payload(pool, acc),
+                                _ => cpr
+                                    .expect("compressed mode needs a codec")
+                                    .compress(comm, acc, pool),
+                            };
+                            self.wire.sreq = Some(comm.isend(parent, tag, payload));
+                            self.phase = TreePhase::SendParentWait;
+                        }
+                    }
+                }
+                TreePhase::SendParentWait => {
+                    if !self.wire.send_done(comm, block, Category::Wait) {
+                        return Poll::Pending;
+                    }
+                    self.phase = TreePhase::DoneLeaf;
+                }
+                TreePhase::RecvChild => {
+                    let child = ((relative + self.mask) + self.root) % n;
+                    let tag = self.tag();
+                    let CollWorkspace {
+                        pool,
+                        scratch,
+                        acc,
+                        sreqs,
+                        rreqs,
+                        ..
+                    } = ws;
+                    match self.mode {
+                        TreeMode::Piped(cfg) => {
+                            let codec = SzxCodec::new(cfg.error_bound);
+                            let mut bufs = PipeBufs {
+                                pool,
+                                scratch,
+                                sreqs,
+                                rreqs,
+                            };
+                            match self.hop.step(
+                                comm,
+                                &codec,
+                                cfg.chunk_values,
+                                op,
+                                &[],
+                                child,
+                                acc,
+                                child,
+                                tag,
+                                &mut bufs,
+                                block,
+                            ) {
+                                Poll::Pending => return Poll::Pending,
+                                Poll::Ready => {
+                                    self.hop = HopCursor::new();
+                                    self.mask <<= 1;
+                                    self.phase = TreePhase::Loop;
+                                }
+                            }
+                        }
+                        _ => {
+                            let Some(got) = self.wire.recv(comm, block, Category::Others) else {
+                                return Poll::Pending;
+                            };
+                            match self.mode {
+                                TreeMode::Raw => raw_reduce_in(
+                                    comm,
+                                    &got,
+                                    op,
+                                    acc,
+                                    &mut scratch.dec,
+                                    "tree-reduce",
+                                ),
+                                _ => cpr
+                                    .expect("compressed mode needs a codec")
+                                    .decompress_reduce(comm, &got, op, acc, scratch),
+                            }
+                            self.mask <<= 1;
+                            self.phase = TreePhase::Loop;
+                        }
+                    }
+                }
+                TreePhase::Final => {
+                    assert_eq!(out.len(), input.len(), "root output must hold the result");
+                    memcpy_in(comm, out, &ws.acc);
+                    op.finalize(out, n);
+                    self.phase = TreePhase::DoneRoot;
+                }
+                TreePhase::DoneRoot | TreePhase::DoneLeaf => return Poll::Ready,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binomial-tree broadcast.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+enum BcPhase {
+    Init,
+    RecvWait,
+    SendSetup,
+    Sends,
+    SendWait,
+    Decode,
+    Done,
+}
+
+/// Resumable binomial-tree broadcast (`compressed = true` relays one
+/// compress-once blob; `false` relays raw values).
+#[derive(Debug)]
+pub(crate) struct Bcast {
+    compressed: bool,
+    root: usize,
+    phase: BcPhase,
+    mask: usize,
+    wire: Wire,
+    payload: Option<Bytes>,
+}
+
+impl Bcast {
+    pub(crate) fn new(compressed: bool, root: usize) -> Self {
+        Bcast {
+            compressed,
+            root,
+            phase: BcPhase::Init,
+            mask: 1,
+            wire: Wire::default(),
+            payload: None,
+        }
+    }
+
+    fn tag(&self) -> Tag {
+        if self.compressed {
+            tags::BCAST + 0xC00
+        } else {
+            tags::BCAST
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn step<C: Comm>(
+        &mut self,
+        comm: &mut C,
+        cpr: Option<&CprCodec>,
+        data: &[f32],
+        out: &mut [f32],
+        ws: &mut CollWorkspace,
+        block: bool,
+    ) -> Poll {
+        let n = comm.size();
+        let me = comm.rank();
+        let relative = (me + n - self.root) % n;
+        loop {
+            match self.phase {
+                BcPhase::Init => {
+                    assert!(self.root < n, "root {} out of range", self.root);
+                    self.mask = 1;
+                    if me == self.root {
+                        assert_eq!(
+                            data.len(),
+                            out.len(),
+                            "root data disagrees with plan length"
+                        );
+                        if self.compressed {
+                            let codec = cpr.expect("compressed mode needs a codec");
+                            self.payload = Some(compress_in(
+                                comm,
+                                codec.codec.as_ref(),
+                                codec.ck,
+                                data,
+                                true,
+                                &mut ws.pool,
+                            ));
+                        } else {
+                            out.copy_from_slice(data);
+                        }
+                        // The root never matches a parent bit: walk the
+                        // mask to the forwarding start.
+                        while self.mask < n {
+                            self.mask <<= 1;
+                        }
+                        self.phase = BcPhase::SendSetup;
+                    } else {
+                        // Find my parent bit and post that receive.
+                        while self.mask < n && relative & self.mask == 0 {
+                            self.mask <<= 1;
+                        }
+                        let src = (relative - self.mask + self.root) % n;
+                        self.wire.rreq = Some(comm.irecv(src, self.tag()));
+                        self.phase = BcPhase::RecvWait;
+                    }
+                }
+                BcPhase::RecvWait => {
+                    let Some(got) = self.wire.recv(comm, block, Category::Others) else {
+                        return Poll::Pending;
+                    };
+                    if self.compressed {
+                        // Decode happens after the relays, exactly as the
+                        // blocking compress-once bcast does.
+                        self.payload = Some(got);
+                    } else {
+                        crate::wire::decode_values_into(&got, out);
+                    }
+                    self.phase = BcPhase::SendSetup;
+                }
+                BcPhase::SendSetup => {
+                    if !self.compressed {
+                        self.payload = Some(values_payload(&mut ws.pool, out));
+                    }
+                    self.mask >>= 1;
+                    self.phase = BcPhase::Sends;
+                }
+                BcPhase::Sends => {
+                    if self.mask == 0 {
+                        self.phase = BcPhase::Decode;
+                        continue;
+                    }
+                    if relative + self.mask < n {
+                        let dst = (relative + self.mask + self.root) % n;
+                        let payload = self.payload.clone().expect("broadcast payload present");
+                        self.wire.sreq = Some(comm.isend(dst, self.tag(), payload));
+                        self.phase = BcPhase::SendWait;
+                        continue;
+                    }
+                    self.mask >>= 1;
+                }
+                BcPhase::SendWait => {
+                    if !self.wire.send_done(comm, block, Category::Wait) {
+                        return Poll::Pending;
+                    }
+                    self.mask >>= 1;
+                    self.phase = BcPhase::Sends;
+                }
+                BcPhase::Decode => {
+                    if self.compressed {
+                        let blob = self.payload.take().expect("broadcast payload present");
+                        if me == self.root {
+                            out.copy_from_slice(data);
+                        } else {
+                            let codec = cpr.expect("compressed mode needs a codec");
+                            let vals = decompress_auto_in(
+                                comm,
+                                codec.codec.as_ref(),
+                                codec.dk,
+                                &blob,
+                                &mut ws.scratch,
+                            );
+                            assert_eq!(vals.len(), out.len(), "C-Bcast length disagrees with plan");
+                            out.copy_from_slice(vals);
+                        }
+                    }
+                    self.payload = None;
+                    self.phase = BcPhase::Done;
+                }
+                BcPhase::Done => return Poll::Ready,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binomial-tree scatter.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+enum ScPhase {
+    Init,
+    RecvWait,
+    Forward,
+    ForwardWait,
+    Final,
+    Done,
+}
+
+/// Resumable binomial-tree scatter of the balanced partition
+/// (`compressed = true` forwards framed compress-once segment sets).
+#[derive(Debug)]
+pub(crate) struct Scatter {
+    compressed: bool,
+    root: usize,
+    total_len: usize,
+    phase: ScPhase,
+    span: usize,
+    m: usize,
+    wire: Wire,
+}
+
+impl Scatter {
+    pub(crate) fn new(compressed: bool, root: usize, total_len: usize) -> Self {
+        Scatter {
+            compressed,
+            root,
+            total_len,
+            phase: ScPhase::Init,
+            span: 0,
+            m: 0,
+            wire: Wire::default(),
+        }
+    }
+
+    fn tag(&self) -> Tag {
+        if self.compressed {
+            tags::SCATTER + 0xC00
+        } else {
+            tags::SCATTER
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn step<C: Comm>(
+        &mut self,
+        comm: &mut C,
+        cpr: Option<&CprCodec>,
+        data: &[f32],
+        out: &mut [f32],
+        ws: &mut CollWorkspace,
+        block: bool,
+    ) -> Poll {
+        let n = comm.size();
+        let me = comm.rank();
+        let relative = (me + n - self.root) % n;
+        loop {
+            match self.phase {
+                ScPhase::Init => {
+                    assert!(self.root < n, "root {} out of range", self.root);
+                    ws.set_partition(self.total_len, n);
+                    assert_eq!(out.len(), ws.counts[me], "output must hold my chunk");
+                    if me == self.root {
+                        assert_eq!(
+                            data.len(),
+                            self.total_len,
+                            "root buffer must hold all chunks"
+                        );
+                        if self.compressed {
+                            let CollWorkspace {
+                                pool,
+                                blob_list: held,
+                                counts,
+                                offsets,
+                                ..
+                            } = ws;
+                            let codec = cpr.expect("compressed mode needs a codec");
+                            held.clear();
+                            for i in 0..n {
+                                let a = (self.root + i) % n;
+                                let seg = &data[offsets[a]..offsets[a] + counts[a]];
+                                held.push(compress_in(
+                                    comm,
+                                    codec.codec.as_ref(),
+                                    codec.ck,
+                                    seg,
+                                    true,
+                                    pool,
+                                ));
+                            }
+                        } else {
+                            let CollWorkspace {
+                                stage: held,
+                                counts,
+                                offsets,
+                                ..
+                            } = ws;
+                            held.clear();
+                            for i in 0..n {
+                                let a = (self.root + i) % n;
+                                held.extend_from_slice(&data[offsets[a]..offsets[a] + counts[a]]);
+                            }
+                        }
+                        self.span = n;
+                        self.m = n.next_power_of_two() / 2;
+                        self.phase = ScPhase::Forward;
+                    } else {
+                        let lowbit = relative & relative.wrapping_neg();
+                        let src = (relative - lowbit + self.root) % n;
+                        self.span = lowbit.min(n - relative);
+                        self.m = lowbit / 2;
+                        self.wire.rreq = Some(comm.irecv(src, self.tag()));
+                        self.phase = ScPhase::RecvWait;
+                    }
+                }
+                ScPhase::RecvWait => {
+                    let Some(got) = self.wire.recv(comm, block, Category::Others) else {
+                        return Poll::Pending;
+                    };
+                    if self.compressed {
+                        let held = &mut ws.blob_list;
+                        crate::wire::unframe_blobs_into(&got, held)
+                            .expect("well-formed scatter container");
+                        assert_eq!(
+                            held.len(),
+                            self.span,
+                            "scatter container segment count mismatch"
+                        );
+                    } else {
+                        let held = &mut ws.stage;
+                        decode_values_vec(&got, held);
+                        let expect: usize = (relative..relative + self.span)
+                            .map(|i| ws.counts[(self.root + i) % n])
+                            .sum();
+                        assert_eq!(held.len(), expect, "scatter subtree block size mismatch");
+                    }
+                    self.phase = ScPhase::Forward;
+                }
+                ScPhase::Forward => {
+                    if self.m == 0 {
+                        self.phase = ScPhase::Final;
+                        continue;
+                    }
+                    if self.m < self.span {
+                        let child_rel = relative + self.m;
+                        let dst = (child_rel + self.root) % n;
+                        let payload = if self.compressed {
+                            let CollWorkspace {
+                                pool,
+                                blob_list: held,
+                                ..
+                            } = ws;
+                            let container = crate::wire::frame_blobs_pooled(pool, &held[self.m..]);
+                            held.truncate(self.m);
+                            container
+                        } else {
+                            let keep_vals: usize = (relative..child_rel)
+                                .map(|i| ws.counts[(self.root + i) % n])
+                                .sum();
+                            let CollWorkspace {
+                                pool, stage: held, ..
+                            } = ws;
+                            let payload = values_payload(pool, &held[keep_vals..]);
+                            held.truncate(keep_vals);
+                            payload
+                        };
+                        self.wire.sreq = Some(comm.isend(dst, self.tag(), payload));
+                        self.span = self.m;
+                        self.phase = ScPhase::ForwardWait;
+                        continue;
+                    }
+                    self.m /= 2;
+                }
+                ScPhase::ForwardWait => {
+                    if !self.wire.send_done(comm, block, Category::Wait) {
+                        return Poll::Pending;
+                    }
+                    self.m /= 2;
+                    self.phase = ScPhase::Forward;
+                }
+                ScPhase::Final => {
+                    if self.compressed {
+                        let CollWorkspace {
+                            scratch,
+                            blob_list: held,
+                            counts,
+                            offsets,
+                            ..
+                        } = ws;
+                        let codec = cpr.expect("compressed mode needs a codec");
+                        let vals = decompress_auto_in(
+                            comm,
+                            codec.codec.as_ref(),
+                            codec.dk,
+                            &held[0],
+                            scratch,
+                        );
+                        if me == self.root {
+                            // The root never lost precision.
+                            out.copy_from_slice(&data[offsets[me]..offsets[me] + counts[me]]);
+                        } else {
+                            assert_eq!(vals.len(), counts[me], "C-Scatter segment length mismatch");
+                            out.copy_from_slice(vals);
+                        }
+                    } else {
+                        out.copy_from_slice(&ws.stage[..ws.counts[me]]);
+                    }
+                    self.phase = ScPhase::Done;
+                }
+                ScPhase::Done => return Poll::Ready,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binomial-tree gather.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+enum GaPhase {
+    Init,
+    Loop,
+    RecvWait,
+    SendWait,
+    Final,
+    DoneRoot,
+    DoneLeaf,
+}
+
+/// Resumable binomial-tree gather of the balanced partition
+/// (`compressed = true` relays framed compress-once segments).
+#[derive(Debug)]
+pub(crate) struct Gather {
+    compressed: bool,
+    root: usize,
+    total_len: usize,
+    phase: GaPhase,
+    mask: usize,
+    wire: Wire,
+}
+
+impl Gather {
+    pub(crate) fn new(compressed: bool, root: usize, total_len: usize) -> Self {
+        Gather {
+            compressed,
+            root,
+            total_len,
+            phase: GaPhase::Init,
+            mask: 1,
+            wire: Wire::default(),
+        }
+    }
+
+    /// True when this rank holds the gathered buffer (root only).
+    pub(crate) fn is_root(&self) -> bool {
+        matches!(self.phase, GaPhase::DoneRoot)
+    }
+
+    fn tag(&self) -> Tag {
+        if self.compressed {
+            tags::GATHER + 0xC00
+        } else {
+            tags::GATHER
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn step<C: Comm>(
+        &mut self,
+        comm: &mut C,
+        cpr: Option<&CprCodec>,
+        mine: &[f32],
+        out: &mut [f32],
+        ws: &mut CollWorkspace,
+        block: bool,
+    ) -> Poll {
+        let n = comm.size();
+        let me = comm.rank();
+        let relative = (me + n - self.root) % n;
+        loop {
+            match self.phase {
+                GaPhase::Init => {
+                    assert!(self.root < n, "root {} out of range", self.root);
+                    ws.set_partition(self.total_len, n);
+                    assert_eq!(
+                        mine.len(),
+                        ws.counts[me],
+                        "my chunk disagrees with partition"
+                    );
+                    if self.compressed {
+                        let CollWorkspace {
+                            pool,
+                            blob_list: held,
+                            ..
+                        } = ws;
+                        let codec = cpr.expect("compressed mode needs a codec");
+                        held.clear();
+                        held.push(compress_in(
+                            comm,
+                            codec.codec.as_ref(),
+                            codec.ck,
+                            mine,
+                            true,
+                            pool,
+                        ));
+                    } else {
+                        let held = &mut ws.stage;
+                        held.clear();
+                        held.extend_from_slice(mine);
+                    }
+                    self.mask = 1;
+                    self.phase = GaPhase::Loop;
+                }
+                GaPhase::Loop => {
+                    if self.mask >= n {
+                        self.phase = GaPhase::Final;
+                        continue;
+                    }
+                    if relative & self.mask != 0 {
+                        let parent = (relative - self.mask + self.root) % n;
+                        let payload = if self.compressed {
+                            let CollWorkspace {
+                                pool,
+                                blob_list: held,
+                                ..
+                            } = ws;
+                            crate::wire::frame_blobs_pooled(pool, held)
+                        } else {
+                            values_payload(&mut ws.pool, &ws.stage)
+                        };
+                        self.wire.sreq = Some(comm.isend(parent, self.tag(), payload));
+                        self.phase = GaPhase::SendWait;
+                        continue;
+                    }
+                    let child_rel = relative + self.mask;
+                    if child_rel < n {
+                        self.wire.rreq = Some(comm.irecv((child_rel + self.root) % n, self.tag()));
+                        self.phase = GaPhase::RecvWait;
+                        continue;
+                    }
+                    self.mask <<= 1;
+                }
+                GaPhase::RecvWait => {
+                    let Some(got) = self.wire.recv(comm, block, Category::Others) else {
+                        return Poll::Pending;
+                    };
+                    let child_rel = relative + self.mask;
+                    let child_span = self.mask.min(n - child_rel);
+                    if self.compressed {
+                        let blobs =
+                            crate::wire::unframe_blobs(&got).expect("well-formed gather container");
+                        ws.blob_list.extend(blobs);
+                    } else {
+                        let expect: usize = (child_rel..child_rel + child_span)
+                            .map(|i| ws.counts[(self.root + i) % n])
+                            .sum();
+                        assert_eq!(got.len(), expect * 4, "gather subtree block size mismatch");
+                        let held = &mut ws.stage;
+                        let at = held.len();
+                        held.resize(at + expect, 0.0);
+                        crate::wire::decode_values_into(&got, &mut held[at..]);
+                    }
+                    self.mask <<= 1;
+                    self.phase = GaPhase::Loop;
+                }
+                GaPhase::SendWait => {
+                    if !self.wire.send_done(comm, block, Category::Wait) {
+                        return Poll::Pending;
+                    }
+                    self.phase = GaPhase::DoneLeaf;
+                }
+                GaPhase::Final => {
+                    assert_eq!(
+                        out.len(),
+                        self.total_len,
+                        "root output must hold all chunks"
+                    );
+                    if self.compressed {
+                        let CollWorkspace {
+                            scratch,
+                            blob_list: held,
+                            counts,
+                            offsets,
+                            ..
+                        } = ws;
+                        let codec = cpr.expect("compressed mode needs a codec");
+                        for (i, blob) in held.iter().enumerate() {
+                            let a = (self.root + i) % n;
+                            let vals: &[f32] = if a == me {
+                                mine // the root's own chunk stays lossless
+                            } else {
+                                decompress_auto_in(
+                                    comm,
+                                    codec.codec.as_ref(),
+                                    codec.dk,
+                                    blob,
+                                    scratch,
+                                )
+                            };
+                            assert_eq!(vals.len(), counts[a], "C-Gather segment length mismatch");
+                            out[offsets[a]..offsets[a] + counts[a]].copy_from_slice(vals);
+                        }
+                    } else {
+                        let CollWorkspace {
+                            stage: held,
+                            counts,
+                            offsets,
+                            ..
+                        } = ws;
+                        let mut at = 0;
+                        for i in 0..n {
+                            let a = (self.root + i) % n;
+                            out[offsets[a]..offsets[a] + counts[a]]
+                                .copy_from_slice(&held[at..at + counts[a]]);
+                            at += counts[a];
+                        }
+                    }
+                    self.phase = GaPhase::DoneRoot;
+                }
+                GaPhase::DoneRoot | GaPhase::DoneLeaf => return Poll::Ready,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pairwise all-to-all.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+enum A2aPhase {
+    Init,
+    SizeExchange,
+    OwnCopy,
+    Round,
+    RecvWait,
+    SendWait,
+    Done,
+}
+
+/// Resumable pairwise all-to-all (`compressed = true` compresses every
+/// outgoing block once up front and runs the size-aware schedule).
+#[derive(Debug)]
+pub(crate) struct Alltoall {
+    compressed: bool,
+    phase: A2aPhase,
+    i: usize,
+    sizes: SizeRing,
+    wire: Wire,
+    got: Option<Bytes>,
+}
+
+impl Alltoall {
+    pub(crate) fn new(compressed: bool) -> Self {
+        Alltoall {
+            compressed,
+            phase: A2aPhase::Init,
+            i: 1,
+            sizes: SizeRing::default(),
+            wire: Wire::default(),
+            got: None,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn step<C: Comm>(
+        &mut self,
+        comm: &mut C,
+        cpr: Option<&CprCodec>,
+        send: &[f32],
+        out: &mut [f32],
+        ws: &mut CollWorkspace,
+        block: bool,
+    ) -> Poll {
+        let n = comm.size();
+        let me = comm.rank();
+        let block_len = send.len() / n;
+        loop {
+            match self.phase {
+                A2aPhase::Init => {
+                    assert_eq!(out.len(), send.len(), "output buffer size mismatch");
+                    self.i = 1;
+                    if self.compressed {
+                        let CollWorkspace {
+                            pool,
+                            blob_list: blobs,
+                            sizes,
+                            ..
+                        } = ws;
+                        let codec = cpr.expect("compressed mode needs a codec");
+                        blobs.clear();
+                        for to in 0..n {
+                            blobs.push(if to == me {
+                                Bytes::new()
+                            } else {
+                                compress_in(
+                                    comm,
+                                    codec.codec.as_ref(),
+                                    codec.ck,
+                                    &send[to * block_len..(to + 1) * block_len],
+                                    true,
+                                    pool,
+                                )
+                            });
+                        }
+                        let total: usize = blobs.iter().map(|b| b.len()).sum();
+                        sizes.clear();
+                        sizes.resize(n, 0);
+                        sizes[me] = total as u32;
+                        self.phase = if n > 1 {
+                            A2aPhase::SizeExchange
+                        } else {
+                            A2aPhase::OwnCopy
+                        };
+                    } else {
+                        self.phase = A2aPhase::OwnCopy;
+                    }
+                }
+                // 4-byte compressed-size synchronization ring, as in the
+                // compress-once allgather.
+                A2aPhase::SizeExchange => {
+                    match self.sizes.step(comm, &mut ws.pool, &mut ws.sizes, block) {
+                        Poll::Pending => return Poll::Pending,
+                        Poll::Ready => self.phase = A2aPhase::OwnCopy,
+                    }
+                }
+                A2aPhase::OwnCopy => {
+                    memcpy_in(
+                        comm,
+                        &mut out[me * block_len..(me + 1) * block_len],
+                        &send[me * block_len..(me + 1) * block_len],
+                    );
+                    self.phase = A2aPhase::Round;
+                }
+                A2aPhase::Round => {
+                    if self.i == n || n == 1 {
+                        self.phase = A2aPhase::Done;
+                        continue;
+                    }
+                    let to = (me + self.i) % n;
+                    let from = (me + n - self.i) % n;
+                    if self.compressed {
+                        let tag = tags::ALLTOALL + 0xC00 + self.i as Tag;
+                        let payload = ws.blob_list[to].clone();
+                        self.wire.rreq = Some(comm.irecv(from, tag));
+                        self.wire.sreq = Some(comm.isend(to, tag, payload));
+                    } else {
+                        let tag = tags::ALLTOALL + self.i as Tag;
+                        let payload = values_payload(
+                            &mut ws.pool,
+                            &send[to * block_len..(to + 1) * block_len],
+                        );
+                        self.wire.rreq = Some(comm.irecv(from, tag));
+                        self.wire.sreq = Some(comm.isend(to, tag, payload));
+                    }
+                    self.phase = A2aPhase::RecvWait;
+                }
+                A2aPhase::RecvWait => {
+                    let cat = if self.compressed {
+                        Category::Allgather
+                    } else {
+                        Category::Wait
+                    };
+                    let Some(got) = self.wire.recv(comm, block, cat) else {
+                        return Poll::Pending;
+                    };
+                    self.got = Some(got);
+                    self.phase = A2aPhase::SendWait;
+                }
+                A2aPhase::SendWait => {
+                    let cat = if self.compressed {
+                        Category::Allgather
+                    } else {
+                        Category::Wait
+                    };
+                    if !self.wire.send_done(comm, block, cat) {
+                        return Poll::Pending;
+                    }
+                    let got = self.got.take().expect("round received a payload");
+                    let from = (me + n - self.i) % n;
+                    if self.compressed {
+                        let codec = cpr.expect("compressed mode needs a codec");
+                        let CollWorkspace { scratch, .. } = ws;
+                        let vals =
+                            decompress_auto_in(comm, codec.codec.as_ref(), codec.dk, &got, scratch);
+                        assert_eq!(vals.len(), block_len, "C-Alltoall block length mismatch");
+                        memcpy_in(
+                            comm,
+                            &mut out[from * block_len..(from + 1) * block_len],
+                            vals,
+                        );
+                    } else {
+                        decode_values_in(
+                            comm,
+                            &mut out[from * block_len..(from + 1) * block_len],
+                            &got,
+                        );
+                    }
+                    self.i += 1;
+                    self.phase = A2aPhase::Round;
+                }
+                A2aPhase::Done => return Poll::Ready,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bruck allgather.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+enum BkPhase {
+    Init,
+    Round,
+    RecvWait,
+    SendWait,
+    Tail,
+    Done,
+}
+
+/// Resumable Bruck allgather (`compressed = true` relays framed
+/// compress-once block sets with the PR-4 decode-while-in-flight
+/// overlap).
+#[derive(Debug)]
+pub(crate) struct BruckAg {
+    compressed: bool,
+    phase: BkPhase,
+    /// Blocks held so far, in relative order (raw mode tracks the count
+    /// here; compressed mode reads `ws.blob_list.len()`).
+    held: usize,
+    /// Decode cursor (compressed overlap).
+    decoded: usize,
+    step_no: Tag,
+    wire: Wire,
+    got: Option<Bytes>,
+}
+
+impl BruckAg {
+    pub(crate) fn new(compressed: bool) -> Self {
+        BruckAg {
+            compressed,
+            phase: BkPhase::Init,
+            held: 1,
+            decoded: 1,
+            step_no: 0,
+            wire: Wire::default(),
+            got: None,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn step<C: Comm>(
+        &mut self,
+        comm: &mut C,
+        cpr: Option<&CprCodec>,
+        mine: &[f32],
+        counts_in: &[usize],
+        out: &mut [f32],
+        ws: &mut CollWorkspace,
+        block: bool,
+    ) -> Poll {
+        let n = comm.size();
+        let me = comm.rank();
+        loop {
+            match self.phase {
+                BkPhase::Init => {
+                    ws.set_partition_from_counts(counts_in);
+                    self.held = 1;
+                    self.decoded = 1;
+                    self.step_no = 0;
+                    if self.compressed {
+                        let CollWorkspace {
+                            pool,
+                            blob_list: held,
+                            counts,
+                            offsets,
+                            ..
+                        } = ws;
+                        let codec = cpr.expect("compressed mode needs a codec");
+                        held.clear();
+                        held.push(compress_in(
+                            comm,
+                            codec.codec.as_ref(),
+                            codec.ck,
+                            mine,
+                            true,
+                            pool,
+                        ));
+                        memcpy_in(comm, &mut out[offsets[me]..offsets[me] + counts[me]], mine);
+                    } else {
+                        let hold = &mut ws.acc;
+                        hold.clear();
+                        hold.extend_from_slice(mine);
+                    }
+                    self.phase = BkPhase::Round;
+                }
+                BkPhase::Round => {
+                    let held_now = if self.compressed {
+                        ws.blob_list.len()
+                    } else {
+                        self.held
+                    };
+                    if held_now >= n {
+                        self.phase = BkPhase::Tail;
+                        continue;
+                    }
+                    let dist = held_now; // always a power of two
+                    let send_cnt = dist.min(n - held_now);
+                    let to = (me + n - dist) % n;
+                    let from = (me + dist) % n;
+                    if self.compressed {
+                        let tag = tags::BRUCK + 0xC00 + self.step_no;
+                        let CollWorkspace {
+                            pool,
+                            scratch,
+                            blob_list: held,
+                            counts,
+                            offsets,
+                            ..
+                        } = ws;
+                        let container = crate::wire::frame_blobs_pooled(pool, &held[..send_cnt]);
+                        self.wire.rreq = Some(comm.irecv(from, tag));
+                        self.wire.sreq = Some(comm.isend(to, tag, container));
+                        // Decompress blocks gathered in earlier steps
+                        // while this step's containers are in flight.
+                        let codec = cpr.expect("compressed mode needs a codec");
+                        while self.decoded < held.len() {
+                            let a = (me + self.decoded) % n;
+                            let vals = decompress_auto_in(
+                                comm,
+                                codec.codec.as_ref(),
+                                codec.dk,
+                                &held[self.decoded],
+                                scratch,
+                            );
+                            assert_eq!(vals.len(), counts[a], "C-Bruck block length mismatch");
+                            memcpy_in(comm, &mut out[offsets[a]..offsets[a] + counts[a]], vals);
+                            self.decoded += 1;
+                        }
+                    } else {
+                        let tag = tags::BRUCK + self.step_no;
+                        let send_vals: usize = (0..send_cnt).map(|i| ws.counts[(me + i) % n]).sum();
+                        let CollWorkspace {
+                            pool, acc: hold, ..
+                        } = ws;
+                        let payload = values_payload(pool, &hold[..send_vals]);
+                        self.wire.rreq = Some(comm.irecv(from, tag));
+                        self.wire.sreq = Some(comm.isend(to, tag, payload));
+                    }
+                    self.phase = BkPhase::RecvWait;
+                }
+                BkPhase::RecvWait => {
+                    let Some(got) = self.wire.recv(comm, block, Category::Allgather) else {
+                        return Poll::Pending;
+                    };
+                    self.got = Some(got);
+                    self.phase = BkPhase::SendWait;
+                }
+                BkPhase::SendWait => {
+                    if !self.wire.send_done(comm, block, Category::Allgather) {
+                        return Poll::Pending;
+                    }
+                    let got = self.got.take().expect("Bruck step received a payload");
+                    let held_now = if self.compressed {
+                        ws.blob_list.len()
+                    } else {
+                        self.held
+                    };
+                    let dist = held_now;
+                    let send_cnt = dist.min(n - held_now);
+                    if self.compressed {
+                        let held = &mut ws.blob_list;
+                        crate::wire::unframe_blobs_append(&got, held)
+                            .expect("well-formed Bruck container");
+                        assert_eq!(
+                            held.len(),
+                            dist + send_cnt,
+                            "Bruck step block count mismatch"
+                        );
+                    } else {
+                        let src = (me + dist) % n;
+                        let recv_vals: usize =
+                            (0..send_cnt).map(|i| ws.counts[(src + i) % n]).sum();
+                        assert_eq!(got.len(), recv_vals * 4, "Bruck step block size mismatch");
+                        let hold = &mut ws.acc;
+                        let at = hold.len();
+                        hold.resize(at + recv_vals, 0.0);
+                        decode_values_in(comm, &mut hold[at..], &got);
+                        self.held += send_cnt;
+                    }
+                    self.step_no += 1;
+                    self.phase = BkPhase::Round;
+                }
+                BkPhase::Tail => {
+                    if self.compressed {
+                        let CollWorkspace {
+                            scratch,
+                            blob_list: held,
+                            counts,
+                            offsets,
+                            ..
+                        } = ws;
+                        let codec = cpr.expect("compressed mode needs a codec");
+                        while self.decoded < held.len() {
+                            let a = (me + self.decoded) % n;
+                            let vals = decompress_auto_in(
+                                comm,
+                                codec.codec.as_ref(),
+                                codec.dk,
+                                &held[self.decoded],
+                                scratch,
+                            );
+                            assert_eq!(vals.len(), counts[a], "C-Bruck block length mismatch");
+                            memcpy_in(comm, &mut out[offsets[a]..offsets[a] + counts[a]], vals);
+                            self.decoded += 1;
+                        }
+                        // Release the containers before the next call
+                        // reuses the pool.
+                        held.clear();
+                    } else {
+                        let CollWorkspace {
+                            acc: hold,
+                            counts,
+                            offsets,
+                            ..
+                        } = ws;
+                        let mut at = 0;
+                        for i in 0..n {
+                            let a = (me + i) % n;
+                            memcpy_in(
+                                comm,
+                                &mut out[offsets[a]..offsets[a] + counts[a]],
+                                &hold[at..at + counts[a]],
+                            );
+                            at += counts[a];
+                        }
+                    }
+                    self.phase = BkPhase::Done;
+                }
+                BkPhase::Done => return Poll::Ready,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan-level compositions.
+// ---------------------------------------------------------------------------
+
+/// The state machine behind a nonblocking allreduce: either the ring
+/// composition (reduce-scatter stage, then allgather stage over the same
+/// partition) or one of the butterfly schedules.
+#[derive(Debug)]
+pub(crate) enum ArMachine {
+    /// Ring reduce-scatter followed by ring allgather (all four Table-V
+    /// variants: the stages' modes carry the compression placement).
+    Ring { rs: RingRs, ag: RingAg, in_ag: bool },
+    /// Recursive doubling or Rabenseifner.
+    Butterfly(Butterfly),
+}
+
+impl ArMachine {
+    pub(crate) fn ring(rs: RsMode, ag: AgMode) -> Self {
+        ArMachine::Ring {
+            rs: RingRs::new(rs),
+            ag: RingAg::new(ag),
+            in_ag: false,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn step<C: Comm>(
+        &mut self,
+        comm: &mut C,
+        cpr: Option<&CprCodec>,
+        op: ReduceOp,
+        input: &[f32],
+        out: &mut [f32],
+        ws: &mut CollWorkspace,
+        block: bool,
+    ) -> Poll {
+        match self {
+            ArMachine::Butterfly(b) => b.step(comm, cpr, op, input, out, ws, block),
+            ArMachine::Ring { rs, ag, in_ag } => {
+                let n = comm.size();
+                let me = comm.rank();
+                if !*in_ag {
+                    assert_eq!(out.len(), input.len(), "output buffer size mismatch");
+                    // The reduce-scatter stage caches the same partition
+                    // the allgather stage reads back out of the
+                    // workspace.
+                    ws.set_partition(input.len(), n);
+                    let (at, len) = (ws.offsets[me], ws.counts[me]);
+                    match rs.step(comm, cpr, op, input, &mut out[at..at + len], ws, block) {
+                        Poll::Pending => return Poll::Pending,
+                        Poll::Ready => *in_ag = true,
+                    }
+                }
+                // Own block already in place: the allgather stage pays
+                // the parity memcpy charge itself (`mine = None`).
+                ag.step(comm, cpr, None, out, ws, block)
+            }
+        }
+    }
+}
+
+/// The state machine behind a nonblocking allgather plan.
+#[derive(Debug)]
+pub(crate) enum AgPlanMachine {
+    Ring(RingAg),
+    Bruck(BruckAg),
+}
+
+/// The state machine behind a nonblocking rooted-reduce plan. The
+/// reduce-scatter + gather composition is driven from the plan handle
+/// (it spans two sub-plans' workspaces).
+#[derive(Debug)]
+pub(crate) enum ReduceMachine {
+    Tree(TreeReduce),
+    RsGather {
+        rs: RingRs,
+        gather: Gather,
+        in_gather: bool,
+    },
+}

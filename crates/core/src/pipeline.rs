@@ -1,5 +1,5 @@
 //! The reusable pipelined-hop engine (paper §III-A2/§III-E2, made
-//! schedule-agnostic).
+//! schedule-agnostic and — since PR 5 — resumable).
 //!
 //! PR 0–3 confined sub-chunk pipelining to one function: the ring
 //! reduce-scatter round in `frameworks::computation`. This module
@@ -20,6 +20,15 @@
 //! * only the residual tail that could not be overlapped shows up as
 //!   `Wait` time — the quantity Fig. 9 shows shrinking by 73–80 %.
 //!
+//! Since PR 5 the hop is an explicit cursor ([`HopCursor`]): every
+//! posted-receive boundary is a suspension point, so the nonblocking
+//! plan handles (`start`/`progress`/`complete`, see
+//! [`crate::nonblocking`]) can hand control back to application compute
+//! mid-hop and resume exactly where they left off. The blocking entry
+//! points below are one-shot drives of the same cursor
+//! (`step(.., block = true)` never suspends), so their behavior — and
+//! the wire traffic they generate — is unchanged.
+//!
 //! Drivers: the ring reduce-scatter round, the Rabenseifner
 //! recursive-halving phase (plus its non-power-of-two fold), and the
 //! binomial-tree rooted reduce — see `frameworks::computation`. All
@@ -39,6 +48,7 @@ use ccoll_comm::{Category, Comm, Kernel, PayloadPool, RecvReq, SendReq, Tag};
 use ccoll_compress::{CodecScratch, SzxCodec};
 
 use crate::collectives::{compress_in, decompress_reduce_in};
+use crate::nonblocking::Poll;
 use crate::reduce::ReduceOp;
 
 /// The workspace buffers a pipelined hop borrows: payload pool, codec
@@ -50,8 +60,8 @@ pub(crate) struct PipeBufs<'a> {
     pub pool: &'a mut PayloadPool,
     /// Codec scratch (only touched by non-native fused fallbacks).
     pub scratch: &'a mut CodecScratch,
-    /// Outstanding sub-chunk sends.
-    pub sreqs: &'a mut Vec<SendReq>,
+    /// Outstanding sub-chunk sends, retired FIFO.
+    pub sreqs: &'a mut VecDeque<SendReq>,
     /// Outstanding sub-chunk receives, drained FIFO.
     pub rreqs: &'a mut VecDeque<RecvReq>,
 }
@@ -82,60 +92,181 @@ pub(crate) fn split_src_dst(
     }
 }
 
-/// FIFO drain of arrived sub-chunks: each one is decompressed and
-/// reduced into its slice of `recv_dst` through the fused kernel. With
-/// `blocking = false` the drain stops at the first not-yet-arrived
-/// sub-chunk (the opportunistic poll between compressions); with
-/// `blocking = true` it waits out the tail.
-struct Drain {
+/// Resumable state of one pipelined hop: how many sub-chunks have been
+/// compressed-and-sent, how many arrived sub-chunks have been
+/// fuse-reduced, and whether the receives are posted. The request
+/// handles themselves live in the lent [`PipeBufs`] queues, so the
+/// cursor is plain-old-data and a suspended hop costs nothing to hold.
+///
+/// [`HopCursor::step`] drives the hop: with `block = true` it runs to
+/// completion in one call (the classic blocking hop, bit-for-bit the
+/// PR-4 behavior); with `block = false` it performs a bounded amount of
+/// work — at most one sub-chunk compression plus whatever arrived input
+/// can be drained without waiting — and returns [`Poll::Pending`] at the
+/// first not-yet-ready receive or send. Resuming later continues the
+/// identical sub-chunk sequence, so the results are bitwise independent
+/// of where the hop suspended.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct HopCursor {
+    /// Receives posted / counters reset for this hop.
+    posted: bool,
+    /// Next outgoing sub-chunk to compress-and-send.
+    j: usize,
+    /// Next incoming sub-chunk to fuse-reduce.
     next_in: usize,
-    n_in: usize,
-    pipe: usize,
-    op: ReduceOp,
 }
 
-impl Drain {
-    fn step<C: Comm>(
+impl HopCursor {
+    /// A cursor at the start of a hop.
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// FIFO drain of arrived sub-chunks: each one is decompressed and
+    /// reduced into its slice of `recv_dst` through the fused kernel.
+    /// With `block = false` the drain stops at the first not-yet-arrived
+    /// sub-chunk (the opportunistic poll between compressions); with
+    /// `block = true` it waits out the tail. Returns whether every
+    /// incoming sub-chunk has been consumed.
+    #[allow(clippy::too_many_arguments)]
+    fn drain<C: Comm>(
         &mut self,
         comm: &mut C,
         codec: &SzxCodec,
-        rreqs: &mut VecDeque<RecvReq>,
+        pipe: usize,
+        op: ReduceOp,
         recv_dst: &mut [f32],
+        rreqs: &mut VecDeque<RecvReq>,
         scratch: &mut CodecScratch,
-        blocking: bool,
-    ) {
-        while self.next_in < self.n_in {
+        block: bool,
+    ) -> bool {
+        let n_in = recv_dst.len().div_ceil(pipe);
+        while self.next_in < n_in {
             let front_ready = rreqs.front().map(|r| comm.test_recv(r)).unwrap_or(false);
-            if !front_ready && !blocking {
-                break;
+            if !front_ready && !block {
+                return false;
             }
             let req = rreqs.pop_front().expect("outstanding receive");
             let blob = comm.wait_recv_in(req, Category::Wait);
-            let lo = self.next_in * self.pipe;
-            let hi = (lo + self.pipe).min(recv_dst.len());
+            let lo = self.next_in * pipe;
+            let hi = (lo + pipe).min(recv_dst.len());
             decompress_reduce_in(
                 comm,
                 codec,
                 Kernel::SzxDecompress,
                 &blob,
-                self.op,
+                op,
                 &mut recv_dst[lo..hi],
                 true,
                 scratch,
             );
             self.next_in += 1;
         }
+        true
+    }
+
+    /// Drive the hop. See the type docs for the `block` contract.
+    ///
+    /// `send_buf` may be empty (receive-only hop: the binomial-tree
+    /// parent leg) and `recv_dst` may be empty (send-only hop: the child
+    /// leg); both sides of a full-duplex exchange must agree on the
+    /// sub-chunk size and the buffer lengths, as ring rounds and
+    /// butterfly halving rounds guarantee through their shared
+    /// partitions. All sub-chunks travel on `tag`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn step<C: Comm>(
+        &mut self,
+        comm: &mut C,
+        codec: &SzxCodec,
+        pipe: usize,
+        op: ReduceOp,
+        send_buf: &[f32],
+        to: usize,
+        recv_dst: &mut [f32],
+        from: usize,
+        tag: Tag,
+        bufs: &mut PipeBufs<'_>,
+        block: bool,
+    ) -> Poll {
+        let n_out = send_buf.len().div_ceil(pipe);
+
+        // Post all incoming sub-chunk receives up front (the paper's
+        // early Irecv), matched FIFO on one tag. The request queues live
+        // in the workspace and keep their capacity across rounds and
+        // calls.
+        if !self.posted {
+            let n_in = recv_dst.len().div_ceil(pipe);
+            bufs.rreqs.clear();
+            bufs.rreqs.extend((0..n_in).map(|_| comm.irecv(from, tag)));
+            bufs.sreqs.clear();
+            self.posted = true;
+        }
+
+        // Compress-and-send loop with opportunistic draining between
+        // sub-chunks (the PIPE-SZx progress poll). A nonblocking step
+        // retires one sub-chunk per call so application compute between
+        // `progress` calls stays interleaved at sub-chunk granularity.
+        while self.j < n_out {
+            let lo = self.j * pipe;
+            let hi = (lo + pipe).min(send_buf.len());
+            let blob = compress_in(
+                comm,
+                codec,
+                Kernel::SzxCompress,
+                &send_buf[lo..hi],
+                true,
+                bufs.pool,
+            );
+            bufs.sreqs.push_back(comm.isend(to, tag, blob));
+            self.j += 1;
+            comm.poll();
+            self.drain(
+                comm,
+                codec,
+                pipe,
+                op,
+                recv_dst,
+                bufs.rreqs,
+                bufs.scratch,
+                false,
+            );
+            if !block && self.j < n_out {
+                return Poll::Pending;
+            }
+        }
+
+        // Drain of whatever could not be overlapped (blocking only when
+        // driven to completion).
+        if !self.drain(
+            comm,
+            codec,
+            pipe,
+            op,
+            recv_dst,
+            bufs.rreqs,
+            bufs.scratch,
+            block,
+        ) {
+            return Poll::Pending;
+        }
+
+        // Retire the outstanding sends, FIFO.
+        while let Some(req) = bufs.sreqs.pop_front() {
+            if block {
+                comm.wait_send_in(req, Category::Wait);
+            } else if let Err(req) = comm.try_send(req, Category::Wait) {
+                bufs.sreqs.push_front(req);
+                return Poll::Pending;
+            }
+        }
+        Poll::Ready
     }
 }
 
 /// Full-duplex pipelined hop: compress-and-send sub-chunks of `send_buf`
 /// to `to` while draining, decompressing and reducing arriving
-/// sub-chunks from `from` into `recv_dst`.
-///
-/// Both sides must agree on the sub-chunk size and on the buffer
-/// lengths: `recv_dst.len()` here must equal `send_buf.len()` on the
-/// peer (ring rounds and butterfly halving rounds guarantee this through
-/// their shared partitions). All sub-chunks travel on `tag`.
+/// sub-chunks from `from` into `recv_dst`. A one-shot blocking drive of
+/// [`HopCursor`].
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn hop_exchange<C: Comm>(
     comm: &mut C,
@@ -149,50 +280,16 @@ pub(crate) fn hop_exchange<C: Comm>(
     tag: Tag,
     bufs: &mut PipeBufs<'_>,
 ) {
-    let n_out = send_buf.len().div_ceil(pipe);
-    let n_in = recv_dst.len().div_ceil(pipe);
-
-    // Post all incoming sub-chunk receives up front (the paper's early
-    // Irecv), matched FIFO on one tag. The request queues live in the
-    // workspace and keep their capacity across rounds and calls.
-    bufs.rreqs.clear();
-    bufs.rreqs.extend((0..n_in).map(|_| comm.irecv(from, tag)));
-    bufs.sreqs.clear();
-    let mut drain = Drain {
-        next_in: 0,
-        n_in,
-        pipe,
-        op,
-    };
-
-    // Compress-and-send loop with opportunistic draining between
-    // sub-chunks (the PIPE-SZx progress poll).
-    for j in 0..n_out {
-        let lo = j * pipe;
-        let hi = (lo + pipe).min(send_buf.len());
-        let blob = compress_in(
-            comm,
-            codec,
-            Kernel::SzxCompress,
-            &send_buf[lo..hi],
-            true,
-            bufs.pool,
-        );
-        bufs.sreqs.push(comm.isend(to, tag, blob));
-        comm.poll();
-        drain.step(comm, codec, bufs.rreqs, recv_dst, bufs.scratch, false);
-    }
-    // Blocking drain of whatever could not be overlapped.
-    drain.step(comm, codec, bufs.rreqs, recv_dst, bufs.scratch, true);
-    for req in bufs.sreqs.drain(..) {
-        comm.wait_send_in(req, Category::Wait);
-    }
+    let mut cur = HopCursor::new();
+    let done = cur.step(
+        comm, codec, pipe, op, send_buf, to, recv_dst, from, tag, bufs, true,
+    );
+    debug_assert!(matches!(done, Poll::Ready));
 }
 
 /// Send half of a pipelined hop: compress sub-chunks of `send_buf` and
 /// hand each to the network the moment it is encoded (the binomial-tree
 /// child leg, the butterfly fold's contributing rank).
-#[allow(clippy::too_many_arguments)]
 pub(crate) fn hop_send<C: Comm>(
     comm: &mut C,
     codec: &SzxCodec,
@@ -200,28 +297,23 @@ pub(crate) fn hop_send<C: Comm>(
     send_buf: &[f32],
     to: usize,
     tag: Tag,
-    pool: &mut PayloadPool,
-    sreqs: &mut Vec<SendReq>,
+    bufs: &mut PipeBufs<'_>,
 ) {
-    let n_out = send_buf.len().div_ceil(pipe);
-    sreqs.clear();
-    for j in 0..n_out {
-        let lo = j * pipe;
-        let hi = (lo + pipe).min(send_buf.len());
-        let blob = compress_in(
-            comm,
-            codec,
-            Kernel::SzxCompress,
-            &send_buf[lo..hi],
-            true,
-            pool,
-        );
-        sreqs.push(comm.isend(to, tag, blob));
-        comm.poll();
-    }
-    for req in sreqs.drain(..) {
-        comm.wait_send_in(req, Category::Wait);
-    }
+    let mut cur = HopCursor::new();
+    let done = cur.step(
+        comm,
+        codec,
+        pipe,
+        ReduceOp::Sum,
+        send_buf,
+        to,
+        &mut [],
+        to,
+        tag,
+        bufs,
+        true,
+    );
+    debug_assert!(matches!(done, Poll::Ready));
 }
 
 /// Receive half of a pipelined hop: drain sub-chunks from `from` and
@@ -237,19 +329,23 @@ pub(crate) fn hop_recv_reduce<C: Comm>(
     recv_dst: &mut [f32],
     from: usize,
     tag: Tag,
-    scratch: &mut CodecScratch,
-    rreqs: &mut VecDeque<RecvReq>,
+    bufs: &mut PipeBufs<'_>,
 ) {
-    let n_in = recv_dst.len().div_ceil(pipe);
-    rreqs.clear();
-    rreqs.extend((0..n_in).map(|_| comm.irecv(from, tag)));
-    let mut drain = Drain {
-        next_in: 0,
-        n_in,
+    let mut cur = HopCursor::new();
+    let done = cur.step(
+        comm,
+        codec,
         pipe,
         op,
-    };
-    drain.step(comm, codec, rreqs, recv_dst, scratch, true);
+        &[],
+        from,
+        recv_dst,
+        from,
+        tag,
+        bufs,
+        true,
+    );
+    debug_assert!(matches!(done, Poll::Ready));
 }
 
 #[cfg(test)]
@@ -274,5 +370,11 @@ mod tests {
     fn split_src_dst_rejects_overlap() {
         let mut buf = vec![0.0f32; 10];
         let _ = split_src_dst(&mut buf, 2..6, 4..8);
+    }
+
+    #[test]
+    fn cursor_is_pod() {
+        // A suspended hop must cost nothing to hold in a plan handle.
+        assert!(std::mem::size_of::<HopCursor>() <= 24);
     }
 }

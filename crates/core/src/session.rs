@@ -50,13 +50,16 @@ use ccoll_comm::{Comm, CostModel, NetModel, PayloadPool};
 use crate::algorithm::{reject_unsupported, Algorithm, PlanOptions, SelectCtx};
 use crate::api::AllreduceVariant;
 use crate::codec::CodecSpec;
-use crate::collectives::baseline;
-use crate::collectives::cpr_p2p::{self, CprCodec};
+use crate::collectives::cpr_p2p::CprCodec;
 use crate::frameworks::computation::{self, PipelineConfig};
-use crate::frameworks::data_movement;
+use crate::nonblocking::{
+    AgMode, AgPlanMachine, Alltoall, ArMachine, Bcast, BflyMode, BruckAg, Butterfly, Gather, Poll,
+    ReduceMachine, RingAg, RingRs, RsMode, Scatter, TreeMode, TreeReduce,
+};
 use crate::partition::chunk_lengths;
 use crate::reduce::ReduceOp;
 use crate::workspace::CollWorkspace;
+use ccoll_comm::SimTime;
 
 /// A per-rank C-Coll handle: codec built exactly once, pipeline
 /// configuration fixed, world size pinned. Create plans from it for
@@ -109,6 +112,11 @@ struct SessionFeedback {
     /// yet". Plain relaxed atomics: ranks own distinct sessions, and a
     /// lost update between clones only delays convergence of the EWMA.
     ratio_bits: AtomicU64,
+    /// Completed plan executions across every plan this session (and its
+    /// clones) created.
+    executions: AtomicU64,
+    /// EWMA of per-execution makespans in nanoseconds (0 = no sample).
+    makespan_ewma_nanos: AtomicU64,
 }
 
 impl SessionFeedback {
@@ -131,22 +139,66 @@ impl SessionFeedback {
             Some(f64::from_bits(bits))
         }
     }
+
+    fn record_execution(&self, makespan: Duration) {
+        self.executions.fetch_add(1, Ordering::Relaxed);
+        let ns = (makespan.as_nanos() as u64).max(1);
+        let prev = self.makespan_ewma_nanos.load(Ordering::Relaxed);
+        let next = if prev == 0 { ns } else { prev / 2 + ns / 2 };
+        self.makespan_ewma_nanos.store(next, Ordering::Relaxed);
+    }
+}
+
+/// Aggregate measured-performance state of one session (see
+/// [`CCollSession::stats`]): every plan the session created feeds its
+/// per-execution sample in here on completion, so this is the
+/// session-wide companion of the per-plan [`PlanStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SessionStats {
+    /// Completed plan executions across all of this session's plans.
+    pub executions: u64,
+    /// Exponentially weighted running average of per-execution makespans
+    /// on the backend clock ([`Duration::ZERO`] until the first sample).
+    pub ewma_makespan: Duration,
+    /// The session's measured compression-ratio EWMA (the same value
+    /// [`CCollSession::measured_ratio`] reports).
+    pub measured_ratio: Option<f64>,
 }
 
 /// Measured per-execution statistics a plan accumulates (see
-/// [`AllreducePlan::stats`]): how often it ran, how long the last
-/// execution took end to end on its backend's clock (virtual time on the
-/// simulator, wall time on threads), and the compression ratio its codec
-/// achieved on the live data.
+/// [`AllreducePlan::stats`] — every plan type exposes the same `stats`
+/// accessor): how often it ran, how long the last execution took end to
+/// end on its backend's clock (virtual time on the simulator, wall time
+/// on threads), a running average of those makespans, and the
+/// compression ratio its codec achieved on the live data. Nonblocking
+/// executions measure `start` → completion, so overlapped caller compute
+/// is included — the number an overlap study wants.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PlanStats {
-    /// Completed `execute_into` calls.
+    /// Completed executions (blocking `execute_into` calls plus
+    /// completed `start`/`progress`/`complete` cycles).
     pub executions: u64,
     /// End-to-end duration of the most recent execution.
     pub last_makespan: Duration,
+    /// Exponentially weighted running average of execution makespans
+    /// ([`Duration::ZERO`] until the first execution).
+    pub ewma_makespan: Duration,
     /// Compression ratio measured during the most recent execution, if
     /// the plan's codec compressed anything.
     pub observed_ratio: Option<f64>,
+}
+
+impl PlanStats {
+    /// Fold one completed execution into the stats.
+    fn record(&mut self, makespan: Duration) {
+        self.executions += 1;
+        self.last_makespan = makespan;
+        self.ewma_makespan = if self.executions == 1 {
+            makespan
+        } else {
+            self.ewma_makespan / 2 + makespan / 2
+        };
+    }
 }
 
 impl CCollSession {
@@ -224,6 +276,20 @@ impl CCollSession {
         self.feedback.ratio()
     }
 
+    /// Aggregate measured statistics across every plan this session (and
+    /// its clones) created: total completed executions, a running
+    /// average of execution makespans and the measured compression
+    /// ratio. The per-plan view lives on each plan's `stats()` accessor;
+    /// the bench runners dump both.
+    pub fn stats(&self) -> SessionStats {
+        let ns = self.feedback.makespan_ewma_nanos.load(Ordering::Relaxed);
+        SessionStats {
+            executions: self.feedback.executions.load(Ordering::Relaxed),
+            ewma_makespan: Duration::from_nanos(ns),
+            measured_ratio: self.feedback.ratio(),
+        }
+    }
+
     /// Drain a workspace's compression-ratio sample into the session
     /// feedback, returning it. Called by every plan after `execute_into`.
     fn note_execution(&self, ws: &mut CollWorkspace) -> Option<f64> {
@@ -258,10 +324,6 @@ impl CCollSession {
             measured_ratio: Some(ratio),
             ..self.select_ctx()
         }
-    }
-
-    pub(crate) fn cpr(&self) -> Option<&CprCodec> {
-        self.cpr.as_ref()
     }
 
     pub(crate) fn pipeline_config(&self) -> Option<PipelineConfig> {
@@ -398,6 +460,7 @@ impl CCollSession {
                 auto: false,
                 reranked: false,
                 stats: PlanStats::default(),
+                in_flight: false,
                 ws: self.allreduce_workspace(len, algorithm),
             }
         };
@@ -435,6 +498,7 @@ impl CCollSession {
             auto: false,
             reranked: false,
             stats: PlanStats::default(),
+            in_flight: false,
             ws: self.warmed_workspace(values, slots),
         }
     }
@@ -489,6 +553,10 @@ impl CCollSession {
             counts: counts.to_vec(),
             total: counts.iter().sum(),
             algorithm,
+            auto: opts.algorithm == Algorithm::Auto,
+            reranked: false,
+            stats: PlanStats::default(),
+            in_flight: false,
             ws: self.warmed_workspace(max_chunk, 4),
         }
     }
@@ -506,6 +574,8 @@ impl CCollSession {
             len,
             op,
             counts: chunk_lengths(len, self.world_size),
+            stats: PlanStats::default(),
+            in_flight: false,
             ws: self.warmed_workspace(values, slots),
         }
     }
@@ -541,6 +611,8 @@ impl CCollSession {
             session: self.clone(),
             root,
             len,
+            stats: PlanStats::default(),
+            in_flight: false,
             ws: self.warmed_workspace(len, 4),
         }
     }
@@ -573,6 +645,8 @@ impl CCollSession {
             root,
             total_len,
             counts: chunk_lengths(total_len, self.world_size),
+            stats: PlanStats::default(),
+            in_flight: false,
             ws: self.warmed_workspace(total_len, 4),
         }
     }
@@ -608,6 +682,8 @@ impl CCollSession {
             root,
             total_len,
             counts: chunk_lengths(total_len, self.world_size),
+            stats: PlanStats::default(),
+            in_flight: false,
             ws: self.warmed_workspace(total_len, 4),
         }
     }
@@ -640,6 +716,8 @@ impl CCollSession {
         AlltoallPlan {
             session: self.clone(),
             len,
+            stats: PlanStats::default(),
+            in_flight: false,
             ws: self.warmed_workspace(len / self.world_size, 4),
         }
     }
@@ -700,11 +778,33 @@ impl CCollSession {
                 &[Algorithm::Rabenseifner, Algorithm::Binomial],
             ),
         };
-        let inner = match algorithm {
+        ReducePlan {
+            session: self.clone(),
+            root,
+            len,
+            op,
+            algorithm,
+            auto: opts.algorithm == Algorithm::Auto,
+            reranked: false,
+            stats: PlanStats::default(),
+            in_flight: false,
+            inner: self.build_reduce_impl(root, len, op, algorithm),
+        }
+    }
+
+    /// The schedule-specific state a reduce plan needs (shared by plan
+    /// construction and the post-warm-up re-rank, which rebuilds it when
+    /// the agreed measured ratio flips the schedule).
+    fn build_reduce_impl(
+        &self,
+        root: usize,
+        len: usize,
+        op: ReduceOp,
+        algorithm: Algorithm,
+    ) -> ReducePlanImpl {
+        match algorithm {
             Algorithm::Binomial => ReducePlanImpl::Binomial {
                 session: self.clone(),
-                root,
-                len,
                 op,
                 // The pipelined tree streams the full buffer per hop in
                 // sub-chunks; warm one pool slot per in-flight payload.
@@ -720,8 +820,7 @@ impl CCollSession {
                 gather: self.plan_gather(root, len),
                 mine: Vec::new(),
             },
-        };
-        ReducePlan { algorithm, inner }
+        }
     }
 }
 
@@ -767,6 +866,38 @@ fn check_world<C: Comm>(comm: &C, world_size: usize) {
     );
 }
 
+/// Enforce the one-outstanding-operation-per-plan rule at runtime for
+/// the case the type system cannot catch: a `CollHandle` that was
+/// dropped without completing leaves receives posted and peers
+/// mid-collective, so the plan (and the communicator's tag space) is no
+/// longer in a defined state.
+fn take_in_flight(in_flight: &mut bool) {
+    assert!(
+        !*in_flight,
+        "a previous nonblocking operation on this plan was dropped without \
+         completing; the plan's collective state is undefined"
+    );
+    *in_flight = true;
+}
+
+/// Fold a completed execution into the plan's and the session's measured
+/// statistics, draining the workspace's compression-ratio sample into
+/// the session feedback.
+fn finish_execution<C: Comm>(
+    comm: &mut C,
+    session: &CCollSession,
+    ws: &mut CollWorkspace,
+    stats: &mut PlanStats,
+    t0: SimTime,
+) {
+    let makespan = comm.now() - t0;
+    stats.record(makespan);
+    if let Some(r) = session.note_execution(ws) {
+        stats.observed_ratio = Some(r);
+    }
+    session.feedback.record_execution(makespan);
+}
+
 // ---------------------------------------------------------------------------
 // Plans.
 // ---------------------------------------------------------------------------
@@ -784,6 +915,9 @@ pub struct AllreducePlan {
     auto: bool,
     reranked: bool,
     stats: PlanStats,
+    /// A nonblocking operation is outstanding (set by `start`, cleared
+    /// when the operation completes). Guards against dropped handles.
+    in_flight: bool,
     ws: CollWorkspace,
 }
 
@@ -875,57 +1009,82 @@ impl AllreducePlan {
     /// Panics if the communicator size or buffer lengths disagree with
     /// the plan.
     pub fn execute_into<C: Comm>(&mut self, comm: &mut C, input: &[f32], out: &mut [f32]) {
+        self.start(comm, input, out).complete(comm);
+    }
+
+    /// The resolved schedule's state machine (ND — CPR-P2P
+    /// reduce-scatter + compress-once allgather — serves as the ring
+    /// fallback for codecs without an error bound, exactly as the
+    /// blocking dispatch always did).
+    fn machine(&self) -> ArMachine {
+        let compressed = self.session.cpr.is_some();
+        let cfg = self.session.pipeline_config();
+        match (self.algorithm, compressed) {
+            (Algorithm::RecursiveDoubling, false) => {
+                ArMachine::Butterfly(Butterfly::recursive_doubling(BflyMode::Raw))
+            }
+            (Algorithm::RecursiveDoubling, true) => {
+                ArMachine::Butterfly(Butterfly::recursive_doubling(BflyMode::Cpr))
+            }
+            (Algorithm::Rabenseifner, false) => {
+                ArMachine::Butterfly(Butterfly::rabenseifner(BflyMode::Raw))
+            }
+            // Error-bounded codecs drive the pipelined halving phase;
+            // others run the monolithic CPR butterfly.
+            (Algorithm::Rabenseifner, true) => match cfg {
+                Some(c) => ArMachine::Butterfly(Butterfly::rabenseifner(BflyMode::Piped(c))),
+                None => ArMachine::Butterfly(Butterfly::rabenseifner(BflyMode::Cpr)),
+            },
+            (_, false) => ArMachine::ring(RsMode::Raw, AgMode::Raw),
+            (_, true) => match self.variant {
+                AllreduceVariant::Original => ArMachine::ring(RsMode::Raw, AgMode::Raw),
+                AllreduceVariant::DirectIntegration => ArMachine::ring(RsMode::Cpr, AgMode::Cpr),
+                AllreduceVariant::NovelDesign => {
+                    ArMachine::ring(RsMode::Cpr, AgMode::Compressed { overlap: true })
+                }
+                AllreduceVariant::Overlapped => match cfg {
+                    Some(c) => {
+                        ArMachine::ring(RsMode::Piped(c), AgMode::Compressed { overlap: true })
+                    }
+                    // Codecs without an error bound (ZFP-FXR) cannot
+                    // drive the SZx pipeline; the best schedule
+                    // available is ND.
+                    None => ArMachine::ring(RsMode::Cpr, AgMode::Compressed { overlap: true }),
+                },
+            },
+        }
+    }
+
+    /// Begin a nonblocking allreduce (the `MPI_Iallreduce` shape): the
+    /// returned handle borrows this plan exclusively — one outstanding
+    /// operation per plan, enforced by the borrow — plus the caller's
+    /// buffers. Drive it with [`AllreduceHandle::progress`] between
+    /// slices of application compute and finish with
+    /// [`AllreduceHandle::complete`]; see the crate-level quick start.
+    ///
+    /// # Panics
+    /// Panics if the communicator size or buffer lengths disagree with
+    /// the plan, or if a previous handle was dropped mid-operation.
+    pub fn start<'p, 'b, C: Comm>(
+        &'p mut self,
+        comm: &mut C,
+        input: &'b [f32],
+        out: &'b mut [f32],
+    ) -> AllreduceHandle<'p, 'b> {
         check_world(comm, self.session.world_size);
         assert_eq!(input.len(), self.len, "input disagrees with plan length");
         assert_eq!(out.len(), self.len, "output disagrees with plan length");
         self.maybe_rerank(comm);
+        take_in_flight(&mut self.in_flight);
         let t0 = comm.now();
-        let ws = &mut self.ws;
-        match (self.algorithm, self.session.cpr()) {
-            (Algorithm::RecursiveDoubling, None) => {
-                baseline::recursive_doubling_allreduce_into(comm, input, self.op, out, ws);
-            }
-            (Algorithm::RecursiveDoubling, Some(cpr)) => {
-                cpr_p2p::cpr_recursive_doubling_allreduce_into(comm, cpr, input, self.op, out, ws);
-            }
-            (Algorithm::Rabenseifner, None) => {
-                baseline::rabenseifner_allreduce_into(comm, input, self.op, out, ws);
-            }
-            (Algorithm::Rabenseifner, Some(cpr)) => match self.session.pipeline_config() {
-                // Error-bounded codecs drive the pipelined halving
-                // phase; others run the monolithic CPR butterfly.
-                Some(cfg) => computation::c_rabenseifner_allreduce_into(
-                    comm, cfg, cpr, input, self.op, out, ws,
-                ),
-                None => {
-                    cpr_p2p::cpr_rabenseifner_allreduce_into(comm, cpr, input, self.op, out, ws)
-                }
-            },
-            (_, None) => baseline::ring_allreduce_into(comm, input, self.op, out, ws),
-            (_, Some(cpr)) => match self.variant {
-                AllreduceVariant::Original => {
-                    baseline::ring_allreduce_into(comm, input, self.op, out, ws)
-                }
-                AllreduceVariant::DirectIntegration => {
-                    cpr_p2p::cpr_ring_allreduce_into(comm, cpr, input, self.op, out, ws)
-                }
-                AllreduceVariant::NovelDesign => {
-                    nd_allreduce_into(comm, cpr, input, self.op, out, ws)
-                }
-                AllreduceVariant::Overlapped => match self.session.pipeline_config() {
-                    Some(cfg) => {
-                        computation::c_ring_allreduce_into(comm, cfg, cpr, input, self.op, out, ws)
-                    }
-                    // Codecs without an error bound (ZFP-FXR) cannot drive
-                    // the SZx pipeline; the best schedule available is ND.
-                    None => nd_allreduce_into(comm, cpr, input, self.op, out, ws),
-                },
-            },
-        }
-        self.stats.executions += 1;
-        self.stats.last_makespan = comm.now() - t0;
-        if let Some(r) = self.session.note_execution(&mut self.ws) {
-            self.stats.observed_ratio = Some(r);
+        let machine = self.machine();
+        AllreduceHandle {
+            machine,
+            plan: self,
+            input,
+            out,
+            t0,
+            done: false,
         }
     }
 
@@ -938,21 +1097,75 @@ impl AllreducePlan {
     }
 }
 
-/// The ND ("Novel Design") schedule: CPR-P2P reduce-scatter followed by
-/// the compress-once C-Allgather, composed in place.
-fn nd_allreduce_into<C: Comm>(
-    comm: &mut C,
-    cpr: &CprCodec,
-    input: &[f32],
-    op: ReduceOp,
-    out: &mut [f32],
-    ws: &mut CollWorkspace,
-) {
-    let me = comm.rank();
-    ws.set_partition(input.len(), comm.size());
-    let (at, len) = (ws.offsets[me], ws.counts[me]);
-    cpr_p2p::cpr_ring_reduce_scatter_into(comm, cpr, input, op, &mut out[at..at + len], ws);
-    data_movement::c_ring_allgather_core(comm, cpr, None, out, ws, true);
+/// An in-flight nonblocking allreduce (see [`AllreducePlan::start`]).
+///
+/// The handle exclusively borrows its plan (one outstanding operation
+/// per plan) and the caller's input/output buffers for the operation's
+/// lifetime. `progress` never blocks; `complete` drains whatever is
+/// left and records the plan's statistics.
+pub struct AllreduceHandle<'p, 'b> {
+    plan: &'p mut AllreducePlan,
+    input: &'b [f32],
+    out: &'b mut [f32],
+    t0: SimTime,
+    machine: ArMachine,
+    done: bool,
+}
+
+impl AllreduceHandle<'_, '_> {
+    fn drive<C: Comm>(&mut self, comm: &mut C, block: bool) -> Poll {
+        if self.done {
+            return Poll::Ready;
+        }
+        let AllreducePlan {
+            session,
+            op,
+            stats,
+            in_flight,
+            ws,
+            ..
+        } = &mut *self.plan;
+        match self.machine.step(
+            comm,
+            session.cpr.as_ref(),
+            *op,
+            self.input,
+            self.out,
+            ws,
+            block,
+        ) {
+            Poll::Pending => Poll::Pending,
+            Poll::Ready => {
+                finish_execution(comm, session, ws, stats, self.t0);
+                *in_flight = false;
+                self.done = true;
+                Poll::Ready
+            }
+        }
+    }
+
+    /// Advance the collective without blocking: performs a bounded slice
+    /// of work (compression, arrived-message processing, send retiring)
+    /// and returns [`Poll::Pending`] at the first transfer that has not
+    /// completed yet. Returns [`Poll::Ready`] once the result is fully
+    /// in the output buffer.
+    pub fn progress<C: Comm>(&mut self, comm: &mut C) -> Poll {
+        self.drive(comm, false)
+    }
+
+    /// True once the operation has completed (a prior `progress`
+    /// returned [`Poll::Ready`]).
+    pub fn is_complete(&self) -> bool {
+        self.done
+    }
+
+    /// Finish the collective, blocking on whatever transfers remain
+    /// (equivalent to draining `progress` with blocking waits — the tail
+    /// that application compute could not hide).
+    pub fn complete<C: Comm>(mut self, comm: &mut C) {
+        let done = self.drive(comm, true);
+        debug_assert!(done.is_ready());
+    }
 }
 
 /// Persistent allgather plan (see [`CCollSession::plan_allgatherv`] and
@@ -962,6 +1175,12 @@ pub struct AllgatherPlan {
     counts: Vec<usize>,
     total: usize,
     algorithm: Algorithm,
+    /// Created with [`Algorithm::Auto`]: eligible for the one-shot
+    /// post-warm-up re-rank from measured compression ratios.
+    auto: bool,
+    reranked: bool,
+    stats: PlanStats,
+    in_flight: bool,
     ws: CollWorkspace,
 }
 
@@ -976,9 +1195,49 @@ impl AllgatherPlan {
         self.total
     }
 
-    /// The resolved schedule this plan executes.
+    /// The resolved schedule this plan executes (an `Auto` plan may
+    /// switch once after warm-up, from the communicator-agreed measured
+    /// compression ratio — see [`AllreducePlan::algorithm`]).
     pub fn algorithm(&self) -> Algorithm {
         self.algorithm
+    }
+
+    /// Measured statistics (see [`PlanStats`]).
+    pub fn stats(&self) -> PlanStats {
+        self.stats
+    }
+
+    /// One-shot post-warm-up re-rank for `Auto` plans, PR-4's allreduce
+    /// mechanism extended to allgather: agree on the communicator-wide
+    /// minimum measured ratio, re-resolve Ring vs Bruck with it, and
+    /// re-warm the workspace on a switch (a single allocation event).
+    fn maybe_rerank<C: Comm>(&mut self, comm: &mut C) {
+        if !self.auto || self.reranked || self.stats.executions == 0 {
+            return;
+        }
+        self.reranked = true;
+        let local = self.session.feedback.ratio().unwrap_or(0.0);
+        let Some(ratio) = agree_min_ratio(comm, local, &mut self.ws.pool) else {
+            return;
+        };
+        let max_chunk = self.counts.iter().copied().max().unwrap_or(0);
+        let algorithm = self
+            .session
+            .select_ctx_with_ratio(ratio)
+            .allgather(max_chunk);
+        if algorithm != self.algorithm {
+            self.algorithm = algorithm;
+            self.ws = self.session.warmed_workspace(max_chunk, 4);
+        }
+    }
+
+    fn machine(&self) -> AgPlanMachine {
+        let compressed = self.session.cpr.is_some();
+        match (self.algorithm, compressed) {
+            (Algorithm::Bruck, c) => AgPlanMachine::Bruck(BruckAg::new(c)),
+            (_, true) => AgPlanMachine::Ring(RingAg::new(AgMode::Compressed { overlap: true })),
+            (_, false) => AgPlanMachine::Ring(RingAg::new(AgMode::Raw)),
+        }
     }
 
     /// Execute into a caller-provided buffer (`total_len` values).
@@ -987,21 +1246,43 @@ impl AllgatherPlan {
     /// Panics if the communicator size or buffer lengths disagree with
     /// the plan.
     pub fn execute_into<C: Comm>(&mut self, comm: &mut C, mine: &[f32], out: &mut [f32]) {
+        self.start(comm, mine, out).complete(comm);
+    }
+
+    /// Begin a nonblocking allgather; see [`AllreducePlan::start`] for
+    /// the handle contract.
+    ///
+    /// # Panics
+    /// Panics if the communicator size or buffer lengths disagree with
+    /// the plan, or if a previous handle was dropped mid-operation.
+    pub fn start<'p, 'b, C: Comm>(
+        &'p mut self,
+        comm: &mut C,
+        mine: &'b [f32],
+        out: &'b mut [f32],
+    ) -> AllgatherHandle<'p, 'b> {
         check_world(comm, self.session.world_size);
-        let ws = &mut self.ws;
-        match (self.algorithm, self.session.cpr()) {
-            (Algorithm::Bruck, Some(cpr)) => {
-                data_movement::c_bruck_allgatherv_into(comm, cpr, mine, &self.counts, out, ws)
-            }
-            (Algorithm::Bruck, None) => {
-                baseline::bruck_allgatherv_into(comm, mine, &self.counts, out, ws)
-            }
-            (_, Some(cpr)) => {
-                data_movement::c_ring_allgatherv_into(comm, cpr, mine, &self.counts, out, ws)
-            }
-            (_, None) => baseline::ring_allgatherv_into(comm, mine, &self.counts, out, ws),
+        assert_eq!(
+            mine.len(),
+            self.counts[comm.rank()],
+            "my buffer disagrees with counts"
+        );
+        assert_eq!(out.len(), self.total, "output buffer size mismatch");
+        self.maybe_rerank(comm);
+        take_in_flight(&mut self.in_flight);
+        let t0 = comm.now();
+        // The ring machines read the partition from the workspace; the
+        // Bruck machine re-caches it from the counts it is handed.
+        self.ws.set_partition_from_counts(&self.counts);
+        let machine = self.machine();
+        AllgatherHandle {
+            machine,
+            plan: self,
+            mine,
+            out,
+            t0,
+            done: false,
         }
-        self.session.note_execution(&mut self.ws);
     }
 
     /// Allocating convenience wrapper over [`AllgatherPlan::execute_into`].
@@ -1013,6 +1294,62 @@ impl AllgatherPlan {
     }
 }
 
+/// An in-flight nonblocking allgather (see [`AllgatherPlan::start`]).
+pub struct AllgatherHandle<'p, 'b> {
+    plan: &'p mut AllgatherPlan,
+    mine: &'b [f32],
+    out: &'b mut [f32],
+    t0: SimTime,
+    machine: AgPlanMachine,
+    done: bool,
+}
+
+impl AllgatherHandle<'_, '_> {
+    fn drive<C: Comm>(&mut self, comm: &mut C, block: bool) -> Poll {
+        if self.done {
+            return Poll::Ready;
+        }
+        let AllgatherPlan {
+            session,
+            counts,
+            stats,
+            in_flight,
+            ws,
+            ..
+        } = &mut *self.plan;
+        let cpr = session.cpr.as_ref();
+        let polled = match &mut self.machine {
+            AgPlanMachine::Ring(m) => m.step(comm, cpr, Some(self.mine), self.out, ws, block),
+            AgPlanMachine::Bruck(m) => m.step(comm, cpr, self.mine, counts, self.out, ws, block),
+        };
+        match polled {
+            Poll::Pending => Poll::Pending,
+            Poll::Ready => {
+                finish_execution(comm, session, ws, stats, self.t0);
+                *in_flight = false;
+                self.done = true;
+                Poll::Ready
+            }
+        }
+    }
+
+    /// Advance without blocking (see [`AllreduceHandle::progress`]).
+    pub fn progress<C: Comm>(&mut self, comm: &mut C) -> Poll {
+        self.drive(comm, false)
+    }
+
+    /// True once the operation has completed.
+    pub fn is_complete(&self) -> bool {
+        self.done
+    }
+
+    /// Finish the collective, blocking on whatever transfers remain.
+    pub fn complete<C: Comm>(mut self, comm: &mut C) {
+        let done = self.drive(comm, true);
+        debug_assert!(done.is_ready());
+    }
+}
+
 /// Persistent reduce-scatter plan (see
 /// [`CCollSession::plan_reduce_scatter`]).
 pub struct ReduceScatterPlan {
@@ -1020,6 +1357,8 @@ pub struct ReduceScatterPlan {
     len: usize,
     op: ReduceOp,
     counts: Vec<usize>,
+    stats: PlanStats,
+    in_flight: bool,
     ws: CollWorkspace,
 }
 
@@ -1044,25 +1383,55 @@ impl ReduceScatterPlan {
         Algorithm::Ring
     }
 
+    /// Measured statistics (see [`PlanStats`]).
+    pub fn stats(&self) -> PlanStats {
+        self.stats
+    }
+
+    /// The schedule's compression placement as a state-machine mode
+    /// (shared with the reduce plan's RS + gather composition).
+    fn rs_mode(&self) -> RsMode {
+        match (self.session.pipeline_config(), self.session.cpr.is_some()) {
+            (Some(cfg), _) => RsMode::Piped(cfg),
+            (None, true) => RsMode::Cpr,
+            (None, false) => RsMode::Raw,
+        }
+    }
+
     /// Execute into a caller-provided buffer (this rank's chunk).
     ///
     /// # Panics
     /// Panics if the communicator size or buffer lengths disagree with
     /// the plan.
     pub fn execute_into<C: Comm>(&mut self, comm: &mut C, input: &[f32], out: &mut [f32]) {
+        self.start(comm, input, out).complete(comm);
+    }
+
+    /// Begin a nonblocking reduce-scatter; see [`AllreducePlan::start`]
+    /// for the handle contract.
+    ///
+    /// # Panics
+    /// Panics if the communicator size or buffer lengths disagree with
+    /// the plan, or if a previous handle was dropped mid-operation.
+    pub fn start<'p, 'b, C: Comm>(
+        &'p mut self,
+        comm: &mut C,
+        input: &'b [f32],
+        out: &'b mut [f32],
+    ) -> ReduceScatterHandle<'p, 'b> {
         check_world(comm, self.session.world_size);
         assert_eq!(input.len(), self.len, "input disagrees with plan length");
-        let ws = &mut self.ws;
-        match (self.session.pipeline_config(), self.session.cpr()) {
-            (Some(cfg), _) => {
-                computation::c_ring_reduce_scatter_into(comm, cfg, input, self.op, out, ws)
-            }
-            (None, Some(cpr)) => {
-                cpr_p2p::cpr_ring_reduce_scatter_into(comm, cpr, input, self.op, out, ws)
-            }
-            (None, None) => baseline::ring_reduce_scatter_into(comm, input, self.op, out, ws),
+        take_in_flight(&mut self.in_flight);
+        let t0 = comm.now();
+        let machine = RingRs::new(self.rs_mode());
+        ReduceScatterHandle {
+            machine,
+            plan: self,
+            input,
+            out,
+            t0,
+            done: false,
         }
-        self.session.note_execution(&mut self.ws);
     }
 
     /// Allocating convenience wrapper over
@@ -1075,11 +1444,73 @@ impl ReduceScatterPlan {
     }
 }
 
+/// An in-flight nonblocking reduce-scatter (see
+/// [`ReduceScatterPlan::start`]).
+pub struct ReduceScatterHandle<'p, 'b> {
+    plan: &'p mut ReduceScatterPlan,
+    input: &'b [f32],
+    out: &'b mut [f32],
+    t0: SimTime,
+    machine: RingRs,
+    done: bool,
+}
+
+impl ReduceScatterHandle<'_, '_> {
+    fn drive<C: Comm>(&mut self, comm: &mut C, block: bool) -> Poll {
+        if self.done {
+            return Poll::Ready;
+        }
+        let ReduceScatterPlan {
+            session,
+            op,
+            stats,
+            in_flight,
+            ws,
+            ..
+        } = &mut *self.plan;
+        match self.machine.step(
+            comm,
+            session.cpr.as_ref(),
+            *op,
+            self.input,
+            self.out,
+            ws,
+            block,
+        ) {
+            Poll::Pending => Poll::Pending,
+            Poll::Ready => {
+                finish_execution(comm, session, ws, stats, self.t0);
+                *in_flight = false;
+                self.done = true;
+                Poll::Ready
+            }
+        }
+    }
+
+    /// Advance without blocking (see [`AllreduceHandle::progress`]).
+    pub fn progress<C: Comm>(&mut self, comm: &mut C) -> Poll {
+        self.drive(comm, false)
+    }
+
+    /// True once the operation has completed.
+    pub fn is_complete(&self) -> bool {
+        self.done
+    }
+
+    /// Finish the collective, blocking on whatever transfers remain.
+    pub fn complete<C: Comm>(mut self, comm: &mut C) {
+        let done = self.drive(comm, true);
+        debug_assert!(done.is_ready());
+    }
+}
+
 /// Persistent broadcast plan (see [`CCollSession::plan_bcast`]).
 pub struct BcastPlan {
     session: CCollSession,
     root: usize,
     len: usize,
+    stats: PlanStats,
+    in_flight: bool,
     ws: CollWorkspace,
 }
 
@@ -1105,6 +1536,11 @@ impl BcastPlan {
         Algorithm::Binomial
     }
 
+    /// Measured statistics (see [`PlanStats`]).
+    pub fn stats(&self) -> PlanStats {
+        self.stats
+    }
+
     /// Execute into a caller-provided buffer. `data` is read on the root
     /// only (other ranks may pass an empty slice).
     ///
@@ -1112,15 +1548,34 @@ impl BcastPlan {
     /// Panics if the communicator size or buffer lengths disagree with
     /// the plan.
     pub fn execute_into<C: Comm>(&mut self, comm: &mut C, data: &[f32], out: &mut [f32]) {
+        self.start(comm, data, out).complete(comm);
+    }
+
+    /// Begin a nonblocking broadcast; see [`AllreducePlan::start`] for
+    /// the handle contract.
+    ///
+    /// # Panics
+    /// Panics if the communicator size or buffer lengths disagree with
+    /// the plan, or if a previous handle was dropped mid-operation.
+    pub fn start<'p, 'b, C: Comm>(
+        &'p mut self,
+        comm: &mut C,
+        data: &'b [f32],
+        out: &'b mut [f32],
+    ) -> BcastHandle<'p, 'b> {
         check_world(comm, self.session.world_size);
         assert_eq!(out.len(), self.len, "output disagrees with plan length");
-        match self.session.cpr() {
-            Some(cpr) => {
-                data_movement::c_binomial_bcast_into(comm, cpr, self.root, data, out, &mut self.ws)
-            }
-            None => baseline::binomial_bcast_into(comm, self.root, data, out, &mut self.ws),
+        take_in_flight(&mut self.in_flight);
+        let t0 = comm.now();
+        let machine = Bcast::new(self.session.cpr.is_some(), self.root);
+        BcastHandle {
+            machine,
+            plan: self,
+            data,
+            out,
+            t0,
+            done: false,
         }
-        self.session.note_execution(&mut self.ws);
     }
 
     /// Allocating convenience wrapper over [`BcastPlan::execute_into`].
@@ -1132,12 +1587,67 @@ impl BcastPlan {
     }
 }
 
+/// An in-flight nonblocking broadcast (see [`BcastPlan::start`]).
+pub struct BcastHandle<'p, 'b> {
+    plan: &'p mut BcastPlan,
+    data: &'b [f32],
+    out: &'b mut [f32],
+    t0: SimTime,
+    machine: Bcast,
+    done: bool,
+}
+
+impl BcastHandle<'_, '_> {
+    fn drive<C: Comm>(&mut self, comm: &mut C, block: bool) -> Poll {
+        if self.done {
+            return Poll::Ready;
+        }
+        let BcastPlan {
+            session,
+            stats,
+            in_flight,
+            ws,
+            ..
+        } = &mut *self.plan;
+        match self
+            .machine
+            .step(comm, session.cpr.as_ref(), self.data, self.out, ws, block)
+        {
+            Poll::Pending => Poll::Pending,
+            Poll::Ready => {
+                finish_execution(comm, session, ws, stats, self.t0);
+                *in_flight = false;
+                self.done = true;
+                Poll::Ready
+            }
+        }
+    }
+
+    /// Advance without blocking (see [`AllreduceHandle::progress`]).
+    pub fn progress<C: Comm>(&mut self, comm: &mut C) -> Poll {
+        self.drive(comm, false)
+    }
+
+    /// True once the operation has completed.
+    pub fn is_complete(&self) -> bool {
+        self.done
+    }
+
+    /// Finish the collective, blocking on whatever transfers remain.
+    pub fn complete<C: Comm>(mut self, comm: &mut C) {
+        let done = self.drive(comm, true);
+        debug_assert!(done.is_ready());
+    }
+}
+
 /// Persistent scatter plan (see [`CCollSession::plan_scatter`]).
 pub struct ScatterPlan {
     session: CCollSession,
     root: usize,
     total_len: usize,
     counts: Vec<usize>,
+    stats: PlanStats,
+    in_flight: bool,
     ws: CollWorkspace,
 }
 
@@ -1163,6 +1673,11 @@ impl ScatterPlan {
         Algorithm::Binomial
     }
 
+    /// Measured statistics (see [`PlanStats`]).
+    pub fn stats(&self) -> PlanStats {
+        self.stats
+    }
+
     /// Execute into a caller-provided buffer (this rank's chunk). `data`
     /// is read on the root only.
     ///
@@ -1170,27 +1685,33 @@ impl ScatterPlan {
     /// Panics if the communicator size or buffer lengths disagree with
     /// the plan.
     pub fn execute_into<C: Comm>(&mut self, comm: &mut C, data: &[f32], out: &mut [f32]) {
+        self.start(comm, data, out).complete(comm);
+    }
+
+    /// Begin a nonblocking scatter; see [`AllreducePlan::start`] for the
+    /// handle contract.
+    ///
+    /// # Panics
+    /// Panics if the communicator size or buffer lengths disagree with
+    /// the plan, or if a previous handle was dropped mid-operation.
+    pub fn start<'p, 'b, C: Comm>(
+        &'p mut self,
+        comm: &mut C,
+        data: &'b [f32],
+        out: &'b mut [f32],
+    ) -> ScatterHandle<'p, 'b> {
         check_world(comm, self.session.world_size);
-        match self.session.cpr() {
-            Some(cpr) => data_movement::c_binomial_scatter_into(
-                comm,
-                cpr,
-                self.root,
-                data,
-                self.total_len,
-                out,
-                &mut self.ws,
-            ),
-            None => baseline::binomial_scatter_into(
-                comm,
-                self.root,
-                data,
-                self.total_len,
-                out,
-                &mut self.ws,
-            ),
+        take_in_flight(&mut self.in_flight);
+        let t0 = comm.now();
+        let machine = Scatter::new(self.session.cpr.is_some(), self.root, self.total_len);
+        ScatterHandle {
+            machine,
+            plan: self,
+            data,
+            out,
+            t0,
+            done: false,
         }
-        self.session.note_execution(&mut self.ws);
     }
 
     /// Allocating convenience wrapper over [`ScatterPlan::execute_into`].
@@ -1202,12 +1723,67 @@ impl ScatterPlan {
     }
 }
 
+/// An in-flight nonblocking scatter (see [`ScatterPlan::start`]).
+pub struct ScatterHandle<'p, 'b> {
+    plan: &'p mut ScatterPlan,
+    data: &'b [f32],
+    out: &'b mut [f32],
+    t0: SimTime,
+    machine: Scatter,
+    done: bool,
+}
+
+impl ScatterHandle<'_, '_> {
+    fn drive<C: Comm>(&mut self, comm: &mut C, block: bool) -> Poll {
+        if self.done {
+            return Poll::Ready;
+        }
+        let ScatterPlan {
+            session,
+            stats,
+            in_flight,
+            ws,
+            ..
+        } = &mut *self.plan;
+        match self
+            .machine
+            .step(comm, session.cpr.as_ref(), self.data, self.out, ws, block)
+        {
+            Poll::Pending => Poll::Pending,
+            Poll::Ready => {
+                finish_execution(comm, session, ws, stats, self.t0);
+                *in_flight = false;
+                self.done = true;
+                Poll::Ready
+            }
+        }
+    }
+
+    /// Advance without blocking (see [`AllreduceHandle::progress`]).
+    pub fn progress<C: Comm>(&mut self, comm: &mut C) -> Poll {
+        self.drive(comm, false)
+    }
+
+    /// True once the operation has completed.
+    pub fn is_complete(&self) -> bool {
+        self.done
+    }
+
+    /// Finish the collective, blocking on whatever transfers remain.
+    pub fn complete<C: Comm>(mut self, comm: &mut C) {
+        let done = self.drive(comm, true);
+        debug_assert!(done.is_ready());
+    }
+}
+
 /// Persistent gather plan (see [`CCollSession::plan_gather`]).
 pub struct GatherPlan {
     session: CCollSession,
     root: usize,
     total_len: usize,
     counts: Vec<usize>,
+    stats: PlanStats,
+    in_flight: bool,
     ws: CollWorkspace,
 }
 
@@ -1233,6 +1809,11 @@ impl GatherPlan {
         Algorithm::Binomial
     }
 
+    /// Measured statistics (see [`PlanStats`]).
+    pub fn stats(&self) -> PlanStats {
+        self.stats
+    }
+
     /// Execute into a caller-provided buffer. The root must size `out`
     /// to `total_len`; other ranks may pass an empty buffer. Returns
     /// `true` on the root, `false` elsewhere.
@@ -1241,28 +1822,34 @@ impl GatherPlan {
     /// Panics if the communicator size or buffer lengths disagree with
     /// the plan.
     pub fn execute_into<C: Comm>(&mut self, comm: &mut C, mine: &[f32], out: &mut [f32]) -> bool {
+        self.start(comm, mine, out).complete(comm)
+    }
+
+    /// Begin a nonblocking gather; see [`AllreducePlan::start`] for the
+    /// handle contract. [`GatherHandle::complete`] returns `true` on the
+    /// root.
+    ///
+    /// # Panics
+    /// Panics if the communicator size or buffer lengths disagree with
+    /// the plan, or if a previous handle was dropped mid-operation.
+    pub fn start<'p, 'b, C: Comm>(
+        &'p mut self,
+        comm: &mut C,
+        mine: &'b [f32],
+        out: &'b mut [f32],
+    ) -> GatherHandle<'p, 'b> {
         check_world(comm, self.session.world_size);
-        let is_root = match self.session.cpr() {
-            Some(cpr) => data_movement::c_binomial_gather_into(
-                comm,
-                cpr,
-                self.root,
-                mine,
-                self.total_len,
-                out,
-                &mut self.ws,
-            ),
-            None => baseline::binomial_gather_into(
-                comm,
-                self.root,
-                mine,
-                self.total_len,
-                out,
-                &mut self.ws,
-            ),
-        };
-        self.session.note_execution(&mut self.ws);
-        is_root
+        take_in_flight(&mut self.in_flight);
+        let t0 = comm.now();
+        let machine = Gather::new(self.session.cpr.is_some(), self.root, self.total_len);
+        GatherHandle {
+            machine,
+            plan: self,
+            mine,
+            out,
+            t0,
+            done: false,
+        }
     }
 
     /// Allocating convenience wrapper over [`GatherPlan::execute_into`].
@@ -1281,10 +1868,67 @@ impl GatherPlan {
     }
 }
 
+/// An in-flight nonblocking gather (see [`GatherPlan::start`]).
+pub struct GatherHandle<'p, 'b> {
+    plan: &'p mut GatherPlan,
+    mine: &'b [f32],
+    out: &'b mut [f32],
+    t0: SimTime,
+    machine: Gather,
+    done: bool,
+}
+
+impl GatherHandle<'_, '_> {
+    fn drive<C: Comm>(&mut self, comm: &mut C, block: bool) -> Poll {
+        if self.done {
+            return Poll::Ready;
+        }
+        let GatherPlan {
+            session,
+            stats,
+            in_flight,
+            ws,
+            ..
+        } = &mut *self.plan;
+        match self
+            .machine
+            .step(comm, session.cpr.as_ref(), self.mine, self.out, ws, block)
+        {
+            Poll::Pending => Poll::Pending,
+            Poll::Ready => {
+                finish_execution(comm, session, ws, stats, self.t0);
+                *in_flight = false;
+                self.done = true;
+                Poll::Ready
+            }
+        }
+    }
+
+    /// Advance without blocking (see [`AllreduceHandle::progress`]).
+    pub fn progress<C: Comm>(&mut self, comm: &mut C) -> Poll {
+        self.drive(comm, false)
+    }
+
+    /// True once the operation has completed.
+    pub fn is_complete(&self) -> bool {
+        self.done
+    }
+
+    /// Finish the collective, blocking on whatever transfers remain.
+    /// Returns `true` on the root.
+    pub fn complete<C: Comm>(mut self, comm: &mut C) -> bool {
+        let done = self.drive(comm, true);
+        debug_assert!(done.is_ready());
+        self.machine.is_root()
+    }
+}
+
 /// Persistent all-to-all plan (see [`CCollSession::plan_alltoall`]).
 pub struct AlltoallPlan {
     session: CCollSession,
     len: usize,
+    stats: PlanStats,
+    in_flight: bool,
     ws: CollWorkspace,
 }
 
@@ -1305,21 +1949,45 @@ impl AlltoallPlan {
         Algorithm::Pairwise
     }
 
+    /// Measured statistics (see [`PlanStats`]).
+    pub fn stats(&self) -> PlanStats {
+        self.stats
+    }
+
     /// Execute into a caller-provided buffer.
     ///
     /// # Panics
     /// Panics if the communicator size or buffer lengths disagree with
     /// the plan.
     pub fn execute_into<C: Comm>(&mut self, comm: &mut C, send: &[f32], out: &mut [f32]) {
+        self.start(comm, send, out).complete(comm);
+    }
+
+    /// Begin a nonblocking all-to-all; see [`AllreducePlan::start`] for
+    /// the handle contract.
+    ///
+    /// # Panics
+    /// Panics if the communicator size or buffer lengths disagree with
+    /// the plan, or if a previous handle was dropped mid-operation.
+    pub fn start<'p, 'b, C: Comm>(
+        &'p mut self,
+        comm: &mut C,
+        send: &'b [f32],
+        out: &'b mut [f32],
+    ) -> AlltoallHandle<'p, 'b> {
         check_world(comm, self.session.world_size);
         assert_eq!(send.len(), self.len, "input disagrees with plan length");
-        match self.session.cpr() {
-            Some(cpr) => {
-                data_movement::c_pairwise_alltoall_into(comm, cpr, send, out, &mut self.ws)
-            }
-            None => baseline::pairwise_alltoall_into(comm, send, out, &mut self.ws),
+        take_in_flight(&mut self.in_flight);
+        let t0 = comm.now();
+        let machine = Alltoall::new(self.session.cpr.is_some());
+        AlltoallHandle {
+            machine,
+            plan: self,
+            send,
+            out,
+            t0,
+            done: false,
         }
-        self.session.note_execution(&mut self.ws);
     }
 
     /// Allocating convenience wrapper over [`AlltoallPlan::execute_into`].
@@ -1331,13 +1999,76 @@ impl AlltoallPlan {
     }
 }
 
+/// An in-flight nonblocking all-to-all (see [`AlltoallPlan::start`]).
+pub struct AlltoallHandle<'p, 'b> {
+    plan: &'p mut AlltoallPlan,
+    send: &'b [f32],
+    out: &'b mut [f32],
+    t0: SimTime,
+    machine: Alltoall,
+    done: bool,
+}
+
+impl AlltoallHandle<'_, '_> {
+    fn drive<C: Comm>(&mut self, comm: &mut C, block: bool) -> Poll {
+        if self.done {
+            return Poll::Ready;
+        }
+        let AlltoallPlan {
+            session,
+            stats,
+            in_flight,
+            ws,
+            ..
+        } = &mut *self.plan;
+        match self
+            .machine
+            .step(comm, session.cpr.as_ref(), self.send, self.out, ws, block)
+        {
+            Poll::Pending => Poll::Pending,
+            Poll::Ready => {
+                finish_execution(comm, session, ws, stats, self.t0);
+                *in_flight = false;
+                self.done = true;
+                Poll::Ready
+            }
+        }
+    }
+
+    /// Advance without blocking (see [`AllreduceHandle::progress`]).
+    pub fn progress<C: Comm>(&mut self, comm: &mut C) -> Poll {
+        self.drive(comm, false)
+    }
+
+    /// True once the operation has completed.
+    pub fn is_complete(&self) -> bool {
+        self.done
+    }
+
+    /// Finish the collective, blocking on whatever transfers remain.
+    pub fn complete<C: Comm>(mut self, comm: &mut C) {
+        let done = self.drive(comm, true);
+        debug_assert!(done.is_ready());
+    }
+}
+
 /// Persistent rooted-reduce plan (see [`CCollSession::plan_reduce`] and
 /// [`CCollSession::plan_reduce_with`]): either the bandwidth-optimal
 /// pipelined C-Reduce-scatter + C-Gather composition
 /// ([`Algorithm::Rabenseifner`]) or the latency-optimal binomial tree
 /// ([`Algorithm::Binomial`]).
 pub struct ReducePlan {
+    session: CCollSession,
+    root: usize,
+    len: usize,
+    op: ReduceOp,
     algorithm: Algorithm,
+    /// Created with [`Algorithm::Auto`]: eligible for the one-shot
+    /// post-warm-up re-rank from measured compression ratios.
+    auto: bool,
+    reranked: bool,
+    stats: PlanStats,
+    in_flight: bool,
     inner: ReducePlanImpl,
 }
 
@@ -1354,8 +2085,6 @@ enum ReducePlanImpl {
     },
     Binomial {
         session: CCollSession,
-        root: usize,
-        len: usize,
         op: ReduceOp,
         ws: CollWorkspace,
     },
@@ -1364,28 +2093,77 @@ enum ReducePlanImpl {
 impl ReducePlan {
     /// Values per rank this plan was built for.
     pub fn len(&self) -> usize {
-        match &self.inner {
-            ReducePlanImpl::RsGather { reduce_scatter, .. } => reduce_scatter.len(),
-            ReducePlanImpl::Binomial { len, .. } => *len,
-        }
+        self.len
     }
 
     /// True when the planned buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.len == 0
     }
 
     /// The reduce root.
     pub fn root(&self) -> usize {
-        match &self.inner {
-            ReducePlanImpl::RsGather { gather, .. } => gather.root(),
-            ReducePlanImpl::Binomial { root, .. } => *root,
+        self.root
+    }
+
+    /// The resolved schedule this plan executes (an `Auto` plan may
+    /// switch once after warm-up, from the communicator-agreed measured
+    /// compression ratio — see [`AllreducePlan::algorithm`]).
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// Measured statistics (see [`PlanStats`]).
+    pub fn stats(&self) -> PlanStats {
+        self.stats
+    }
+
+    /// One-shot post-warm-up re-rank for `Auto` plans, PR-4's allreduce
+    /// mechanism extended to rooted reduce: agree on the
+    /// communicator-wide minimum measured ratio, re-resolve Binomial vs
+    /// reduce-scatter + gather with it, and rebuild the schedule state
+    /// on a switch (a single allocation event).
+    fn maybe_rerank<C: Comm>(&mut self, comm: &mut C) {
+        if !self.auto || self.reranked || self.stats.executions == 0 {
+            return;
+        }
+        self.reranked = true;
+        let local = self.session.feedback.ratio().unwrap_or(0.0);
+        let pool = match &mut self.inner {
+            ReducePlanImpl::RsGather { reduce_scatter, .. } => &mut reduce_scatter.ws.pool,
+            ReducePlanImpl::Binomial { ws, .. } => &mut ws.pool,
+        };
+        let Some(ratio) = agree_min_ratio(comm, local, pool) else {
+            return;
+        };
+        let algorithm = self.session.select_ctx_with_ratio(ratio).reduce(self.len);
+        if algorithm != self.algorithm {
+            self.algorithm = algorithm;
+            self.inner = self
+                .session
+                .build_reduce_impl(self.root, self.len, self.op, algorithm);
         }
     }
 
-    /// The resolved schedule this plan executes.
-    pub fn algorithm(&self) -> Algorithm {
-        self.algorithm
+    /// The resolved schedule's state machine.
+    fn machine(&self) -> ReduceMachine {
+        match &self.inner {
+            ReducePlanImpl::RsGather { reduce_scatter, .. } => ReduceMachine::RsGather {
+                rs: RingRs::new(reduce_scatter.rs_mode()),
+                gather: Gather::new(self.session.cpr.is_some(), self.root, self.len),
+                in_gather: false,
+            },
+            ReducePlanImpl::Binomial { session, .. } => {
+                let mode = match (session.pipeline_config(), session.cpr.is_some()) {
+                    // Error-bounded codecs stream every tree hop through
+                    // the sub-chunk pipeline with fused reduction.
+                    (Some(cfg), true) => TreeMode::Piped(cfg),
+                    (None, true) => TreeMode::Cpr,
+                    (_, false) => TreeMode::Raw,
+                };
+                ReduceMachine::Tree(TreeReduce::new(mode, self.root))
+            }
+        }
     }
 
     /// Execute into a caller-provided buffer. The root must size `out`
@@ -1396,42 +2174,47 @@ impl ReducePlan {
     /// Panics if the communicator size or buffer lengths disagree with
     /// the plan.
     pub fn execute_into<C: Comm>(&mut self, comm: &mut C, input: &[f32], out: &mut [f32]) -> bool {
-        match &mut self.inner {
-            ReducePlanImpl::RsGather {
-                reduce_scatter,
-                gather,
-                mine,
-            } => {
-                let chunk = reduce_scatter.output_len(comm.rank());
-                // `resize` shrinks as well as grows, keeping the buffer
-                // exact without reallocating once its capacity is warm.
-                mine.resize(chunk, 0.0);
-                reduce_scatter.execute_into(comm, input, mine);
-                gather.execute_into(comm, mine, out)
-            }
-            ReducePlanImpl::Binomial {
-                session,
-                root,
-                len,
-                op,
-                ws,
-            } => {
-                check_world(comm, session.world_size);
-                assert_eq!(input.len(), *len, "input disagrees with plan length");
-                let is_root = match (session.pipeline_config(), session.cpr()) {
-                    // Error-bounded codecs stream every tree hop through
-                    // the sub-chunk pipeline with fused reduction.
-                    (Some(cfg), Some(_)) => {
-                        computation::c_binomial_reduce_into(comm, cfg, *root, input, *op, out, ws)
-                    }
-                    (None, Some(cpr)) => {
-                        cpr_p2p::cpr_binomial_reduce_into(comm, cpr, *root, input, *op, out, ws)
-                    }
-                    (_, None) => baseline::binomial_reduce_into(comm, *root, input, *op, out, ws),
-                };
-                session.note_execution(ws);
-                is_root
-            }
+        self.start(comm, input, out).complete(comm)
+    }
+
+    /// Begin a nonblocking rooted reduce; see [`AllreducePlan::start`]
+    /// for the handle contract. [`ReduceHandle::complete`] returns
+    /// `true` on the root.
+    ///
+    /// # Panics
+    /// Panics if the communicator size or buffer lengths disagree with
+    /// the plan, or if a previous handle was dropped mid-operation.
+    pub fn start<'p, 'b, C: Comm>(
+        &'p mut self,
+        comm: &mut C,
+        input: &'b [f32],
+        out: &'b mut [f32],
+    ) -> ReduceHandle<'p, 'b> {
+        check_world(comm, self.session.world_size);
+        assert_eq!(input.len(), self.len, "input disagrees with plan length");
+        self.maybe_rerank(comm);
+        take_in_flight(&mut self.in_flight);
+        let t0 = comm.now();
+        if let ReducePlanImpl::RsGather {
+            reduce_scatter,
+            mine,
+            ..
+        } = &mut self.inner
+        {
+            // `resize` shrinks as well as grows, keeping the buffer
+            // exact without reallocating once its capacity is warm.
+            let chunk = reduce_scatter.output_len(comm.rank());
+            mine.resize(chunk, 0.0);
+        }
+        let machine = self.machine();
+        ReduceHandle {
+            machine,
+            plan: self,
+            input,
+            out,
+            t0,
+            done: false,
+            root_result: false,
         }
     }
 
@@ -1448,6 +2231,131 @@ impl ReducePlan {
             }
         ];
         self.execute_into(comm, input, &mut out).then_some(out)
+    }
+}
+
+/// An in-flight nonblocking rooted reduce (see [`ReducePlan::start`]).
+pub struct ReduceHandle<'p, 'b> {
+    plan: &'p mut ReducePlan,
+    input: &'b [f32],
+    out: &'b mut [f32],
+    t0: SimTime,
+    machine: ReduceMachine,
+    done: bool,
+    root_result: bool,
+}
+
+impl ReduceHandle<'_, '_> {
+    fn drive<C: Comm>(&mut self, comm: &mut C, block: bool) -> Poll {
+        if self.done {
+            return Poll::Ready;
+        }
+        let ReducePlan {
+            session,
+            stats,
+            in_flight,
+            inner,
+            ..
+        } = &mut *self.plan;
+        let polled = match (inner, &mut self.machine) {
+            (
+                ReducePlanImpl::Binomial {
+                    session: tree_session,
+                    op,
+                    ws,
+                    ..
+                },
+                ReduceMachine::Tree(m),
+            ) => {
+                match m.step(
+                    comm,
+                    tree_session.cpr.as_ref(),
+                    *op,
+                    self.input,
+                    self.out,
+                    ws,
+                    block,
+                ) {
+                    Poll::Pending => Poll::Pending,
+                    Poll::Ready => {
+                        finish_execution(comm, session, ws, stats, self.t0);
+                        self.root_result = m.is_root();
+                        Poll::Ready
+                    }
+                }
+            }
+            (
+                ReducePlanImpl::RsGather {
+                    reduce_scatter,
+                    gather,
+                    mine,
+                },
+                ReduceMachine::RsGather {
+                    rs,
+                    gather: gm,
+                    in_gather,
+                },
+            ) => 'stages: {
+                if !*in_gather {
+                    let ReduceScatterPlan {
+                        session: rs_session,
+                        op,
+                        ws,
+                        ..
+                    } = reduce_scatter;
+                    match rs.step(
+                        comm,
+                        rs_session.cpr.as_ref(),
+                        *op,
+                        self.input,
+                        mine,
+                        ws,
+                        block,
+                    ) {
+                        Poll::Pending => break 'stages Poll::Pending,
+                        Poll::Ready => {
+                            // Drain the stage's compression-ratio sample
+                            // so the session feedback sees both stages.
+                            rs_session.note_execution(ws);
+                            *in_gather = true;
+                        }
+                    }
+                }
+                let cpr = gather.session.cpr.clone();
+                match gm.step(comm, cpr.as_ref(), mine, self.out, &mut gather.ws, block) {
+                    Poll::Pending => Poll::Pending,
+                    Poll::Ready => {
+                        finish_execution(comm, session, &mut gather.ws, stats, self.t0);
+                        self.root_result = gm.is_root();
+                        Poll::Ready
+                    }
+                }
+            }
+            _ => unreachable!("machine kind matches the plan's schedule"),
+        };
+        if polled.is_ready() {
+            *in_flight = false;
+            self.done = true;
+        }
+        polled
+    }
+
+    /// Advance without blocking (see [`AllreduceHandle::progress`]).
+    pub fn progress<C: Comm>(&mut self, comm: &mut C) -> Poll {
+        self.drive(comm, false)
+    }
+
+    /// True once the operation has completed.
+    pub fn is_complete(&self) -> bool {
+        self.done
+    }
+
+    /// Finish the collective, blocking on whatever transfers remain.
+    /// Returns `true` on the root.
+    pub fn complete<C: Comm>(mut self, comm: &mut C) -> bool {
+        let done = self.drive(comm, true);
+        debug_assert!(done.is_ready());
+        self.root_result
     }
 }
 

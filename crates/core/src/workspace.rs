@@ -49,8 +49,8 @@ pub struct CollWorkspace {
     pub counts: Vec<usize>,
     /// Cached exclusive prefix sums of `counts`.
     pub offsets: Vec<usize>,
-    /// Outstanding non-blocking sends.
-    pub sreqs: Vec<SendReq>,
+    /// Outstanding non-blocking sends (retired FIFO).
+    pub sreqs: VecDeque<SendReq>,
     /// Outstanding non-blocking receives (drained FIFO).
     pub rreqs: VecDeque<RecvReq>,
 }

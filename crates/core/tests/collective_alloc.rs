@@ -14,8 +14,10 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use c_coll::{Algorithm, CCollSession, CodecSpec, PlanOptions, ReduceOp};
-use ccoll_comm::{Comm, SimConfig, SimWorld};
+use std::time::Duration;
+
+use c_coll::{Algorithm, CCollSession, CodecSpec, PlanOptions, Poll, ReduceOp};
+use ccoll_comm::{Category, Comm, SimConfig, SimWorld};
 
 struct CountingAllocator;
 
@@ -105,6 +107,23 @@ fn steady_state_plans_allocate_nothing() {
         let mut rr_out = vec![0.0f32; if me == 0 { len / 2 } else { 0 }];
         let mut rs_out = vec![0.0f32; reduce_scatter.output_len(me)];
 
+        // The full nonblocking cycle must uphold the guarantee too:
+        // start, several partial progress calls with application
+        // compute in between (so suspension points are actually taken),
+        // then complete.
+        macro_rules! nonblocking_cycle {
+            ($plan:expr, $input:expr, $out:expr) => {{
+                let mut handle = $plan.start(c, $input, $out);
+                for _ in 0..6 {
+                    if let Poll::Ready = handle.progress(c) {
+                        break;
+                    }
+                    c.charge_duration(Duration::from_micros(20), Category::Others);
+                }
+                handle.complete(c);
+            }};
+        }
+
         // Warm-up. The collective path itself (codec, payload pool,
         // workspace) is warm after ONE call per plan — plans pre-size
         // their pools from the codec's worst-case compressed size. The
@@ -123,10 +142,13 @@ fn steady_state_plans_allocate_nothing() {
             tree_reduce.execute_into(c, &half, &mut rr_out);
             reduce_scatter.execute_into(c, &input, &mut rs_out);
             auto_allreduce.execute_into(c, &input, &mut ar_out);
+            nonblocking_cycle!(allreduce, &input, &mut ar_out);
+            nonblocking_cycle!(reduce_scatter, &input, &mut rs_out);
         }
         c.barrier();
 
-        // Steady state: zero allocator calls across every rank.
+        // Steady state: zero allocator calls across every rank, for the
+        // blocking drives AND the start/progress*/complete cycles.
         let before = allocations();
         for _ in 0..4 {
             allreduce.execute_into(c, &input, &mut ar_out);
@@ -138,6 +160,8 @@ fn steady_state_plans_allocate_nothing() {
             tree_reduce.execute_into(c, &half, &mut rr_out);
             reduce_scatter.execute_into(c, &input, &mut rs_out);
             auto_allreduce.execute_into(c, &input, &mut ar_out);
+            nonblocking_cycle!(allreduce, &input, &mut ar_out);
+            nonblocking_cycle!(reduce_scatter, &input, &mut rs_out);
         }
         c.barrier();
         let delta = allocations() - before;

@@ -14,8 +14,10 @@
 //! cargo run --release --example gradient_allreduce
 //! ```
 
+use std::time::Duration;
+
 use c_coll::{CCollSession, CodecSpec, ReduceOp};
-use ccoll_comm::{Comm, SimConfig, SimWorld};
+use ccoll_comm::{Category, Comm, SimConfig, SimWorld};
 use ccoll_data::rng::SplitMix64;
 
 /// Synthetic gradient: heavy-tailed-ish layer structure — most entries
@@ -89,9 +91,57 @@ fn main() {
                 out.traffics[0].bytes_sent as f64 / 1e6
             );
         }
+
+        // The MPI_Iallreduce shape: real training overlaps the gradient
+        // allreduce of layer k with the backprop of layer k-1. Model
+        // each step as the collective plus 2 ms of backprop compute:
+        // blocking pays the sum, nonblocking hides the collective's
+        // wait time inside the compute slices. The demo runs the
+        // uncompressed ring, whose exposed wait is largest — the
+        // pipelined C-Allreduce already hides most transfer internally,
+        // leaving little for the application to recover.
+        const STEPS: usize = 2;
+        let backprop = Duration::from_millis(2);
+        let slices = 32u32;
+        let spec = CodecSpec::None;
+        let run = move |nonblocking: bool| {
+            let world = SimWorld::new(SimConfig::new(workers));
+            world
+                .run(move |comm| {
+                    let session = CCollSession::new(spec, comm.size());
+                    let mut plan = session.plan_allreduce(params, ReduceOp::Sum);
+                    let mut summed = vec![0.0f32; params];
+                    for step in 0..STEPS {
+                        let grad = gradient(comm.rank() + step * 1000, params);
+                        if nonblocking {
+                            let mut handle = plan.start(comm, &grad, &mut summed);
+                            for _ in 0..slices {
+                                comm.charge_duration(backprop / slices, Category::Others);
+                                let _ = handle.progress(comm);
+                            }
+                            handle.complete(comm);
+                        } else {
+                            plan.execute_into(comm, &grad, &mut summed);
+                            comm.charge_duration(backprop, Category::Others);
+                        }
+                    }
+                })
+                .makespan
+                .as_secs_f64()
+                * 1e3
+        };
+        let blocking = run(false);
+        let nonblocking = run(true);
+        println!(
+            "{name:18} {:18} {blocking:9.1} ms → {nonblocking:.1} ms nonblocking ({:.1} ms of comm hidden)",
+            "ring + backprop",
+            blocking - nonblocking,
+        );
         println!();
     }
     println!("Compression keeps the per-step gradient distortion ≤ the error bound");
     println!("(≪ typical gradient noise), while cutting step latency — the DNN");
-    println!("use case from the paper's introduction.");
+    println!("use case from the paper's introduction. The nonblocking rows");
+    println!("additionally overlap each step's allreduce with its backprop");
+    println!("compute (start/progress/complete), hiding the residual wait.");
 }

@@ -3,7 +3,9 @@
 //! through both the session/persistent-plan API and the `CColl`
 //! compatibility shim.
 
-use c_coll::{AllreduceVariant, CColl, CCollSession, CodecSpec, ReduceOp};
+use std::time::Duration;
+
+use c_coll::{AllreduceVariant, CColl, CCollSession, CodecSpec, Poll, ReduceOp};
 use ccoll_comm::{Category, Comm, SimConfig, SimWorld, ThreadWorld};
 use ccoll_data::{metrics, Dataset};
 
@@ -261,4 +263,80 @@ fn scatter_bcast_roundtrip_through_full_stack() {
     let got = out.results[0].as_ref().expect("root gathers");
     let err = metrics::max_abs_error(&expect, got);
     assert!(err <= eb as f64 + 1e-9, "round trip error {err} > {eb}");
+}
+
+#[test]
+fn nonblocking_training_loop_through_full_stack() {
+    // The MPI_Iallreduce-shape training loop: every step starts the
+    // allreduce, interleaves "backprop" compute with progress polls and
+    // completes the tail. Results must be bitwise identical to the
+    // blocking loop on BOTH backends, and on the simulator the
+    // overlapped loop must finish strictly earlier.
+    let ranks = 4;
+    let n = 12_000;
+    let eb = 1e-3f32;
+    let steps = 3;
+    let compute = Duration::from_micros(400);
+
+    let run_sim = |nonblocking: bool| {
+        SimWorld::new(SimConfig::new(ranks)).run(move |comm| {
+            let session = CCollSession::new(CodecSpec::Szx { error_bound: eb }, ranks);
+            let mut plan = session.plan_allreduce(n, ReduceOp::Avg);
+            let mut out = vec![0.0f32; n];
+            for step in 0..steps {
+                let data = Dataset::Cesm.generate(n, (comm.rank() + step * 100) as u64);
+                if nonblocking {
+                    let mut handle = plan.start(comm, &data, &mut out);
+                    for _ in 0..16 {
+                        comm.charge_duration(compute / 16, Category::Others);
+                        if let Poll::Ready = handle.progress(comm) {
+                            break;
+                        }
+                    }
+                    handle.complete(comm);
+                } else {
+                    plan.execute_into(comm, &data, &mut out);
+                    comm.charge_duration(compute, Category::Others);
+                }
+            }
+            out
+        })
+    };
+    let blocking = run_sim(false);
+    let overlapped = run_sim(true);
+    for r in 0..ranks {
+        assert_eq!(
+            blocking.results[r], overlapped.results[r],
+            "rank {r}: nonblocking loop diverged on the simulator"
+        );
+    }
+    assert!(
+        overlapped.makespan < blocking.makespan,
+        "overlap {:?} should undercut blocking {:?}",
+        overlapped.makespan,
+        blocking.makespan
+    );
+
+    // Threaded backend: the same nonblocking loop (real threads, real
+    // test/poll) agrees with the simulator bitwise.
+    let threaded = ThreadWorld::new(ranks).run(move |comm| {
+        let session = CCollSession::new(CodecSpec::Szx { error_bound: eb }, ranks);
+        let mut plan = session.plan_allreduce(n, ReduceOp::Avg);
+        let mut out = vec![0.0f32; n];
+        for step in 0..steps {
+            let data = Dataset::Cesm.generate(n, (comm.rank() + step * 100) as u64);
+            let mut handle = plan.start(comm, &data, &mut out);
+            while let Poll::Pending = handle.progress(comm) {
+                std::thread::yield_now();
+            }
+            handle.complete(comm);
+        }
+        out
+    });
+    for r in 0..ranks {
+        assert_eq!(
+            threaded.results[r], overlapped.results[r],
+            "rank {r}: backends disagree through the nonblocking path"
+        );
+    }
 }
