@@ -9,9 +9,14 @@
 //!   datasets (RTM / Hurricane / CESM-ATM) and on three synthetic block
 //!   mixes (constant-dominated, quantized-dominated, verbatim/noise),
 //!   through a warmed [`CodecScratch`] so the numbers reflect the
-//!   zero-allocation steady state the collectives run in.
+//!   zero-allocation steady state the collectives run in. SZx and
+//!   PIPE-SZx are measured twice — pinned to the scalar kernels and at
+//!   the auto-detected SIMD level — so the dispatch layer's win is a
+//!   recorded column, not a one-off observation. The fused
+//!   decompress-reduce path is timed alongside plain decode.
 //!
 //! Run with `cargo run --release -p ccoll-bench --bin bench_codec`.
+//! Set `CCOLL_QUICK=1` for a CI-sized run (smaller fields, fewer reps).
 //! The JSON lands in the current directory so future PRs can regress
 //! against the recorded trajectory.
 
@@ -20,19 +25,40 @@ use std::time::Instant;
 
 use ccoll_compress::bitstream::reference::{ScalarBitReader, ScalarBitWriter};
 use ccoll_compress::bitstream::{BitReader, BitWriter};
-use ccoll_compress::{CodecScratch, Compressor, LosslessCodec, PipeSzx, SzxCodec, ZfpCodec};
+use ccoll_compress::{
+    dispatch, CodecScratch, Compressor, LosslessCodec, PipeSzx, ReduceKind, SimdLevel, SzxCodec,
+    ZfpCodec,
+};
 use ccoll_data::Dataset;
 
-/// Values per field benchmarked (16 MB of f32).
-const FIELD_VALUES: usize = 4_000_000;
+/// Values per field benchmarked (16 MB of f32), or 2 MB under
+/// `CCOLL_QUICK` so CI can afford a smoke run.
+fn field_values() -> usize {
+    if quick() {
+        500_000
+    } else {
+        4_000_000
+    }
+}
+
 /// Timed repetitions; the best (minimum) time is reported, which is the
 /// standard way to strip scheduler noise from a throughput measurement.
-const REPS: usize = 7;
+fn reps() -> usize {
+    if quick() {
+        3
+    } else {
+        7
+    }
+}
+
+fn quick() -> bool {
+    std::env::var_os("CCOLL_QUICK").is_some_and(|v| !v.is_empty() && v != "0")
+}
 
 fn best_secs(mut f: impl FnMut()) -> f64 {
     f(); // warmup (also warms scratch buffers)
     let mut best = f64::INFINITY;
-    for _ in 0..REPS {
+    for _ in 0..reps() {
         let t0 = Instant::now();
         f();
         best = best.min(t0.elapsed().as_secs_f64());
@@ -69,7 +95,7 @@ impl QuantizedWorkload {
 }
 
 fn bench_bitstream(out: &mut String) {
-    let wl = QuantizedWorkload::new(FIELD_VALUES);
+    let wl = QuantizedWorkload::new(field_values());
     let bytes = wl.payload_bytes();
 
     let scalar_encode = best_secs(|| {
@@ -170,15 +196,15 @@ fn block_mix(name: &str, n: usize) -> (String, Vec<f32>) {
     (format!("mix:{name}"), data)
 }
 
-fn bench_codec_on(
-    out: &mut String,
-    first: &mut bool,
-    codec: &dyn Compressor,
-    codec_label: &str,
-    field: &str,
-    data: &[f32],
-) {
-    let bytes = data.len() * 4;
+/// One codec variant's steady-state rates on one field.
+struct Rates {
+    encode: f64,
+    decode: f64,
+    fused_reduce: f64,
+    compressed: usize,
+}
+
+fn measure(codec: &dyn Compressor, data: &[f32]) -> Rates {
     let mut scratch = CodecScratch::new();
     let encode = best_secs(|| {
         codec
@@ -191,43 +217,132 @@ fn bench_codec_on(
             .decompress_into(&compressed, &mut scratch.dec)
             .expect("decompress");
     });
-    let ratio = bytes as f64 / compressed.len() as f64;
-    println!(
-        "{codec_label:<18} {field:<14} encode {:>7.2} GB/s  decode {:>7.2} GB/s  ratio {ratio:>7.2}",
-        gbps(bytes, encode),
-        gbps(bytes, decode),
-    );
+    let mut acc = vec![0.0f32; data.len()];
+    let mut reduce_scratch = Vec::new();
+    let fused = best_secs(|| {
+        codec
+            .decompress_reduce_into(&compressed, ReduceKind::Sum, &mut acc, &mut reduce_scratch)
+            .expect("decompress-reduce");
+        std::hint::black_box(&acc);
+    });
+    let bytes = data.len() * 4;
+    Rates {
+        encode: gbps(bytes, encode),
+        decode: gbps(bytes, decode),
+        fused_reduce: gbps(bytes, fused),
+        compressed: compressed.len(),
+    }
+}
+
+fn emit_record(out: &mut String, first: &mut bool, record: &str) {
     if !*first {
         out.push_str(",\n");
     }
     *first = false;
-    let _ = write!(
+    out.push_str(record);
+}
+
+/// Constructor for a codec pinned to a given dispatch level.
+type CodecAt<'a> = &'a dyn Fn(SimdLevel) -> Box<dyn Compressor>;
+
+/// Benchmark a dispatch-aware codec at both the scalar pin and the
+/// auto-detected level, recording both columns and their ratio.
+fn bench_dispatched(
+    out: &mut String,
+    first: &mut bool,
+    codec_at: CodecAt,
+    codec_label: &str,
+    field: &str,
+    data: &[f32],
+) {
+    let scalar = measure(codec_at(SimdLevel::Scalar).as_ref(), data);
+    let simd = measure(codec_at(SimdLevel::Auto).as_ref(), data);
+    let ratio = (data.len() * 4) as f64 / simd.compressed as f64;
+    println!(
+        "{codec_label:<18} {field:<14} encode {:>6.2} -> {:>6.2} GB/s ({:.2}x)  \
+         decode {:>6.2} -> {:>6.2} GB/s ({:.2}x)  fused {:>6.2} GB/s  ratio {ratio:>7.2}",
+        scalar.encode,
+        simd.encode,
+        simd.encode / scalar.encode,
+        scalar.decode,
+        simd.decode,
+        simd.decode / scalar.decode,
+        simd.fused_reduce,
+    );
+    emit_record(
         out,
-        "    {{\"codec\": \"{codec_label}\", \"field\": \"{field}\", \
-         \"encode_gbps\": {:.3}, \"decode_gbps\": {:.3}, \"ratio\": {:.3}}}",
-        gbps(bytes, encode),
-        gbps(bytes, decode),
-        ratio,
+        first,
+        &format!(
+            "    {{\"codec\": \"{codec_label}\", \"field\": \"{field}\", \
+             \"encode_scalar_gbps\": {:.3}, \"encode_simd_gbps\": {:.3}, \
+             \"encode_simd_speedup\": {:.3}, \
+             \"decode_scalar_gbps\": {:.3}, \"decode_simd_gbps\": {:.3}, \
+             \"decode_simd_speedup\": {:.3}, \
+             \"fused_reduce_scalar_gbps\": {:.3}, \"fused_reduce_simd_gbps\": {:.3}, \
+             \"ratio\": {:.3}}}",
+            scalar.encode,
+            simd.encode,
+            simd.encode / scalar.encode,
+            scalar.decode,
+            simd.decode,
+            simd.decode / scalar.decode,
+            scalar.fused_reduce,
+            simd.fused_reduce,
+            ratio,
+        ),
+    );
+}
+
+fn bench_codec_on(
+    out: &mut String,
+    first: &mut bool,
+    codec: &dyn Compressor,
+    codec_label: &str,
+    field: &str,
+    data: &[f32],
+) {
+    let r = measure(codec, data);
+    let ratio = (data.len() * 4) as f64 / r.compressed as f64;
+    println!(
+        "{codec_label:<18} {field:<14} encode {:>7.2} GB/s  decode {:>7.2} GB/s  ratio {ratio:>7.2}",
+        r.encode, r.decode,
+    );
+    emit_record(
+        out,
+        first,
+        &format!(
+            "    {{\"codec\": \"{codec_label}\", \"field\": \"{field}\", \
+             \"encode_gbps\": {:.3}, \"decode_gbps\": {:.3}, \"ratio\": {:.3}}}",
+            r.encode, r.decode, ratio,
+        ),
     );
 }
 
 fn main() {
+    let simd_label = dispatch::active().level().label();
+    println!(
+        "dispatch: auto resolves to {simd_label}{}",
+        if quick() { " (quick mode)" } else { "" }
+    );
     let mut json = String::from("{\n");
     let _ = write!(
         json,
-        "  \"bench\": \"codec\",\n  \"field_values\": {FIELD_VALUES},\n  \"reps\": {REPS},\n"
+        "  \"bench\": \"codec\",\n  \"field_values\": {},\n  \"reps\": {},\n  \
+         \"simd_level\": \"{simd_label}\",\n  \"quick\": {},\n",
+        field_values(),
+        reps(),
+        quick(),
     );
     bench_bitstream(&mut json);
     json.push_str("  \"codecs\": [\n");
 
-    let szx = SzxCodec::new(1e-3);
-    let pipe = PipeSzx::new(1e-3);
+    let szx_at: CodecAt = &|l| Box::new(SzxCodec::new(1e-3).with_dispatch(l));
+    let pipe_at: CodecAt = &|l| Box::new(PipeSzx::new(1e-3).with_dispatch(l));
     let zfp_abs = ZfpCodec::fixed_accuracy(1e-3);
     let zfp_fxr = ZfpCodec::fixed_rate(8);
     let lossless = LosslessCodec::new();
-    let codecs: [(&dyn Compressor, &str); 5] = [
-        (&szx, "SZx(ABS=1e-3)"),
-        (&pipe, "PIPE-SZx(1e-3)"),
+    let dispatched: [(CodecAt, &str); 2] = [(szx_at, "SZx(ABS=1e-3)"), (pipe_at, "PIPE-SZx(1e-3)")];
+    let plain: [(&dyn Compressor, &str); 3] = [
         (&zfp_abs, "ZFP(ABS=1e-3)"),
         (&zfp_fxr, "ZFP(FXR=8)"),
         (&lossless, "lossless"),
@@ -235,15 +350,18 @@ fn main() {
 
     let mut first = true;
     for ds in Dataset::ALL {
-        let data = ds.generate(FIELD_VALUES, 3);
-        for (codec, label) in codecs {
+        let data = ds.generate(field_values(), 3);
+        for (codec_at, label) in dispatched {
+            bench_dispatched(&mut json, &mut first, codec_at, label, ds.label(), &data);
+        }
+        for (codec, label) in plain {
             bench_codec_on(&mut json, &mut first, codec, label, ds.label(), &data);
         }
     }
     for mix in ["constant", "quantized", "verbatim"] {
-        let (field, data) = block_mix(mix, FIELD_VALUES);
-        for (codec, label) in [(codecs[0].0, codecs[0].1), (codecs[1].0, codecs[1].1)] {
-            bench_codec_on(&mut json, &mut first, codec, label, &field, &data);
+        let (field, data) = block_mix(mix, field_values());
+        for (codec_at, label) in dispatched {
+            bench_dispatched(&mut json, &mut first, codec_at, label, &field, &data);
         }
     }
     json.push_str("\n  ]\n}\n");

@@ -273,6 +273,44 @@ impl<'a> BitReader<'a> {
         Ok(out)
     }
 
+    /// Peek at the next `n ≤ 57` bits **without advancing the cursor**,
+    /// zero-padding past the end of the stream. Combined with
+    /// [`BitReader::skip_bits`] this supports speculative window parsing:
+    /// load one window, decode a variable-length structure from it with
+    /// plain shifts, then commit the exact number of bits consumed (ZFP's
+    /// bit-plane decoder uses this to replace per-bit reads). Parsing
+    /// zero padding is harmless because the commit fails on overrun.
+    #[inline]
+    pub fn peek_bits_padded(&self, n: u32) -> u64 {
+        debug_assert!(n <= 57, "peek window limited to 57 bits");
+        let byte = self.pos >> 3;
+        let shift = (self.pos & 7) as u32;
+        let window = if byte + 8 <= self.buf.len() {
+            u64::from_le_bytes(self.buf[byte..byte + 8].try_into().expect("8-byte window"))
+        } else if byte < self.buf.len() {
+            let mut tmp = [0u8; 8];
+            let avail = self.buf.len() - byte;
+            tmp[..avail].copy_from_slice(&self.buf[byte..]);
+            u64::from_le_bytes(tmp)
+        } else {
+            0
+        };
+        // shift ≤ 7 and n ≤ 57, so the n requested bits always fit the
+        // remaining 64 − shift window bits.
+        (window >> shift) & ((1u64 << n) - 1)
+    }
+
+    /// Advance the cursor by `n` bits without decoding them. Fails (and
+    /// leaves the cursor unchanged) if fewer than `n` bits remain.
+    #[inline]
+    pub fn skip_bits(&mut self, n: u32) -> Result<(), BitstreamExhausted> {
+        if self.remaining_bits() < n as usize {
+            return Err(BitstreamExhausted);
+        }
+        self.pos += n as usize;
+        Ok(())
+    }
+
     /// Skip forward to the next byte boundary.
     pub fn align(&mut self) {
         self.pos = (self.pos + 7) & !7;

@@ -1,0 +1,985 @@
+//! Runtime-dispatched SIMD kernels for the codec and reduction hot loops.
+//!
+//! PR 4/5 made transfer overlap nearly free, which left codec throughput
+//! as the dominant term on every pipelined hop's critical path. This
+//! module vectorizes the inner loops that `BENCH_codec.json` shows to be
+//! compute-bound — the SZx block analysis (pass-1 min/max/finite scan,
+//! pass-2 quantize/zigzag/width accumulation), the dequantization of
+//! decoded blocks, the fused decompress-reduce fold, and the plain
+//! [`ReduceKind`] slice folds used by `ReduceOp::apply` and the fallback
+//! fused path.
+//!
+//! ## Dispatch strategy
+//!
+//! CPU features are detected **once** (`is_x86_feature_detected!` on
+//! x86_64, NEON presence on aarch64) and resolved to a [`Kernels`]
+//! table of plain function pointers. Codecs hold a [`SimdLevel`] (default
+//! [`SimdLevel::Auto`]) so benchmarks and differential tests can pin both
+//! paths in the same process; the environment variables `CCOLL_FORCE_SCALAR`
+//! (any non-empty value other than `0`) and `CCOLL_SIMD=scalar|sse41|avx2|neon`
+//! override `Auto` for whole-process A/B runs. Requesting a level the
+//! running CPU does not support silently falls back to scalar — the level
+//! never changes stream contents, only speed.
+//!
+//! ## Bitwise-equality contract
+//!
+//! Every SIMD kernel is **bitwise identical** to its scalar counterpart
+//! (pinned by the differential proptests in `tests/simd_differential.rs`).
+//! That property is load-bearing: compressed streams must not depend on
+//! the machine that produced them, and fused decompress-reduce must match
+//! decode-then-apply exactly. Three design rules make it hold:
+//!
+//! * Quantization rounds with **ties-to-even** (`f64::round_ties_even`),
+//!   the IEEE default rounding every vector unit implements natively
+//!   (`roundpd`/`frintn`). Ties-away-from-zero, `f64::round`'s rule, has
+//!   no single-instruction vector form.
+//! * Min/max folds use the explicit, fully-specified rule of
+//!   [`ReduceKind::fold`] (strictly-greater-or-accumulator-NaN takes the
+//!   incoming value) instead of `f32::max`, whose ±0 tie behaviour is
+//!   unspecified and differs between scalar and vector instructions.
+//! * The all-zero-block midpoint is normalized by the *caller*
+//!   (`szx::encode_block`) so lane-order differences in ±0 min/max ties
+//!   can never reach the stream.
+//!
+//! ## Adding a kernel
+//!
+//! Add a scalar implementation in the `scalar` module, a field to [`Kernels`], and
+//! per-ISA overrides where they pay off; wire the new field into every
+//! `KERNELS_*` table (scalar stays the always-available fallback and the
+//! differential-testing oracle) and extend `tests/simd_differential.rs`
+//! with a proptest pinning SIMD == scalar bitwise.
+
+use crate::szx::MAX_QUANT_BITS;
+use crate::traits::ReduceKind;
+use std::sync::OnceLock;
+
+/// Quantization codes must stay strictly below this magnitude (half the
+/// [`MAX_QUANT_BITS`]-bit zigzag range) for a block to stay quantized.
+const QUANT_LIMIT: f64 = (1i64 << (MAX_QUANT_BITS - 1)) as f64;
+
+/// Zig-zag map a signed quantization code to an unsigned packing code.
+/// Wrapping shift: in the branch-free encode pass a doomed block (one
+/// that will fall back to verbatim) may feed saturated garbage through
+/// here, and it must not trip the debug overflow check.
+#[inline]
+pub(crate) fn zigzag(q: i32) -> u32 {
+    (q.wrapping_shl(1) ^ (q >> 31)) as u32
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub(crate) fn unzigzag(z: u32) -> i32 {
+    ((z >> 1) as i32) ^ -((z & 1) as i32)
+}
+
+/// Instruction-set level a [`Kernels`] table was built for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimdLevel {
+    /// Resolve to the best level the CPU supports (honouring the
+    /// `CCOLL_FORCE_SCALAR` / `CCOLL_SIMD` environment overrides).
+    Auto,
+    /// Portable scalar kernels — always available, and the differential
+    /// oracle every other level is tested against.
+    Scalar,
+    /// x86-64 SSE4.1 (128-bit lanes).
+    Sse41,
+    /// x86-64 AVX2 (256-bit lanes).
+    Avx2,
+    /// AArch64 NEON (128-bit lanes; currently covers the reduction folds,
+    /// with the codec kernels falling back to scalar).
+    Neon,
+}
+
+impl SimdLevel {
+    /// The best level supported by the running CPU (ignoring environment
+    /// overrides — see [`active`] for the resolved process-wide level).
+    pub fn detect() -> SimdLevel {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return SimdLevel::Avx2;
+            }
+            if std::arch::is_x86_feature_detected!("sse4.1") {
+                return SimdLevel::Sse41;
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            if std::arch::is_aarch64_feature_detected!("neon") {
+                return SimdLevel::Neon;
+            }
+        }
+        SimdLevel::Scalar
+    }
+
+    /// Whether this level's kernels can run on the current CPU.
+    pub fn is_supported(self) -> bool {
+        match self {
+            SimdLevel::Auto | SimdLevel::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Sse41 => std::arch::is_x86_feature_detected!("sse4.1"),
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(target_arch = "aarch64")]
+            SimdLevel::Neon => std::arch::is_aarch64_feature_detected!("neon"),
+            #[allow(unreachable_patterns)]
+            _ => false,
+        }
+    }
+
+    /// Short label for benchmark output (`"avx2"`, `"scalar"`, …).
+    pub fn label(self) -> &'static str {
+        match self {
+            SimdLevel::Auto => "auto",
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Sse41 => "sse41",
+            SimdLevel::Avx2 => "avx2",
+            SimdLevel::Neon => "neon",
+        }
+    }
+}
+
+/// Every level whose kernels the running CPU can execute, scalar first.
+/// Differential tests iterate this to pin SIMD == scalar on whatever
+/// machine they land on.
+pub fn available_levels() -> Vec<SimdLevel> {
+    [
+        SimdLevel::Scalar,
+        SimdLevel::Sse41,
+        SimdLevel::Avx2,
+        SimdLevel::Neon,
+    ]
+    .into_iter()
+    .filter(|l| l.is_supported())
+    .collect()
+}
+
+/// Signature of the quantize kernel: `(block, mid, eb, codes) -> (z_or, ok)`.
+type QuantizeFn = fn(&[f32], f32, f32, &mut [u32]) -> (u32, bool);
+
+/// A resolved table of hot-loop kernels for one [`SimdLevel`].
+///
+/// All entries are plain `fn` pointers so a table is `'static` data with
+/// no trait-object indirection; each call amortizes over a whole block or
+/// slice. Safety: tables for non-scalar levels are only handed out after
+/// a runtime feature check (see [`kernels`]), so the `target_feature`
+/// entry points inside are sound to call through these pointers.
+pub struct Kernels {
+    level: SimdLevel,
+    minmax_finite: fn(&[f32]) -> (f32, f32, bool),
+    quantize: QuantizeFn,
+    dequantize: fn(&[u32], f32, f32, &mut [f32]),
+    dequantize_fold: fn(&[u32], f32, f32, ReduceKind, &mut [f32]),
+    fold_slice: fn(ReduceKind, &mut [f32], &[f32]),
+    fold_splat: fn(ReduceKind, &mut [f32], f32),
+}
+
+impl Kernels {
+    /// The level this table was built for.
+    pub fn level(&self) -> SimdLevel {
+        self.level
+    }
+
+    /// SZx encode pass 1: `(min, max, all-finite)` over `block`, with
+    /// keep-accumulator semantics on ties and NaN (the accumulators can
+    /// never become NaN). The sign of a ±0.0 result is unspecified when
+    /// the block mixes zero signs — callers that store the result must
+    /// normalize (see `szx::encode_block`).
+    #[inline]
+    pub fn minmax_finite(&self, block: &[f32]) -> (f32, f32, bool) {
+        (self.minmax_finite)(block)
+    }
+
+    /// SZx encode pass 2: quantize `block` against `(mid, eb)` into
+    /// zigzag codes, returning `(z_or, ok)` where `z_or` ORs every code
+    /// (for the width computation) and `ok` clears if any code overflows
+    /// [`MAX_QUANT_BITS`] or any reconstruction misses the bound. When
+    /// `ok` is false the contents of `codes` are unspecified (the caller
+    /// falls back to a verbatim block).
+    #[inline]
+    pub fn quantize(&self, block: &[f32], mid: f32, eb: f32, codes: &mut [u32]) -> (u32, bool) {
+        debug_assert_eq!(block.len(), codes.len());
+        (self.quantize)(block, mid, eb, codes)
+    }
+
+    /// SZx decode: reconstruct `dst[i] = (mid + unzigzag(codes[i])·eb) as f32`
+    /// (arithmetic in f64, one final rounding — identical to the scalar
+    /// decode loop).
+    #[inline]
+    pub fn dequantize(&self, codes: &[u32], mid: f32, eb: f32, dst: &mut [f32]) {
+        debug_assert_eq!(codes.len(), dst.len());
+        (self.dequantize)(codes, mid, eb, dst)
+    }
+
+    /// Fused decompress-reduce: like [`Kernels::dequantize`] but each
+    /// reconstructed value is folded into `dst` with `op` instead of
+    /// stored, bitwise equal to dequantize-then-fold.
+    #[inline]
+    pub fn dequantize_fold(
+        &self,
+        codes: &[u32],
+        mid: f32,
+        eb: f32,
+        op: ReduceKind,
+        dst: &mut [f32],
+    ) {
+        debug_assert_eq!(codes.len(), dst.len());
+        (self.dequantize_fold)(codes, mid, eb, op, dst)
+    }
+
+    /// Fold `src` into `dst` element-wise with `op` ([`ReduceKind::fold`]
+    /// semantics, bitwise). Backs `ReduceOp::apply` and the fallback
+    /// fused decompress-reduce path.
+    #[inline]
+    pub fn fold_slice(&self, op: ReduceKind, dst: &mut [f32], src: &[f32]) {
+        debug_assert_eq!(dst.len(), src.len());
+        (self.fold_slice)(op, dst, src)
+    }
+
+    /// Fold the broadcast value `v` into every element of `dst` — the
+    /// constant-block arm of the fused SZx reduce.
+    #[inline]
+    pub fn fold_splat(&self, op: ReduceKind, dst: &mut [f32], v: f32) {
+        (self.fold_splat)(op, dst, v)
+    }
+}
+
+static KERNELS_SCALAR: Kernels = Kernels {
+    level: SimdLevel::Scalar,
+    minmax_finite: scalar::minmax_finite,
+    quantize: scalar::quantize,
+    dequantize: scalar::dequantize,
+    dequantize_fold: scalar::dequantize_fold,
+    fold_slice: scalar::fold_slice,
+    fold_splat: scalar::fold_splat,
+};
+
+#[cfg(target_arch = "x86_64")]
+static KERNELS_SSE41: Kernels = Kernels {
+    level: SimdLevel::Sse41,
+    minmax_finite: x86::minmax_finite_sse41,
+    quantize: x86::quantize_sse41,
+    dequantize: x86::dequantize_sse41,
+    dequantize_fold: x86::dequantize_fold_sse41,
+    fold_slice: x86::fold_slice_sse41,
+    fold_splat: x86::fold_splat_sse41,
+};
+
+#[cfg(target_arch = "x86_64")]
+static KERNELS_AVX2: Kernels = Kernels {
+    level: SimdLevel::Avx2,
+    minmax_finite: x86::minmax_finite_avx2,
+    quantize: x86::quantize_avx2,
+    dequantize: x86::dequantize_avx2,
+    dequantize_fold: x86::dequantize_fold_avx2,
+    fold_slice: x86::fold_slice_avx2,
+    fold_splat: x86::fold_splat_avx2,
+};
+
+#[cfg(target_arch = "aarch64")]
+static KERNELS_NEON: Kernels = Kernels {
+    level: SimdLevel::Neon,
+    // The codec kernels are dominated by f64 quantization arithmetic
+    // whose NEON mapping has not been validated bitwise on hardware yet;
+    // they stay scalar until the differential suite has run on aarch64.
+    minmax_finite: scalar::minmax_finite,
+    quantize: scalar::quantize,
+    dequantize: scalar::dequantize,
+    dequantize_fold: scalar::dequantize_fold,
+    fold_slice: neon::fold_slice_neon,
+    fold_splat: neon::fold_splat_neon,
+};
+
+/// The kernel table for `level`, falling back to scalar when the CPU
+/// lacks the requested instructions (or the level is foreign to this
+/// architecture). `Auto` resolves through [`active`].
+pub fn kernels(level: SimdLevel) -> &'static Kernels {
+    match level {
+        SimdLevel::Auto => active(),
+        SimdLevel::Scalar => &KERNELS_SCALAR,
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse41 if SimdLevel::Sse41.is_supported() => &KERNELS_SSE41,
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 if SimdLevel::Avx2.is_supported() => &KERNELS_AVX2,
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon if SimdLevel::Neon.is_supported() => &KERNELS_NEON,
+        _ => &KERNELS_SCALAR,
+    }
+}
+
+/// The process-wide kernel table: the best detected level, unless
+/// `CCOLL_FORCE_SCALAR` (non-empty, not `"0"`) or `CCOLL_SIMD=<level>`
+/// overrides it. Detection and environment are consulted exactly once.
+pub fn active() -> &'static Kernels {
+    static ACTIVE: OnceLock<&'static Kernels> = OnceLock::new();
+    ACTIVE.get_or_init(|| kernels(resolve_auto()))
+}
+
+fn resolve_auto() -> SimdLevel {
+    if std::env::var_os("CCOLL_FORCE_SCALAR").is_some_and(|v| !v.is_empty() && v != "0") {
+        return SimdLevel::Scalar;
+    }
+    if let Ok(name) = std::env::var("CCOLL_SIMD") {
+        match name.to_ascii_lowercase().as_str() {
+            "scalar" => return SimdLevel::Scalar,
+            "sse41" => return SimdLevel::Sse41,
+            "avx2" => return SimdLevel::Avx2,
+            "neon" => return SimdLevel::Neon,
+            "" | "auto" => {}
+            other => {
+                // A typo silently running scalar would invalidate benchmark
+                // results; make the misconfiguration loud instead.
+                panic!("CCOLL_SIMD={other:?} is not one of scalar|sse41|avx2|neon|auto");
+            }
+        }
+    }
+    SimdLevel::detect()
+}
+
+// ---------------------------------------------------------------------------
+// Scalar kernels — the always-available fallback and differential oracle.
+// ---------------------------------------------------------------------------
+
+pub(crate) mod scalar {
+    use super::*;
+
+    pub(crate) fn minmax_finite(block: &[f32]) -> (f32, f32, bool) {
+        let mut min = f32::INFINITY;
+        let mut max = f32::NEG_INFINITY;
+        let mut finite = true;
+        // Explicit compares (not `f32::min`/`max`) pin the tie and NaN
+        // behaviour the vector min/max instructions implement: the
+        // accumulator survives ties and NaN inputs.
+        for &x in block {
+            min = if x < min { x } else { min };
+            max = if x > max { x } else { max };
+            finite &= x.is_finite();
+        }
+        (min, max, finite)
+    }
+
+    pub(crate) fn quantize(block: &[f32], mid: f32, eb: f32, codes: &mut [u32]) -> (u32, bool) {
+        let mid64 = mid as f64;
+        let eb64 = eb as f64;
+        let inv_eb = 1.0 / eb64;
+        let mut z_or = 0u32;
+        let mut ok = true;
+        for (c, &x) in codes.iter_mut().zip(block) {
+            // Ties-to-even so the vector units' native rounding matches
+            // (see the module docs); the bound-check below is rounding-
+            // rule-agnostic either way.
+            let qf = ((x as f64 - mid64) * inv_eb).round_ties_even();
+            ok &= qf.abs() < QUANT_LIMIT;
+            let q = qf as i32;
+            // Paranoid reconstruction check: guarantees the invariant even
+            // in exponent ranges where f32 rounding of x̂ is comparable to
+            // eb.
+            let xhat = (mid64 + q as f64 * eb64) as f32;
+            ok &= (x as f64 - xhat as f64).abs() <= eb64;
+            let z = zigzag(q);
+            *c = z;
+            // OR keeps the highest set bit of any code, which is all the
+            // width computation needs — cheaper than a max reduction.
+            z_or |= z;
+        }
+        (z_or, ok)
+    }
+
+    pub(crate) fn dequantize(codes: &[u32], mid: f32, eb: f32, dst: &mut [f32]) {
+        let mid64 = mid as f64;
+        let eb64 = eb as f64;
+        for (d, &z) in dst.iter_mut().zip(codes) {
+            *d = (mid64 + unzigzag(z) as f64 * eb64) as f32;
+        }
+    }
+
+    pub(crate) fn dequantize_fold(
+        codes: &[u32],
+        mid: f32,
+        eb: f32,
+        op: ReduceKind,
+        dst: &mut [f32],
+    ) {
+        let mid64 = mid as f64;
+        let eb64 = eb as f64;
+        for (d, &z) in dst.iter_mut().zip(codes) {
+            *d = op.fold(*d, (mid64 + unzigzag(z) as f64 * eb64) as f32);
+        }
+    }
+
+    pub(crate) fn fold_slice(op: ReduceKind, dst: &mut [f32], src: &[f32]) {
+        match op {
+            ReduceKind::Sum => {
+                for (d, &v) in dst.iter_mut().zip(src) {
+                    *d += v;
+                }
+            }
+            ReduceKind::Max => {
+                for (d, &v) in dst.iter_mut().zip(src) {
+                    *d = ReduceKind::Max.fold(*d, v);
+                }
+            }
+            ReduceKind::Min => {
+                for (d, &v) in dst.iter_mut().zip(src) {
+                    *d = ReduceKind::Min.fold(*d, v);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn fold_splat(op: ReduceKind, dst: &mut [f32], v: f32) {
+        match op {
+            ReduceKind::Sum => {
+                for d in dst.iter_mut() {
+                    *d += v;
+                }
+            }
+            ReduceKind::Max => {
+                for d in dst.iter_mut() {
+                    *d = ReduceKind::Max.fold(*d, v);
+                }
+            }
+            ReduceKind::Min => {
+                for d in dst.iter_mut() {
+                    *d = ReduceKind::Min.fold(*d, v);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// x86-64 kernels (SSE4.1 and AVX2).
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::*;
+    use std::arch::x86_64::*;
+
+    const ROUND_NEAREST: i32 = _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC;
+
+    // -- safe entry points (feature presence guaranteed by `kernels`) ----
+
+    macro_rules! entry {
+        ($name:ident => $imp:ident, fn($($arg:ident : $ty:ty),*) $(-> $ret:ty)?) => {
+            pub(super) fn $name($($arg: $ty),*) $(-> $ret)? {
+                // SAFETY: this entry point is only reachable through a
+                // `Kernels` table that `kernels()` hands out after the
+                // matching `is_x86_feature_detected!` check.
+                unsafe { $imp($($arg),*) }
+            }
+        };
+    }
+
+    entry!(minmax_finite_avx2 => minmax_finite_avx2_imp, fn(block: &[f32]) -> (f32, f32, bool));
+    entry!(quantize_avx2 => quantize_avx2_imp, fn(block: &[f32], mid: f32, eb: f32, codes: &mut [u32]) -> (u32, bool));
+    entry!(dequantize_avx2 => dequantize_avx2_imp, fn(codes: &[u32], mid: f32, eb: f32, dst: &mut [f32]));
+    entry!(dequantize_fold_avx2 => dequantize_fold_avx2_imp, fn(codes: &[u32], mid: f32, eb: f32, op: ReduceKind, dst: &mut [f32]));
+    entry!(fold_slice_avx2 => fold_slice_avx2_imp, fn(op: ReduceKind, dst: &mut [f32], src: &[f32]));
+    entry!(fold_splat_avx2 => fold_splat_avx2_imp, fn(op: ReduceKind, dst: &mut [f32], v: f32));
+
+    entry!(minmax_finite_sse41 => minmax_finite_sse41_imp, fn(block: &[f32]) -> (f32, f32, bool));
+    entry!(quantize_sse41 => quantize_sse41_imp, fn(block: &[f32], mid: f32, eb: f32, codes: &mut [u32]) -> (u32, bool));
+    entry!(dequantize_sse41 => dequantize_sse41_imp, fn(codes: &[u32], mid: f32, eb: f32, dst: &mut [f32]));
+    entry!(dequantize_fold_sse41 => dequantize_fold_sse41_imp, fn(codes: &[u32], mid: f32, eb: f32, op: ReduceKind, dst: &mut [f32]));
+    entry!(fold_slice_sse41 => fold_slice_sse41_imp, fn(op: ReduceKind, dst: &mut [f32], src: &[f32]));
+    entry!(fold_splat_sse41 => fold_splat_sse41_imp, fn(op: ReduceKind, dst: &mut [f32], v: f32));
+
+    // -- AVX2 ------------------------------------------------------------
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn minmax_finite_avx2_imp(block: &[f32]) -> (f32, f32, bool) {
+        let n = block.len();
+        let mut vmin = _mm256_set1_ps(f32::INFINITY);
+        let mut vmax = _mm256_set1_ps(f32::NEG_INFINITY);
+        let mut vfin = _mm256_castsi256_ps(_mm256_set1_epi32(-1));
+        let inf = _mm256_set1_ps(f32::INFINITY);
+        let absmask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFF_FFFF));
+        let mut i = 0;
+        while i + 8 <= n {
+            let x = _mm256_loadu_ps(block.as_ptr().add(i));
+            // minps/maxps return the second operand on ties and NaN,
+            // matching the scalar keep-accumulator rule.
+            vmin = _mm256_min_ps(x, vmin);
+            vmax = _mm256_max_ps(x, vmax);
+            let ax = _mm256_and_ps(x, absmask);
+            vfin = _mm256_and_ps(vfin, _mm256_cmp_ps::<_CMP_LT_OQ>(ax, inf));
+            i += 8;
+        }
+        let mut lanes = [0f32; 8];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), vmin);
+        let mut min = f32::INFINITY;
+        for &v in &lanes {
+            min = if v < min { v } else { min };
+        }
+        _mm256_storeu_ps(lanes.as_mut_ptr(), vmax);
+        let mut max = f32::NEG_INFINITY;
+        for &v in &lanes {
+            max = if v > max { v } else { max };
+        }
+        let mut finite = _mm256_movemask_ps(vfin) == 0xFF;
+        let (tmin, tmax, tfin) = scalar::minmax_finite(&block[i..]);
+        min = if tmin < min { tmin } else { min };
+        max = if tmax > max { tmax } else { max };
+        finite &= tfin;
+        (min, max, finite)
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn quantize_avx2_imp(
+        block: &[f32],
+        mid: f32,
+        eb: f32,
+        codes: &mut [u32],
+    ) -> (u32, bool) {
+        let n = block.len().min(codes.len());
+        let mid_v = _mm256_set1_pd(mid as f64);
+        let eb_v = _mm256_set1_pd(eb as f64);
+        let inv_v = _mm256_set1_pd(1.0 / (eb as f64));
+        let limit_v = _mm256_set1_pd(QUANT_LIMIT);
+        let absmask = _mm256_castsi256_pd(_mm256_set1_epi64x(0x7FFF_FFFF_FFFF_FFFF));
+        let mut ok_v = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+        let mut zor_v = _mm_setzero_si128();
+        let mut i = 0;
+        while i + 4 <= n {
+            let xd = _mm256_cvtps_pd(_mm_loadu_ps(block.as_ptr().add(i)));
+            // Separate mul/add throughout — no FMA contraction, so every
+            // intermediate rounds exactly like the scalar expression.
+            let qf =
+                _mm256_round_pd::<ROUND_NEAREST>(_mm256_mul_pd(_mm256_sub_pd(xd, mid_v), inv_v));
+            ok_v = _mm256_and_pd(
+                ok_v,
+                _mm256_cmp_pd::<_CMP_LT_OQ>(_mm256_and_pd(qf, absmask), limit_v),
+            );
+            // Out-of-range lanes convert to the integer-indefinite value
+            // instead of saturating like the scalar cast, but those lanes
+            // have already cleared `ok`, which routes the whole block to
+            // verbatim in both paths.
+            let q = _mm256_cvtpd_epi32(qf);
+            let xhat = _mm256_cvtps_pd(_mm256_cvtpd_ps(_mm256_add_pd(
+                mid_v,
+                _mm256_mul_pd(_mm256_cvtepi32_pd(q), eb_v),
+            )));
+            let diff = _mm256_and_pd(_mm256_sub_pd(xd, xhat), absmask);
+            ok_v = _mm256_and_pd(ok_v, _mm256_cmp_pd::<_CMP_LE_OQ>(diff, eb_v));
+            let z = _mm_xor_si128(_mm_slli_epi32::<1>(q), _mm_srai_epi32::<31>(q));
+            _mm_storeu_si128(codes.as_mut_ptr().add(i).cast(), z);
+            zor_v = _mm_or_si128(zor_v, z);
+            i += 4;
+        }
+        let mut z_or = horizontal_or_u32(zor_v);
+        let mut ok = _mm256_movemask_pd(ok_v) == 0xF;
+        let (tz, tok) = scalar::quantize(&block[i..n], mid, eb, &mut codes[i..n]);
+        z_or |= tz;
+        ok &= tok;
+        (z_or, ok)
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn dequantize_avx2_imp(codes: &[u32], mid: f32, eb: f32, dst: &mut [f32]) {
+        let n = codes.len().min(dst.len());
+        let mid_v = _mm256_set1_pd(mid as f64);
+        let eb_v = _mm256_set1_pd(eb as f64);
+        let mut i = 0;
+        while i + 8 <= n {
+            let x = dequant8(codes.as_ptr().add(i), mid_v, eb_v);
+            _mm256_storeu_ps(dst.as_mut_ptr().add(i), x);
+            i += 8;
+        }
+        scalar::dequantize(&codes[i..n], mid, eb, &mut dst[i..n]);
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn dequantize_fold_avx2_imp(
+        codes: &[u32],
+        mid: f32,
+        eb: f32,
+        op: ReduceKind,
+        dst: &mut [f32],
+    ) {
+        let n = codes.len().min(dst.len());
+        let mid_v = _mm256_set1_pd(mid as f64);
+        let eb_v = _mm256_set1_pd(eb as f64);
+        let mut i = 0;
+        while i + 8 <= n {
+            let v = dequant8(codes.as_ptr().add(i), mid_v, eb_v);
+            let d = _mm256_loadu_ps(dst.as_ptr().add(i));
+            _mm256_storeu_ps(dst.as_mut_ptr().add(i), fold8(op, d, v));
+            i += 8;
+        }
+        scalar::dequantize_fold(&codes[i..n], mid, eb, op, &mut dst[i..n]);
+    }
+
+    /// Reconstruct eight values: unzigzag in epi32, widen each half to
+    /// f64×4, `mid + q·eb`, narrow back to f32 — the exact op sequence of
+    /// the scalar expression `(mid64 + q as f64 * eb64) as f32`.
+    #[target_feature(enable = "avx2")]
+    unsafe fn dequant8(codes: *const u32, mid_v: __m256d, eb_v: __m256d) -> __m256 {
+        let z = _mm256_loadu_si256(codes.cast());
+        let q = _mm256_xor_si256(
+            _mm256_srli_epi32::<1>(z),
+            _mm256_sub_epi32(
+                _mm256_setzero_si256(),
+                _mm256_and_si256(z, _mm256_set1_epi32(1)),
+            ),
+        );
+        let lo = _mm256_cvtpd_ps(_mm256_add_pd(
+            mid_v,
+            _mm256_mul_pd(_mm256_cvtepi32_pd(_mm256_castsi256_si128(q)), eb_v),
+        ));
+        let hi = _mm256_cvtpd_ps(_mm256_add_pd(
+            mid_v,
+            _mm256_mul_pd(_mm256_cvtepi32_pd(_mm256_extracti128_si256::<1>(q)), eb_v),
+        ));
+        _mm256_set_m128(hi, lo)
+    }
+
+    /// Eight-lane [`ReduceKind::fold`]: `Sum` is `addps`; `Max`/`Min`
+    /// blend in the incoming value where it strictly wins the ordered
+    /// compare or the accumulator is NaN — the explicit rule `fold` pins.
+    #[target_feature(enable = "avx2")]
+    unsafe fn fold8(op: ReduceKind, d: __m256, v: __m256) -> __m256 {
+        match op {
+            ReduceKind::Sum => _mm256_add_ps(d, v),
+            ReduceKind::Max => {
+                let take = _mm256_or_ps(
+                    _mm256_cmp_ps::<_CMP_GT_OQ>(v, d),
+                    _mm256_cmp_ps::<_CMP_UNORD_Q>(d, d),
+                );
+                _mm256_blendv_ps(d, v, take)
+            }
+            ReduceKind::Min => {
+                let take = _mm256_or_ps(
+                    _mm256_cmp_ps::<_CMP_LT_OQ>(v, d),
+                    _mm256_cmp_ps::<_CMP_UNORD_Q>(d, d),
+                );
+                _mm256_blendv_ps(d, v, take)
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn fold_slice_avx2_imp(op: ReduceKind, dst: &mut [f32], src: &[f32]) {
+        let n = dst.len().min(src.len());
+        let mut i = 0;
+        while i + 8 <= n {
+            let d = _mm256_loadu_ps(dst.as_ptr().add(i));
+            let v = _mm256_loadu_ps(src.as_ptr().add(i));
+            _mm256_storeu_ps(dst.as_mut_ptr().add(i), fold8(op, d, v));
+            i += 8;
+        }
+        scalar::fold_slice(op, &mut dst[i..n], &src[i..n]);
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn fold_splat_avx2_imp(op: ReduceKind, dst: &mut [f32], v: f32) {
+        let n = dst.len();
+        let vv = _mm256_set1_ps(v);
+        let mut i = 0;
+        while i + 8 <= n {
+            let d = _mm256_loadu_ps(dst.as_ptr().add(i));
+            _mm256_storeu_ps(dst.as_mut_ptr().add(i), fold8(op, d, vv));
+            i += 8;
+        }
+        scalar::fold_splat(op, &mut dst[i..], v);
+    }
+
+    #[inline]
+    fn horizontal_or_u32(v: __m128i) -> u32 {
+        let mut lanes = [0u32; 4];
+        // SAFETY: storeu has no alignment requirement and `lanes` is 16 B.
+        unsafe { _mm_storeu_si128(lanes.as_mut_ptr().cast(), v) };
+        lanes[0] | lanes[1] | lanes[2] | lanes[3]
+    }
+
+    // -- SSE4.1 ----------------------------------------------------------
+
+    #[target_feature(enable = "sse4.1")]
+    unsafe fn minmax_finite_sse41_imp(block: &[f32]) -> (f32, f32, bool) {
+        let n = block.len();
+        let mut vmin = _mm_set1_ps(f32::INFINITY);
+        let mut vmax = _mm_set1_ps(f32::NEG_INFINITY);
+        let mut vfin = _mm_castsi128_ps(_mm_set1_epi32(-1));
+        let inf = _mm_set1_ps(f32::INFINITY);
+        let absmask = _mm_castsi128_ps(_mm_set1_epi32(0x7FFF_FFFF));
+        let mut i = 0;
+        while i + 4 <= n {
+            let x = _mm_loadu_ps(block.as_ptr().add(i));
+            vmin = _mm_min_ps(x, vmin);
+            vmax = _mm_max_ps(x, vmax);
+            let ax = _mm_and_ps(x, absmask);
+            vfin = _mm_and_ps(vfin, _mm_cmplt_ps(ax, inf));
+            i += 4;
+        }
+        let mut lanes = [0f32; 4];
+        _mm_storeu_ps(lanes.as_mut_ptr(), vmin);
+        let mut min = f32::INFINITY;
+        for &v in &lanes {
+            min = if v < min { v } else { min };
+        }
+        _mm_storeu_ps(lanes.as_mut_ptr(), vmax);
+        let mut max = f32::NEG_INFINITY;
+        for &v in &lanes {
+            max = if v > max { v } else { max };
+        }
+        let mut finite = _mm_movemask_ps(vfin) == 0xF;
+        let (tmin, tmax, tfin) = scalar::minmax_finite(&block[i..]);
+        min = if tmin < min { tmin } else { min };
+        max = if tmax > max { tmax } else { max };
+        finite &= tfin;
+        (min, max, finite)
+    }
+
+    #[target_feature(enable = "sse4.1")]
+    unsafe fn quantize_sse41_imp(
+        block: &[f32],
+        mid: f32,
+        eb: f32,
+        codes: &mut [u32],
+    ) -> (u32, bool) {
+        let n = block.len().min(codes.len());
+        let mid_v = _mm_set1_pd(mid as f64);
+        let eb_v = _mm_set1_pd(eb as f64);
+        let inv_v = _mm_set1_pd(1.0 / (eb as f64));
+        let limit_v = _mm_set1_pd(QUANT_LIMIT);
+        let absmask = _mm_castsi128_pd(_mm_set1_epi64x(0x7FFF_FFFF_FFFF_FFFF));
+        let mut ok_v = _mm_castsi128_pd(_mm_set1_epi64x(-1));
+        let mut zor_v = _mm_setzero_si128();
+        let mut i = 0;
+        while i + 2 <= n {
+            // Two f32 → two f64 lanes (the load grabs 8 bytes; only the
+            // low two float lanes are converted).
+            let xf = _mm_castpd_ps(_mm_load_sd(block.as_ptr().add(i).cast()));
+            let xd = _mm_cvtps_pd(xf);
+            let qf = _mm_round_pd::<ROUND_NEAREST>(_mm_mul_pd(_mm_sub_pd(xd, mid_v), inv_v));
+            ok_v = _mm_and_pd(ok_v, _mm_cmplt_pd(_mm_and_pd(qf, absmask), limit_v));
+            let q = _mm_cvtpd_epi32(qf);
+            let xhat = _mm_cvtps_pd(_mm_cvtpd_ps(_mm_add_pd(
+                mid_v,
+                _mm_mul_pd(_mm_cvtepi32_pd(q), eb_v),
+            )));
+            let diff = _mm_and_pd(_mm_sub_pd(xd, xhat), absmask);
+            ok_v = _mm_and_pd(ok_v, _mm_cmple_pd(diff, eb_v));
+            // cvtpd_epi32 zeroes the upper two i32 lanes, so the zigzag of
+            // those lanes is zero and safe to OR into the accumulator.
+            let z = _mm_xor_si128(_mm_slli_epi32::<1>(q), _mm_srai_epi32::<31>(q));
+            _mm_storel_epi64(codes.as_mut_ptr().add(i).cast(), z);
+            zor_v = _mm_or_si128(zor_v, z);
+            i += 2;
+        }
+        let mut z_or = horizontal_or_u32(zor_v);
+        let mut ok = _mm_movemask_pd(ok_v) == 0x3;
+        let (tz, tok) = scalar::quantize(&block[i..n], mid, eb, &mut codes[i..n]);
+        z_or |= tz;
+        ok &= tok;
+        (z_or, ok)
+    }
+
+    /// Reconstruct four values through two f64×2 pipelines.
+    #[target_feature(enable = "sse4.1")]
+    unsafe fn dequant4(codes: *const u32, mid_v: __m128d, eb_v: __m128d) -> __m128 {
+        let z = _mm_loadu_si128(codes.cast());
+        let q = _mm_xor_si128(
+            _mm_srli_epi32::<1>(z),
+            _mm_sub_epi32(_mm_setzero_si128(), _mm_and_si128(z, _mm_set1_epi32(1))),
+        );
+        let lo = _mm_cvtpd_ps(_mm_add_pd(mid_v, _mm_mul_pd(_mm_cvtepi32_pd(q), eb_v)));
+        let qhi = _mm_shuffle_epi32::<0b00_00_11_10>(q);
+        let hi = _mm_cvtpd_ps(_mm_add_pd(mid_v, _mm_mul_pd(_mm_cvtepi32_pd(qhi), eb_v)));
+        _mm_movelh_ps(lo, hi)
+    }
+
+    #[target_feature(enable = "sse4.1")]
+    unsafe fn dequantize_sse41_imp(codes: &[u32], mid: f32, eb: f32, dst: &mut [f32]) {
+        let n = codes.len().min(dst.len());
+        let mid_v = _mm_set1_pd(mid as f64);
+        let eb_v = _mm_set1_pd(eb as f64);
+        let mut i = 0;
+        while i + 4 <= n {
+            let x = dequant4(codes.as_ptr().add(i), mid_v, eb_v);
+            _mm_storeu_ps(dst.as_mut_ptr().add(i), x);
+            i += 4;
+        }
+        scalar::dequantize(&codes[i..n], mid, eb, &mut dst[i..n]);
+    }
+
+    #[target_feature(enable = "sse4.1")]
+    unsafe fn dequantize_fold_sse41_imp(
+        codes: &[u32],
+        mid: f32,
+        eb: f32,
+        op: ReduceKind,
+        dst: &mut [f32],
+    ) {
+        let n = codes.len().min(dst.len());
+        let mid_v = _mm_set1_pd(mid as f64);
+        let eb_v = _mm_set1_pd(eb as f64);
+        let mut i = 0;
+        while i + 4 <= n {
+            let v = dequant4(codes.as_ptr().add(i), mid_v, eb_v);
+            let d = _mm_loadu_ps(dst.as_ptr().add(i));
+            _mm_storeu_ps(dst.as_mut_ptr().add(i), fold4(op, d, v));
+            i += 4;
+        }
+        scalar::dequantize_fold(&codes[i..n], mid, eb, op, &mut dst[i..n]);
+    }
+
+    /// Four-lane [`ReduceKind::fold`] (see [`fold8`]).
+    #[target_feature(enable = "sse4.1")]
+    unsafe fn fold4(op: ReduceKind, d: __m128, v: __m128) -> __m128 {
+        match op {
+            ReduceKind::Sum => _mm_add_ps(d, v),
+            ReduceKind::Max => {
+                let take = _mm_or_ps(_mm_cmpgt_ps(v, d), _mm_cmpunord_ps(d, d));
+                _mm_blendv_ps(d, v, take)
+            }
+            ReduceKind::Min => {
+                let take = _mm_or_ps(_mm_cmplt_ps(v, d), _mm_cmpunord_ps(d, d));
+                _mm_blendv_ps(d, v, take)
+            }
+        }
+    }
+
+    #[target_feature(enable = "sse4.1")]
+    unsafe fn fold_slice_sse41_imp(op: ReduceKind, dst: &mut [f32], src: &[f32]) {
+        let n = dst.len().min(src.len());
+        let mut i = 0;
+        while i + 4 <= n {
+            let d = _mm_loadu_ps(dst.as_ptr().add(i));
+            let v = _mm_loadu_ps(src.as_ptr().add(i));
+            _mm_storeu_ps(dst.as_mut_ptr().add(i), fold4(op, d, v));
+            i += 4;
+        }
+        scalar::fold_slice(op, &mut dst[i..n], &src[i..n]);
+    }
+
+    #[target_feature(enable = "sse4.1")]
+    unsafe fn fold_splat_sse41_imp(op: ReduceKind, dst: &mut [f32], v: f32) {
+        let n = dst.len();
+        let vv = _mm_set1_ps(v);
+        let mut i = 0;
+        while i + 4 <= n {
+            let d = _mm_loadu_ps(dst.as_ptr().add(i));
+            _mm_storeu_ps(dst.as_mut_ptr().add(i), fold4(op, d, vv));
+            i += 4;
+        }
+        scalar::fold_splat(op, &mut dst[i..], v);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AArch64 NEON kernels (reduction folds only; codec kernels stay scalar
+// until the differential suite has run on aarch64 hardware).
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use super::*;
+    use std::arch::aarch64::*;
+
+    pub(super) fn fold_slice_neon(op: ReduceKind, dst: &mut [f32], src: &[f32]) {
+        // SAFETY: NEON tables are only handed out after the runtime
+        // feature check in `kernels()`.
+        unsafe { fold_slice_neon_imp(op, dst, src) }
+    }
+
+    pub(super) fn fold_splat_neon(op: ReduceKind, dst: &mut [f32], v: f32) {
+        // SAFETY: as above.
+        unsafe { fold_splat_neon_imp(op, dst, v) }
+    }
+
+    /// Four-lane [`ReduceKind::fold`]: take `v` where it strictly wins
+    /// the ordered compare (false on NaN) or the accumulator is NaN.
+    #[target_feature(enable = "neon")]
+    unsafe fn fold4(op: ReduceKind, d: float32x4_t, v: float32x4_t) -> float32x4_t {
+        match op {
+            ReduceKind::Sum => vaddq_f32(d, v),
+            ReduceKind::Max => {
+                let take = vorrq_u32(vcgtq_f32(v, d), vmvnq_u32(vceqq_f32(d, d)));
+                vbslq_f32(take, v, d)
+            }
+            ReduceKind::Min => {
+                let take = vorrq_u32(vcltq_f32(v, d), vmvnq_u32(vceqq_f32(d, d)));
+                vbslq_f32(take, v, d)
+            }
+        }
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn fold_slice_neon_imp(op: ReduceKind, dst: &mut [f32], src: &[f32]) {
+        let n = dst.len().min(src.len());
+        let mut i = 0;
+        while i + 4 <= n {
+            let d = vld1q_f32(dst.as_ptr().add(i));
+            let v = vld1q_f32(src.as_ptr().add(i));
+            vst1q_f32(dst.as_mut_ptr().add(i), fold4(op, d, v));
+            i += 4;
+        }
+        scalar::fold_slice(op, &mut dst[i..n], &src[i..n]);
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn fold_splat_neon_imp(op: ReduceKind, dst: &mut [f32], v: f32) {
+        let n = dst.len();
+        let vv = vdupq_n_f32(v);
+        let mut i = 0;
+        while i + 4 <= n {
+            let d = vld1q_f32(dst.as_ptr().add(i));
+            vst1q_f32(dst.as_mut_ptr().add(i), fold4(op, d, vv));
+            i += 4;
+        }
+        scalar::fold_splat(op, &mut dst[i..], v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_is_supported_and_auto_resolves() {
+        let best = SimdLevel::detect();
+        assert!(best.is_supported());
+        let levels = available_levels();
+        assert!(levels.contains(&SimdLevel::Scalar));
+        assert!(levels.contains(&best));
+        // Auto must resolve to a concrete level.
+        assert_ne!(active().level(), SimdLevel::Auto);
+        assert_eq!(kernels(SimdLevel::Auto).level(), active().level());
+    }
+
+    #[test]
+    fn unsupported_level_falls_back_to_scalar() {
+        #[cfg(target_arch = "x86_64")]
+        assert_eq!(kernels(SimdLevel::Neon).level(), SimdLevel::Scalar);
+        #[cfg(target_arch = "aarch64")]
+        assert_eq!(kernels(SimdLevel::Avx2).level(), SimdLevel::Scalar);
+    }
+
+    #[test]
+    fn zigzag_round_trip_and_order() {
+        for q in [-5i32, -1, 0, 1, 5, i32::MAX / 2, i32::MIN / 2] {
+            assert_eq!(unzigzag(zigzag(q)), q);
+        }
+        // Zigzag maps magnitude order onto unsigned order.
+        assert!(zigzag(0) < zigzag(-1));
+        assert!(zigzag(-1) < zigzag(1));
+        assert!(zigzag(1) < zigzag(-2));
+    }
+
+    #[test]
+    fn fold_rule_is_fully_specified() {
+        use ReduceKind::*;
+        // Ties (including ±0) keep the accumulator; a NaN accumulator is
+        // replaced; a NaN incoming value never wins an ordered compare.
+        assert_eq!(Max.fold(0.0, -0.0).to_bits(), 0.0f32.to_bits());
+        assert_eq!(Max.fold(-0.0, 0.0).to_bits(), (-0.0f32).to_bits());
+        assert_eq!(Min.fold(0.0, -0.0).to_bits(), 0.0f32.to_bits());
+        assert_eq!(Max.fold(f32::NAN, 2.0), 2.0);
+        assert_eq!(Max.fold(2.0, f32::NAN), 2.0);
+        assert_eq!(Min.fold(f32::NAN, 2.0), 2.0);
+        assert!(Max.fold(f32::NAN, f32::NAN).is_nan());
+        assert_eq!(Sum.fold(1.5, 2.25), 3.75);
+    }
+}

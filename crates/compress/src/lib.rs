@@ -68,8 +68,16 @@
 //!    round trips perform zero heap allocations (pinned by a
 //!    counting-allocator test).
 //! 3. **Branch-free block analysis** — SZx classifies blocks with
-//!    accumulator-style flag passes (no early exits inside loops) the
-//!    autovectorizer can handle, and packs two codes per staging word.
+//!    accumulator-style flag passes (no early exits inside loops), and
+//!    packs two codes per staging word.
+//! 4. **Runtime-dispatched SIMD kernels** ([`dispatch`]) — the block
+//!    analysis, dequantize, fused decompress-reduce and reduction-fold
+//!    inner loops route through a per-CPU kernel table (AVX2/SSE4.1 on
+//!    x86-64, NEON folds on aarch64) detected once at startup, with the
+//!    scalar loops kept as the always-available fallback and the
+//!    differential oracle. Every level emits bitwise-identical streams;
+//!    `CCOLL_FORCE_SCALAR=1` (or `CCOLL_SIMD=<level>`) pins the whole
+//!    process, and [`SzxCodec::with_dispatch`] pins one codec instance.
 //!
 //! ```
 //! use ccoll_compress::{CodecScratch, Compressor, SzxCodec};
@@ -87,12 +95,14 @@
 
 pub mod bitstream;
 pub mod bytecodec;
+pub mod dispatch;
 pub mod lossless;
 pub mod pipe;
 pub mod szx;
 pub mod traits;
 pub mod zfp;
 
+pub use dispatch::SimdLevel;
 pub use lossless::LosslessCodec;
 pub use pipe::PipeSzx;
 pub use szx::SzxCodec;
@@ -114,9 +124,21 @@ pub fn f32s_to_bytes(values: &[f32]) -> Vec<u8> {
 /// reusable-buffer counterpart of [`f32s_to_bytes`] used by the pooled
 /// collective payload path (zero allocations on a warmed buffer).
 pub fn encode_f32s_into(values: &[f32], out: &mut Vec<u8>) {
-    out.reserve(values.len() * 4);
-    for v in values {
-        out.extend_from_slice(&v.to_le_bytes());
+    #[cfg(target_endian = "little")]
+    {
+        // The in-memory representation already is the wire format: one
+        // memcpy instead of a per-element encode loop.
+        // SAFETY: any &[f32] is readable as bytes; len*4 == size_of_val.
+        let raw =
+            unsafe { std::slice::from_raw_parts(values.as_ptr().cast::<u8>(), values.len() * 4) };
+        out.extend_from_slice(raw);
+    }
+    #[cfg(target_endian = "big")]
+    {
+        out.reserve(values.len() * 4);
+        for v in values {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
     }
 }
 
@@ -125,15 +147,75 @@ pub fn encode_f32s_into(values: &[f32], out: &mut Vec<u8>) {
 /// # Panics
 /// Panics if `bytes.len()` is not a multiple of four.
 pub fn bytes_to_f32s(bytes: &[u8]) -> Vec<f32> {
+    let mut out = Vec::new();
+    decode_f32s_vec(bytes, &mut out);
+    out
+}
+
+/// Decode little-endian bytes into an existing `f32` slice — the
+/// zero-allocation counterpart of [`bytes_to_f32s`]. On little-endian
+/// targets this is a single memcpy; every `u32` bit pattern is a valid
+/// `f32`, so no per-element conversion is needed.
+///
+/// # Panics
+/// Panics if `bytes.len() != dst.len() * 4`.
+pub fn decode_f32s_into(bytes: &[u8], dst: &mut [f32]) {
+    assert_eq!(bytes.len(), dst.len() * 4, "payload/destination mismatch");
+    #[cfg(target_endian = "little")]
+    {
+        // SAFETY: lengths match exactly (asserted above), the regions
+        // cannot overlap (&[u8] vs &mut [f32]), and any bit pattern is a
+        // valid f32.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                bytes.as_ptr(),
+                dst.as_mut_ptr().cast::<u8>(),
+                bytes.len(),
+            );
+        }
+    }
+    #[cfg(target_endian = "big")]
+    for (v, c) in dst.iter_mut().zip(bytes.chunks_exact(4)) {
+        *v = f32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+    }
+}
+
+/// Decode little-endian bytes into a reusable vector, resized to fit.
+/// Unlike `resize`-then-decode, the vector's contents are **not**
+/// zero-initialized before being overwritten — the decode is a single
+/// pass (one memcpy on little-endian targets).
+///
+/// # Panics
+/// Panics if `bytes.len()` is not a multiple of four.
+pub fn decode_f32s_vec(bytes: &[u8], out: &mut Vec<f32>) {
     assert!(
         bytes.len().is_multiple_of(4),
         "byte buffer length {} is not a multiple of 4",
         bytes.len()
     );
-    bytes
-        .chunks_exact(4)
-        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-        .collect()
+    let n = bytes.len() / 4;
+    out.clear();
+    out.reserve(n);
+    #[cfg(target_endian = "little")]
+    {
+        // SAFETY: capacity ≥ n after the reserve; the copy initializes
+        // exactly the n elements set_len exposes; any bit pattern is a
+        // valid f32.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                bytes.as_ptr(),
+                out.as_mut_ptr().cast::<u8>(),
+                bytes.len(),
+            );
+            out.set_len(n);
+        }
+    }
+    #[cfg(target_endian = "big")]
+    out.extend(
+        bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+    );
 }
 
 #[cfg(test)]

@@ -34,8 +34,10 @@
 
 use crate::bitstream::{BitReader, BitWriter};
 use crate::bytecodec::{patch_u32, put_f32, put_u16, put_u32, put_u64, ByteReader};
+use crate::dispatch::{self, SimdLevel};
 use crate::szx::{
-    decode_blocks_into, decode_blocks_reduce, encode_blocks, worst_case_body_bytes, DEFAULT_BLOCK,
+    decode_blocks_into, decode_blocks_reduce, encode_blocks, worst_case_body_bytes, BlockScratch,
+    DEFAULT_BLOCK, MAX_BLOCK,
 };
 use crate::traits::{CodecKind, CompressError, Compressor, ReduceKind};
 
@@ -59,6 +61,7 @@ pub struct PipeSzx {
     error_bound: f32,
     chunk: usize,
     block_size: usize,
+    dispatch: SimdLevel,
 }
 
 impl PipeSzx {
@@ -84,7 +87,15 @@ impl PipeSzx {
             error_bound,
             chunk,
             block_size: DEFAULT_BLOCK,
+            dispatch: SimdLevel::Auto,
         }
+    }
+
+    /// Pin the SIMD dispatch level (default [`SimdLevel::Auto`]); levels
+    /// never change stream contents, only throughput.
+    pub fn with_dispatch(mut self, level: SimdLevel) -> Self {
+        self.dispatch = level;
+        self
     }
 
     /// The configured absolute error bound.
@@ -159,8 +170,9 @@ impl PipeSzx {
         out.resize(index_at + nchunks * 4, 0);
         let mut w = BitWriter::from_vec(std::mem::take(out));
         let mut chunk_start = w.byte_len();
+        let k = dispatch::kernels(self.dispatch);
         for (i, chunk) in data.chunks(self.chunk).enumerate() {
-            encode_blocks(chunk, self.error_bound, self.block_size, &mut w);
+            encode_blocks(chunk, self.error_bound, self.block_size, k, &mut w);
             // Chunks are byte-aligned so each payload decodes standalone.
             w.align();
             let end = w.byte_len();
@@ -205,7 +217,7 @@ impl PipeSzx {
         let block_size = r.read_u16()? as usize;
         let eb = r.read_f32()?;
         let nchunks = r.read_u32()? as usize;
-        if chunk == 0 || block_size == 0 || !(eb.is_finite() && eb > 0.0) {
+        if chunk == 0 || !(1..=MAX_BLOCK).contains(&block_size) || !(eb.is_finite() && eb > 0.0) {
             return Err(CompressError::CorruptHeader);
         }
         if nchunks != count.div_ceil(chunk) {
@@ -216,6 +228,8 @@ impl PipeSzx {
         r.read_slice(nchunks * 4)?;
         out.clear();
         out.reserve(count);
+        let k = dispatch::kernels(self.dispatch);
+        let mut scratch = BlockScratch::new();
         // The chunk-starting-location pointer the paper describes: advance
         // through the payload using the recorded sizes.
         for i in 0..nchunks {
@@ -223,7 +237,7 @@ impl PipeSzx {
             let payload = r.read_slice(size)?;
             let want = chunk.min(count - i * chunk);
             let mut bits = BitReader::new(payload);
-            decode_blocks_into(&mut bits, want, eb, block_size, out)?;
+            decode_blocks_into(&mut bits, want, eb, block_size, k, &mut scratch, out)?;
             progress();
         }
         if out.len() != count {
@@ -299,7 +313,7 @@ impl Compressor for PipeSzx {
         let block_size = r.read_u16()? as usize;
         let eb = r.read_f32()?;
         let nchunks = r.read_u32()? as usize;
-        if chunk == 0 || block_size == 0 || !(eb.is_finite() && eb > 0.0) {
+        if chunk == 0 || !(1..=MAX_BLOCK).contains(&block_size) || !(eb.is_finite() && eb > 0.0) {
             return Err(CompressError::CorruptHeader);
         }
         if nchunks != count.div_ceil(chunk) {
@@ -308,13 +322,23 @@ impl Compressor for PipeSzx {
         assert_eq!(count, dst.len(), "decompress-reduce length mismatch");
         let mut sizes = r.clone();
         r.read_slice(nchunks * 4)?;
+        let k = dispatch::kernels(self.dispatch);
+        let mut scratch = BlockScratch::new();
         for i in 0..nchunks {
             let size = sizes.read_u32()? as usize;
             let payload = r.read_slice(size)?;
             let lo = i * chunk;
             let hi = (lo + chunk).min(count);
             let mut bits = BitReader::new(payload);
-            decode_blocks_reduce(&mut bits, op, eb, block_size, &mut dst[lo..hi])?;
+            decode_blocks_reduce(
+                &mut bits,
+                op,
+                eb,
+                block_size,
+                k,
+                &mut scratch,
+                &mut dst[lo..hi],
+            )?;
         }
         Ok(())
     }

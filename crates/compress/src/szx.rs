@@ -43,6 +43,7 @@
 
 use crate::bitstream::{BitReader, BitWriter};
 use crate::bytecodec::{put_f32, put_u16, put_u32, put_u64, ByteReader};
+use crate::dispatch::{self, Kernels, SimdLevel};
 use crate::traits::{CodecKind, CompressError, Compressor, ReduceKind};
 
 /// Stream magic: `"SZX1"` little-endian.
@@ -64,6 +65,7 @@ const TAG_VERBATIM: u32 = 2;
 pub struct SzxCodec {
     error_bound: f32,
     block_size: usize,
+    dispatch: SimdLevel,
 }
 
 impl SzxCodec {
@@ -93,7 +95,17 @@ impl SzxCodec {
         Self {
             error_bound,
             block_size,
+            dispatch: SimdLevel::Auto,
         }
+    }
+
+    /// Pin the SIMD dispatch level for this codec instance (default
+    /// [`SimdLevel::Auto`]). Levels never change stream contents, only
+    /// throughput — this exists so benchmarks and differential tests can
+    /// exercise both paths in one process.
+    pub fn with_dispatch(mut self, level: SimdLevel) -> Self {
+        self.dispatch = level;
+        self
     }
 
     /// The configured absolute error bound.
@@ -153,7 +165,13 @@ impl Compressor for SzxCodec {
         // Encode straight into the caller's buffer: no staging vector,
         // no final concatenation copy.
         let mut w = BitWriter::from_vec(std::mem::take(out));
-        encode_blocks(data, self.error_bound, self.block_size, &mut w);
+        encode_blocks(
+            data,
+            self.error_bound,
+            self.block_size,
+            dispatch::kernels(self.dispatch),
+            &mut w,
+        );
         *out = w.into_bytes();
         Ok(())
     }
@@ -165,7 +183,7 @@ impl Compressor for SzxCodec {
         }
         let count = r.read_u64()? as usize;
         let block_size = r.read_u16()? as usize;
-        if block_size == 0 {
+        if !(1..=MAX_BLOCK).contains(&block_size) {
             return Err(CompressError::CorruptHeader);
         }
         let eb = r.read_f32()?;
@@ -175,7 +193,16 @@ impl Compressor for SzxCodec {
         let mut bits = BitReader::new(r.remaining());
         out.clear();
         out.reserve(count);
-        decode_blocks_into(&mut bits, count, eb, block_size, out)
+        let mut scratch = BlockScratch::new();
+        decode_blocks_into(
+            &mut bits,
+            count,
+            eb,
+            block_size,
+            dispatch::kernels(self.dispatch),
+            &mut scratch,
+            out,
+        )
     }
 
     fn decompress_reduce_into(
@@ -191,7 +218,7 @@ impl Compressor for SzxCodec {
         }
         let count = r.read_u64()? as usize;
         let block_size = r.read_u16()? as usize;
-        if block_size == 0 {
+        if !(1..=MAX_BLOCK).contains(&block_size) {
             return Err(CompressError::CorruptHeader);
         }
         let eb = r.read_f32()?;
@@ -200,7 +227,16 @@ impl Compressor for SzxCodec {
         }
         assert_eq!(count, dst.len(), "decompress-reduce length mismatch");
         let mut bits = BitReader::new(r.remaining());
-        decode_blocks_reduce(&mut bits, op, eb, block_size, dst)
+        let mut scratch = BlockScratch::new();
+        decode_blocks_reduce(
+            &mut bits,
+            op,
+            eb,
+            block_size,
+            dispatch::kernels(self.dispatch),
+            &mut scratch,
+            dst,
+        )
     }
 
     fn max_compressed_bytes(&self, values: usize) -> usize {
@@ -214,53 +250,68 @@ impl Compressor for SzxCodec {
     }
 }
 
-/// Zig-zag map a signed quantization code to an unsigned packing code.
-/// Wrapping shift: in the branch-free encode pass a doomed block (one
-/// that will fall back to verbatim) may feed saturated garbage through
-/// here, and it must not trip the debug overflow check.
-#[inline]
-fn zigzag(q: i32) -> u32 {
-    (q.wrapping_shl(1) ^ (q >> 31)) as u32
+/// Hard cap on the block size (values per block). Encoders enforce it in
+/// [`SzxCodec::with_block_size`]; decoders reject larger headers so the
+/// fixed-size [`BlockScratch`] always fits a whole block.
+pub(crate) const MAX_BLOCK: usize = 4096;
+
+/// Per-stream decode scratch: unpacked zigzag codes and reconstructed
+/// values for one block at a time. Created once per stream (32 KiB of
+/// stack) and reused across every block and chunk, so the dequantize
+/// kernels get contiguous slices without any heap traffic.
+pub(crate) struct BlockScratch {
+    codes: [u32; MAX_BLOCK],
+    vals: [f32; MAX_BLOCK],
 }
 
-/// Inverse of [`zigzag`].
-#[inline]
-fn unzigzag(z: u32) -> i32 {
-    ((z >> 1) as i32) ^ -((z & 1) as i32)
+impl BlockScratch {
+    pub(crate) fn new() -> Self {
+        Self {
+            codes: [0; MAX_BLOCK],
+            vals: [0.0; MAX_BLOCK],
+        }
+    }
 }
 
 /// Encode `data` as a sequence of blocks into `w`. This is the header-less
 /// core shared with [`PipeSzx`](crate::pipe::PipeSzx).
-pub(crate) fn encode_blocks(data: &[f32], eb: f32, block_size: usize, w: &mut BitWriter) {
-    // One stack scratch shared by every block (the 4096 cap is enforced
-    // by `with_block_size`).
-    let mut codes = [0u32; 4096];
+pub(crate) fn encode_blocks(
+    data: &[f32],
+    eb: f32,
+    block_size: usize,
+    k: &Kernels,
+    w: &mut BitWriter,
+) {
+    // One stack scratch shared by every block (the MAX_BLOCK cap is
+    // enforced by `with_block_size`).
+    let mut codes = [0u32; MAX_BLOCK];
     for block in data.chunks(block_size) {
-        encode_block(block, eb, w, &mut codes[..block.len()]);
+        encode_block(block, eb, k, w, &mut codes[..block.len()]);
     }
 }
 
 /// Classify and encode one block. `codes` is caller-provided scratch of
 /// exactly `block.len()` entries.
 ///
-/// The analysis passes are deliberately branch-free inside the loops
-/// (no early exits, accumulator-style flags) so the autovectorizer can
-/// chew through them; classification decisions happen between passes.
-fn encode_block(block: &[f32], eb: f32, w: &mut BitWriter, codes: &mut [u32]) {
+/// The analysis passes live in [`crate::dispatch`] (SIMD with a scalar
+/// fallback, both branch-free accumulator-style loops); classification
+/// decisions happen here, between passes.
+fn encode_block(block: &[f32], eb: f32, k: &Kernels, w: &mut BitWriter, codes: &mut [u32]) {
     let eb64 = eb as f64;
-    // Pass 1: block min/max + finiteness, in f32 (min/max are exact, so
-    // this matches the seed's f64 scan bit for bit).
-    let mut min = f32::INFINITY;
-    let mut max = f32::NEG_INFINITY;
-    let mut finite = true;
-    for &x in block {
-        min = min.min(x);
-        max = max.max(x);
-        finite &= x.is_finite();
-    }
+    // Pass 1: block min/max + finiteness.
+    let (mut min, mut max, finite) = k.minmax_finite(block);
     if !finite {
         write_verbatim(block, w);
         return;
+    }
+    if min == 0.0 && max == 0.0 {
+        // All-zero block. The kernels leave the *sign* of a ±0 min/max
+        // unspecified (lane order changes which zero survives a tie), and
+        // the sign would leak into the stored midpoint when both extremes
+        // are -0.0. Pin it to the first element so every dispatch level
+        // emits the same stream.
+        min = block[0];
+        max = block[0];
     }
     let (min, max) = (min as f64, max as f64);
     // Midpoint as the value actually stored (an f32), so the radius check
@@ -280,28 +331,9 @@ fn encode_block(block: &[f32], eb: f32, w: &mut BitWriter, codes: &mut [u32]) {
         write_verbatim(block, w);
         return;
     }
-    // Pass 2: quantize + zigzag, flag-accumulating instead of breaking.
-    // Multiplying by the precomputed reciprocal replaces a division per
-    // value; any rounding drift this introduces is caught by the same
-    // reconstruction check that already guards extreme exponent ranges.
-    let inv_eb = 1.0 / eb64;
-    let limit = (1i64 << (MAX_QUANT_BITS - 1)) as f64;
-    let mut z_or = 0u32;
-    let mut ok = true;
-    for (c, &x) in codes.iter_mut().zip(block) {
-        let qf = ((x as f64 - mid64) * inv_eb).round();
-        ok &= qf.abs() < limit;
-        let q = qf as i32;
-        // Paranoid reconstruction check: guarantees the invariant even in
-        // exponent ranges where f32 rounding of x̂ is comparable to eb.
-        let xhat = (mid64 + q as f64 * eb64) as f32;
-        ok &= (x as f64 - xhat as f64).abs() <= eb64;
-        let z = zigzag(q);
-        *c = z;
-        // OR keeps the highest set bit of any code, which is all the
-        // width computation below needs — cheaper than a max reduction.
-        z_or |= z;
-    }
+    // Pass 2: quantize + zigzag (see `dispatch` for the kernel contract;
+    // `ok` clears on code overflow or a reconstruction outside the bound).
+    let (z_or, ok) = k.quantize(block, mid, eb, codes);
     if !ok {
         write_verbatim(block, w);
         return;
@@ -336,15 +368,40 @@ fn write_verbatim(block: &[f32], w: &mut BitWriter) {
     }
 }
 
+/// Unpack the pair-packed zigzag codes of one quantized block into
+/// `codes`. Mirror of the paired pack loop: one `read_bits` per two
+/// values.
+#[inline]
+fn read_codes(r: &mut BitReader<'_>, m: u32, codes: &mut [u32]) -> Result<(), CompressError> {
+    let mask = (1u64 << m) - 1;
+    let mut pairs = codes.chunks_exact_mut(2);
+    for pair in &mut pairs {
+        let packed = r.read_bits(2 * m).map_err(|_| CompressError::Truncated)?;
+        pair[0] = (packed & mask) as u32;
+        pair[1] = (packed >> m) as u32;
+    }
+    if let [last] = pairs.into_remainder() {
+        *last = r.read_bits(m).map_err(|_| CompressError::Truncated)? as u32;
+    }
+    Ok(())
+}
+
 /// Decode `count` values written by [`encode_blocks`], appending to `out`.
+///
+/// Quantized blocks are decoded in two stages — serial bit-unpack into
+/// `scratch.codes`, then the dispatched dequantize kernel into
+/// `scratch.vals` — so the reconstruction arithmetic runs lane-parallel
+/// over a whole block while the bitstream cursor stays sequential.
 pub(crate) fn decode_blocks_into(
     r: &mut BitReader<'_>,
     count: usize,
     eb: f32,
     block_size: usize,
+    k: &Kernels,
+    scratch: &mut BlockScratch,
     out: &mut Vec<f32>,
 ) -> Result<(), CompressError> {
-    let eb64 = eb as f64;
+    debug_assert!(block_size <= MAX_BLOCK);
     let end = out.len() + count;
     while out.len() < end {
         let len = block_size.min(end - out.len());
@@ -359,24 +416,10 @@ pub(crate) fn decode_blocks_into(
             TAG_QUANTIZED => {
                 let mid =
                     f32::from_bits(r.read_bits(32).map_err(|_| CompressError::Truncated)? as u32);
-                let mid64 = mid as f64;
                 let m = (r.read_bits(5).map_err(|_| CompressError::Truncated)? as u32) + 1;
-                // Mirror of the paired pack loop: one `read_bits` per two
-                // values.
-                let mask = (1u64 << m) - 1;
-                let mut remaining = len;
-                while remaining >= 2 {
-                    let packed = r.read_bits(2 * m).map_err(|_| CompressError::Truncated)?;
-                    let q0 = unzigzag((packed & mask) as u32);
-                    let q1 = unzigzag((packed >> m) as u32);
-                    out.push((mid64 + q0 as f64 * eb64) as f32);
-                    out.push((mid64 + q1 as f64 * eb64) as f32);
-                    remaining -= 2;
-                }
-                if remaining == 1 {
-                    let z = r.read_bits(m).map_err(|_| CompressError::Truncated)? as u32;
-                    out.push((mid64 + unzigzag(z) as f64 * eb64) as f32);
-                }
+                read_codes(r, m, &mut scratch.codes[..len])?;
+                k.dequantize(&scratch.codes[..len], mid, eb, &mut scratch.vals[..len]);
+                out.extend_from_slice(&scratch.vals[..len]);
             }
             TAG_VERBATIM => {
                 let mut remaining = len;
@@ -399,17 +442,20 @@ pub(crate) fn decode_blocks_into(
 
 /// Fused variant of [`decode_blocks_into`]: every reconstructed value is
 /// folded into `dst` with `op` as it is decoded, so the quantized blocks
-/// never materialize in a scratch buffer. The reconstruction arithmetic
-/// (`x̂ = (mid + q·eb) as f32`, then [`ReduceKind::fold`]) is identical to
-/// decode-then-apply, keeping fused and unfused results bitwise equal.
+/// never materialize outside a single-block scratch. The reconstruction
+/// arithmetic (`x̂ = (mid + q·eb) as f32`, then [`ReduceKind::fold`]) is
+/// identical to decode-then-apply, keeping fused and unfused results
+/// bitwise equal.
 pub(crate) fn decode_blocks_reduce(
     r: &mut BitReader<'_>,
     op: ReduceKind,
     eb: f32,
     block_size: usize,
+    k: &Kernels,
+    scratch: &mut BlockScratch,
     dst: &mut [f32],
 ) -> Result<(), CompressError> {
-    let eb64 = eb as f64;
+    debug_assert!(block_size <= MAX_BLOCK);
     let mut at = 0usize;
     while at < dst.len() {
         let len = block_size.min(dst.len() - at);
@@ -419,40 +465,32 @@ pub(crate) fn decode_blocks_reduce(
             TAG_CONSTANT => {
                 let mid =
                     f32::from_bits(r.read_bits(32).map_err(|_| CompressError::Truncated)? as u32);
-                for d in block.iter_mut() {
-                    *d = op.fold(*d, mid);
-                }
+                k.fold_splat(op, block, mid);
             }
             TAG_QUANTIZED => {
                 let mid =
                     f32::from_bits(r.read_bits(32).map_err(|_| CompressError::Truncated)? as u32);
-                let mid64 = mid as f64;
                 let m = (r.read_bits(5).map_err(|_| CompressError::Truncated)? as u32) + 1;
-                let mask = (1u64 << m) - 1;
-                let mut pairs = block.chunks_exact_mut(2);
-                for pair in &mut pairs {
-                    let packed = r.read_bits(2 * m).map_err(|_| CompressError::Truncated)?;
-                    let q0 = unzigzag((packed & mask) as u32);
-                    let q1 = unzigzag((packed >> m) as u32);
-                    pair[0] = op.fold(pair[0], (mid64 + q0 as f64 * eb64) as f32);
-                    pair[1] = op.fold(pair[1], (mid64 + q1 as f64 * eb64) as f32);
-                }
-                if let [last] = pairs.into_remainder() {
-                    let z = r.read_bits(m).map_err(|_| CompressError::Truncated)? as u32;
-                    *last = op.fold(*last, (mid64 + unzigzag(z) as f64 * eb64) as f32);
-                }
+                read_codes(r, m, &mut scratch.codes[..len])?;
+                // Fused kernel: reconstruct and fold straight into the
+                // accumulator slice, no intermediate value buffer.
+                k.dequantize_fold(&scratch.codes[..len], mid, eb, op, block);
             }
             TAG_VERBATIM => {
-                let mut pairs = block.chunks_exact_mut(2);
+                // Unpack the raw IEEE words into scratch, then fold with
+                // the same dispatched kernel the unfused path uses.
+                let vals = &mut scratch.vals[..len];
+                let mut pairs = vals.chunks_exact_mut(2);
                 for pair in &mut pairs {
                     let packed = r.read_bits(64).map_err(|_| CompressError::Truncated)?;
-                    pair[0] = op.fold(pair[0], f32::from_bits(packed as u32));
-                    pair[1] = op.fold(pair[1], f32::from_bits((packed >> 32) as u32));
+                    pair[0] = f32::from_bits(packed as u32);
+                    pair[1] = f32::from_bits((packed >> 32) as u32);
                 }
                 if let [last] = pairs.into_remainder() {
                     let bits = r.read_bits(32).map_err(|_| CompressError::Truncated)? as u32;
-                    *last = op.fold(*last, f32::from_bits(bits));
+                    *last = f32::from_bits(bits);
                 }
+                k.fold_slice(op, block, vals);
             }
             _ => return Err(CompressError::CorruptHeader),
         }
@@ -613,9 +651,32 @@ mod tests {
     }
 
     #[test]
-    fn zigzag_round_trip() {
-        for q in [-5i32, -1, 0, 1, 5, i32::MAX / 2, i32::MIN / 2] {
-            assert_eq!(unzigzag(zigzag(q)), q);
+    fn dispatch_levels_agree_on_stream_bytes() {
+        let mut data: Vec<f32> = (0..5000).map(|i| (i as f32 * 3e-3).sin() * 7.0).collect();
+        data.extend(std::iter::repeat_n(0.0f32, 200));
+        data.extend(std::iter::repeat_n(-0.0f32, 200));
+        data.push(f32::NAN);
+        let reference = SzxCodec::new(1e-3)
+            .with_dispatch(SimdLevel::Scalar)
+            .compress(&data)
+            .unwrap();
+        for level in dispatch::available_levels() {
+            let codec = SzxCodec::new(1e-3).with_dispatch(level);
+            assert_eq!(
+                codec.compress(&data).unwrap(),
+                reference,
+                "{level:?} encode diverged from scalar"
+            );
+            let d = codec.decompress(&reference).unwrap();
+            let d_ref = SzxCodec::new(1e-3)
+                .with_dispatch(SimdLevel::Scalar)
+                .decompress(&reference)
+                .unwrap();
+            assert_eq!(
+                d.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                d_ref.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{level:?} decode diverged from scalar"
+            );
         }
     }
 

@@ -106,9 +106,9 @@ impl std::error::Error for CompressError {}
 pub enum ReduceKind {
     /// `dst[i] += decoded[i]`.
     Sum,
-    /// `dst[i] = dst[i].max(decoded[i])`.
+    /// Element-wise maximum (see [`ReduceKind::fold`] for the exact rule).
     Max,
-    /// `dst[i] = dst[i].min(decoded[i])`.
+    /// Element-wise minimum (see [`ReduceKind::fold`] for the exact rule).
     Min,
 }
 
@@ -117,12 +117,33 @@ impl ReduceKind {
     /// fused kernels inline per value. Kept as a method so the fallback
     /// path and every native kernel share identical `f32` arithmetic
     /// (fused and unfused results must match bitwise).
+    ///
+    /// `Max`/`Min` use a fully-specified rule rather than `f32::max`/`min`
+    /// (whose behaviour on a ±0.0 tie is unspecified and differs between
+    /// scalar and vector instructions): the incoming value replaces the
+    /// accumulator only when it strictly wins the ordered compare or the
+    /// accumulator is NaN. Ties — including `0.0` vs `-0.0` — keep the
+    /// accumulator; a NaN input never wins; NaN propagates only when both
+    /// sides are NaN. This rule has a direct two-instruction vector form
+    /// (ordered compare OR unordered-accumulator test, then blend).
     #[inline]
     pub fn fold(&self, dst: f32, v: f32) -> f32 {
         match self {
             ReduceKind::Sum => dst + v,
-            ReduceKind::Max => dst.max(v),
-            ReduceKind::Min => dst.min(v),
+            ReduceKind::Max => {
+                if v > dst || dst.is_nan() {
+                    v
+                } else {
+                    dst
+                }
+            }
+            ReduceKind::Min => {
+                if v < dst || dst.is_nan() {
+                    v
+                } else {
+                    dst
+                }
+            }
         }
     }
 }
@@ -195,9 +216,7 @@ pub trait Compressor: Send + Sync {
             dst.len(),
             "decompress-reduce length mismatch"
         );
-        for (d, &v) in dst.iter_mut().zip(scratch.iter()) {
-            *d = op.fold(*d, v);
-        }
+        crate::dispatch::active().fold_slice(op, dst, scratch);
         Ok(())
     }
 

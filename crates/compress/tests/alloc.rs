@@ -8,7 +8,9 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use ccoll_compress::{CodecScratch, Compressor, PipeSzx, SzxCodec, ZfpCodec};
+use ccoll_compress::{
+    CodecScratch, Compressor, PipeSzx, ReduceKind, SimdLevel, SzxCodec, ZfpCodec,
+};
 
 struct CountingAllocator;
 
@@ -53,43 +55,64 @@ fn mixed_field(n: usize) -> Vec<f32> {
     data
 }
 
-#[test]
-fn steady_state_codec_path_allocates_nothing() {
-    let data = mixed_field(60_000);
-    let szx = SzxCodec::new(1e-3);
-    let pipe = PipeSzx::new(1e-3);
+/// Run the warmed SZx/PIPE-SZx round-trip loop and assert zero
+/// allocator traffic. Exercised once per dispatch level so the SIMD
+/// kernels are held to the same zero-allocation contract as the scalar
+/// loops they replaced.
+fn audit_szx_pipe(level: SimdLevel, data: &[f32]) {
+    let szx = SzxCodec::new(1e-3).with_dispatch(level);
+    let pipe = PipeSzx::new(1e-3).with_dispatch(level);
 
     let mut szx_scratch = CodecScratch::new();
     let mut pipe_scratch = CodecScratch::new();
+    let mut acc = vec![0.0f32; data.len()];
+    let mut reduce_scratch = Vec::new();
 
     // Warmup: buffers grow to their steady-state capacity.
-    szx.compress_into(&data, &mut szx_scratch.enc)
+    szx.compress_into(data, &mut szx_scratch.enc)
         .expect("warm szx c");
     szx.decompress_into(&szx_scratch.enc, &mut szx_scratch.dec)
         .expect("warm szx d");
-    pipe.compress_into(&data, &mut pipe_scratch.enc)
+    szx.decompress_reduce_into(
+        &szx_scratch.enc,
+        ReduceKind::Sum,
+        &mut acc,
+        &mut reduce_scratch,
+    )
+    .expect("warm szx r");
+    pipe.compress_into(data, &mut pipe_scratch.enc)
         .expect("warm pipe c");
     pipe.decompress_into(&pipe_scratch.enc, &mut pipe_scratch.dec)
         .expect("warm pipe d");
 
     let szx_expected = szx_scratch.enc.clone();
 
-    // Steady state: zero heap traffic across repeated round trips.
+    // Steady state: zero heap traffic across repeated round trips,
+    // including the fused decompress-reduce path.
     let before = allocations();
     for _ in 0..8 {
-        szx.compress_into(&data, &mut szx_scratch.enc)
+        szx.compress_into(data, &mut szx_scratch.enc)
             .expect("szx c");
         szx.decompress_into(&szx_scratch.enc, &mut szx_scratch.dec)
             .expect("szx d");
-        pipe.compress_into(&data, &mut pipe_scratch.enc)
+        szx.decompress_reduce_into(
+            &szx_scratch.enc,
+            ReduceKind::Sum,
+            &mut acc,
+            &mut reduce_scratch,
+        )
+        .expect("szx r");
+        pipe.compress_into(data, &mut pipe_scratch.enc)
             .expect("pipe c");
         pipe.decompress_into(&pipe_scratch.enc, &mut pipe_scratch.dec)
             .expect("pipe d");
     }
     let delta = allocations() - before;
     assert_eq!(
-        delta, 0,
-        "steady-state SZx/PIPE-SZx round trips must not allocate, saw {delta} allocator calls"
+        delta,
+        0,
+        "steady-state SZx/PIPE-SZx round trips must not allocate at {:?}, saw {delta} allocator calls",
+        level
     );
 
     // The zero-allocation path still produces the canonical stream and a
@@ -103,9 +126,21 @@ fn steady_state_codec_path_allocates_nothing() {
             assert_eq!(a.to_bits(), b.to_bits());
         }
     }
+}
 
-    // ZFP's fixed-accuracy trial writer allocates once per stream (not
-    // per block, not per value); pin that bound so regressions surface.
+#[test]
+fn steady_state_codec_path_allocates_nothing() {
+    let data = mixed_field(60_000);
+
+    // Both dispatch modes: the scalar fallback and whatever the CPU's
+    // auto-detection picks (on x86-64 CI that is AVX2; on a machine
+    // without SIMD the two runs coincide, which is fine).
+    audit_szx_pipe(SimdLevel::Scalar, &data);
+    audit_szx_pipe(SimdLevel::Auto, &data);
+
+    // ZFP fixed-accuracy verifies its error bound directly against the
+    // kmin-masked coefficients (no trial bitstream since the plane-coder
+    // rework), so its steady state is allocation-free too.
     let zfp = ZfpCodec::fixed_accuracy(1e-3);
     let mut zfp_scratch = CodecScratch::new();
     zfp.compress_into(&data, &mut zfp_scratch.enc)
@@ -120,8 +155,8 @@ fn steady_state_codec_path_allocates_nothing() {
             .expect("zfp d");
     }
     let delta = allocations() - before;
-    assert!(
-        delta <= 8,
-        "ZFP steady state should allocate at most its per-stream trial buffer, saw {delta}"
+    assert_eq!(
+        delta, 0,
+        "ZFP steady state must not allocate since trial-writer removal, saw {delta}"
     );
 }

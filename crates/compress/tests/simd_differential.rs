@@ -1,0 +1,341 @@
+//! Differential tests: every SIMD dispatch level must be **bitwise
+//! identical** to the scalar reference on every kernel and every
+//! codec-level entry point.
+//!
+//! The scalar loops in `dispatch::scalar` are the specification; the
+//! vector kernels are only correct if no input — constant runs, ±0
+//! mixes, NaN/inf spikes, subnormals, unaligned lengths, tail blocks —
+//! can distinguish them. These tests run the same workload through each
+//! level reported by [`ccoll_compress::dispatch::available_levels`] (on
+//! a machine without AVX2/SSE4.1 the list collapses to `[Scalar]` and
+//! the tests degenerate to self-comparison, which is the intended
+//! behavior: the suite is hardware-portable).
+
+use ccoll_compress::dispatch::{self, SimdLevel};
+use ccoll_compress::{Compressor, PipeSzx, ReduceKind, SzxCodec};
+use proptest::prelude::*;
+
+/// Finite values spanning many magnitudes, with explicit ±0 weight.
+fn finite_f32() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        -1e6f32..1e6f32,
+        -1.0f32..1.0f32,
+        -1e-6f32..1e-6f32,
+        Just(0.0f32),
+        Just(-0.0f32),
+        -1e30f32..1e30f32,
+    ]
+}
+
+/// Any f32 bit pattern, including NaN/inf/subnormals.
+fn any_f32() -> impl Strategy<Value = f32> {
+    any::<u32>().prop_map(f32::from_bits)
+}
+
+/// Special values that historically distinguish scalar from vector
+/// min/max/compare sequences.
+fn special_f32() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        Just(0.0f32),
+        Just(-0.0f32),
+        Just(f32::NAN),
+        Just(-f32::NAN),
+        Just(f32::INFINITY),
+        Just(f32::NEG_INFINITY),
+        Just(f32::MIN_POSITIVE),
+        Just(f32::MIN_POSITIVE / 2.0), // subnormal
+        Just(-f32::MIN_POSITIVE / 2.0),
+        Just(1.0f32),
+        Just(-1.0f32),
+        any::<u32>().prop_map(f32::from_bits),
+    ]
+}
+
+fn error_bound() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        Just(1e-1f32),
+        Just(1e-2),
+        Just(1e-3),
+        Just(1e-4),
+        Just(1e-6)
+    ]
+}
+
+/// Block-structured data: stretches of constant, smooth, noisy and
+/// special values so one buffer exercises every SZx block tag and
+/// every SIMD tail path (segment lengths are deliberately not multiples
+/// of the vector width or the block size).
+fn block_mix() -> impl Strategy<Value = Vec<f32>> {
+    let segment = prop_oneof![
+        // Constant run (any value, incl. ±0/NaN via special).
+        (special_f32(), 1usize..300).prop_map(|(v, n)| vec![v; n]),
+        // Smooth ramp → quantized blocks.
+        (finite_f32(), -1e-2f32..1e-2, 1usize..300)
+            .prop_map(|(base, step, n)| (0..n).map(|i| base + step * i as f32).collect()),
+        // Raw noise → verbatim-leaning blocks.
+        prop::collection::vec(any_f32(), 1..150),
+    ];
+    prop::collection::vec(segment, 0..8).prop_map(|segs| segs.concat())
+}
+
+fn ops() -> [ReduceKind; 3] {
+    [ReduceKind::Sum, ReduceKind::Max, ReduceKind::Min]
+}
+
+fn assert_bits_eq(a: &[f32], b: &[f32], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: value {i} diverged ({x} vs {y})"
+        );
+    }
+}
+
+/// Like [`assert_bits_eq`] but op-aware: `Max`/`Min` folds are fully
+/// specified (the result is bitwise one of the operands, NaN or not),
+/// while `Sum` is IEEE addition, whose NaN *payload* Rust/LLVM leave
+/// unspecified (operands of `+` may be commuted, and different
+/// compilation sites can propagate different operands' payloads). For
+/// `Sum`, two NaNs therefore compare equal regardless of payload; every
+/// non-NaN value still must match bitwise.
+fn assert_fold_eq(a: &[f32], b: &[f32], op: ReduceKind, what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        if matches!(op, ReduceKind::Sum) && x.is_nan() && y.is_nan() {
+            continue;
+        }
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: value {i} diverged ({x} vs {y})"
+        );
+    }
+}
+
+/// Compress + decompress `data` through `codec_at(level)` for every
+/// available level and demand byte-identical streams and bit-identical
+/// reconstructions versus the scalar reference.
+fn check_levels_agree<C: Compressor>(codec_at: impl Fn(SimdLevel) -> C, data: &[f32]) {
+    let reference = codec_at(SimdLevel::Scalar);
+    let ref_stream = reference.compress(data).expect("scalar compress");
+    let ref_out = reference
+        .decompress(&ref_stream)
+        .expect("scalar decompress");
+    for level in dispatch::available_levels() {
+        let codec = codec_at(level);
+        let stream = codec.compress(data).expect("compress");
+        assert_eq!(stream, ref_stream, "stream diverged at {}", level.label());
+        let out = codec.decompress(&stream).expect("decompress");
+        assert_bits_eq(&out, &ref_out, level.label());
+    }
+}
+
+fn check_fused_reduce(data: &[f32], acc: &[f32], eb: f32) {
+    let scalar = SzxCodec::new(eb).with_dispatch(SimdLevel::Scalar);
+    let stream = scalar.compress(data).expect("compress");
+    // Accumulator the same length as the data, cycling the special
+    // values so every lane position sees NaN/±0/inf at some point.
+    let seed: Vec<f32> = (0..data.len())
+        .map(|i| {
+            if acc.is_empty() {
+                0.0
+            } else {
+                acc[i % acc.len()]
+            }
+        })
+        .collect();
+    let decoded = scalar.decompress(&stream).expect("decompress");
+    for op in ops() {
+        // Reference: scalar decode, then the fully-specified
+        // ReduceKind::fold applied element-wise in plain Rust.
+        let mut want = seed.clone();
+        for (d, v) in want.iter_mut().zip(&decoded) {
+            *d = op.fold(*d, *v);
+        }
+        for level in dispatch::available_levels() {
+            let codec = SzxCodec::new(eb).with_dispatch(level);
+            let mut got = seed.clone();
+            let mut scratch = Vec::new();
+            codec
+                .decompress_reduce_into(&stream, op, &mut got, &mut scratch)
+                .expect("fused reduce");
+            assert_fold_eq(&got, &want, op, &format!("{:?}/{}", op, level.label()));
+        }
+    }
+}
+
+fn check_fold_kernels(dst: &[f32], src: &[f32], splat: f32) {
+    let n = dst.len().min(src.len());
+    let (dst, src) = (&dst[..n], &src[..n]);
+    for op in ops() {
+        let mut want = dst.to_vec();
+        for (d, v) in want.iter_mut().zip(src) {
+            *d = op.fold(*d, *v);
+        }
+        let mut want_splat = dst.to_vec();
+        for d in want_splat.iter_mut() {
+            *d = op.fold(*d, splat);
+        }
+        for level in dispatch::available_levels() {
+            let k = dispatch::kernels(level);
+            let mut got = dst.to_vec();
+            k.fold_slice(op, &mut got, src);
+            assert_fold_eq(
+                &got,
+                &want,
+                op,
+                &format!("fold_slice {:?}/{}", op, level.label()),
+            );
+            let mut got_splat = dst.to_vec();
+            k.fold_splat(op, &mut got_splat, splat);
+            assert_fold_eq(
+                &got_splat,
+                &want_splat,
+                op,
+                &format!("fold_splat {:?}/{}", op, level.label()),
+            );
+        }
+    }
+}
+
+fn check_block_kernels(block: &[f32], eb: f32) {
+    let scalar = dispatch::kernels(SimdLevel::Scalar);
+    let (smin, smax, sfinite) = scalar.minmax_finite(block);
+    let mid = ((smin as f64 + smax as f64) / 2.0) as f32;
+    let mut scodes = vec![0u32; block.len()];
+    let (s_zor, s_ok) = scalar.quantize(block, mid, eb, &mut scodes);
+    let mut sdeq = vec![0.0f32; block.len()];
+    scalar.dequantize(&scodes, mid, eb, &mut sdeq);
+    for level in dispatch::available_levels() {
+        let k = dispatch::kernels(level);
+        let (vmin, vmax, vfinite) = k.minmax_finite(block);
+        // ±0 sign of min/max is unspecified for mixed-zero blocks (the
+        // codec normalizes before use), so compare values, not bits,
+        // here — finite inputs exclude NaN so == is exact.
+        assert_eq!(vmin, smin, "min diverged at {}", level.label());
+        assert_eq!(vmax, smax, "max diverged at {}", level.label());
+        assert_eq!(
+            vfinite,
+            sfinite,
+            "finite flag diverged at {}",
+            level.label()
+        );
+        let mut vcodes = vec![0u32; block.len()];
+        let (v_zor, v_ok) = k.quantize(block, mid, eb, &mut vcodes);
+        assert_eq!(v_ok, s_ok, "quantize ok diverged at {}", level.label());
+        if s_ok {
+            assert_eq!(v_zor, s_zor, "z_or diverged at {}", level.label());
+            assert_eq!(vcodes, scodes, "codes diverged at {}", level.label());
+        }
+        let mut vdeq = vec![0.0f32; block.len()];
+        k.dequantize(&scodes, mid, eb, &mut vdeq);
+        assert_bits_eq(&vdeq, &sdeq, &format!("dequantize {}", level.label()));
+    }
+}
+
+fn check_byte_paths(vals: &[f32]) {
+    let bytes = ccoll_compress::f32s_to_bytes(vals);
+    assert_eq!(bytes.len(), vals.len() * 4);
+    let mut dst = vec![0.0f32; vals.len()];
+    ccoll_compress::decode_f32s_into(&bytes, &mut dst);
+    assert_bits_eq(&dst, vals, "decode_f32s_into");
+    // Reused vector with stale contents of a different length.
+    let mut out = vec![f32::NAN; 17];
+    ccoll_compress::decode_f32s_vec(&bytes, &mut out);
+    assert_bits_eq(&out, vals, "decode_f32s_vec");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // SZx compress → identical stream bytes at every level; decompress
+    // of that stream → identical reconstruction bits at every level.
+    #[test]
+    fn szx_stream_and_decode_bitwise_identical(data in block_mix(), eb in error_bound()) {
+        check_levels_agree(|l| SzxCodec::new(eb).with_dispatch(l), &data);
+    }
+
+    // PIPE-SZx: same property across its chunked framing, at an
+    // unaligned chunk size so chunk tails land mid-vector.
+    #[test]
+    fn pipe_stream_and_decode_bitwise_identical(data in block_mix(), eb in error_bound()) {
+        check_levels_agree(|l| PipeSzx::with_chunk(eb, 777).with_dispatch(l), &data);
+    }
+
+    // Fused decompress-reduce must equal decompress-then-fold — bitwise,
+    // at every level, for every operator, including NaN/±0 accumulators.
+    #[test]
+    fn fused_reduce_matches_decode_then_fold(
+        data in block_mix(),
+        acc in prop::collection::vec(special_f32(), 0..64),
+        eb in error_bound(),
+    ) {
+        check_fused_reduce(&data, &acc, eb);
+    }
+
+    // The fold kernels alone (slice and splat forms) against the
+    // element-wise `ReduceKind::fold` oracle over special values.
+    #[test]
+    fn fold_kernels_match_fold_oracle(
+        dst in prop::collection::vec(special_f32(), 0..200),
+        src in prop::collection::vec(special_f32(), 0..200),
+        splat in special_f32(),
+    ) {
+        check_fold_kernels(&dst, &src, splat);
+    }
+
+    // The SZx per-block kernels compared level-vs-scalar directly:
+    // min/max/finite classification and quantization codes (when the
+    // block is accepted) must agree on every block shape and length.
+    #[test]
+    fn block_kernels_match_scalar(
+        block in prop::collection::vec(finite_f32(), 1..260),
+        eb in error_bound(),
+    ) {
+        check_block_kernels(&block, eb);
+    }
+
+    // Wire byte paths: encode→decode is the identity on bits for every
+    // pattern (the memcpy fast path must not normalize NaNs), and the
+    // single-pass vec decode matches the slice decode.
+    #[test]
+    fn byte_paths_are_bit_exact(vals in prop::collection::vec(any_f32(), 0..600)) {
+        check_byte_paths(&vals);
+    }
+}
+
+/// Constant runs at exact block-multiple, one-off and vector-tail
+/// lengths — the shapes most likely to break tail handling (not
+/// randomized: these lengths are the interesting ones).
+#[test]
+fn constant_runs_all_lengths_bitwise_identical() {
+    for n in [
+        1usize, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 127, 128, 129, 255, 256, 257, 1023, 1024, 1025,
+    ] {
+        for v in [0.0f32, -0.0, 1.5, f32::NAN, f32::INFINITY] {
+            let data = vec![v; n];
+            check_levels_agree(|l| SzxCodec::new(1e-3).with_dispatch(l), &data);
+        }
+    }
+}
+
+/// The dispatch table honours explicit level requests (and the label
+/// strings the bench harness records are stable).
+#[test]
+fn requested_levels_resolve() {
+    for level in dispatch::available_levels() {
+        assert_eq!(dispatch::kernels(level).level(), level);
+        assert!(!level.label().is_empty());
+    }
+    // Unsupported levels fall back to scalar rather than faulting.
+    assert_eq!(
+        dispatch::kernels(SimdLevel::Neon).level(),
+        if SimdLevel::Neon.is_supported() {
+            SimdLevel::Neon
+        } else {
+            SimdLevel::Scalar
+        }
+    );
+}

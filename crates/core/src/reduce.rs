@@ -26,27 +26,17 @@ impl ReduceOp {
 
     /// Fold `src` into `acc` element-wise.
     ///
+    /// Routes through the runtime-dispatched SIMD fold kernels in
+    /// `ccoll_compress::dispatch`, which implement exactly
+    /// `ReduceKind::fold` per element — so `apply` stays bitwise
+    /// identical to the fused decompress-reduce path (and between scalar
+    /// and SIMD dispatch).
+    ///
     /// # Panics
     /// Panics if the buffers have different lengths.
     pub fn apply(&self, acc: &mut [f32], src: &[f32]) {
         assert_eq!(acc.len(), src.len(), "reduction length mismatch");
-        match self {
-            ReduceOp::Sum | ReduceOp::Avg => {
-                for (a, &s) in acc.iter_mut().zip(src) {
-                    *a += s;
-                }
-            }
-            ReduceOp::Max => {
-                for (a, &s) in acc.iter_mut().zip(src) {
-                    *a = a.max(s);
-                }
-            }
-            ReduceOp::Min => {
-                for (a, &s) in acc.iter_mut().zip(src) {
-                    *a = a.min(s);
-                }
-            }
-        }
+        ccoll_compress::dispatch::active().fold_slice(self.fused_kind(), acc, src);
     }
 
     /// The codec-layer fold this operator maps to for fused

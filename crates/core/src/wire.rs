@@ -113,27 +113,18 @@ pub fn bytes_to_values(bytes: &Bytes) -> Vec<f32> {
 /// # Panics
 /// Panics if `bytes.len() != dst.len() * 4`.
 pub fn decode_values_into(bytes: &[u8], dst: &mut [f32]) {
-    assert_eq!(bytes.len(), dst.len() * 4, "payload/destination mismatch");
-    for (v, c) in dst.iter_mut().zip(bytes.chunks_exact(4)) {
-        *v = f32::from_le_bytes([c[0], c[1], c[2], c[3]]);
-    }
+    ccoll_compress::decode_f32s_into(bytes, dst);
 }
 
 /// Decode a little-endian byte payload into a reusable vector (resized
 /// to fit), for receive loops that reduce out of a scratch buffer.
-/// Delegates to [`decode_values_into`] so there is one canonical decode
-/// loop.
+/// Single-pass: the vector is **not** zero-initialized before being
+/// overwritten (one memcpy on little-endian targets).
 ///
 /// # Panics
 /// Panics if the length is not a multiple of four.
 pub fn decode_values_vec(bytes: &[u8], out: &mut Vec<f32>) {
-    assert!(
-        bytes.len().is_multiple_of(4),
-        "byte buffer length {} is not a multiple of 4",
-        bytes.len()
-    );
-    out.resize(bytes.len() / 4, 0.0);
-    decode_values_into(bytes, out);
+    ccoll_compress::decode_f32s_vec(bytes, out);
 }
 
 #[cfg(test)]
