@@ -1,0 +1,121 @@
+//! Deterministic chaos sweep over the fault-tolerant collectives,
+//! emitting `BENCH_chaos.json`.
+//!
+//! Sweeps seed × world × shape × codec × fault mix through
+//! [`ccoll_bench::run_chaos_case`]: every case must complete
+//! bitwise-equal to its fault-free reference or abort cleanly with a
+//! structured error — a hang or silent corruption fails the sweep (and
+//! the process exits nonzero, printing ready-to-pin corpus lines for
+//! the failing cases).
+//!
+//! The full sweep covers worlds {2..9, 32, 128} with ≥ 200 cases;
+//! `CCOLL_QUICK=1` shrinks it to a CI-sized block. Output is
+//! deterministic: the same build prints the same fingerprints forever,
+//! so a diff of two sweep outputs is a behavioural diff of the library.
+
+use ccoll_bench::chaos::{run_chaos_case, ChaosCase, FaultMix, Shape, CODECS};
+use std::fmt::Write as _;
+
+fn quick() -> bool {
+    std::env::var_os("CCOLL_QUICK").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Build the deterministic case list: every (world, mix) cell gets
+/// `seeds_per_cell` seeds, rotating shapes and codecs so the sweep
+/// covers the full cross-product over the seed block without running
+/// `|worlds| × |mixes| × |shapes| × |codecs|` simulations.
+fn cases(worlds: &[usize], seeds_per_cell: u64) -> Vec<ChaosCase> {
+    let mut out = Vec::new();
+    for (wi, &world) in worlds.iter().enumerate() {
+        for (mi, mix) in FaultMix::ALL.into_iter().enumerate() {
+            for s in 0..seeds_per_cell {
+                let rot = s as usize + wi + mi;
+                let shape = Shape::ALL[rot % Shape::ALL.len()];
+                let (_, codec) = CODECS[rot % CODECS.len()];
+                // Keep big worlds cheap: the contract is about control
+                // flow, not bandwidth.
+                let len = if world > 16 { 96 } else { 64 + 32 * (rot % 5) };
+                out.push(ChaosCase {
+                    seed: s + 1000 * (wi as u64 + 10 * mi as u64),
+                    world,
+                    len,
+                    shape,
+                    codec,
+                    mix,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let (worlds, seeds_per_cell): (Vec<usize>, u64) = if quick() {
+        (vec![2, 3, 5, 8, 32], 2)
+    } else {
+        (vec![2, 3, 4, 5, 6, 7, 8, 9, 32, 128], 7)
+    };
+    let list = cases(&worlds, seeds_per_cell);
+    println!(
+        "chaos sweep: {} cases over worlds {:?} ({} seeds/cell)\n",
+        list.len(),
+        worlds,
+        seeds_per_cell
+    );
+
+    let mut failures = Vec::new();
+    let mut json = String::from("[\n");
+    let (mut completed, mut aborted, mut killed, mut retries) = (0usize, 0usize, 0usize, 0u64);
+    for (i, case) in list.iter().enumerate() {
+        let r = run_chaos_case(*case);
+        let _ = writeln!(
+            json,
+            "  {{\"case\": \"{}\", \"pass\": {}, \"outcome\": \"{}\", \"fingerprint\": \"{:016x}\", \"retries\": {}}}{}",
+            case.corpus_key(),
+            r.pass,
+            r.outcome.replace('"', "'"),
+            r.fingerprint,
+            r.retries,
+            if i + 1 == list.len() { "" } else { "," }
+        );
+        completed += r.completed;
+        aborted += r.aborted;
+        killed += r.killed;
+        retries += r.retries;
+        if !r.pass {
+            println!("FAIL {} {:016x}  {}", case.corpus_key(), r.fingerprint, r);
+            failures.push(*case);
+        }
+    }
+    json.push_str("]\n");
+    std::fs::write("BENCH_chaos.json", &json).expect("write BENCH_chaos.json");
+
+    println!(
+        "{} cases: {} rank-completions, {} clean aborts, {} kills, {} retries absorbed",
+        list.len(),
+        completed,
+        aborted,
+        killed,
+        retries
+    );
+    // The block must actually exercise every outcome class — a sweep
+    // where no rank ever retried, aborted or died proves nothing.
+    if killed == 0 || aborted == 0 || retries == 0 {
+        println!(
+            "\nchaos sweep FAILED: outcome classes missing (kills={killed}, aborts={aborted}, retries={retries})"
+        );
+        std::process::exit(1);
+    }
+    if failures.is_empty() {
+        println!("chaos sweep PASS — wrote BENCH_chaos.json");
+    } else {
+        println!(
+            "\nchaos sweep FAILED ({} case(s)). Corpus lines to reproduce:",
+            failures.len()
+        );
+        for case in &failures {
+            println!("  {}", case.corpus_key());
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,403 @@
+//! Deterministic chaos harness: collectives under seeded fault plans.
+//!
+//! One [`ChaosCase`] = one seed × world size × collective shape × codec
+//! × fault mix. The harness runs the case twice on the virtual-time
+//! simulator — once fault-free (the reference), once under the seeded
+//! [`FaultPlan`] — and classifies the faulty run against the chaos
+//! subsystem's contract: **every rank either completes bitwise-equal to
+//! the reference, aborts with a structured error (poisoning its plan),
+//! or was killed by the plan — and the world never hangs.** Because the
+//! simulator and the fault plan are both pure functions of their seeds,
+//! a case's entire outcome folds into a single [`CaseResult::fingerprint`]
+//! that replays byte-identically forever; the checked-in corpus
+//! (`chaos_corpus.txt`) pins a spread of those fingerprints and the
+//! `chaos_replay` test re-runs them on every CI build.
+
+use std::fmt;
+use std::time::Duration;
+
+use c_coll::{Algorithm, CCollSession, CodecSpec, CollectiveError, PlanOptions, ReduceOp};
+use ccoll_comm::chaos::splitmix64;
+use ccoll_comm::{sim::SimComm, Comm, FaultPlan, FaultPolicy, RankOutcome, SimConfig, SimWorld};
+
+/// The collective shape a chaos case exercises (explicit schedules
+/// only: `Auto`'s post-warm-up re-rank agreement runs outside any fault
+/// policy and is deliberately out of scope for fault sweeps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// Allreduce with a pinned schedule.
+    Allreduce(Algorithm),
+    /// Binomial-tree broadcast from rank 0.
+    Bcast,
+    /// Ring allgather.
+    Allgather,
+}
+
+impl Shape {
+    /// All shapes the sweep rotates through.
+    pub const ALL: [Shape; 5] = [
+        Shape::Allreduce(Algorithm::Ring),
+        Shape::Allreduce(Algorithm::RecursiveDoubling),
+        Shape::Allreduce(Algorithm::Rabenseifner),
+        Shape::Bcast,
+        Shape::Allgather,
+    ];
+
+    /// Corpus token for this shape.
+    pub fn token(&self) -> &'static str {
+        match self {
+            Shape::Allreduce(Algorithm::Ring) => "ar-ring",
+            Shape::Allreduce(Algorithm::RecursiveDoubling) => "ar-rd",
+            Shape::Allreduce(Algorithm::Rabenseifner) => "ar-rab",
+            Shape::Allreduce(_) => unreachable!("sweep pins explicit allreduce schedules"),
+            Shape::Bcast => "bcast",
+            Shape::Allgather => "allgather",
+        }
+    }
+
+    /// Parse a corpus token.
+    pub fn parse(s: &str) -> Option<Shape> {
+        Shape::ALL.into_iter().find(|sh| sh.token() == s)
+    }
+}
+
+/// The fault mixes a chaos case can run under, each with a matched
+/// retry policy: the policy must be generous enough that only the mix's
+/// *permanent* faults can abort a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMix {
+    /// Transient-only: drops (retransmitted), delays, duplicates,
+    /// stalls. Every run must complete bitwise-equal — an abort here is
+    /// a harness failure.
+    Transient,
+    /// Transient drops plus a low rate of permanent message loss: runs
+    /// either complete bitwise-equal or abort cleanly on a timeout.
+    Loss,
+    /// A seeded rank crash over light transient drops: the killed rank
+    /// dies, every other rank completes bitwise-equal or aborts with a
+    /// structured error.
+    Crash,
+}
+
+impl FaultMix {
+    /// All mixes the sweep rotates through.
+    pub const ALL: [FaultMix; 3] = [FaultMix::Transient, FaultMix::Loss, FaultMix::Crash];
+
+    /// Corpus token for this mix.
+    pub fn token(&self) -> &'static str {
+        match self {
+            FaultMix::Transient => "transient",
+            FaultMix::Loss => "loss",
+            FaultMix::Crash => "crash",
+        }
+    }
+
+    /// Parse a corpus token.
+    pub fn parse(s: &str) -> Option<FaultMix> {
+        FaultMix::ALL.into_iter().find(|m| m.token() == s)
+    }
+
+    /// The seeded fault plan for this mix.
+    pub fn plan(&self, seed: u64, world: usize) -> FaultPlan {
+        match self {
+            FaultMix::Transient => FaultPlan::seeded(seed)
+                .with_drops(0.25, Duration::from_micros(200), 3)
+                .with_delays(0.2, Duration::from_micros(150))
+                .with_duplicates(0.1)
+                .with_stalls(0.15, Duration::from_micros(80)),
+            FaultMix::Loss => FaultPlan::seeded(seed)
+                .with_drops(0.2, Duration::from_micros(200), 3)
+                .with_loss(0.02),
+            FaultMix::Crash => {
+                let victim = (splitmix64(seed ^ 0x00C0_FFEE) as usize) % world;
+                FaultPlan::seeded(seed)
+                    .with_drops(0.1, Duration::from_micros(200), 2)
+                    .with_kill(victim, 2 + seed % 6)
+            }
+        }
+    }
+
+    /// The retry policy matched to this mix (see the variant docs).
+    pub fn policy(&self) -> FaultPolicy {
+        match self {
+            // Generous: 32 re-arms of a 2 ms hop timeout absorbs any
+            // transient schedule the plan above can produce.
+            FaultMix::Transient => FaultPolicy::with_timeout(Duration::from_millis(2), 32),
+            FaultMix::Loss => FaultPolicy::with_timeout(Duration::from_micros(600), 4),
+            FaultMix::Crash => FaultPolicy::with_timeout(Duration::from_millis(1), 2),
+        }
+    }
+}
+
+/// Codec tokens the sweep rotates through (deterministic codecs only,
+/// which is all of them — so completed faulty runs stay bitwise-equal
+/// to the reference even for lossy specs).
+pub const CODECS: [(&str, CodecSpec); 4] = [
+    ("none", CodecSpec::None),
+    ("lossless", CodecSpec::Lossless),
+    ("szx", CodecSpec::Szx { error_bound: 1e-3 }),
+    ("zfpfxr", CodecSpec::ZfpFxr { rate: 8 }),
+];
+
+/// Parse a codec corpus token.
+pub fn parse_codec(s: &str) -> Option<CodecSpec> {
+    CODECS.iter().find(|(t, _)| *t == s).map(|(_, c)| *c)
+}
+
+/// Corpus token for a codec spec.
+pub fn codec_token(spec: CodecSpec) -> &'static str {
+    CODECS
+        .iter()
+        .find(|(_, c)| *c == spec)
+        .map(|(t, _)| *t)
+        .expect("codec outside the sweep set")
+}
+
+/// One fully-specified chaos run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosCase {
+    /// Fault-plan seed (also salts the input data).
+    pub seed: u64,
+    /// Communicator size.
+    pub world: usize,
+    /// Values per rank.
+    pub len: usize,
+    /// Collective shape under test.
+    pub shape: Shape,
+    /// Codec spec.
+    pub codec: CodecSpec,
+    /// Fault mix + matched policy.
+    pub mix: FaultMix,
+}
+
+impl ChaosCase {
+    /// Corpus line for this case (without the fingerprint column).
+    pub fn corpus_key(&self) -> String {
+        format!(
+            "{} {} {} {} {} {}",
+            self.seed,
+            self.world,
+            self.len,
+            self.shape.token(),
+            codec_token(self.codec),
+            self.mix.token()
+        )
+    }
+
+    /// Parse a corpus line: `seed world len shape codec mix [fingerprint]`.
+    /// Returns the case and the pinned fingerprint if present.
+    pub fn parse_line(line: &str) -> Option<(ChaosCase, Option<u64>)> {
+        let mut it = line.split_whitespace();
+        let case = ChaosCase {
+            seed: it.next()?.parse().ok()?,
+            world: it.next()?.parse().ok()?,
+            len: it.next()?.parse().ok()?,
+            shape: Shape::parse(it.next()?)?,
+            codec: parse_codec(it.next()?)?,
+            mix: FaultMix::parse(it.next()?)?,
+        };
+        let fp = match it.next() {
+            Some(tok) => Some(u64::from_str_radix(tok.trim_start_matches("0x"), 16).ok()?),
+            None => None,
+        };
+        Some((case, fp))
+    }
+}
+
+/// How one rank ended a faulty run.
+#[derive(Debug, Clone, PartialEq)]
+enum RankEnd {
+    /// Completed with this output buffer.
+    Done(Vec<f32>),
+    /// Aborted with a structured error and a poisoned plan.
+    Aborted(CollectiveError),
+}
+
+/// The classified outcome of one chaos case.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// Whether the case upheld the chaos contract.
+    pub pass: bool,
+    /// Human-readable classification ("completed", "clean-abort(2)",
+    /// or a failure reason).
+    pub outcome: String,
+    /// Deterministic digest of the faulty run: rank outcome tags, all
+    /// completed output bits, the virtual makespan and the lost-message
+    /// count. Same seed ⇒ same fingerprint, forever.
+    pub fingerprint: u64,
+    /// Ranks that completed / aborted / were killed.
+    pub completed: usize,
+    /// Ranks that aborted cleanly.
+    pub aborted: usize,
+    /// Ranks killed by the plan.
+    pub killed: usize,
+    /// Total wait retries across ranks (from `PlanStats`).
+    pub retries: u64,
+}
+
+impl fmt::Display for CaseResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} done / {} aborted / {} killed, {} retries)",
+            self.outcome, self.completed, self.aborted, self.killed, self.retries
+        )
+    }
+}
+
+/// Integer-valued deterministic rank data (exact under f32 summation,
+/// so bitwise comparison against the reference is meaningful even
+/// across retried reduction schedules).
+fn rank_data(rank: usize, len: usize, seed: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let x = (i as u64)
+                .wrapping_mul(0x9E37_79B9)
+                .wrapping_add(rank as u64 * 2654435761)
+                .wrapping_add(seed.wrapping_mul(0x1000_0001));
+            ((x % 201) as f32) - 100.0
+        })
+        .collect()
+}
+
+/// Run `case`'s collective on one rank; `Ok` carries the output buffer.
+fn run_rank(c: &mut SimComm, case: ChaosCase) -> Result<(Vec<f32>, u64), (CollectiveError, bool)> {
+    let session = CCollSession::new(case.codec, case.world);
+    let input = rank_data(c.rank(), case.len, case.seed);
+    match case.shape {
+        Shape::Allreduce(alg) => {
+            let mut plan = session.plan_allreduce_with(
+                case.len,
+                ReduceOp::Sum,
+                PlanOptions::new().algorithm(alg),
+            );
+            let mut out = vec![0.0f32; case.len];
+            match plan.try_execute_into(c, &input, &mut out) {
+                Ok(()) => Ok((out, plan.stats().retries)),
+                Err(e) => Err((e, plan.is_poisoned())),
+            }
+        }
+        Shape::Bcast => {
+            let mut plan = session.plan_bcast(0, case.len);
+            let data = if c.rank() == 0 { input } else { Vec::new() };
+            let mut out = vec![0.0f32; case.len];
+            match plan.try_execute_into(c, &data, &mut out) {
+                Ok(()) => Ok((out, plan.stats().retries)),
+                Err(e) => Err((e, plan.is_poisoned())),
+            }
+        }
+        Shape::Allgather => {
+            let mut plan = session.plan_allgather(case.len);
+            let mut out = vec![0.0f32; case.len * case.world];
+            match plan.try_execute_into(c, &input, &mut out) {
+                Ok(()) => Ok((out, plan.stats().retries)),
+                Err(e) => Err((e, plan.is_poisoned())),
+            }
+        }
+    }
+}
+
+/// Run one chaos case: reference run, faulty run, classification.
+pub fn run_chaos_case(case: ChaosCase) -> CaseResult {
+    // Reference: same world, same code path, no faults.
+    let reference = SimWorld::with_ranks(case.world).run(move |c| {
+        run_rank(c, case)
+            .map(|(out, _)| out)
+            .expect("fault-free reference run cannot abort")
+    });
+
+    let cfg = SimConfig::new(case.world)
+        .with_faults(case.mix.plan(case.seed, case.world))
+        .with_fault_policy(case.mix.policy());
+    let faulty = match SimWorld::new(cfg).try_run(move |c| match run_rank(c, case) {
+        Ok((out, retries)) => (RankEnd::Done(out), retries),
+        Err((e, poisoned)) => {
+            assert!(poisoned, "an aborted plan must be poisoned");
+            (RankEnd::Aborted(e), 0)
+        }
+    }) {
+        Ok(out) => out,
+        Err(e) => {
+            // A deadlock under faults is exactly what the subsystem
+            // exists to prevent: hard failure, fingerprint the report.
+            return CaseResult {
+                pass: false,
+                outcome: format!("DEADLOCK: {e}"),
+                fingerprint: fold(case.seed, 0xDEAD),
+                completed: 0,
+                aborted: 0,
+                killed: 0,
+                retries: 0,
+            };
+        }
+    };
+
+    let (mut completed, mut aborted, mut killed, mut retries) = (0usize, 0usize, 0usize, 0u64);
+    let mut fp = case.seed ^ 0xC4A0_5C4A_05C4_A05C;
+    let mut failure: Option<String> = None;
+    for (rank, outcome) in faulty.results.iter().enumerate() {
+        match outcome {
+            RankOutcome::Killed => {
+                killed += 1;
+                fp = fold(fp, 4);
+                if case.mix != FaultMix::Crash {
+                    failure = Some(format!("rank {rank} killed outside a crash mix"));
+                }
+            }
+            RankOutcome::Completed((RankEnd::Done(out), r)) => {
+                completed += 1;
+                retries += r;
+                fp = fold(fp, 1);
+                for v in out {
+                    fp = fold(fp, u64::from(v.to_bits()));
+                }
+                // Bcast non-root aborts elsewhere can leave this rank's
+                // reference defined; output must still match bitwise.
+                if out != reference.results[rank].as_slice() {
+                    failure = Some(format!("rank {rank}: silent corruption"));
+                }
+            }
+            RankOutcome::Completed((RankEnd::Aborted(e), _)) => {
+                aborted += 1;
+                fp = fold(fp, 2);
+                if case.mix == FaultMix::Transient {
+                    failure = Some(format!(
+                        "rank {rank}: spurious abort under transient mix: {e}"
+                    ));
+                }
+            }
+            RankOutcome::Panicked(msg) => {
+                fp = fold(fp, 3);
+                failure = Some(format!("rank {rank} panicked: {msg}"));
+            }
+        }
+    }
+    fp = fold(fp, faulty.makespan.as_nanos() as u64);
+    fp = fold(fp, faulty.lost_messages);
+
+    let outcome = match &failure {
+        Some(why) => format!("FAIL: {why}"),
+        None if aborted > 0 => format!("clean-abort({aborted})"),
+        // A crash whose op threshold lies past the end of the schedule
+        // never fires: the run is equivalent to fault-free, which is a
+        // valid outcome (the sweep-level summary still asserts kills
+        // happen across the block).
+        None if case.mix == FaultMix::Crash && killed == 0 => "completed(crash-late)".to_string(),
+        None => "completed".to_string(),
+    };
+    CaseResult {
+        pass: failure.is_none(),
+        outcome,
+        fingerprint: fp,
+        completed,
+        aborted,
+        killed,
+        retries,
+    }
+}
+
+/// Fold `v` into hash state `h` (splitmix64 chain, same primitive the
+/// fault plan itself draws decisions from).
+fn fold(h: u64, v: u64) -> u64 {
+    splitmix64(h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}

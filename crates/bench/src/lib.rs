@@ -4,6 +4,7 @@
 //! thin composition of these pieces.
 
 pub mod calibrate;
+pub mod chaos;
 pub mod characterize;
 pub mod runner;
 pub mod specs;
@@ -11,6 +12,7 @@ pub mod table;
 pub mod workload;
 
 pub use calibrate::calibrate_cost_model;
+pub use chaos::{run_chaos_case, CaseResult, ChaosCase, FaultMix, Shape};
 pub use runner::{
     run_allreduce, run_allreduce_overlap, run_allreduce_steady, ExperimentResult, OverlapResult,
 };

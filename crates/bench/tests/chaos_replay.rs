@@ -1,0 +1,64 @@
+//! Replay the checked-in chaos regression corpus: every pinned case
+//! must classify PASS and reproduce its fingerprint bit-for-bit. The
+//! fingerprint folds rank outcomes, completed output bits, virtual
+//! makespan and the lost-message count — so a mismatch means the fault
+//! schedule, the simulator's timing, or the collectives' behaviour
+//! under faults changed. If the change is intentional, regenerate the
+//! corpus with `cargo run --release -p ccoll-bench --bin chaos_sweep`
+//! and re-pin the affected lines.
+
+use ccoll_bench::chaos::{run_chaos_case, ChaosCase};
+
+const CORPUS: &str = include_str!("../chaos_corpus.txt");
+
+fn corpus_cases() -> Vec<(ChaosCase, u64)> {
+    CORPUS
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let (case, fp) =
+                ChaosCase::parse_line(l).unwrap_or_else(|| panic!("bad corpus line: {l}"));
+            (
+                case,
+                fp.unwrap_or_else(|| panic!("corpus line missing fingerprint: {l}")),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn corpus_replays_byte_identical() {
+    let cases = corpus_cases();
+    assert!(cases.len() >= 12, "corpus too small to mean anything");
+    for (case, pinned) in cases {
+        let r = run_chaos_case(case);
+        assert!(r.pass, "{}: regressed to {}", case.corpus_key(), r.outcome);
+        assert_eq!(
+            r.fingerprint,
+            pinned,
+            "{}: fingerprint drifted (got {:016x}, pinned {:016x}) — outcome {}",
+            case.corpus_key(),
+            r.fingerprint,
+            pinned,
+            r
+        );
+    }
+}
+
+#[test]
+fn same_seed_is_deterministic_within_a_build() {
+    // Independent of the pinned values: running any case twice in the
+    // same process must produce identical fingerprints and outcome
+    // counts (the corpus pins cross-build stability; this pins
+    // run-to-run stability).
+    let (case, _) = ChaosCase::parse_line("77 6 128 ar-ring lossless crash").expect("valid line");
+    let a = run_chaos_case(case);
+    let b = run_chaos_case(case);
+    assert_eq!(a.fingerprint, b.fingerprint);
+    assert_eq!(
+        (a.completed, a.aborted, a.killed, a.retries),
+        (b.completed, b.aborted, b.killed, b.retries)
+    );
+    assert!(a.pass, "case must uphold the contract: {}", a.outcome);
+}

@@ -17,6 +17,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 
+use crate::chaos::{CommError, FaultPolicy};
 use crate::cost::Kernel;
 use crate::profile::{Category, Profiler};
 use crate::time::SimTime;
@@ -89,6 +90,98 @@ pub trait Comm {
 
     /// The per-rank profiler.
     fn profiler(&mut self) -> &mut Profiler;
+
+    // ------------------------------------------------------------------
+    // Fallible (fault-aware) surface. Every method defaults to the
+    // infallible happy path, so backends without fault injection (the
+    // threaded runtime, a fault-free simulator) are untouched; the
+    // simulator overrides them when a `FaultPlan` is attached.
+    // ------------------------------------------------------------------
+
+    /// Blocking receive with an optional deadline. On success the
+    /// blocked time lands in `cat` (like [`Comm::wait_recv_in`]); on
+    /// failure the request is handed back (still posted — a
+    /// transport-retransmitted message can complete it later) together
+    /// with the structured reason. The default implementation ignores
+    /// the deadline and never fails.
+    fn wait_recv_timeout_in(
+        &mut self,
+        req: RecvReq,
+        timeout: Option<Duration>,
+        cat: Category,
+    ) -> Result<Bytes, (RecvReq, CommError)>
+    where
+        Self: Sized,
+    {
+        let _ = timeout;
+        Ok(self.wait_recv_in(req, cat))
+    }
+
+    /// Whether `rank` is believed alive. Backends with crash injection
+    /// override this; the default world has no notion of rank death.
+    fn peer_alive(&mut self, _rank: usize) -> bool {
+        true
+    }
+
+    /// The world's configured per-hop fault policy (timeout + bounded
+    /// retry budget the collective layer honors on its blocking
+    /// waits). Defaults to [`FaultPolicy::NONE`] — infinite patience,
+    /// bit-for-bit the pre-chaos behavior.
+    fn fault_policy(&self) -> FaultPolicy {
+        FaultPolicy::NONE
+    }
+
+    /// Cancel a posted receive that will never be waited again (the
+    /// abort path). The default leaks the request, which is harmless
+    /// on backends that cannot abort.
+    fn cancel_recv(&mut self, req: RecvReq) {
+        let _ = req;
+    }
+
+    /// Drop all of this rank's posted receives and pending inbound
+    /// messages — called once by the collective layer when an
+    /// operation aborts, so a later operation on the same communicator
+    /// cannot match the aborted operation's stale traffic. Default:
+    /// nothing to clean.
+    fn abort_cleanup(&mut self) {}
+
+    /// Blocking receive under the world's [`Comm::fault_policy`]: wait
+    /// with the per-hop deadline, re-arm a timed-out wait up to
+    /// `max_retries` times (the transport redelivers transient drops,
+    /// so retrying is just waiting longer — bounded), and give up with
+    /// a structured error once the budget is exhausted or the peer is
+    /// known dead. Retries and timeouts are counted on the profiler's
+    /// [`crate::FaultCounters`]. With [`FaultPolicy::NONE`] this is
+    /// exactly [`Comm::wait_recv_in`].
+    fn wait_recv_retry_in(&mut self, req: RecvReq, cat: Category) -> Result<Bytes, CommError>
+    where
+        Self: Sized,
+    {
+        let policy = self.fault_policy();
+        if !policy.is_active() {
+            return Ok(self.wait_recv_in(req, cat));
+        }
+        let mut req = req;
+        let mut attempts = 0u32;
+        loop {
+            match self.wait_recv_timeout_in(req, policy.hop_timeout, cat) {
+                Ok(payload) => return Ok(payload),
+                Err((r, CommError::Timeout { .. })) if attempts < policy.max_retries => {
+                    attempts += 1;
+                    self.profiler().note_timeout();
+                    self.profiler().note_retry();
+                    req = r;
+                }
+                Err((r, err)) => {
+                    if matches!(err, CommError::Timeout { .. }) {
+                        self.profiler().note_timeout();
+                    }
+                    self.cancel_recv(r);
+                    return Err(err);
+                }
+            }
+        }
+    }
 
     // ------------------------------------------------------------------
     // Provided conveniences.

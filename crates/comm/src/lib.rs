@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod comm;
 pub mod cost;
 pub mod pool;
@@ -44,10 +45,14 @@ pub mod sim;
 pub mod threaded;
 pub mod time;
 
+pub use chaos::{CommError, FaultPlan, FaultPolicy, KillSpec, MsgFault};
 pub use comm::{Comm, RecvReq, SendReq, Tag};
 pub use cost::{CostModel, Kernel, SchedParams, Schedule};
 pub use pool::PayloadPool;
-pub use profile::{Category, Profiler, TimeBreakdown, TrafficStats};
-pub use sim::{NetModel, SimConfig, SimWorld};
+pub use profile::{Category, FaultCounters, Profiler, TimeBreakdown, TrafficStats};
+pub use sim::{
+    DeadlockReport, NetModel, RankOutcome, SimConfig, SimError, SimRunOutput, SimWorld,
+    UndeliveredMsg, WaitEdge,
+};
 pub use threaded::ThreadWorld;
 pub use time::SimTime;

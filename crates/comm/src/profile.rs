@@ -12,6 +12,8 @@
 use std::fmt;
 use std::time::Duration;
 
+use crate::chaos::CommError;
+
 /// The paper's breakdown categories (Fig. 7 legend).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Category {
@@ -141,12 +143,46 @@ pub struct TrafficStats {
     pub bytes_sent: u64,
 }
 
+/// Per-rank fault-tolerance counters: how often a fault-aware wait
+/// timed out, how many of those timeouts were absorbed by a re-armed
+/// retry, and how many operations gave up and aborted. Accumulated by
+/// the fault-aware `Comm` methods (`wait_recv_retry_in`) and folded
+/// into the collective layer's `PlanStats`/`SessionStats` after every
+/// execution — the observability trail of the chaos subsystem.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Timed-out waits that were re-armed (the transient-loss path).
+    pub retries: u64,
+    /// Total wait timeouts observed (retried or fatal).
+    pub timeouts: u64,
+    /// Operations that exhausted their budget and aborted.
+    pub aborts: u64,
+}
+
+impl FaultCounters {
+    /// Element-wise difference since an earlier snapshot (counters are
+    /// monotonic within a run).
+    pub fn since(&self, earlier: FaultCounters) -> FaultCounters {
+        FaultCounters {
+            retries: self.retries.saturating_sub(earlier.retries),
+            timeouts: self.timeouts.saturating_sub(earlier.timeouts),
+            aborts: self.aborts.saturating_sub(earlier.aborts),
+        }
+    }
+}
+
 /// A per-rank profiler: a [`TimeBreakdown`] plus message-volume counters
 /// and scoped-measurement helpers.
 #[derive(Debug, Clone, Default)]
 pub struct Profiler {
     breakdown: TimeBreakdown,
     traffic: TrafficStats,
+    faults: FaultCounters,
+    /// The unrecoverable fault that most recently aborted a collective
+    /// operation, parked here for the plan layer to collect (the
+    /// resumable state machines signal "suspended" through their
+    /// normal `Poll` path and leave the reason here).
+    pending_error: Option<CommError>,
     enabled: bool,
 }
 
@@ -154,19 +190,14 @@ impl Profiler {
     /// A profiler that records.
     pub fn enabled() -> Self {
         Profiler {
-            breakdown: TimeBreakdown::new(),
-            traffic: TrafficStats::default(),
             enabled: true,
+            ..Profiler::default()
         }
     }
 
     /// A profiler that ignores all input (zero overhead paths).
     pub fn disabled() -> Self {
-        Profiler {
-            breakdown: TimeBreakdown::new(),
-            traffic: TrafficStats::default(),
-            enabled: false,
-        }
+        Profiler::default()
     }
 
     /// Whether recording is on.
@@ -199,11 +230,40 @@ impl Profiler {
         self.traffic
     }
 
+    /// Fault-tolerance counters (monotonic within a run).
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.faults
+    }
+
+    /// Record one re-armed (retried) wait timeout.
+    pub fn note_retry(&mut self) {
+        self.faults.retries += 1;
+    }
+
+    /// Record one wait timeout.
+    pub fn note_timeout(&mut self) {
+        self.faults.timeouts += 1;
+    }
+
+    /// Record an unrecoverable fault that aborts the current
+    /// collective operation; [`Profiler::take_error`] collects it.
+    pub fn note_abort(&mut self, err: CommError) {
+        self.faults.aborts += 1;
+        self.pending_error = Some(err);
+    }
+
+    /// Collect (and clear) the most recent abort reason, if any.
+    pub fn take_error(&mut self) -> Option<CommError> {
+        self.pending_error.take()
+    }
+
     /// Reset all counters (e.g. after a warm-up stage, mirroring the
     /// paper's warm-up/execution two-stage measurement protocol §IV-A).
     pub fn reset(&mut self) {
         self.breakdown = TimeBreakdown::new();
         self.traffic = TrafficStats::default();
+        self.faults = FaultCounters::default();
+        self.pending_error = None;
     }
 }
 

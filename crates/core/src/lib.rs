@@ -142,6 +142,61 @@
 //!   [`CCollSession::with_cost_model`] to select for *your* kernels
 //!   rather than the paper's Table-I testbed.
 //!
+//! ## Surviving faults: seeded chaos + fallible collectives
+//!
+//! The simulator can inject a deterministic fault schedule — transient
+//! drops (retransmitted), permanent loss, delays, duplicates, stalls,
+//! rank crashes — from a single seed
+//! ([`ccoll_comm::FaultPlan`]), and a [`ccoll_comm::FaultPolicy`] on
+//! the communicator gives every blocking hop a timeout and a bounded
+//! retry budget. Transient faults are absorbed without changing a
+//! single output bit (retries change timing, never data);
+//! unrecoverable faults abort *cleanly*: the fallible surface
+//! ([`AllreducePlan::try_execute_into`](session::AllreducePlan::try_execute_into),
+//! [`AllreduceHandle::try_progress`](session::AllreduceHandle::try_progress),
+//! `try_complete` — every plan and handle type has them) returns a
+//! structured [`CollectiveError`] and *poisons* the plan (no hang, no
+//! corrupted-buffer reuse) until [`reset()`](session::AllreducePlan::reset):
+//!
+//! ```
+//! use c_coll::{Algorithm, CCollSession, CodecSpec, PlanOptions, ReduceOp};
+//! use ccoll_comm::{Comm, FaultPlan, FaultPolicy, SimConfig, SimWorld};
+//! use std::time::Duration;
+//!
+//! let n = 4;
+//! let len = 1000;
+//! // Seed 9: every message has a 30% chance of a transient drop; the
+//! // policy's timeout + retries absorb them. Same seed, same faults,
+//! // same outcome — forever.
+//! let cfg = SimConfig::new(n)
+//!     .with_faults(FaultPlan::seeded(9).with_drops(0.3, Duration::from_micros(300), 4))
+//!     .with_fault_policy(FaultPolicy::with_timeout(Duration::from_millis(2), 16));
+//! let out = SimWorld::new(cfg).run(move |comm| {
+//!     let session = CCollSession::new(CodecSpec::None, n);
+//!     // Chaos runs pin an explicit schedule (Auto's re-rank agreement
+//!     // is outside the fault policy's reach).
+//!     let mut plan = session.plan_allreduce_with(
+//!         len,
+//!         ReduceOp::Sum,
+//!         PlanOptions::new().algorithm(Algorithm::Ring),
+//!     );
+//!     let input = vec![comm.rank() as f32; len];
+//!     let mut result = vec![0.0f32; len];
+//!     plan.try_execute_into(comm, &input, &mut result)
+//!         .expect("transient drops are absorbed by retries");
+//!     (result[0], plan.stats().retries)
+//! });
+//! // Bitwise-exact despite the drops: 0+1+2+3.
+//! assert!(out.results.iter().all(|r| r.0 == 6.0));
+//! ```
+//!
+//! Fault-free behaviour is untouched: with no policy configured
+//! (`FaultPolicy::NONE`, the default) every code path is bit-for-bit
+//! what it was before the chaos subsystem existed. The `chaos_sweep`
+//! bench harness sweeps seeds × schedules × codecs × fault mixes and
+//! replays a pinned regression corpus in CI; see DESIGN.md's "Fault
+//! model & deterministic chaos".
+//!
 //! ## Migrating from the one-shot API
 //!
 //! The pre-session facade ([`CColl`]) survives as a thin compatibility
@@ -179,7 +234,8 @@ pub use codec::{CodecSpec, ParseCodecSpecError};
 pub use nonblocking::Poll;
 pub use session::{
     AllgatherHandle, AllgatherPlan, AllreduceHandle, AllreducePlan, AlltoallHandle, AlltoallPlan,
-    BcastHandle, BcastPlan, CCollSession, GatherHandle, GatherPlan, PlanStats, ReduceHandle,
-    ReducePlan, ReduceScatterHandle, ReduceScatterPlan, ScatterHandle, ScatterPlan, SessionStats,
+    BcastHandle, BcastPlan, CCollSession, CollectiveError, GatherHandle, GatherPlan, PlanStats,
+    ReduceHandle, ReducePlan, ReduceScatterHandle, ReduceScatterPlan, ScatterHandle, ScatterPlan,
+    SessionStats,
 };
 pub use workspace::CollWorkspace;

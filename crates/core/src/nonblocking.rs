@@ -79,9 +79,24 @@ struct Wire {
 impl Wire {
     /// Complete the posted receive: blocking when `block`, else only if
     /// the message has arrived.
+    ///
+    /// Under an active [`Comm::fault_policy`] the blocking path waits
+    /// with the per-hop deadline and bounded retry budget; exhausting
+    /// it notes the abort on the profiler (where the handle layer
+    /// collects it) and returns `None` — the machine sees an ordinary
+    /// "not ready" and suspends, never touching a corrupted buffer.
     fn recv<C: Comm>(&mut self, comm: &mut C, block: bool, cat: Category) -> Option<Bytes> {
         let req = self.rreq.take().expect("receive must be posted");
         if block {
+            if comm.fault_policy().is_active() {
+                return match comm.wait_recv_retry_in(req, cat) {
+                    Ok(payload) => Some(payload),
+                    Err(err) => {
+                        comm.profiler().note_abort(err);
+                        None
+                    }
+                };
+            }
             return Some(comm.wait_recv_in(req, cat));
         }
         match comm.try_recv(req, cat) {

@@ -147,7 +147,20 @@ impl HopCursor {
                 return false;
             }
             let req = rreqs.pop_front().expect("outstanding receive");
-            let blob = comm.wait_recv_in(req, Category::Wait);
+            let blob = if block && !front_ready && comm.fault_policy().is_active() {
+                // Fault-aware tail wait: bounded retry, then a clean
+                // suspend — the caller's machine observes Pending with
+                // the abort reason parked on the profiler.
+                match comm.wait_recv_retry_in(req, Category::Wait) {
+                    Ok(blob) => blob,
+                    Err(err) => {
+                        comm.profiler().note_abort(err);
+                        return false;
+                    }
+                }
+            } else {
+                comm.wait_recv_in(req, Category::Wait)
+            };
             let lo = self.next_in * pipe;
             let hi = (lo + pipe).min(recv_dst.len());
             decompress_reduce_in(

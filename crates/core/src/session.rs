@@ -41,11 +41,12 @@
 //! assert_eq!(out.results.len(), n);
 //! ```
 
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use ccoll_comm::{Comm, CostModel, NetModel, PayloadPool};
+use ccoll_comm::{Comm, CommError, CostModel, FaultCounters, NetModel, PayloadPool};
 
 use crate::algorithm::{reject_unsupported, Algorithm, PlanOptions, SelectCtx};
 use crate::api::AllreduceVariant;
@@ -117,6 +118,12 @@ struct SessionFeedback {
     executions: AtomicU64,
     /// EWMA of per-execution makespans in nanoseconds (0 = no sample).
     makespan_ewma_nanos: AtomicU64,
+    /// Wait timeouts absorbed by a re-armed retry, across all plans.
+    retries: AtomicU64,
+    /// Total wait timeouts observed, across all plans.
+    timeouts: AtomicU64,
+    /// Executions that aborted on an unrecoverable fault.
+    aborts: AtomicU64,
 }
 
 impl SessionFeedback {
@@ -147,6 +154,18 @@ impl SessionFeedback {
         let next = if prev == 0 { ns } else { prev / 2 + ns / 2 };
         self.makespan_ewma_nanos.store(next, Ordering::Relaxed);
     }
+
+    fn record_faults(&self, delta: FaultCounters) {
+        if delta.retries > 0 {
+            self.retries.fetch_add(delta.retries, Ordering::Relaxed);
+        }
+        if delta.timeouts > 0 {
+            self.timeouts.fetch_add(delta.timeouts, Ordering::Relaxed);
+        }
+        if delta.aborts > 0 {
+            self.aborts.fetch_add(delta.aborts, Ordering::Relaxed);
+        }
+    }
 }
 
 /// Aggregate measured-performance state of one session (see
@@ -163,6 +182,13 @@ pub struct SessionStats {
     /// The session's measured compression-ratio EWMA (the same value
     /// [`CCollSession::measured_ratio`] reports).
     pub measured_ratio: Option<f64>,
+    /// Wait timeouts absorbed by re-armed retries across all plans
+    /// (zero unless a fault policy is active).
+    pub retries: u64,
+    /// Total wait timeouts observed across all plans.
+    pub timeouts: u64,
+    /// Executions that aborted on an unrecoverable fault.
+    pub aborts: u64,
 }
 
 /// Measured per-execution statistics a plan accumulates (see
@@ -186,6 +212,13 @@ pub struct PlanStats {
     /// Compression ratio measured during the most recent execution, if
     /// the plan's codec compressed anything.
     pub observed_ratio: Option<f64>,
+    /// Wait timeouts this plan's executions absorbed with a re-armed
+    /// retry (zero unless a fault policy is active on the `Comm`).
+    pub retries: u64,
+    /// Total wait timeouts this plan's executions observed.
+    pub timeouts: u64,
+    /// Executions of this plan that aborted on an unrecoverable fault.
+    pub aborts: u64,
 }
 
 impl PlanStats {
@@ -198,6 +231,49 @@ impl PlanStats {
         } else {
             self.ewma_makespan / 2 + makespan / 2
         };
+    }
+
+    /// Fold the fault counters one execution accrued into the stats.
+    fn fold_faults(&mut self, delta: FaultCounters) {
+        self.retries += delta.retries;
+        self.timeouts += delta.timeouts;
+        self.aborts += delta.aborts;
+    }
+}
+
+/// Why a collective execution could not complete. Returned by the
+/// fallible surface (`try_execute_into`, `try_progress`, `try_complete`)
+/// when a fault-policy-governed run hits an unrecoverable fault; the
+/// infallible surface panics with the same message instead. Once an
+/// execution aborts, its plan is *poisoned* — partially-exchanged state
+/// cannot be resumed — and every further use reports
+/// [`CollectiveError::Poisoned`] until the plan's `reset()` is called.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectiveError {
+    /// The transport reported an unrecoverable fault (retry budget
+    /// exhausted, or a peer died) mid-collective.
+    Comm(CommError),
+    /// The plan was poisoned by an earlier aborted execution and has
+    /// not been `reset()`.
+    Poisoned,
+}
+
+impl fmt::Display for CollectiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectiveError::Comm(e) => write!(f, "collective aborted: {e}"),
+            CollectiveError::Poisoned => {
+                f.write_str("plan poisoned by an earlier aborted execution (reset() to reuse)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CollectiveError {}
+
+impl From<CommError> for CollectiveError {
+    fn from(e: CommError) -> Self {
+        CollectiveError::Comm(e)
     }
 }
 
@@ -287,6 +363,9 @@ impl CCollSession {
             executions: self.feedback.executions.load(Ordering::Relaxed),
             ewma_makespan: Duration::from_nanos(ns),
             measured_ratio: self.feedback.ratio(),
+            retries: self.feedback.retries.load(Ordering::Relaxed),
+            timeouts: self.feedback.timeouts.load(Ordering::Relaxed),
+            aborts: self.feedback.aborts.load(Ordering::Relaxed),
         }
     }
 
@@ -461,6 +540,7 @@ impl CCollSession {
                 reranked: false,
                 stats: PlanStats::default(),
                 in_flight: false,
+                poisoned: None,
                 ws: self.allreduce_workspace(len, algorithm),
             }
         };
@@ -499,6 +579,7 @@ impl CCollSession {
             reranked: false,
             stats: PlanStats::default(),
             in_flight: false,
+            poisoned: None,
             ws: self.warmed_workspace(values, slots),
         }
     }
@@ -557,6 +638,7 @@ impl CCollSession {
             reranked: false,
             stats: PlanStats::default(),
             in_flight: false,
+            poisoned: None,
             ws: self.warmed_workspace(max_chunk, 4),
         }
     }
@@ -576,6 +658,7 @@ impl CCollSession {
             counts: chunk_lengths(len, self.world_size),
             stats: PlanStats::default(),
             in_flight: false,
+            poisoned: None,
             ws: self.warmed_workspace(values, slots),
         }
     }
@@ -613,6 +696,7 @@ impl CCollSession {
             len,
             stats: PlanStats::default(),
             in_flight: false,
+            poisoned: None,
             ws: self.warmed_workspace(len, 4),
         }
     }
@@ -647,6 +731,7 @@ impl CCollSession {
             counts: chunk_lengths(total_len, self.world_size),
             stats: PlanStats::default(),
             in_flight: false,
+            poisoned: None,
             ws: self.warmed_workspace(total_len, 4),
         }
     }
@@ -684,6 +769,7 @@ impl CCollSession {
             counts: chunk_lengths(total_len, self.world_size),
             stats: PlanStats::default(),
             in_flight: false,
+            poisoned: None,
             ws: self.warmed_workspace(total_len, 4),
         }
     }
@@ -718,6 +804,7 @@ impl CCollSession {
             len,
             stats: PlanStats::default(),
             in_flight: false,
+            poisoned: None,
             ws: self.warmed_workspace(len / self.world_size, 4),
         }
     }
@@ -788,6 +875,7 @@ impl CCollSession {
             reranked: false,
             stats: PlanStats::default(),
             in_flight: false,
+            poisoned: None,
             inner: self.build_reduce_impl(root, len, op, algorithm),
         }
     }
@@ -889,13 +977,17 @@ fn finish_execution<C: Comm>(
     ws: &mut CollWorkspace,
     stats: &mut PlanStats,
     t0: SimTime,
+    c0: FaultCounters,
 ) {
     let makespan = comm.now() - t0;
     stats.record(makespan);
     if let Some(r) = session.note_execution(ws) {
         stats.observed_ratio = Some(r);
     }
+    let faults = comm.profiler().fault_counters().since(c0);
+    stats.fold_faults(faults);
     session.feedback.record_execution(makespan);
+    session.feedback.record_faults(faults);
 }
 
 // ---------------------------------------------------------------------------
@@ -918,6 +1010,9 @@ pub struct AllreducePlan {
     /// A nonblocking operation is outstanding (set by `start`, cleared
     /// when the operation completes). Guards against dropped handles.
     in_flight: bool,
+    /// Set when an execution aborted on an unrecoverable fault; the
+    /// plan refuses further use until [`Self::reset`].
+    poisoned: Option<CollectiveError>,
     ws: CollWorkspace,
 }
 
@@ -949,6 +1044,38 @@ impl AllreducePlan {
     /// and last observed compression ratio.
     pub fn stats(&self) -> PlanStats {
         self.stats
+    }
+
+    /// True when an aborted execution poisoned this plan (see
+    /// [`CollectiveError`]); [`Self::reset`] clears it.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
+    }
+
+    /// The error that poisoned this plan, if any.
+    pub fn poison_error(&self) -> Option<CollectiveError> {
+        self.poisoned
+    }
+
+    /// Clear the poisoned state after an aborted execution, making the
+    /// plan usable again. The aborted operation's partial results are
+    /// discarded; fault counters accrued so far stay in [`PlanStats`].
+    pub fn reset(&mut self) {
+        self.poisoned = None;
+        self.in_flight = false;
+    }
+
+    /// Abort bookkeeping after an unrecoverable fault: scrub transport
+    /// and workspace state so nothing half-exchanged can be reused,
+    /// fold the fault counters, and poison the plan.
+    fn abort<C: Comm>(&mut self, comm: &mut C, c0: FaultCounters, e: CollectiveError) {
+        comm.abort_cleanup();
+        self.ws.abort();
+        let delta = comm.profiler().fault_counters().since(c0);
+        self.stats.fold_faults(delta);
+        self.session.feedback.record_faults(delta);
+        self.in_flight = false;
+        self.poisoned = Some(e);
     }
 
     /// One-shot re-rank for `Auto` plans, at the start of the second
@@ -1010,6 +1137,22 @@ impl AllreducePlan {
     /// the plan.
     pub fn execute_into<C: Comm>(&mut self, comm: &mut C, input: &[f32], out: &mut [f32]) {
         self.start(comm, input, out).complete(comm);
+    }
+
+    /// Fallible variant of [`Self::execute_into`]: on an unrecoverable
+    /// fault under an active [`FaultPolicy`](ccoll_comm::FaultPolicy)
+    /// it aborts cleanly, poisons the plan and returns the structured
+    /// error instead of panicking.
+    pub fn try_execute_into<C: Comm>(
+        &mut self,
+        comm: &mut C,
+        input: &[f32],
+        out: &mut [f32],
+    ) -> Result<(), CollectiveError> {
+        if self.poisoned.is_some() {
+            return Err(CollectiveError::Poisoned);
+        }
+        self.start(comm, input, out).try_complete(comm)
     }
 
     /// The resolved schedule's state machine (ND — CPR-P2P
@@ -1075,8 +1218,13 @@ impl AllreducePlan {
         assert_eq!(input.len(), self.len, "input disagrees with plan length");
         assert_eq!(out.len(), self.len, "output disagrees with plan length");
         self.maybe_rerank(comm);
+        assert!(
+            self.poisoned.is_none(),
+            "plan was poisoned by an aborted execution; call reset() to reuse"
+        );
         take_in_flight(&mut self.in_flight);
         let t0 = comm.now();
+        let c0 = comm.profiler().fault_counters();
         let machine = self.machine();
         AllreduceHandle {
             machine,
@@ -1084,6 +1232,7 @@ impl AllreducePlan {
             input,
             out,
             t0,
+            c0,
             done: false,
         }
     }
@@ -1108,12 +1257,13 @@ pub struct AllreduceHandle<'p, 'b> {
     input: &'b [f32],
     out: &'b mut [f32],
     t0: SimTime,
+    c0: FaultCounters,
     machine: ArMachine,
     done: bool,
 }
 
 impl AllreduceHandle<'_, '_> {
-    fn drive<C: Comm>(&mut self, comm: &mut C, block: bool) -> Poll {
+    fn drive_machine<C: Comm>(&mut self, comm: &mut C, block: bool) -> Poll {
         if self.done {
             return Poll::Ready;
         }
@@ -1136,7 +1286,7 @@ impl AllreduceHandle<'_, '_> {
         ) {
             Poll::Pending => Poll::Pending,
             Poll::Ready => {
-                finish_execution(comm, session, ws, stats, self.t0);
+                finish_execution(comm, session, ws, stats, self.t0, self.c0);
                 *in_flight = false;
                 self.done = true;
                 Poll::Ready
@@ -1150,7 +1300,50 @@ impl AllreduceHandle<'_, '_> {
     /// completed yet. Returns [`Poll::Ready`] once the result is fully
     /// in the output buffer.
     pub fn progress<C: Comm>(&mut self, comm: &mut C) -> Poll {
+        match self.try_progress(comm) {
+            Ok(p) => p,
+            Err(e) => panic!("collective aborted: {e}; plan poisoned (reset() to reuse)"),
+        }
+    }
+
+    /// Step the machine once and translate an abort suspension into a
+    /// structured error: the state machines signal "cannot proceed"
+    /// through their normal pending path and park the reason on the
+    /// profiler ([`ccoll_comm::Profiler::take_error`]).
+    fn drive<C: Comm>(&mut self, comm: &mut C, block: bool) -> Result<Poll, CollectiveError> {
+        if self.plan.poisoned.is_some() {
+            return Err(CollectiveError::Poisoned);
+        }
+        match self.drive_machine(comm, block) {
+            Poll::Ready => Ok(Poll::Ready),
+            Poll::Pending => match comm.profiler().take_error() {
+                None => Ok(Poll::Pending),
+                Some(err) => {
+                    let e = CollectiveError::Comm(err);
+                    self.plan.abort(comm, self.c0, e);
+                    Err(e)
+                }
+            },
+        }
+    }
+
+    /// Fallible [`Self::progress`]: advance without blocking, returning
+    /// the structured error (and poisoning the plan) if the operation
+    /// aborted on an unrecoverable fault.
+    pub fn try_progress<C: Comm>(&mut self, comm: &mut C) -> Result<Poll, CollectiveError> {
         self.drive(comm, false)
+    }
+
+    /// Fallible [`Self::complete`]: drain the remaining transfers,
+    /// returning the structured error (and poisoning the plan) if the
+    /// operation aborted on an unrecoverable fault.
+    pub fn try_complete<C: Comm>(mut self, comm: &mut C) -> Result<(), CollectiveError> {
+        loop {
+            match self.drive(comm, true)? {
+                Poll::Ready => return Ok(()),
+                Poll::Pending => {}
+            }
+        }
     }
 
     /// True once the operation has completed (a prior `progress`
@@ -1162,9 +1355,10 @@ impl AllreduceHandle<'_, '_> {
     /// Finish the collective, blocking on whatever transfers remain
     /// (equivalent to draining `progress` with blocking waits — the tail
     /// that application compute could not hide).
-    pub fn complete<C: Comm>(mut self, comm: &mut C) {
-        let done = self.drive(comm, true);
-        debug_assert!(done.is_ready());
+    pub fn complete<C: Comm>(self, comm: &mut C) {
+        if let Err(e) = self.try_complete(comm) {
+            panic!("collective aborted: {e}; plan poisoned (reset() to reuse)");
+        }
     }
 }
 
@@ -1181,6 +1375,9 @@ pub struct AllgatherPlan {
     reranked: bool,
     stats: PlanStats,
     in_flight: bool,
+    /// Set when an execution aborted on an unrecoverable fault; the
+    /// plan refuses further use until [`Self::reset`].
+    poisoned: Option<CollectiveError>,
     ws: CollWorkspace,
 }
 
@@ -1205,6 +1402,38 @@ impl AllgatherPlan {
     /// Measured statistics (see [`PlanStats`]).
     pub fn stats(&self) -> PlanStats {
         self.stats
+    }
+
+    /// True when an aborted execution poisoned this plan (see
+    /// [`CollectiveError`]); [`Self::reset`] clears it.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
+    }
+
+    /// The error that poisoned this plan, if any.
+    pub fn poison_error(&self) -> Option<CollectiveError> {
+        self.poisoned
+    }
+
+    /// Clear the poisoned state after an aborted execution, making the
+    /// plan usable again. The aborted operation's partial results are
+    /// discarded; fault counters accrued so far stay in [`PlanStats`].
+    pub fn reset(&mut self) {
+        self.poisoned = None;
+        self.in_flight = false;
+    }
+
+    /// Abort bookkeeping after an unrecoverable fault: scrub transport
+    /// and workspace state so nothing half-exchanged can be reused,
+    /// fold the fault counters, and poison the plan.
+    fn abort<C: Comm>(&mut self, comm: &mut C, c0: FaultCounters, e: CollectiveError) {
+        comm.abort_cleanup();
+        self.ws.abort();
+        let delta = comm.profiler().fault_counters().since(c0);
+        self.stats.fold_faults(delta);
+        self.session.feedback.record_faults(delta);
+        self.in_flight = false;
+        self.poisoned = Some(e);
     }
 
     /// One-shot post-warm-up re-rank for `Auto` plans, PR-4's allreduce
@@ -1249,6 +1478,22 @@ impl AllgatherPlan {
         self.start(comm, mine, out).complete(comm);
     }
 
+    /// Fallible variant of [`Self::execute_into`]: on an unrecoverable
+    /// fault under an active [`FaultPolicy`](ccoll_comm::FaultPolicy)
+    /// it aborts cleanly, poisons the plan and returns the structured
+    /// error instead of panicking.
+    pub fn try_execute_into<C: Comm>(
+        &mut self,
+        comm: &mut C,
+        mine: &[f32],
+        out: &mut [f32],
+    ) -> Result<(), CollectiveError> {
+        if self.poisoned.is_some() {
+            return Err(CollectiveError::Poisoned);
+        }
+        self.start(comm, mine, out).try_complete(comm)
+    }
+
     /// Begin a nonblocking allgather; see [`AllreducePlan::start`] for
     /// the handle contract.
     ///
@@ -1269,8 +1514,13 @@ impl AllgatherPlan {
         );
         assert_eq!(out.len(), self.total, "output buffer size mismatch");
         self.maybe_rerank(comm);
+        assert!(
+            self.poisoned.is_none(),
+            "plan was poisoned by an aborted execution; call reset() to reuse"
+        );
         take_in_flight(&mut self.in_flight);
         let t0 = comm.now();
+        let c0 = comm.profiler().fault_counters();
         // The ring machines read the partition from the workspace; the
         // Bruck machine re-caches it from the counts it is handed.
         self.ws.set_partition_from_counts(&self.counts);
@@ -1281,6 +1531,7 @@ impl AllgatherPlan {
             mine,
             out,
             t0,
+            c0,
             done: false,
         }
     }
@@ -1300,12 +1551,13 @@ pub struct AllgatherHandle<'p, 'b> {
     mine: &'b [f32],
     out: &'b mut [f32],
     t0: SimTime,
+    c0: FaultCounters,
     machine: AgPlanMachine,
     done: bool,
 }
 
 impl AllgatherHandle<'_, '_> {
-    fn drive<C: Comm>(&mut self, comm: &mut C, block: bool) -> Poll {
+    fn drive_machine<C: Comm>(&mut self, comm: &mut C, block: bool) -> Poll {
         if self.done {
             return Poll::Ready;
         }
@@ -1325,7 +1577,7 @@ impl AllgatherHandle<'_, '_> {
         match polled {
             Poll::Pending => Poll::Pending,
             Poll::Ready => {
-                finish_execution(comm, session, ws, stats, self.t0);
+                finish_execution(comm, session, ws, stats, self.t0, self.c0);
                 *in_flight = false;
                 self.done = true;
                 Poll::Ready
@@ -1335,7 +1587,50 @@ impl AllgatherHandle<'_, '_> {
 
     /// Advance without blocking (see [`AllreduceHandle::progress`]).
     pub fn progress<C: Comm>(&mut self, comm: &mut C) -> Poll {
+        match self.try_progress(comm) {
+            Ok(p) => p,
+            Err(e) => panic!("collective aborted: {e}; plan poisoned (reset() to reuse)"),
+        }
+    }
+
+    /// Step the machine once and translate an abort suspension into a
+    /// structured error: the state machines signal "cannot proceed"
+    /// through their normal pending path and park the reason on the
+    /// profiler ([`ccoll_comm::Profiler::take_error`]).
+    fn drive<C: Comm>(&mut self, comm: &mut C, block: bool) -> Result<Poll, CollectiveError> {
+        if self.plan.poisoned.is_some() {
+            return Err(CollectiveError::Poisoned);
+        }
+        match self.drive_machine(comm, block) {
+            Poll::Ready => Ok(Poll::Ready),
+            Poll::Pending => match comm.profiler().take_error() {
+                None => Ok(Poll::Pending),
+                Some(err) => {
+                    let e = CollectiveError::Comm(err);
+                    self.plan.abort(comm, self.c0, e);
+                    Err(e)
+                }
+            },
+        }
+    }
+
+    /// Fallible [`Self::progress`]: advance without blocking, returning
+    /// the structured error (and poisoning the plan) if the operation
+    /// aborted on an unrecoverable fault.
+    pub fn try_progress<C: Comm>(&mut self, comm: &mut C) -> Result<Poll, CollectiveError> {
         self.drive(comm, false)
+    }
+
+    /// Fallible [`Self::complete`]: drain the remaining transfers,
+    /// returning the structured error (and poisoning the plan) if the
+    /// operation aborted on an unrecoverable fault.
+    pub fn try_complete<C: Comm>(mut self, comm: &mut C) -> Result<(), CollectiveError> {
+        loop {
+            match self.drive(comm, true)? {
+                Poll::Ready => return Ok(()),
+                Poll::Pending => {}
+            }
+        }
     }
 
     /// True once the operation has completed.
@@ -1344,9 +1639,10 @@ impl AllgatherHandle<'_, '_> {
     }
 
     /// Finish the collective, blocking on whatever transfers remain.
-    pub fn complete<C: Comm>(mut self, comm: &mut C) {
-        let done = self.drive(comm, true);
-        debug_assert!(done.is_ready());
+    pub fn complete<C: Comm>(self, comm: &mut C) {
+        if let Err(e) = self.try_complete(comm) {
+            panic!("collective aborted: {e}; plan poisoned (reset() to reuse)");
+        }
     }
 }
 
@@ -1359,6 +1655,9 @@ pub struct ReduceScatterPlan {
     counts: Vec<usize>,
     stats: PlanStats,
     in_flight: bool,
+    /// Set when an execution aborted on an unrecoverable fault; the
+    /// plan refuses further use until [`Self::reset`].
+    poisoned: Option<CollectiveError>,
     ws: CollWorkspace,
 }
 
@@ -1388,6 +1687,38 @@ impl ReduceScatterPlan {
         self.stats
     }
 
+    /// True when an aborted execution poisoned this plan (see
+    /// [`CollectiveError`]); [`Self::reset`] clears it.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
+    }
+
+    /// The error that poisoned this plan, if any.
+    pub fn poison_error(&self) -> Option<CollectiveError> {
+        self.poisoned
+    }
+
+    /// Clear the poisoned state after an aborted execution, making the
+    /// plan usable again. The aborted operation's partial results are
+    /// discarded; fault counters accrued so far stay in [`PlanStats`].
+    pub fn reset(&mut self) {
+        self.poisoned = None;
+        self.in_flight = false;
+    }
+
+    /// Abort bookkeeping after an unrecoverable fault: scrub transport
+    /// and workspace state so nothing half-exchanged can be reused,
+    /// fold the fault counters, and poison the plan.
+    fn abort<C: Comm>(&mut self, comm: &mut C, c0: FaultCounters, e: CollectiveError) {
+        comm.abort_cleanup();
+        self.ws.abort();
+        let delta = comm.profiler().fault_counters().since(c0);
+        self.stats.fold_faults(delta);
+        self.session.feedback.record_faults(delta);
+        self.in_flight = false;
+        self.poisoned = Some(e);
+    }
+
     /// The schedule's compression placement as a state-machine mode
     /// (shared with the reduce plan's RS + gather composition).
     fn rs_mode(&self) -> RsMode {
@@ -1407,6 +1738,22 @@ impl ReduceScatterPlan {
         self.start(comm, input, out).complete(comm);
     }
 
+    /// Fallible variant of [`Self::execute_into`]: on an unrecoverable
+    /// fault under an active [`FaultPolicy`](ccoll_comm::FaultPolicy)
+    /// it aborts cleanly, poisons the plan and returns the structured
+    /// error instead of panicking.
+    pub fn try_execute_into<C: Comm>(
+        &mut self,
+        comm: &mut C,
+        input: &[f32],
+        out: &mut [f32],
+    ) -> Result<(), CollectiveError> {
+        if self.poisoned.is_some() {
+            return Err(CollectiveError::Poisoned);
+        }
+        self.start(comm, input, out).try_complete(comm)
+    }
+
     /// Begin a nonblocking reduce-scatter; see [`AllreducePlan::start`]
     /// for the handle contract.
     ///
@@ -1421,8 +1768,13 @@ impl ReduceScatterPlan {
     ) -> ReduceScatterHandle<'p, 'b> {
         check_world(comm, self.session.world_size);
         assert_eq!(input.len(), self.len, "input disagrees with plan length");
+        assert!(
+            self.poisoned.is_none(),
+            "plan was poisoned by an aborted execution; call reset() to reuse"
+        );
         take_in_flight(&mut self.in_flight);
         let t0 = comm.now();
+        let c0 = comm.profiler().fault_counters();
         let machine = RingRs::new(self.rs_mode());
         ReduceScatterHandle {
             machine,
@@ -1430,6 +1782,7 @@ impl ReduceScatterPlan {
             input,
             out,
             t0,
+            c0,
             done: false,
         }
     }
@@ -1451,12 +1804,13 @@ pub struct ReduceScatterHandle<'p, 'b> {
     input: &'b [f32],
     out: &'b mut [f32],
     t0: SimTime,
+    c0: FaultCounters,
     machine: RingRs,
     done: bool,
 }
 
 impl ReduceScatterHandle<'_, '_> {
-    fn drive<C: Comm>(&mut self, comm: &mut C, block: bool) -> Poll {
+    fn drive_machine<C: Comm>(&mut self, comm: &mut C, block: bool) -> Poll {
         if self.done {
             return Poll::Ready;
         }
@@ -1479,7 +1833,7 @@ impl ReduceScatterHandle<'_, '_> {
         ) {
             Poll::Pending => Poll::Pending,
             Poll::Ready => {
-                finish_execution(comm, session, ws, stats, self.t0);
+                finish_execution(comm, session, ws, stats, self.t0, self.c0);
                 *in_flight = false;
                 self.done = true;
                 Poll::Ready
@@ -1489,7 +1843,50 @@ impl ReduceScatterHandle<'_, '_> {
 
     /// Advance without blocking (see [`AllreduceHandle::progress`]).
     pub fn progress<C: Comm>(&mut self, comm: &mut C) -> Poll {
+        match self.try_progress(comm) {
+            Ok(p) => p,
+            Err(e) => panic!("collective aborted: {e}; plan poisoned (reset() to reuse)"),
+        }
+    }
+
+    /// Step the machine once and translate an abort suspension into a
+    /// structured error: the state machines signal "cannot proceed"
+    /// through their normal pending path and park the reason on the
+    /// profiler ([`ccoll_comm::Profiler::take_error`]).
+    fn drive<C: Comm>(&mut self, comm: &mut C, block: bool) -> Result<Poll, CollectiveError> {
+        if self.plan.poisoned.is_some() {
+            return Err(CollectiveError::Poisoned);
+        }
+        match self.drive_machine(comm, block) {
+            Poll::Ready => Ok(Poll::Ready),
+            Poll::Pending => match comm.profiler().take_error() {
+                None => Ok(Poll::Pending),
+                Some(err) => {
+                    let e = CollectiveError::Comm(err);
+                    self.plan.abort(comm, self.c0, e);
+                    Err(e)
+                }
+            },
+        }
+    }
+
+    /// Fallible [`Self::progress`]: advance without blocking, returning
+    /// the structured error (and poisoning the plan) if the operation
+    /// aborted on an unrecoverable fault.
+    pub fn try_progress<C: Comm>(&mut self, comm: &mut C) -> Result<Poll, CollectiveError> {
         self.drive(comm, false)
+    }
+
+    /// Fallible [`Self::complete`]: drain the remaining transfers,
+    /// returning the structured error (and poisoning the plan) if the
+    /// operation aborted on an unrecoverable fault.
+    pub fn try_complete<C: Comm>(mut self, comm: &mut C) -> Result<(), CollectiveError> {
+        loop {
+            match self.drive(comm, true)? {
+                Poll::Ready => return Ok(()),
+                Poll::Pending => {}
+            }
+        }
     }
 
     /// True once the operation has completed.
@@ -1498,9 +1895,10 @@ impl ReduceScatterHandle<'_, '_> {
     }
 
     /// Finish the collective, blocking on whatever transfers remain.
-    pub fn complete<C: Comm>(mut self, comm: &mut C) {
-        let done = self.drive(comm, true);
-        debug_assert!(done.is_ready());
+    pub fn complete<C: Comm>(self, comm: &mut C) {
+        if let Err(e) = self.try_complete(comm) {
+            panic!("collective aborted: {e}; plan poisoned (reset() to reuse)");
+        }
     }
 }
 
@@ -1511,6 +1909,9 @@ pub struct BcastPlan {
     len: usize,
     stats: PlanStats,
     in_flight: bool,
+    /// Set when an execution aborted on an unrecoverable fault; the
+    /// plan refuses further use until [`Self::reset`].
+    poisoned: Option<CollectiveError>,
     ws: CollWorkspace,
 }
 
@@ -1541,6 +1942,38 @@ impl BcastPlan {
         self.stats
     }
 
+    /// True when an aborted execution poisoned this plan (see
+    /// [`CollectiveError`]); [`Self::reset`] clears it.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
+    }
+
+    /// The error that poisoned this plan, if any.
+    pub fn poison_error(&self) -> Option<CollectiveError> {
+        self.poisoned
+    }
+
+    /// Clear the poisoned state after an aborted execution, making the
+    /// plan usable again. The aborted operation's partial results are
+    /// discarded; fault counters accrued so far stay in [`PlanStats`].
+    pub fn reset(&mut self) {
+        self.poisoned = None;
+        self.in_flight = false;
+    }
+
+    /// Abort bookkeeping after an unrecoverable fault: scrub transport
+    /// and workspace state so nothing half-exchanged can be reused,
+    /// fold the fault counters, and poison the plan.
+    fn abort<C: Comm>(&mut self, comm: &mut C, c0: FaultCounters, e: CollectiveError) {
+        comm.abort_cleanup();
+        self.ws.abort();
+        let delta = comm.profiler().fault_counters().since(c0);
+        self.stats.fold_faults(delta);
+        self.session.feedback.record_faults(delta);
+        self.in_flight = false;
+        self.poisoned = Some(e);
+    }
+
     /// Execute into a caller-provided buffer. `data` is read on the root
     /// only (other ranks may pass an empty slice).
     ///
@@ -1549,6 +1982,22 @@ impl BcastPlan {
     /// the plan.
     pub fn execute_into<C: Comm>(&mut self, comm: &mut C, data: &[f32], out: &mut [f32]) {
         self.start(comm, data, out).complete(comm);
+    }
+
+    /// Fallible variant of [`Self::execute_into`]: on an unrecoverable
+    /// fault under an active [`FaultPolicy`](ccoll_comm::FaultPolicy)
+    /// it aborts cleanly, poisons the plan and returns the structured
+    /// error instead of panicking.
+    pub fn try_execute_into<C: Comm>(
+        &mut self,
+        comm: &mut C,
+        data: &[f32],
+        out: &mut [f32],
+    ) -> Result<(), CollectiveError> {
+        if self.poisoned.is_some() {
+            return Err(CollectiveError::Poisoned);
+        }
+        self.start(comm, data, out).try_complete(comm)
     }
 
     /// Begin a nonblocking broadcast; see [`AllreducePlan::start`] for
@@ -1565,8 +2014,13 @@ impl BcastPlan {
     ) -> BcastHandle<'p, 'b> {
         check_world(comm, self.session.world_size);
         assert_eq!(out.len(), self.len, "output disagrees with plan length");
+        assert!(
+            self.poisoned.is_none(),
+            "plan was poisoned by an aborted execution; call reset() to reuse"
+        );
         take_in_flight(&mut self.in_flight);
         let t0 = comm.now();
+        let c0 = comm.profiler().fault_counters();
         let machine = Bcast::new(self.session.cpr.is_some(), self.root);
         BcastHandle {
             machine,
@@ -1574,6 +2028,7 @@ impl BcastPlan {
             data,
             out,
             t0,
+            c0,
             done: false,
         }
     }
@@ -1593,12 +2048,13 @@ pub struct BcastHandle<'p, 'b> {
     data: &'b [f32],
     out: &'b mut [f32],
     t0: SimTime,
+    c0: FaultCounters,
     machine: Bcast,
     done: bool,
 }
 
 impl BcastHandle<'_, '_> {
-    fn drive<C: Comm>(&mut self, comm: &mut C, block: bool) -> Poll {
+    fn drive_machine<C: Comm>(&mut self, comm: &mut C, block: bool) -> Poll {
         if self.done {
             return Poll::Ready;
         }
@@ -1615,7 +2071,7 @@ impl BcastHandle<'_, '_> {
         {
             Poll::Pending => Poll::Pending,
             Poll::Ready => {
-                finish_execution(comm, session, ws, stats, self.t0);
+                finish_execution(comm, session, ws, stats, self.t0, self.c0);
                 *in_flight = false;
                 self.done = true;
                 Poll::Ready
@@ -1625,7 +2081,50 @@ impl BcastHandle<'_, '_> {
 
     /// Advance without blocking (see [`AllreduceHandle::progress`]).
     pub fn progress<C: Comm>(&mut self, comm: &mut C) -> Poll {
+        match self.try_progress(comm) {
+            Ok(p) => p,
+            Err(e) => panic!("collective aborted: {e}; plan poisoned (reset() to reuse)"),
+        }
+    }
+
+    /// Step the machine once and translate an abort suspension into a
+    /// structured error: the state machines signal "cannot proceed"
+    /// through their normal pending path and park the reason on the
+    /// profiler ([`ccoll_comm::Profiler::take_error`]).
+    fn drive<C: Comm>(&mut self, comm: &mut C, block: bool) -> Result<Poll, CollectiveError> {
+        if self.plan.poisoned.is_some() {
+            return Err(CollectiveError::Poisoned);
+        }
+        match self.drive_machine(comm, block) {
+            Poll::Ready => Ok(Poll::Ready),
+            Poll::Pending => match comm.profiler().take_error() {
+                None => Ok(Poll::Pending),
+                Some(err) => {
+                    let e = CollectiveError::Comm(err);
+                    self.plan.abort(comm, self.c0, e);
+                    Err(e)
+                }
+            },
+        }
+    }
+
+    /// Fallible [`Self::progress`]: advance without blocking, returning
+    /// the structured error (and poisoning the plan) if the operation
+    /// aborted on an unrecoverable fault.
+    pub fn try_progress<C: Comm>(&mut self, comm: &mut C) -> Result<Poll, CollectiveError> {
         self.drive(comm, false)
+    }
+
+    /// Fallible [`Self::complete`]: drain the remaining transfers,
+    /// returning the structured error (and poisoning the plan) if the
+    /// operation aborted on an unrecoverable fault.
+    pub fn try_complete<C: Comm>(mut self, comm: &mut C) -> Result<(), CollectiveError> {
+        loop {
+            match self.drive(comm, true)? {
+                Poll::Ready => return Ok(()),
+                Poll::Pending => {}
+            }
+        }
     }
 
     /// True once the operation has completed.
@@ -1634,9 +2133,10 @@ impl BcastHandle<'_, '_> {
     }
 
     /// Finish the collective, blocking on whatever transfers remain.
-    pub fn complete<C: Comm>(mut self, comm: &mut C) {
-        let done = self.drive(comm, true);
-        debug_assert!(done.is_ready());
+    pub fn complete<C: Comm>(self, comm: &mut C) {
+        if let Err(e) = self.try_complete(comm) {
+            panic!("collective aborted: {e}; plan poisoned (reset() to reuse)");
+        }
     }
 }
 
@@ -1648,6 +2148,9 @@ pub struct ScatterPlan {
     counts: Vec<usize>,
     stats: PlanStats,
     in_flight: bool,
+    /// Set when an execution aborted on an unrecoverable fault; the
+    /// plan refuses further use until [`Self::reset`].
+    poisoned: Option<CollectiveError>,
     ws: CollWorkspace,
 }
 
@@ -1678,6 +2181,38 @@ impl ScatterPlan {
         self.stats
     }
 
+    /// True when an aborted execution poisoned this plan (see
+    /// [`CollectiveError`]); [`Self::reset`] clears it.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
+    }
+
+    /// The error that poisoned this plan, if any.
+    pub fn poison_error(&self) -> Option<CollectiveError> {
+        self.poisoned
+    }
+
+    /// Clear the poisoned state after an aborted execution, making the
+    /// plan usable again. The aborted operation's partial results are
+    /// discarded; fault counters accrued so far stay in [`PlanStats`].
+    pub fn reset(&mut self) {
+        self.poisoned = None;
+        self.in_flight = false;
+    }
+
+    /// Abort bookkeeping after an unrecoverable fault: scrub transport
+    /// and workspace state so nothing half-exchanged can be reused,
+    /// fold the fault counters, and poison the plan.
+    fn abort<C: Comm>(&mut self, comm: &mut C, c0: FaultCounters, e: CollectiveError) {
+        comm.abort_cleanup();
+        self.ws.abort();
+        let delta = comm.profiler().fault_counters().since(c0);
+        self.stats.fold_faults(delta);
+        self.session.feedback.record_faults(delta);
+        self.in_flight = false;
+        self.poisoned = Some(e);
+    }
+
     /// Execute into a caller-provided buffer (this rank's chunk). `data`
     /// is read on the root only.
     ///
@@ -1686,6 +2221,22 @@ impl ScatterPlan {
     /// the plan.
     pub fn execute_into<C: Comm>(&mut self, comm: &mut C, data: &[f32], out: &mut [f32]) {
         self.start(comm, data, out).complete(comm);
+    }
+
+    /// Fallible variant of [`Self::execute_into`]: on an unrecoverable
+    /// fault under an active [`FaultPolicy`](ccoll_comm::FaultPolicy)
+    /// it aborts cleanly, poisons the plan and returns the structured
+    /// error instead of panicking.
+    pub fn try_execute_into<C: Comm>(
+        &mut self,
+        comm: &mut C,
+        data: &[f32],
+        out: &mut [f32],
+    ) -> Result<(), CollectiveError> {
+        if self.poisoned.is_some() {
+            return Err(CollectiveError::Poisoned);
+        }
+        self.start(comm, data, out).try_complete(comm)
     }
 
     /// Begin a nonblocking scatter; see [`AllreducePlan::start`] for the
@@ -1701,8 +2252,13 @@ impl ScatterPlan {
         out: &'b mut [f32],
     ) -> ScatterHandle<'p, 'b> {
         check_world(comm, self.session.world_size);
+        assert!(
+            self.poisoned.is_none(),
+            "plan was poisoned by an aborted execution; call reset() to reuse"
+        );
         take_in_flight(&mut self.in_flight);
         let t0 = comm.now();
+        let c0 = comm.profiler().fault_counters();
         let machine = Scatter::new(self.session.cpr.is_some(), self.root, self.total_len);
         ScatterHandle {
             machine,
@@ -1710,6 +2266,7 @@ impl ScatterPlan {
             data,
             out,
             t0,
+            c0,
             done: false,
         }
     }
@@ -1729,12 +2286,13 @@ pub struct ScatterHandle<'p, 'b> {
     data: &'b [f32],
     out: &'b mut [f32],
     t0: SimTime,
+    c0: FaultCounters,
     machine: Scatter,
     done: bool,
 }
 
 impl ScatterHandle<'_, '_> {
-    fn drive<C: Comm>(&mut self, comm: &mut C, block: bool) -> Poll {
+    fn drive_machine<C: Comm>(&mut self, comm: &mut C, block: bool) -> Poll {
         if self.done {
             return Poll::Ready;
         }
@@ -1751,7 +2309,7 @@ impl ScatterHandle<'_, '_> {
         {
             Poll::Pending => Poll::Pending,
             Poll::Ready => {
-                finish_execution(comm, session, ws, stats, self.t0);
+                finish_execution(comm, session, ws, stats, self.t0, self.c0);
                 *in_flight = false;
                 self.done = true;
                 Poll::Ready
@@ -1761,7 +2319,50 @@ impl ScatterHandle<'_, '_> {
 
     /// Advance without blocking (see [`AllreduceHandle::progress`]).
     pub fn progress<C: Comm>(&mut self, comm: &mut C) -> Poll {
+        match self.try_progress(comm) {
+            Ok(p) => p,
+            Err(e) => panic!("collective aborted: {e}; plan poisoned (reset() to reuse)"),
+        }
+    }
+
+    /// Step the machine once and translate an abort suspension into a
+    /// structured error: the state machines signal "cannot proceed"
+    /// through their normal pending path and park the reason on the
+    /// profiler ([`ccoll_comm::Profiler::take_error`]).
+    fn drive<C: Comm>(&mut self, comm: &mut C, block: bool) -> Result<Poll, CollectiveError> {
+        if self.plan.poisoned.is_some() {
+            return Err(CollectiveError::Poisoned);
+        }
+        match self.drive_machine(comm, block) {
+            Poll::Ready => Ok(Poll::Ready),
+            Poll::Pending => match comm.profiler().take_error() {
+                None => Ok(Poll::Pending),
+                Some(err) => {
+                    let e = CollectiveError::Comm(err);
+                    self.plan.abort(comm, self.c0, e);
+                    Err(e)
+                }
+            },
+        }
+    }
+
+    /// Fallible [`Self::progress`]: advance without blocking, returning
+    /// the structured error (and poisoning the plan) if the operation
+    /// aborted on an unrecoverable fault.
+    pub fn try_progress<C: Comm>(&mut self, comm: &mut C) -> Result<Poll, CollectiveError> {
         self.drive(comm, false)
+    }
+
+    /// Fallible [`Self::complete`]: drain the remaining transfers,
+    /// returning the structured error (and poisoning the plan) if the
+    /// operation aborted on an unrecoverable fault.
+    pub fn try_complete<C: Comm>(mut self, comm: &mut C) -> Result<(), CollectiveError> {
+        loop {
+            match self.drive(comm, true)? {
+                Poll::Ready => return Ok(()),
+                Poll::Pending => {}
+            }
+        }
     }
 
     /// True once the operation has completed.
@@ -1770,9 +2371,10 @@ impl ScatterHandle<'_, '_> {
     }
 
     /// Finish the collective, blocking on whatever transfers remain.
-    pub fn complete<C: Comm>(mut self, comm: &mut C) {
-        let done = self.drive(comm, true);
-        debug_assert!(done.is_ready());
+    pub fn complete<C: Comm>(self, comm: &mut C) {
+        if let Err(e) = self.try_complete(comm) {
+            panic!("collective aborted: {e}; plan poisoned (reset() to reuse)");
+        }
     }
 }
 
@@ -1784,6 +2386,9 @@ pub struct GatherPlan {
     counts: Vec<usize>,
     stats: PlanStats,
     in_flight: bool,
+    /// Set when an execution aborted on an unrecoverable fault; the
+    /// plan refuses further use until [`Self::reset`].
+    poisoned: Option<CollectiveError>,
     ws: CollWorkspace,
 }
 
@@ -1814,6 +2419,38 @@ impl GatherPlan {
         self.stats
     }
 
+    /// True when an aborted execution poisoned this plan (see
+    /// [`CollectiveError`]); [`Self::reset`] clears it.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
+    }
+
+    /// The error that poisoned this plan, if any.
+    pub fn poison_error(&self) -> Option<CollectiveError> {
+        self.poisoned
+    }
+
+    /// Clear the poisoned state after an aborted execution, making the
+    /// plan usable again. The aborted operation's partial results are
+    /// discarded; fault counters accrued so far stay in [`PlanStats`].
+    pub fn reset(&mut self) {
+        self.poisoned = None;
+        self.in_flight = false;
+    }
+
+    /// Abort bookkeeping after an unrecoverable fault: scrub transport
+    /// and workspace state so nothing half-exchanged can be reused,
+    /// fold the fault counters, and poison the plan.
+    fn abort<C: Comm>(&mut self, comm: &mut C, c0: FaultCounters, e: CollectiveError) {
+        comm.abort_cleanup();
+        self.ws.abort();
+        let delta = comm.profiler().fault_counters().since(c0);
+        self.stats.fold_faults(delta);
+        self.session.feedback.record_faults(delta);
+        self.in_flight = false;
+        self.poisoned = Some(e);
+    }
+
     /// Execute into a caller-provided buffer. The root must size `out`
     /// to `total_len`; other ranks may pass an empty buffer. Returns
     /// `true` on the root, `false` elsewhere.
@@ -1823,6 +2460,22 @@ impl GatherPlan {
     /// the plan.
     pub fn execute_into<C: Comm>(&mut self, comm: &mut C, mine: &[f32], out: &mut [f32]) -> bool {
         self.start(comm, mine, out).complete(comm)
+    }
+
+    /// Fallible variant of [`Self::execute_into`]: on an unrecoverable
+    /// fault under an active [`FaultPolicy`](ccoll_comm::FaultPolicy)
+    /// it aborts cleanly, poisons the plan and returns the structured
+    /// error instead of panicking. `Ok(true)` on the root.
+    pub fn try_execute_into<C: Comm>(
+        &mut self,
+        comm: &mut C,
+        mine: &[f32],
+        out: &mut [f32],
+    ) -> Result<bool, CollectiveError> {
+        if self.poisoned.is_some() {
+            return Err(CollectiveError::Poisoned);
+        }
+        self.start(comm, mine, out).try_complete(comm)
     }
 
     /// Begin a nonblocking gather; see [`AllreducePlan::start`] for the
@@ -1839,8 +2492,13 @@ impl GatherPlan {
         out: &'b mut [f32],
     ) -> GatherHandle<'p, 'b> {
         check_world(comm, self.session.world_size);
+        assert!(
+            self.poisoned.is_none(),
+            "plan was poisoned by an aborted execution; call reset() to reuse"
+        );
         take_in_flight(&mut self.in_flight);
         let t0 = comm.now();
+        let c0 = comm.profiler().fault_counters();
         let machine = Gather::new(self.session.cpr.is_some(), self.root, self.total_len);
         GatherHandle {
             machine,
@@ -1848,6 +2506,7 @@ impl GatherPlan {
             mine,
             out,
             t0,
+            c0,
             done: false,
         }
     }
@@ -1874,12 +2533,13 @@ pub struct GatherHandle<'p, 'b> {
     mine: &'b [f32],
     out: &'b mut [f32],
     t0: SimTime,
+    c0: FaultCounters,
     machine: Gather,
     done: bool,
 }
 
 impl GatherHandle<'_, '_> {
-    fn drive<C: Comm>(&mut self, comm: &mut C, block: bool) -> Poll {
+    fn drive_machine<C: Comm>(&mut self, comm: &mut C, block: bool) -> Poll {
         if self.done {
             return Poll::Ready;
         }
@@ -1896,7 +2556,7 @@ impl GatherHandle<'_, '_> {
         {
             Poll::Pending => Poll::Pending,
             Poll::Ready => {
-                finish_execution(comm, session, ws, stats, self.t0);
+                finish_execution(comm, session, ws, stats, self.t0, self.c0);
                 *in_flight = false;
                 self.done = true;
                 Poll::Ready
@@ -1906,7 +2566,50 @@ impl GatherHandle<'_, '_> {
 
     /// Advance without blocking (see [`AllreduceHandle::progress`]).
     pub fn progress<C: Comm>(&mut self, comm: &mut C) -> Poll {
+        match self.try_progress(comm) {
+            Ok(p) => p,
+            Err(e) => panic!("collective aborted: {e}; plan poisoned (reset() to reuse)"),
+        }
+    }
+
+    /// Step the machine once and translate an abort suspension into a
+    /// structured error: the state machines signal "cannot proceed"
+    /// through their normal pending path and park the reason on the
+    /// profiler ([`ccoll_comm::Profiler::take_error`]).
+    fn drive<C: Comm>(&mut self, comm: &mut C, block: bool) -> Result<Poll, CollectiveError> {
+        if self.plan.poisoned.is_some() {
+            return Err(CollectiveError::Poisoned);
+        }
+        match self.drive_machine(comm, block) {
+            Poll::Ready => Ok(Poll::Ready),
+            Poll::Pending => match comm.profiler().take_error() {
+                None => Ok(Poll::Pending),
+                Some(err) => {
+                    let e = CollectiveError::Comm(err);
+                    self.plan.abort(comm, self.c0, e);
+                    Err(e)
+                }
+            },
+        }
+    }
+
+    /// Fallible [`Self::progress`]: advance without blocking, returning
+    /// the structured error (and poisoning the plan) if the operation
+    /// aborted on an unrecoverable fault.
+    pub fn try_progress<C: Comm>(&mut self, comm: &mut C) -> Result<Poll, CollectiveError> {
         self.drive(comm, false)
+    }
+
+    /// Fallible [`Self::complete`]: drain the remaining transfers,
+    /// returning the structured error (and poisoning the plan) if the
+    /// operation aborted on an unrecoverable fault.
+    pub fn try_complete<C: Comm>(mut self, comm: &mut C) -> Result<bool, CollectiveError> {
+        loop {
+            match self.drive(comm, true)? {
+                Poll::Ready => return Ok(self.machine.is_root()),
+                Poll::Pending => {}
+            }
+        }
     }
 
     /// True once the operation has completed.
@@ -1916,10 +2619,11 @@ impl GatherHandle<'_, '_> {
 
     /// Finish the collective, blocking on whatever transfers remain.
     /// Returns `true` on the root.
-    pub fn complete<C: Comm>(mut self, comm: &mut C) -> bool {
-        let done = self.drive(comm, true);
-        debug_assert!(done.is_ready());
-        self.machine.is_root()
+    pub fn complete<C: Comm>(self, comm: &mut C) -> bool {
+        match self.try_complete(comm) {
+            Ok(root) => root,
+            Err(e) => panic!("collective aborted: {e}; plan poisoned (reset() to reuse)"),
+        }
     }
 }
 
@@ -1929,6 +2633,9 @@ pub struct AlltoallPlan {
     len: usize,
     stats: PlanStats,
     in_flight: bool,
+    /// Set when an execution aborted on an unrecoverable fault; the
+    /// plan refuses further use until [`Self::reset`].
+    poisoned: Option<CollectiveError>,
     ws: CollWorkspace,
 }
 
@@ -1954,6 +2661,38 @@ impl AlltoallPlan {
         self.stats
     }
 
+    /// True when an aborted execution poisoned this plan (see
+    /// [`CollectiveError`]); [`Self::reset`] clears it.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
+    }
+
+    /// The error that poisoned this plan, if any.
+    pub fn poison_error(&self) -> Option<CollectiveError> {
+        self.poisoned
+    }
+
+    /// Clear the poisoned state after an aborted execution, making the
+    /// plan usable again. The aborted operation's partial results are
+    /// discarded; fault counters accrued so far stay in [`PlanStats`].
+    pub fn reset(&mut self) {
+        self.poisoned = None;
+        self.in_flight = false;
+    }
+
+    /// Abort bookkeeping after an unrecoverable fault: scrub transport
+    /// and workspace state so nothing half-exchanged can be reused,
+    /// fold the fault counters, and poison the plan.
+    fn abort<C: Comm>(&mut self, comm: &mut C, c0: FaultCounters, e: CollectiveError) {
+        comm.abort_cleanup();
+        self.ws.abort();
+        let delta = comm.profiler().fault_counters().since(c0);
+        self.stats.fold_faults(delta);
+        self.session.feedback.record_faults(delta);
+        self.in_flight = false;
+        self.poisoned = Some(e);
+    }
+
     /// Execute into a caller-provided buffer.
     ///
     /// # Panics
@@ -1961,6 +2700,22 @@ impl AlltoallPlan {
     /// the plan.
     pub fn execute_into<C: Comm>(&mut self, comm: &mut C, send: &[f32], out: &mut [f32]) {
         self.start(comm, send, out).complete(comm);
+    }
+
+    /// Fallible variant of [`Self::execute_into`]: on an unrecoverable
+    /// fault under an active [`FaultPolicy`](ccoll_comm::FaultPolicy)
+    /// it aborts cleanly, poisons the plan and returns the structured
+    /// error instead of panicking.
+    pub fn try_execute_into<C: Comm>(
+        &mut self,
+        comm: &mut C,
+        send: &[f32],
+        out: &mut [f32],
+    ) -> Result<(), CollectiveError> {
+        if self.poisoned.is_some() {
+            return Err(CollectiveError::Poisoned);
+        }
+        self.start(comm, send, out).try_complete(comm)
     }
 
     /// Begin a nonblocking all-to-all; see [`AllreducePlan::start`] for
@@ -1977,8 +2732,13 @@ impl AlltoallPlan {
     ) -> AlltoallHandle<'p, 'b> {
         check_world(comm, self.session.world_size);
         assert_eq!(send.len(), self.len, "input disagrees with plan length");
+        assert!(
+            self.poisoned.is_none(),
+            "plan was poisoned by an aborted execution; call reset() to reuse"
+        );
         take_in_flight(&mut self.in_flight);
         let t0 = comm.now();
+        let c0 = comm.profiler().fault_counters();
         let machine = Alltoall::new(self.session.cpr.is_some());
         AlltoallHandle {
             machine,
@@ -1986,6 +2746,7 @@ impl AlltoallPlan {
             send,
             out,
             t0,
+            c0,
             done: false,
         }
     }
@@ -2005,12 +2766,13 @@ pub struct AlltoallHandle<'p, 'b> {
     send: &'b [f32],
     out: &'b mut [f32],
     t0: SimTime,
+    c0: FaultCounters,
     machine: Alltoall,
     done: bool,
 }
 
 impl AlltoallHandle<'_, '_> {
-    fn drive<C: Comm>(&mut self, comm: &mut C, block: bool) -> Poll {
+    fn drive_machine<C: Comm>(&mut self, comm: &mut C, block: bool) -> Poll {
         if self.done {
             return Poll::Ready;
         }
@@ -2027,7 +2789,7 @@ impl AlltoallHandle<'_, '_> {
         {
             Poll::Pending => Poll::Pending,
             Poll::Ready => {
-                finish_execution(comm, session, ws, stats, self.t0);
+                finish_execution(comm, session, ws, stats, self.t0, self.c0);
                 *in_flight = false;
                 self.done = true;
                 Poll::Ready
@@ -2037,7 +2799,50 @@ impl AlltoallHandle<'_, '_> {
 
     /// Advance without blocking (see [`AllreduceHandle::progress`]).
     pub fn progress<C: Comm>(&mut self, comm: &mut C) -> Poll {
+        match self.try_progress(comm) {
+            Ok(p) => p,
+            Err(e) => panic!("collective aborted: {e}; plan poisoned (reset() to reuse)"),
+        }
+    }
+
+    /// Step the machine once and translate an abort suspension into a
+    /// structured error: the state machines signal "cannot proceed"
+    /// through their normal pending path and park the reason on the
+    /// profiler ([`ccoll_comm::Profiler::take_error`]).
+    fn drive<C: Comm>(&mut self, comm: &mut C, block: bool) -> Result<Poll, CollectiveError> {
+        if self.plan.poisoned.is_some() {
+            return Err(CollectiveError::Poisoned);
+        }
+        match self.drive_machine(comm, block) {
+            Poll::Ready => Ok(Poll::Ready),
+            Poll::Pending => match comm.profiler().take_error() {
+                None => Ok(Poll::Pending),
+                Some(err) => {
+                    let e = CollectiveError::Comm(err);
+                    self.plan.abort(comm, self.c0, e);
+                    Err(e)
+                }
+            },
+        }
+    }
+
+    /// Fallible [`Self::progress`]: advance without blocking, returning
+    /// the structured error (and poisoning the plan) if the operation
+    /// aborted on an unrecoverable fault.
+    pub fn try_progress<C: Comm>(&mut self, comm: &mut C) -> Result<Poll, CollectiveError> {
         self.drive(comm, false)
+    }
+
+    /// Fallible [`Self::complete`]: drain the remaining transfers,
+    /// returning the structured error (and poisoning the plan) if the
+    /// operation aborted on an unrecoverable fault.
+    pub fn try_complete<C: Comm>(mut self, comm: &mut C) -> Result<(), CollectiveError> {
+        loop {
+            match self.drive(comm, true)? {
+                Poll::Ready => return Ok(()),
+                Poll::Pending => {}
+            }
+        }
     }
 
     /// True once the operation has completed.
@@ -2046,9 +2851,10 @@ impl AlltoallHandle<'_, '_> {
     }
 
     /// Finish the collective, blocking on whatever transfers remain.
-    pub fn complete<C: Comm>(mut self, comm: &mut C) {
-        let done = self.drive(comm, true);
-        debug_assert!(done.is_ready());
+    pub fn complete<C: Comm>(self, comm: &mut C) {
+        if let Err(e) = self.try_complete(comm) {
+            panic!("collective aborted: {e}; plan poisoned (reset() to reuse)");
+        }
     }
 }
 
@@ -2069,6 +2875,9 @@ pub struct ReducePlan {
     reranked: bool,
     stats: PlanStats,
     in_flight: bool,
+    /// Set when an execution aborted on an unrecoverable fault; the
+    /// plan refuses further use until [`Self::reset`].
+    poisoned: Option<CollectiveError>,
     inner: ReducePlanImpl,
 }
 
@@ -2116,6 +2925,48 @@ impl ReducePlan {
     /// Measured statistics (see [`PlanStats`]).
     pub fn stats(&self) -> PlanStats {
         self.stats
+    }
+
+    /// True when an aborted execution poisoned this plan (see
+    /// [`CollectiveError`]); [`Self::reset`] clears it.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
+    }
+
+    /// The error that poisoned this plan, if any.
+    pub fn poison_error(&self) -> Option<CollectiveError> {
+        self.poisoned
+    }
+
+    /// Clear the poisoned state after an aborted execution, making the
+    /// plan usable again. The aborted operation's partial results are
+    /// discarded; fault counters accrued so far stay in [`PlanStats`].
+    pub fn reset(&mut self) {
+        self.poisoned = None;
+        self.in_flight = false;
+    }
+
+    /// Abort bookkeeping after an unrecoverable fault: scrub transport
+    /// and workspace state so nothing half-exchanged can be reused,
+    /// fold the fault counters, and poison the plan.
+    fn abort<C: Comm>(&mut self, comm: &mut C, c0: FaultCounters, e: CollectiveError) {
+        comm.abort_cleanup();
+        match &mut self.inner {
+            ReducePlanImpl::Binomial { ws, .. } => ws.abort(),
+            ReducePlanImpl::RsGather {
+                reduce_scatter,
+                gather,
+                ..
+            } => {
+                reduce_scatter.ws.abort();
+                gather.ws.abort();
+            }
+        }
+        let delta = comm.profiler().fault_counters().since(c0);
+        self.stats.fold_faults(delta);
+        self.session.feedback.record_faults(delta);
+        self.in_flight = false;
+        self.poisoned = Some(e);
     }
 
     /// One-shot post-warm-up re-rank for `Auto` plans, PR-4's allreduce
@@ -2177,6 +3028,22 @@ impl ReducePlan {
         self.start(comm, input, out).complete(comm)
     }
 
+    /// Fallible variant of [`Self::execute_into`]: on an unrecoverable
+    /// fault under an active [`FaultPolicy`](ccoll_comm::FaultPolicy)
+    /// it aborts cleanly, poisons the plan and returns the structured
+    /// error instead of panicking. `Ok(true)` on the root.
+    pub fn try_execute_into<C: Comm>(
+        &mut self,
+        comm: &mut C,
+        input: &[f32],
+        out: &mut [f32],
+    ) -> Result<bool, CollectiveError> {
+        if self.poisoned.is_some() {
+            return Err(CollectiveError::Poisoned);
+        }
+        self.start(comm, input, out).try_complete(comm)
+    }
+
     /// Begin a nonblocking rooted reduce; see [`AllreducePlan::start`]
     /// for the handle contract. [`ReduceHandle::complete`] returns
     /// `true` on the root.
@@ -2193,8 +3060,13 @@ impl ReducePlan {
         check_world(comm, self.session.world_size);
         assert_eq!(input.len(), self.len, "input disagrees with plan length");
         self.maybe_rerank(comm);
+        assert!(
+            self.poisoned.is_none(),
+            "plan was poisoned by an aborted execution; call reset() to reuse"
+        );
         take_in_flight(&mut self.in_flight);
         let t0 = comm.now();
+        let c0 = comm.profiler().fault_counters();
         if let ReducePlanImpl::RsGather {
             reduce_scatter,
             mine,
@@ -2213,6 +3085,7 @@ impl ReducePlan {
             input,
             out,
             t0,
+            c0,
             done: false,
             root_result: false,
         }
@@ -2240,13 +3113,14 @@ pub struct ReduceHandle<'p, 'b> {
     input: &'b [f32],
     out: &'b mut [f32],
     t0: SimTime,
+    c0: FaultCounters,
     machine: ReduceMachine,
     done: bool,
     root_result: bool,
 }
 
 impl ReduceHandle<'_, '_> {
-    fn drive<C: Comm>(&mut self, comm: &mut C, block: bool) -> Poll {
+    fn drive_machine<C: Comm>(&mut self, comm: &mut C, block: bool) -> Poll {
         if self.done {
             return Poll::Ready;
         }
@@ -2278,7 +3152,7 @@ impl ReduceHandle<'_, '_> {
                 ) {
                     Poll::Pending => Poll::Pending,
                     Poll::Ready => {
-                        finish_execution(comm, session, ws, stats, self.t0);
+                        finish_execution(comm, session, ws, stats, self.t0, self.c0);
                         self.root_result = m.is_root();
                         Poll::Ready
                     }
@@ -2325,7 +3199,7 @@ impl ReduceHandle<'_, '_> {
                 match gm.step(comm, cpr.as_ref(), mine, self.out, &mut gather.ws, block) {
                     Poll::Pending => Poll::Pending,
                     Poll::Ready => {
-                        finish_execution(comm, session, &mut gather.ws, stats, self.t0);
+                        finish_execution(comm, session, &mut gather.ws, stats, self.t0, self.c0);
                         self.root_result = gm.is_root();
                         Poll::Ready
                     }
@@ -2342,7 +3216,50 @@ impl ReduceHandle<'_, '_> {
 
     /// Advance without blocking (see [`AllreduceHandle::progress`]).
     pub fn progress<C: Comm>(&mut self, comm: &mut C) -> Poll {
+        match self.try_progress(comm) {
+            Ok(p) => p,
+            Err(e) => panic!("collective aborted: {e}; plan poisoned (reset() to reuse)"),
+        }
+    }
+
+    /// Step the machine once and translate an abort suspension into a
+    /// structured error: the state machines signal "cannot proceed"
+    /// through their normal pending path and park the reason on the
+    /// profiler ([`ccoll_comm::Profiler::take_error`]).
+    fn drive<C: Comm>(&mut self, comm: &mut C, block: bool) -> Result<Poll, CollectiveError> {
+        if self.plan.poisoned.is_some() {
+            return Err(CollectiveError::Poisoned);
+        }
+        match self.drive_machine(comm, block) {
+            Poll::Ready => Ok(Poll::Ready),
+            Poll::Pending => match comm.profiler().take_error() {
+                None => Ok(Poll::Pending),
+                Some(err) => {
+                    let e = CollectiveError::Comm(err);
+                    self.plan.abort(comm, self.c0, e);
+                    Err(e)
+                }
+            },
+        }
+    }
+
+    /// Fallible [`Self::progress`]: advance without blocking, returning
+    /// the structured error (and poisoning the plan) if the operation
+    /// aborted on an unrecoverable fault.
+    pub fn try_progress<C: Comm>(&mut self, comm: &mut C) -> Result<Poll, CollectiveError> {
         self.drive(comm, false)
+    }
+
+    /// Fallible [`Self::complete`]: drain the remaining transfers,
+    /// returning the structured error (and poisoning the plan) if the
+    /// operation aborted on an unrecoverable fault.
+    pub fn try_complete<C: Comm>(mut self, comm: &mut C) -> Result<bool, CollectiveError> {
+        loop {
+            match self.drive(comm, true)? {
+                Poll::Ready => return Ok(self.root_result),
+                Poll::Pending => {}
+            }
+        }
     }
 
     /// True once the operation has completed.
@@ -2352,10 +3269,11 @@ impl ReduceHandle<'_, '_> {
 
     /// Finish the collective, blocking on whatever transfers remain.
     /// Returns `true` on the root.
-    pub fn complete<C: Comm>(mut self, comm: &mut C) -> bool {
-        let done = self.drive(comm, true);
-        debug_assert!(done.is_ready());
-        self.root_result
+    pub fn complete<C: Comm>(self, comm: &mut C) -> bool {
+        match self.try_complete(comm) {
+            Ok(root) => root,
+            Err(e) => panic!("collective aborted: {e}; plan poisoned (reset() to reuse)"),
+        }
     }
 }
 

@@ -83,4 +83,17 @@ impl CollWorkspace {
         self.counts.extend_from_slice(counts);
         crate::partition::chunk_offsets_into(&self.counts, &mut self.offsets);
     }
+
+    /// Scrub all in-flight state after an aborted execution: pending
+    /// requests and half-received blobs from the dead operation must
+    /// never leak into the plan's next run. Warm capacity (scratch,
+    /// pool, partition tables) is kept — only liveness state goes.
+    pub(crate) fn abort(&mut self) {
+        self.sreqs.clear();
+        self.rreqs.clear();
+        for slot in &mut self.blobs {
+            *slot = None;
+        }
+        self.blob_list.clear();
+    }
 }
