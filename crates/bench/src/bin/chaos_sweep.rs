@@ -49,7 +49,53 @@ fn cases(worlds: &[usize], seeds_per_cell: u64) -> Vec<ChaosCase> {
     out
 }
 
+/// `--repin <corpus-path>`: re-run every case in the corpus file and
+/// rewrite it with current fingerprints (comments preserved). For
+/// intentional behaviour changes only — each rewritten line must still
+/// classify PASS, or the repin aborts.
+fn repin(path: &str) {
+    let text = std::fs::read_to_string(path).expect("read corpus");
+    let mut out = String::new();
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            out.push_str(line);
+            out.push('\n');
+            continue;
+        }
+        let (case, _) =
+            ChaosCase::parse_line(trimmed).unwrap_or_else(|| panic!("bad corpus line: {trimmed}"));
+        let r = run_chaos_case(case);
+        assert!(
+            r.pass,
+            "{}: cannot pin a failing case ({})",
+            case.corpus_key(),
+            r
+        );
+        let _ = writeln!(out, "{} {:016x}", case.corpus_key(), r.fingerprint);
+        println!(
+            "repinned {} {:016x}  {}",
+            case.corpus_key(),
+            r.fingerprint,
+            r
+        );
+    }
+    std::fs::write(path, out).expect("write corpus");
+    println!("corpus repinned: {path}");
+}
+
 fn main() {
+    let mut args = std::env::args().skip(1);
+    if let Some(flag) = args.next() {
+        if flag == "--repin" {
+            let path = args
+                .next()
+                .unwrap_or_else(|| "crates/bench/chaos_corpus.txt".to_string());
+            repin(&path);
+            return;
+        }
+        panic!("unknown argument {flag:?} (supported: --repin [corpus-path])");
+    }
     let (worlds, seeds_per_cell): (Vec<usize>, u64) = if quick() {
         (vec![2, 3, 5, 8, 32], 2)
     } else {

@@ -16,6 +16,7 @@
 use std::fmt;
 use std::time::Duration;
 
+use c_coll::engine::ProgressEngine;
 use c_coll::{Algorithm, CCollSession, CodecSpec, CollectiveError, PlanOptions, ReduceOp};
 use ccoll_comm::chaos::splitmix64;
 use ccoll_comm::{sim::SimComm, Comm, FaultPlan, FaultPolicy, RankOutcome, SimConfig, SimWorld};
@@ -31,16 +32,23 @@ pub enum Shape {
     Bcast,
     /// Ring allgather.
     Allgather,
+    /// Two ring-allreduce plans in flight at once on one communicator,
+    /// driven by a session [`ProgressEngine`]: pins that a fault aborts
+    /// *one* operation cleanly (poisoning only its own plan) while the
+    /// sibling still completes bitwise-equal or aborts on its own
+    /// terms — never hangs, never corrupts.
+    ConcurrentPair,
 }
 
 impl Shape {
     /// All shapes the sweep rotates through.
-    pub const ALL: [Shape; 5] = [
+    pub const ALL: [Shape; 6] = [
         Shape::Allreduce(Algorithm::Ring),
         Shape::Allreduce(Algorithm::RecursiveDoubling),
         Shape::Allreduce(Algorithm::Rabenseifner),
         Shape::Bcast,
         Shape::Allgather,
+        Shape::ConcurrentPair,
     ];
 
     /// Corpus token for this shape.
@@ -52,6 +60,7 @@ impl Shape {
             Shape::Allreduce(_) => unreachable!("sweep pins explicit allreduce schedules"),
             Shape::Bcast => "bcast",
             Shape::Allgather => "allgather",
+            Shape::ConcurrentPair => "ar-pair",
         }
     }
 
@@ -292,6 +301,51 @@ fn run_rank(c: &mut SimComm, case: ChaosCase) -> Result<(Vec<f32>, u64), (Collec
             match plan.try_execute_into(c, &input, &mut out) {
                 Ok(()) => Ok((out, plan.stats().retries)),
                 Err(e) => Err((e, plan.is_poisoned())),
+            }
+        }
+        Shape::ConcurrentPair => {
+            let ring = || PlanOptions::new().algorithm(Algorithm::Ring);
+            let len2 = case.len / 2 + 8;
+            let mut p1 = session.plan_allreduce_with(case.len, ReduceOp::Sum, ring());
+            let mut p2 = session.plan_allreduce_with(len2, ReduceOp::Sum, ring());
+            let input2 = rank_data(c.rank(), len2, case.seed ^ 0x5EED);
+            let mut out1 = vec![0.0f32; case.len];
+            let mut out2 = vec![0.0f32; len2];
+            let mut errs = Vec::new();
+            let (id1, id2) = {
+                let mut engine = ProgressEngine::new();
+                let id1 = engine.submit(p1.start(c, &input, &mut out1));
+                let id2 = engine.submit(p2.start(c, &input2, &mut out2));
+                // A fault retires only the op it hit; keep draining the
+                // sibling until nothing is live — the engine must never
+                // wedge on a poisoned peer.
+                while engine.live_ops() > 0 {
+                    if let Err((id, e)) = engine.try_wait_all(c) {
+                        errs.push((id, e));
+                    }
+                }
+                (id1, id2)
+            };
+            // Per-op isolation: a plan is poisoned if and only if its
+            // own operation aborted — a sibling's fault never leaks.
+            let op1_err = errs.iter().find(|(id, _)| *id == id1).map(|&(_, e)| e);
+            let op2_err = errs.iter().find(|(id, _)| *id == id2).map(|&(_, e)| e);
+            assert_eq!(
+                p1.is_poisoned(),
+                op1_err.is_some(),
+                "op 1 poisoned-state must track its own abort, not the sibling's"
+            );
+            assert_eq!(
+                p2.is_poisoned(),
+                op2_err.is_some(),
+                "op 2 poisoned-state must track its own abort, not the sibling's"
+            );
+            match errs.first() {
+                None => {
+                    out1.extend_from_slice(&out2);
+                    Ok((out1, p1.stats().retries + p2.stats().retries))
+                }
+                Some(&(_, e)) => Err((e, true)),
             }
         }
     }

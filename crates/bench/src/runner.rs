@@ -4,6 +4,7 @@
 
 use std::time::Duration;
 
+use c_coll::engine::ProgressEngine;
 use c_coll::{
     Algorithm, AllreduceVariant, CCollSession, CodecSpec, PlanOptions, PlanStats, ReduceOp,
     SessionStats,
@@ -235,6 +236,101 @@ pub fn run_allreduce_overlap(
         blocking,
         nonblocking,
         plan_stats,
+        session_stats,
+    }
+}
+
+/// Outcome of one bucketed-training-step comparison (see
+/// [`run_bucketed_allreduce`]).
+#[derive(Debug, Clone)]
+pub struct ConcurrentResult {
+    /// Per-iteration makespan of the sequential schedule: each
+    /// bucket's compute followed by its *blocking* allreduce, one
+    /// bucket fully finished before the next begins.
+    pub sequential: Duration,
+    /// Per-iteration makespan of the engine schedule: each bucket's
+    /// allreduce submitted to a `ProgressEngine` the moment its
+    /// compute finishes, so it progresses under every later bucket's
+    /// compute; `wait_all` drains the residual tail.
+    pub engine: Duration,
+    /// Rank 0's session-level aggregate after the engine run.
+    pub session_stats: SessionStats,
+}
+
+/// Run one bucketed training step — `buckets` gradient buckets, each
+/// owing `compute_per_bucket` of backward-pass work and one allreduce
+/// of `values_per_bucket` — sequentially and through the session
+/// progress engine, and report both per-iteration makespans.
+///
+/// This is the workload the engine exists for: with K buckets in
+/// flight, the engine hides bucket i's collective under buckets
+/// i+1..K's compute, while the sequential schedule exposes every
+/// collective on the critical path.
+#[allow(clippy::too_many_arguments)]
+pub fn run_bucketed_allreduce(
+    nodes: usize,
+    buckets: usize,
+    values_per_bucket: usize,
+    dataset: Dataset,
+    spec: CodecSpec,
+    compute_per_bucket: Duration,
+    slices: usize,
+    cost: CostModel,
+    net: NetModel,
+    iters: usize,
+) -> ConcurrentResult {
+    assert!(iters > 0, "need at least one iteration");
+    assert!(slices > 0, "need at least one compute slice");
+    assert!(buckets > 0, "need at least one bucket");
+    let run = |concurrent: bool| {
+        let mut cfg = SimConfig::new(nodes);
+        cfg.cost = cost.clone();
+        cfg.net = net;
+        let world = SimWorld::new(cfg);
+        let out = world.run(move |comm| {
+            let session = CCollSession::new(spec, nodes);
+            let mut plans: Vec<_> = (0..buckets)
+                .map(|_| session.plan_allreduce(values_per_bucket, ReduceOp::Sum))
+                .collect();
+            let grads: Vec<Vec<f32>> = (0..buckets)
+                .map(|b| dataset.generate(values_per_bucket, comm.rank() as u64 ^ (b as u64) << 32))
+                .collect();
+            let mut outs: Vec<Vec<f32>> = (0..buckets)
+                .map(|_| vec![0.0f32; values_per_bucket])
+                .collect();
+            for _ in 0..iters {
+                if concurrent {
+                    let mut engine = ProgressEngine::new();
+                    for ((plan, grad), out) in plans.iter_mut().zip(&grads).zip(&mut outs) {
+                        // Backward pass for this bucket, with earlier
+                        // buckets' collectives progressing underneath.
+                        for _ in 0..slices {
+                            comm.charge_duration(
+                                compute_per_bucket / slices as u32,
+                                Category::Others,
+                            );
+                            engine.progress(comm);
+                        }
+                        engine.submit(plan.start(comm, grad, out));
+                        engine.progress(comm);
+                    }
+                    engine.wait_all(comm);
+                } else {
+                    for ((plan, grad), out) in plans.iter_mut().zip(&grads).zip(&mut outs) {
+                        comm.charge_duration(compute_per_bucket, Category::Others);
+                        plan.execute_into(comm, grad, out);
+                    }
+                }
+            }
+            session.stats()
+        });
+        (out.makespan / iters as u32, out.results[0])
+    };
+    let (sequential, _) = run(false);
+    let (engine, session_stats) = run(true);
+    ConcurrentResult {
+        sequential,
+        engine,
         session_stats,
     }
 }

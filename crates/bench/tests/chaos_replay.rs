@@ -31,6 +31,14 @@ fn corpus_cases() -> Vec<(ChaosCase, u64)> {
 fn corpus_replays_byte_identical() {
     let cases = corpus_cases();
     assert!(cases.len() >= 12, "corpus too small to mean anything");
+    assert!(
+        cases
+            .iter()
+            .filter(|(c, _)| matches!(c.shape, ccoll_bench::chaos::Shape::ConcurrentPair))
+            .count()
+            >= 4,
+        "corpus must keep covering the engine-driven concurrent shape"
+    );
     for (case, pinned) in cases {
         let r = run_chaos_case(case);
         assert!(r.pass, "{}: regressed to {}", case.corpus_key(), r.outcome);
@@ -52,13 +60,20 @@ fn same_seed_is_deterministic_within_a_build() {
     // same process must produce identical fingerprints and outcome
     // counts (the corpus pins cross-build stability; this pins
     // run-to-run stability).
-    let (case, _) = ChaosCase::parse_line("77 6 128 ar-ring lossless crash").expect("valid line");
-    let a = run_chaos_case(case);
-    let b = run_chaos_case(case);
-    assert_eq!(a.fingerprint, b.fingerprint);
-    assert_eq!(
-        (a.completed, a.aborted, a.killed, a.retries),
-        (b.completed, b.aborted, b.killed, b.retries)
-    );
-    assert!(a.pass, "case must uphold the contract: {}", a.outcome);
+    for line in [
+        "77 6 128 ar-ring lossless crash",
+        // Two engine-driven concurrent allreduces under a crash mix:
+        // the interleaved schedule must be just as replayable.
+        "78 5 96 ar-pair szx crash",
+    ] {
+        let (case, _) = ChaosCase::parse_line(line).expect("valid line");
+        let a = run_chaos_case(case);
+        let b = run_chaos_case(case);
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(
+            (a.completed, a.aborted, a.killed, a.retries),
+            (b.completed, b.aborted, b.killed, b.retries)
+        );
+        assert!(a.pass, "case must uphold the contract: {}", a.outcome);
+    }
 }

@@ -1,0 +1,404 @@
+//! Session-level progress engine: drive many in-flight nonblocking
+//! collectives from one place, with bounded work per call.
+//!
+//! PR 5's nonblocking handles made a *single* operation overlappable;
+//! real training steps have many (one allreduce per gradient bucket,
+//! plus the occasional bcast or gather), and driving each handle by
+//! hand both serialises them and tangles application code with
+//! completion bookkeeping. A [`ProgressEngine`] owns the in-flight
+//! handles — any mix of the eight collective types, type-erased behind
+//! [`AnyHandle`] — and each [`ProgressEngine::progress`] call performs
+//! one bounded, fair pass over every live operation: one nonblocking
+//! `try_progress` slice each, visiting operations in
+//! [`Fairness`]-determined order. Completions are observable by
+//! polling ([`ProgressEngine::is_done`]) or callback
+//! ([`ProgressEngine::progress_with`]).
+//!
+//! Concurrency is sound because every operation's wire traffic is
+//! tagged with a per-operation base (plan slot + start generation, see
+//! `op_base` in `session.rs`), so two live operations on the same
+//! communicator can never capture each other's messages — as long as
+//! every rank creates its plans, and starts operations on them, in the
+//! same order (the usual collective-call discipline, now applied to
+//! `plan_*` and `start` instead of the collective itself).
+//!
+//! The engine stores handles in a fixed inline arena of
+//! [`MAX_LIVE_OPS`] slots: submitting and completing operations
+//! allocates nothing, keeping the session's zero-allocation steady
+//! state intact with N operations in flight.
+//!
+//! ```
+//! use c_coll::engine::ProgressEngine;
+//! use c_coll::{CCollSession, CodecSpec, ReduceOp};
+//! use ccoll_comm::{Comm, SimConfig, SimWorld};
+//!
+//! let n = 4;
+//! let world = SimWorld::new(SimConfig::new(n));
+//! let out = world.run(move |comm| {
+//!     let session = CCollSession::new(CodecSpec::None, n);
+//!     // Two gradient buckets, allreduced concurrently.
+//!     let mut bucket_a = session.plan_allreduce(2000, ReduceOp::Sum);
+//!     let mut bucket_b = session.plan_allreduce(1000, ReduceOp::Sum);
+//!     let ga = vec![comm.rank() as f32; 2000];
+//!     let gb = vec![1.0f32; 1000];
+//!     let (mut ra, mut rb) = (vec![0.0f32; 2000], vec![0.0f32; 1000]);
+//!     let mut engine = ProgressEngine::new();
+//!     let a = engine.submit(bucket_a.start(comm, &ga, &mut ra));
+//!     let b = engine.submit(bucket_b.start(comm, &gb, &mut rb));
+//!     engine.wait_all(comm);
+//!     assert!(engine.is_done(a) && engine.is_done(b));
+//!     drop(engine); // releases the buffer borrows
+//!     (ra[0], rb[0])
+//! });
+//! assert!(out.results.iter().all(|&(a, b)| a == 6.0 && b == 4.0));
+//! ```
+
+use ccoll_comm::Comm;
+
+use crate::nonblocking::Poll;
+use crate::session::{
+    AllgatherHandle, AllreduceHandle, AlltoallHandle, BcastHandle, CollectiveError, GatherHandle,
+    ReduceHandle, ReduceScatterHandle, ScatterHandle,
+};
+
+/// Most operations a [`ProgressEngine`] can hold at once. The arena is
+/// inline (no allocation on submit/complete), so the bound is a
+/// compile-time constant; it comfortably covers gradient-bucket counts
+/// seen in practice.
+pub const MAX_LIVE_OPS: usize = 32;
+
+/// Identifier of an operation submitted to a [`ProgressEngine`].
+///
+/// Ids are handed out in submission order and never reused by the same
+/// engine, so they double as an age: a smaller id is an older
+/// operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId(u64);
+
+impl OpId {
+    /// The submission index this id encodes (0 for the first
+    /// operation submitted to the engine, 1 for the second, …).
+    #[must_use]
+    pub fn index(self) -> u64 {
+        self.0
+    }
+}
+
+/// Which live operation a bounded progress pass visits first.
+///
+/// Every pass gives each live operation exactly one nonblocking work
+/// slice either way; the policy decides who goes first — who gets to
+/// occupy the front of the virtual-time/compute budget within a pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fairness {
+    /// Rotate the starting operation every pass, so no operation is
+    /// permanently first or permanently last.
+    #[default]
+    RoundRobin,
+    /// Always start from the oldest live operation (lowest [`OpId`]),
+    /// draining long-running stragglers ahead of fresh submissions.
+    OldestFirst,
+}
+
+/// A type-erased in-flight nonblocking collective: any of the eight
+/// handle types, submittable to a [`ProgressEngine`]. Built via the
+/// `From` impls — `engine.submit(plan.start(comm, ..))` just works.
+pub enum AnyHandle<'p, 'b> {
+    /// An in-flight allreduce.
+    Allreduce(AllreduceHandle<'p, 'b>),
+    /// An in-flight allgather.
+    Allgather(AllgatherHandle<'p, 'b>),
+    /// An in-flight reduce-scatter.
+    ReduceScatter(ReduceScatterHandle<'p, 'b>),
+    /// An in-flight broadcast.
+    Bcast(BcastHandle<'p, 'b>),
+    /// An in-flight scatter.
+    Scatter(ScatterHandle<'p, 'b>),
+    /// An in-flight gather.
+    Gather(GatherHandle<'p, 'b>),
+    /// An in-flight all-to-all.
+    Alltoall(AlltoallHandle<'p, 'b>),
+    /// An in-flight rooted reduce.
+    Reduce(ReduceHandle<'p, 'b>),
+}
+
+macro_rules! impl_from_handle {
+    ($($variant:ident => $handle:ident),* $(,)?) => {
+        $(impl<'p, 'b> From<$handle<'p, 'b>> for AnyHandle<'p, 'b> {
+            fn from(h: $handle<'p, 'b>) -> Self {
+                AnyHandle::$variant(h)
+            }
+        })*
+    };
+}
+
+impl_from_handle! {
+    Allreduce => AllreduceHandle,
+    Allgather => AllgatherHandle,
+    ReduceScatter => ReduceScatterHandle,
+    Bcast => BcastHandle,
+    Scatter => ScatterHandle,
+    Gather => GatherHandle,
+    Alltoall => AlltoallHandle,
+    Reduce => ReduceHandle,
+}
+
+impl AnyHandle<'_, '_> {
+    fn drive<C: Comm>(&mut self, comm: &mut C, block: bool) -> Result<Poll, CollectiveError> {
+        match self {
+            AnyHandle::Allreduce(h) => h.drive(comm, block),
+            AnyHandle::Allgather(h) => h.drive(comm, block),
+            AnyHandle::ReduceScatter(h) => h.drive(comm, block),
+            AnyHandle::Bcast(h) => h.drive(comm, block),
+            AnyHandle::Scatter(h) => h.drive(comm, block),
+            AnyHandle::Gather(h) => h.drive(comm, block),
+            AnyHandle::Alltoall(h) => h.drive(comm, block),
+            AnyHandle::Reduce(h) => h.drive(comm, block),
+        }
+    }
+}
+
+struct Op<'p, 'b> {
+    id: OpId,
+    handle: AnyHandle<'p, 'b>,
+}
+
+/// Drives every live nonblocking operation with bounded work per call.
+///
+/// See the [module docs](self) for the concurrency model and a worked
+/// example. The engine borrows each submitted handle's plan for its
+/// own lifetime (`'p`), so plans outlive the engine; dropping the
+/// engine with operations still live abandons them — each abandoned
+/// operation poisons *its own plan only* (see
+/// [`CollectiveError::Abandoned`]).
+pub struct ProgressEngine<'p, 'b> {
+    slots: [Option<Op<'p, 'b>>; MAX_LIVE_OPS],
+    next_id: u64,
+    /// Rotating pass origin for [`Fairness::RoundRobin`].
+    cursor: usize,
+    fairness: Fairness,
+    live: usize,
+}
+
+impl Default for ProgressEngine<'_, '_> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'p, 'b> ProgressEngine<'p, 'b> {
+    /// An empty engine with the default [`Fairness::RoundRobin`]
+    /// policy.
+    #[must_use]
+    pub fn new() -> Self {
+        ProgressEngine {
+            slots: std::array::from_fn(|_| None),
+            next_id: 0,
+            cursor: 0,
+            fairness: Fairness::default(),
+            live: 0,
+        }
+    }
+
+    /// Set the pass-ordering policy.
+    #[must_use]
+    pub fn with_fairness(mut self, fairness: Fairness) -> Self {
+        self.fairness = fairness;
+        self
+    }
+
+    /// Register an in-flight operation (any handle type, via `Into`).
+    /// The returned id identifies it in [`Self::is_done`] and the
+    /// completion callbacks.
+    ///
+    /// # Panics
+    /// Panics if [`MAX_LIVE_OPS`] operations are already live.
+    pub fn submit(&mut self, handle: impl Into<AnyHandle<'p, 'b>>) -> OpId {
+        let id = OpId(self.next_id);
+        self.next_id += 1;
+        let slot = self
+            .slots
+            .iter_mut()
+            .find(|s| s.is_none())
+            .unwrap_or_else(|| panic!("more than {MAX_LIVE_OPS} operations in flight"));
+        *slot = Some(Op {
+            id,
+            handle: handle.into(),
+        });
+        self.live += 1;
+        id
+    }
+
+    /// Number of operations still in flight.
+    #[must_use]
+    pub fn live_ops(&self) -> usize {
+        self.live
+    }
+
+    /// True once the operation identified by `id` has retired — it
+    /// completed, or it aborted and was reported through
+    /// [`Self::try_progress`]. False for ids never submitted here.
+    #[must_use]
+    pub fn is_done(&self, id: OpId) -> bool {
+        id.0 < self.next_id && !self.slots.iter().flatten().any(|op| op.id == id)
+    }
+
+    /// The slot index a pass starts from under the current policy.
+    fn pass_origin(&self) -> usize {
+        match self.fairness {
+            Fairness::RoundRobin => self.cursor,
+            Fairness::OldestFirst => self
+                .slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.as_ref().map(|op| (op.id, i)))
+                .min()
+                .map_or(0, |(_, i)| i),
+        }
+    }
+
+    /// One bounded, fair pass: each live operation gets exactly one
+    /// nonblocking work slice. Returns how many operations completed
+    /// during the pass.
+    ///
+    /// # Panics
+    /// Panics if an operation aborts on an unrecoverable fault (use
+    /// [`Self::try_progress`] under a fault policy).
+    pub fn progress<C: Comm>(&mut self, comm: &mut C) -> usize {
+        self.progress_with(comm, |_| {})
+    }
+
+    /// [`Self::progress`] with a completion callback: `on_done` is
+    /// invoked once per operation that completes during this pass.
+    ///
+    /// # Panics
+    /// Panics if an operation aborts on an unrecoverable fault.
+    pub fn progress_with<C: Comm, F: FnMut(OpId)>(&mut self, comm: &mut C, on_done: F) -> usize {
+        match self.try_progress_with(comm, on_done) {
+            Ok(n) => n,
+            Err((id, e)) => {
+                panic!("operation {id:?} aborted: {e}; its plan is poisoned (reset() to reuse)")
+            }
+        }
+    }
+
+    /// Fallible [`Self::progress`]: if an operation aborts on an
+    /// unrecoverable fault, it is retired from the engine, *its* plan
+    /// is poisoned, and the error is returned — sibling operations
+    /// stay live and the engine keeps working; call again to keep
+    /// driving them.
+    pub fn try_progress<C: Comm>(
+        &mut self,
+        comm: &mut C,
+    ) -> Result<usize, (OpId, CollectiveError)> {
+        self.try_progress_with(comm, |_| {})
+    }
+
+    /// Fallible [`Self::progress_with`]. See [`Self::try_progress`]
+    /// for the abort contract.
+    pub fn try_progress_with<C: Comm, F: FnMut(OpId)>(
+        &mut self,
+        comm: &mut C,
+        mut on_done: F,
+    ) -> Result<usize, (OpId, CollectiveError)> {
+        let origin = self.pass_origin();
+        if let Fairness::RoundRobin = self.fairness {
+            self.cursor = (self.cursor + 1) % MAX_LIVE_OPS;
+        }
+        let mut completed = 0;
+        for k in 0..MAX_LIVE_OPS {
+            let idx = (origin + k) % MAX_LIVE_OPS;
+            let Some(op) = &mut self.slots[idx] else {
+                continue;
+            };
+            match op.handle.drive(comm, false) {
+                Ok(Poll::Pending) => {}
+                Ok(Poll::Ready) => {
+                    let id = op.id;
+                    self.slots[idx] = None;
+                    self.live -= 1;
+                    completed += 1;
+                    on_done(id);
+                }
+                Err(e) => {
+                    let id = op.id;
+                    self.slots[idx] = None;
+                    self.live -= 1;
+                    return Err((id, e));
+                }
+            }
+        }
+        Ok(completed)
+    }
+
+    /// Drive until every live operation has completed. Returns how
+    /// many completed.
+    ///
+    /// Runs nonblocking passes; whenever a full pass completes
+    /// nothing, it falls back to one *blocking* work slice on the
+    /// oldest live operation (ids are submission-ordered and every
+    /// rank submits in the same order, so all ranks block on the same
+    /// operation — no cross-rank deadlock), then resumes nonblocking
+    /// passes.
+    ///
+    /// # Panics
+    /// Panics if an operation aborts on an unrecoverable fault (use
+    /// [`Self::try_wait_all`] under a fault policy).
+    pub fn wait_all<C: Comm>(&mut self, comm: &mut C) -> usize {
+        match self.try_wait_all(comm) {
+            Ok(n) => n,
+            Err((id, e)) => {
+                panic!("operation {id:?} aborted: {e}; its plan is poisoned (reset() to reuse)")
+            }
+        }
+    }
+
+    /// Fallible [`Self::wait_all`]: stops at the first operation that
+    /// aborts (retiring it and poisoning its plan) and returns the
+    /// error; siblings stay live, so calling again resumes the drain.
+    pub fn try_wait_all<C: Comm>(
+        &mut self,
+        comm: &mut C,
+    ) -> Result<usize, (OpId, CollectiveError)> {
+        let mut completed = 0;
+        while self.live > 0 {
+            let n = self.try_progress(comm)?;
+            completed += n;
+            if n == 0 && self.live > 0 {
+                completed += self.block_oldest(comm)?;
+            }
+        }
+        Ok(completed)
+    }
+
+    /// One blocking work slice on the oldest live operation (the
+    /// `wait_all` fallback that guarantees forward progress when
+    /// nonblocking passes stall). Returns 1 if it completed.
+    fn block_oldest<C: Comm>(&mut self, comm: &mut C) -> Result<usize, (OpId, CollectiveError)> {
+        let Some(idx) = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|op| (op.id, i)))
+            .min()
+            .map(|(_, i)| i)
+        else {
+            return Ok(0);
+        };
+        let op = self.slots[idx].as_mut().expect("slot just found live");
+        match op.handle.drive(comm, true) {
+            Ok(Poll::Pending) => Ok(0),
+            Ok(Poll::Ready) => {
+                self.slots[idx] = None;
+                self.live -= 1;
+                Ok(1)
+            }
+            Err(e) => {
+                let id = op.id;
+                self.slots[idx] = None;
+                self.live -= 1;
+                Err((id, e))
+            }
+        }
+    }
+}

@@ -94,6 +94,55 @@
 //! assert_eq!(out.results.len(), n);
 //! ```
 //!
+//! ## Driving many collectives at once
+//!
+//! A training step rarely has just one collective in flight: gradient
+//! buckets become ready one after another, and each wants its
+//! allreduce started immediately while later buckets are still being
+//! computed. Handles on *different* plans can be live simultaneously
+//! (each operation's traffic is isolated by a per-operation tag base),
+//! and the [`engine::ProgressEngine`] drives them all from one place:
+//! each [`progress`](engine::ProgressEngine::progress) call is one
+//! bounded, fair pass — every live operation gets one nonblocking work
+//! slice — so no bucket starves and no call blocks:
+//!
+//! ```
+//! use c_coll::engine::ProgressEngine;
+//! use c_coll::{CCollSession, CodecSpec, ReduceOp};
+//! use ccoll_comm::{Category, Comm, SimConfig, SimWorld};
+//! use std::time::Duration;
+//!
+//! let n = 4;
+//! let bucket = 10_000;
+//! let world = SimWorld::new(SimConfig::new(n));
+//! let out = world.run(move |comm| {
+//!     let session = CCollSession::new(CodecSpec::Szx { error_bound: 1e-3 }, n);
+//!     // One plan per gradient bucket, created in the same order on
+//!     // every rank (the usual collective-call discipline).
+//!     let mut plans: Vec<_> = (0..3)
+//!         .map(|_| session.plan_allreduce(bucket, ReduceOp::Sum))
+//!         .collect();
+//!     let grads: Vec<Vec<f32>> = (0..3)
+//!         .map(|b| (0..bucket).map(|i| ((i + b) as f32 * 1e-3).sin()).collect())
+//!         .collect();
+//!     let mut avgs: Vec<Vec<f32>> = vec![vec![0.0f32; bucket]; 3];
+//!     let mut engine = ProgressEngine::new();
+//!     for ((plan, grad), avg) in plans.iter_mut().zip(&grads).zip(&mut avgs) {
+//!         // Backward pass produces this bucket's gradients…
+//!         comm.charge_duration(Duration::from_micros(80), Category::Others);
+//!         // …and its allreduce joins the in-flight set immediately,
+//!         // progressing alongside every earlier bucket.
+//!         engine.submit(plan.start(comm, grad, avg));
+//!         engine.progress(comm);
+//!     }
+//!     engine.wait_all(comm); // drain whatever compute could not hide
+//!     assert_eq!(engine.live_ops(), 0);
+//!     drop(engine);
+//!     avgs.into_iter().map(|a| a[0]).collect::<Vec<_>>()
+//! });
+//! assert_eq!(out.results.len(), n);
+//! ```
+//!
 //! ## Choosing an algorithm
 //!
 //! The plain `plan_*` constructors run the paper's schedules (ring
@@ -218,6 +267,7 @@ pub mod algorithm;
 pub mod api;
 pub mod codec;
 pub mod collectives;
+pub mod engine;
 pub mod frameworks;
 pub mod nonblocking;
 pub mod partition;
@@ -231,6 +281,7 @@ pub mod workspace;
 pub use algorithm::{Algorithm, PlanOptions};
 pub use api::{AllreduceVariant, CColl, ReduceOp};
 pub use codec::{CodecSpec, ParseCodecSpecError};
+pub use engine::{AnyHandle, Fairness, OpId, ProgressEngine};
 pub use nonblocking::Poll;
 pub use session::{
     AllgatherHandle, AllgatherPlan, AllreduceHandle, AllreducePlan, AlltoallHandle, AlltoallPlan,

@@ -156,6 +156,9 @@ struct SizeRing {
     k: usize,
     /// 0 = post round, 1 = await receive, 2 = retire send.
     phase: u8,
+    /// Per-operation tag base (see [`crate::session`]'s tag-space
+    /// layout); inherited from the owning machine's `with_base`.
+    base: Tag,
     wire: Wire,
 }
 
@@ -178,7 +181,7 @@ impl SizeRing {
             match self.phase {
                 0 => {
                     let send_idx = (me + n - self.k) % n;
-                    let tag = tags::SIZE_EXCHANGE + self.k as Tag;
+                    let tag = self.base + tags::SIZE_EXCHANGE + self.k as Tag;
                     let payload = pool.write(&sizes[send_idx].to_le_bytes());
                     self.wire.rreq = Some(comm.irecv(left, tag));
                     self.wire.sreq = Some(comm.isend(right, tag, payload));
@@ -239,6 +242,9 @@ pub(crate) struct RingRs {
     mode: RsMode,
     phase: RsPhase,
     k: usize,
+    /// Per-operation tag base; every tag this machine computes is
+    /// offset by it so concurrent operations never cross-match.
+    base: Tag,
     hop: HopCursor,
     wire: Wire,
     got: Option<Bytes>,
@@ -250,10 +256,18 @@ impl RingRs {
             mode,
             phase: RsPhase::Init,
             k: 0,
+            base: 0,
             hop: HopCursor::new(),
             wire: Wire::default(),
             got: None,
         }
+    }
+
+    /// Rebase every tag this machine uses into a per-operation tag
+    /// space (see the session's tag-space layout).
+    pub(crate) fn with_base(mut self, base: Tag) -> Self {
+        self.base = base;
+        self
     }
 
     /// Drive the reduce-scatter; `out_chunk` is this rank's chunk of the
@@ -307,7 +321,7 @@ impl RingRs {
                     match self.mode {
                         RsMode::Piped(cfg) => {
                             let codec = SzxCodec::new(cfg.error_bound);
-                            let tag = tags::PIPELINE + self.k as Tag;
+                            let tag = self.base + tags::PIPELINE + self.k as Tag;
                             let (send_buf, recv_dst) = split_src_dst(
                                 acc,
                                 offsets[send_idx]..offsets[send_idx] + counts[send_idx],
@@ -340,7 +354,7 @@ impl RingRs {
                             }
                         }
                         RsMode::Cpr => {
-                            let tag = tags::REDUCE_SCATTER + 0x800 + self.k as Tag;
+                            let tag = self.base + tags::REDUCE_SCATTER + 0x800 + self.k as Tag;
                             self.wire.rreq = Some(comm.irecv(left, tag));
                             let payload = cpr.expect("compressed mode needs a codec").compress(
                                 comm,
@@ -351,7 +365,7 @@ impl RingRs {
                             self.phase = RsPhase::RecvWait;
                         }
                         RsMode::Raw => {
-                            let tag = tags::REDUCE_SCATTER + self.k as Tag;
+                            let tag = self.base + tags::REDUCE_SCATTER + self.k as Tag;
                             let payload = values_payload(
                                 pool,
                                 &acc[offsets[send_idx]..offsets[send_idx] + counts[send_idx]],
@@ -455,6 +469,9 @@ pub(crate) struct RingAg {
     mode: AgMode,
     phase: AgPhase,
     k: usize,
+    /// Per-operation tag base; every tag this machine computes is
+    /// offset by it so concurrent operations never cross-match.
+    base: Tag,
     sizes: SizeRing,
     wire: Wire,
     got: Option<Bytes>,
@@ -466,10 +483,19 @@ impl RingAg {
             mode,
             phase: AgPhase::Init,
             k: 0,
+            base: 0,
             sizes: SizeRing::default(),
             wire: Wire::default(),
             got: None,
         }
+    }
+
+    /// Rebase every tag this machine uses (including its inner size
+    /// ring) into a per-operation tag space.
+    pub(crate) fn with_base(mut self, base: Tag) -> Self {
+        self.base = base;
+        self.sizes.base = base;
+        self
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -571,7 +597,7 @@ impl RingAg {
                     } = ws;
                     match self.mode {
                         AgMode::Raw => {
-                            let tag = tags::ALLGATHER + self.k as Tag;
+                            let tag = self.base + tags::ALLGATHER + self.k as Tag;
                             let payload = values_payload(
                                 pool,
                                 &out[offsets[send_idx]..offsets[send_idx] + counts[send_idx]],
@@ -580,7 +606,7 @@ impl RingAg {
                             self.wire.sreq = Some(comm.isend(right, tag, payload));
                         }
                         AgMode::Cpr => {
-                            let tag = tags::ALLGATHER + 0x800 + self.k as Tag;
+                            let tag = self.base + tags::ALLGATHER + 0x800 + self.k as Tag;
                             let payload = cpr.expect("compressed mode needs a codec").compress(
                                 comm,
                                 &out[offsets[send_idx]..offsets[send_idx] + counts[send_idx]],
@@ -590,7 +616,7 @@ impl RingAg {
                             self.wire.sreq = Some(comm.isend(right, tag, payload));
                         }
                         AgMode::Compressed { overlap } => {
-                            let tag = tags::ALLGATHER + 0xC00 + self.k as Tag;
+                            let tag = self.base + tags::ALLGATHER + 0xC00 + self.k as Tag;
                             let payload = blobs[send_idx].clone().expect("relay block present");
                             self.wire.rreq = Some(comm.irecv(left, tag));
                             self.wire.sreq = Some(comm.isend(right, tag, payload));
@@ -759,6 +785,10 @@ pub(crate) struct Butterfly {
     pow2: usize,
     rem: usize,
     tag: Tag,
+    /// Per-operation tag base folded into `tag` at `Init`; set via
+    /// [`Butterfly::with_base`] so concurrent operations never
+    /// cross-match.
+    base: Tag,
     hop: HopCursor,
     wire: Wire,
     got: Option<Bytes>,
@@ -790,10 +820,18 @@ impl Butterfly {
             pow2: 1,
             rem: 0,
             tag: 0,
+            base: 0,
             hop: HopCursor::new(),
             wire: Wire::default(),
             got: None,
         }
+    }
+
+    /// Rebase every tag this machine uses into a per-operation tag
+    /// space.
+    pub(crate) fn with_base(mut self, base: Tag) -> Self {
+        self.base = base;
+        self
     }
 
     /// Value range covered by butterfly chunk indices `[lo, hi)`.
@@ -821,13 +859,14 @@ impl Butterfly {
                     let (pow2, rem) = butterfly_fold(n);
                     self.pow2 = pow2;
                     self.rem = rem;
-                    self.tag = match (self.halving, self.mode) {
-                        (false, BflyMode::Raw) => tags::RECURSIVE_DOUBLING,
-                        (false, _) => tags::RECURSIVE_DOUBLING + 0x800,
-                        (true, BflyMode::Raw) => tags::RABENSEIFNER,
-                        (true, BflyMode::Cpr) => tags::RABENSEIFNER + 0x800,
-                        (true, BflyMode::Piped(_)) => tags::RABENSEIFNER + 0xC00,
-                    };
+                    self.tag = self.base
+                        + match (self.halving, self.mode) {
+                            (false, BflyMode::Raw) => tags::RECURSIVE_DOUBLING,
+                            (false, _) => tags::RECURSIVE_DOUBLING + 0x800,
+                            (true, BflyMode::Raw) => tags::RABENSEIFNER,
+                            (true, BflyMode::Cpr) => tags::RABENSEIFNER + 0x800,
+                            (true, BflyMode::Piped(_)) => tags::RABENSEIFNER + 0xC00,
+                        };
                     if self.halving {
                         ws.set_partition(input.len(), pow2);
                     }
@@ -1295,6 +1334,9 @@ pub(crate) struct TreeReduce {
     root: usize,
     phase: TreePhase,
     mask: usize,
+    /// Per-operation tag base; folded into [`TreeReduce::tag`] so
+    /// concurrent operations never cross-match.
+    base: Tag,
     hop: HopCursor,
     wire: Wire,
 }
@@ -1306,9 +1348,17 @@ impl TreeReduce {
             root,
             phase: TreePhase::Init,
             mask: 1,
+            base: 0,
             hop: HopCursor::new(),
             wire: Wire::default(),
         }
+    }
+
+    /// Rebase every tag this machine uses into a per-operation tag
+    /// space.
+    pub(crate) fn with_base(mut self, base: Tag) -> Self {
+        self.base = base;
+        self
     }
 
     /// True when this rank ended up holding the reduced result. Only
@@ -1318,11 +1368,12 @@ impl TreeReduce {
     }
 
     fn tag(&self) -> Tag {
-        match self.mode {
-            TreeMode::Raw => tags::TREE_REDUCE,
-            TreeMode::Cpr => tags::TREE_REDUCE + 0x800,
-            TreeMode::Piped(_) => tags::TREE_REDUCE + 0xC00,
-        }
+        self.base
+            + match self.mode {
+                TreeMode::Raw => tags::TREE_REDUCE,
+                TreeMode::Cpr => tags::TREE_REDUCE + 0x800,
+                TreeMode::Piped(_) => tags::TREE_REDUCE + 0xC00,
+            }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1524,6 +1575,9 @@ pub(crate) struct Bcast {
     root: usize,
     phase: BcPhase,
     mask: usize,
+    /// Per-operation tag base; folded into [`Bcast::tag`] so concurrent
+    /// operations never cross-match.
+    base: Tag,
     wire: Wire,
     payload: Option<Bytes>,
 }
@@ -1535,17 +1589,26 @@ impl Bcast {
             root,
             phase: BcPhase::Init,
             mask: 1,
+            base: 0,
             wire: Wire::default(),
             payload: None,
         }
     }
 
+    /// Rebase every tag this machine uses into a per-operation tag
+    /// space.
+    pub(crate) fn with_base(mut self, base: Tag) -> Self {
+        self.base = base;
+        self
+    }
+
     fn tag(&self) -> Tag {
-        if self.compressed {
-            tags::BCAST + 0xC00
-        } else {
-            tags::BCAST
-        }
+        self.base
+            + if self.compressed {
+                tags::BCAST + 0xC00
+            } else {
+                tags::BCAST
+            }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1693,6 +1756,9 @@ pub(crate) struct Scatter {
     phase: ScPhase,
     span: usize,
     m: usize,
+    /// Per-operation tag base; folded into [`Scatter::tag`] so
+    /// concurrent operations never cross-match.
+    base: Tag,
     wire: Wire,
 }
 
@@ -1705,16 +1771,25 @@ impl Scatter {
             phase: ScPhase::Init,
             span: 0,
             m: 0,
+            base: 0,
             wire: Wire::default(),
         }
     }
 
+    /// Rebase every tag this machine uses into a per-operation tag
+    /// space.
+    pub(crate) fn with_base(mut self, base: Tag) -> Self {
+        self.base = base;
+        self
+    }
+
     fn tag(&self) -> Tag {
-        if self.compressed {
-            tags::SCATTER + 0xC00
-        } else {
-            tags::SCATTER
-        }
+        self.base
+            + if self.compressed {
+                tags::SCATTER + 0xC00
+            } else {
+                tags::SCATTER
+            }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1913,6 +1988,9 @@ pub(crate) struct Gather {
     total_len: usize,
     phase: GaPhase,
     mask: usize,
+    /// Per-operation tag base; folded into [`Gather::tag`] so
+    /// concurrent operations never cross-match.
+    base: Tag,
     wire: Wire,
 }
 
@@ -1924,8 +2002,16 @@ impl Gather {
             total_len,
             phase: GaPhase::Init,
             mask: 1,
+            base: 0,
             wire: Wire::default(),
         }
+    }
+
+    /// Rebase every tag this machine uses into a per-operation tag
+    /// space.
+    pub(crate) fn with_base(mut self, base: Tag) -> Self {
+        self.base = base;
+        self
     }
 
     /// True when this rank holds the gathered buffer (root only).
@@ -1934,11 +2020,12 @@ impl Gather {
     }
 
     fn tag(&self) -> Tag {
-        if self.compressed {
-            tags::GATHER + 0xC00
-        } else {
-            tags::GATHER
-        }
+        self.base
+            + if self.compressed {
+                tags::GATHER + 0xC00
+            } else {
+                tags::GATHER
+            }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -2122,6 +2209,9 @@ pub(crate) struct Alltoall {
     compressed: bool,
     phase: A2aPhase,
     i: usize,
+    /// Per-operation tag base; every tag this machine computes is
+    /// offset by it so concurrent operations never cross-match.
+    base: Tag,
     sizes: SizeRing,
     wire: Wire,
     got: Option<Bytes>,
@@ -2133,10 +2223,19 @@ impl Alltoall {
             compressed,
             phase: A2aPhase::Init,
             i: 1,
+            base: 0,
             sizes: SizeRing::default(),
             wire: Wire::default(),
             got: None,
         }
+    }
+
+    /// Rebase every tag this machine uses (including its inner size
+    /// ring) into a per-operation tag space.
+    pub(crate) fn with_base(mut self, base: Tag) -> Self {
+        self.base = base;
+        self.sizes.base = base;
+        self
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -2217,12 +2316,12 @@ impl Alltoall {
                     let to = (me + self.i) % n;
                     let from = (me + n - self.i) % n;
                     if self.compressed {
-                        let tag = tags::ALLTOALL + 0xC00 + self.i as Tag;
+                        let tag = self.base + tags::ALLTOALL + 0xC00 + self.i as Tag;
                         let payload = ws.blob_list[to].clone();
                         self.wire.rreq = Some(comm.irecv(from, tag));
                         self.wire.sreq = Some(comm.isend(to, tag, payload));
                     } else {
-                        let tag = tags::ALLTOALL + self.i as Tag;
+                        let tag = self.base + tags::ALLTOALL + self.i as Tag;
                         let payload = values_payload(
                             &mut ws.pool,
                             &send[to * block_len..(to + 1) * block_len],
@@ -2309,6 +2408,9 @@ pub(crate) struct BruckAg {
     /// Decode cursor (compressed overlap).
     decoded: usize,
     step_no: Tag,
+    /// Per-operation tag base; every tag this machine computes is
+    /// offset by it so concurrent operations never cross-match.
+    base: Tag,
     wire: Wire,
     got: Option<Bytes>,
 }
@@ -2321,9 +2423,17 @@ impl BruckAg {
             held: 1,
             decoded: 1,
             step_no: 0,
+            base: 0,
             wire: Wire::default(),
             got: None,
         }
+    }
+
+    /// Rebase every tag this machine uses into a per-operation tag
+    /// space.
+    pub(crate) fn with_base(mut self, base: Tag) -> Self {
+        self.base = base;
+        self
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -2387,7 +2497,7 @@ impl BruckAg {
                     let to = (me + n - dist) % n;
                     let from = (me + dist) % n;
                     if self.compressed {
-                        let tag = tags::BRUCK + 0xC00 + self.step_no;
+                        let tag = self.base + tags::BRUCK + 0xC00 + self.step_no;
                         let CollWorkspace {
                             pool,
                             scratch,
@@ -2416,7 +2526,7 @@ impl BruckAg {
                             self.decoded += 1;
                         }
                     } else {
-                        let tag = tags::BRUCK + self.step_no;
+                        let tag = self.base + tags::BRUCK + self.step_no;
                         let send_vals: usize = (0..send_cnt).map(|i| ws.counts[(me + i) % n]).sum();
                         let CollWorkspace {
                             pool, acc: hold, ..
@@ -2546,6 +2656,19 @@ impl ArMachine {
         }
     }
 
+    /// Rebase every tag this machine uses into a per-operation tag
+    /// space.
+    pub(crate) fn with_base(self, base: Tag) -> Self {
+        match self {
+            ArMachine::Ring { rs, ag, in_ag } => ArMachine::Ring {
+                rs: rs.with_base(base),
+                ag: ag.with_base(base),
+                in_ag,
+            },
+            ArMachine::Butterfly(b) => ArMachine::Butterfly(b.with_base(base)),
+        }
+    }
+
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn step<C: Comm>(
         &mut self,
@@ -2589,6 +2712,17 @@ pub(crate) enum AgPlanMachine {
     Bruck(BruckAg),
 }
 
+impl AgPlanMachine {
+    /// Rebase every tag this machine uses into a per-operation tag
+    /// space.
+    pub(crate) fn with_base(self, base: Tag) -> Self {
+        match self {
+            AgPlanMachine::Ring(m) => AgPlanMachine::Ring(m.with_base(base)),
+            AgPlanMachine::Bruck(m) => AgPlanMachine::Bruck(m.with_base(base)),
+        }
+    }
+}
+
 /// The state machine behind a nonblocking rooted-reduce plan. The
 /// reduce-scatter + gather composition is driven from the plan handle
 /// (it spans two sub-plans' workspaces).
@@ -2600,4 +2734,23 @@ pub(crate) enum ReduceMachine {
         gather: Gather,
         in_gather: bool,
     },
+}
+
+impl ReduceMachine {
+    /// Rebase every wire tag this machine will use (see `op_base` in
+    /// `session.rs`).
+    pub(crate) fn with_base(self, base: Tag) -> Self {
+        match self {
+            ReduceMachine::Tree(m) => ReduceMachine::Tree(m.with_base(base)),
+            ReduceMachine::RsGather {
+                rs,
+                gather,
+                in_gather,
+            } => ReduceMachine::RsGather {
+                rs: rs.with_base(base),
+                gather: gather.with_base(base),
+                in_gather,
+            },
+        }
+    }
 }

@@ -51,6 +51,16 @@ use crate::collectives::{compress_in, decompress_reduce_in};
 use crate::nonblocking::Poll;
 use crate::reduce::ReduceOp;
 
+/// Most arrived sub-chunks a *nonblocking* drain fuse-reduces per call.
+/// Without a budget one fat hop could decompress-and-reduce an
+/// arbitrarily long backlog inside a single `progress()` call and
+/// starve sibling operations sharing a progress engine; four sub-chunks
+/// (~20k values at the default PIPE-SZx granularity) keeps per-call
+/// compute bounded while still draining faster than the one-per-call
+/// compression fills. Blocking drives ignore the budget, so blocking
+/// results — and their wire traffic — are unchanged.
+const NONBLOCKING_DRAIN_BUDGET: usize = 4;
+
 /// The workspace buffers a pipelined hop borrows: payload pool, codec
 /// scratch and the two request queues. Grouped so hop signatures stay
 /// readable and the borrows stay disjoint from the accumulator slices
@@ -141,7 +151,14 @@ impl HopCursor {
         block: bool,
     ) -> bool {
         let n_in = recv_dst.len().div_ceil(pipe);
+        let mut drained = 0;
         while self.next_in < n_in {
+            if !block && drained == NONBLOCKING_DRAIN_BUDGET {
+                // Budget exhausted: suspend with work still arrived so
+                // the next progress call resumes the drain (bounded
+                // compute per call; see the constant's docs).
+                return false;
+            }
             let front_ready = rreqs.front().map(|r| comm.test_recv(r)).unwrap_or(false);
             if !front_ready && !block {
                 return false;
@@ -174,6 +191,7 @@ impl HopCursor {
                 scratch,
             );
             self.next_in += 1;
+            drained += 1;
         }
         true
     }

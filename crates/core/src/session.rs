@@ -41,12 +41,13 @@
 //! assert_eq!(out.results.len(), n);
 //! ```
 
+use std::cell::Cell;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use ccoll_comm::{Comm, CommError, CostModel, FaultCounters, NetModel, PayloadPool};
+use ccoll_comm::{Comm, CommError, CostModel, FaultCounters, NetModel, PayloadPool, Tag};
 
 use crate::algorithm::{reject_unsupported, Algorithm, PlanOptions, SelectCtx};
 use crate::api::AllreduceVariant;
@@ -96,6 +97,14 @@ pub struct CCollSession {
     cost: CostModel,
     net: NetModel,
     feedback: Arc<SessionFeedback>,
+    /// Next per-plan tag-space slot (see [`op_base`]). Deliberately a
+    /// `Cell`, not a shared atomic: a clone *copies* the counter, so a
+    /// session cloned into per-rank closures hands out identical slot
+    /// sequences on every rank — which is exactly the cross-rank
+    /// agreement concurrent tag spaces need. Plans meant to run
+    /// concurrently must therefore be created in the same order on
+    /// every rank (the same rule collective calls already obey).
+    next_slot: Cell<u32>,
 }
 
 /// Session-owned measured-performance state, shared by every plan the
@@ -124,6 +133,11 @@ struct SessionFeedback {
     timeouts: AtomicU64,
     /// Executions that aborted on an unrecoverable fault.
     aborts: AtomicU64,
+    /// Operations currently in flight across every plan this session
+    /// (and its clones) created: incremented by each plan `start()`,
+    /// decremented when the operation's handle is dropped (whether it
+    /// completed, aborted, or was abandoned mid-operation).
+    live_ops: AtomicU64,
 }
 
 impl SessionFeedback {
@@ -256,6 +270,10 @@ pub enum CollectiveError {
     /// The plan was poisoned by an earlier aborted execution and has
     /// not been `reset()`.
     Poisoned,
+    /// The operation's handle was dropped mid-flight: the collective
+    /// never completed and the plan's exchanged state is undefined.
+    /// Only this plan is poisoned; sibling operations are unaffected.
+    Abandoned,
 }
 
 impl fmt::Display for CollectiveError {
@@ -265,6 +283,9 @@ impl fmt::Display for CollectiveError {
             CollectiveError::Poisoned => {
                 f.write_str("plan poisoned by an earlier aborted execution (reset() to reuse)")
             }
+            CollectiveError::Abandoned => f.write_str(
+                "operation abandoned: its handle was dropped before completing (reset() to reuse)",
+            ),
         }
     }
 }
@@ -299,7 +320,26 @@ impl CCollSession {
             cost: CostModel::default(),
             net: NetModel::default(),
             feedback: Arc::new(SessionFeedback::default()),
+            next_slot: Cell::new(0),
         }
+    }
+
+    /// Allocate the next per-operation tag slot. Slots are handed out
+    /// in plan-creation order from a session-local counter, so every
+    /// rank that creates its plans in the same order (the usual
+    /// collective discipline) assigns matching slots — which is what
+    /// keeps two concurrently-running operations' wire tags disjoint.
+    fn alloc_slot(&self) -> u32 {
+        let s = self.next_slot.get();
+        self.next_slot.set(s.wrapping_add(1));
+        s
+    }
+
+    /// How many nonblocking operations started from this session's
+    /// plans (across clones of the session) are currently in flight —
+    /// i.e. have a live handle that has not yet been dropped.
+    pub fn live_ops(&self) -> u64 {
+        self.feedback.live_ops.load(Ordering::Relaxed)
     }
 
     /// Override the pipeline sub-chunk size (values), for ablations.
@@ -536,6 +576,8 @@ impl CCollSession {
                 op,
                 variant: AllreduceVariant::Overlapped,
                 algorithm,
+                slot: self.alloc_slot(),
+                op_seq: 0,
                 auto: false,
                 reranked: false,
                 stats: PlanStats::default(),
@@ -575,6 +617,8 @@ impl CCollSession {
             op,
             variant,
             algorithm: Algorithm::Ring,
+            slot: self.alloc_slot(),
+            op_seq: 0,
             auto: false,
             reranked: false,
             stats: PlanStats::default(),
@@ -634,6 +678,8 @@ impl CCollSession {
             counts: counts.to_vec(),
             total: counts.iter().sum(),
             algorithm,
+            slot: self.alloc_slot(),
+            op_seq: 0,
             auto: opts.algorithm == Algorithm::Auto,
             reranked: false,
             stats: PlanStats::default(),
@@ -656,6 +702,8 @@ impl CCollSession {
             len,
             op,
             counts: chunk_lengths(len, self.world_size),
+            slot: self.alloc_slot(),
+            op_seq: 0,
             stats: PlanStats::default(),
             in_flight: false,
             poisoned: None,
@@ -694,6 +742,8 @@ impl CCollSession {
             session: self.clone(),
             root,
             len,
+            slot: self.alloc_slot(),
+            op_seq: 0,
             stats: PlanStats::default(),
             in_flight: false,
             poisoned: None,
@@ -729,6 +779,8 @@ impl CCollSession {
             root,
             total_len,
             counts: chunk_lengths(total_len, self.world_size),
+            slot: self.alloc_slot(),
+            op_seq: 0,
             stats: PlanStats::default(),
             in_flight: false,
             poisoned: None,
@@ -767,6 +819,8 @@ impl CCollSession {
             root,
             total_len,
             counts: chunk_lengths(total_len, self.world_size),
+            slot: self.alloc_slot(),
+            op_seq: 0,
             stats: PlanStats::default(),
             in_flight: false,
             poisoned: None,
@@ -802,6 +856,8 @@ impl CCollSession {
         AlltoallPlan {
             session: self.clone(),
             len,
+            slot: self.alloc_slot(),
+            op_seq: 0,
             stats: PlanStats::default(),
             in_flight: false,
             poisoned: None,
@@ -871,6 +927,8 @@ impl CCollSession {
             len,
             op,
             algorithm,
+            slot: self.alloc_slot(),
+            op_seq: 0,
             auto: opts.algorithm == Algorithm::Auto,
             reranked: false,
             stats: PlanStats::default(),
@@ -927,7 +985,12 @@ impl std::fmt::Debug for CCollSession {
 /// by 1024; 0 encodes "no sample"). Returns `None` unless every rank
 /// contributed a sample — conservative: with partial information the
 /// nominal selection stands.
-fn agree_min_ratio<C: Comm>(comm: &mut C, local: f64, pool: &mut PayloadPool) -> Option<f64> {
+fn agree_min_ratio<C: Comm>(
+    comm: &mut C,
+    base: Tag,
+    local: f64,
+    pool: &mut PayloadPool,
+) -> Option<f64> {
     let n = comm.size();
     let mut cur = (local.clamp(0.0, 4.0e6) * 1024.0).round() as u32;
     if n > 1 {
@@ -935,7 +998,7 @@ fn agree_min_ratio<C: Comm>(comm: &mut C, local: f64, pool: &mut PayloadPool) ->
         let right = (me + 1) % n;
         let left = (me + n - 1) % n;
         for k in 0..n - 1 {
-            let tag = crate::collectives::tags::RERANK + k as ccoll_comm::Tag;
+            let tag = base + crate::collectives::tags::RERANK + k as ccoll_comm::Tag;
             let payload = pool.write(&cur.to_le_bytes());
             let got = comm.sendrecv(right, left, tag, payload, ccoll_comm::Category::Others);
             let peer = u32::from_le_bytes(got[0..4].try_into().expect("4-byte ratio"));
@@ -943,6 +1006,29 @@ fn agree_min_ratio<C: Comm>(comm: &mut C, local: f64, pool: &mut PayloadPool) ->
         }
     }
     (cur > 0).then(|| cur as f64 / 1024.0)
+}
+
+/// The per-operation tag base: plan slot bits (22..32, `% 1023 + 1` so a
+/// plan's traffic never lands on the base-0 space the compatibility
+/// collectives use) OR'd with a generation bit (16, the plan's start
+/// counter `% 2`). Every schedule tag is `< 0x10000`, so adding a base
+/// keeps two live operations' wire tags disjoint when their (slot,
+/// generation) pairs differ.
+///
+/// Slots separate *different* plans, whose operations may be
+/// simultaneously in flight under a progress engine. The generation
+/// bit separates *adjacent* operations of the same plan: a rank can
+/// run `start()` for operation N+1 while a peer is still mid-operation
+/// N (a handle completes locally once its own receives land), and the
+/// alternating bit keeps N+1's eager sends out of N's posted receives.
+/// Deeper skew cannot occur — the exclusive plan borrow means this
+/// rank finished N before starting N+1, and no rank can finish N+1
+/// without every rank having started it — so one bit is exactly
+/// enough, and the tag working set stays at two generations per plan
+/// (the simulator's tag-keyed tables go warm after two executions,
+/// preserving the zero-allocation steady state).
+fn op_base(slot: u32, op_seq: u32) -> Tag {
+    ((slot % 1023 + 1) << 22) | ((op_seq % 2) << 16)
 }
 
 fn check_world<C: Comm>(comm: &C, world_size: usize) {
@@ -1002,6 +1088,11 @@ pub struct AllreducePlan {
     op: ReduceOp,
     variant: AllreduceVariant,
     algorithm: Algorithm,
+    /// Per-session tag slot (allocated at plan creation) and start
+    /// counter, folded into every wire tag so concurrent operations'
+    /// traffic stays disjoint (see `op_base`).
+    slot: u32,
+    op_seq: u32,
     /// Created with [`Algorithm::Auto`]: eligible for the one-shot
     /// post-warm-up re-rank from measured compression ratios.
     auto: bool,
@@ -1098,7 +1189,8 @@ impl AllreducePlan {
         }
         self.reranked = true;
         let local = self.session.feedback.ratio().unwrap_or(0.0);
-        let Some(ratio) = agree_min_ratio(comm, local, &mut self.ws.pool) else {
+        let base = op_base(self.slot, self.op_seq);
+        let Some(ratio) = agree_min_ratio(comm, base, local, &mut self.ws.pool) else {
             return;
         };
         let algorithm = self
@@ -1223,9 +1315,14 @@ impl AllreducePlan {
             "plan was poisoned by an aborted execution; call reset() to reuse"
         );
         take_in_flight(&mut self.in_flight);
+        self.op_seq = self.op_seq.wrapping_add(1);
+        self.session
+            .feedback
+            .live_ops
+            .fetch_add(1, Ordering::Relaxed);
         let t0 = comm.now();
         let c0 = comm.profiler().fault_counters();
-        let machine = self.machine();
+        let machine = self.machine().with_base(op_base(self.slot, self.op_seq));
         AllreduceHandle {
             machine,
             plan: self,
@@ -1310,7 +1407,11 @@ impl AllreduceHandle<'_, '_> {
     /// structured error: the state machines signal "cannot proceed"
     /// through their normal pending path and park the reason on the
     /// profiler ([`ccoll_comm::Profiler::take_error`]).
-    fn drive<C: Comm>(&mut self, comm: &mut C, block: bool) -> Result<Poll, CollectiveError> {
+    pub(crate) fn drive<C: Comm>(
+        &mut self,
+        comm: &mut C,
+        block: bool,
+    ) -> Result<Poll, CollectiveError> {
         if self.plan.poisoned.is_some() {
             return Err(CollectiveError::Poisoned);
         }
@@ -1362,6 +1463,25 @@ impl AllreduceHandle<'_, '_> {
     }
 }
 
+impl Drop for AllreduceHandle<'_, '_> {
+    fn drop(&mut self) {
+        self.plan
+            .session
+            .feedback
+            .live_ops
+            .fetch_sub(1, Ordering::Relaxed);
+        if !self.done && self.plan.poisoned.is_none() {
+            // Dropped mid-operation: receives may still be posted and
+            // peers may be mid-collective, so this plan's exchanged
+            // state is undefined. Poison *only* this plan; sibling
+            // operations use disjoint tag bases and are unaffected.
+            self.plan.ws.abort();
+            self.plan.in_flight = false;
+            self.plan.poisoned = Some(CollectiveError::Abandoned);
+        }
+    }
+}
+
 /// Persistent allgather plan (see [`CCollSession::plan_allgatherv`] and
 /// [`CCollSession::plan_allgatherv_with`]).
 pub struct AllgatherPlan {
@@ -1369,6 +1489,9 @@ pub struct AllgatherPlan {
     counts: Vec<usize>,
     total: usize,
     algorithm: Algorithm,
+    /// Per-session tag slot + start counter (see `op_base`).
+    slot: u32,
+    op_seq: u32,
     /// Created with [`Algorithm::Auto`]: eligible for the one-shot
     /// post-warm-up re-rank from measured compression ratios.
     auto: bool,
@@ -1446,7 +1569,8 @@ impl AllgatherPlan {
         }
         self.reranked = true;
         let local = self.session.feedback.ratio().unwrap_or(0.0);
-        let Some(ratio) = agree_min_ratio(comm, local, &mut self.ws.pool) else {
+        let base = op_base(self.slot, self.op_seq);
+        let Some(ratio) = agree_min_ratio(comm, base, local, &mut self.ws.pool) else {
             return;
         };
         let max_chunk = self.counts.iter().copied().max().unwrap_or(0);
@@ -1519,12 +1643,17 @@ impl AllgatherPlan {
             "plan was poisoned by an aborted execution; call reset() to reuse"
         );
         take_in_flight(&mut self.in_flight);
+        self.op_seq = self.op_seq.wrapping_add(1);
+        self.session
+            .feedback
+            .live_ops
+            .fetch_add(1, Ordering::Relaxed);
         let t0 = comm.now();
         let c0 = comm.profiler().fault_counters();
         // The ring machines read the partition from the workspace; the
         // Bruck machine re-caches it from the counts it is handed.
         self.ws.set_partition_from_counts(&self.counts);
-        let machine = self.machine();
+        let machine = self.machine().with_base(op_base(self.slot, self.op_seq));
         AllgatherHandle {
             machine,
             plan: self,
@@ -1597,7 +1726,11 @@ impl AllgatherHandle<'_, '_> {
     /// structured error: the state machines signal "cannot proceed"
     /// through their normal pending path and park the reason on the
     /// profiler ([`ccoll_comm::Profiler::take_error`]).
-    fn drive<C: Comm>(&mut self, comm: &mut C, block: bool) -> Result<Poll, CollectiveError> {
+    pub(crate) fn drive<C: Comm>(
+        &mut self,
+        comm: &mut C,
+        block: bool,
+    ) -> Result<Poll, CollectiveError> {
         if self.plan.poisoned.is_some() {
             return Err(CollectiveError::Poisoned);
         }
@@ -1646,6 +1779,21 @@ impl AllgatherHandle<'_, '_> {
     }
 }
 
+impl Drop for AllgatherHandle<'_, '_> {
+    fn drop(&mut self) {
+        self.plan
+            .session
+            .feedback
+            .live_ops
+            .fetch_sub(1, Ordering::Relaxed);
+        if !self.done && self.plan.poisoned.is_none() {
+            self.plan.ws.abort();
+            self.plan.in_flight = false;
+            self.plan.poisoned = Some(CollectiveError::Abandoned);
+        }
+    }
+}
+
 /// Persistent reduce-scatter plan (see
 /// [`CCollSession::plan_reduce_scatter`]).
 pub struct ReduceScatterPlan {
@@ -1653,6 +1801,9 @@ pub struct ReduceScatterPlan {
     len: usize,
     op: ReduceOp,
     counts: Vec<usize>,
+    /// Per-session tag slot + start counter (see `op_base`).
+    slot: u32,
+    op_seq: u32,
     stats: PlanStats,
     in_flight: bool,
     /// Set when an execution aborted on an unrecoverable fault; the
@@ -1773,9 +1924,14 @@ impl ReduceScatterPlan {
             "plan was poisoned by an aborted execution; call reset() to reuse"
         );
         take_in_flight(&mut self.in_flight);
+        self.op_seq = self.op_seq.wrapping_add(1);
+        self.session
+            .feedback
+            .live_ops
+            .fetch_add(1, Ordering::Relaxed);
         let t0 = comm.now();
         let c0 = comm.profiler().fault_counters();
-        let machine = RingRs::new(self.rs_mode());
+        let machine = RingRs::new(self.rs_mode()).with_base(op_base(self.slot, self.op_seq));
         ReduceScatterHandle {
             machine,
             plan: self,
@@ -1853,7 +2009,11 @@ impl ReduceScatterHandle<'_, '_> {
     /// structured error: the state machines signal "cannot proceed"
     /// through their normal pending path and park the reason on the
     /// profiler ([`ccoll_comm::Profiler::take_error`]).
-    fn drive<C: Comm>(&mut self, comm: &mut C, block: bool) -> Result<Poll, CollectiveError> {
+    pub(crate) fn drive<C: Comm>(
+        &mut self,
+        comm: &mut C,
+        block: bool,
+    ) -> Result<Poll, CollectiveError> {
         if self.plan.poisoned.is_some() {
             return Err(CollectiveError::Poisoned);
         }
@@ -1902,11 +2062,29 @@ impl ReduceScatterHandle<'_, '_> {
     }
 }
 
+impl Drop for ReduceScatterHandle<'_, '_> {
+    fn drop(&mut self) {
+        self.plan
+            .session
+            .feedback
+            .live_ops
+            .fetch_sub(1, Ordering::Relaxed);
+        if !self.done && self.plan.poisoned.is_none() {
+            self.plan.ws.abort();
+            self.plan.in_flight = false;
+            self.plan.poisoned = Some(CollectiveError::Abandoned);
+        }
+    }
+}
+
 /// Persistent broadcast plan (see [`CCollSession::plan_bcast`]).
 pub struct BcastPlan {
     session: CCollSession,
     root: usize,
     len: usize,
+    /// Per-session tag slot + start counter (see `op_base`).
+    slot: u32,
+    op_seq: u32,
     stats: PlanStats,
     in_flight: bool,
     /// Set when an execution aborted on an unrecoverable fault; the
@@ -2019,9 +2197,15 @@ impl BcastPlan {
             "plan was poisoned by an aborted execution; call reset() to reuse"
         );
         take_in_flight(&mut self.in_flight);
+        self.op_seq = self.op_seq.wrapping_add(1);
+        self.session
+            .feedback
+            .live_ops
+            .fetch_add(1, Ordering::Relaxed);
         let t0 = comm.now();
         let c0 = comm.profiler().fault_counters();
-        let machine = Bcast::new(self.session.cpr.is_some(), self.root);
+        let machine = Bcast::new(self.session.cpr.is_some(), self.root)
+            .with_base(op_base(self.slot, self.op_seq));
         BcastHandle {
             machine,
             plan: self,
@@ -2091,7 +2275,11 @@ impl BcastHandle<'_, '_> {
     /// structured error: the state machines signal "cannot proceed"
     /// through their normal pending path and park the reason on the
     /// profiler ([`ccoll_comm::Profiler::take_error`]).
-    fn drive<C: Comm>(&mut self, comm: &mut C, block: bool) -> Result<Poll, CollectiveError> {
+    pub(crate) fn drive<C: Comm>(
+        &mut self,
+        comm: &mut C,
+        block: bool,
+    ) -> Result<Poll, CollectiveError> {
         if self.plan.poisoned.is_some() {
             return Err(CollectiveError::Poisoned);
         }
@@ -2140,12 +2328,30 @@ impl BcastHandle<'_, '_> {
     }
 }
 
+impl Drop for BcastHandle<'_, '_> {
+    fn drop(&mut self) {
+        self.plan
+            .session
+            .feedback
+            .live_ops
+            .fetch_sub(1, Ordering::Relaxed);
+        if !self.done && self.plan.poisoned.is_none() {
+            self.plan.ws.abort();
+            self.plan.in_flight = false;
+            self.plan.poisoned = Some(CollectiveError::Abandoned);
+        }
+    }
+}
+
 /// Persistent scatter plan (see [`CCollSession::plan_scatter`]).
 pub struct ScatterPlan {
     session: CCollSession,
     root: usize,
     total_len: usize,
     counts: Vec<usize>,
+    /// Per-session tag slot + start counter (see `op_base`).
+    slot: u32,
+    op_seq: u32,
     stats: PlanStats,
     in_flight: bool,
     /// Set when an execution aborted on an unrecoverable fault; the
@@ -2257,9 +2463,15 @@ impl ScatterPlan {
             "plan was poisoned by an aborted execution; call reset() to reuse"
         );
         take_in_flight(&mut self.in_flight);
+        self.op_seq = self.op_seq.wrapping_add(1);
+        self.session
+            .feedback
+            .live_ops
+            .fetch_add(1, Ordering::Relaxed);
         let t0 = comm.now();
         let c0 = comm.profiler().fault_counters();
-        let machine = Scatter::new(self.session.cpr.is_some(), self.root, self.total_len);
+        let machine = Scatter::new(self.session.cpr.is_some(), self.root, self.total_len)
+            .with_base(op_base(self.slot, self.op_seq));
         ScatterHandle {
             machine,
             plan: self,
@@ -2329,7 +2541,11 @@ impl ScatterHandle<'_, '_> {
     /// structured error: the state machines signal "cannot proceed"
     /// through their normal pending path and park the reason on the
     /// profiler ([`ccoll_comm::Profiler::take_error`]).
-    fn drive<C: Comm>(&mut self, comm: &mut C, block: bool) -> Result<Poll, CollectiveError> {
+    pub(crate) fn drive<C: Comm>(
+        &mut self,
+        comm: &mut C,
+        block: bool,
+    ) -> Result<Poll, CollectiveError> {
         if self.plan.poisoned.is_some() {
             return Err(CollectiveError::Poisoned);
         }
@@ -2378,12 +2594,30 @@ impl ScatterHandle<'_, '_> {
     }
 }
 
+impl Drop for ScatterHandle<'_, '_> {
+    fn drop(&mut self) {
+        self.plan
+            .session
+            .feedback
+            .live_ops
+            .fetch_sub(1, Ordering::Relaxed);
+        if !self.done && self.plan.poisoned.is_none() {
+            self.plan.ws.abort();
+            self.plan.in_flight = false;
+            self.plan.poisoned = Some(CollectiveError::Abandoned);
+        }
+    }
+}
+
 /// Persistent gather plan (see [`CCollSession::plan_gather`]).
 pub struct GatherPlan {
     session: CCollSession,
     root: usize,
     total_len: usize,
     counts: Vec<usize>,
+    /// Per-session tag slot + start counter (see `op_base`).
+    slot: u32,
+    op_seq: u32,
     stats: PlanStats,
     in_flight: bool,
     /// Set when an execution aborted on an unrecoverable fault; the
@@ -2497,9 +2731,15 @@ impl GatherPlan {
             "plan was poisoned by an aborted execution; call reset() to reuse"
         );
         take_in_flight(&mut self.in_flight);
+        self.op_seq = self.op_seq.wrapping_add(1);
+        self.session
+            .feedback
+            .live_ops
+            .fetch_add(1, Ordering::Relaxed);
         let t0 = comm.now();
         let c0 = comm.profiler().fault_counters();
-        let machine = Gather::new(self.session.cpr.is_some(), self.root, self.total_len);
+        let machine = Gather::new(self.session.cpr.is_some(), self.root, self.total_len)
+            .with_base(op_base(self.slot, self.op_seq));
         GatherHandle {
             machine,
             plan: self,
@@ -2576,7 +2816,11 @@ impl GatherHandle<'_, '_> {
     /// structured error: the state machines signal "cannot proceed"
     /// through their normal pending path and park the reason on the
     /// profiler ([`ccoll_comm::Profiler::take_error`]).
-    fn drive<C: Comm>(&mut self, comm: &mut C, block: bool) -> Result<Poll, CollectiveError> {
+    pub(crate) fn drive<C: Comm>(
+        &mut self,
+        comm: &mut C,
+        block: bool,
+    ) -> Result<Poll, CollectiveError> {
         if self.plan.poisoned.is_some() {
             return Err(CollectiveError::Poisoned);
         }
@@ -2627,10 +2871,28 @@ impl GatherHandle<'_, '_> {
     }
 }
 
+impl Drop for GatherHandle<'_, '_> {
+    fn drop(&mut self) {
+        self.plan
+            .session
+            .feedback
+            .live_ops
+            .fetch_sub(1, Ordering::Relaxed);
+        if !self.done && self.plan.poisoned.is_none() {
+            self.plan.ws.abort();
+            self.plan.in_flight = false;
+            self.plan.poisoned = Some(CollectiveError::Abandoned);
+        }
+    }
+}
+
 /// Persistent all-to-all plan (see [`CCollSession::plan_alltoall`]).
 pub struct AlltoallPlan {
     session: CCollSession,
     len: usize,
+    /// Per-session tag slot + start counter (see `op_base`).
+    slot: u32,
+    op_seq: u32,
     stats: PlanStats,
     in_flight: bool,
     /// Set when an execution aborted on an unrecoverable fault; the
@@ -2737,9 +2999,15 @@ impl AlltoallPlan {
             "plan was poisoned by an aborted execution; call reset() to reuse"
         );
         take_in_flight(&mut self.in_flight);
+        self.op_seq = self.op_seq.wrapping_add(1);
+        self.session
+            .feedback
+            .live_ops
+            .fetch_add(1, Ordering::Relaxed);
         let t0 = comm.now();
         let c0 = comm.profiler().fault_counters();
-        let machine = Alltoall::new(self.session.cpr.is_some());
+        let machine =
+            Alltoall::new(self.session.cpr.is_some()).with_base(op_base(self.slot, self.op_seq));
         AlltoallHandle {
             machine,
             plan: self,
@@ -2809,7 +3077,11 @@ impl AlltoallHandle<'_, '_> {
     /// structured error: the state machines signal "cannot proceed"
     /// through their normal pending path and park the reason on the
     /// profiler ([`ccoll_comm::Profiler::take_error`]).
-    fn drive<C: Comm>(&mut self, comm: &mut C, block: bool) -> Result<Poll, CollectiveError> {
+    pub(crate) fn drive<C: Comm>(
+        &mut self,
+        comm: &mut C,
+        block: bool,
+    ) -> Result<Poll, CollectiveError> {
         if self.plan.poisoned.is_some() {
             return Err(CollectiveError::Poisoned);
         }
@@ -2858,6 +3130,21 @@ impl AlltoallHandle<'_, '_> {
     }
 }
 
+impl Drop for AlltoallHandle<'_, '_> {
+    fn drop(&mut self) {
+        self.plan
+            .session
+            .feedback
+            .live_ops
+            .fetch_sub(1, Ordering::Relaxed);
+        if !self.done && self.plan.poisoned.is_none() {
+            self.plan.ws.abort();
+            self.plan.in_flight = false;
+            self.plan.poisoned = Some(CollectiveError::Abandoned);
+        }
+    }
+}
+
 /// Persistent rooted-reduce plan (see [`CCollSession::plan_reduce`] and
 /// [`CCollSession::plan_reduce_with`]): either the bandwidth-optimal
 /// pipelined C-Reduce-scatter + C-Gather composition
@@ -2869,6 +3156,9 @@ pub struct ReducePlan {
     len: usize,
     op: ReduceOp,
     algorithm: Algorithm,
+    /// Per-session tag slot + start counter (see `op_base`).
+    slot: u32,
+    op_seq: u32,
     /// Created with [`Algorithm::Auto`]: eligible for the one-shot
     /// post-warm-up re-rank from measured compression ratios.
     auto: bool,
@@ -2984,7 +3274,8 @@ impl ReducePlan {
             ReducePlanImpl::RsGather { reduce_scatter, .. } => &mut reduce_scatter.ws.pool,
             ReducePlanImpl::Binomial { ws, .. } => &mut ws.pool,
         };
-        let Some(ratio) = agree_min_ratio(comm, local, pool) else {
+        let base = op_base(self.slot, self.op_seq);
+        let Some(ratio) = agree_min_ratio(comm, base, local, pool) else {
             return;
         };
         let algorithm = self.session.select_ctx_with_ratio(ratio).reduce(self.len);
@@ -3065,6 +3356,11 @@ impl ReducePlan {
             "plan was poisoned by an aborted execution; call reset() to reuse"
         );
         take_in_flight(&mut self.in_flight);
+        self.op_seq = self.op_seq.wrapping_add(1);
+        self.session
+            .feedback
+            .live_ops
+            .fetch_add(1, Ordering::Relaxed);
         let t0 = comm.now();
         let c0 = comm.profiler().fault_counters();
         if let ReducePlanImpl::RsGather {
@@ -3078,7 +3374,7 @@ impl ReducePlan {
             let chunk = reduce_scatter.output_len(comm.rank());
             mine.resize(chunk, 0.0);
         }
-        let machine = self.machine();
+        let machine = self.machine().with_base(op_base(self.slot, self.op_seq));
         ReduceHandle {
             machine,
             plan: self,
@@ -3226,7 +3522,11 @@ impl ReduceHandle<'_, '_> {
     /// structured error: the state machines signal "cannot proceed"
     /// through their normal pending path and park the reason on the
     /// profiler ([`ccoll_comm::Profiler::take_error`]).
-    fn drive<C: Comm>(&mut self, comm: &mut C, block: bool) -> Result<Poll, CollectiveError> {
+    pub(crate) fn drive<C: Comm>(
+        &mut self,
+        comm: &mut C,
+        block: bool,
+    ) -> Result<Poll, CollectiveError> {
         if self.plan.poisoned.is_some() {
             return Err(CollectiveError::Poisoned);
         }
@@ -3273,6 +3573,31 @@ impl ReduceHandle<'_, '_> {
         match self.try_complete(comm) {
             Ok(root) => root,
             Err(e) => panic!("collective aborted: {e}; plan poisoned (reset() to reuse)"),
+        }
+    }
+}
+
+impl Drop for ReduceHandle<'_, '_> {
+    fn drop(&mut self) {
+        self.plan
+            .session
+            .feedback
+            .live_ops
+            .fetch_sub(1, Ordering::Relaxed);
+        if !self.done && self.plan.poisoned.is_none() {
+            match &mut self.plan.inner {
+                ReducePlanImpl::RsGather {
+                    reduce_scatter,
+                    gather,
+                    ..
+                } => {
+                    reduce_scatter.ws.abort();
+                    gather.ws.abort();
+                }
+                ReducePlanImpl::Binomial { ws, .. } => ws.abort(),
+            }
+            self.plan.in_flight = false;
+            self.plan.poisoned = Some(CollectiveError::Abandoned);
         }
     }
 }

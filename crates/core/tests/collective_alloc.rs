@@ -92,6 +92,12 @@ fn steady_state_plans_allocate_nothing() {
         let mut reduce_scatter = session.plan_reduce_scatter(len, ReduceOp::Sum);
         let mut auto_allreduce =
             session.plan_allreduce_with(len, ReduceOp::Sum, PlanOptions::new());
+        // Gradient buckets driven concurrently by the session progress
+        // engine: its inline slot arena must keep submit/progress/
+        // wait_all allocation-free with several ops in flight.
+        let mut bucket_a = session.plan_allreduce(len / 2, ReduceOp::Sum);
+        let mut bucket_b = session.plan_allreduce(len / 3, ReduceOp::Sum);
+        let mut bucket_c = session.plan_allreduce(len / 4, ReduceOp::Sum);
 
         let input = rank_data(me, len);
         let chunk = rank_data(me, len / n);
@@ -106,6 +112,12 @@ fn steady_state_plans_allocate_nothing() {
         let mut bc_out = vec![0.0f32; len / 2];
         let mut rr_out = vec![0.0f32; if me == 0 { len / 2 } else { 0 }];
         let mut rs_out = vec![0.0f32; reduce_scatter.output_len(me)];
+        let bucket_in_a = rank_data(me, len / 2);
+        let bucket_in_b = rank_data(me, len / 3);
+        let bucket_in_c = rank_data(me, len / 4);
+        let mut bucket_out_a = vec![0.0f32; len / 2];
+        let mut bucket_out_b = vec![0.0f32; len / 3];
+        let mut bucket_out_c = vec![0.0f32; len / 4];
 
         // The full nonblocking cycle must uphold the guarantee too:
         // start, several partial progress calls with application
@@ -124,15 +136,38 @@ fn steady_state_plans_allocate_nothing() {
             }};
         }
 
+        // Three ops concurrently in flight through the progress
+        // engine, interleaved with bounded fair passes — the engine's
+        // inline arena and the per-op tag bases must add nothing to
+        // the allocation profile.
+        macro_rules! engine_cycle {
+            () => {{
+                let mut engine = c_coll::engine::ProgressEngine::new();
+                engine.submit(bucket_a.start(c, &bucket_in_a, &mut bucket_out_a));
+                engine.submit(bucket_b.start(c, &bucket_in_b, &mut bucket_out_b));
+                engine.submit(bucket_c.start(c, &bucket_in_c, &mut bucket_out_c));
+                for _ in 0..4 {
+                    engine.progress(c);
+                    c.charge_duration(Duration::from_micros(20), Category::Others);
+                }
+                engine.wait_all(c);
+            }};
+        }
+
         // Warm-up. The collective path itself (codec, payload pool,
         // workspace) is warm after ONE call per plan — plans pre-size
         // their pools from the codec's worst-case compressed size. The
         // later rounds exist for the *simulator's* event tables
         // (request maps, event heap), whose high-water capacity depends
-        // on cross-rank timing and settles one call later, and for the
+        // on cross-rank timing and settles one call later; for the
         // Auto plan's one-shot re-rank (it may switch schedules after
-        // its first execution and re-warm its workspace once).
-        for _ in 0..3 {
+        // its first execution and re-warm its workspace once); and for
+        // the per-op tag space: each start() alternates between two
+        // tag generations (see `op_base`), so the simulator's
+        // tag-keyed tables only reach their high-water mark after a
+        // plan has executed under BOTH generations — four rounds cover
+        // that with margin.
+        for _ in 0..4 {
             allreduce.execute_into(c, &input, &mut ar_out);
             allgather.execute_into(c, &chunk, &mut ag_out);
             bcast.execute_into(c, &bdata, &mut bc_out);
@@ -144,11 +179,13 @@ fn steady_state_plans_allocate_nothing() {
             auto_allreduce.execute_into(c, &input, &mut ar_out);
             nonblocking_cycle!(allreduce, &input, &mut ar_out);
             nonblocking_cycle!(reduce_scatter, &input, &mut rs_out);
+            engine_cycle!();
         }
         c.barrier();
 
         // Steady state: zero allocator calls across every rank, for the
-        // blocking drives AND the start/progress*/complete cycles.
+        // blocking drives, the start/progress*/complete cycles AND the
+        // engine-driven concurrent cycles.
         let before = allocations();
         for _ in 0..4 {
             allreduce.execute_into(c, &input, &mut ar_out);
@@ -162,6 +199,7 @@ fn steady_state_plans_allocate_nothing() {
             auto_allreduce.execute_into(c, &input, &mut ar_out);
             nonblocking_cycle!(allreduce, &input, &mut ar_out);
             nonblocking_cycle!(reduce_scatter, &input, &mut rs_out);
+            engine_cycle!();
         }
         c.barrier();
         let delta = allocations() - before;
