@@ -12,6 +12,12 @@
 //! `CCOLL_QUICK=1` shrinks it to a CI-sized block. Output is
 //! deterministic: the same build prints the same fingerprints forever,
 //! so a diff of two sweep outputs is a behavioural diff of the library.
+//!
+//! Crash cells additionally rotate through the *recover* shapes
+//! (kill → survivor agreement → communicator shrink → resume), whose
+//! contract is stricter: survivors must complete bitwise-equal to a
+//! fault-free run on the shrunk world — a post-recovery abort fails
+//! the case.
 
 use ccoll_bench::chaos::{run_chaos_case, ChaosCase, FaultMix, Shape, CODECS};
 use std::fmt::Write as _;
@@ -30,7 +36,15 @@ fn cases(worlds: &[usize], seeds_per_cell: u64) -> Vec<ChaosCase> {
         for (mi, mix) in FaultMix::ALL.into_iter().enumerate() {
             for s in 0..seeds_per_cell {
                 let rot = s as usize + wi + mi;
-                let shape = Shape::ALL[rot % Shape::ALL.len()];
+                // Only the crash mix can kill a rank, so only crash
+                // cells rotate through the recover shapes — elsewhere
+                // they would silently degenerate to plain runs.
+                let shapes: &[Shape] = if mix == FaultMix::Crash {
+                    &Shape::ALL
+                } else {
+                    &Shape::ANY_MIX
+                };
+                let shape = shapes[rot % shapes.len()];
                 let (_, codec) = CODECS[rot % CODECS.len()];
                 // Keep big worlds cheap: the contract is about control
                 // flow, not bandwidth.
@@ -112,22 +126,29 @@ fn main() {
     let mut failures = Vec::new();
     let mut json = String::from("[\n");
     let (mut completed, mut aborted, mut killed, mut retries) = (0usize, 0usize, 0usize, 0u64);
+    let (mut shrinks, mut agreement_rounds, mut stale) = (0u64, 0u64, 0u64);
     for (i, case) in list.iter().enumerate() {
         let r = run_chaos_case(*case);
         let _ = writeln!(
             json,
-            "  {{\"case\": \"{}\", \"pass\": {}, \"outcome\": \"{}\", \"fingerprint\": \"{:016x}\", \"retries\": {}}}{}",
+            "  {{\"case\": \"{}\", \"pass\": {}, \"outcome\": \"{}\", \"fingerprint\": \"{:016x}\", \"retries\": {}, \"shrinks\": {}, \"agreement_rounds\": {}, \"stale_discarded\": {}}}{}",
             case.corpus_key(),
             r.pass,
             r.outcome.replace('"', "'"),
             r.fingerprint,
             r.retries,
+            r.shrinks,
+            r.agreement_rounds,
+            r.stale_discarded,
             if i + 1 == list.len() { "" } else { "," }
         );
         completed += r.completed;
         aborted += r.aborted;
         killed += r.killed;
         retries += r.retries;
+        shrinks += r.shrinks;
+        agreement_rounds += r.agreement_rounds;
+        stale += r.stale_discarded;
         if !r.pass {
             println!("FAIL {} {:016x}  {}", case.corpus_key(), r.fingerprint, r);
             failures.push(*case);
@@ -144,11 +165,16 @@ fn main() {
         killed,
         retries
     );
+    println!(
+        "recovery: {} communicator shrinks, {} agreement rounds, {} stale pre-shrink messages purged",
+        shrinks, agreement_rounds, stale
+    );
     // The block must actually exercise every outcome class — a sweep
-    // where no rank ever retried, aborted or died proves nothing.
-    if killed == 0 || aborted == 0 || retries == 0 {
+    // where no rank ever retried, aborted, died or recovered proves
+    // nothing.
+    if killed == 0 || aborted == 0 || retries == 0 || shrinks == 0 {
         println!(
-            "\nchaos sweep FAILED: outcome classes missing (kills={killed}, aborts={aborted}, retries={retries})"
+            "\nchaos sweep FAILED: outcome classes missing (kills={killed}, aborts={aborted}, retries={retries}, shrinks={shrinks})"
         );
         std::process::exit(1);
     }

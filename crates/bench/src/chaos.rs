@@ -6,7 +6,11 @@
 //! [`FaultPlan`] — and classifies the faulty run against the chaos
 //! subsystem's contract: **every rank either completes bitwise-equal to
 //! the reference, aborts with a structured error (poisoning its plan),
-//! or was killed by the plan — and the world never hangs.** Because the
+//! or was killed by the plan — and the world never hangs.** The recover
+//! shapes ([`Shape::Recover`], [`Shape::RecoverPair`]) tighten the
+//! contract further: after a kill→agree→shrink→resume flow every
+//! *survivor* must complete, bitwise-equal to a fault-free reference
+//! run on the shrunk world. Because the
 //! simulator and the fault plan are both pure functions of their seeds,
 //! a case's entire outcome folds into a single [`CaseResult::fingerprint`]
 //! that replays byte-identically forever; the checked-in corpus
@@ -19,7 +23,9 @@ use std::time::Duration;
 use c_coll::engine::ProgressEngine;
 use c_coll::{Algorithm, CCollSession, CodecSpec, CollectiveError, PlanOptions, ReduceOp};
 use ccoll_comm::chaos::splitmix64;
-use ccoll_comm::{sim::SimComm, Comm, FaultPlan, FaultPolicy, RankOutcome, SimConfig, SimWorld};
+use ccoll_comm::{
+    sim::SimComm, Comm, CommError, FaultPlan, FaultPolicy, RankOutcome, SimConfig, SimWorld,
+};
 
 /// The collective shape a chaos case exercises (explicit schedules
 /// only: `Auto`'s post-warm-up re-rank agreement runs outside any fault
@@ -38,11 +44,28 @@ pub enum Shape {
     /// sibling still completes bitwise-equal or aborts on its own
     /// terms — never hangs, never corrupts.
     ConcurrentPair,
+    /// Kill→agree→shrink→resume on a ring allreduce: after phase 1
+    /// every live rank joins the survivor agreement, re-plans for the
+    /// shrunk world, and re-runs the collective on an epoch-stamped
+    /// [`ShrunkComm`](ccoll_comm::ShrunkComm). Survivors must complete
+    /// bitwise-equal to a fault-free reference run *on the shrunk
+    /// world* (restart-on-survivors: the dead rank's contribution is
+    /// dropped). A crash landing mid-resume is absorbed by one nested
+    /// recovery level.
+    Recover,
+    /// The engine-driven variant of [`Shape::Recover`]: two concurrent
+    /// ring allreduces are quiesced after the crash, both plans are
+    /// revived through the same [`Recovery`](c_coll::Recovery), and
+    /// both re-run on the shrunk communicator.
+    RecoverPair,
 }
 
 impl Shape {
-    /// All shapes the sweep rotates through.
-    pub const ALL: [Shape; 6] = [
+    /// Shapes whose contract holds under *any* fault mix. The recover
+    /// shapes are excluded: they promise every survivor completes,
+    /// which only a crash mix can honour — under a loss mix a
+    /// permanent message loss can abort the post-shrink re-run too.
+    pub const ANY_MIX: [Shape; 6] = [
         Shape::Allreduce(Algorithm::Ring),
         Shape::Allreduce(Algorithm::RecursiveDoubling),
         Shape::Allreduce(Algorithm::Rabenseifner),
@@ -50,6 +73,25 @@ impl Shape {
         Shape::Allgather,
         Shape::ConcurrentPair,
     ];
+
+    /// All shapes the sweep rotates through (the two recover shapes
+    /// run only in crash-mix cells — see [`Shape::ANY_MIX`]).
+    pub const ALL: [Shape; 8] = [
+        Shape::Allreduce(Algorithm::Ring),
+        Shape::Allreduce(Algorithm::RecursiveDoubling),
+        Shape::Allreduce(Algorithm::Rabenseifner),
+        Shape::Bcast,
+        Shape::Allgather,
+        Shape::ConcurrentPair,
+        Shape::Recover,
+        Shape::RecoverPair,
+    ];
+
+    /// Whether this shape runs the kill→agree→shrink→resume flow (and
+    /// is therefore classified against a shrunk-world reference).
+    pub fn recovers(&self) -> bool {
+        matches!(self, Shape::Recover | Shape::RecoverPair)
+    }
 
     /// Corpus token for this shape.
     pub fn token(&self) -> &'static str {
@@ -61,6 +103,8 @@ impl Shape {
             Shape::Bcast => "bcast",
             Shape::Allgather => "allgather",
             Shape::ConcurrentPair => "ar-pair",
+            Shape::Recover => "recover",
+            Shape::RecoverPair => "rec-pair",
         }
     }
 
@@ -242,15 +286,31 @@ pub struct CaseResult {
     pub killed: usize,
     /// Total wait retries across ranks (from `PlanStats`).
     pub retries: u64,
+    /// Total communicator shrinks across ranks (recover shapes only;
+    /// each survivor counts every `recover()` it performed).
+    pub shrinks: u64,
+    /// Total survivor-agreement rounds across ranks.
+    pub agreement_rounds: u64,
+    /// Total stale pre-shrink messages discarded when survivors
+    /// crossed a shrink epoch.
+    pub stale_discarded: u64,
 }
 
 impl fmt::Display for CaseResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} ({} done / {} aborted / {} killed, {} retries)",
+            "{} ({} done / {} aborted / {} killed, {} retries",
             self.outcome, self.completed, self.aborted, self.killed, self.retries
-        )
+        )?;
+        if self.shrinks > 0 {
+            write!(
+                f,
+                ", {} shrinks / {} agree-rounds / {} stale purged",
+                self.shrinks, self.agreement_rounds, self.stale_discarded
+            )?;
+        }
+        f.write_str(")")
     }
 }
 
@@ -269,8 +329,44 @@ fn rank_data(rank: usize, len: usize, seed: u64) -> Vec<f32> {
         .collect()
 }
 
+/// Per-rank counters harvested after a run: the plan-level retry count
+/// plus the session's recovery counters. Recovered sessions share the
+/// original session's feedback (an `Arc`), so reading the pre-shrink
+/// session at the end sees the whole recovery chain.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct RankStats {
+    retries: u64,
+    shrinks: u64,
+    agreement_rounds: u64,
+    stale_discarded: u64,
+}
+
+/// Read a rank's final counters off its (pre-shrink) session.
+fn harvest(session: &CCollSession, retries: u64) -> RankStats {
+    let s = session.stats();
+    RankStats {
+        retries,
+        shrinks: s.shrinks,
+        agreement_rounds: s.agreement_rounds,
+        stale_discarded: s.stale_discarded,
+    }
+}
+
+/// The dead peers named by an abort error: the survivor agreement's
+/// suspicion seed. Timeouts are deliberately *not* suspicion — a
+/// timeout may be congestion; only `PeerDead` is evidence of death.
+fn dead_suspects(e: &CollectiveError) -> Vec<usize> {
+    match e {
+        CollectiveError::Comm(CommError::PeerDead { peer }) => vec![*peer],
+        _ => Vec::new(),
+    }
+}
+
 /// Run `case`'s collective on one rank; `Ok` carries the output buffer.
-fn run_rank(c: &mut SimComm, case: ChaosCase) -> Result<(Vec<f32>, u64), (CollectiveError, bool)> {
+/// For the recover shapes this is the full kill→agree→shrink→resume
+/// flow; `Err` means the rank aborted with a structured error (and its
+/// plan is poisoned — asserted here).
+fn run_rank(c: &mut SimComm, case: ChaosCase) -> Result<(Vec<f32>, RankStats), CollectiveError> {
     let session = CCollSession::new(case.codec, case.world);
     let input = rank_data(c.rank(), case.len, case.seed);
     match case.shape {
@@ -282,8 +378,11 @@ fn run_rank(c: &mut SimComm, case: ChaosCase) -> Result<(Vec<f32>, u64), (Collec
             );
             let mut out = vec![0.0f32; case.len];
             match plan.try_execute_into(c, &input, &mut out) {
-                Ok(()) => Ok((out, plan.stats().retries)),
-                Err(e) => Err((e, plan.is_poisoned())),
+                Ok(()) => Ok((out, harvest(&session, plan.stats().retries))),
+                Err(e) => {
+                    assert!(plan.is_poisoned(), "an aborted plan must be poisoned");
+                    Err(e)
+                }
             }
         }
         Shape::Bcast => {
@@ -291,16 +390,22 @@ fn run_rank(c: &mut SimComm, case: ChaosCase) -> Result<(Vec<f32>, u64), (Collec
             let data = if c.rank() == 0 { input } else { Vec::new() };
             let mut out = vec![0.0f32; case.len];
             match plan.try_execute_into(c, &data, &mut out) {
-                Ok(()) => Ok((out, plan.stats().retries)),
-                Err(e) => Err((e, plan.is_poisoned())),
+                Ok(()) => Ok((out, harvest(&session, plan.stats().retries))),
+                Err(e) => {
+                    assert!(plan.is_poisoned(), "an aborted plan must be poisoned");
+                    Err(e)
+                }
             }
         }
         Shape::Allgather => {
             let mut plan = session.plan_allgather(case.len);
             let mut out = vec![0.0f32; case.len * case.world];
             match plan.try_execute_into(c, &input, &mut out) {
-                Ok(()) => Ok((out, plan.stats().retries)),
-                Err(e) => Err((e, plan.is_poisoned())),
+                Ok(()) => Ok((out, harvest(&session, plan.stats().retries))),
+                Err(e) => {
+                    assert!(plan.is_poisoned(), "an aborted plan must be poisoned");
+                    Err(e)
+                }
             }
         }
         Shape::ConcurrentPair => {
@@ -343,32 +448,179 @@ fn run_rank(c: &mut SimComm, case: ChaosCase) -> Result<(Vec<f32>, u64), (Collec
             match errs.first() {
                 None => {
                     out1.extend_from_slice(&out2);
-                    Ok((out1, p1.stats().retries + p2.stats().retries))
+                    Ok((
+                        out1,
+                        harvest(&session, p1.stats().retries + p2.stats().retries),
+                    ))
                 }
-                Some(&(_, e)) => Err((e, true)),
+                Some(&(_, e)) => Err(e),
             }
+        }
+        Shape::Recover => {
+            let ring = PlanOptions::new().algorithm(Algorithm::Ring);
+            let mut plan = session.plan_allreduce_with(case.len, ReduceOp::Sum, ring);
+            let mut out = vec![0.0f32; case.len];
+            // Phase 1 on the full world: complete or abort with a
+            // structured error — either way every live rank joins the
+            // agreement that follows. Completion is not exemption: a
+            // rank that finished before the crash still has to learn
+            // the world shrank and that the op restarts without the
+            // dead rank's contribution.
+            let (suspects, restart) = match plan.try_execute_into(c, &input, &mut out) {
+                Ok(()) => (Vec::new(), false),
+                Err(e) => {
+                    assert!(plan.is_poisoned(), "an aborted plan must be poisoned");
+                    (dead_suspects(&e), true)
+                }
+            };
+            let r1 = session.recover(c, &suspects, restart)?;
+            if r1.restart() || !r1.dead().is_empty() {
+                plan.recover(&r1)?;
+                let mut sc1 = r1.comm(c)?;
+                // Phase 2 on the shrunk world (restart-on-survivors:
+                // every survivor re-contributes its own input).
+                if let Err(e) = plan.try_execute_into(&mut sc1, &input, &mut out) {
+                    assert!(plan.is_poisoned(), "an aborted plan must be poisoned");
+                    // The crash can land mid-resume (the victim's op
+                    // threshold was crossed only after the first
+                    // agreement); one nested recovery level finishes
+                    // the job — the victim is certainly dead now.
+                    let r2 = r1.session().recover(&mut sc1, &dead_suspects(&e), true)?;
+                    plan.recover(&r2)?;
+                    let mut sc2 = r2.comm(&mut sc1)?;
+                    plan.try_execute_into(&mut sc2, &input, &mut out)?;
+                }
+            }
+            Ok((out, harvest(&session, plan.stats().retries)))
+        }
+        Shape::RecoverPair => {
+            let ring = || PlanOptions::new().algorithm(Algorithm::Ring);
+            let len2 = case.len / 2 + 8;
+            let mut p1 = session.plan_allreduce_with(case.len, ReduceOp::Sum, ring());
+            let mut p2 = session.plan_allreduce_with(len2, ReduceOp::Sum, ring());
+            let input2 = rank_data(c.rank(), len2, case.seed ^ 0x5EED);
+            let mut out1 = vec![0.0f32; case.len];
+            let mut out2 = vec![0.0f32; len2];
+            // Phase 1: both ops in flight on one engine; quiesce
+            // retires everything — completions banked, aborts
+            // collected — before the survivor agreement runs.
+            let (suspects, restart) = {
+                let mut engine = ProgressEngine::new();
+                engine.submit(p1.start(c, &input, &mut out1));
+                engine.submit(p2.start(c, &input2, &mut out2));
+                let (_, failures) = engine.quiesce(c);
+                let mut suspects = Vec::new();
+                for (_, e) in &failures {
+                    suspects.extend(dead_suspects(e));
+                }
+                (suspects, !failures.is_empty())
+            };
+            let r1 = session.recover(c, &suspects, restart)?;
+            if r1.restart() || !r1.dead().is_empty() {
+                p1.recover(&r1)?;
+                p2.recover(&r1)?;
+                let mut sc1 = r1.comm(c)?;
+                // Phase 2: both ops resubmitted on the shrunk world.
+                let failures = {
+                    let mut engine = ProgressEngine::new();
+                    engine.submit(p1.start(&mut sc1, &input, &mut out1));
+                    engine.submit(p2.start(&mut sc1, &input2, &mut out2));
+                    engine.quiesce(&mut sc1).1
+                };
+                if !failures.is_empty() {
+                    // Mid-resume crash: one nested recovery level.
+                    let mut suspects = Vec::new();
+                    for (_, e) in &failures {
+                        suspects.extend(dead_suspects(e));
+                    }
+                    let r2 = r1.session().recover(&mut sc1, &suspects, true)?;
+                    p1.recover(&r2)?;
+                    p2.recover(&r2)?;
+                    let mut sc2 = r2.comm(&mut sc1)?;
+                    let failures = {
+                        let mut engine = ProgressEngine::new();
+                        engine.submit(p1.start(&mut sc2, &input, &mut out1));
+                        engine.submit(p2.start(&mut sc2, &input2, &mut out2));
+                        engine.quiesce(&mut sc2).1
+                    };
+                    if let Some((_, e)) = failures.into_iter().next() {
+                        return Err(e);
+                    }
+                }
+            }
+            out1.extend_from_slice(&out2);
+            Ok((
+                out1,
+                harvest(&session, p1.stats().retries + p2.stats().retries),
+            ))
         }
     }
 }
 
-/// Run one chaos case: reference run, faulty run, classification.
-pub fn run_chaos_case(case: ChaosCase) -> CaseResult {
-    // Reference: same world, same code path, no faults.
-    let reference = SimWorld::with_ranks(case.world).run(move |c| {
-        run_rank(c, case)
-            .map(|(out, _)| out)
-            .expect("fault-free reference run cannot abort")
+/// The fault-free reference outputs, indexed by *old* rank.
+///
+/// For the recover shapes the reference is a fault-free run on the
+/// *shrunk* world — the ranks the faulty run actually killed removed,
+/// each survivor keeping its original (old-rank) input — which is
+/// exactly the restart-on-survivors contract: the dead ranks'
+/// contributions are dropped, everything else re-contributes. Killed
+/// ranks get an empty slot that is never compared.
+fn expected_outputs(case: ChaosCase, killed: &[usize]) -> Vec<Vec<f32>> {
+    if !case.shape.recovers() {
+        // Same world, same code path, no faults.
+        return SimWorld::with_ranks(case.world)
+            .run(move |c| {
+                run_rank(c, case)
+                    .map(|(out, _)| out)
+                    .expect("fault-free reference run cannot abort")
+            })
+            .results;
+    }
+    let survivors: Vec<usize> = (0..case.world).filter(|r| !killed.contains(r)).collect();
+    let n = survivors.len();
+    let sv = survivors.clone();
+    let shrunk = SimWorld::with_ranks(n).run(move |c| {
+        let old = sv[c.rank()];
+        let session = CCollSession::new(case.codec, n);
+        let input = rank_data(old, case.len, case.seed);
+        let mut plan = session.plan_allreduce_with(
+            case.len,
+            ReduceOp::Sum,
+            PlanOptions::new().algorithm(Algorithm::Ring),
+        );
+        let mut out = vec![0.0f32; case.len];
+        plan.try_execute_into(c, &input, &mut out)
+            .expect("fault-free shrunk reference cannot abort");
+        if case.shape == Shape::RecoverPair {
+            let len2 = case.len / 2 + 8;
+            let input2 = rank_data(old, len2, case.seed ^ 0x5EED);
+            let mut p2 = session.plan_allreduce_with(
+                len2,
+                ReduceOp::Sum,
+                PlanOptions::new().algorithm(Algorithm::Ring),
+            );
+            let mut out2 = vec![0.0f32; len2];
+            p2.try_execute_into(c, &input2, &mut out2)
+                .expect("fault-free shrunk reference cannot abort");
+            out.extend_from_slice(&out2);
+        }
+        out
     });
+    let mut expected = vec![Vec::new(); case.world];
+    for (new, &old) in survivors.iter().enumerate() {
+        expected[old] = shrunk.results[new].clone();
+    }
+    expected
+}
 
+/// Run one chaos case: faulty run, reference run, classification.
+pub fn run_chaos_case(case: ChaosCase) -> CaseResult {
     let cfg = SimConfig::new(case.world)
         .with_faults(case.mix.plan(case.seed, case.world))
         .with_fault_policy(case.mix.policy());
     let faulty = match SimWorld::new(cfg).try_run(move |c| match run_rank(c, case) {
-        Ok((out, retries)) => (RankEnd::Done(out), retries),
-        Err((e, poisoned)) => {
-            assert!(poisoned, "an aborted plan must be poisoned");
-            (RankEnd::Aborted(e), 0)
-        }
+        Ok((out, stats)) => (RankEnd::Done(out), stats),
+        Err(e) => (RankEnd::Aborted(e), RankStats::default()),
     }) {
         Ok(out) => out,
         Err(e) => {
@@ -382,11 +634,26 @@ pub fn run_chaos_case(case: ChaosCase) -> CaseResult {
                 aborted: 0,
                 killed: 0,
                 retries: 0,
+                shrinks: 0,
+                agreement_rounds: 0,
+                stale_discarded: 0,
             };
         }
     };
 
+    // The recover shapes are classified against the world the faulty
+    // run actually shrank to, so the killed set comes first.
+    let killed_ranks: Vec<usize> = faulty
+        .results
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.is_killed())
+        .map(|(r, _)| r)
+        .collect();
+    let expected = expected_outputs(case, &killed_ranks);
+
     let (mut completed, mut aborted, mut killed, mut retries) = (0usize, 0usize, 0usize, 0u64);
+    let (mut shrinks, mut agreement_rounds, mut stale_discarded) = (0u64, 0u64, 0u64);
     let mut fp = case.seed ^ 0xC4A0_5C4A_05C4_A05C;
     let mut failure: Option<String> = None;
     for (rank, outcome) in faulty.results.iter().enumerate() {
@@ -398,16 +665,19 @@ pub fn run_chaos_case(case: ChaosCase) -> CaseResult {
                     failure = Some(format!("rank {rank} killed outside a crash mix"));
                 }
             }
-            RankOutcome::Completed((RankEnd::Done(out), r)) => {
+            RankOutcome::Completed((RankEnd::Done(out), st)) => {
                 completed += 1;
-                retries += r;
+                retries += st.retries;
+                shrinks += st.shrinks;
+                agreement_rounds += st.agreement_rounds;
+                stale_discarded += st.stale_discarded;
                 fp = fold(fp, 1);
                 for v in out {
                     fp = fold(fp, u64::from(v.to_bits()));
                 }
                 // Bcast non-root aborts elsewhere can leave this rank's
                 // reference defined; output must still match bitwise.
-                if out != reference.results[rank].as_slice() {
+                if *out != expected[rank] {
                     failure = Some(format!("rank {rank}: silent corruption"));
                 }
             }
@@ -418,6 +688,12 @@ pub fn run_chaos_case(case: ChaosCase) -> CaseResult {
                     failure = Some(format!(
                         "rank {rank}: spurious abort under transient mix: {e}"
                     ));
+                }
+                // A recover shape promises every survivor *completes*
+                // on the shrunk world — under its crash mix an abort
+                // means the recovery flow failed, not the collective.
+                if case.shape.recovers() && case.mix == FaultMix::Crash {
+                    failure = Some(format!("rank {rank}: abort after recovery: {e}"));
                 }
             }
             RankOutcome::Panicked(msg) => {
@@ -431,6 +707,7 @@ pub fn run_chaos_case(case: ChaosCase) -> CaseResult {
 
     let outcome = match &failure {
         Some(why) => format!("FAIL: {why}"),
+        None if case.shape.recovers() && killed > 0 => format!("recovered({killed} dead)"),
         None if aborted > 0 => format!("clean-abort({aborted})"),
         // A crash whose op threshold lies past the end of the schedule
         // never fires: the run is equivalent to fault-free, which is a
@@ -447,6 +724,9 @@ pub fn run_chaos_case(case: ChaosCase) -> CaseResult {
         aborted,
         killed,
         retries,
+        shrinks,
+        agreement_rounds,
+        stale_discarded,
     }
 }
 

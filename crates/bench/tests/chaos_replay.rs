@@ -39,6 +39,10 @@ fn corpus_replays_byte_identical() {
             >= 4,
         "corpus must keep covering the engine-driven concurrent shape"
     );
+    assert!(
+        cases.iter().filter(|(c, _)| c.shape.recovers()).count() >= 4,
+        "corpus must keep covering the kill → shrink → resume shapes"
+    );
     for (case, pinned) in cases {
         let r = run_chaos_case(case);
         assert!(r.pass, "{}: regressed to {}", case.corpus_key(), r.outcome);
@@ -65,6 +69,11 @@ fn same_seed_is_deterministic_within_a_build() {
         // Two engine-driven concurrent allreduces under a crash mix:
         // the interleaved schedule must be just as replayable.
         "78 5 96 ar-pair szx crash",
+        // Kill → survivor agreement → shrink → resume: the whole
+        // recovery pipeline (agreement rounds, epoch purge, re-planned
+        // schedules) must replay bit-for-bit too.
+        "91 6 96 recover lossless crash",
+        "92 5 96 rec-pair szx crash",
     ] {
         let (case, _) = ChaosCase::parse_line(line).expect("valid line");
         let a = run_chaos_case(case);
@@ -73,6 +82,10 @@ fn same_seed_is_deterministic_within_a_build() {
         assert_eq!(
             (a.completed, a.aborted, a.killed, a.retries),
             (b.completed, b.aborted, b.killed, b.retries)
+        );
+        assert_eq!(
+            (a.shrinks, a.agreement_rounds, a.stale_discarded),
+            (b.shrinks, b.agreement_rounds, b.stale_discarded)
         );
         assert!(a.pass, "case must uphold the contract: {}", a.outcome);
     }

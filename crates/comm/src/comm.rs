@@ -138,12 +138,31 @@ pub trait Comm {
         let _ = req;
     }
 
-    /// Drop all of this rank's posted receives and pending inbound
-    /// messages — called once by the collective layer when an
-    /// operation aborts, so a later operation on the same communicator
-    /// cannot match the aborted operation's stale traffic. Default:
-    /// nothing to clean.
+    /// Drop this rank's posted receives and pending inbound messages
+    /// carrying *collective-operation* tags (tags at or above
+    /// [`crate::recover::OP_TAG_FLOOR`], i.e. with plan-slot bits) —
+    /// called once by the collective layer when an operation aborts, so
+    /// a later operation on the same communicator cannot match the
+    /// aborted operation's stale traffic. Control-plane recovery
+    /// traffic (survivor-agreement votes and decisions, shrunk-world
+    /// barriers — tags below the floor) must survive: a coordinator
+    /// whose own collective aborts *after* its voters' must not wipe
+    /// the votes already in its mailbox. Default: nothing to clean.
     fn abort_cleanup(&mut self) {}
+
+    /// Discard this rank's posted receives and undelivered inbound
+    /// messages from a *different shrink epoch* — every entry whose
+    /// tag's epoch field (see [`crate::recover`]) differs from `keep`'s
+    /// — and report how many were discarded. The recovery layer calls
+    /// this when it crosses a shrink epoch: pre-shrink traffic (the
+    /// dead epoch) is purged, while post-shrink messages that faster
+    /// survivors already sent are kept. Default: purges nothing and
+    /// reports zero — correct (a dead-epoch message can never match an
+    /// epoch-stamped receive), just less tidy than a real purge.
+    fn purge_stale(&mut self, keep: Tag) -> u64 {
+        let _ = keep;
+        0
+    }
 
     /// Blocking receive under the world's [`Comm::fault_policy`]: wait
     /// with the per-hop deadline, re-arm a timed-out wait up to

@@ -1,0 +1,70 @@
+//! Fixed-seed hashing for the backend kernel tables.
+//!
+//! The simulator promises run-to-run determinism, and the collective
+//! allocation audit extends that promise to the *allocator*: a warmed
+//! steady-state window must see zero allocator calls. `std`'s
+//! `RandomState` seeds its tables per process, so the exact moment a
+//! churning table exhausts its growth budget (tombstone accumulation)
+//! — and whether the resulting rehash resizes or rehashes in place —
+//! varies from run to run. On rare runs that moved a one-off resize
+//! into the measured window. Kernel tables are keyed by small integers
+//! and integer tuples under no adversarial pressure, so a fixed-seed
+//! splitmix64 fold is deterministic, collision-safe in practice, and
+//! cheaper than SipHash.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// splitmix64 finalizer: a full-avalanche 64-bit mix.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A [`Hasher`] that folds every written word through [`mix`] from a
+/// fixed (zero) initial state — byte-identical across processes.
+#[derive(Default)]
+pub(crate) struct FixedHasher(u64);
+
+impl Hasher for FixedHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        mix(self.0)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.0 = mix(self.0 ^ u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.write_u64(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = mix(self.0 ^ n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+}
+
+/// A `HashMap` with the fixed-seed hasher — the only map type the
+/// backend kernels use for state that lives across collective calls.
+pub(crate) type FixedMap<K, V> = HashMap<K, V, BuildHasherDefault<FixedHasher>>;

@@ -39,8 +39,10 @@
 pub mod chaos;
 pub mod comm;
 pub mod cost;
+pub(crate) mod hash;
 pub mod pool;
 pub mod profile;
+pub mod recover;
 pub mod sim;
 pub mod threaded;
 pub mod time;
@@ -50,6 +52,10 @@ pub use comm::{Comm, RecvReq, SendReq, Tag};
 pub use cost::{CostModel, Kernel, SchedParams, Schedule};
 pub use pool::PayloadPool;
 pub use profile::{Category, FaultCounters, Profiler, TimeBreakdown, TrafficStats};
+pub use recover::{
+    agree_on_failures, epoch_stamp, Agreement, DeadSet, ShrunkComm, EPOCH_FIELD,
+    MAX_RECOVERY_WORLD, OP_TAG_FLOOR,
+};
 pub use sim::{
     DeadlockReport, NetModel, RankOutcome, SimConfig, SimError, SimRunOutput, SimWorld,
     UndeliveredMsg, WaitEdge,

@@ -1,0 +1,680 @@
+//! ULFM-style recovery primitives: survivor agreement and communicator
+//! shrink.
+//!
+//! When a rank dies mid-collective (a seeded [`crate::KillSpec`] on the
+//! simulator, a crashed thread on the threaded backend), PR 7's fault
+//! layer turns the hang into a structured
+//! [`CommError::PeerDead`]/[`CommError::Timeout`] abort. This module is
+//! the next step: the survivors *continue*.
+//!
+//! * [`agree_on_failures`] — a fault-tolerant agreement vote by which
+//!   every live rank converges on an **identical** [`DeadSet`] (and a
+//!   shared restart flag), even when ranks enter with different local
+//!   suspicions and even when further ranks die *during* the vote.
+//! * [`ShrunkComm`] — a communicator wrapper that re-forms the world
+//!   over the survivors with **dense re-ranking** and stamps a shrink
+//!   **epoch** into every tag, so stale pre-shrink messages can never
+//!   match post-shrink traffic.
+//!
+//! ## The agreement protocol
+//!
+//! A coordinator-based two-phase vote (the shape of Open MPI's ULFM
+//! agreement, radically simplified by this codebase's failure model —
+//! fail-stop rank death, eventually-accurate [`Comm::peer_alive`]):
+//!
+//! 1. Every rank seeds its local dead-set from the caller's suspicions
+//!    plus a `peer_alive` scan, then elects the **lowest believed-live
+//!    rank** as coordinator.
+//! 2. Non-coordinators send their vote (dead-set mask + restart flag)
+//!    to the coordinator and await its decision. The coordinator
+//!    gathers one vote from every rank it believes live, OR-folding the
+//!    masks; a vote that never arrives within the (generous) timeout
+//!    budget marks that rank dead. It then broadcasts the decision.
+//! 3. If the coordinator itself dies (observed as `PeerDead`/timeout on
+//!    the decision wait), the waiter marks it dead and re-runs the
+//!    round — the next-lowest survivor coordinates. Each restart
+//!    strictly grows the dead-set, so the protocol terminates in at
+//!    most `size` rounds.
+//!
+//! The decision is whatever mask the deciding coordinator broadcasts,
+//! so every rank that returns `Ok` holds a bit-identical dead-set. A
+//! rank that finds *itself* in the decided set (it was silent past the
+//! budget — the ULFM "you were excluded" case) gets
+//! `Err(CommError::PeerDead { peer: self })` and must not enter the
+//! shrunk world.
+//!
+//! ## Tag layout under shrink
+//!
+//! ```text
+//! bit 31..22   per-plan slot   (op_base, PR 8)
+//! bit 21..17   shrink epoch    (this module: (epoch-1) % 31 + 1; 0 = never shrunk)
+//! bit 16       op start generation (op_base, PR 8)
+//! bit 15..0    schedule tag (0x1000..0xD000 collective streams,
+//!              0xE000..0xEFFF reserved for agreement votes,
+//!              0xE800.. for the shrunk barrier)
+//! ```
+//!
+//! The epoch field is what makes "discard stale messages" free: a
+//! pre-shrink payload still in flight carries the old epoch bits and
+//! simply never matches a post-shrink receive. [`ShrunkComm::new`]
+//! additionally purges what is already queued for this rank *from the
+//! dead epoch* — and only from the dead epoch: survivors cross the
+//! shrink at different times, so new-epoch messages from faster peers
+//! may already be queued and must survive ([`Comm::purge_stale`]).
+
+use std::fmt;
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use crate::chaos::{CommError, FaultPolicy};
+use crate::comm::{Comm, RecvReq, SendReq, Tag};
+use crate::cost::Kernel;
+use crate::profile::{Category, Profiler};
+use crate::time::SimTime;
+
+/// Largest world the recovery layer supports (the dead-set is a
+/// fixed-width 128-bit mask — the paper's full node count).
+pub const MAX_RECOVERY_WORLD: usize = 128;
+
+/// Epoch stamp field: bits 17..22 of the tag space (between `op_base`'s
+/// start-generation bit 16 and slot bits 22..32).
+const EPOCH_SHIFT: u32 = 17;
+/// The tag bits holding the shrink-epoch stamp. Backends use this to
+/// purge dead-epoch traffic ([`Comm::purge_stale`]): a message is stale
+/// exactly when its epoch field differs from the current epoch's.
+pub const EPOCH_FIELD: Tag = 0x1F << EPOCH_SHIFT;
+
+/// The lowest tag carrying plan-slot bits: every collective-operation
+/// tag is at or above this (the session's `op_base` always sets a
+/// nonzero slot in bits 22..32), and every control-plane recovery tag
+/// (agreement votes/decisions, shrunk barriers) is below it. This is
+/// the boundary [`Comm::abort_cleanup`] purges against — op traffic is
+/// dropped, in-flight recovery traffic survives the abort.
+pub const OP_TAG_FLOOR: Tag = 1 << 22;
+
+/// Reserved schedule-tag range for the agreement vote. Never composed
+/// with a plan's `op_base`, and disambiguated across repeated
+/// recoveries by the epoch field of the tag.
+const AGREE_TAG_BASE: Tag = 0xE000;
+/// Reserved schedule-tag base for [`ShrunkComm::barrier`]'s
+/// point-to-point dissemination.
+const BARRIER_TAG_BASE: Tag = 0xE800;
+
+/// The tag stamp for shrink `epoch` (≥ 1): a nonzero 5-bit field, so
+/// epoch-stamped traffic can never match never-shrunk (epoch-0)
+/// traffic. Wraps at 31 epochs — by then no epoch-1 message survives.
+pub fn epoch_stamp(epoch: u32) -> Tag {
+    assert!(epoch >= 1, "epoch 0 is the never-shrunk world");
+    (((epoch - 1) % 31 + 1) << EPOCH_SHIFT) as Tag
+}
+
+/// A set of dead ranks, in the rank space of the communicator the
+/// agreement ran on. Fixed-width bitmask; worlds up to
+/// [`MAX_RECOVERY_WORLD`] ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct DeadSet(u128);
+
+impl DeadSet {
+    /// The empty set.
+    pub const EMPTY: DeadSet = DeadSet(0);
+
+    /// Build a set from an iterator of dead ranks.
+    ///
+    /// # Panics
+    /// Panics if a rank is ≥ [`MAX_RECOVERY_WORLD`].
+    pub fn from_ranks<I: IntoIterator<Item = usize>>(ranks: I) -> Self {
+        let mut s = DeadSet::EMPTY;
+        for r in ranks {
+            s.insert(r);
+        }
+        s
+    }
+
+    /// Mark `rank` dead.
+    ///
+    /// # Panics
+    /// Panics if `rank` is ≥ [`MAX_RECOVERY_WORLD`].
+    pub fn insert(&mut self, rank: usize) {
+        assert!(rank < MAX_RECOVERY_WORLD, "rank {rank} out of range");
+        self.0 |= 1u128 << rank;
+    }
+
+    /// Whether `rank` is in the set.
+    pub fn contains(&self, rank: usize) -> bool {
+        rank < MAX_RECOVERY_WORLD && self.0 & (1u128 << rank) != 0
+    }
+
+    /// Number of dead ranks.
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether no rank is dead.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Union with another set.
+    pub fn union(self, other: DeadSet) -> DeadSet {
+        DeadSet(self.0 | other.0)
+    }
+
+    /// Iterate the dead ranks in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        let bits = self.0;
+        (0..MAX_RECOVERY_WORLD).filter(move |r| bits & (1u128 << r) != 0)
+    }
+
+    fn to_le_bytes(self) -> [u8; 16] {
+        self.0.to_le_bytes()
+    }
+
+    fn from_le_bytes(b: [u8; 16]) -> Self {
+        DeadSet(u128::from_le_bytes(b))
+    }
+}
+
+impl fmt::Display for DeadSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, r) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// The outcome of a successful [`agree_on_failures`] vote: identical on
+/// every rank that returns `Ok`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Agreement {
+    /// The agreed set of dead ranks (in the voting communicator's rank
+    /// space).
+    pub dead: DeadSet,
+    /// How many coordinator rounds this rank needed (1 unless a
+    /// coordinator died mid-vote).
+    pub rounds: u32,
+    /// Whether any voter requested a restart (its collective aborted
+    /// mid-flight, so survivors must re-run it even if their own copy
+    /// completed).
+    pub restart: bool,
+}
+
+/// Vote payload: 16-byte dead mask + 1 flag byte (bit 0 = restart).
+fn encode_vote(dead: DeadSet, restart: bool) -> Bytes {
+    let mut buf = [0u8; 17];
+    buf[..16].copy_from_slice(&dead.to_le_bytes());
+    buf[16] = u8::from(restart);
+    Bytes::copy_from_slice(&buf)
+}
+
+fn decode_vote(payload: &[u8]) -> Option<(DeadSet, bool)> {
+    let mask: [u8; 16] = payload.get(..16)?.try_into().ok()?;
+    Some((DeadSet::from_le_bytes(mask), *payload.get(16)? & 1 != 0))
+}
+
+/// The per-hop patience the agreement uses when the communicator has no
+/// active [`FaultPolicy`] of its own: without *some* deadline the vote
+/// could hang on a rank that died before the protocol started.
+fn effective_policy<C: Comm>(comm: &C) -> FaultPolicy {
+    let p = comm.fault_policy();
+    if p.is_active() {
+        p
+    } else {
+        FaultPolicy::with_timeout(Duration::from_millis(2), 8)
+    }
+}
+
+/// Wait for one protocol message with a bounded number of re-armed
+/// timeouts. Unlike [`Comm::wait_recv_retry_in`], the attempt budget is
+/// a parameter (the decision wait must outlast a coordinator that is
+/// itself spending its timeout budget on dead voters), and exhaustion
+/// cancels the posted receive.
+fn wait_vote<C: Comm>(
+    comm: &mut C,
+    req: RecvReq,
+    per_hop: Duration,
+    attempts: u32,
+) -> Result<Bytes, CommError> {
+    let mut req = req;
+    let mut tries = 0u32;
+    loop {
+        match comm.wait_recv_timeout_in(req, Some(per_hop), Category::Others) {
+            Ok(payload) => return Ok(payload),
+            Err((r, CommError::Timeout { .. })) if tries + 1 < attempts => {
+                tries += 1;
+                comm.profiler().note_timeout();
+                comm.profiler().note_retry();
+                req = r;
+            }
+            Err((r, err)) => {
+                if matches!(err, CommError::Timeout { .. }) {
+                    comm.profiler().note_timeout();
+                }
+                comm.cancel_recv(r);
+                return Err(err);
+            }
+        }
+    }
+}
+
+/// Fault-tolerant survivor agreement (see the module docs for the
+/// protocol). Collective over every live rank of `comm`: each passes
+/// its locally suspected dead ranks (`suspects` — ranks it *knows*
+/// dead, e.g. from a [`CommError::PeerDead`]; do **not** pass mere
+/// timeout sources) and whether its own collective aborted
+/// (`restart`). Every rank that returns `Ok` holds an identical
+/// [`Agreement`].
+///
+/// `epoch` is the shrink epoch this agreement is deciding **for** (1
+/// for the first recovery on a communicator) — it keeps repeated
+/// recoveries' votes from cross-matching.
+///
+/// # Errors
+/// `Err(CommError::PeerDead { peer: my_rank })` when the vote decided
+/// this rank is dead (it was silent past every budget — it must not
+/// join the shrunk world). `Err(CommError::Timeout { .. })` when every
+/// candidate coordinator was exhausted without a decision.
+///
+/// # Panics
+/// Panics if the world exceeds [`MAX_RECOVERY_WORLD`] ranks.
+pub fn agree_on_failures<C: Comm>(
+    comm: &mut C,
+    epoch: u32,
+    suspects: DeadSet,
+    restart: bool,
+) -> Result<Agreement, CommError> {
+    let n = comm.size();
+    let me = comm.rank();
+    assert!(
+        n <= MAX_RECOVERY_WORLD,
+        "agreement supports at most {MAX_RECOVERY_WORLD} ranks"
+    );
+    // Tag pair for this epoch's vote. The epoch field keeps a second
+    // recovery's votes from matching a first recovery's stragglers
+    // (composed with the arithmetic epoch%8 field so even an
+    // already-epoch-stamped communicator stays unambiguous).
+    let vote_tag: Tag = AGREE_TAG_BASE + (epoch % 8) * 4;
+    let decide_tag: Tag = vote_tag + 1;
+
+    let policy = effective_policy(comm);
+    let per_hop = policy.hop_timeout.expect("effective policy is active");
+    // A silent *live* rank is at worst stuck in a prior collective's
+    // blocking wait, which the policy bounds at (retries+1) hops —
+    // give voters twice that before presuming death.
+    let vote_attempts = (policy.max_retries + 1) * 2;
+    // The coordinator may spend its full vote budget on every dead
+    // rank before deciding; the decision wait must outlast all of it.
+    let decide_attempts = vote_attempts * n as u32;
+
+    let mut dead = suspects;
+    for r in 0..n {
+        if r != me && !comm.peer_alive(r) {
+            dead.insert(r);
+        }
+    }
+    let mut restart = restart;
+    if n == 1 {
+        return Ok(Agreement {
+            dead,
+            rounds: 0,
+            restart,
+        });
+    }
+
+    let mut rounds = 0u32;
+    let mut last_err = None;
+    while rounds < n as u32 {
+        rounds += 1;
+        let Some(coord) = (0..n).find(|r| !dead.contains(*r)) else {
+            break;
+        };
+        if coord == me {
+            // Gather one vote from every rank I believe live; silence
+            // past the budget marks the voter dead. Votes are eager
+            // sends, so gathering sequentially loses nothing.
+            for r in (0..n).filter(|&r| r != me) {
+                if dead.contains(r) {
+                    continue;
+                }
+                let req = comm.irecv(r, vote_tag);
+                match wait_vote(comm, req, per_hop, vote_attempts) {
+                    Ok(payload) => {
+                        if let Some((mask, rs)) = decode_vote(&payload) {
+                            dead = dead.union(mask);
+                            restart |= rs;
+                        }
+                    }
+                    Err(CommError::PeerDead { peer }) => dead.insert(peer),
+                    Err(_) => dead.insert(r),
+                }
+            }
+            // An aborted collective is implied whenever someone died.
+            restart |= !dead.is_empty();
+            let decision = encode_vote(dead, restart);
+            for r in (0..n).filter(|&r| r != me && !dead.contains(r)) {
+                comm.isend(r, decide_tag, decision.clone());
+            }
+            return Ok(Agreement {
+                dead,
+                rounds,
+                restart,
+            });
+        }
+        // Voter: send my state to the coordinator, await its decision.
+        comm.isend(coord, vote_tag, encode_vote(dead, restart));
+        let req = comm.irecv(coord, decide_tag);
+        match wait_vote(comm, req, per_hop, decide_attempts) {
+            Ok(payload) => {
+                let Some((mask, rs)) = decode_vote(&payload) else {
+                    return Err(CommError::Timeout {
+                        src: coord,
+                        tag: decide_tag,
+                        waited: Duration::ZERO,
+                    });
+                };
+                if mask.contains(me) {
+                    // The vote decided *I* am dead: excluded.
+                    return Err(CommError::PeerDead { peer: me });
+                }
+                return Ok(Agreement {
+                    dead: mask,
+                    rounds,
+                    restart: rs,
+                });
+            }
+            Err(err) => {
+                // Coordinator died (or was silent past the full
+                // budget): mark it and re-run with the next survivor.
+                dead.insert(coord);
+                last_err = Some(err);
+            }
+        }
+    }
+    Err(last_err.unwrap_or(CommError::Timeout {
+        src: me,
+        tag: decide_tag,
+        waited: Duration::ZERO,
+    }))
+}
+
+/// A communicator re-formed over the survivors of a [`DeadSet`], with
+/// dense re-ranking and an epoch stamped into every tag (see the
+/// module docs for the layout). Wraps any [`Comm`] by mutable borrow,
+/// so recoveries nest: shrinking twice yields
+/// `ShrunkComm<'_, ShrunkComm<'_, C>>`.
+///
+/// Rank translation: survivor `i` (in ascending old-rank order)
+/// becomes rank `i` of the shrunk world. All [`Comm`] methods speak
+/// new-rank ids; errors from the inner communicator are translated
+/// back into the shrunk rank space.
+pub struct ShrunkComm<'a, C: Comm> {
+    inner: &'a mut C,
+    /// Dense map: new rank → old (inner) rank.
+    members: Vec<usize>,
+    /// My rank in the shrunk world.
+    rank: usize,
+    /// The shrink epoch (≥ 1 relative to the inner communicator).
+    epoch: u32,
+    stamp: Tag,
+    /// Stale pre-shrink messages discarded at construction.
+    purged: u64,
+    /// Monotone per-barrier counter (disambiguates nothing on the
+    /// wire — barriers are strictly ordered — kept for debugging).
+    barriers: u64,
+}
+
+impl<'a, C: Comm> ShrunkComm<'a, C> {
+    /// Re-form `inner`'s world over the survivors of `dead`, entering
+    /// shrink epoch `epoch` (1 for a first shrink; a nested shrink of
+    /// an epoch-`e` world passes `e + 1`). Purges this rank's stale
+    /// *dead-epoch* traffic — entries whose tag's epoch field differs
+    /// from the new epoch's stamp; messages a faster survivor already
+    /// sent into the new epoch are kept — and records the discarded
+    /// count ([`ShrunkComm::stale_discarded`]).
+    ///
+    /// # Errors
+    /// `Err(CommError::PeerDead { peer })` when this rank is itself in
+    /// `dead` (an excluded rank must not enter the shrunk world).
+    ///
+    /// # Panics
+    /// Panics if `dead` covers the whole world.
+    pub fn new(inner: &'a mut C, dead: DeadSet, epoch: u32) -> Result<Self, CommError> {
+        let me = inner.rank();
+        if dead.contains(me) {
+            return Err(CommError::PeerDead { peer: me });
+        }
+        let members: Vec<usize> = (0..inner.size()).filter(|r| !dead.contains(*r)).collect();
+        assert!(!members.is_empty(), "shrink must leave at least one rank");
+        let rank = members
+            .iter()
+            .position(|&r| r == me)
+            .expect("own rank survives");
+        let purged = inner.purge_stale(epoch_stamp(epoch));
+        Ok(ShrunkComm {
+            inner,
+            members,
+            rank,
+            epoch,
+            stamp: epoch_stamp(epoch),
+            purged,
+            barriers: 0,
+        })
+    }
+
+    /// The shrink epoch this communicator stamps into tags.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// How many stale pre-shrink messages (posted receives and queued
+    /// undelivered payloads) were discarded when this rank crossed the
+    /// epoch.
+    pub fn stale_discarded(&self) -> u64 {
+        self.purged
+    }
+
+    /// The old (inner) rank of shrunk-world `rank`.
+    pub fn old_rank_of(&self, rank: usize) -> usize {
+        self.members[rank]
+    }
+
+    /// The shrunk-world rank of old (inner) rank `old`, if it
+    /// survived.
+    pub fn new_rank_of(&self, old: usize) -> Option<usize> {
+        self.members.iter().position(|&r| r == old)
+    }
+
+    /// The inner communicator (old rank space). The recovery layer
+    /// uses this to run a *nested* agreement when another rank dies
+    /// after a shrink.
+    pub fn inner_mut(&mut self) -> &mut C {
+        self.inner
+    }
+
+    fn translate_err(&self, err: CommError) -> CommError {
+        match err {
+            CommError::Timeout { src, tag, waited } => CommError::Timeout {
+                src: self.new_rank_of(src).unwrap_or(src),
+                tag: tag & !EPOCH_FIELD,
+                waited,
+            },
+            CommError::PeerDead { peer } => CommError::PeerDead {
+                peer: self.new_rank_of(peer).unwrap_or(peer),
+            },
+        }
+    }
+}
+
+impl<C: Comm> Comm for ShrunkComm<'_, C> {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    fn isend(&mut self, dst: usize, tag: Tag, payload: Bytes) -> SendReq {
+        let dst = self.members[dst];
+        self.inner.isend(dst, tag | self.stamp, payload)
+    }
+
+    fn irecv(&mut self, src: usize, tag: Tag) -> RecvReq {
+        let src = self.members[src];
+        self.inner.irecv(src, tag | self.stamp)
+    }
+
+    fn wait_send_in(&mut self, req: SendReq, cat: Category) {
+        self.inner.wait_send_in(req, cat);
+    }
+
+    fn wait_recv_in(&mut self, req: RecvReq, cat: Category) -> Bytes {
+        self.inner.wait_recv_in(req, cat)
+    }
+
+    fn test_recv(&mut self, req: &RecvReq) -> bool {
+        self.inner.test_recv(req)
+    }
+
+    fn test_send(&mut self, req: &SendReq) -> bool {
+        self.inner.test_send(req)
+    }
+
+    fn poll(&mut self) {
+        self.inner.poll();
+    }
+
+    /// Synchronize the *survivors* only. The inner barrier would wait
+    /// on dead ranks forever, so the shrunk world runs its own
+    /// epoch-stamped point-to-point dissemination: everyone checks in
+    /// with shrunk rank 0, which then releases everyone.
+    fn barrier(&mut self) {
+        self.barriers += 1;
+        let n = self.size();
+        if n <= 1 {
+            return;
+        }
+        let token = Bytes::from_static(&[0xB7]);
+        if self.rank == 0 {
+            for r in 1..n {
+                let req = self.irecv(r, BARRIER_TAG_BASE);
+                let payload = self.wait_recv_in(req, Category::Others);
+                debug_assert_eq!(payload.len(), 1);
+            }
+            for r in 1..n {
+                let req = self.isend(r, BARRIER_TAG_BASE + 1, token.clone());
+                self.wait_send_in(req, Category::Others);
+            }
+        } else {
+            let sr = self.isend(0, BARRIER_TAG_BASE, token);
+            self.wait_send_in(sr, Category::Others);
+            let rr = self.irecv(0, BARRIER_TAG_BASE + 1);
+            let payload = self.wait_recv_in(rr, Category::Others);
+            debug_assert_eq!(payload.len(), 1);
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        self.inner.now()
+    }
+
+    fn charge_duration(&mut self, d: Duration, cat: Category) {
+        self.inner.charge_duration(d, cat);
+    }
+
+    fn kernel_cost(&self, kernel: Kernel, bytes: usize) -> Duration {
+        self.inner.kernel_cost(kernel, bytes)
+    }
+
+    fn profiler(&mut self) -> &mut Profiler {
+        self.inner.profiler()
+    }
+
+    fn wait_recv_timeout_in(
+        &mut self,
+        req: RecvReq,
+        timeout: Option<Duration>,
+        cat: Category,
+    ) -> Result<Bytes, (RecvReq, CommError)> {
+        self.inner
+            .wait_recv_timeout_in(req, timeout, cat)
+            .map_err(|(r, e)| (r, self.translate_err(e)))
+    }
+
+    fn peer_alive(&mut self, rank: usize) -> bool {
+        let old = self.members[rank];
+        self.inner.peer_alive(old)
+    }
+
+    fn fault_policy(&self) -> FaultPolicy {
+        self.inner.fault_policy()
+    }
+
+    fn cancel_recv(&mut self, req: RecvReq) {
+        self.inner.cancel_recv(req);
+    }
+
+    fn abort_cleanup(&mut self) {
+        self.inner.abort_cleanup();
+    }
+
+    fn purge_stale(&mut self, keep: Tag) -> u64 {
+        // Compose the stamps: the inner backend sees this level's epoch
+        // bits OR'd onto every tag, so a nested shrink's keep-stamp
+        // must carry them too.
+        self.inner.purge_stale(keep | self.stamp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dead_set_basics() {
+        let mut s = DeadSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(3);
+        s.insert(127);
+        assert!(s.contains(3) && s.contains(127) && !s.contains(4));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 127]);
+        assert_eq!(s.to_string(), "{3,127}");
+        let t = DeadSet::from_ranks([4]);
+        assert_eq!(s.union(t).len(), 3);
+        assert_eq!(DeadSet::from_le_bytes(s.to_le_bytes()), s);
+    }
+
+    #[test]
+    fn vote_payload_round_trips() {
+        let s = DeadSet::from_ranks([0, 9, 64]);
+        for restart in [false, true] {
+            let enc = encode_vote(s, restart);
+            assert_eq!(decode_vote(&enc), Some((s, restart)));
+        }
+        assert_eq!(decode_vote(&[0u8; 3]), None);
+    }
+
+    #[test]
+    fn epoch_stamp_is_nonzero_and_wraps() {
+        assert_eq!(epoch_stamp(1), 1 << EPOCH_SHIFT);
+        assert_eq!(epoch_stamp(31), 31 << EPOCH_SHIFT);
+        assert_eq!(epoch_stamp(32), 1 << EPOCH_SHIFT);
+        for e in 1..=64 {
+            let s = epoch_stamp(e);
+            assert_ne!(s, 0, "epoch {e} must be distinguishable from epoch 0");
+            assert_eq!(s & !EPOCH_FIELD, 0, "stamp stays in its field");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch 0")]
+    fn epoch_zero_rejected() {
+        let _ = epoch_stamp(0);
+    }
+}

@@ -29,7 +29,10 @@
 //!
 //! Events are ordered by `(virtual time, creation sequence)`; ties resolve
 //! by creation order, which is itself deterministic because only one rank
-//! runs at a time. If every live rank is blocked and no event is
+//! runs at a time. Kernel tables hash with a fixed
+//! seed (`crate::hash`), so even their *growth* pattern — and therefore the
+//! allocator behavior the collective allocation audit pins — is
+//! byte-identical across processes. If every live rank is blocked and no event is
 //! scheduled, the kernel builds a structured [`DeadlockReport`] (the
 //! blocked rank/source/tag wait graph); [`SimWorld::run`] panics with it
 //! rendered (the historical behavior, kept for `#[should_panic]` tests)
@@ -46,6 +49,8 @@
 use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use crate::hash::FixedMap;
 use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
@@ -337,12 +342,12 @@ struct KState {
     /// rank mid-charge at the wrong virtual time.
     epoch: Vec<u64>,
     heap: BinaryHeap<Reverse<(u64, u64, usize, u64)>>,
-    queues: HashMap<(usize, usize, Tag), MatchQueue>,
-    assignments: HashMap<u64, Assignment>,
-    req_meta: HashMap<u64, ReqMeta>,
-    send_done: HashMap<u64, u64>,
+    queues: FixedMap<(usize, usize, Tag), MatchQueue>,
+    assignments: FixedMap<u64, Assignment>,
+    req_meta: FixedMap<u64, ReqMeta>,
+    send_done: FixedMap<u64, u64>,
     /// Rank → request id it is parked on (no heap entry).
-    blocked_recv: HashMap<usize, u64>,
+    blocked_recv: FixedMap<usize, u64>,
     egress_free: Vec<u64>,
     ingress_free: Vec<u64>,
     barrier: BarrierSt,
@@ -354,7 +359,7 @@ struct KState {
     /// Ranks crashed by the fault plan.
     killed: Vec<bool>,
     /// Per-edge message counters (fault schedule index).
-    edge_seq: HashMap<(usize, usize, Tag), u64>,
+    edge_seq: FixedMap<(usize, usize, Tag), u64>,
     /// Messages permanently lost by the fault plan.
     lost: u64,
     breakdowns: Vec<TimeBreakdown>,
@@ -710,26 +715,34 @@ impl SimKernel {
         Self::deregister_recv(&mut g, req);
     }
 
-    /// Drop all of `me`'s posted receives and pending inbound
-    /// messages (the collective abort path): a later operation must
-    /// not match the aborted operation's stale traffic.
-    fn purge_rank(&self, me: usize) {
+    /// Drop `me`'s posted receives and pending inbound messages whose
+    /// tag the `stale` predicate condemns. The collective abort path
+    /// condemns op-tagged traffic (a later operation must not match
+    /// the aborted operation's messages) while sparing control-plane
+    /// recovery traffic; the shrink path condemns dead-epoch tags
+    /// while sparing new-epoch messages faster survivors already sent.
+    /// Returns how many posted receives and undelivered messages were
+    /// discarded.
+    fn purge_rank<F: Fn(Tag) -> bool>(&self, me: usize, stale: F) -> u64 {
         let mut g = self.state.lock();
         let mine: Vec<u64> = g
             .req_meta
             .iter()
-            .filter(|(_, m)| m.dst == me)
+            .filter(|(_, m)| m.dst == me && stale(m.tag))
             .map(|(&r, _)| r)
             .collect();
+        let mut purged = mine.len() as u64;
         for req in mine {
             Self::deregister_recv(&mut g, req);
         }
-        for ((_, dst, _), q) in g.queues.iter_mut() {
-            if *dst == me {
+        for ((_, dst, tag), q) in g.queues.iter_mut() {
+            if *dst == me && stale(*tag) {
+                purged += q.msgs.len() as u64;
                 q.msgs.clear();
             }
         }
         g.blocked_recv.remove(&me);
+        purged
     }
 
     fn is_killed(&self, rank: usize) -> bool {
@@ -880,11 +893,11 @@ impl SimWorld {
                     }
                     h
                 },
-                queues: HashMap::new(),
-                assignments: HashMap::new(),
-                req_meta: HashMap::new(),
-                send_done: HashMap::new(),
-                blocked_recv: HashMap::new(),
+                queues: FixedMap::default(),
+                assignments: FixedMap::default(),
+                req_meta: FixedMap::default(),
+                send_done: FixedMap::default(),
+                blocked_recv: FixedMap::default(),
                 egress_free: vec![0; n],
                 ingress_free: vec![0; n],
                 barrier: BarrierSt::default(),
@@ -892,7 +905,7 @@ impl SimWorld {
                 ops: vec![0; n],
                 charges: vec![0; n],
                 killed: vec![false; n],
-                edge_seq: HashMap::new(),
+                edge_seq: FixedMap::default(),
                 lost: 0,
                 breakdowns: vec![TimeBreakdown::new(); n],
                 traffics: vec![TrafficStats::default(); n],
@@ -1166,7 +1179,15 @@ impl Comm for SimComm {
     }
 
     fn abort_cleanup(&mut self) {
-        self.kernel.purge_rank(self.rank);
+        self.kernel
+            .purge_rank(self.rank, |tag| tag >= crate::recover::OP_TAG_FLOOR);
+    }
+
+    fn purge_stale(&mut self, keep: Tag) -> u64 {
+        let keep = keep & crate::recover::EPOCH_FIELD;
+        self.kernel.purge_rank(self.rank, move |tag| {
+            tag & crate::recover::EPOCH_FIELD != keep
+        })
     }
 }
 #[cfg(test)]

@@ -11,14 +11,28 @@
 //! in FIFO order. Multiple *outstanding* receives posted by one rank for
 //! the same `(source, tag)` complete in posting order. These are the MPI
 //! ordering guarantees the collectives rely on.
+//!
+//! ## Fault path
+//!
+//! A world built with [`ThreadWorld::with_fault_policy`] arms the same
+//! fallible surface the simulator exposes: blocking receives honor real
+//! wall-clock deadlines ([`Comm::wait_recv_timeout_in`]), a rank can
+//! declare itself crashed ([`ThreadComm::mark_self_dead`]) — waking every
+//! blocked peer so receives from it fail fast with
+//! [`CommError::PeerDead`] — and the barrier releases survivors once all
+//! *live* ranks have arrived. This is what lets the recovery stack
+//! (survivor agreement, communicator shrink) run under genuine
+//! concurrency rather than only in virtual time.
 
-use std::collections::HashMap;
+use crate::hash::FixedMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
 
+use crate::chaos::{CommError, FaultPolicy};
 use crate::comm::{Comm, RecvReq, SendReq, Tag};
 use crate::cost::Kernel;
 use crate::profile::{Category, Profiler, TimeBreakdown, TrafficStats};
@@ -27,13 +41,22 @@ use crate::time::SimTime;
 /// One rank's mailbox: per-`(src, tag)` FIFO queues.
 #[derive(Default)]
 struct Mailbox {
-    queues: Mutex<HashMap<(usize, Tag), std::collections::VecDeque<Bytes>>>,
+    queues: Mutex<FixedMap<(usize, Tag), std::collections::VecDeque<Bytes>>>,
     signal: Condvar,
+}
+
+/// Barrier bookkeeping: ranks arrived this generation, the generation
+/// counter waiters key on, and how many ranks have died (a dead rank
+/// never arrives, so it counts toward release permanently).
+struct BarrierInner {
+    arrived: usize,
+    generation: u64,
+    dead: usize,
 }
 
 /// Barrier state shared by all ranks.
 struct BarrierState {
-    count: Mutex<(usize, u64)>, // (arrived, generation)
+    count: Mutex<BarrierInner>,
     signal: Condvar,
 }
 
@@ -42,6 +65,10 @@ struct Shared {
     mailboxes: Vec<Mailbox>,
     barrier: BarrierState,
     epoch: Instant,
+    /// Crash flags, one per rank, set by [`ThreadComm::mark_self_dead`].
+    killed: Vec<AtomicBool>,
+    /// Per-hop timeout/retry budget reported by [`Comm::fault_policy`].
+    policy: FaultPolicy,
 }
 
 /// A world of `size` ranks communicating over real threads.
@@ -85,17 +112,34 @@ impl ThreadWorld {
     /// # Panics
     /// Panics if `size == 0`.
     pub fn new(size: usize) -> Self {
+        Self::with_fault_policy(size, FaultPolicy::NONE)
+    }
+
+    /// Create a world with `size` ranks whose communicators report
+    /// `policy` from [`Comm::fault_policy`], arming the collective
+    /// layer's timeout/retry/abort machinery on real threads.
+    ///
+    /// # Panics
+    /// Panics if `size == 0`.
+    pub fn with_fault_policy(size: usize, policy: FaultPolicy) -> Self {
         assert!(size > 0, "world needs at least one rank");
         let mailboxes = (0..size).map(|_| Mailbox::default()).collect();
+        let killed = (0..size).map(|_| AtomicBool::new(false)).collect();
         ThreadWorld {
             shared: Arc::new(Shared {
                 size,
                 mailboxes,
                 barrier: BarrierState {
-                    count: Mutex::new((0, 0)),
+                    count: Mutex::new(BarrierInner {
+                        arrived: 0,
+                        generation: 0,
+                        dead: 0,
+                    }),
                     signal: Condvar::new(),
                 },
                 epoch: Instant::now(),
+                killed,
+                policy,
             }),
         }
     }
@@ -123,7 +167,7 @@ impl ThreadWorld {
                             shared,
                             profiler: Profiler::enabled(),
                             next_req: 0,
-                            pending_recvs: HashMap::new(),
+                            pending_recvs: FixedMap::default(),
                         };
                         let out = f(&mut comm);
                         let traffic = comm.profiler.traffic();
@@ -158,7 +202,7 @@ pub struct ThreadComm {
     next_req: u64,
     /// Outstanding receives: request id → (src, tag), and an optional
     /// already-claimed payload (claimed by a successful `test_recv`).
-    pending_recvs: HashMap<u64, PendingRecv>,
+    pending_recvs: FixedMap<u64, PendingRecv>,
 }
 
 struct PendingRecv {
@@ -180,8 +224,96 @@ impl ThreadComm {
             if let Some(msg) = q.get_mut(&(src, tag)).and_then(|v| v.pop_front()) {
                 return msg;
             }
+            // An infallible wait on a crashed peer can never complete;
+            // failing loudly beats hanging the test harness. Fault-aware
+            // callers go through `wait_recv_timeout_in` instead, which
+            // reports the death as a structured error.
+            assert!(
+                !self.shared.killed[src].load(Ordering::SeqCst),
+                "rank {} blocked forever: peer rank {src} is dead and no \
+                 message (src {src}, tag {tag}) remains",
+                self.rank
+            );
             mb.signal.wait(&mut q);
         }
+    }
+
+    /// Blocking pop with an optional wall-clock deadline and dead-peer
+    /// detection. Returns the structured reason when the wait cannot
+    /// (or did not in time) complete.
+    fn deadline_pop(
+        &self,
+        src: usize,
+        tag: Tag,
+        timeout: Option<Duration>,
+    ) -> Result<Bytes, CommError> {
+        let mb = &self.shared.mailboxes[self.rank];
+        let t0 = Instant::now();
+        let mut q = mb.queues.lock();
+        loop {
+            if let Some(msg) = q.get_mut(&(src, tag)).and_then(|v| v.pop_front()) {
+                return Ok(msg);
+            }
+            // Check death *after* draining: a message delivered before
+            // the crash is still deliverable.
+            if self.shared.killed[src].load(Ordering::SeqCst) {
+                return Err(CommError::PeerDead { peer: src });
+            }
+            match timeout {
+                None => mb.signal.wait(&mut q),
+                Some(t) => {
+                    let waited = t0.elapsed();
+                    if waited >= t {
+                        return Err(CommError::Timeout { src, tag, waited });
+                    }
+                    let _ = mb.signal.wait_for(&mut q, t - waited);
+                }
+            }
+        }
+    }
+
+    /// Declare this rank crashed. Every peer blocked on a receive from
+    /// this rank wakes and observes [`CommError::PeerDead`] (on the
+    /// fault-aware wait paths), and the barrier stops counting this rank
+    /// toward release — including a generation already in progress.
+    ///
+    /// The rank's communicator stays usable only for draining state; a
+    /// real crash is modeled by the rank thread returning right after
+    /// this call.
+    pub fn mark_self_dead(&mut self) {
+        self.shared.killed[self.rank].store(true, Ordering::SeqCst);
+        for mb in &self.shared.mailboxes {
+            mb.signal.notify_all();
+        }
+        let b = &self.shared.barrier;
+        let mut guard = b.count.lock();
+        guard.dead += 1;
+        if guard.arrived > 0 && guard.arrived + guard.dead >= self.shared.size {
+            guard.arrived = 0;
+            guard.generation += 1;
+            b.signal.notify_all();
+        }
+    }
+
+    /// Drop every posted receive and every undelivered inbound message
+    /// whose tag the predicate marks stale, returning how many of each
+    /// were discarded (summed). Entries with non-stale tags survive —
+    /// recovery control traffic must outlive a collective's abort, and
+    /// new-epoch traffic must outlive an epoch crossing.
+    fn purge<F: Fn(Tag) -> bool>(&mut self, stale: F) -> u64 {
+        let before = self.pending_recvs.len();
+        self.pending_recvs.retain(|_, p| !stale(p.tag));
+        let mut discarded = (before - self.pending_recvs.len()) as u64;
+        let mut q = self.shared.mailboxes[self.rank].queues.lock();
+        q.retain(|(_, tag), v| {
+            if stale(*tag) {
+                discarded += v.len() as u64;
+                false
+            } else {
+                true
+            }
+        });
+        discarded
     }
 }
 
@@ -270,14 +402,14 @@ impl Comm for ThreadComm {
     fn barrier(&mut self) {
         let b = &self.shared.barrier;
         let mut guard = b.count.lock();
-        let gen = guard.1;
-        guard.0 += 1;
-        if guard.0 == self.shared.size {
-            guard.0 = 0;
-            guard.1 += 1;
+        let gen = guard.generation;
+        guard.arrived += 1;
+        if guard.arrived + guard.dead >= self.shared.size {
+            guard.arrived = 0;
+            guard.generation += 1;
             b.signal.notify_all();
         } else {
-            while guard.1 == gen {
+            while guard.generation == gen {
                 b.signal.wait(&mut guard);
             }
         }
@@ -297,6 +429,63 @@ impl Comm for ThreadComm {
 
     fn profiler(&mut self) -> &mut Profiler {
         &mut self.profiler
+    }
+
+    fn wait_recv_timeout_in(
+        &mut self,
+        req: RecvReq,
+        timeout: Option<Duration>,
+        cat: Category,
+    ) -> Result<Bytes, (RecvReq, CommError)> {
+        let pending = self
+            .pending_recvs
+            .remove(&req.id)
+            .expect("wait on unknown or already-completed receive");
+        if let Some(msg) = pending.claimed {
+            return Ok(msg);
+        }
+        let (src, tag) = (pending.src, pending.tag);
+        let t0 = Instant::now();
+        let outcome = self.deadline_pop(src, tag, timeout);
+        self.profiler.add(cat, t0.elapsed());
+        match outcome {
+            Ok(msg) => Ok(msg),
+            Err(err) => {
+                // Hand the request back still posted: a message that
+                // arrives later (or was in flight) can complete it on a
+                // retry.
+                self.pending_recvs.insert(
+                    req.id,
+                    PendingRecv {
+                        src,
+                        tag,
+                        claimed: None,
+                    },
+                );
+                Err((req, err))
+            }
+        }
+    }
+
+    fn peer_alive(&mut self, rank: usize) -> bool {
+        !self.shared.killed[rank].load(Ordering::SeqCst)
+    }
+
+    fn fault_policy(&self) -> FaultPolicy {
+        self.shared.policy
+    }
+
+    fn cancel_recv(&mut self, req: RecvReq) {
+        self.pending_recvs.remove(&req.id);
+    }
+
+    fn abort_cleanup(&mut self) {
+        self.purge(|tag| tag >= crate::recover::OP_TAG_FLOOR);
+    }
+
+    fn purge_stale(&mut self, keep: Tag) -> u64 {
+        let keep = keep & crate::recover::EPOCH_FIELD;
+        self.purge(move |tag| tag & crate::recover::EPOCH_FIELD != keep)
     }
 }
 
@@ -471,6 +660,127 @@ mod tests {
         });
         let waited = out.breakdowns[1].get(Category::Wait);
         assert!(waited >= Duration::from_millis(10), "waited {waited:?}");
+    }
+
+    #[test]
+    fn dead_peer_fails_receive_with_structured_error() {
+        let world = ThreadWorld::with_fault_policy(
+            3,
+            FaultPolicy::with_timeout(Duration::from_millis(50), 2),
+        );
+        let out = world.run(|c| {
+            if c.rank() == 2 {
+                c.mark_self_dead();
+                return "dead".to_string();
+            }
+            let req = c.irecv(2, 9);
+            match c.wait_recv_retry_in(req, Category::Wait) {
+                Ok(_) => "unexpected payload".to_string(),
+                Err(e) => e.to_string(),
+            }
+        });
+        assert_eq!(out.results[2], "dead");
+        for r in 0..2 {
+            assert_eq!(out.results[r], "peer rank 2 is dead", "rank {r}");
+        }
+    }
+
+    #[test]
+    fn receive_deadline_elapses_into_timeout() {
+        let world = ThreadWorld::with_fault_policy(
+            2,
+            FaultPolicy::with_timeout(Duration::from_millis(15), 0),
+        );
+        let out = world.run(|c| {
+            if c.rank() == 0 {
+                return (true, Duration::ZERO);
+            }
+            let req = c.irecv(0, 7);
+            match c.wait_recv_timeout_in(req, Some(Duration::from_millis(15)), Category::Wait) {
+                Ok(_) => (false, Duration::ZERO),
+                Err((r, CommError::Timeout { src, tag, waited })) => {
+                    assert_eq!((src, tag), (0, 7));
+                    c.cancel_recv(r);
+                    (true, waited)
+                }
+                Err((_, other)) => panic!("unexpected error {other}"),
+            }
+        });
+        assert!(out.results[1].0, "expected a timeout");
+        assert!(out.results[1].1 >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn message_delivered_before_crash_still_deliverable() {
+        let world = ThreadWorld::with_fault_policy(
+            2,
+            FaultPolicy::with_timeout(Duration::from_millis(50), 1),
+        );
+        let out = world.run(|c| {
+            if c.rank() == 0 {
+                c.isend(1, 3, Bytes::from_static(b"last words"));
+                c.mark_self_dead();
+                return Vec::new();
+            }
+            // Drain the delivered message even though the sender is dead...
+            let req = c.irecv(0, 3);
+            let first = c
+                .wait_recv_retry_in(req, Category::Wait)
+                .expect("delivered before the crash")
+                .to_vec();
+            // ...and only the *next* receive observes the death.
+            let req = c.irecv(0, 3);
+            assert!(matches!(
+                c.wait_recv_retry_in(req, Category::Wait),
+                Err(CommError::PeerDead { peer: 0 })
+            ));
+            first
+        });
+        assert_eq!(out.results[1], b"last words");
+    }
+
+    #[test]
+    fn barrier_releases_survivors_after_death() {
+        let world = ThreadWorld::with_fault_policy(
+            3,
+            FaultPolicy::with_timeout(Duration::from_millis(50), 0),
+        );
+        let out = world.run(|c| {
+            if c.rank() == 2 {
+                // Give the survivors a chance to arrive first so the
+                // mid-generation release path is exercised sometimes.
+                std::thread::sleep(Duration::from_millis(5));
+                c.mark_self_dead();
+                return 0usize;
+            }
+            c.barrier();
+            c.barrier(); // survivors can keep synchronizing
+            1usize
+        });
+        assert_eq!(out.results, vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn purge_counts_posted_receives_and_undelivered_messages() {
+        let world = ThreadWorld::new(2);
+        let out = world.run(|c| {
+            if c.rank() == 0 {
+                for i in 0..3u8 {
+                    c.isend(1, 9, Bytes::from(vec![i]));
+                }
+                c.send(1, 1, Bytes::from_static(b"go"));
+                return 0;
+            }
+            // The tag-1 receive completing guarantees the three tag-9
+            // messages (sent earlier by the same thread) are deposited.
+            let _ = c.recv(0, 1);
+            let _r1 = c.irecv(0, 7);
+            let _r2 = c.irecv(0, 7);
+            // Tags 7 and 9 carry no epoch stamp (field 0), so purging
+            // relative to epoch 1 discards all five entries.
+            c.purge_stale(crate::recover::epoch_stamp(1))
+        });
+        assert_eq!(out.results[1], 2 + 3);
     }
 
     #[test]

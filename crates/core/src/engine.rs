@@ -53,7 +53,7 @@
 //! assert!(out.results.iter().all(|&(a, b)| a == 6.0 && b == 4.0));
 //! ```
 
-use ccoll_comm::Comm;
+use ccoll_comm::{Comm, SimTime};
 
 use crate::nonblocking::Poll;
 use crate::session::{
@@ -369,6 +369,75 @@ impl<'p, 'b> ProgressEngine<'p, 'b> {
             }
         }
         Ok(completed)
+    }
+
+    /// Drive until `comm`'s clock reaches `deadline` or every live
+    /// operation has completed, whichever comes first. Returns how many
+    /// operations completed. The application's overlap loop calls this
+    /// with "the moment my next compute slice must start": the engine
+    /// soaks up exactly the idle window, no more.
+    ///
+    /// Runs nonblocking passes like [`Self::wait_all`] (with the same
+    /// blocking fallback when a pass completes nothing, so time
+    /// advances even on a backend whose clock only moves inside waits);
+    /// the deadline is checked between slices, so the call can overrun
+    /// by at most one blocking wait.
+    ///
+    /// # Panics
+    /// Panics if an operation aborts on an unrecoverable fault (use
+    /// [`Self::try_progress`]/[`Self::quiesce`] under a fault policy).
+    pub fn progress_until<C: Comm>(&mut self, comm: &mut C, deadline: SimTime) -> usize {
+        let mut completed = 0;
+        while self.live > 0 && comm.now() < deadline {
+            let n = match self.try_progress(comm) {
+                Ok(n) => n,
+                Err((id, e)) => {
+                    panic!("operation {id:?} aborted: {e}; its plan is poisoned (reset() to reuse)")
+                }
+            };
+            completed += n;
+            if n == 0 && self.live > 0 && comm.now() < deadline {
+                completed += match self.block_oldest(comm) {
+                    Ok(n) => n,
+                    Err((id, e)) => panic!(
+                        "operation {id:?} aborted: {e}; its plan is poisoned (reset() to reuse)"
+                    ),
+                };
+            }
+        }
+        completed
+    }
+
+    /// Drain *every* live operation, collecting per-operation failures
+    /// instead of stopping at the first: completions are counted,
+    /// aborted operations are retired with their error (each poisons
+    /// its own plan, like [`Self::try_progress`]). This is the
+    /// recovery-path companion of [`Self::try_wait_all`] — after a rank
+    /// death, every operation whose traffic involved the dead rank
+    /// aborts, and the caller wants all of them retired (and all the
+    /// survivors' completions banked) before running the survivor
+    /// agreement and resubmitting on the shrunk world.
+    ///
+    /// The returned `Vec` allocates; quiesce is a recovery action, not
+    /// a steady-state one.
+    pub fn quiesce<C: Comm>(&mut self, comm: &mut C) -> (usize, Vec<(OpId, CollectiveError)>) {
+        let mut completed = 0;
+        let mut failures = Vec::new();
+        while self.live > 0 {
+            match self.try_progress(comm) {
+                Ok(n) => {
+                    completed += n;
+                    if n == 0 && self.live > 0 {
+                        match self.block_oldest(comm) {
+                            Ok(n) => completed += n,
+                            Err(f) => failures.push(f),
+                        }
+                    }
+                }
+                Err(f) => failures.push(f),
+            }
+        }
+        (completed, failures)
     }
 
     /// One blocking work slice on the oldest live operation (the

@@ -246,6 +246,76 @@
 //! replays a pinned regression corpus in CI; see DESIGN.md's "Fault
 //! model & deterministic chaos".
 //!
+//! ## Recover and continue after a rank dies
+//!
+//! A clean abort is only half the story: when a rank is *permanently*
+//! dead, the survivors can agree on who died
+//! ([`CCollSession::recover`] runs a coordinator-based survivor
+//! agreement), shrink the world (a [`Recovery`] densely re-ranks the
+//! survivors and stamps a new epoch into every tag), re-plan their
+//! collectives in place ([`AllreducePlan::recover`](session::AllreducePlan::recover)
+//! reuses the plan's buffers), and resume on the shrunk communicator.
+//! The dead rank's contribution is gone — survivors re-contribute and
+//! complete bitwise-equal to a fault-free run on the smaller world:
+//!
+//! ```
+//! use c_coll::{Algorithm, CCollSession, CodecSpec, CollectiveError, PlanOptions, ReduceOp};
+//! use ccoll_comm::{Comm, CommError, FaultPlan, FaultPolicy, RankOutcome, SimConfig, SimWorld};
+//! use std::time::Duration;
+//!
+//! let n = 4;
+//! let len = 48;
+//! let victim = 2;
+//! // Seed a permanent rank death mid-collective; the policy bounds
+//! // every hop so survivors abort instead of hanging.
+//! let cfg = SimConfig::new(n)
+//!     .with_faults(FaultPlan::seeded(7).with_kill(victim, 2))
+//!     .with_fault_policy(FaultPolicy::with_timeout(Duration::from_millis(1), 2));
+//! let out = SimWorld::new(cfg)
+//!     .try_run(move |comm| {
+//!         let session = CCollSession::new(CodecSpec::None, n);
+//!         let mut plan = session.plan_allreduce_with(
+//!             len,
+//!             ReduceOp::Sum,
+//!             PlanOptions::new().algorithm(Algorithm::Ring),
+//!         );
+//!         let input = vec![comm.rank() as f32; len];
+//!         let mut out = vec![0.0f32; len];
+//!         // Phase 1 aborts on the survivors when the victim dies.
+//!         let (suspects, restart) = match plan.try_execute_into(comm, &input, &mut out) {
+//!             Ok(()) => (Vec::new(), false),
+//!             Err(CollectiveError::Comm(CommError::PeerDead { peer })) => (vec![peer], true),
+//!             // Timeouts alone are congestion, not proof of death: pass
+//!             // no suspects and let the liveness scan name the victim.
+//!             Err(_) => (Vec::new(), true),
+//!         };
+//!         // Survivor agreement: every live rank converges on the SAME
+//!         // dead-set (and on whether anyone needs a restart).
+//!         let r = session.recover(comm, &suspects, restart).expect("agreement converges");
+//!         assert!(r.dead().contains(victim));
+//!         plan.recover(&r).expect("re-plan for the shrunk world");
+//!         let mut sc = r.comm(comm).expect("survivor side of the shrink");
+//!         plan.try_execute_into(&mut sc, &input, &mut out)
+//!             .expect("resume on the survivors");
+//!         out[0]
+//!     })
+//!     .expect("no deadlock");
+//! // Survivors hold the shrunk-world sum 0 + 1 + 3 — rank 2's data died with it.
+//! for (rank, outcome) in out.results.iter().enumerate() {
+//!     match outcome {
+//!         RankOutcome::Completed(sum) => assert_eq!(*sum, 4.0),
+//!         RankOutcome::Killed => assert_eq!(rank, victim),
+//!         RankOutcome::Panicked(m) => panic!("rank {rank}: {m}"),
+//!     }
+//! }
+//! ```
+//!
+//! After recovery the zero-allocation steady state re-establishes
+//! itself on the shrunk communicator (the `collective_alloc` audit
+//! pins this), and the session's [`SessionStats`] report the shrink
+//! and agreement-round counts. See DESIGN.md's "Recovery &
+//! communicator shrink" for the protocol and the tag-epoch layout.
+//!
 //! ## Migrating from the one-shot API
 //!
 //! The pre-session facade ([`CColl`]) survives as a thin compatibility
@@ -286,7 +356,7 @@ pub use nonblocking::Poll;
 pub use session::{
     AllgatherHandle, AllgatherPlan, AllreduceHandle, AllreducePlan, AlltoallHandle, AlltoallPlan,
     BcastHandle, BcastPlan, CCollSession, CollectiveError, GatherHandle, GatherPlan, PlanStats,
-    ReduceHandle, ReducePlan, ReduceScatterHandle, ReduceScatterPlan, ScatterHandle, ScatterPlan,
-    SessionStats,
+    Recovery, ReduceHandle, ReducePlan, ReduceScatterHandle, ReduceScatterPlan, ScatterHandle,
+    ScatterPlan, SessionStats,
 };
 pub use workspace::CollWorkspace;

@@ -47,7 +47,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use ccoll_comm::{Comm, CommError, CostModel, FaultCounters, NetModel, PayloadPool, Tag};
+use ccoll_comm::{
+    agree_on_failures, Comm, CommError, CostModel, DeadSet, FaultCounters, NetModel, PayloadPool,
+    ShrunkComm, Tag,
+};
 
 use crate::algorithm::{reject_unsupported, Algorithm, PlanOptions, SelectCtx};
 use crate::api::AllreduceVariant;
@@ -105,6 +108,11 @@ pub struct CCollSession {
     /// concurrently must therefore be created in the same order on
     /// every rank (the same rule collective calls already obey).
     next_slot: Cell<u32>,
+    /// Shrink epoch: 0 for a freshly created session, incremented by
+    /// each [`CCollSession::recover`]. Stamped into every wire tag by
+    /// the [`ShrunkComm`] the recovery hands out, so pre-shrink traffic
+    /// can never match post-shrink receives.
+    epoch: u32,
 }
 
 /// Session-owned measured-performance state, shared by every plan the
@@ -138,6 +146,17 @@ struct SessionFeedback {
     /// decremented when the operation's handle is dropped (whether it
     /// completed, aborted, or was abandoned mid-operation).
     live_ops: AtomicU64,
+    /// Communicator shrinks performed through [`CCollSession::recover`]
+    /// (each successful survivor agreement counts once, even when the
+    /// agreed dead-set turned out empty — the epoch still advanced).
+    shrinks: AtomicU64,
+    /// Survivor-agreement coordinator rounds summed across shrinks (one
+    /// round per coordinator tried; >1 means a coordinator died
+    /// mid-agreement).
+    agreement_rounds: AtomicU64,
+    /// Dead-epoch messages and stale posted receives discarded when a
+    /// shrunk communicator purged pre-shrink traffic.
+    stale_discarded: AtomicU64,
 }
 
 impl SessionFeedback {
@@ -203,6 +222,15 @@ pub struct SessionStats {
     pub timeouts: u64,
     /// Executions that aborted on an unrecoverable fault.
     pub aborts: u64,
+    /// Communicator shrinks performed through [`CCollSession::recover`]
+    /// (zero on any fault-free session — recovery costs nothing unless
+    /// entered).
+    pub shrinks: u64,
+    /// Survivor-agreement coordinator rounds summed across shrinks.
+    pub agreement_rounds: u64,
+    /// Dead-epoch messages and stale posted receives discarded when
+    /// shrunk communicators purged pre-shrink traffic.
+    pub stale_discarded: u64,
 }
 
 /// Measured per-execution statistics a plan accumulates (see
@@ -233,6 +261,9 @@ pub struct PlanStats {
     pub timeouts: u64,
     /// Executions of this plan that aborted on an unrecoverable fault.
     pub aborts: u64,
+    /// Communicator shrinks this plan has been re-planned through (see
+    /// the plan's `recover` method).
+    pub shrinks: u64,
 }
 
 impl PlanStats {
@@ -321,6 +352,7 @@ impl CCollSession {
             net: NetModel::default(),
             feedback: Arc::new(SessionFeedback::default()),
             next_slot: Cell::new(0),
+            epoch: 0,
         }
     }
 
@@ -382,6 +414,88 @@ impl CCollSession {
         self.world_size
     }
 
+    /// The shrink epoch this session plans for: 0 for a freshly created
+    /// session, incremented by each [`CCollSession::recover`].
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Recover from rank death: run the survivor agreement over `comm`,
+    /// converge with every live rank on an identical dead-set, and
+    /// return a [`Recovery`] describing the shrunk world — a new
+    /// session planned for the survivors (sharing this session's
+    /// measured-performance feedback, so statistics carry across the
+    /// shrink) plus the dead-set/epoch needed to build the
+    /// [`ShrunkComm`] every post-recovery operation runs on.
+    ///
+    /// `suspects` seeds the agreement with the ranks this rank already
+    /// observed dead (the peers named by [`CommError::PeerDead`] from
+    /// the aborted operation — **not** mere timeouts, which may be
+    /// congestion). `restart` declares that this rank's last operation
+    /// aborted; the agreement ORs it across survivors so ranks whose
+    /// operation completed before the failure still learn they must
+    /// re-run it on the shrunk world (restart-on-survivors semantics —
+    /// see the [`ccoll_comm::recover`] module docs).
+    ///
+    /// Every surviving rank must call `recover` with the same epoch
+    /// history (i.e. the same number of prior recoveries), like any
+    /// collective. The poisoned plans themselves are revived afterwards
+    /// with their `recover(&Recovery)` methods. Any abort reason still
+    /// parked on the communicator's profiler is drained first, so a
+    /// post-recovery operation cannot spuriously observe a pre-shrink
+    /// failure.
+    ///
+    /// Returns the structured error when this rank itself is in the
+    /// agreed dead-set (it must stop participating) or when the
+    /// agreement could not complete inside its timeout budget.
+    pub fn recover<C: Comm>(
+        &self,
+        comm: &mut C,
+        suspects: &[usize],
+        restart: bool,
+    ) -> Result<Recovery, CollectiveError> {
+        check_world(comm, self.world_size);
+        let _ = comm.profiler().take_error();
+        let epoch = self.epoch + 1;
+        let mut suspect_set = DeadSet::EMPTY;
+        for &s in suspects {
+            if s < self.world_size {
+                suspect_set.insert(s);
+            }
+        }
+        let agreement =
+            agree_on_failures(comm, epoch, suspect_set, restart).map_err(CollectiveError::Comm)?;
+        let members: Vec<usize> = (0..self.world_size)
+            .filter(|&r| !agreement.dead.contains(r))
+            .collect();
+        let session = CCollSession {
+            spec: self.spec,
+            pipe_values: self.pipe_values,
+            world_size: members.len(),
+            cpr: self.cpr.clone(),
+            cost: self.cost.clone(),
+            net: self.net,
+            feedback: Arc::clone(&self.feedback),
+            // Carrying the slot counter forward keeps post-recovery
+            // plan creation consistent across survivors that allocated
+            // the same plans pre-shrink.
+            next_slot: Cell::new(self.next_slot.get()),
+            epoch,
+        };
+        self.feedback.shrinks.fetch_add(1, Ordering::Relaxed);
+        self.feedback
+            .agreement_rounds
+            .fetch_add(u64::from(agreement.rounds), Ordering::Relaxed);
+        Ok(Recovery {
+            session,
+            dead: agreement.dead,
+            members,
+            epoch,
+            rounds: agreement.rounds,
+            restart: agreement.restart,
+        })
+    }
+
     /// The compression ratio measured across this session's plan
     /// executions (an exponentially weighted running average), if any
     /// compression has run yet. This is the feedback [`Algorithm::Auto`]
@@ -406,6 +520,9 @@ impl CCollSession {
             retries: self.feedback.retries.load(Ordering::Relaxed),
             timeouts: self.feedback.timeouts.load(Ordering::Relaxed),
             aborts: self.feedback.aborts.load(Ordering::Relaxed),
+            shrinks: self.feedback.shrinks.load(Ordering::Relaxed),
+            agreement_rounds: self.feedback.agreement_rounds.load(Ordering::Relaxed),
+            stale_discarded: self.feedback.stale_discarded.load(Ordering::Relaxed),
         }
     }
 
@@ -976,7 +1093,106 @@ impl std::fmt::Debug for CCollSession {
             .field("spec", &self.spec)
             .field("pipe_values", &self.pipe_values)
             .field("world_size", &self.world_size)
+            .field("epoch", &self.epoch)
             .finish()
+    }
+}
+
+/// The outcome of one communicator shrink (see [`CCollSession::recover`]):
+/// the agreed dead-set, the new shrink epoch, and a session re-planned
+/// for the dense survivor world. Hand each poisoned plan to its
+/// `recover(&Recovery)` method to re-plan it, and wrap the underlying
+/// communicator with [`Recovery::comm`] for every post-shrink operation.
+#[derive(Debug)]
+pub struct Recovery {
+    session: CCollSession,
+    dead: DeadSet,
+    /// Survivors' pre-shrink ranks in ascending order; index = new rank.
+    members: Vec<usize>,
+    epoch: u32,
+    rounds: u32,
+    restart: bool,
+}
+
+impl Recovery {
+    /// The session planned for the shrunk world. It shares the original
+    /// session's measured-performance feedback (statistics carry across
+    /// the shrink) and carries the new epoch.
+    pub fn session(&self) -> &CCollSession {
+        &self.session
+    }
+
+    /// The agreed dead-set, in pre-shrink rank numbering.
+    pub fn dead(&self) -> DeadSet {
+        self.dead
+    }
+
+    /// The shrink epoch survivors now operate under.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Coordinator rounds the survivor agreement needed (1 unless a
+    /// coordinator died mid-agreement).
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// Whether any survivor's pre-shrink operation aborted, i.e. the
+    /// operation must be re-run on the shrunk world even by ranks whose
+    /// own execution completed.
+    pub fn restart(&self) -> bool {
+        self.restart
+    }
+
+    /// Number of surviving ranks (the shrunk world size).
+    pub fn survivors(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Translate a pre-shrink rank to its dense post-shrink rank
+    /// (`None` for dead ranks).
+    pub fn new_rank_of(&self, old: usize) -> Option<usize> {
+        self.members.binary_search(&old).ok()
+    }
+
+    /// Translate a post-shrink rank back to its pre-shrink rank.
+    ///
+    /// # Panics
+    /// Panics if `new` is out of range for the shrunk world.
+    pub fn old_rank_of(&self, new: usize) -> usize {
+        self.members[new]
+    }
+
+    /// Project per-rank counts (indexed by pre-shrink rank) onto the
+    /// survivors, in post-shrink rank order — how an allgatherv's
+    /// layout shrinks when dead ranks' contributions are dropped.
+    ///
+    /// # Panics
+    /// Panics if `counts` is shorter than the pre-shrink world.
+    pub fn surviving_counts(&self, counts: &[usize]) -> Vec<usize> {
+        self.members.iter().map(|&old| counts[old]).collect()
+    }
+
+    /// Wrap the pre-shrink communicator as the shrunk world: survivors
+    /// get dense ranks, every wire tag carries the new epoch, and all
+    /// stale pre-shrink traffic is purged (counted into the session's
+    /// recovery statistics). Build one wrapper per recovery and run all
+    /// post-shrink operations through it.
+    ///
+    /// Returns [`CollectiveError::Comm`] with
+    /// [`CommError::PeerDead`] naming this rank if it is in the agreed
+    /// dead-set.
+    pub fn comm<'a, C: Comm>(
+        &self,
+        inner: &'a mut C,
+    ) -> Result<ShrunkComm<'a, C>, CollectiveError> {
+        let sc = ShrunkComm::new(inner, self.dead, self.epoch).map_err(CollectiveError::Comm)?;
+        self.session
+            .feedback
+            .stale_discarded
+            .fetch_add(sc.stale_discarded(), Ordering::Relaxed);
+        Ok(sc)
     }
 }
 
@@ -1150,10 +1366,28 @@ impl AllreducePlan {
 
     /// Clear the poisoned state after an aborted execution, making the
     /// plan usable again. The aborted operation's partial results are
-    /// discarded; fault counters accrued so far stay in [`PlanStats`].
+    /// discarded (the workspace is scrubbed); fault counters accrued so
+    /// far stay in [`PlanStats`]. Communicator-side leftovers need
+    /// [`Self::reset_in`].
     pub fn reset(&mut self) {
+        self.ws.abort();
         self.poisoned = None;
         self.in_flight = false;
+    }
+
+    /// Like [`Self::reset`], but also scrubs communicator-side leftovers
+    /// of the aborted operation: posted receives and undelivered inbound
+    /// messages are dropped and an abort reason still parked on the
+    /// profiler is drained — state the comm-free `reset` cannot reach.
+    /// Use this form when the operation's handle was dropped without
+    /// observing its error (the [`CollectiveError::Abandoned`] path),
+    /// which leaves both behind; a later operation on the same
+    /// communicator would otherwise spuriously abort on the stale parked
+    /// error or match the abandoned operation's traffic.
+    pub fn reset_in<C: Comm>(&mut self, comm: &mut C) {
+        let _ = comm.profiler().take_error();
+        comm.abort_cleanup();
+        self.reset();
     }
 
     /// Abort bookkeeping after an unrecoverable fault: scrub transport
@@ -1245,6 +1479,40 @@ impl AllreducePlan {
             return Err(CollectiveError::Poisoned);
         }
         self.start(comm, input, out).try_complete(comm)
+    }
+
+    /// Re-plan for the shrunk world after a communicator shrink (see
+    /// [`CCollSession::recover`]): the plan's partition, worst-case
+    /// sizes and workspace are rebuilt for `r.session()`'s world, its
+    /// poison is cleared, and its statistics carry over (with the
+    /// shrink counted). `Auto` plans re-resolve their schedule for the
+    /// shrunk world and become eligible for a fresh post-warm-up
+    /// re-rank. Every surviving rank must recover its plans in the same
+    /// order (the usual plan-creation discipline). Dead ranks'
+    /// reduction contributions are dropped: the recovered plan computes
+    /// the survivors' allreduce (restart-on-survivors semantics).
+    pub fn recover(&mut self, r: &Recovery) -> Result<(), CollectiveError> {
+        let s = r.session();
+        let fresh = if self.auto {
+            s.plan_allreduce_with(self.len, self.op, PlanOptions::new())
+        } else if self.algorithm == Algorithm::Ring {
+            s.plan_allreduce_variant(self.len, self.op, self.variant)
+        } else {
+            s.plan_allreduce_with(
+                self.len,
+                self.op,
+                PlanOptions::new().algorithm(self.algorithm),
+            )
+        };
+        self.session = fresh.session;
+        self.algorithm = fresh.algorithm;
+        self.variant = fresh.variant;
+        self.ws = fresh.ws;
+        self.reranked = false;
+        self.poisoned = None;
+        self.in_flight = false;
+        self.stats.shrinks += 1;
+        Ok(())
     }
 
     /// The resolved schedule's state machine (ND — CPR-P2P
@@ -1540,10 +1808,28 @@ impl AllgatherPlan {
 
     /// Clear the poisoned state after an aborted execution, making the
     /// plan usable again. The aborted operation's partial results are
-    /// discarded; fault counters accrued so far stay in [`PlanStats`].
+    /// discarded (the workspace is scrubbed); fault counters accrued so
+    /// far stay in [`PlanStats`]. Communicator-side leftovers need
+    /// [`Self::reset_in`].
     pub fn reset(&mut self) {
+        self.ws.abort();
         self.poisoned = None;
         self.in_flight = false;
+    }
+
+    /// Like [`Self::reset`], but also scrubs communicator-side leftovers
+    /// of the aborted operation: posted receives and undelivered inbound
+    /// messages are dropped and an abort reason still parked on the
+    /// profiler is drained — state the comm-free `reset` cannot reach.
+    /// Use this form when the operation's handle was dropped without
+    /// observing its error (the [`CollectiveError::Abandoned`] path),
+    /// which leaves both behind; a later operation on the same
+    /// communicator would otherwise spuriously abort on the stale parked
+    /// error or match the abandoned operation's traffic.
+    pub fn reset_in<C: Comm>(&mut self, comm: &mut C) {
+        let _ = comm.profiler().take_error();
+        comm.abort_cleanup();
+        self.reset();
     }
 
     /// Abort bookkeeping after an unrecoverable fault: scrub transport
@@ -1582,6 +1868,33 @@ impl AllgatherPlan {
             self.algorithm = algorithm;
             self.ws = self.session.warmed_workspace(max_chunk, 4);
         }
+    }
+
+    /// Re-plan for the shrunk world after a communicator shrink (see
+    /// [`CCollSession::recover`]): the dead ranks' contributions are
+    /// dropped from the gathered layout ([`Recovery::surviving_counts`]),
+    /// the workspace is rebuilt, poison is cleared, and statistics carry
+    /// over (with the shrink counted). `Auto` plans re-resolve their
+    /// schedule for the shrunk world. Every surviving rank must recover
+    /// its plans in the same order (the usual plan-creation discipline).
+    pub fn recover(&mut self, r: &Recovery) -> Result<(), CollectiveError> {
+        let counts = r.surviving_counts(&self.counts);
+        let opts = if self.auto {
+            PlanOptions::new()
+        } else {
+            PlanOptions::new().algorithm(self.algorithm)
+        };
+        let fresh = r.session().plan_allgatherv_with(&counts, opts);
+        self.session = fresh.session;
+        self.counts = fresh.counts;
+        self.total = fresh.total;
+        self.algorithm = fresh.algorithm;
+        self.ws = fresh.ws;
+        self.reranked = false;
+        self.poisoned = None;
+        self.in_flight = false;
+        self.stats.shrinks += 1;
+        Ok(())
     }
 
     fn machine(&self) -> AgPlanMachine {
@@ -1851,10 +2164,28 @@ impl ReduceScatterPlan {
 
     /// Clear the poisoned state after an aborted execution, making the
     /// plan usable again. The aborted operation's partial results are
-    /// discarded; fault counters accrued so far stay in [`PlanStats`].
+    /// discarded (the workspace is scrubbed); fault counters accrued so
+    /// far stay in [`PlanStats`]. Communicator-side leftovers need
+    /// [`Self::reset_in`].
     pub fn reset(&mut self) {
+        self.ws.abort();
         self.poisoned = None;
         self.in_flight = false;
+    }
+
+    /// Like [`Self::reset`], but also scrubs communicator-side leftovers
+    /// of the aborted operation: posted receives and undelivered inbound
+    /// messages are dropped and an abort reason still parked on the
+    /// profiler is drained — state the comm-free `reset` cannot reach.
+    /// Use this form when the operation's handle was dropped without
+    /// observing its error (the [`CollectiveError::Abandoned`] path),
+    /// which leaves both behind; a later operation on the same
+    /// communicator would otherwise spuriously abort on the stale parked
+    /// error or match the abandoned operation's traffic.
+    pub fn reset_in<C: Comm>(&mut self, comm: &mut C) {
+        let _ = comm.profiler().take_error();
+        comm.abort_cleanup();
+        self.reset();
     }
 
     /// Abort bookkeeping after an unrecoverable fault: scrub transport
@@ -1868,6 +2199,23 @@ impl ReduceScatterPlan {
         self.session.feedback.record_faults(delta);
         self.in_flight = false;
         self.poisoned = Some(e);
+    }
+
+    /// Re-plan for the shrunk world after a communicator shrink (see
+    /// [`CCollSession::recover`]): the balanced partition and workspace
+    /// are rebuilt for `r.session()`'s world, poison is cleared, and
+    /// statistics carry over (with the shrink counted). Dead ranks'
+    /// reduction contributions are dropped (restart-on-survivors).
+    /// Every surviving rank must recover its plans in the same order.
+    pub fn recover(&mut self, r: &Recovery) -> Result<(), CollectiveError> {
+        let fresh = r.session().plan_reduce_scatter(self.len, self.op);
+        self.session = fresh.session;
+        self.counts = fresh.counts;
+        self.ws = fresh.ws;
+        self.poisoned = None;
+        self.in_flight = false;
+        self.stats.shrinks += 1;
+        Ok(())
     }
 
     /// The schedule's compression placement as a state-machine mode
@@ -2133,10 +2481,28 @@ impl BcastPlan {
 
     /// Clear the poisoned state after an aborted execution, making the
     /// plan usable again. The aborted operation's partial results are
-    /// discarded; fault counters accrued so far stay in [`PlanStats`].
+    /// discarded (the workspace is scrubbed); fault counters accrued so
+    /// far stay in [`PlanStats`]. Communicator-side leftovers need
+    /// [`Self::reset_in`].
     pub fn reset(&mut self) {
+        self.ws.abort();
         self.poisoned = None;
         self.in_flight = false;
+    }
+
+    /// Like [`Self::reset`], but also scrubs communicator-side leftovers
+    /// of the aborted operation: posted receives and undelivered inbound
+    /// messages are dropped and an abort reason still parked on the
+    /// profiler is drained — state the comm-free `reset` cannot reach.
+    /// Use this form when the operation's handle was dropped without
+    /// observing its error (the [`CollectiveError::Abandoned`] path),
+    /// which leaves both behind; a later operation on the same
+    /// communicator would otherwise spuriously abort on the stale parked
+    /// error or match the abandoned operation's traffic.
+    pub fn reset_in<C: Comm>(&mut self, comm: &mut C) {
+        let _ = comm.profiler().take_error();
+        comm.abort_cleanup();
+        self.reset();
     }
 
     /// Abort bookkeeping after an unrecoverable fault: scrub transport
@@ -2150,6 +2516,30 @@ impl BcastPlan {
         self.session.feedback.record_faults(delta);
         self.in_flight = false;
         self.poisoned = Some(e);
+    }
+
+    /// Re-plan for the shrunk world after a communicator shrink (see
+    /// [`CCollSession::recover`]): the root is translated to its
+    /// post-shrink rank, the workspace is rebuilt, poison is cleared,
+    /// and statistics carry over (with the shrink counted). Every
+    /// surviving rank must recover its plans in the same order.
+    ///
+    /// Returns [`CommError::PeerDead`] naming the root when the root
+    /// died — a broadcast cannot outlive its root.
+    pub fn recover(&mut self, r: &Recovery) -> Result<(), CollectiveError> {
+        let root = r
+            .new_rank_of(self.root)
+            .ok_or(CollectiveError::Comm(CommError::PeerDead {
+                peer: self.root,
+            }))?;
+        let fresh = r.session().plan_bcast(root, self.len);
+        self.session = fresh.session;
+        self.root = fresh.root;
+        self.ws = fresh.ws;
+        self.poisoned = None;
+        self.in_flight = false;
+        self.stats.shrinks += 1;
+        Ok(())
     }
 
     /// Execute into a caller-provided buffer. `data` is read on the root
@@ -2400,10 +2790,28 @@ impl ScatterPlan {
 
     /// Clear the poisoned state after an aborted execution, making the
     /// plan usable again. The aborted operation's partial results are
-    /// discarded; fault counters accrued so far stay in [`PlanStats`].
+    /// discarded (the workspace is scrubbed); fault counters accrued so
+    /// far stay in [`PlanStats`]. Communicator-side leftovers need
+    /// [`Self::reset_in`].
     pub fn reset(&mut self) {
+        self.ws.abort();
         self.poisoned = None;
         self.in_flight = false;
+    }
+
+    /// Like [`Self::reset`], but also scrubs communicator-side leftovers
+    /// of the aborted operation: posted receives and undelivered inbound
+    /// messages are dropped and an abort reason still parked on the
+    /// profiler is drained — state the comm-free `reset` cannot reach.
+    /// Use this form when the operation's handle was dropped without
+    /// observing its error (the [`CollectiveError::Abandoned`] path),
+    /// which leaves both behind; a later operation on the same
+    /// communicator would otherwise spuriously abort on the stale parked
+    /// error or match the abandoned operation's traffic.
+    pub fn reset_in<C: Comm>(&mut self, comm: &mut C) {
+        let _ = comm.profiler().take_error();
+        comm.abort_cleanup();
+        self.reset();
     }
 
     /// Abort bookkeeping after an unrecoverable fault: scrub transport
@@ -2417,6 +2825,32 @@ impl ScatterPlan {
         self.session.feedback.record_faults(delta);
         self.in_flight = false;
         self.poisoned = Some(e);
+    }
+
+    /// Re-plan for the shrunk world after a communicator shrink (see
+    /// [`CCollSession::recover`]): the root is translated to its
+    /// post-shrink rank, the balanced partition and workspace are
+    /// rebuilt for the survivor world, poison is cleared, and statistics
+    /// carry over (with the shrink counted). Every surviving rank must
+    /// recover its plans in the same order.
+    ///
+    /// Returns [`CommError::PeerDead`] naming the root when the root
+    /// died — a scatter cannot outlive its root.
+    pub fn recover(&mut self, r: &Recovery) -> Result<(), CollectiveError> {
+        let root = r
+            .new_rank_of(self.root)
+            .ok_or(CollectiveError::Comm(CommError::PeerDead {
+                peer: self.root,
+            }))?;
+        let fresh = r.session().plan_scatter(root, self.total_len);
+        self.session = fresh.session;
+        self.root = fresh.root;
+        self.counts = fresh.counts;
+        self.ws = fresh.ws;
+        self.poisoned = None;
+        self.in_flight = false;
+        self.stats.shrinks += 1;
+        Ok(())
     }
 
     /// Execute into a caller-provided buffer (this rank's chunk). `data`
@@ -2666,10 +3100,28 @@ impl GatherPlan {
 
     /// Clear the poisoned state after an aborted execution, making the
     /// plan usable again. The aborted operation's partial results are
-    /// discarded; fault counters accrued so far stay in [`PlanStats`].
+    /// discarded (the workspace is scrubbed); fault counters accrued so
+    /// far stay in [`PlanStats`]. Communicator-side leftovers need
+    /// [`Self::reset_in`].
     pub fn reset(&mut self) {
+        self.ws.abort();
         self.poisoned = None;
         self.in_flight = false;
+    }
+
+    /// Like [`Self::reset`], but also scrubs communicator-side leftovers
+    /// of the aborted operation: posted receives and undelivered inbound
+    /// messages are dropped and an abort reason still parked on the
+    /// profiler is drained — state the comm-free `reset` cannot reach.
+    /// Use this form when the operation's handle was dropped without
+    /// observing its error (the [`CollectiveError::Abandoned`] path),
+    /// which leaves both behind; a later operation on the same
+    /// communicator would otherwise spuriously abort on the stale parked
+    /// error or match the abandoned operation's traffic.
+    pub fn reset_in<C: Comm>(&mut self, comm: &mut C) {
+        let _ = comm.profiler().take_error();
+        comm.abort_cleanup();
+        self.reset();
     }
 
     /// Abort bookkeeping after an unrecoverable fault: scrub transport
@@ -2683,6 +3135,32 @@ impl GatherPlan {
         self.session.feedback.record_faults(delta);
         self.in_flight = false;
         self.poisoned = Some(e);
+    }
+
+    /// Re-plan for the shrunk world after a communicator shrink (see
+    /// [`CCollSession::recover`]): the root is translated to its
+    /// post-shrink rank, the balanced partition and workspace are
+    /// rebuilt for the survivor world, poison is cleared, and statistics
+    /// carry over (with the shrink counted). Every surviving rank must
+    /// recover its plans in the same order.
+    ///
+    /// Returns [`CommError::PeerDead`] naming the root when the root
+    /// died — a gather cannot outlive its root.
+    pub fn recover(&mut self, r: &Recovery) -> Result<(), CollectiveError> {
+        let root = r
+            .new_rank_of(self.root)
+            .ok_or(CollectiveError::Comm(CommError::PeerDead {
+                peer: self.root,
+            }))?;
+        let fresh = r.session().plan_gather(root, self.total_len);
+        self.session = fresh.session;
+        self.root = fresh.root;
+        self.counts = fresh.counts;
+        self.ws = fresh.ws;
+        self.poisoned = None;
+        self.in_flight = false;
+        self.stats.shrinks += 1;
+        Ok(())
     }
 
     /// Execute into a caller-provided buffer. The root must size `out`
@@ -2936,10 +3414,28 @@ impl AlltoallPlan {
 
     /// Clear the poisoned state after an aborted execution, making the
     /// plan usable again. The aborted operation's partial results are
-    /// discarded; fault counters accrued so far stay in [`PlanStats`].
+    /// discarded (the workspace is scrubbed); fault counters accrued so
+    /// far stay in [`PlanStats`]. Communicator-side leftovers need
+    /// [`Self::reset_in`].
     pub fn reset(&mut self) {
+        self.ws.abort();
         self.poisoned = None;
         self.in_flight = false;
+    }
+
+    /// Like [`Self::reset`], but also scrubs communicator-side leftovers
+    /// of the aborted operation: posted receives and undelivered inbound
+    /// messages are dropped and an abort reason still parked on the
+    /// profiler is drained — state the comm-free `reset` cannot reach.
+    /// Use this form when the operation's handle was dropped without
+    /// observing its error (the [`CollectiveError::Abandoned`] path),
+    /// which leaves both behind; a later operation on the same
+    /// communicator would otherwise spuriously abort on the stale parked
+    /// error or match the abandoned operation's traffic.
+    pub fn reset_in<C: Comm>(&mut self, comm: &mut C) {
+        let _ = comm.profiler().take_error();
+        comm.abort_cleanup();
+        self.reset();
     }
 
     /// Abort bookkeeping after an unrecoverable fault: scrub transport
@@ -2953,6 +3449,26 @@ impl AlltoallPlan {
         self.session.feedback.record_faults(delta);
         self.in_flight = false;
         self.poisoned = Some(e);
+    }
+
+    /// Re-plan for the shrunk world after a communicator shrink (see
+    /// [`CCollSession::recover`]): the per-peer partition and workspace
+    /// are rebuilt for the survivor world, poison is cleared, and
+    /// statistics carry over (with the shrink counted). Every surviving
+    /// rank must recover its plans in the same order.
+    ///
+    /// # Panics
+    /// Panics if the planned buffer length does not divide evenly by
+    /// the *shrunk* world size (the all-to-all partition constraint —
+    /// choose lengths divisible by every world size recovery can reach).
+    pub fn recover(&mut self, r: &Recovery) -> Result<(), CollectiveError> {
+        let fresh = r.session().plan_alltoall(self.len);
+        self.session = fresh.session;
+        self.ws = fresh.ws;
+        self.poisoned = None;
+        self.in_flight = false;
+        self.stats.shrinks += 1;
+        Ok(())
     }
 
     /// Execute into a caller-provided buffer.
@@ -3230,10 +3746,71 @@ impl ReducePlan {
 
     /// Clear the poisoned state after an aborted execution, making the
     /// plan usable again. The aborted operation's partial results are
-    /// discarded; fault counters accrued so far stay in [`PlanStats`].
+    /// discarded (the workspace is scrubbed); fault counters accrued so
+    /// far stay in [`PlanStats`]. Communicator-side leftovers need
+    /// [`Self::reset_in`].
     pub fn reset(&mut self) {
+        match &mut self.inner {
+            ReducePlanImpl::Binomial { ws, .. } => ws.abort(),
+            ReducePlanImpl::RsGather {
+                reduce_scatter,
+                gather,
+                ..
+            } => {
+                reduce_scatter.ws.abort();
+                gather.ws.abort();
+            }
+        }
         self.poisoned = None;
         self.in_flight = false;
+    }
+
+    /// Like [`Self::reset`], but also scrubs communicator-side leftovers
+    /// of the aborted operation: posted receives and undelivered inbound
+    /// messages are dropped and an abort reason still parked on the
+    /// profiler is drained — state the comm-free `reset` cannot reach.
+    /// Use this form when the operation's handle was dropped without
+    /// observing its error (the [`CollectiveError::Abandoned`] path),
+    /// which leaves both behind; a later operation on the same
+    /// communicator would otherwise spuriously abort on the stale parked
+    /// error or match the abandoned operation's traffic.
+    pub fn reset_in<C: Comm>(&mut self, comm: &mut C) {
+        let _ = comm.profiler().take_error();
+        comm.abort_cleanup();
+        self.reset();
+    }
+
+    /// Re-plan for the shrunk world after a communicator shrink (see
+    /// [`CCollSession::recover`]): schedule state and workspaces are
+    /// rebuilt for `r.session()`'s world, the root is translated to its
+    /// post-shrink rank, poison is cleared, and statistics carry over
+    /// (with the shrink counted). `Auto` plans re-resolve their schedule
+    /// for the shrunk world. Every surviving rank must recover its plans
+    /// in the same order (the usual plan-creation discipline).
+    ///
+    /// Returns [`CommError::PeerDead`] naming the root when the root
+    /// died — a rooted collective cannot outlive its root.
+    pub fn recover(&mut self, r: &Recovery) -> Result<(), CollectiveError> {
+        let root = r
+            .new_rank_of(self.root)
+            .ok_or(CollectiveError::Comm(CommError::PeerDead {
+                peer: self.root,
+            }))?;
+        let opts = if self.auto {
+            PlanOptions::new()
+        } else {
+            PlanOptions::new().algorithm(self.algorithm)
+        };
+        let fresh = r.session().plan_reduce_with(root, self.len, self.op, opts);
+        self.session = fresh.session;
+        self.root = fresh.root;
+        self.algorithm = fresh.algorithm;
+        self.inner = fresh.inner;
+        self.reranked = false;
+        self.poisoned = None;
+        self.in_flight = false;
+        self.stats.shrinks += 1;
+        Ok(())
     }
 
     /// Abort bookkeeping after an unrecoverable fault: scrub transport

@@ -203,17 +203,68 @@ fn steady_state_plans_allocate_nothing() {
         }
         c.barrier();
         let delta = allocations() - before;
+        // Hold every rank here until all have read their windows: the
+        // recovery section below allocates (agreement, re-planning),
+        // and the counter is global.
+        c.barrier();
+
+        // The fault-free session must have paid nothing for the
+        // recovery machinery: no shrinks, no agreement rounds, no
+        // purges — FaultPolicy::NONE keeps the pre-recovery profile.
+        let stats = session.stats();
+        let recovery_counts = (stats.shrinks, stats.agreement_rounds, stats.stale_discarded);
+
+        // Recovery re-establishes the steady state: a restart-only
+        // shrink (empty dead-set — agreement, epoch bump, re-planned
+        // schedules, epoch-stamped tags) re-warms once, then measured
+        // rounds on the shrunk communicator allocate nothing again.
+        let recovery = session
+            .recover(c, &[], true)
+            .expect("fault-free agreement converges");
+        allreduce.recover(&recovery).expect("allreduce re-plans");
+        reduce_scatter
+            .recover(&recovery)
+            .expect("reduce-scatter re-plans");
+        let mut sc = recovery.comm(c).expect("survivor side of the shrink");
+        for _ in 0..6 {
+            allreduce.execute_into(&mut sc, &input, &mut ar_out);
+            reduce_scatter.execute_into(&mut sc, &input, &mut rs_out);
+        }
+        sc.barrier();
+        let before = allocations();
+        for _ in 0..4 {
+            allreduce.execute_into(&mut sc, &input, &mut ar_out);
+            reduce_scatter.execute_into(&mut sc, &input, &mut rs_out);
+        }
+        // Read at this rank's own loop end — every other rank is still
+        // inside its (allocation-free) measured loop. Then dwell in
+        // pure virtual time, far past the loop-end skew, so no rank
+        // reaches the allocating epilogue (even the shrunk barrier's
+        // own bookkeeping) before every rank has read its window.
+        let recovered_delta = allocations() - before;
+        sc.charge_duration(Duration::from_millis(10), Category::Others);
+        sc.barrier();
 
         // Sanity: the steady-state results are real (bounded error).
         let sample = ar_out[len / 3];
-        (delta, sample.is_finite())
+        (delta, recovered_delta, recovery_counts, sample.is_finite())
     });
-    for (r, &(delta, finite)) in out.results.iter().enumerate() {
+    for (r, &(delta, recovered_delta, recovery_counts, finite)) in out.results.iter().enumerate() {
         assert!(finite, "rank {r}: non-finite result");
         assert_eq!(
             delta, 0,
             "rank {r}: steady-state plan execution must not allocate, \
              saw {delta} allocator calls in its measurement window"
+        );
+        assert_eq!(
+            recovery_counts,
+            (0, 0, 0),
+            "rank {r}: a fault-free session must report zero recovery activity"
+        );
+        assert_eq!(
+            recovered_delta, 0,
+            "rank {r}: post-recovery steady state must not allocate, \
+             saw {recovered_delta} allocator calls after the shrink"
         );
     }
 }

@@ -84,6 +84,22 @@ impl Condvar {
         guard.0 = Some(reacquired);
     }
 
+    /// Block until notified or `timeout` elapses, atomically releasing
+    /// the guard's lock. Returns whether the wait timed out.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard present outside wait");
+        let (reacquired, result) = self
+            .0
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.0 = Some(reacquired);
+        WaitTimeoutResult(result.timed_out())
+    }
+
     /// Wake one waiter.
     pub fn notify_one(&self) {
         self.0.notify_one();
@@ -92,6 +108,18 @@ impl Condvar {
     /// Wake all waiters.
     pub fn notify_all(&self) {
         self.0.notify_all();
+    }
+}
+
+/// Whether a [`Condvar::wait_for`] returned because the timeout
+/// elapsed rather than a notification.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait ended by timeout.
+    pub fn timed_out(&self) -> bool {
+        self.0
     }
 }
 
