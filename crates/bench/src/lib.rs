@@ -14,7 +14,7 @@ pub mod workload;
 pub use calibrate::calibrate_cost_model;
 pub use chaos::{run_chaos_case, CaseResult, ChaosCase, FaultMix, Shape};
 pub use runner::{
-    run_allreduce, run_allreduce_overlap, run_allreduce_steady, run_bucketed_allreduce,
-    ConcurrentResult, ExperimentResult, OverlapResult,
+    run_allreduce, run_allreduce_cluster, run_allreduce_overlap, run_allreduce_steady,
+    run_bucketed_allreduce, ConcurrentResult, ExperimentResult, OverlapResult,
 };
 pub use workload::Scale;

@@ -9,7 +9,10 @@ use c_coll::{
     Algorithm, AllreduceVariant, CCollSession, CodecSpec, PlanOptions, PlanStats, ReduceOp,
     SessionStats,
 };
-use ccoll_comm::{Category, Comm, CostModel, NetModel, SimConfig, SimWorld, TimeBreakdown};
+use ccoll_comm::{
+    Category, ClusterNet, Comm, CostModel, HierNet, NetModel, SimConfig, SimWorld, TimeBreakdown,
+    Topology,
+};
 use ccoll_data::Dataset;
 
 /// One experiment's outcome.
@@ -149,6 +152,63 @@ pub fn run_allreduce_algorithm(
         // The schedule the plan actually settled on: for `Auto` with
         // iters > 1 this includes the post-warm-up re-rank from the
         // measured compression ratio.
+        plan.algorithm()
+    });
+    let resolved = out.results[0];
+    (
+        ExperimentResult {
+            makespan: out.makespan / iters as u32,
+            breakdown: out.max_breakdown(),
+            result: None,
+        },
+        resolved,
+    )
+}
+
+/// Run `iters` allreduces on a modeled **cluster**: the simulator prices
+/// every link through the two-level [`HierNet`] (intra-node vs
+/// inter-node), and the session carries the same topology so
+/// [`Algorithm::Hierarchical`] resolves its node/leader groups and
+/// [`Algorithm::Auto`] selects — and continuously recalibrates — against
+/// the very models the simulator charges. Returns the timing result and
+/// the algorithm the plan settled on after all iterations (for `Auto`
+/// with `iters` past the calibration period, that reflects the online
+/// α–β re-rank).
+///
+/// # Panics
+/// Panics if `iters` is zero.
+#[allow(clippy::too_many_arguments)]
+pub fn run_allreduce_cluster(
+    topo: Topology,
+    hier: HierNet,
+    values_per_rank: usize,
+    dataset: Dataset,
+    spec: CodecSpec,
+    algorithm: Algorithm,
+    op: ReduceOp,
+    cost: CostModel,
+    iters: usize,
+) -> (ExperimentResult, Algorithm) {
+    assert!(iters > 0, "need at least one iteration");
+    let ranks = topo.world();
+    let mut cfg = SimConfig::new(ranks);
+    cfg.cost = cost.clone();
+    cfg = cfg.with_cluster(ClusterNet::new(topo.clone(), hier));
+    let world = SimWorld::new(cfg);
+    let out = world.run(move |comm| {
+        let session = CCollSession::new(spec, ranks)
+            .with_cost_model(cost.clone())
+            .with_topology(topo.clone(), hier);
+        let mut plan = session.plan_allreduce_with(
+            values_per_rank,
+            op,
+            PlanOptions::new().algorithm(algorithm),
+        );
+        let data = dataset.generate(values_per_rank, comm.rank() as u64);
+        let mut result = vec![0.0f32; values_per_rank];
+        for _ in 0..iters {
+            plan.execute_into(comm, &data, &mut result);
+        }
         plan.algorithm()
     });
     let resolved = out.results[0];

@@ -296,6 +296,165 @@ impl CostModel {
                 rs + gather
             }
             Schedule::BinomialTreeBcast => comp(d) + log2n * (alpha + wire * beta) + deco(d),
+            Schedule::PairwiseAlltoall => {
+                // n−1 pairwise rounds of one block each; compressed mode
+                // compresses every outgoing block once up front and
+                // decodes each arrival after its round completes (no
+                // overlap credit — the exchange is strictly sequential).
+                let b = d / nf;
+                let wb = wire / nf;
+                comp(d * rest) + (nf - 1.0) * (alpha + wb * beta + deco(b)) + memcpy(b)
+            }
+            Schedule::BruckAlltoall => {
+                // ⌈log₂n⌉ doubling rounds forwarding ~half the buffer
+                // each, between a local rotation and an inverse
+                // rotation. Compressed blocks travel as framed
+                // compress-once blobs: one encode and one decode of the
+                // foreign blocks total, re-forwarded without recoding.
+                comp(d * rest)
+                    + log2n * (alpha + 0.5 * wire * beta)
+                    + deco(d * rest)
+                    + 2.0 * memcpy(d)
+            }
+            // Hierarchical schedules on a *flat* network degenerate to
+            // one rank per node: the local phases vanish and the
+            // inter-node leg runs over the whole world.
+            Schedule::HierarchicalAllreduce
+            | Schedule::HierarchicalAllgather
+            | Schedule::HierarchicalBcast => {
+                return self.estimate_two_level(
+                    schedule,
+                    n,
+                    1,
+                    &crate::topology::HierNet::flat(*net),
+                    p,
+                );
+            }
+        };
+        Duration::from_secs_f64(secs)
+    }
+
+    /// Closed-form critical-path estimate on a **two-level** network:
+    /// the hierarchical counterpart of [`CostModel::estimate`], and the
+    /// quantity `Algorithm::Auto` minimizes when the session carries a
+    /// [`ClusterNet`]. Flat schedules are priced with the inter-node
+    /// model (on a ring or butterfly spanning several nodes, every
+    /// round's critical hop crosses a node boundary); hierarchical
+    /// schedules split into per-level legs — raw intra-node phases at
+    /// the intra model, the codec-carrying leader leg at the inter
+    /// model.
+    pub fn estimate_hier(
+        &self,
+        schedule: Schedule,
+        cluster: &crate::topology::ClusterNet,
+        p: &SchedParams,
+    ) -> Duration {
+        self.estimate_hier_sized(
+            schedule,
+            cluster.topo.nodes(),
+            cluster.topo.max_node_size(),
+            &cluster.net,
+            p,
+        )
+    }
+
+    /// [`CostModel::estimate_hier`] with the topology reduced to its
+    /// shape — `nodes` × worst-case `node_size` — so callers holding a
+    /// scaled *copy* of the network model (the session's online α–β
+    /// calibration loop) can price schedules without cloning a
+    /// [`Topology`](crate::topology::Topology).
+    pub fn estimate_hier_sized(
+        &self,
+        schedule: Schedule,
+        nodes: usize,
+        node_size: usize,
+        hier: &crate::topology::HierNet,
+        p: &SchedParams,
+    ) -> Duration {
+        match schedule {
+            Schedule::HierarchicalAllreduce
+            | Schedule::HierarchicalAllgather
+            | Schedule::HierarchicalBcast => {
+                self.estimate_two_level(schedule, nodes, node_size, hier, p)
+            }
+            // A ring only ever pushes one flow per node boundary, so
+            // its inter hops never contend for the shared NIC.
+            Schedule::RingAllreduce | Schedule::RingAllgather => {
+                self.estimate(schedule, &hier.inter, p)
+            }
+            // Butterfly / tree / alltoall rounds send from every rank
+            // at once: the s ranks of a node serialize on one NIC, so
+            // the effective inter bandwidth divides by the node size.
+            _ => {
+                let s = node_size.max(1) as f64;
+                let contended = NetModel {
+                    latency: hier.inter.latency,
+                    bandwidth: hier.inter.bandwidth / s,
+                };
+                self.estimate(schedule, &contended, p)
+            }
+        }
+    }
+
+    /// Price a hierarchical schedule's legs: raw intra-node fan-in/out
+    /// over the largest node (`node_size` ranks, binomial trees) plus
+    /// the leader-group leg (`nodes` leaders) carrying the codec terms.
+    fn estimate_two_level(
+        &self,
+        schedule: Schedule,
+        nodes: usize,
+        node_size: usize,
+        hier: &crate::topology::HierNet,
+        p: &SchedParams,
+    ) -> Duration {
+        let n = p.world.max(1);
+        if n == 1 {
+            return Duration::ZERO;
+        }
+        let d = p.payload_bytes as f64;
+        let ai = hier.intra.latency.as_secs_f64();
+        let bi = 1.0 / hier.intra.bandwidth;
+        let reduce = |bytes: f64| bytes / self.throughput(Kernel::Reduce);
+        let s = node_size.max(1);
+        let log2s = (usize::BITS - (s - 1).leading_zeros()) as f64;
+        let leaders = SchedParams { world: nodes, ..*p };
+        let secs = match schedule {
+            Schedule::HierarchicalAllreduce => {
+                // Node-local binomial reduce to the leader (raw),
+                // Rabenseifner allreduce over the leaders (ring bytes
+                // at tree latency, codec terms on the inter-node leg
+                // only), node-local binomial bcast of the result (raw).
+                let local_reduce = log2s * (ai + d * bi + reduce(d));
+                let local_bcast = log2s * (ai + d * bi);
+                let inter = self.estimate(Schedule::RabenseifnerAllreduce, &hier.inter, &leaders);
+                local_reduce + inter.as_secs_f64() + local_bcast
+            }
+            Schedule::HierarchicalAllgather => {
+                // Node-local binomial gather of member blocks into the
+                // leader, ring allgather of node blocks over the
+                // leaders, node-local bcast of the assembled buffer.
+                let sf = s as f64;
+                let total = d * n as f64;
+                let local_gather = log2s * ai + (sf - 1.0) * d * bi;
+                let local_bcast = log2s * (ai + total * bi);
+                let node_block = SchedParams {
+                    world: nodes,
+                    payload_bytes: (p.payload_bytes * n) / nodes.max(1),
+                    ..*p
+                };
+                let inter = self.estimate(Schedule::RingAllgather, &hier.inter, &node_block);
+                local_gather + inter.as_secs_f64() + local_bcast
+            }
+            Schedule::HierarchicalBcast => {
+                // Root-to-leader hand-off (intra-node, raw), binomial
+                // bcast over the leaders (compress-once), node-local
+                // binomial fan-out (raw).
+                let to_leader = ai + d * bi;
+                let local_bcast = log2s * (ai + d * bi);
+                let inter = self.estimate(Schedule::BinomialTreeBcast, &hier.inter, &leaders);
+                to_leader + inter.as_secs_f64() + local_bcast
+            }
+            _ => unreachable!("estimate_two_level prices hierarchical schedules only"),
         };
         Duration::from_secs_f64(secs)
     }
@@ -326,6 +485,20 @@ pub enum Schedule {
     ReduceScatterGatherReduce,
     /// Binomial-tree broadcast (compress once at the root).
     BinomialTreeBcast,
+    /// Pairwise-exchange alltoall: n−1 rounds of one block each.
+    PairwiseAlltoall,
+    /// Bruck alltoall: ⌈log₂n⌉ doubling rounds forwarding ~half the
+    /// buffer each, between a local rotation and an inverse rotation.
+    BruckAlltoall,
+    /// Two-level allreduce: node-local binomial reduce to the leader,
+    /// ring allreduce over the leaders, node-local binomial bcast.
+    HierarchicalAllreduce,
+    /// Two-level allgather: node-local gather into the leader, ring
+    /// allgather of node blocks over the leaders, node-local bcast.
+    HierarchicalAllgather,
+    /// Two-level broadcast: root-to-leader hand-off, binomial bcast
+    /// over the leaders, node-local binomial fan-out.
+    HierarchicalBcast,
 }
 
 /// Workload description for [`CostModel::estimate`].
@@ -606,5 +779,85 @@ mod tests {
         // 9 ranks fold to 8 and pay two extra full-payload rounds, so
         // despite the smaller world the estimate must exceed 16 ranks'.
         assert!(t9 > t16, "{t9:?} vs {t16:?}");
+    }
+
+    fn cluster(nodes: usize, per_node: usize) -> crate::topology::ClusterNet {
+        crate::topology::ClusterNet::new(
+            crate::topology::Topology::uniform(nodes, per_node),
+            crate::topology::HierNet::cluster_default(),
+        )
+    }
+
+    #[test]
+    fn hierarchical_allreduce_wins_at_scale_on_two_level_net() {
+        // At 128+ ranks over a cluster whose intra-node links are ~5×
+        // cheaper than inter-node, the flat ring pays (n−1) inter-node
+        // latencies twice while the hierarchical schedule pays only
+        // (L−1) of them — it must win across the target worlds.
+        let m = CostModel::default();
+        for (nodes, per_node, bytes) in [
+            (8, 16, 64 << 10),
+            (32, 16, 64 << 10),
+            (64, 16, 64 << 10),
+            (128, 8, 128 << 10),
+        ] {
+            let c = cluster(nodes, per_node);
+            let p = szx_params(nodes * per_node, bytes);
+            let hier = m.estimate_hier(Schedule::HierarchicalAllreduce, &c, &p);
+            let flat = [
+                Schedule::RingAllreduce,
+                Schedule::RecursiveDoublingAllreduce,
+                Schedule::RabenseifnerAllreduce,
+            ]
+            .into_iter()
+            .map(|s| m.estimate_hier(s, &c, &p))
+            .min()
+            .unwrap();
+            assert!(
+                hier < flat,
+                "world {}: hier {hier:?} vs best flat {flat:?}",
+                nodes * per_node
+            );
+        }
+    }
+
+    #[test]
+    fn hierarchical_on_flat_net_degenerates_to_inter_leg() {
+        // One rank per node ⇒ the local phases vanish and the estimate
+        // must equal the leader-leg schedule priced on the whole world.
+        let m = CostModel::default();
+        let net = NetModel::default();
+        let c = crate::topology::ClusterNet::new(
+            crate::topology::Topology::flat(16),
+            crate::topology::HierNet::flat(net),
+        );
+        let p = szx_params(16, 1 << 20);
+        assert_eq!(
+            m.estimate_hier(Schedule::HierarchicalAllreduce, &c, &p),
+            m.estimate(Schedule::RabenseifnerAllreduce, &net, &p)
+        );
+        assert_eq!(
+            m.estimate(Schedule::HierarchicalAllreduce, &net, &p),
+            m.estimate(Schedule::RabenseifnerAllreduce, &net, &p)
+        );
+        assert_eq!(
+            m.estimate_hier(Schedule::HierarchicalBcast, &c, &p),
+            m.estimate(Schedule::BinomialTreeBcast, &net, &p)
+                + Duration::from_secs_f64(
+                    net.latency.as_secs_f64() + (p.payload_bytes as f64) / net.bandwidth
+                )
+        );
+    }
+
+    #[test]
+    fn alltoall_estimates_cross_over_with_size() {
+        // Bruck trades ⌈log₂n⌉ rounds against pairwise's n−1, at the
+        // price of shipping ~n/2 blocks per round: latency-bound small
+        // payloads go Bruck, bandwidth-bound large ones go pairwise.
+        let m = CostModel::default();
+        let net = NetModel::default();
+        let est = |s, bytes| m.estimate(s, &net, &szx_params(64, bytes));
+        assert!(est(Schedule::BruckAlltoall, 4 << 10) < est(Schedule::PairwiseAlltoall, 4 << 10));
+        assert!(est(Schedule::PairwiseAlltoall, 16 << 20) < est(Schedule::BruckAlltoall, 16 << 20));
     }
 }

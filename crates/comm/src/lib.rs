@@ -46,6 +46,7 @@ pub mod recover;
 pub mod sim;
 pub mod threaded;
 pub mod time;
+pub mod topology;
 
 pub use chaos::{CommError, FaultPlan, FaultPolicy, KillSpec, MsgFault};
 pub use comm::{Comm, RecvReq, SendReq, Tag};
@@ -62,3 +63,4 @@ pub use sim::{
 };
 pub use threaded::ThreadWorld;
 pub use time::SimTime;
+pub use topology::{ClusterNet, HierNet, SubComm, Topology};

@@ -106,6 +106,10 @@ pub struct SimConfig {
     pub ranks: usize,
     /// Network model.
     pub net: NetModel,
+    /// Optional cluster topology: when set, every link is priced by the
+    /// per-level models in [`crate::topology::ClusterNet`] (intra-node
+    /// vs inter-node) instead of the flat [`SimConfig::net`].
+    pub cluster: Option<crate::topology::ClusterNet>,
     /// Compute-kernel cost model.
     pub cost: CostModel,
     /// Injected fault schedule (inert by default).
@@ -122,10 +126,26 @@ impl SimConfig {
         SimConfig {
             ranks,
             net: NetModel::default(),
+            cluster: None,
             cost: CostModel::default(),
             faults: FaultPlan::none(),
             policy: FaultPolicy::NONE,
         }
+    }
+
+    /// Attach a cluster topology (per-link two-level pricing).
+    ///
+    /// # Panics
+    /// Panics when the topology's world disagrees with `ranks`.
+    #[must_use]
+    pub fn with_cluster(mut self, cluster: crate::topology::ClusterNet) -> Self {
+        assert_eq!(
+            cluster.topo.world(),
+            self.ranks,
+            "topology world disagrees with rank count"
+        );
+        self.cluster = Some(cluster);
+        self
     }
 
     /// Attach a seeded fault schedule.
@@ -350,6 +370,13 @@ struct KState {
     blocked_recv: FixedMap<usize, u64>,
     egress_free: Vec<u64>,
     ingress_free: Vec<u64>,
+    /// Per-*node* shared NIC ports, used instead of the per-rank ports
+    /// for cross-node messages when a [`crate::topology::ClusterNet`]
+    /// is attached: all ranks on a node contend for one egress/ingress
+    /// pair, which is what makes leader-only hierarchical schedules
+    /// cheaper than flat butterflies at scale. Empty on flat networks.
+    nic_egress_free: Vec<u64>,
+    nic_ingress_free: Vec<u64>,
     barrier: BarrierSt,
     next_req: u64,
     /// Per-rank communicator-operation counters (kill trigger).
@@ -369,8 +396,13 @@ struct KState {
 
 struct SimKernel {
     state: Mutex<KState>,
-    cv: Condvar,
+    /// One condvar per rank: a clock handoff wakes exactly the granted
+    /// rank's thread. A single shared condvar here turns every handoff
+    /// into an O(world) thundering herd, which at 512+ ranks dominates
+    /// the entire simulation (the ring alone does ~n² handoffs).
+    cvs: Vec<Condvar>,
     net: NetModel,
+    cluster: Option<crate::topology::ClusterNet>,
     cost: CostModel,
     faults: FaultPlan,
     policy: FaultPolicy,
@@ -378,6 +410,15 @@ struct SimKernel {
 }
 
 impl SimKernel {
+    /// Wake every parked rank — used only on terminal transitions
+    /// (world drained, poisoned): each thread must observe the final
+    /// state and unwind, so the O(world) broadcast is paid once.
+    fn wake_all(&self) {
+        for cv in &self.cvs {
+            cv.notify_all();
+        }
+    }
+
     fn push_event(g: &mut KState, time: u64, rank: usize) {
         g.seq += 1;
         let entry = Reverse((time, g.seq, rank, g.epoch[rank]));
@@ -395,13 +436,13 @@ impl SimKernel {
                     debug_assert!(t >= g.now, "time went backwards: {} -> {}", g.now, t);
                     g.now = g.now.max(t);
                     g.running = Some(r);
-                    self.cv.notify_all();
+                    self.cvs[r].notify_one();
                     return;
                 }
                 None => {
                     if g.live == 0 {
                         g.running = None;
-                        self.cv.notify_all();
+                        self.wake_all();
                         return;
                     }
                     let mut waiting: Vec<WaitEdge> = g
@@ -430,7 +471,7 @@ impl SimKernel {
                     g.poisoned = Some(report.to_string());
                     g.deadlock = Some(report);
                     g.running = None;
-                    self.cv.notify_all();
+                    self.wake_all();
                     return;
                 }
             }
@@ -451,7 +492,7 @@ impl SimKernel {
                 g.epoch[me] += 1;
                 return;
             }
-            self.cv.wait(g);
+            self.cvs[me].wait(g);
         }
     }
 
@@ -469,7 +510,7 @@ impl SimKernel {
                 g.epoch[me] += 1;
                 return;
             }
-            self.cv.wait(&mut g);
+            self.cvs[me].wait(&mut g);
         }
     }
 
@@ -530,9 +571,25 @@ impl SimKernel {
         let mut g = self.state.lock();
         self.maybe_kill(&mut g, me);
         let len = payload.len();
-        let tx = self.net.tx_time(len).as_nanos() as u64;
-        let alpha = self.net.latency.as_nanos() as u64;
-        let start = g.now.max(g.egress_free[me]).max(g.ingress_free[dst]);
+        // Topology-aware pricing: an intra-node link is much cheaper
+        // than a cross-node one when a cluster is attached, and a
+        // cross-node message serializes on the *shared per-node NIC*
+        // rather than the sender's private port — all ranks on a node
+        // contend for one egress/ingress pair, exactly the contention
+        // that hierarchical leader-only schedules sidestep.
+        let (link, nic) = match &self.cluster {
+            Some(c) if !c.topo.same_node(me, dst) => {
+                (c.net.inter, Some((c.topo.node_of(me), c.topo.node_of(dst))))
+            }
+            Some(c) => (c.net.intra, None),
+            None => (self.net, None),
+        };
+        let tx = link.tx_time(len).as_nanos() as u64;
+        let alpha = link.latency.as_nanos() as u64;
+        let start = match nic {
+            Some((sn, dn)) => g.now.max(g.nic_egress_free[sn]).max(g.nic_ingress_free[dn]),
+            None => g.now.max(g.egress_free[me]).max(g.ingress_free[dst]),
+        };
         let egress_done = start + tx;
         let mut arrival = start + alpha + tx;
         let mut ingress_busy = arrival;
@@ -563,7 +620,10 @@ impl SimKernel {
                     // never arrives. Eager-send semantics mean the
                     // sender still completes at egress time.
                     deliver = false;
-                    ingress_busy = g.ingress_free[dst];
+                    ingress_busy = match nic {
+                        Some((_, dn)) => g.nic_ingress_free[dn],
+                        None => g.ingress_free[dst],
+                    };
                     g.lost += 1;
                 }
                 MsgFault::Duplicate => {
@@ -574,8 +634,16 @@ impl SimKernel {
                 }
             }
         }
-        g.egress_free[me] = egress_done;
-        g.ingress_free[dst] = g.ingress_free[dst].max(ingress_busy);
+        match nic {
+            Some((sn, dn)) => {
+                g.nic_egress_free[sn] = egress_done;
+                g.nic_ingress_free[dn] = g.nic_ingress_free[dn].max(ingress_busy);
+            }
+            None => {
+                g.egress_free[me] = egress_done;
+                g.ingress_free[dst] = g.ingress_free[dst].max(ingress_busy);
+            }
+        }
         g.next_req += 1;
         let id = g.next_req;
         g.send_done.insert(id, egress_done);
@@ -900,6 +968,14 @@ impl SimWorld {
                 blocked_recv: FixedMap::default(),
                 egress_free: vec![0; n],
                 ingress_free: vec![0; n],
+                nic_egress_free: vec![
+                    0;
+                    self.config.cluster.as_ref().map_or(0, |c| c.topo.nodes())
+                ],
+                nic_ingress_free: vec![
+                    0;
+                    self.config.cluster.as_ref().map_or(0, |c| c.topo.nodes())
+                ],
                 barrier: BarrierSt::default(),
                 next_req: 0,
                 ops: vec![0; n],
@@ -911,8 +987,9 @@ impl SimWorld {
                 traffics: vec![TrafficStats::default(); n],
                 finish_time: vec![0; n],
             }),
-            cv: Condvar::new(),
+            cvs: (0..n).map(|_| Condvar::new()).collect(),
             net: self.config.net,
+            cluster: self.config.cluster.clone(),
             cost: self.config.cost.clone(),
             faults: self.config.faults,
             policy: self.config.policy,

@@ -28,7 +28,7 @@
 //! reduce     Binomial tree            …                       RS + gather
 //! ```
 
-use ccoll_comm::{CostModel, NetModel, SchedParams, Schedule};
+use ccoll_comm::{ClusterNet, CostModel, HierNet, NetModel, SchedParams, Schedule};
 
 use crate::codec::CodecSpec;
 
@@ -65,6 +65,11 @@ pub enum Algorithm {
     Bruck,
     /// Pairwise exchange (all-to-all).
     Pairwise,
+    /// Two-level topology-aware schedule (allreduce, allgather, bcast):
+    /// node-local legs over cheap intra-node links, a leader-only
+    /// inter-node leg carrying the codec. Requires a session topology
+    /// ([`crate::CCollSession::with_topology`]).
+    Hierarchical,
 }
 
 impl Algorithm {
@@ -78,6 +83,7 @@ impl Algorithm {
             Algorithm::Binomial => "binomial",
             Algorithm::Bruck => "bruck",
             Algorithm::Pairwise => "pairwise",
+            Algorithm::Hierarchical => "hierarchical",
         }
     }
 }
@@ -126,6 +132,18 @@ pub(crate) struct SelectCtx<'a> {
     /// when available; replaces the codec's nominal planning ratio so
     /// post-warm-up selection tracks the live workload.
     pub measured_ratio: Option<f64>,
+    /// The session topology and its two-level network, when attached via
+    /// `with_topology`. Present: schedules are priced with
+    /// [`CostModel::estimate_hier`] (per-level links, shared-NIC
+    /// contention) and the hierarchical candidates join the race.
+    pub cluster: Option<&'a ClusterNet>,
+    /// Online α correction from the session's calibration loop: the
+    /// model's per-message latency is multiplied by this before pricing
+    /// (1.0 = nominal).
+    pub alpha_scale: f64,
+    /// Online β correction: the model's bandwidth is *divided* by this
+    /// before pricing, so >1 means the fabric is slower than nominal.
+    pub beta_scale: f64,
 }
 
 impl SelectCtx<'_> {
@@ -151,44 +169,149 @@ impl SelectCtx<'_> {
         }
     }
 
+    /// Apply the calibration corrections to one link model (the models
+    /// are `Copy`, so this never clones a topology).
+    fn scaled(&self, net: NetModel) -> NetModel {
+        NetModel {
+            latency: net.latency.mul_f64(self.alpha_scale),
+            bandwidth: net.bandwidth / self.beta_scale,
+        }
+    }
+
+    /// Price one schedule: topology-aware when a cluster is attached,
+    /// flat α–β otherwise; both under the calibration scales.
+    fn price(&self, schedule: Schedule, p: &SchedParams) -> std::time::Duration {
+        match self.cluster {
+            Some(c) => {
+                let hier = HierNet {
+                    intra: self.scaled(c.net.intra),
+                    inter: self.scaled(c.net.inter),
+                };
+                self.cost.estimate_hier_sized(
+                    schedule,
+                    c.topo.nodes(),
+                    c.topo.max_node_size(),
+                    &hier,
+                    p,
+                )
+            }
+            None => self.cost.estimate(schedule, &self.scaled(*self.net), p),
+        }
+    }
+
+    /// Price `schedule` for a `len`-value per-rank payload — the
+    /// calibration loop's model prediction for the plan it is driving.
+    pub fn predict(&self, schedule: Schedule, len: usize) -> std::time::Duration {
+        let p = self.params(len * 4);
+        self.price(schedule, &p)
+    }
+
+    /// The schedule's compute-only floor: the same prediction over a
+    /// free network (zero latency, infinite bandwidth), leaving codec,
+    /// reduction and memcpy terms. Calibration regresses the *network*
+    /// share of a measured makespan — `measured − floor` against
+    /// `predict − floor` — so codec time never pollutes the α–β fit.
+    pub fn compute_floor(&self, schedule: Schedule, len: usize) -> std::time::Duration {
+        // α×0 zeroes every latency term; β÷0 → infinite bandwidth →
+        // zero-second transfers. Only the γ (compute) terms survive.
+        let free = SelectCtx {
+            alpha_scale: 0.0,
+            beta_scale: 0.0,
+            ..*self
+        };
+        let p = self.params(len * 4);
+        free.price(schedule, &p)
+    }
+
+    /// How much of the prediction's network part moves with latency
+    /// (vs bandwidth), by finite difference: doubling α vs doubling β.
+    /// Clamped to `[0.25, 0.75]` so a correction never starves one term
+    /// entirely — small-message rounds still inform β and vice versa.
+    pub fn alpha_share(&self, schedule: Schedule, len: usize) -> f64 {
+        let p = self.params(len * 4);
+        let base = self.price(schedule, &p).as_secs_f64();
+        let bumped_a = SelectCtx {
+            alpha_scale: self.alpha_scale * 2.0,
+            ..*self
+        };
+        let bumped_b = SelectCtx {
+            beta_scale: self.beta_scale * 2.0,
+            ..*self
+        };
+        let da = (bumped_a.price(schedule, &p).as_secs_f64() - base).max(0.0);
+        let db = (bumped_b.price(schedule, &p).as_secs_f64() - base).max(0.0);
+        if da + db <= 0.0 {
+            return 0.5;
+        }
+        (da / (da + db)).clamp(0.25, 0.75)
+    }
+
     /// The cheapest of `candidates` for a `payload_bytes` workload.
     fn cheapest(&self, payload_bytes: usize, candidates: &[(Algorithm, Schedule)]) -> Algorithm {
         let p = self.params(payload_bytes);
         candidates
             .iter()
-            .min_by(|(_, a), (_, b)| {
-                self.cost
-                    .estimate(*a, self.net, &p)
-                    .cmp(&self.cost.estimate(*b, self.net, &p))
-            })
+            .min_by(|(_, a), (_, b)| self.price(*a, &p).cmp(&self.price(*b, &p)))
             .expect("candidate list is never empty")
             .0
     }
 
-    /// Resolve an allreduce algorithm (Ring | RecursiveDoubling |
-    /// Rabenseifner).
-    pub fn allreduce(&self, len: usize) -> Algorithm {
-        self.cheapest(
-            len * 4,
-            &[
-                (Algorithm::Ring, Schedule::RingAllreduce),
-                (
-                    Algorithm::RecursiveDoubling,
-                    Schedule::RecursiveDoublingAllreduce,
-                ),
-                (Algorithm::Rabenseifner, Schedule::RabenseifnerAllreduce),
-            ],
-        )
+    /// Whether two-level schedules are meaningful: a topology with more
+    /// than one node (one node degenerates to the flat schedules).
+    fn multi_node(&self) -> bool {
+        self.cluster.is_some_and(|c| c.topo.nodes() > 1)
     }
 
-    /// Resolve an allgather algorithm (Ring | Bruck) for the largest
-    /// per-rank block.
+    /// Resolve an allreduce algorithm (Ring | RecursiveDoubling |
+    /// Rabenseifner | Hierarchical with a multi-node topology). The
+    /// candidate tables live on the stack: the continuous calibration
+    /// loop re-ranks in the zero-allocation steady state.
+    pub fn allreduce(&self, len: usize) -> Algorithm {
+        let candidates = [
+            (Algorithm::Ring, Schedule::RingAllreduce),
+            (
+                Algorithm::RecursiveDoubling,
+                Schedule::RecursiveDoublingAllreduce,
+            ),
+            (Algorithm::Rabenseifner, Schedule::RabenseifnerAllreduce),
+            (Algorithm::Hierarchical, Schedule::HierarchicalAllreduce),
+        ];
+        let n = if self.multi_node() { 4 } else { 3 };
+        self.cheapest(len * 4, &candidates[..n])
+    }
+
+    /// Resolve an allgather algorithm (Ring | Bruck | Hierarchical with
+    /// a multi-node topology) for the largest per-rank block.
     pub fn allgather(&self, max_block: usize) -> Algorithm {
+        let candidates = [
+            (Algorithm::Ring, Schedule::RingAllgather),
+            (Algorithm::Bruck, Schedule::BruckAllgather),
+            (Algorithm::Hierarchical, Schedule::HierarchicalAllgather),
+        ];
+        let n = if self.multi_node() { 3 } else { 2 };
+        self.cheapest(max_block * 4, &candidates[..n])
+    }
+
+    /// Resolve a bcast algorithm (Binomial | Hierarchical with a
+    /// multi-node topology).
+    pub fn bcast(&self, len: usize) -> Algorithm {
+        let candidates = [
+            (Algorithm::Binomial, Schedule::BinomialTreeBcast),
+            (Algorithm::Hierarchical, Schedule::HierarchicalBcast),
+        ];
+        let n = if self.multi_node() { 2 } else { 1 };
+        self.cheapest(len * 4, &candidates[..n])
+    }
+
+    /// Resolve an alltoall algorithm (Pairwise | Bruck) for a per-rank
+    /// block of `block` values: Bruck trades `⌈log₂n⌉·(wire/2)` for the
+    /// pairwise `(n−1)` latency terms, so it wins small blocks.
+    pub fn alltoall(&self, block: usize) -> Algorithm {
         self.cheapest(
-            max_block * 4,
+            block * 4,
             &[
-                (Algorithm::Ring, Schedule::RingAllgather),
-                (Algorithm::Bruck, Schedule::BruckAllgather),
+                (Algorithm::Pairwise, Schedule::PairwiseAlltoall),
+                (Algorithm::Bruck, Schedule::BruckAlltoall),
             ],
         )
     }
@@ -202,6 +325,19 @@ impl SelectCtx<'_> {
                 (Algorithm::Rabenseifner, Schedule::ReduceScatterGatherReduce),
             ],
         )
+    }
+}
+
+/// The schedule an already-resolved allreduce algorithm executes — the
+/// inverse of [`SelectCtx::allreduce`]'s candidate table, used by the
+/// calibration loop to price the plan it is measuring.
+pub(crate) fn allreduce_schedule(a: Algorithm) -> Schedule {
+    match a {
+        Algorithm::Ring => Schedule::RingAllreduce,
+        Algorithm::RecursiveDoubling => Schedule::RecursiveDoublingAllreduce,
+        Algorithm::Rabenseifner => Schedule::RabenseifnerAllreduce,
+        Algorithm::Hierarchical => Schedule::HierarchicalAllreduce,
+        _ => unreachable!("allreduce plans only resolve to the four schedules above"),
     }
 }
 
@@ -233,6 +369,9 @@ mod tests {
             spec,
             world,
             measured_ratio: None,
+            cluster: None,
+            alpha_scale: 1.0,
+            beta_scale: 1.0,
         };
         assert_eq!(
             s.allreduce(128),
@@ -255,6 +394,9 @@ mod tests {
             spec,
             world,
             measured_ratio: None,
+            cluster: None,
+            alpha_scale: 1.0,
+            beta_scale: 1.0,
         };
         assert_eq!(s.allgather(64), Algorithm::Bruck);
         assert_eq!(s.allgather(8 * 1024 * 1024), Algorithm::Ring);
@@ -269,9 +411,68 @@ mod tests {
             spec,
             world,
             measured_ratio: None,
+            cluster: None,
+            alpha_scale: 1.0,
+            beta_scale: 1.0,
         };
         assert_eq!(s.reduce(128), Algorithm::Binomial);
         assert_eq!(s.reduce(16 * 1024 * 1024), Algorithm::Rabenseifner);
+    }
+
+    #[test]
+    fn auto_alltoall_crosses_from_bruck_to_pairwise() {
+        let (cost, net, spec, world) = ctx(CodecSpec::Szx { error_bound: 1e-3 }, 64);
+        let s = SelectCtx {
+            cost: &cost,
+            net: &net,
+            spec,
+            world,
+            measured_ratio: None,
+            cluster: None,
+            alpha_scale: 1.0,
+            beta_scale: 1.0,
+        };
+        assert_eq!(s.alltoall(64), Algorithm::Bruck, "small blocks: log₂n legs");
+        assert_eq!(
+            s.alltoall(1024 * 1024),
+            Algorithm::Pairwise,
+            "large blocks: Bruck's n/2-payload rounds lose"
+        );
+    }
+
+    #[test]
+    fn auto_allreduce_picks_hierarchical_on_multi_node_cluster() {
+        let (cost, _, spec, _) = ctx(CodecSpec::Szx { error_bound: 1e-3 }, 128);
+        let cl = ClusterNet {
+            topo: ccoll_comm::Topology::uniform(8, 16),
+            net: ccoll_comm::HierNet::cluster_default(),
+        };
+        let s = SelectCtx {
+            cost: &cost,
+            net: &cl.net.inter,
+            spec,
+            world: 128,
+            measured_ratio: None,
+            cluster: Some(&cl),
+            alpha_scale: 1.0,
+            beta_scale: 1.0,
+        };
+        assert_eq!(
+            s.allreduce(16 * 1024),
+            Algorithm::Hierarchical,
+            "leader-only inter traffic beats contended flat butterflies"
+        );
+        // A single-node topology must fall back to flat schedules.
+        let one = ClusterNet {
+            topo: ccoll_comm::Topology::uniform(1, 16),
+            net: ccoll_comm::HierNet::cluster_default(),
+        };
+        let s1 = SelectCtx {
+            world: 16,
+            cluster: Some(&one),
+            ..s
+        };
+        assert_ne!(s1.allreduce(16 * 1024), Algorithm::Hierarchical);
     }
 
     #[test]

@@ -30,6 +30,10 @@ pub(crate) mod tags {
     pub const BRUCK: Tag = 0xB000;
     pub const TREE_REDUCE: Tag = 0xC000;
     pub const RERANK: Tag = 0xD000;
+    /// Hierarchical glue traffic (root→leader hand-offs); the two-level
+    /// phases themselves reuse the per-family spaces above, isolated by
+    /// disjoint member sets.
+    pub const HIER: Tag = 0xF000;
 }
 
 /// Compress `vals` directly into a recycled [`PayloadPool`] buffer with

@@ -86,9 +86,10 @@ impl OpId {
 
 /// Which live operation a bounded progress pass visits first.
 ///
-/// Every pass gives each live operation exactly one nonblocking work
-/// slice either way; the policy decides who goes first — who gets to
-/// occupy the front of the virtual-time/compute budget within a pass.
+/// Every pass gives each live operation its [weighted](ProgressEngine::submit_weighted)
+/// number of nonblocking work slices either way; the policy decides who
+/// goes first — who gets to occupy the front of the virtual-time/compute
+/// budget within a pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Fairness {
     /// Rotate the starting operation every pass, so no operation is
@@ -160,6 +161,9 @@ impl AnyHandle<'_, '_> {
 
 struct Op<'p, 'b> {
     id: OpId,
+    /// Work slices this operation receives per progress pass (≥ 1);
+    /// see [`ProgressEngine::submit_weighted`].
+    weight: u32,
     handle: AnyHandle<'p, 'b>,
 }
 
@@ -214,6 +218,23 @@ impl<'p, 'b> ProgressEngine<'p, 'b> {
     /// # Panics
     /// Panics if [`MAX_LIVE_OPS`] operations are already live.
     pub fn submit(&mut self, handle: impl Into<AnyHandle<'p, 'b>>) -> OpId {
+        self.submit_weighted(handle, 1)
+    }
+
+    /// [`Self::submit`] with a priority weight: the operation receives
+    /// `weight` nonblocking work slices per progress pass instead of
+    /// one, letting a latency-critical collective (the optimizer-step
+    /// bucket, a control-plane bcast) drain ahead of bulk traffic
+    /// without starving it — every live operation still gets at least
+    /// one slice per pass. Weights are per-rank *local* schedule hints
+    /// and need not agree across ranks; correctness never depends on
+    /// them.
+    ///
+    /// # Panics
+    /// Panics if `weight` is zero or if [`MAX_LIVE_OPS`] operations are
+    /// already live.
+    pub fn submit_weighted(&mut self, handle: impl Into<AnyHandle<'p, 'b>>, weight: u32) -> OpId {
+        assert!(weight > 0, "a zero-weight operation would never progress");
         let id = OpId(self.next_id);
         self.next_id += 1;
         let slot = self
@@ -223,6 +244,7 @@ impl<'p, 'b> ProgressEngine<'p, 'b> {
             .unwrap_or_else(|| panic!("more than {MAX_LIVE_OPS} operations in flight"));
         *slot = Some(Op {
             id,
+            weight,
             handle: handle.into(),
         });
         self.live += 1;
@@ -308,23 +330,30 @@ impl<'p, 'b> ProgressEngine<'p, 'b> {
         let mut completed = 0;
         for k in 0..MAX_LIVE_OPS {
             let idx = (origin + k) % MAX_LIVE_OPS;
-            let Some(op) = &mut self.slots[idx] else {
+            let Some(weight) = self.slots[idx].as_ref().map(|op| op.weight) else {
                 continue;
             };
-            match op.handle.drive(comm, false) {
-                Ok(Poll::Pending) => {}
-                Ok(Poll::Ready) => {
-                    let id = op.id;
-                    self.slots[idx] = None;
-                    self.live -= 1;
-                    completed += 1;
-                    on_done(id);
-                }
-                Err(e) => {
-                    let id = op.id;
-                    self.slots[idx] = None;
-                    self.live -= 1;
-                    return Err((id, e));
+            // A weighted operation gets several back-to-back slices
+            // within the pass; everyone else still gets theirs this
+            // same pass, so heavy weights accelerate without starving.
+            for _ in 0..weight {
+                let op = self.slots[idx].as_mut().expect("live within its pass");
+                match op.handle.drive(comm, false) {
+                    Ok(Poll::Pending) => {}
+                    Ok(Poll::Ready) => {
+                        let id = op.id;
+                        self.slots[idx] = None;
+                        self.live -= 1;
+                        completed += 1;
+                        on_done(id);
+                        break;
+                    }
+                    Err(e) => {
+                        let id = op.id;
+                        self.slots[idx] = None;
+                        self.live -= 1;
+                        return Err((id, e));
+                    }
                 }
             }
         }

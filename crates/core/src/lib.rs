@@ -191,6 +191,69 @@
 //!   [`CCollSession::with_cost_model`] to select for *your* kernels
 //!   rather than the paper's Table-I testbed.
 //!
+//! ## Topology quick start
+//!
+//! Flat schedules price every hop the same; real clusters don't. Attach
+//! a [`ccoll_comm::Topology`] (ranks → node mapping) and a two-level
+//! [`ccoll_comm::HierNet`] (intra-node vs inter-node α/β) with
+//! [`CCollSession::with_topology`], and two things change. First,
+//! `Auto` prices candidates against the *cluster*: flat butterflies pay
+//! the contended inter-node bandwidth, and the two-level
+//! [`Algorithm::Hierarchical`] schedule — node-local reduce, leaders-only
+//! exchange across the slow fabric, local fan-out — joins the candidate
+//! set. Second, the session starts a continuous α–β calibration loop:
+//! every few executions it compares the plan's measured EWMA makespan
+//! against the model's prediction, agrees a correction across all ranks
+//! (so no rank ever diverges on a pick), and re-ranks `Auto` plans in
+//! place — all without leaving the zero-allocation steady state:
+//!
+//! ```
+//! use c_coll::{Algorithm, CCollSession, CodecSpec, PlanOptions, ReduceOp};
+//! use ccoll_comm::{Comm, HierNet, SimConfig, SimWorld, Topology};
+//!
+//! // Selection is rank-free: on a modeled 8-node × 16-rank cluster, a
+//! // large Auto allreduce resolves to the two-level schedule.
+//! let session = CCollSession::new(CodecSpec::Szx { error_bound: 1e-3 }, 128)
+//!     .with_topology(Topology::uniform(8, 16), HierNet::cluster_default());
+//! let plan = session.plan_allreduce_with(16_384, ReduceOp::Sum, PlanOptions::new());
+//! assert_eq!(plan.algorithm(), Algorithm::Hierarchical);
+//!
+//! // Execution: an asymmetric 3-node cluster (2 + 3 + 1 ranks). With a
+//! // lossless codec the hierarchical result is bit-identical to the
+//! // flat ring's — the reduction just takes the two-level tree.
+//! let n = 6;
+//! let len = 512;
+//! let world = SimWorld::new(SimConfig::new(n));
+//! let out = world.run(move |comm| {
+//!     let session = CCollSession::new(CodecSpec::None, n)
+//!         .with_topology(Topology::from_node_sizes(&[2, 3, 1]), HierNet::cluster_default());
+//!     let mut hier = session.plan_allreduce_with(
+//!         len,
+//!         ReduceOp::Sum,
+//!         PlanOptions::new().algorithm(Algorithm::Hierarchical),
+//!     );
+//!     let mut ring = session.plan_allreduce_with(
+//!         len,
+//!         ReduceOp::Sum,
+//!         PlanOptions::new().algorithm(Algorithm::Ring),
+//!     );
+//!     // Small integers: cross-rank sums are exact in f32, so every
+//!     // reduction order produces the same bits.
+//!     let input: Vec<f32> = (0..len).map(|i| ((i + comm.rank()) % 7) as f32).collect();
+//!     (hier.execute(comm, &input), ring.execute(comm, &input))
+//! });
+//! for (hier, ring) in &out.results {
+//!     assert_eq!(hier, ring);
+//! }
+//! ```
+//!
+//! The online correction is observable through
+//! [`CCollSession::net_calibration`] (the current α/β scale factors,
+//! `(1.0, 1.0)` until the first correction lands); `BENCH_scale.json`
+//! (the `fig_scale` harness) records where the flat→hierarchical
+//! crossover sits on worlds of 128–1024 ranks, and DESIGN.md's
+//! "Topology & online calibration" section walks the data flow.
+//!
 //! ## Surviving faults: seeded chaos + fallible collectives
 //!
 //! The simulator can inject a deterministic fault schedule — transient

@@ -29,7 +29,7 @@
 //! `tests/collective_alloc.rs`).
 
 use bytes::Bytes;
-use ccoll_comm::{Category, Comm, Kernel, RecvReq, SendReq, Tag};
+use ccoll_comm::{Category, Comm, Kernel, RecvReq, SendReq, SubComm, Tag};
 use ccoll_compress::SzxCodec;
 
 use crate::collectives::baseline::{butterfly_fold, butterfly_pos_to_rank};
@@ -1630,22 +1630,28 @@ impl Bcast {
                     assert!(self.root < n, "root {} out of range", self.root);
                     self.mask = 1;
                     if me == self.root {
-                        assert_eq!(
-                            data.len(),
-                            out.len(),
-                            "root data disagrees with plan length"
-                        );
+                        // Empty `data` means `out` is already the source
+                        // (hierarchical fan-outs hand the leader's result
+                        // over in place); otherwise `data` is copied in.
+                        if !data.is_empty() {
+                            assert_eq!(
+                                data.len(),
+                                out.len(),
+                                "root data disagrees with plan length"
+                            );
+                        }
                         if self.compressed {
                             let codec = cpr.expect("compressed mode needs a codec");
+                            let src: &[f32] = if data.is_empty() { out } else { data };
                             self.payload = Some(compress_in(
                                 comm,
                                 codec.codec.as_ref(),
                                 codec.ck,
-                                data,
+                                src,
                                 true,
                                 &mut ws.pool,
                             ));
-                        } else {
+                        } else if !data.is_empty() {
                             out.copy_from_slice(data);
                         }
                         // The root never matches a parent bit: walk the
@@ -1709,7 +1715,9 @@ impl Bcast {
                     if self.compressed {
                         let blob = self.payload.take().expect("broadcast payload present");
                         if me == self.root {
-                            out.copy_from_slice(data);
+                            if !data.is_empty() {
+                                out.copy_from_slice(data);
+                            }
                         } else {
                             let codec = cpr.expect("compressed mode needs a codec");
                             let vals = decompress_auto_in(
@@ -2645,6 +2653,9 @@ pub(crate) enum ArMachine {
     Ring { rs: RingRs, ag: RingAg, in_ag: bool },
     /// Recursive doubling or Rabenseifner.
     Butterfly(Butterfly),
+    /// Two-level topology-aware composition (node-local tree reduce,
+    /// leader-only Rabenseifner, node-local fan-out).
+    Hier(HierAr),
 }
 
 impl ArMachine {
@@ -2666,6 +2677,7 @@ impl ArMachine {
                 in_ag,
             },
             ArMachine::Butterfly(b) => ArMachine::Butterfly(b.with_base(base)),
+            ArMachine::Hier(h) => ArMachine::Hier(h.with_base(base)),
         }
     }
 
@@ -2675,6 +2687,7 @@ impl ArMachine {
         comm: &mut C,
         cpr: Option<&CprCodec>,
         op: ReduceOp,
+        groups: Option<&HierGroups>,
         input: &[f32],
         out: &mut [f32],
         ws: &mut CollWorkspace,
@@ -2682,6 +2695,10 @@ impl ArMachine {
     ) -> Poll {
         match self {
             ArMachine::Butterfly(b) => b.step(comm, cpr, op, input, out, ws, block),
+            ArMachine::Hier(h) => {
+                let groups = groups.expect("hierarchical plans build their groups at start");
+                h.step(comm, cpr, op, groups, input, out, ws, block)
+            }
             ArMachine::Ring { rs, ag, in_ag } => {
                 let n = comm.size();
                 let me = comm.rank();
@@ -2710,6 +2727,9 @@ impl ArMachine {
 pub(crate) enum AgPlanMachine {
     Ring(RingAg),
     Bruck(BruckAg),
+    /// Two-level: node-local gather, leader-only ring over node blocks,
+    /// node-local fan-out.
+    Hier(HierAg),
 }
 
 impl AgPlanMachine {
@@ -2719,6 +2739,48 @@ impl AgPlanMachine {
         match self {
             AgPlanMachine::Ring(m) => AgPlanMachine::Ring(m.with_base(base)),
             AgPlanMachine::Bruck(m) => AgPlanMachine::Bruck(m.with_base(base)),
+            AgPlanMachine::Hier(m) => AgPlanMachine::Hier(m.with_base(base)),
+        }
+    }
+}
+
+/// The state machine behind a nonblocking broadcast plan.
+#[derive(Debug)]
+pub(crate) enum BcMachine {
+    /// Flat binomial tree over the whole communicator.
+    Flat(Bcast),
+    /// Two-level: root→leader hand-off, leader-only binomial tree
+    /// carrying the codec, raw node-local fan-out.
+    Hier(HierBc),
+}
+
+impl BcMachine {
+    /// Rebase every tag this machine uses into a per-operation tag
+    /// space.
+    pub(crate) fn with_base(self, base: Tag) -> Self {
+        match self {
+            BcMachine::Flat(m) => BcMachine::Flat(m.with_base(base)),
+            BcMachine::Hier(m) => BcMachine::Hier(m.with_base(base)),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn step<C: Comm>(
+        &mut self,
+        comm: &mut C,
+        cpr: Option<&CprCodec>,
+        groups: Option<&HierGroups>,
+        data: &[f32],
+        out: &mut [f32],
+        ws: &mut CollWorkspace,
+        block: bool,
+    ) -> Poll {
+        match self {
+            BcMachine::Flat(m) => m.step(comm, cpr, data, out, ws, block),
+            BcMachine::Hier(m) => {
+                let groups = groups.expect("hierarchical plans build their groups at start");
+                m.step(comm, cpr, groups, data, out, ws, block)
+            }
         }
     }
 }
@@ -2751,6 +2813,663 @@ impl ReduceMachine {
                 gather: gather.with_base(base),
                 in_gather,
             },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Two-level (hierarchical) schedules.
+// ---------------------------------------------------------------------------
+
+/// The communicator split a hierarchical plan runs over. Built once at
+/// plan time from the session's [`ccoll_comm::Topology`]; every phase
+/// borrows these member tables to form ephemeral [`SubComm`] views, so
+/// steady-state steps never allocate.
+#[derive(Debug, Clone)]
+pub(crate) struct HierGroups {
+    /// World ranks sharing my node, ascending (the node leader is the
+    /// first entry).
+    pub(crate) local: Vec<usize>,
+    /// One leader (the first rank) per node, ascending by node.
+    pub(crate) leaders: Vec<usize>,
+    /// Per-node *value* counts of the allgather result layout (empty
+    /// for allreduce / bcast plans, which move full-length buffers).
+    pub(crate) node_counts: Vec<usize>,
+    /// My node's index (`leaders[node]` is my leader).
+    pub(crate) node: usize,
+}
+
+impl HierGroups {
+    /// Build the split for `rank` under `topo`, with `values_per_rank`
+    /// driving the per-node block sizes (0 for full-length schedules).
+    pub(crate) fn build(topo: &ccoll_comm::Topology, rank: usize, values_per_rank: usize) -> Self {
+        let node = topo.node_of(rank);
+        HierGroups {
+            local: topo.members_of(node).collect(),
+            leaders: topo.leaders(),
+            node_counts: if values_per_rank == 0 {
+                Vec::new()
+            } else {
+                (0..topo.nodes())
+                    .map(|a| topo.node_size(a) * values_per_rank)
+                    .collect()
+            },
+            node,
+        }
+    }
+
+    fn is_leader(&self, rank: usize) -> bool {
+        self.local[0] == rank
+    }
+}
+
+/// The inner reduce op for hierarchical phases: `Avg` sums through the
+/// tree and leader legs so the single ÷n finalize happens exactly once
+/// at the end, with the full world count.
+fn hier_inner(op: ReduceOp) -> ReduceOp {
+    match op {
+        ReduceOp::Avg => ReduceOp::Sum,
+        other => other,
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum HierPhase {
+    Local,
+    Inter,
+    Fanout,
+    Final,
+    Done,
+}
+
+/// Two-level allreduce: raw binomial reduce to the node leader, a
+/// Rabenseifner allreduce over the leaders (where the codec terms and
+/// the shared inter-node NIC live), raw binomial fan-out of the result.
+/// Every leg reuses an existing machine over a [`SubComm`] view; tag
+/// families stay disjoint (`TREE_REDUCE` / `RABENSEIFNER` / `BCAST`)
+/// and concurrent node groups have disjoint member sets.
+#[derive(Debug)]
+pub(crate) struct HierAr {
+    phase: HierPhase,
+    local: TreeReduce,
+    inter: Butterfly,
+    fanout: Bcast,
+}
+
+impl HierAr {
+    /// `mode` places the inter-node leader leg (raw / CPR / pipelined);
+    /// the intra-node legs are always raw.
+    pub(crate) fn new(mode: BflyMode) -> Self {
+        HierAr {
+            phase: HierPhase::Local,
+            local: TreeReduce::new(TreeMode::Raw, 0),
+            inter: Butterfly::rabenseifner(mode),
+            fanout: Bcast::new(false, 0),
+        }
+    }
+
+    /// Rebase every tag this machine uses into a per-operation tag
+    /// space.
+    pub(crate) fn with_base(self, base: Tag) -> Self {
+        HierAr {
+            phase: self.phase,
+            local: self.local.with_base(base),
+            inter: self.inter.with_base(base),
+            fanout: self.fanout.with_base(base),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn step<C: Comm>(
+        &mut self,
+        comm: &mut C,
+        cpr: Option<&CprCodec>,
+        op: ReduceOp,
+        groups: &HierGroups,
+        input: &[f32],
+        out: &mut [f32],
+        ws: &mut CollWorkspace,
+        block: bool,
+    ) -> Poll {
+        let world = comm.size();
+        let me = comm.rank();
+        let inner = hier_inner(op);
+        loop {
+            match self.phase {
+                HierPhase::Local => {
+                    let mut hier = std::mem::take(&mut ws.hier);
+                    hier.resize(input.len(), 0.0);
+                    let mut sub = SubComm::new(comm, &groups.local);
+                    let r = self
+                        .local
+                        .step(&mut sub, None, inner, input, &mut hier, ws, block);
+                    ws.hier = hier;
+                    match r {
+                        Poll::Pending => return Poll::Pending,
+                        Poll::Ready => {
+                            self.phase = if groups.is_leader(me) {
+                                HierPhase::Inter
+                            } else {
+                                HierPhase::Fanout
+                            };
+                        }
+                    }
+                }
+                HierPhase::Inter => {
+                    let hier = std::mem::take(&mut ws.hier);
+                    let mut sub = SubComm::new(comm, &groups.leaders);
+                    let r = self.inter.step(&mut sub, cpr, inner, &hier, out, ws, block);
+                    ws.hier = hier;
+                    match r {
+                        Poll::Pending => return Poll::Pending,
+                        Poll::Ready => self.phase = HierPhase::Fanout,
+                    }
+                }
+                HierPhase::Fanout => {
+                    let mut sub = SubComm::new(comm, &groups.local);
+                    match self.fanout.step(&mut sub, None, &[], out, ws, block) {
+                        Poll::Pending => return Poll::Pending,
+                        Poll::Ready => self.phase = HierPhase::Final,
+                    }
+                }
+                HierPhase::Final => {
+                    // The inner legs reduced with the fused kind; the
+                    // one real finalize (Avg's ÷n) uses the full world.
+                    op.finalize(out, world);
+                    self.phase = HierPhase::Done;
+                }
+                HierPhase::Done => return Poll::Ready,
+            }
+        }
+    }
+}
+
+/// Two-level allgather: raw binomial gather of member chunks into the
+/// node leader, ring allgather of whole node blocks over the leaders
+/// (compress-once on the inter-node leg), raw fan-out of the assembled
+/// buffer.
+#[derive(Debug)]
+pub(crate) struct HierAg {
+    phase: HierPhase,
+    local: Gather,
+    inter: RingAg,
+    fanout: Bcast,
+}
+
+impl HierAg {
+    /// `mode` places the leader leg; `node_block_len` is *my* node's
+    /// total value count (`groups.node_counts[groups.node]`).
+    pub(crate) fn new(mode: AgMode, node_block_len: usize) -> Self {
+        HierAg {
+            phase: HierPhase::Local,
+            local: Gather::new(false, 0, node_block_len),
+            inter: RingAg::new(mode),
+            fanout: Bcast::new(false, 0),
+        }
+    }
+
+    /// Rebase every tag this machine uses into a per-operation tag
+    /// space.
+    pub(crate) fn with_base(self, base: Tag) -> Self {
+        HierAg {
+            phase: self.phase,
+            local: self.local.with_base(base),
+            inter: self.inter.with_base(base),
+            fanout: self.fanout.with_base(base),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn step<C: Comm>(
+        &mut self,
+        comm: &mut C,
+        cpr: Option<&CprCodec>,
+        groups: &HierGroups,
+        mine: &[f32],
+        out: &mut [f32],
+        ws: &mut CollWorkspace,
+        block: bool,
+    ) -> Poll {
+        let me = comm.rank();
+        loop {
+            match self.phase {
+                HierPhase::Local => {
+                    let mut hier = std::mem::take(&mut ws.hier);
+                    hier.resize(groups.node_counts[groups.node], 0.0);
+                    let mut sub = SubComm::new(comm, &groups.local);
+                    let r = self.local.step(&mut sub, None, mine, &mut hier, ws, block);
+                    ws.hier = hier;
+                    match r {
+                        Poll::Pending => return Poll::Pending,
+                        Poll::Ready => {
+                            if groups.is_leader(me) {
+                                // The leader ring reads the *node block*
+                                // partition out of the workspace.
+                                ws.set_partition_from_counts(&groups.node_counts);
+                                self.phase = HierPhase::Inter;
+                            } else {
+                                self.phase = HierPhase::Fanout;
+                            }
+                        }
+                    }
+                }
+                HierPhase::Inter => {
+                    let hier = std::mem::take(&mut ws.hier);
+                    let mut sub = SubComm::new(comm, &groups.leaders);
+                    let r = self.inter.step(&mut sub, cpr, Some(&hier), out, ws, block);
+                    ws.hier = hier;
+                    match r {
+                        Poll::Pending => return Poll::Pending,
+                        Poll::Ready => self.phase = HierPhase::Fanout,
+                    }
+                }
+                HierPhase::Fanout => {
+                    let mut sub = SubComm::new(comm, &groups.local);
+                    match self.fanout.step(&mut sub, None, &[], out, ws, block) {
+                        Poll::Pending => return Poll::Pending,
+                        Poll::Ready => self.phase = HierPhase::Final,
+                    }
+                }
+                HierPhase::Final => self.phase = HierPhase::Done,
+                HierPhase::Done => return Poll::Ready,
+            }
+        }
+    }
+}
+
+/// Two-level broadcast: an intra-node hand-off from the root to its
+/// node leader (skipped when the root *is* a leader), a binomial bcast
+/// over the leaders (compress-once), and a raw binomial fan-out within
+/// every node. The root's buffer stays bitwise-exact; all other ranks
+/// see one identical decode of the single inter-node blob.
+#[derive(Debug)]
+pub(crate) struct HierBc {
+    phase: HierPhase,
+    compressed: bool,
+    /// World rank of the broadcast root.
+    root: usize,
+    /// Leader-group index of the root's node.
+    root_node: usize,
+    inter: Bcast,
+    fanout: Bcast,
+    base: Tag,
+    wire: Wire,
+}
+
+impl HierBc {
+    pub(crate) fn new(compressed: bool, root: usize, root_node: usize) -> Self {
+        HierBc {
+            phase: HierPhase::Local,
+            compressed,
+            root,
+            root_node,
+            inter: Bcast::new(compressed, root_node),
+            fanout: Bcast::new(false, 0),
+            base: 0,
+            wire: Wire::default(),
+        }
+    }
+
+    /// Rebase every tag this machine uses into a per-operation tag
+    /// space.
+    pub(crate) fn with_base(self, base: Tag) -> Self {
+        HierBc {
+            inter: self.inter.with_base(base),
+            fanout: self.fanout.with_base(base),
+            base,
+            ..self
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn step<C: Comm>(
+        &mut self,
+        comm: &mut C,
+        cpr: Option<&CprCodec>,
+        groups: &HierGroups,
+        data: &[f32],
+        out: &mut [f32],
+        ws: &mut CollWorkspace,
+        block: bool,
+    ) -> Poll {
+        let me = comm.rank();
+        let root_is_leader = groups.leaders[self.root_node] == self.root;
+        let my_leader = groups.local[0];
+        loop {
+            match self.phase {
+                // Root→leader hand-off (raw, intra-node).
+                HierPhase::Local => {
+                    if root_is_leader {
+                        self.phase = HierPhase::Inter;
+                        continue;
+                    }
+                    let tag = self.base + tags::HIER;
+                    if me == self.root {
+                        if self.wire.sreq.is_none() {
+                            let payload = values_payload(&mut ws.pool, data);
+                            self.wire.sreq =
+                                Some(comm.isend(groups.leaders[self.root_node], tag, payload));
+                        }
+                        if !self.wire.send_done(comm, block, Category::Wait) {
+                            return Poll::Pending;
+                        }
+                    } else if me == groups.leaders[self.root_node] {
+                        if self.wire.rreq.is_none() {
+                            self.wire.rreq = Some(comm.irecv(self.root, tag));
+                        }
+                        let Some(got) = self.wire.recv(comm, block, Category::Others) else {
+                            return Poll::Pending;
+                        };
+                        ws.hier.resize(out.len(), 0.0);
+                        crate::wire::decode_values_into(&got, &mut ws.hier);
+                    }
+                    self.phase = HierPhase::Inter;
+                }
+                // Leader-group broadcast of the (compress-once) buffer.
+                HierPhase::Inter => {
+                    if !groups.is_leader(me) {
+                        self.phase = HierPhase::Fanout;
+                        continue;
+                    }
+                    let hier = std::mem::take(&mut ws.hier);
+                    let src: &[f32] = if me != groups.leaders[self.root_node] {
+                        &[]
+                    } else if root_is_leader {
+                        data
+                    } else {
+                        &hier
+                    };
+                    let mut sub = SubComm::new(comm, &groups.leaders);
+                    let r = self.inter.step(&mut sub, cpr, src, out, ws, block);
+                    ws.hier = hier;
+                    match r {
+                        Poll::Pending => return Poll::Pending,
+                        Poll::Ready => self.phase = HierPhase::Fanout,
+                    }
+                }
+                // Raw fan-out within the node; the leader's `out` is
+                // pre-filled, so the empty-source form applies.
+                HierPhase::Fanout => {
+                    let mut sub = SubComm::new(comm, &groups.local);
+                    match self.fanout.step(&mut sub, None, &[], out, ws, block) {
+                        Poll::Pending => return Poll::Pending,
+                        Poll::Ready => self.phase = HierPhase::Final,
+                    }
+                }
+                HierPhase::Final => {
+                    // A non-leader root received its node's relayed
+                    // decode; restore the exact source bits, as the
+                    // flat compressed bcast guarantees for the root.
+                    if self.compressed && me == self.root && my_leader != self.root {
+                        memcpy_in(comm, out, data);
+                    }
+                    self.phase = HierPhase::Done;
+                }
+                HierPhase::Done => return Poll::Ready,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bruck all-to-all.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+enum BkA2aPhase {
+    Init,
+    Round,
+    RecvWait,
+    SendWait,
+    Tail,
+    Done,
+}
+
+/// Resumable Bruck all-to-all: a local rotation, ⌈log₂n⌉ doubling
+/// rounds each forwarding the blocks whose index has the round bit set
+/// (to `me + 2ᵏ`, from `me − 2ᵏ`), and an inverse rotation into `out`.
+/// `compressed = true` compresses every outgoing block once up front;
+/// blocks are *re-forwarded as blobs* without recoding (framed
+/// containers), and decoded exactly once at the tail.
+#[derive(Debug)]
+pub(crate) struct BruckA2a {
+    compressed: bool,
+    phase: BkA2aPhase,
+    /// Current round's bit value (1, 2, 4, …).
+    v: usize,
+    /// Round ordinal, for per-round tags.
+    round_no: Tag,
+    /// Per-operation tag base; every tag this machine computes is
+    /// offset by it so concurrent operations never cross-match.
+    base: Tag,
+    wire: Wire,
+    got: Option<Bytes>,
+}
+
+impl BruckA2a {
+    pub(crate) fn new(compressed: bool) -> Self {
+        BruckA2a {
+            compressed,
+            phase: BkA2aPhase::Init,
+            v: 1,
+            round_no: 0,
+            base: 0,
+            wire: Wire::default(),
+            got: None,
+        }
+    }
+
+    /// Rebase every tag this machine uses into a per-operation tag
+    /// space.
+    pub(crate) fn with_base(mut self, base: Tag) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Round tags live in the `BRUCK + 0x400` (raw) / `+ 0x600`
+    /// (compress-once) sub-bands, disjoint from the Bruck allgather's
+    /// `+ step` and `+ 0xC00 + step` bands.
+    fn tag(&self) -> Tag {
+        self.base + tags::BRUCK + if self.compressed { 0x600 } else { 0x400 } + self.round_no
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn step<C: Comm>(
+        &mut self,
+        comm: &mut C,
+        cpr: Option<&CprCodec>,
+        send: &[f32],
+        out: &mut [f32],
+        ws: &mut CollWorkspace,
+        block: bool,
+    ) -> Poll {
+        let n = comm.size();
+        let me = comm.rank();
+        let b = send.len() / n;
+        loop {
+            match self.phase {
+                BkA2aPhase::Init => {
+                    assert_eq!(out.len(), send.len(), "output buffer size mismatch");
+                    self.v = 1;
+                    self.round_no = 0;
+                    // Rotation: staged slot `i` holds the block destined
+                    // for rank `(me + i) % n`.
+                    ws.stage.resize(n * b, 0.0);
+                    for i in 0..n {
+                        let src = ((me + i) % n) * b;
+                        let CollWorkspace { stage, .. } = ws;
+                        memcpy_in(comm, &mut stage[i * b..(i + 1) * b], &send[src..src + b]);
+                    }
+                    if self.compressed {
+                        let codec = cpr.expect("compressed mode needs a codec");
+                        ws.blobs.clear();
+                        ws.blobs.resize(n, None);
+                        let CollWorkspace {
+                            pool, blobs, stage, ..
+                        } = ws;
+                        for (i, slot) in blobs.iter_mut().enumerate().skip(1) {
+                            *slot = Some(compress_in(
+                                comm,
+                                codec.codec.as_ref(),
+                                codec.ck,
+                                &stage[i * b..(i + 1) * b],
+                                true,
+                                pool,
+                            ));
+                        }
+                    }
+                    self.phase = if n > 1 {
+                        BkA2aPhase::Round
+                    } else {
+                        BkA2aPhase::Tail
+                    };
+                }
+                BkA2aPhase::Round => {
+                    if self.v >= n {
+                        self.phase = BkA2aPhase::Tail;
+                        continue;
+                    }
+                    let to = (me + self.v) % n;
+                    let from = (me + n - self.v) % n;
+                    let payload = if self.compressed {
+                        let CollWorkspace {
+                            pool,
+                            blobs,
+                            blob_list,
+                            ..
+                        } = ws;
+                        blob_list.clear();
+                        for (i, slot) in blobs.iter().enumerate() {
+                            if i & self.v != 0 {
+                                blob_list.push(slot.clone().expect("forwarded slot holds a blob"));
+                            }
+                        }
+                        crate::wire::frame_blobs_pooled(pool, blob_list)
+                    } else {
+                        let m: usize = (0..n).filter(|i| i & self.v != 0).count();
+                        ws.acc.resize(m * b, 0.0);
+                        let CollWorkspace { acc, stage, .. } = ws;
+                        let mut at = 0;
+                        for i in 0..n {
+                            if i & self.v != 0 {
+                                memcpy_in(comm, &mut acc[at..at + b], &stage[i * b..(i + 1) * b]);
+                                at += b;
+                            }
+                        }
+                        values_payload(&mut ws.pool, &ws.acc)
+                    };
+                    self.wire.rreq = Some(comm.irecv(from, self.tag()));
+                    self.wire.sreq = Some(comm.isend(to, self.tag(), payload));
+                    self.phase = BkA2aPhase::RecvWait;
+                }
+                BkA2aPhase::RecvWait => {
+                    let Some(got) = self.wire.recv(comm, block, Category::Allgather) else {
+                        return Poll::Pending;
+                    };
+                    self.got = Some(got);
+                    self.phase = BkA2aPhase::SendWait;
+                }
+                BkA2aPhase::SendWait => {
+                    if !self.wire.send_done(comm, block, Category::Wait) {
+                        return Poll::Pending;
+                    }
+                    let got = self.got.take().expect("round received a payload");
+                    if self.compressed {
+                        crate::wire::unframe_blobs_into(&got, &mut ws.blob_list)
+                            .expect("well-formed Bruck container");
+                        let CollWorkspace {
+                            blobs, blob_list, ..
+                        } = ws;
+                        let mut at = 0;
+                        for (i, slot) in blobs.iter_mut().enumerate() {
+                            if i & self.v != 0 {
+                                *slot = Some(blob_list[at].clone());
+                                at += 1;
+                            }
+                        }
+                        assert_eq!(at, blob_list.len(), "Bruck container block count");
+                    } else {
+                        let m: usize = (0..n).filter(|i| i & self.v != 0).count();
+                        ws.acc.resize(m * b, 0.0);
+                        decode_values_in(comm, &mut ws.acc, &got);
+                        let CollWorkspace { acc, stage, .. } = ws;
+                        let mut at = 0;
+                        for i in 0..n {
+                            if i & self.v != 0 {
+                                memcpy_in(comm, &mut stage[i * b..(i + 1) * b], &acc[at..at + b]);
+                                at += b;
+                            }
+                        }
+                    }
+                    self.v <<= 1;
+                    self.round_no += 1;
+                    self.phase = BkA2aPhase::Round;
+                }
+                // Inverse rotation: slot `i` holds the block *from*
+                // rank `(me − i) % n`.
+                BkA2aPhase::Tail => {
+                    for i in 0..n {
+                        let src = (me + n - i) % n;
+                        if self.compressed && i != 0 {
+                            let codec = cpr.expect("compressed mode needs a codec");
+                            let CollWorkspace { blobs, scratch, .. } = ws;
+                            let blob = blobs[i].take().expect("tail slot holds a blob");
+                            let vals = decompress_auto_in(
+                                comm,
+                                codec.codec.as_ref(),
+                                codec.dk,
+                                &blob,
+                                scratch,
+                            );
+                            assert_eq!(vals.len(), b, "Bruck block length mismatch");
+                            memcpy_in(comm, &mut out[src * b..(src + 1) * b], vals);
+                        } else {
+                            let CollWorkspace { stage, .. } = ws;
+                            memcpy_in(
+                                comm,
+                                &mut out[src * b..(src + 1) * b],
+                                &stage[i * b..(i + 1) * b],
+                            );
+                        }
+                    }
+                    self.phase = BkA2aPhase::Done;
+                }
+                BkA2aPhase::Done => return Poll::Ready,
+            }
+        }
+    }
+}
+
+/// The state machine behind a nonblocking all-to-all plan.
+#[derive(Debug)]
+pub(crate) enum A2aMachine {
+    Pairwise(Alltoall),
+    Bruck(BruckA2a),
+}
+
+impl A2aMachine {
+    /// Rebase every tag this machine uses into a per-operation tag
+    /// space.
+    pub(crate) fn with_base(self, base: Tag) -> Self {
+        match self {
+            A2aMachine::Pairwise(m) => A2aMachine::Pairwise(m.with_base(base)),
+            A2aMachine::Bruck(m) => A2aMachine::Bruck(m.with_base(base)),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn step<C: Comm>(
+        &mut self,
+        comm: &mut C,
+        cpr: Option<&CprCodec>,
+        send: &[f32],
+        out: &mut [f32],
+        ws: &mut CollWorkspace,
+        block: bool,
+    ) -> Poll {
+        match self {
+            A2aMachine::Pairwise(m) => m.step(comm, cpr, send, out, ws, block),
+            A2aMachine::Bruck(m) => m.step(comm, cpr, send, out, ws, block),
         }
     }
 }

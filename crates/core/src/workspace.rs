@@ -39,6 +39,11 @@ pub struct CollWorkspace {
     /// Staging buffer for outgoing value snapshots (pipelined rounds,
     /// scatter/gather subtree spans).
     pub stage: Vec<f32>,
+    /// Intermediate buffer for two-level (hierarchical) schedules: the
+    /// node-local phase's result, handed to the inter-node leader leg.
+    /// Taken with `mem::take` around sub-machine steps so it can be
+    /// borrowed alongside the rest of the workspace.
+    pub hier: Vec<f32>,
     /// Relay slots for compressed blocks, indexed by rank.
     pub blobs: Vec<Option<Bytes>>,
     /// Ordered compressed-segment list (scatter/gather containers).

@@ -165,9 +165,14 @@ fn steady_state_plans_allocate_nothing() {
         // the per-op tag space: each start() alternates between two
         // tag generations (see `op_base`), so the simulator's
         // tag-keyed tables only reach their high-water mark after a
-        // plan has executed under BOTH generations — four rounds cover
-        // that with margin.
-        for _ in 0..4 {
+        // plan has executed under BOTH generations. Eight rounds also
+        // run the Auto plan's continuous α–β calibration once (it fires
+        // every `CALIB_PERIOD` = 4th execution and uses its own tag
+        // bands, which the simulator's tables must see once) — the
+        // measured window below then contains a full calibration round
+        // of its own, which must be allocation-free like everything
+        // else.
+        for _ in 0..8 {
             allreduce.execute_into(c, &input, &mut ar_out);
             allgather.execute_into(c, &chunk, &mut ag_out);
             bcast.execute_into(c, &bdata, &mut bc_out);
@@ -184,8 +189,11 @@ fn steady_state_plans_allocate_nothing() {
         c.barrier();
 
         // Steady state: zero allocator calls across every rank, for the
-        // blocking drives, the start/progress*/complete cycles AND the
-        // engine-driven concurrent cycles.
+        // blocking drives, the start/progress*/complete cycles, the
+        // engine-driven concurrent cycles AND the Auto plan's
+        // calibration round (its 8th execution starts inside this
+        // window: two ring agreements plus the re-rank, all through the
+        // warmed pool).
         let before = allocations();
         for _ in 0..4 {
             allreduce.execute_into(c, &input, &mut ar_out);

@@ -146,3 +146,58 @@ fn small_ops_complete_within_bounded_passes_alongside_a_large_op() {
         }
     }
 }
+
+/// Weighted fairness: two identical large lossy allreduces, one
+/// submitted at weight 8 and one at weight 1. The heavy one receives
+/// eight work slices per pass, so it must retire in strictly fewer
+/// passes — and the light one must still complete (weights prioritise,
+/// they never starve).
+#[test]
+fn weighted_ops_drain_ahead_without_starving_siblings() {
+    let n = 4;
+    let len = 120_000;
+    let results = SimWorld::new(SimConfig::new(n))
+        .run(move |c| {
+            let session = CCollSession::new(CodecSpec::Szx { error_bound: 1e-3 }, n);
+            let mut heavy_plan = session.plan_allreduce(len, ReduceOp::Sum);
+            let mut light_plan = session.plan_allreduce(len, ReduceOp::Sum);
+            let input: Vec<f32> = (0..len).map(|i| (i as f32 * 1e-4).sin()).collect();
+            let mut heavy_out = vec![0.0f32; len];
+            let mut light_out = vec![0.0f32; len];
+
+            let mut engine = ProgressEngine::new().with_fairness(Fairness::RoundRobin);
+            let heavy = engine.submit_weighted(heavy_plan.start(c, &input, &mut heavy_out), 8);
+            let light = engine.submit(light_plan.start(c, &input, &mut light_out));
+
+            let mut passes = 0usize;
+            let mut done_at = [0usize; 2];
+            while engine.live_ops() > 0 {
+                passes += 1;
+                engine.progress_with(c, |id| {
+                    done_at[usize::from(id == light)] = passes;
+                });
+                c.charge_duration(Duration::from_nanos(200), Category::Others);
+                assert!(passes < 100_000, "engine stalled");
+            }
+            drop(engine);
+            assert!(engine_done(done_at));
+            let _ = (heavy, light);
+            (done_at[0], done_at[1], heavy_out, light_out)
+        })
+        .results;
+    for (r, (heavy_pass, light_pass, heavy_out, light_out)) in results.iter().enumerate() {
+        assert!(
+            heavy_pass < light_pass,
+            "rank {r}: weight 8 finished at pass {heavy_pass}, \
+             weight 1 at {light_pass} — weighting had no effect"
+        );
+        assert_eq!(
+            heavy_out, light_out,
+            "rank {r}: identical inputs must produce identical results"
+        );
+    }
+}
+
+fn engine_done(done_at: [usize; 2]) -> bool {
+    done_at.iter().all(|&p| p > 0)
+}
